@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: interval sampling on/off (paper section 3.4).
+ *
+ * The methodology samples a fixed number of intervals per benchmark so
+ * every benchmark weighs equally. Without sampling, long benchmarks
+ * dominate the clustering and the suite comparison tilts toward whoever
+ * has the largest dynamic instruction counts. This binary quantifies the
+ * difference.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "viz/charts.hh"
+
+int
+main()
+{
+    using namespace mica;
+
+    const auto cfg = micabench::experimentConfig();
+    const auto out = micabench::runExperiment(); // sampled variant (cached)
+
+    // Unsampled variant: every interval once.
+    std::fprintf(stderr, "clustering the unsampled data set...\n");
+    const auto unsampled = core::allIntervals(out.characterization);
+    core::ExperimentConfig raw_cfg = cfg;
+    raw_cfg.kmeans_k = cfg.kmeans_k;
+    const auto raw_analysis =
+        core::analyzePhases(unsampled, out.characterization, raw_cfg);
+    const auto raw_cmp = core::compareSuites(out.characterization,
+                                             unsampled, raw_analysis);
+
+    std::printf("Ablation: interval sampling (equal benchmark weight) vs "
+                "raw intervals\n\n");
+    std::printf("  %-14s %16s %16s %14s %14s\n", "suite",
+                "coverage(sampled)", "coverage(raw)", "unique(sampled)",
+                "unique(raw)");
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t s = 0; s < out.comparison.suites.size(); ++s) {
+        const auto &suite = out.comparison.suites[s];
+        const std::size_t raw_idx = raw_cmp.indexOf(suite);
+        std::printf("  %-14s %16zu %16zu %13.1f%% %13.1f%%\n",
+                    suite.c_str(), out.comparison.coverage[s],
+                    raw_cmp.coverage[raw_idx],
+                    out.comparison.uniqueness[s] * 100.0,
+                    raw_cmp.uniqueness[raw_idx] * 100.0);
+        rows.push_back({suite,
+                        std::to_string(out.comparison.coverage[s]),
+                        std::to_string(raw_cmp.coverage[raw_idx]),
+                        std::to_string(out.comparison.uniqueness[s]),
+                        std::to_string(raw_cmp.uniqueness[raw_idx])});
+    }
+
+    // Quantify the weight distortion sampling removes: the share of the
+    // data set owned by the largest benchmark.
+    const auto counts = out.characterization.intervalsPerBenchmark();
+    std::uint32_t max_count = 0, total = 0;
+    std::size_t biggest = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        total += counts[b];
+        if (counts[b] > max_count) {
+            max_count = counts[b];
+            biggest = b;
+        }
+    }
+    std::printf("\nwithout sampling, %s alone owns %.1f%% of all "
+                "intervals; with sampling every benchmark owns %.2f%%\n",
+                out.characterization.benchmark_ids[biggest].c_str(),
+                100.0 * max_count / total,
+                100.0 / static_cast<double>(counts.size()));
+
+    const std::string csv =
+        micabench::outputDir() + "/ablation_sampling.csv";
+    mica::viz::writeCsv(csv,
+                        {"suite", "coverage_sampled", "coverage_raw",
+                         "unique_sampled", "unique_raw"},
+                        rows);
+    std::printf("wrote %s\n", csv.c_str());
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Section 4.2 anecdotes, quantified:
+ *
+ *  1. astar splits across two very different prominent phase behaviours
+ *     (an erratic-branch benchmark-specific phase and a well-behaved
+ *     shared phase);
+ *  2. the SPECint2006 and BioPerf editions of hmmer overlap only
+ *     partially — a major part of the SPEC version resembles a small
+ *     part of the BioPerf version, while the rest of the BioPerf version
+ *     is dissimilar.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace mica;
+
+std::uint32_t
+benchmarkIndex(const core::CharacterizationResult &chars,
+               const std::string &id)
+{
+    for (std::uint32_t b = 0; b < chars.benchmark_ids.size(); ++b)
+        if (chars.benchmark_ids[b] == id)
+            return b;
+    std::fprintf(stderr, "missing benchmark %s\n", id.c_str());
+    std::exit(1);
+}
+
+/** Rows of one benchmark per cluster id. */
+std::map<std::size_t, std::size_t>
+clustersOf(const core::ExperimentOutputs &out, std::uint32_t bench)
+{
+    std::map<std::size_t, std::size_t> rows;
+    for (std::size_t r = 0; r < out.sampled.benchmark_of_row.size(); ++r)
+        if (out.sampled.benchmark_of_row[r] == bench)
+            ++rows[out.analysis.clustering.assignment[r]];
+    return rows;
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace m = metrics::midx;
+    const auto out = micabench::runExperiment();
+    const auto &chars = out.characterization;
+    const double samples = out.config.samples_per_benchmark;
+
+    // ---- Anecdote 1: astar's phase split. ----
+    const auto astar = benchmarkIndex(chars, "SPECint2006/astar");
+    const auto astar_clusters = clustersOf(out, astar);
+    std::printf("anecdote 1: SPECint2006/astar spreads over %zu clusters; "
+                "its two heaviest phases:\n\n",
+                astar_clusters.size());
+
+    // The two clusters holding the most astar rows.
+    std::vector<std::pair<std::size_t, std::size_t>> heaviest(
+        astar_clusters.begin(), astar_clusters.end());
+    std::sort(heaviest.begin(), heaviest.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    for (std::size_t i = 0; i < 2 && i < heaviest.size(); ++i) {
+        const auto [cluster_id, rows] = heaviest[i];
+        // Find the summary for this cluster id.
+        const core::ClusterSummary *summary = nullptr;
+        for (const auto &c : out.analysis.clusters)
+            if (c.cluster == cluster_id)
+                summary = &c;
+        const auto rep = out.sampled.data.row(summary->representative_row);
+        std::printf("  phase %zu [%s]: %.1f%% of astar\n", i + 1,
+                    std::string(core::clusterKindName(summary->kind))
+                        .c_str(),
+                    100.0 * static_cast<double>(rows) / samples);
+        std::printf("    ppm_gag_12 miss %.3f | taken rate %.3f | "
+                    "gls_64 %.3f | data 64B blocks %.0f\n",
+                    rep[m::PpmGag12], rep[m::BranchTakenRate],
+                    rep[m::GlobalLoadStride64],
+                    rep[m::DataFootprint64B]);
+    }
+    std::printf("\n  astar splits across two prominent phases with "
+                "starkly different branch predictability and locality — "
+                "the paper's observation (there, the erratic phase is "
+                "benchmark-specific and has the worst predictability "
+                "overall; here the erratic phase lands in a mixed search "
+                "cluster while the sweep phase is astar-specific).\n\n");
+
+    // ---- Anecdote 2: hmmer (SPEC) vs hmmer (BioPerf). ----
+    const auto spec_hmmer = benchmarkIndex(chars, "SPECint2006/hmmer");
+    const auto bio_hmmer = benchmarkIndex(chars, "BioPerf/hmmer");
+    const auto spec_clusters = clustersOf(out, spec_hmmer);
+    const auto bio_clusters = clustersOf(out, bio_hmmer);
+
+    double spec_shared = 0.0, bio_shared = 0.0;
+    for (const auto &[cluster, rows] : spec_clusters)
+        if (bio_clusters.count(cluster))
+            spec_shared += static_cast<double>(rows);
+    for (const auto &[cluster, rows] : bio_clusters)
+        if (spec_clusters.count(cluster))
+            bio_shared += static_cast<double>(rows);
+    spec_shared /= samples;
+    bio_shared /= samples;
+
+    std::printf("anecdote 2: hmmer overlap across suites\n\n");
+    std::printf("  %.1f%% of SPECint2006/hmmer lies in clusters also "
+                "containing BioPerf/hmmer\n",
+                spec_shared * 100.0);
+    std::printf("  %.1f%% of BioPerf/hmmer lies in clusters also "
+                "containing SPECint2006/hmmer\n",
+                bio_shared * 100.0);
+    std::printf("  => the two editions of hmmer overlap only partially "
+                "(paper: 68%% of the SPEC version resembles 5%% of the "
+                "BioPerf version; the remaining 59%% of the BioPerf "
+                "version is dissimilar)\n");
+    return 0;
+}

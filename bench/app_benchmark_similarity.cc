@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Application benchmark: benchmark-level similarity analysis via PCA +
+ * hierarchical linkage clustering — the methodology of the related work
+ * the paper builds on (Eeckhout et al., PACT 2002; Phansalkar/Joshi et
+ * al.). Each benchmark is summarized by its mean characteristic vector,
+ * projected into the rescaled PCA space, and agglomerated into a
+ * dendrogram.
+ *
+ * Checks printed:
+ *  - the two hmmer editions and the CPU2000/2006 repeats (bzip2, gcc,
+ *    mcf) merge early (cross-suite redundancy);
+ *  - cutting the tree at 7 clusters and comparing against the true suite
+ *    labels quantifies how suite-aligned aggregate behaviour is.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "stats/linkage.hh"
+#include "stats/pca.hh"
+
+namespace {
+
+using namespace mica;
+
+/** First merge step (0-based) at which the two benchmarks meet. */
+int
+mergeStepOf(const stats::Dendrogram &tree, std::size_t a, std::size_t b)
+{
+    // Walk the merge list with union-find-ish tracking.
+    std::vector<std::size_t> cluster_of(tree.num_points);
+    for (std::size_t i = 0; i < tree.num_points; ++i)
+        cluster_of[i] = i;
+    std::map<std::size_t, std::vector<std::size_t>> members;
+    for (std::size_t i = 0; i < tree.num_points; ++i)
+        members[i] = {i};
+    for (std::size_t step = 0; step < tree.merges.size(); ++step) {
+        const auto &m = tree.merges[step];
+        const std::size_t id = tree.num_points + step;
+        auto &dst = members[id];
+        for (std::size_t p : members[m.left])
+            dst.push_back(p);
+        for (std::size_t p : members[m.right])
+            dst.push_back(p);
+        bool has_a = false, has_b = false;
+        for (std::size_t p : dst) {
+            has_a |= p == a;
+            has_b |= p == b;
+        }
+        if (has_a && has_b)
+            return static_cast<int>(step);
+        members.erase(m.left);
+        members.erase(m.right);
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto out = micabench::runExperiment();
+    const auto &chars = out.characterization;
+
+    // Aggregate characterization: mean vector per benchmark.
+    const std::size_t n = chars.benchmark_ids.size();
+    stats::Matrix means(n, metrics::kNumCharacteristics);
+    std::vector<std::size_t> counts(n, 0);
+    for (const auto &rec : chars.intervals) {
+        auto row = means.row(rec.benchmark);
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            row[c] += rec.values[c];
+        ++counts[rec.benchmark];
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+        auto row = means.row(b);
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            row[c] /= static_cast<double>(counts[b]);
+    }
+
+    // Rescaled PCA space + average-linkage dendrogram.
+    const stats::Matrix space = stats::rescaledPcaSpace(means);
+    const auto tree =
+        stats::agglomerate(space, stats::Linkage::Average);
+
+    // Early-merge pairs: the famous cross-suite twins.
+    std::printf("benchmark similarity (PCA + average linkage over "
+                "aggregate characteristics)\n\n");
+    std::printf("cross-suite twins (merge step out of %zu; earlier = "
+                "more similar):\n", tree.merges.size() - 1);
+    const std::pair<const char *, const char *> twins[] = {
+        {"SPECint2006/hmmer", "BioPerf/hmmer"},
+        {"SPECint2000/bzip2", "SPECint2006/bzip2"},
+        {"SPECint2000/gcc", "SPECint2006/gcc"},
+        {"SPECint2000/mcf", "SPECint2006/mcf"},
+        {"BMW/face", "SPECfp2000/facerec"},
+        {"BMW/speak", "SPECfp2006/sphinx3"},
+        {"MediaBenchII/h264enc", "SPECint2006/h264ref"},
+    };
+    for (const auto &[x, y] : twins) {
+        std::size_t xi = 0, yi = 0;
+        for (std::size_t b = 0; b < n; ++b) {
+            if (chars.benchmark_ids[b] == x)
+                xi = b;
+            if (chars.benchmark_ids[b] == y)
+                yi = b;
+        }
+        std::printf("  %-24s ~ %-24s step %d\n", x, y,
+                    mergeStepOf(tree, xi, yi));
+    }
+
+    // Cut at 7 and measure suite purity (majority-suite fraction).
+    const auto labels = tree.cut(7);
+    std::map<std::size_t, std::map<std::string, std::size_t>> composition;
+    for (std::size_t b = 0; b < n; ++b)
+        ++composition[labels[b]][chars.benchmark_suites[b]];
+    double pure = 0.0;
+    for (const auto &[cluster, suites] : composition) {
+        std::size_t best = 0, total = 0;
+        for (const auto &[suite, cnt] : suites) {
+            best = std::max(best, cnt);
+            total += cnt;
+        }
+        pure += static_cast<double>(best);
+        (void)total;
+    }
+    std::printf("\ncutting at 7 clusters: %.0f%% of benchmarks sit in "
+                "their cluster's majority suite\n"
+                "(well below 100%%: aggregate behaviour crosses suite "
+                "lines, which is why the paper works at phase level)\n",
+                100.0 * pure / static_cast<double>(n));
+
+    // Dendrogram of one suite for the terminal (all 77 is too tall).
+    std::printf("\nBioPerf + domain-suite neighbourhood (average "
+                "linkage):\n\n");
+    std::vector<std::size_t> subset;
+    std::vector<std::string> sub_labels;
+    for (std::size_t b = 0; b < n; ++b) {
+        const auto &suite = chars.benchmark_suites[b];
+        if (suite == "BioPerf" || suite == "BMW" ||
+            suite == "MediaBenchII") {
+            subset.push_back(b);
+            sub_labels.push_back(chars.benchmark_ids[b]);
+        }
+    }
+    const stats::Matrix sub = space.selectRows(subset);
+    std::printf("%s\n",
+                stats::renderDendrogram(stats::agglomerate(sub),
+                                        sub_labels)
+                    .c_str());
+    return 0;
+}

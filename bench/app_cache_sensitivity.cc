@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Application benchmark: cache-sensitivity analysis from reuse distances.
+ *
+ * One pass with the stack-distance analyzer yields every benchmark's
+ * fully-associative LRU miss-rate curve across all cache sizes — the
+ * locality view behind the paper's footprint and stride characteristics.
+ * The predicted miss rate at the timing model's L1D capacity is
+ * cross-checked against that concrete (set-associative) simulation.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "mica/reuse.hh"
+#include "viz/charts.hh"
+#include "vm/cpu.hh"
+#include "vm/timing.hh"
+
+int
+main()
+{
+    using namespace mica;
+
+    const workloads::SuiteCatalog catalog;
+    const std::uint64_t budget = micabench::fastMode() ? 200000 : 800000;
+    const std::uint64_t sizes_kb[] = {1, 4, 16, 64, 256, 1024};
+
+    const char *ids[] = {
+        "SPECint2006/mcf",     "SPECfp2006/lbm",
+        "SPECint2000/crafty",  "BioPerf/grappa",
+        "MediaBenchII/h264enc"};
+
+    std::printf("Cache sensitivity from LRU stack distances "
+                "(fully-associative miss rate, %llu-instruction runs)\n\n",
+                static_cast<unsigned long long>(budget));
+    std::printf("  %-22s", "benchmark");
+    for (std::uint64_t kb : sizes_kb)
+        std::printf(" %6lluKB", static_cast<unsigned long long>(kb));
+    std::printf(" | L1D sim\n");
+
+    std::vector<std::vector<std::string>> rows;
+    for (const char *id : ids) {
+        const auto *bench = catalog.find(id);
+        if (!bench)
+            continue;
+
+        // One combined pass: reuse analyzer + timing model.
+        vm::Cpu cpu(bench->build(0));
+        profiler::ReuseDistanceAnalyzer reuse;
+        vm::TimingModel timing;
+        vm::TeeSink tee;
+        tee.attach(&reuse);
+        tee.attach(&timing);
+        (void)cpu.run(budget, &tee);
+
+        std::printf("  %-22s", id);
+        std::vector<std::string> row{id};
+        for (std::uint64_t kb : sizes_kb) {
+            const double miss =
+                reuse.missRateForCapacity(kb * 1024 / 64);
+            std::printf(" %7.2f%%", miss * 100.0);
+            row.push_back(std::to_string(miss));
+        }
+        std::printf(" | %6.2f%%\n",
+                    timing.l1d().missRate() * 100.0);
+        rows.push_back(row);
+    }
+
+    std::printf("\nreading the table: mcf's pointer chasing stays miss-"
+                "bound until its whole network fits; lbm streams (no "
+                "temporal reuse at any practical size); crafty/grappa/"
+                "codecs have compact hot sets. The last column is the "
+                "concrete 16KB 2-way L1D from the timing model — close "
+                "to the 16KB fully-associative prediction, the residual "
+                "gap being conflict misses.\n");
+
+    std::vector<std::string> header{"benchmark"};
+    for (std::uint64_t kb : sizes_kb)
+        header.push_back(std::to_string(kb) + "KB");
+    const std::string csv =
+        micabench::outputDir() + "/app_cache_sensitivity.csv";
+    mica::viz::writeCsv(csv, header, rows);
+    std::printf("wrote %s\n", csv.c_str());
+    return 0;
+}

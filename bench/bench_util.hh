@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared plumbing for the experiment (figure/table) binaries: the default
+ * full-scale configuration, a fast mode for CI smoke runs, a progress
+ * printer, and output-directory handling.
+ *
+ * Environment knobs:
+ *   MICAPHASE_FAST=1   scale the experiment down ~10x (quick smoke runs)
+ *   MICAPHASE_OUT=dir  output directory for CSV/SVG artifacts (default out)
+ */
+
+#ifndef MICAPHASE_BENCH_BENCH_UTIL_HH
+#define MICAPHASE_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/pipeline.hh"
+
+namespace micabench {
+
+inline bool
+fastMode()
+{
+    const char *env = std::getenv("MICAPHASE_FAST");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** Directory for emitted artifacts (created on demand). */
+inline std::string
+outputDir()
+{
+    const char *env = std::getenv("MICAPHASE_OUT");
+    const std::string dir = env && env[0] ? env : "out";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** The experiment configuration used by every figure binary. */
+inline mica::core::ExperimentConfig
+experimentConfig()
+{
+    mica::core::ExperimentConfig cfg;
+    cfg.cache_dir = outputDir() + "/cache";
+    if (fastMode()) {
+        cfg.interval_instructions = 20'000;
+        cfg.interval_scale = 0.2;
+        cfg.samples_per_benchmark = 50;
+        cfg.kmeans_k = 120;
+        cfg.num_prominent = 40;
+        cfg.kmeans_restarts = 2;
+    }
+    return cfg;
+}
+
+/** Run (or reload from cache) the shared experiment, with progress. */
+inline mica::core::ExperimentOutputs
+runExperiment()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto outputs = mica::core::runFullExperiment(
+        experimentConfig(),
+        [](const std::string &id, std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r  characterizing [%3zu/%zu] %-40s",
+                         done, total, id.c_str());
+            if (done == total)
+                std::fprintf(stderr, "\n");
+        });
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fprintf(stderr,
+                 "experiment ready in %.1fs (%zu intervals, %zu sampled "
+                 "rows, %zu PCs explaining %.1f%%, k=%zu)\n",
+                 dt, outputs.characterization.intervals.size(),
+                 outputs.sampled.data.rows(), outputs.analysis.pca_components,
+                 outputs.analysis.pca_explained * 100.0,
+                 outputs.analysis.clustering.centers.rows());
+    return outputs;
+}
+
+} // namespace micabench
+
+#endif // MICAPHASE_BENCH_BENCH_UTIL_HH

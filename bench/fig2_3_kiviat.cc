@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figures 2-3: kiviat plots of the prominent phase behaviours along the
+ * GA-selected key characteristics, with per-cluster benchmark pie charts,
+ * organized into benchmark-specific / suite-specific / mixed groups as in
+ * the paper. Emits one SVG grid per group plus an ASCII rendering of the
+ * heaviest phases.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "viz/kiviat.hh"
+
+int
+main()
+{
+    using mica::core::ClusterKind;
+
+    const auto out = micabench::runExperiment();
+
+    std::fprintf(stderr, "selecting key characteristics...\n");
+    const auto keys = mica::core::selectKeyCharacteristics(out, 12);
+    const auto axes = mica::core::kiviatAxes(out, keys.selected);
+
+    std::printf("Figures 2-3: %zu prominent phases (coverage %.1f%%), "
+                "kiviat axes = 12 key characteristics "
+                "(GA correlation %.3f)\n\n",
+                out.analysis.num_prominent,
+                out.analysis.prominentCoverage() * 100.0, keys.fitness);
+
+    // Group the prominent clusters as in the paper's figure layout.
+    std::map<ClusterKind, std::vector<mica::viz::KiviatPanel>> groups;
+    std::map<ClusterKind, int> counts;
+    for (std::size_t i = 0; i < out.analysis.num_prominent; ++i) {
+        const auto &cluster = out.analysis.clusters[i];
+        groups[cluster.kind].push_back(
+            mica::core::kiviatPanelFor(out, cluster, keys.selected));
+        ++counts[cluster.kind];
+    }
+
+    const std::string dir = micabench::outputDir();
+    const struct
+    {
+        ClusterKind kind;
+        const char *file;
+        const char *title;
+    } parts[] = {
+        {ClusterKind::BenchmarkSpecific, "fig2_benchmark_specific.svg",
+         "benchmark-specific clusters"},
+        {ClusterKind::SuiteSpecific, "fig3_suite_specific.svg",
+         "suite-specific clusters"},
+        {ClusterKind::Mixed, "fig3_mixed.svg", "mixed clusters"},
+    };
+    for (const auto &part : parts) {
+        const auto &panels = groups[part.kind];
+        std::printf("%-28s %3d prominent clusters\n", part.title,
+                    counts[part.kind]);
+        if (panels.empty())
+            continue;
+        const auto doc =
+            mica::viz::renderKiviatGrid(part.title, panels, axes, {});
+        const std::string path = dir + "/" + part.file;
+        doc.writeFile(path);
+        std::printf("  wrote %s (%zu panels)\n", path.c_str(),
+                    panels.size());
+    }
+
+    // ASCII rendering of the three heaviest phases for the terminal.
+    std::printf("\nheaviest prominent phases:\n\n");
+    for (std::size_t i = 0; i < 3 && i < out.analysis.num_prominent; ++i) {
+        const auto &cluster = out.analysis.clusters[i];
+        const auto panel =
+            mica::core::kiviatPanelFor(out, cluster, keys.selected);
+        std::printf("[%s]\n%s\n",
+                    std::string(
+                        mica::core::clusterKindName(cluster.kind))
+                        .c_str(),
+                    mica::viz::renderAsciiKiviat(panel, axes).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 5: cumulative coverage per suite as a function of the number of
+ * clusters — the diversity measure. The lower a suite's curve, the more
+ * clusters it takes to cover it, i.e. the more diverse it is.
+ *
+ * Paper shape to reproduce: domain-specific suites saturate with few
+ * clusters; SPEC CPU2006 needs the most.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "viz/charts.hh"
+#include "viz/figure_charts.hh"
+
+int
+main()
+{
+    const auto out = micabench::runExperiment();
+    const auto &cmp = out.comparison;
+
+    // Plot the first 60 clusters: the interesting region (the paper's
+    // x-axis also concentrates there).
+    std::vector<mica::viz::Series> series;
+    for (std::size_t s = 0; s < cmp.suites.size(); ++s) {
+        mica::viz::Series ser;
+        ser.name = cmp.suites[s];
+        const auto &curve = cmp.cumulative[s];
+        for (std::size_t i = 0; i < curve.size() && i < 60; ++i)
+            ser.values.push_back(curve[i]);
+        series.push_back(ser);
+    }
+    std::printf("%s\n",
+                mica::viz::asciiCurves(
+                    "Figure 5: cumulative coverage vs number of clusters",
+                    series)
+                    .c_str());
+
+    std::printf("clusters needed per coverage level:\n");
+    std::printf("  %-14s  %6s  %6s  %6s\n", "suite", "80%", "90%", "95%");
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t s = 0; s < cmp.suites.size(); ++s) {
+        const auto c80 = cmp.clustersToCover(s, 0.80);
+        const auto c90 = cmp.clustersToCover(s, 0.90);
+        const auto c95 = cmp.clustersToCover(s, 0.95);
+        std::printf("  %-14s  %6zu  %6zu  %6zu\n", cmp.suites[s].c_str(),
+                    c80, c90, c95);
+        std::vector<std::string> row{cmp.suites[s]};
+        for (double v : cmp.cumulative[s])
+            row.push_back(std::to_string(v));
+        rows.push_back(row);
+    }
+
+    std::vector<std::string> header{"suite"};
+    for (std::size_t i = 0; i < out.analysis.clustering.centers.rows();
+         ++i)
+        header.push_back("c" + std::to_string(i + 1));
+    const std::string csv = micabench::outputDir() + "/fig5_diversity.csv";
+    mica::viz::writeCsv(csv, header, rows);
+    const std::string svg = micabench::outputDir() + "/fig5_diversity.svg";
+    mica::viz::renderLineChartSvg(
+        "Figure 5: cumulative coverage vs number of clusters", series, {})
+        .writeFile(svg);
+    std::printf("wrote %s and %s\n", csv.c_str(), svg.c_str());
+    return 0;
+}

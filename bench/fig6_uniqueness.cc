@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 6: the fraction of each benchmark suite that represents unique
+ * program behaviour not observed in any other suite (intervals living in
+ * clusters populated exclusively by that suite).
+ *
+ * Paper shape to reproduce: BioPerf is by far the most unique (~65%),
+ * SPECfp > SPECint within each CPU generation, and BMW / MediaBench II
+ * are the least unique.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "viz/charts.hh"
+#include "viz/figure_charts.hh"
+
+int
+main()
+{
+    const auto out = micabench::runExperiment();
+    const auto &cmp = out.comparison;
+
+    std::vector<mica::viz::Bar> bars;
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t s = 0; s < cmp.suites.size(); ++s) {
+        bars.push_back({cmp.suites[s], cmp.uniqueness[s]});
+        rows.push_back({cmp.suites[s],
+                        std::to_string(cmp.uniqueness[s])});
+    }
+
+    std::printf("%s\n",
+                mica::viz::asciiBarChart(
+                    "Figure 6: fraction of unique behavior per suite",
+                    bars, 50, /*percent=*/true)
+                    .c_str());
+
+    const std::string csv =
+        micabench::outputDir() + "/fig6_uniqueness.csv";
+    mica::viz::writeCsv(csv, {"suite", "unique_fraction"}, rows);
+    mica::viz::ChartOptions svg_opts;
+    svg_opts.percent = true;
+    const std::string svg =
+        micabench::outputDir() + "/fig6_uniqueness.svg";
+    mica::viz::renderBarChartSvg("Figure 6: unique behavior per suite",
+                                 bars, svg_opts)
+        .writeFile(svg);
+    std::printf("wrote %s and %s\n", csv.c_str(), svg.c_str());
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate itself: VM
+ * interpretation speed (with and without the MICA profiler attached),
+ * the individual metric analyzers, and the statistics kernels. These are
+ * the costs that determine how large an experiment the library can run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hh"
+#include "ga/feature_select.hh"
+#include "mica/profiler.hh"
+#include "stats/kmeans.hh"
+#include "stats/linkage.hh"
+#include "stats/pca.hh"
+#include "stats/rng.hh"
+#include "vm/cpu.hh"
+#include "vm/timing.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+
+isa::Program
+mixedProgram()
+{
+    return assembler::assemble(R"(
+        .data
+        buf: .zero 65536
+        .text
+        addi x4, x0, buf
+    loop:
+        ld x5, 0(x4)
+        add x5, x5, x6
+        sd x5, 8(x4)
+        addi x4, x4, 8
+        andi x4, x4, 0x7fff
+        addi x4, x4, buf
+        xor x6, x6, x5
+        slti x7, x5, 100
+        bne x7, x0, skip
+        addi x8, x8, 1
+    skip:
+        jal x0, loop
+    )");
+}
+
+void
+BM_VmInterpret(benchmark::State &state)
+{
+    vm::Cpu cpu(mixedProgram());
+    for (auto _ : state)
+        (void)cpu.run(10000);
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_VmInterpret)->Unit(benchmark::kMicrosecond);
+
+void
+BM_VmWithMicaProfiler(benchmark::State &state)
+{
+    vm::Cpu cpu(mixedProgram());
+    profiler::MicaProfiler prof(100000);
+    for (auto _ : state)
+        (void)cpu.run(10000, &prof);
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_VmWithMicaProfiler)->Unit(benchmark::kMicrosecond);
+
+void
+BM_BenchmarkProgramBuild(benchmark::State &state)
+{
+    const workloads::SuiteCatalog catalog;
+    const auto *bench = catalog.find("SPECint2006/gcc");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bench->build(0));
+}
+BENCHMARK(BM_BenchmarkProgramBuild)->Unit(benchmark::kMillisecond);
+
+stats::Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    stats::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.nextGaussian();
+    return m;
+}
+
+void
+BM_PcaFit69(benchmark::State &state)
+{
+    const auto data = randomMatrix(
+        static_cast<std::size_t>(state.range(0)), 69, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::Pca::fit(data));
+}
+BENCHMARK(BM_PcaFit69)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void
+BM_KMeans(benchmark::State &state)
+{
+    const auto data = randomMatrix(
+        static_cast<std::size_t>(state.range(0)), 16, 2);
+    stats::KMeans::Options opts;
+    opts.k = static_cast<std::size_t>(state.range(1));
+    opts.restarts = 1;
+    opts.max_iterations = 20;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::KMeans::run(data, opts));
+}
+BENCHMARK(BM_KMeans)
+    ->Args({1000, 50})
+    ->Args({4000, 100})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GaFitnessEvaluation(benchmark::State &state)
+{
+    const auto phases = randomMatrix(100, 69, 3);
+    const ga::FeatureSelector selector(phases);
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < 12; ++i)
+        subset.push_back(i * 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(selector.fitnessOf(subset));
+}
+BENCHMARK(BM_GaFitnessEvaluation)->Unit(benchmark::kMicrosecond);
+
+void
+BM_VmWithTimingModel(benchmark::State &state)
+{
+    vm::Cpu cpu(mixedProgram());
+    vm::TimingModel timing;
+    for (auto _ : state)
+        (void)cpu.run(10000, &timing);
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_VmWithTimingModel)->Unit(benchmark::kMicrosecond);
+
+void
+BM_AgglomerativeLinkage(benchmark::State &state)
+{
+    const auto data = randomMatrix(
+        static_cast<std::size_t>(state.range(0)), 12, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::agglomerate(data, stats::Linkage::Average));
+}
+BENCHMARK(BM_AgglomerativeLinkage)
+    ->Arg(77)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EncodeDecodeRoundTrip(benchmark::State &state)
+{
+    const isa::Instruction in{isa::Opcode::Addi, 5, 6, 0, -1234};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(isa::decode(isa::encode(in)));
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

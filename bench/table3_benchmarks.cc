@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 3: the benchmarks, grouped per suite, with their (scaled-down)
+ * instruction-interval counts under the default experiment configuration.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace mica;
+
+    const workloads::SuiteCatalog catalog;
+    const auto cfg = micabench::experimentConfig();
+
+    std::printf("Table 3: benchmarks and %llu%s-instruction interval "
+                "counts (paper Table 3 scaled ~40x down)\n\n",
+                static_cast<unsigned long long>(
+                    cfg.interval_instructions / 1000),
+                "K");
+
+    std::size_t total_benchmarks = 0;
+    std::uint64_t total_intervals = 0;
+    for (const std::string &suite : workloads::SuiteCatalog::suiteNames()) {
+        std::printf("%s\n", suite.c_str());
+        std::uint64_t suite_intervals = 0;
+        for (const auto *bench : catalog.bySuite(suite)) {
+            const auto scaled = static_cast<std::uint64_t>(
+                bench->total_intervals * cfg.interval_scale);
+            std::printf("  %-14s inputs=%u  intervals=%llu\n",
+                        bench->name.c_str(), bench->num_inputs,
+                        static_cast<unsigned long long>(scaled));
+            suite_intervals += scaled;
+            ++total_benchmarks;
+        }
+        std::printf("  %-14s            intervals=%llu\n\n", "(suite)",
+                    static_cast<unsigned long long>(suite_intervals));
+        total_intervals += suite_intervals;
+    }
+    std::printf("total: %zu benchmarks, ~%llu intervals, ~%.1fB dynamic "
+                "instructions\n",
+                total_benchmarks,
+                static_cast<unsigned long long>(total_intervals),
+                static_cast<double>(total_intervals) *
+                    static_cast<double>(cfg.interval_instructions) / 1e9);
+    return 0;
+}

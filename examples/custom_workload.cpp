@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Building a custom workload against the public API: compose a new
+ * benchmark from library kernels with a phase schedule, run it through
+ * the characterization pipeline, and compare its phases to a catalog
+ * benchmark — the workflow a downstream user follows to ask "where does
+ * MY application sit in the workload space?".
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/characterize.hh"
+#include "stats/matrix.hh"
+#include "stats/pca.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace mica;
+    namespace m = metrics::midx;
+
+    // 1. Define a new benchmark: an "image pipeline" alternating between
+    // convolution, quantization and a histogram pass.
+    std::vector<workloads::PhaseSpec> phases;
+    phases.push_back({"conv2d",
+                      [](workloads::ProgramBuilder &pb, stats::Rng &rng) {
+                          workloads::ConvParams p;
+                          p.rows = 24;
+                          p.cols = 48;
+                          p.k = 3;
+                          p.fp = false;
+                          return workloads::emitConv2D(pb, p, rng);
+                      },
+                      8});
+    phases.push_back({"quantize",
+                      [](workloads::ProgramBuilder &pb, stats::Rng &rng) {
+                          return workloads::emitQuantize(pb, {}, rng);
+                      },
+                      10});
+    phases.push_back({"histogram",
+                      [](workloads::ProgramBuilder &pb, stats::Rng &rng) {
+                          workloads::HistogramParams p;
+                          p.input_bytes = 4096;
+                          return workloads::emitHistogram(pb, p, rng);
+                      },
+                      6});
+    const isa::Program mine =
+        workloads::composeProgram("my_image_pipeline", 42, phases);
+    std::printf("composed %s: %zu instructions, %zu KiB data\n\n",
+                mine.name.c_str(), mine.code.size(),
+                mine.data.size() / 1024);
+
+    // 2. Characterize it and a likely relative from the catalog.
+    const auto my_intervals = core::characterizeProgram(mine, 25000, 24);
+    const workloads::SuiteCatalog catalog;
+    const auto *relative = catalog.find("MediaBenchII/jpegenc");
+    const auto rel_intervals =
+        core::characterizeProgram(relative->build(0), 25000, 24);
+
+    // 3. Compare mean characteristic vectors, and their distance in the
+    // joint rescaled PCA space.
+    stats::Matrix joint(0, 0);
+    for (const auto &v : my_intervals)
+        joint.appendRow(v);
+    for (const auto &v : rel_intervals)
+        joint.appendRow(v);
+    const stats::Matrix reduced = stats::rescaledPcaSpace(joint);
+
+    auto centroid = [&](std::size_t begin, std::size_t end) {
+        std::vector<double> c(reduced.cols(), 0.0);
+        for (std::size_t r = begin; r < end; ++r)
+            for (std::size_t d = 0; d < reduced.cols(); ++d)
+                c[d] += reduced(r, d);
+        for (auto &x : c)
+            x /= static_cast<double>(end - begin);
+        return c;
+    };
+    const auto mine_center = centroid(0, my_intervals.size());
+    const auto rel_center =
+        centroid(my_intervals.size(), joint.rows());
+    const double distance =
+        stats::euclideanDistance(mine_center, rel_center);
+
+    std::printf("%-22s %14s %14s\n", "characteristic",
+                "my_pipeline", relative->name.c_str());
+    for (std::size_t idx : {m::MixMemRead, m::MixIntMul, m::MixCondBranch,
+                            m::Ilp64, m::DataFootprint64B,
+                            m::BranchTakenRate}) {
+        double a = 0.0, b = 0.0;
+        for (const auto &v : my_intervals)
+            a += v[idx];
+        for (const auto &v : rel_intervals)
+            b += v[idx];
+        std::printf("%-22s %14.3f %14.3f\n",
+                    std::string(metrics::metricInfo(idx).name).c_str(),
+                    a / my_intervals.size(), b / rel_intervals.size());
+    }
+    std::printf("\ncentroid distance in the rescaled PCA space: %.2f\n",
+                distance);
+    std::printf(distance < 3.0
+                    ? "=> behaviourally close: simulating %s likely "
+                      "predicts this pipeline well.\n"
+                    : "=> behaviourally distinct: this pipeline adds new "
+                      "behaviour beyond %s.\n",
+                relative->name.c_str());
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * mica_dump: the command-line front end a downstream user reaches for —
+ * characterize a catalog benchmark or an assembly file and dump the
+ * per-interval characteristics (CSV or a terminal summary), optionally
+ * with a timing-model run and an execution trace.
+ *
+ * Usage:
+ *   mica_dump list
+ *       list all catalog benchmark ids
+ *   mica_dump <suite/name | file.s> [options]
+ *       --intervals N     intervals to characterize   (default 20)
+ *       --length N        instructions per interval   (default 50000)
+ *       --input N         catalog input index         (default 0)
+ *       --csv FILE        write full 69-column CSV
+ *       --timing          also run the cycle-approximate timing model
+ *       --trace N         print the first N dynamic instructions
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "core/characterize.hh"
+#include "viz/charts.hh"
+#include "vm/cpu.hh"
+#include "vm/timing.hh"
+#include "vm/trace_logger.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mica_dump list\n"
+                 "       mica_dump <suite/name | file.s> [--intervals N] "
+                 "[--length N]\n"
+                 "                 [--input N] [--csv FILE] [--timing] "
+                 "[--trace N]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    const std::string target = argv[1];
+    const workloads::SuiteCatalog catalog;
+
+    if (target == "list") {
+        for (const auto &b : catalog.benchmarks())
+            std::printf("%-28s inputs=%u intervals=%u\n", b.id().c_str(),
+                        b.num_inputs, b.total_intervals);
+        return 0;
+    }
+
+    std::uint32_t intervals = 20;
+    std::uint64_t length = 50000;
+    std::uint32_t input = 0;
+    std::string csv_path;
+    bool timing = false;
+    std::uint64_t trace_lines = 0;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (arg == "--intervals")
+            intervals = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--length")
+            length = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--input")
+            input = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--csv")
+            csv_path = next();
+        else if (arg == "--timing")
+            timing = true;
+        else if (arg == "--trace")
+            trace_lines = static_cast<std::uint64_t>(std::atoll(next()));
+        else
+            return usage();
+    }
+
+    // Resolve the target: catalog id or assembly file.
+    isa::Program program;
+    if (const auto *bench = catalog.find(target)) {
+        program = bench->build(input);
+    } else if (target.size() > 2 &&
+               target.substr(target.size() - 2) == ".s") {
+        std::ifstream in(target);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", target.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            program = assembler::assemble(buffer.str(), target);
+        } catch (const assembler::AsmError &e) {
+            std::fprintf(stderr, "%s: %s\n", target.c_str(), e.what());
+            return 1;
+        }
+    } else {
+        std::fprintf(stderr,
+                     "'%s' is neither a catalog id nor an .s file "
+                     "(try 'mica_dump list')\n",
+                     target.c_str());
+        return 1;
+    }
+
+    if (trace_lines > 0) {
+        vm::Cpu cpu(program);
+        vm::TraceLogger logger(std::cout, trace_lines);
+        (void)cpu.run(trace_lines, &logger);
+        std::printf("\n");
+    }
+
+    const auto vectors =
+        core::characterizeProgram(program, length, intervals);
+    std::printf("%s: %zu intervals x %llu instructions\n\n",
+                program.name.c_str(), vectors.size(),
+                static_cast<unsigned long long>(length));
+
+    namespace m = metrics::midx;
+    std::printf("%-9s %8s %8s %8s %8s %8s %8s\n", "interval", "mem_rd",
+                "mem_wr", "branch", "ilp_64", "ppm_12", "data64B");
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+        const auto &v = vectors[i];
+        std::printf("%-9zu %8.3f %8.3f %8.3f %8.2f %8.3f %8.0f\n", i,
+                    v[m::MixMemRead], v[m::MixMemWrite],
+                    v[m::MixCondBranch], v[m::Ilp64], v[m::PpmGag12],
+                    v[m::DataFootprint64B]);
+    }
+
+    if (timing) {
+        vm::Cpu cpu(program);
+        vm::TimingModel model;
+        (void)cpu.run(length * intervals, &model);
+        const auto &stats = model.stats();
+        std::printf("\ntiming model: CPI %.2f | L1D miss %.2f%% | "
+                    "L1I miss %.2f%% | branch miss %.2f%%\n",
+                    stats.cpi(), model.l1d().missRate() * 100.0,
+                    model.l1i().missRate() * 100.0,
+                    stats.branchMissRate() * 100.0);
+    }
+
+    if (!csv_path.empty()) {
+        std::vector<std::string> header{"interval"};
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            header.emplace_back(metrics::metricInfo(c).name);
+        std::vector<std::vector<std::string>> rows;
+        for (std::size_t i = 0; i < vectors.size(); ++i) {
+            std::vector<std::string> row{std::to_string(i)};
+            for (double v : vectors[i])
+                row.push_back(std::to_string(v));
+            rows.push_back(std::move(row));
+        }
+        viz::writeCsv(csv_path, header, rows);
+        std::printf("\nwrote %s\n", csv_path.c_str());
+    }
+    return 0;
+}

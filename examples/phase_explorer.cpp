@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Phase explorer: characterize one benchmark from the catalog, cluster
+ * its own intervals, and render a kiviat plot per discovered phase.
+ *
+ * Demonstrates the paper's per-benchmark anecdote (section 4.2): astar's
+ * execution splits across two very different phase behaviours — an
+ * erratic-branch search phase and a well-behaved sweep phase.
+ *
+ * Usage: phase_explorer [suite/name] (default SPECint2006/astar)
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/characterize.hh"
+#include "core/phase_analysis.hh"
+#include "core/sampling.hh"
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+#include "viz/kiviat.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mica;
+    namespace m = metrics::midx;
+
+    const std::string id = argc > 1 ? argv[1] : "SPECint2006/astar";
+    const workloads::SuiteCatalog catalog;
+    const auto *bench = catalog.find(id);
+    if (!bench) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", id.c_str());
+        std::fprintf(stderr, "available ids look like: %s\n",
+                     catalog.benchmarks().front().id().c_str());
+        return 1;
+    }
+
+    // Characterize 60 x 50K-instruction intervals of input 0.
+    std::printf("characterizing %s...\n", id.c_str());
+    const auto intervals =
+        core::characterizeProgram(bench->build(0), 50000, 60);
+
+    // Cluster this benchmark's intervals in its own rescaled PCA space.
+    stats::Matrix data(0, 0);
+    for (const auto &v : intervals)
+        data.appendRow(v);
+    const stats::Matrix reduced = stats::rescaledPcaSpace(data);
+    stats::KMeans::Options km;
+    km.k = 4;
+    km.restarts = 4;
+    km.seed = 1;
+    const auto clustering = stats::KMeans::run(reduced, km);
+
+    // Render each phase along a handful of informative axes.
+    const std::vector<std::size_t> keys = {
+        m::MixMemRead,        m::MixCondBranch, m::Ilp64,
+        m::BranchTakenRate,   m::PpmGag12,      m::DataFootprint64B,
+        m::GlobalLoadStride64, m::RegDegreeOfUse};
+    std::vector<viz::AxisStats> axes;
+    for (std::size_t idx : keys) {
+        viz::AxisStats a;
+        a.name = std::string(metrics::metricInfo(idx).name);
+        a.min = 1e300;
+        a.max = -1e300;
+        double sum = 0.0;
+        for (const auto &v : intervals) {
+            a.min = std::min(a.min, v[idx]);
+            a.max = std::max(a.max, v[idx]);
+            sum += v[idx];
+        }
+        a.mean = sum / static_cast<double>(intervals.size());
+        a.mean_minus_sd = a.min;
+        a.mean_plus_sd = a.max;
+        if (a.max <= a.min)
+            a.max = a.min + 1.0;
+        axes.push_back(a);
+    }
+
+    std::filesystem::create_directories("out");
+    const auto reps = clustering.representatives(reduced);
+    std::vector<viz::KiviatPanel> panels;
+    for (std::size_t c = 0; c < clustering.centers.rows(); ++c) {
+        if (clustering.sizes[c] == 0)
+            continue;
+        viz::KiviatPanel panel;
+        const double weight = static_cast<double>(clustering.sizes[c]) /
+                              static_cast<double>(intervals.size());
+        char title[64];
+        std::snprintf(title, sizeof title, "phase %zu: %.0f%% of run", c,
+                      weight * 100.0);
+        panel.title = title;
+        for (std::size_t idx : keys)
+            panel.values.push_back(intervals[reps[c]][idx]);
+        panel.slices = {{bench->name, weight}};
+        panels.push_back(panel);
+
+        std::printf("\n%s\n",
+                    viz::renderAsciiKiviat(panel, axes).c_str());
+    }
+
+    std::string file = "out/phases_" + bench->name + ".svg";
+    viz::renderKiviatGrid(id + " phase behaviours", panels, axes, {})
+        .writeFile(file);
+    std::printf("wrote %s (%zu phases discovered over %zu intervals)\n",
+                file.c_str(), panels.size(), intervals.size());
+    return 0;
+}

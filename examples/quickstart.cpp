@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: assemble a small SRISC program from text, run it on the VM
+ * with the MICA profiler attached, and print its microarchitecture-
+ * independent characteristics — the library's core loop in ~60 lines.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "mica/metrics.hh"
+#include "mica/profiler.hh"
+#include "vm/cpu.hh"
+
+int
+main()
+{
+    using namespace mica;
+
+    // A toy workload with two phases: a memory-streaming loop and an
+    // ALU-only loop, alternating forever.
+    const char *source = R"(
+        .data
+        buf:    .zero 32768
+        .text
+    top:
+        ; phase 1: stream through the buffer
+        addi x5, x0, buf
+        addi x6, x0, 2048
+    stream:
+        ld   x7, 0(x5)
+        add  x8, x8, x7
+        sd   x8, 8(x5)
+        addi x5, x5, 16
+        addi x6, x6, -1
+        bne  x6, x0, stream
+        ; phase 2: integer arithmetic only
+        addi x6, x0, 4096
+    alu:
+        add  x8, x8, x7
+        xor  x7, x7, x8
+        slli x9, x8, 3
+        addi x6, x6, -1
+        bne  x6, x0, alu
+        jal  x0, top
+    )";
+
+    // 1. Assemble.
+    const isa::Program program = assembler::assemble(source, "quickstart");
+    std::printf("assembled %zu instructions, %zu data bytes\n\n",
+                program.code.size(), program.data.size());
+
+    // 2. Run under the profiler: 10K-instruction intervals, 80K budget.
+    vm::Cpu cpu(program);
+    profiler::MicaProfiler profiler(10000);
+    const vm::RunResult result = cpu.run(80000, &profiler);
+    std::printf("executed %llu instructions -> %zu intervals\n\n",
+                static_cast<unsigned long long>(result.executed),
+                profiler.intervals().size());
+
+    // 3. Inspect a few characteristics per interval: the two phases are
+    // plainly visible in the time-varying metrics.
+    namespace m = metrics::midx;
+    std::printf("%-9s %9s %9s %9s %9s %9s\n", "interval", "mem_read",
+                "mem_write", "ilp_w64", "branches", "data64B");
+    for (std::size_t i = 0; i < profiler.intervals().size(); ++i) {
+        const auto &v = profiler.intervals()[i];
+        std::printf("%-9zu %9.3f %9.3f %9.2f %9.3f %9.0f\n", i,
+                    v[m::MixMemRead], v[m::MixMemWrite], v[m::Ilp64],
+                    v[m::MixCondBranch], v[m::DataFootprint64B]);
+    }
+
+    std::printf("\nthe aggregate view would blur these two phases into "
+                "one average — the paper's core argument.\n");
+    return 0;
+}

@@ -1,0 +1,575 @@
+#include "asm/assembler.hh"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace mica::assembler {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** A tokenized source statement. */
+struct Statement
+{
+    int line = 0;
+    std::vector<std::string> labels; ///< labels defined on this line
+    std::string head;                ///< mnemonic or directive (maybe empty)
+    std::vector<std::string> args;   ///< comma-separated operand tokens
+};
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+/** Split a line into labels, head token and comma-separated args. */
+Statement
+tokenize(std::string_view line, int line_no)
+{
+    Statement st;
+    st.line = line_no;
+
+    // Strip comments.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';' || line[i] == '#') {
+            line = line.substr(0, i);
+            break;
+        }
+    }
+
+    std::size_t pos = 0;
+    auto skip_ws = [&]() {
+        while (pos < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[pos])))
+            ++pos;
+    };
+
+    // Leading labels: IDENT ':'
+    for (;;) {
+        skip_ws();
+        std::size_t start = pos;
+        while (pos < line.size() && isIdentChar(line[pos]))
+            ++pos;
+        if (pos > start && pos < line.size() && line[pos] == ':') {
+            st.labels.emplace_back(line.substr(start, pos - start));
+            ++pos; // consume ':'
+        } else {
+            pos = start;
+            break;
+        }
+    }
+
+    skip_ws();
+    std::size_t head_start = pos;
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+    st.head = toLower(line.substr(head_start, pos - head_start));
+
+    // Remaining operands: split on commas, keep "imm(reg)" tokens intact.
+    std::string rest(line.substr(pos));
+    std::string current;
+    for (char c : rest) {
+        if (c == ',') {
+            st.args.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        st.args.push_back(current);
+    for (auto &arg : st.args) {
+        // Trim whitespace.
+        std::size_t b = 0, e = arg.size();
+        while (b < e && std::isspace(static_cast<unsigned char>(arg[b])))
+            ++b;
+        while (e > b && std::isspace(static_cast<unsigned char>(arg[e - 1])))
+            --e;
+        arg = arg.substr(b, e - b);
+    }
+    while (!st.args.empty() && st.args.back().empty())
+        st.args.pop_back();
+    return st;
+}
+
+/** Symbol table entry. */
+struct Symbol
+{
+    std::uint64_t address = 0;
+    bool is_code = false;
+};
+
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name)
+    {
+        program_.name = std::move(name);
+    }
+
+    isa::Program
+    run(std::string_view source)
+    {
+        std::vector<Statement> statements;
+        {
+            std::istringstream is{std::string(source)};
+            std::string line;
+            int line_no = 0;
+            while (std::getline(is, line)) {
+                ++line_no;
+                Statement st = tokenize(line, line_no);
+                if (st.labels.empty() && st.head.empty())
+                    continue;
+                statements.push_back(std::move(st));
+            }
+        }
+
+        // Pass 1: lay out segments and record label addresses.
+        firstPass(statements);
+        // Pass 2: emit.
+        secondPass(statements);
+        return std::move(program_);
+    }
+
+  private:
+    enum class Section { Text, Data };
+
+    void
+    firstPass(const std::vector<Statement> &statements)
+    {
+        Section section = Section::Text;
+        std::size_t code_count = 0;
+        std::size_t data_size = 0;
+        for (const auto &st : statements) {
+            for (const auto &label : st.labels) {
+                Symbol sym;
+                sym.is_code = section == Section::Text;
+                sym.address = sym.is_code
+                    ? program_.code_base + code_count * isa::kInstrBytes
+                    : program_.data_base + data_size;
+                if (!symbols_.emplace(label, sym).second)
+                    throw AsmError(st.line, "duplicate label '" + label +
+                                            "'");
+            }
+            if (st.head.empty())
+                continue;
+            if (st.head == ".text") {
+                section = Section::Text;
+            } else if (st.head == ".data") {
+                section = Section::Data;
+            } else if (st.head[0] == '.') {
+                if (section != Section::Data)
+                    throw AsmError(st.line,
+                                   "data directive outside .data section");
+                data_size += directiveSize(st);
+            } else {
+                if (section != Section::Text)
+                    throw AsmError(st.line, "instruction in .data section");
+                ++code_count;
+            }
+        }
+    }
+
+    std::size_t
+    directiveSize(const Statement &st) const
+    {
+        if (st.head == ".word64" || st.head == ".double")
+            return 8 * std::max<std::size_t>(st.args.size(), 0);
+        if (st.head == ".word32")
+            return 4 * st.args.size();
+        if (st.head == ".byte")
+            return st.args.size();
+        if (st.head == ".zero") {
+            if (st.args.size() != 1)
+                throw AsmError(st.line, ".zero needs a size argument");
+            return static_cast<std::size_t>(parseNumber(st.args[0],
+                                                        st.line));
+        }
+        throw AsmError(st.line, "unknown directive '" + st.head + "'");
+    }
+
+    void
+    secondPass(const std::vector<Statement> &statements)
+    {
+        Section section = Section::Text;
+        for (const auto &st : statements) {
+            if (st.head.empty())
+                continue;
+            if (st.head == ".text") {
+                section = Section::Text;
+            } else if (st.head == ".data") {
+                section = Section::Data;
+            } else if (st.head[0] == '.') {
+                emitData(st);
+            } else {
+                (void)section;
+                emitInstruction(st);
+            }
+        }
+    }
+
+    void
+    emitData(const Statement &st)
+    {
+        auto push64 = [&](std::uint64_t v) {
+            for (int i = 0; i < 8; ++i)
+                program_.data.push_back(
+                    static_cast<std::uint8_t>(v >> (8 * i)));
+        };
+        if (st.head == ".word64") {
+            for (const auto &arg : st.args)
+                push64(static_cast<std::uint64_t>(
+                    resolveValue(arg, st.line)));
+        } else if (st.head == ".word32") {
+            for (const auto &arg : st.args) {
+                const auto v = static_cast<std::uint32_t>(
+                    resolveValue(arg, st.line));
+                for (int i = 0; i < 4; ++i)
+                    program_.data.push_back(
+                        static_cast<std::uint8_t>(v >> (8 * i)));
+            }
+        } else if (st.head == ".byte") {
+            for (const auto &arg : st.args)
+                program_.data.push_back(static_cast<std::uint8_t>(
+                    resolveValue(arg, st.line)));
+        } else if (st.head == ".double") {
+            for (const auto &arg : st.args) {
+                double d = 0.0;
+                try {
+                    d = std::stod(arg);
+                } catch (const std::exception &) {
+                    throw AsmError(st.line, "bad double literal '" + arg +
+                                            "'");
+                }
+                std::uint64_t bits;
+                std::memcpy(&bits, &d, sizeof(bits));
+                push64(bits);
+            }
+        } else if (st.head == ".zero") {
+            const auto n = static_cast<std::size_t>(
+                parseNumber(st.args[0], st.line));
+            program_.data.insert(program_.data.end(), n, 0);
+        } else {
+            throw AsmError(st.line, "unknown directive '" + st.head + "'");
+        }
+    }
+
+    static std::optional<std::uint8_t>
+    parseIntReg(std::string_view tok)
+    {
+        const std::string t = toLower(tok);
+        if (t == "zero")
+            return isa::kRegZero;
+        if (t == "ra")
+            return isa::kRegRa;
+        if (t == "sp")
+            return isa::kRegSp;
+        if (t.size() >= 2 && t[0] == 'x') {
+            int idx = 0;
+            for (std::size_t i = 1; i < t.size(); ++i) {
+                if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                    return std::nullopt;
+                idx = idx * 10 + (t[i] - '0');
+            }
+            if (idx < isa::kNumIntRegs)
+                return static_cast<std::uint8_t>(idx);
+        }
+        return std::nullopt;
+    }
+
+    static std::optional<std::uint8_t>
+    parseFpReg(std::string_view tok)
+    {
+        const std::string t = toLower(tok);
+        if (t.size() >= 2 && t[0] == 'f' &&
+            std::isdigit(static_cast<unsigned char>(t[1]))) {
+            int idx = 0;
+            for (std::size_t i = 1; i < t.size(); ++i) {
+                if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                    return std::nullopt;
+                idx = idx * 10 + (t[i] - '0');
+            }
+            if (idx < isa::kNumFpRegs)
+                return static_cast<std::uint8_t>(idx);
+        }
+        return std::nullopt;
+    }
+
+    static std::int64_t
+    parseNumber(std::string_view tok, int line)
+    {
+        if (tok.empty())
+            throw AsmError(line, "expected number");
+        const std::string s(tok);
+        try {
+            std::size_t used = 0;
+            const std::int64_t v = std::stoll(s, &used, 0);
+            if (used != s.size())
+                throw AsmError(line, "trailing junk in number '" + s + "'");
+            return v;
+        } catch (const AsmError &) {
+            throw;
+        } catch (const std::out_of_range &) {
+            // Values in (INT64_MAX, UINT64_MAX] are accepted as their
+            // two's-complement bit pattern (e.g. .word64
+            // 0x8000000000000000).
+            try {
+                std::size_t used = 0;
+                const std::uint64_t v = std::stoull(s, &used, 0);
+                if (used != s.size())
+                    throw AsmError(line,
+                                   "trailing junk in number '" + s + "'");
+                return static_cast<std::int64_t>(v);
+            } catch (const AsmError &) {
+                throw;
+            } catch (const std::exception &) {
+                throw AsmError(line, "bad number '" + s + "'");
+            }
+        } catch (const std::exception &) {
+            throw AsmError(line, "bad number '" + s + "'");
+        }
+    }
+
+    /** A number literal or a symbol (absolute address). */
+    std::int64_t
+    resolveValue(std::string_view tok, int line) const
+    {
+        if (!tok.empty() &&
+            (std::isalpha(static_cast<unsigned char>(tok[0])) ||
+             tok[0] == '_')) {
+            auto it = symbols_.find(std::string(tok));
+            if (it == symbols_.end())
+                throw AsmError(line,
+                               "unknown symbol '" + std::string(tok) + "'");
+            return static_cast<std::int64_t>(it->second.address);
+        }
+        return parseNumber(tok, line);
+    }
+
+    /** A branch/jal target: label -> pc-relative, else numeric offset. */
+    std::int64_t
+    resolveTarget(std::string_view tok, std::uint64_t pc, int line) const
+    {
+        if (!tok.empty() &&
+            (std::isalpha(static_cast<unsigned char>(tok[0])) ||
+             tok[0] == '_')) {
+            auto it = symbols_.find(std::string(tok));
+            if (it == symbols_.end())
+                throw AsmError(line,
+                               "unknown symbol '" + std::string(tok) + "'");
+            if (!it->second.is_code)
+                throw AsmError(line, "branch target '" + std::string(tok) +
+                                     "' is not a code label");
+            return static_cast<std::int64_t>(it->second.address) -
+                   static_cast<std::int64_t>(pc);
+        }
+        return parseNumber(tok, line);
+    }
+
+    /** Parse "imm(reg)" or "symbol(reg)" memory operands. */
+    void
+    parseMemOperand(const std::string &tok, int line, std::int64_t &imm,
+                    std::uint8_t &base) const
+    {
+        const std::size_t open = tok.find('(');
+        const std::size_t close = tok.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            throw AsmError(line, "expected imm(reg), got '" + tok + "'");
+        const std::string imm_tok = tok.substr(0, open);
+        const std::string reg_tok = tok.substr(open + 1, close - open - 1);
+        imm = imm_tok.empty() ? 0 : resolveValue(imm_tok, line);
+        auto reg = parseIntReg(reg_tok);
+        if (!reg)
+            throw AsmError(line, "bad base register '" + reg_tok + "'");
+        base = *reg;
+    }
+
+    std::uint8_t
+    wantIntReg(const Statement &st, std::size_t i) const
+    {
+        if (i >= st.args.size())
+            throw AsmError(st.line, "missing operand");
+        auto reg = parseIntReg(st.args[i]);
+        if (!reg)
+            throw AsmError(st.line, "expected integer register, got '" +
+                                    st.args[i] + "'");
+        return *reg;
+    }
+
+    std::uint8_t
+    wantFpReg(const Statement &st, std::size_t i) const
+    {
+        if (i >= st.args.size())
+            throw AsmError(st.line, "missing operand");
+        auto reg = parseFpReg(st.args[i]);
+        if (!reg)
+            throw AsmError(st.line, "expected fp register, got '" +
+                                    st.args[i] + "'");
+        return *reg;
+    }
+
+    const std::string &
+    wantArg(const Statement &st, std::size_t i) const
+    {
+        if (i >= st.args.size())
+            throw AsmError(st.line, "missing operand");
+        return st.args[i];
+    }
+
+    void
+    checkArity(const Statement &st, std::size_t n) const
+    {
+        if (st.args.size() != n)
+            throw AsmError(st.line, "expected " + std::to_string(n) +
+                                    " operands, got " +
+                                    std::to_string(st.args.size()));
+    }
+
+    void
+    emitInstruction(const Statement &st)
+    {
+        const Opcode op = isa::opcodeFromMnemonic(st.head);
+        if (op == Opcode::NumOpcodes)
+            throw AsmError(st.line, "unknown mnemonic '" + st.head + "'");
+
+        const std::uint64_t pc =
+            program_.code_base + program_.code.size() * isa::kInstrBytes;
+        Instruction in;
+        in.op = op;
+
+        switch (isa::opcodeInfo(op).format) {
+          case Format::None:
+            checkArity(st, 0);
+            break;
+          case Format::RRR:
+            checkArity(st, 3);
+            in.rd = wantIntReg(st, 0);
+            in.rs1 = wantIntReg(st, 1);
+            in.rs2 = wantIntReg(st, 2);
+            break;
+          case Format::RRI:
+            checkArity(st, 3);
+            in.rd = wantIntReg(st, 0);
+            in.rs1 = wantIntReg(st, 1);
+            in.imm = resolveValue(wantArg(st, 2), st.line);
+            break;
+          case Format::Load:
+            checkArity(st, 2);
+            in.rd = wantIntReg(st, 0);
+            parseMemOperand(wantArg(st, 1), st.line, in.imm, in.rs1);
+            break;
+          case Format::Store:
+            checkArity(st, 2);
+            in.rs2 = wantIntReg(st, 0);
+            parseMemOperand(wantArg(st, 1), st.line, in.imm, in.rs1);
+            break;
+          case Format::FLoad:
+            checkArity(st, 2);
+            in.rd = wantFpReg(st, 0);
+            parseMemOperand(wantArg(st, 1), st.line, in.imm, in.rs1);
+            break;
+          case Format::FStore:
+            checkArity(st, 2);
+            in.rs2 = wantFpReg(st, 0);
+            parseMemOperand(wantArg(st, 1), st.line, in.imm, in.rs1);
+            break;
+          case Format::FRRR:
+          case Format::FMA:
+            checkArity(st, 3);
+            in.rd = wantFpReg(st, 0);
+            in.rs1 = wantFpReg(st, 1);
+            in.rs2 = wantFpReg(st, 2);
+            break;
+          case Format::FRR:
+            checkArity(st, 2);
+            in.rd = wantFpReg(st, 0);
+            in.rs1 = wantFpReg(st, 1);
+            break;
+          case Format::FCmp:
+            checkArity(st, 3);
+            in.rd = wantIntReg(st, 0);
+            in.rs1 = wantFpReg(st, 1);
+            in.rs2 = wantFpReg(st, 2);
+            break;
+          case Format::CvtIF:
+            checkArity(st, 2);
+            in.rd = wantFpReg(st, 0);
+            in.rs1 = wantIntReg(st, 1);
+            break;
+          case Format::CvtFI:
+            checkArity(st, 2);
+            in.rd = wantIntReg(st, 0);
+            in.rs1 = wantFpReg(st, 1);
+            break;
+          case Format::Branch:
+            checkArity(st, 3);
+            in.rs1 = wantIntReg(st, 0);
+            in.rs2 = wantIntReg(st, 1);
+            in.imm = resolveTarget(wantArg(st, 2), pc, st.line);
+            break;
+          case Format::Jal:
+            checkArity(st, 2);
+            in.rd = wantIntReg(st, 0);
+            in.imm = resolveTarget(wantArg(st, 1), pc, st.line);
+            break;
+          case Format::Jalr:
+            checkArity(st, 3);
+            in.rd = wantIntReg(st, 0);
+            in.rs1 = wantIntReg(st, 1);
+            in.imm = resolveValue(wantArg(st, 2), st.line);
+            break;
+        }
+
+        // Validate field ranges eagerly so the error carries a line number.
+        try {
+            (void)isa::encode(in);
+        } catch (const std::exception &e) {
+            throw AsmError(st.line, e.what());
+        }
+        program_.code.push_back(in);
+    }
+
+    isa::Program program_;
+    std::map<std::string, Symbol> symbols_;
+};
+
+} // namespace
+
+isa::Program
+assemble(std::string_view source, std::string name)
+{
+    return Assembler(std::move(name)).run(source);
+}
+
+std::string
+disassembleProgram(const isa::Program &program)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        os << std::hex << "0x" << program.pcOf(i) << std::dec << ":  "
+           << program.code[i].disassemble() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mica::assembler

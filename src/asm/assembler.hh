@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-pass text assembler for SRISC.
+ *
+ * The assembler exists so that examples, tests and downstream users can
+ * write small workloads by hand instead of going through the programmatic
+ * ProgramBuilder. Syntax (one statement per line, ';' or '#' comments):
+ *
+ *     .data
+ *     table:  .word64 1, 2, 3
+ *             .zero   4096
+ *     pi:     .double 3.141592653589793
+ *     .text
+ *     main:   addi  x5, x0, 10
+ *     loop:   addi  x5, x5, -1
+ *             ld    x6, table(x0)
+ *             bne   x5, x0, loop
+ *             halt
+ *
+ * Labels defined in .text resolve to instruction addresses; labels defined
+ * in .data resolve to absolute data addresses. Branch and jal targets take
+ * either a numeric byte offset or a code label (converted to pc-relative).
+ * Immediate operands take numbers or data labels (absolute).
+ */
+
+#ifndef MICAPHASE_ASM_ASSEMBLER_HH
+#define MICAPHASE_ASM_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace mica::assembler {
+
+/** Error raised for malformed assembly; message includes the line number. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &message)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             message),
+          line_(line)
+    {
+    }
+
+    [[nodiscard]] int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/**
+ * Assemble SRISC source text into a Program.
+ *
+ * @param source  full program text
+ * @param name    program name recorded in the image
+ * @throws AsmError on any syntax or range error
+ */
+[[nodiscard]] isa::Program assemble(std::string_view source,
+                                    std::string name = "asm");
+
+/** Disassemble an entire program to text (one instruction per line). */
+[[nodiscard]] std::string disassembleProgram(const isa::Program &program);
+
+} // namespace mica::assembler
+
+#endif // MICAPHASE_ASM_ASSEMBLER_HH

@@ -1,0 +1,266 @@
+#include "core/characterize.hh"
+
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "mica/profiler.hh"
+#include "vm/cpu.hh"
+
+namespace mica::core {
+
+std::uint64_t
+ExperimentConfig::characterizationKey() const
+{
+    // FNV-1a over the fields that affect the raw interval data. Sampling,
+    // PCA and clustering parameters do not invalidate the cache.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(interval_instructions);
+    mix(static_cast<std::uint64_t>(interval_scale * 1024.0));
+    // Version tag: bump whenever the workload catalog or the metric
+    // definitions change, to invalidate stale caches.
+    mix(0xC0FFEE05);
+    return h;
+}
+
+std::uint64_t
+ExperimentConfig::analysisKey() const
+{
+    std::uint64_t h = characterizationKey();
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(samples_per_benchmark);
+    mix(static_cast<std::uint64_t>(pca_min_stddev * 4096.0));
+    mix(kmeans_k);
+    mix(static_cast<std::uint64_t>(kmeans_restarts));
+    mix(seed);
+    return h;
+}
+
+std::vector<std::uint32_t>
+CharacterizationResult::intervalsPerBenchmark() const
+{
+    std::vector<std::uint32_t> counts(benchmark_ids.size(), 0);
+    for (const IntervalRecord &rec : intervals)
+        ++counts[rec.benchmark];
+    return counts;
+}
+
+std::vector<metrics::CharacteristicVector>
+characterizeProgram(const isa::Program &program,
+                    std::uint64_t interval_instructions,
+                    std::uint32_t num_intervals)
+{
+    vm::Cpu cpu(program);
+    profiler::MicaProfiler profiler(interval_instructions);
+    const std::uint64_t budget =
+        interval_instructions * static_cast<std::uint64_t>(num_intervals);
+    const vm::RunResult run = cpu.run(budget, &profiler);
+    if (run.reason != vm::StopReason::InstructionLimit &&
+        run.reason != vm::StopReason::Halted) {
+        throw std::runtime_error("characterizeProgram: " + program.name +
+                                 " trapped (invalid pc)");
+    }
+    return profiler.intervals();
+}
+
+CharacterizationResult
+characterizeCatalog(const workloads::SuiteCatalog &catalog,
+                    const ExperimentConfig &config,
+                    const ProgressFn &progress)
+{
+    CharacterizationResult result;
+    const auto &benchmarks = catalog.benchmarks();
+    for (const auto &b : benchmarks) {
+        result.benchmark_ids.push_back(b.id());
+        result.benchmark_names.push_back(b.name);
+        result.benchmark_suites.push_back(b.suite);
+    }
+
+    // Each benchmark simulates independently; workers pull benchmark
+    // indices from a shared counter and write into per-benchmark slots,
+    // so the assembled result is identical for any thread count.
+    std::vector<std::vector<IntervalRecord>> per_benchmark(
+        benchmarks.size());
+    const auto characterize_one = [&](std::size_t bi) {
+        const auto &bench = benchmarks[bi];
+        for (std::uint32_t input = 0; input < bench.num_inputs; ++input) {
+            const std::uint32_t budget = std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(std::lround(
+                       bench.intervalsForInput(input) *
+                       config.interval_scale)));
+            const isa::Program program = bench.build(input);
+            const auto vectors = characterizeProgram(
+                program, config.interval_instructions, budget);
+            for (const auto &v : vectors) {
+                IntervalRecord rec;
+                rec.benchmark = static_cast<std::uint32_t>(bi);
+                rec.input = input;
+                rec.values = v;
+                per_benchmark[bi].push_back(rec);
+            }
+        }
+    };
+
+    unsigned threads = config.threads != 0
+        ? config.threads
+        : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(benchmarks.size()));
+
+    if (threads <= 1) {
+        for (std::size_t bi = 0; bi < benchmarks.size(); ++bi) {
+            characterize_one(bi);
+            if (progress)
+                progress(benchmarks[bi].id(), bi + 1, benchmarks.size());
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex progress_mutex;
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < threads; ++t) {
+            pool.emplace_back([&]() {
+                for (;;) {
+                    const std::size_t bi = next.fetch_add(1);
+                    if (bi >= benchmarks.size())
+                        return;
+                    characterize_one(bi);
+                    const std::size_t finished = done.fetch_add(1) + 1;
+                    if (progress) {
+                        const std::lock_guard<std::mutex> lock(
+                            progress_mutex);
+                        progress(benchmarks[bi].id(), finished,
+                                 benchmarks.size());
+                    }
+                }
+            });
+        }
+        for (auto &worker : pool)
+            worker.join();
+    }
+
+    for (auto &records : per_benchmark)
+        for (auto &rec : records)
+            result.intervals.push_back(rec);
+    return result;
+}
+
+void
+saveCharacterization(const std::string &path,
+                     const CharacterizationResult &result)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("saveCharacterization: cannot write " +
+                                 path);
+    out << "benchmark,input";
+    for (std::size_t i = 0; i < metrics::kNumCharacteristics; ++i)
+        out << "," << metrics::metricInfo(i).name;
+    out << "\n";
+    out.precision(17);
+    for (const IntervalRecord &rec : result.intervals) {
+        out << result.benchmark_ids[rec.benchmark] << "," << rec.input;
+        for (double v : rec.values)
+            out << "," << v;
+        out << "\n";
+    }
+}
+
+bool
+loadCharacterization(const std::string &path,
+                     CharacterizationResult &result)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+
+    // Map benchmark ids (already populated from the catalog) to indices.
+    std::vector<IntervalRecord> intervals;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string id, field;
+        if (!std::getline(ls, id, ','))
+            return false;
+        IntervalRecord rec;
+        bool found = false;
+        for (std::size_t i = 0; i < result.benchmark_ids.size(); ++i) {
+            if (result.benchmark_ids[i] == id) {
+                rec.benchmark = static_cast<std::uint32_t>(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+        if (!std::getline(ls, field, ','))
+            return false;
+        rec.input = static_cast<std::uint32_t>(std::stoul(field));
+        for (std::size_t i = 0; i < metrics::kNumCharacteristics; ++i) {
+            if (!std::getline(ls, field, ','))
+                return false;
+            rec.values[i] = std::stod(field);
+        }
+        intervals.push_back(rec);
+    }
+    if (intervals.empty())
+        return false;
+    result.intervals = std::move(intervals);
+    return true;
+}
+
+CharacterizationResult
+characterizeWithCache(const workloads::SuiteCatalog &catalog,
+                      const ExperimentConfig &config,
+                      const ProgressFn &progress)
+{
+    CharacterizationResult result;
+    for (const auto &b : catalog.benchmarks()) {
+        result.benchmark_ids.push_back(b.id());
+        result.benchmark_names.push_back(b.name);
+        result.benchmark_suites.push_back(b.suite);
+    }
+
+    std::string cache_path;
+    if (!config.cache_dir.empty()) {
+        std::ostringstream name;
+        name << config.cache_dir << "/chars_" << std::hex
+             << config.characterizationKey() << "_"
+             << catalog.benchmarks().size() << ".csv";
+        cache_path = name.str();
+        if (loadCharacterization(cache_path, result))
+            return result;
+    }
+
+    result = characterizeCatalog(catalog, config, progress);
+    if (!cache_path.empty())
+        saveCharacterization(cache_path, result);
+    return result;
+}
+
+} // namespace mica::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Catalog-wide characterization: run every benchmark input on the VM with
+ * the MICA profiler attached and collect per-interval characteristic
+ * vectors. Results can be cached to CSV so the figure binaries only pay
+ * the simulation cost once.
+ */
+
+#ifndef MICAPHASE_CORE_CHARACTERIZE_HH
+#define MICAPHASE_CORE_CHARACTERIZE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "mica/metrics.hh"
+#include "workloads/workload.hh"
+
+namespace mica::core {
+
+/** One characterized instruction interval. */
+struct IntervalRecord
+{
+    std::uint32_t benchmark = 0; ///< index into benchmark_ids
+    std::uint32_t input = 0;
+    metrics::CharacteristicVector values{};
+};
+
+/** Characterization of an entire catalog. */
+struct CharacterizationResult
+{
+    std::vector<std::string> benchmark_ids;    ///< "suite/name", catalog order
+    std::vector<std::string> benchmark_names;  ///< "name"
+    std::vector<std::string> benchmark_suites; ///< "suite"
+    std::vector<IntervalRecord> intervals;
+
+    /** Interval count per benchmark index. */
+    [[nodiscard]] std::vector<std::uint32_t> intervalsPerBenchmark() const;
+};
+
+/** Progress callback: benchmark id, finished count, total count. */
+using ProgressFn =
+    std::function<void(const std::string &, std::size_t, std::size_t)>;
+
+/** Characterize every benchmark input in the catalog (no cache). */
+[[nodiscard]] CharacterizationResult characterizeCatalog(
+    const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,
+    const ProgressFn &progress = {});
+
+/** Characterize one program for a fixed number of intervals. */
+[[nodiscard]] std::vector<metrics::CharacteristicVector>
+characterizeProgram(const isa::Program &program,
+                    std::uint64_t interval_instructions,
+                    std::uint32_t num_intervals);
+
+/** Save a characterization to CSV (creates parent directories). */
+void saveCharacterization(const std::string &path,
+                          const CharacterizationResult &result);
+
+/**
+ * Load a characterization from CSV.
+ * @return false when the file is missing or malformed.
+ */
+[[nodiscard]] bool loadCharacterization(const std::string &path,
+                                        CharacterizationResult &result);
+
+/** Characterize through the on-disk cache keyed by the config. */
+[[nodiscard]] CharacterizationResult characterizeWithCache(
+    const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,
+    const ProgressFn &progress = {});
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_CHARACTERIZE_HH

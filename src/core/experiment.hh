@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment configuration shared by every bench/figure binary.
+ *
+ * Defaults reproduce the paper's methodology at a scaled-down operating
+ * point (see DESIGN.md section 2): the paper uses 100M-instruction
+ * intervals and 1,000 samples per benchmark; we default to 50K-instruction
+ * intervals and 200 samples, with per-benchmark interval budgets scaled
+ * from Table 3. The methodology itself (PCA retention rule, k = 300,
+ * top-100 prominent phases) is kept identical.
+ */
+
+#ifndef MICAPHASE_CORE_EXPERIMENT_HH
+#define MICAPHASE_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mica::core {
+
+/** Knobs for the full phase-level characterization experiment. */
+struct ExperimentConfig
+{
+    /** Instructions per interval (paper: 100M; scaled default: 50K). */
+    std::uint64_t interval_instructions = 50'000;
+    /** Sampled intervals per benchmark, with replacement (paper: 1000). */
+    std::uint32_t samples_per_benchmark = 200;
+    /** Multiplier on each benchmark's Table-3 interval budget. */
+    double interval_scale = 1.0;
+    /** PCA component retention threshold on score stddev (paper: 1.0). */
+    double pca_min_stddev = 1.0;
+    /** k-means cluster count (paper: 300). */
+    std::size_t kmeans_k = 300;
+    /** Random-restart count, best BIC wins (paper: "a number of"). */
+    int kmeans_restarts = 3;
+    /** Prominent phases kept for visualization/GA (paper: 100). */
+    std::size_t num_prominent = 100;
+    /** Master seed for sampling/clustering/GA. */
+    std::uint64_t seed = 20080420;
+    /** Directory for the characterization cache; empty disables caching. */
+    std::string cache_dir = "out/cache";
+    /**
+     * Worker threads for the characterization phase (benchmarks are
+     * independent; results are identical regardless of thread count).
+     * 0 = use the hardware concurrency.
+     */
+    unsigned threads = 0;
+
+    /** Stable hash of the fields that determine the characterization. */
+    [[nodiscard]] std::uint64_t characterizationKey() const;
+
+    /** Stable hash of everything that determines the clustering. */
+    [[nodiscard]] std::uint64_t analysisKey() const;
+};
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_EXPERIMENT_HH

@@ -1,0 +1,242 @@
+#include "core/phase_analysis.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/pca.hh"
+
+namespace mica::core {
+
+double
+ClusterSummary::benchmarkFraction(std::uint32_t benchmark,
+                                  std::size_t rows_per_benchmark) const
+{
+    if (rows_per_benchmark == 0)
+        return 0.0;
+    for (const auto &[b, count] : benchmark_counts)
+        if (b == benchmark)
+            return static_cast<double>(count) /
+                   static_cast<double>(rows_per_benchmark);
+    return 0.0;
+}
+
+double
+PhaseAnalysis::prominentCoverage() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < num_prominent && i < clusters.size(); ++i)
+        total += clusters[i].weight;
+    return total;
+}
+
+namespace {
+
+/** Normalize -> PCA -> retain sd > threshold -> rescale. */
+void
+reduceDimensions(const SampledDataset &sampled,
+                 const ExperimentConfig &config, PhaseAnalysis &out)
+{
+    stats::Pca::Options pca_opts;
+    pca_opts.min_stddev = config.pca_min_stddev;
+    pca_opts.normalize_input = true;
+    const stats::Pca pca = stats::Pca::fit(sampled.data, pca_opts);
+    out.pca_components = pca.numComponents();
+    out.pca_explained = pca.explainedVarianceFraction();
+    out.reduced = pca.transformRescaled(sampled.data);
+}
+
+} // namespace
+
+PhaseAnalysis
+analyzePhases(const SampledDataset &sampled,
+              const CharacterizationResult &chars,
+              const ExperimentConfig &config)
+{
+    if (sampled.data.rows() == 0)
+        throw std::invalid_argument("analyzePhases: empty data");
+
+    PhaseAnalysis out;
+    reduceDimensions(sampled, config, out);
+
+    // Cluster with several random restarts; highest BIC wins.
+    stats::KMeans::Options km;
+    km.k = config.kmeans_k;
+    km.restarts = config.kmeans_restarts;
+    km.seed = config.seed ^ 0xC1u;
+    km.init = stats::KMeans::Init::Random;
+    out.clustering = stats::KMeans::run(out.reduced, km);
+
+    return analyzePhasesWithClustering(sampled, chars, config,
+                                       std::move(out.clustering));
+}
+
+PhaseAnalysis
+analyzePhasesWithClustering(const SampledDataset &sampled,
+                            const CharacterizationResult &chars,
+                            const ExperimentConfig &config,
+                            stats::KMeansResult clustering)
+{
+    if (sampled.data.rows() == 0)
+        throw std::invalid_argument("analyzePhases: empty data");
+    if (clustering.assignment.size() != sampled.data.rows())
+        throw std::invalid_argument(
+            "analyzePhasesWithClustering: clustering/data size mismatch");
+
+    PhaseAnalysis out;
+    reduceDimensions(sampled, config, out);
+    out.clustering = std::move(clustering);
+
+    // Summarize every cluster.
+    const std::size_t k = out.clustering.centers.rows();
+    const std::size_t n = sampled.data.rows();
+    const auto reps = out.clustering.representatives(out.reduced);
+
+    std::vector<ClusterSummary> summaries(k);
+    std::vector<std::map<std::uint32_t, std::size_t>> counts(k);
+    for (std::size_t row = 0; row < n; ++row) {
+        const std::size_t c = out.clustering.assignment[row];
+        ++counts[c][sampled.benchmark_of_row[row]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+        ClusterSummary &s = summaries[c];
+        s.cluster = c;
+        s.weight = static_cast<double>(out.clustering.sizes[c]) /
+                   static_cast<double>(n);
+        s.representative_row = reps[c];
+        for (const auto &[bench, cnt] : counts[c])
+            s.benchmark_counts.emplace_back(bench, cnt);
+        std::sort(s.benchmark_counts.begin(), s.benchmark_counts.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+
+        std::set<std::string> suites;
+        for (const auto &[bench, cnt] : s.benchmark_counts)
+            suites.insert(chars.benchmark_suites[bench]);
+        if (s.benchmark_counts.size() <= 1)
+            s.kind = ClusterKind::BenchmarkSpecific;
+        else if (suites.size() == 1)
+            s.kind = ClusterKind::SuiteSpecific;
+        else
+            s.kind = ClusterKind::Mixed;
+    }
+
+    std::sort(summaries.begin(), summaries.end(),
+              [](const ClusterSummary &a, const ClusterSummary &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.cluster < b.cluster;
+              });
+    out.clusters = std::move(summaries);
+    out.num_prominent = std::min(config.num_prominent, out.clusters.size());
+    return out;
+}
+
+stats::Matrix
+prominentPhaseMatrix(const SampledDataset &sampled,
+                     const PhaseAnalysis &analysis)
+{
+    stats::Matrix out(0, 0);
+    for (std::size_t i = 0; i < analysis.num_prominent; ++i) {
+        const std::size_t row = analysis.clusters[i].representative_row;
+        out.appendRow(sampled.data.row(row));
+    }
+    return out;
+}
+
+std::string_view
+clusterKindName(ClusterKind kind)
+{
+    switch (kind) {
+      case ClusterKind::BenchmarkSpecific: return "benchmark-specific";
+      case ClusterKind::SuiteSpecific: return "suite-specific";
+      case ClusterKind::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+void
+saveClustering(const std::string &path,
+               const stats::KMeansResult &clustering)
+{
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path())
+        std::filesystem::create_directories(fs_path.parent_path());
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("saveClustering: cannot write " + path);
+    out.precision(17);
+    out << clustering.centers.rows() << "," << clustering.centers.cols()
+        << "," << clustering.assignment.size() << ","
+        << clustering.inertia << "," << clustering.bic << ","
+        << clustering.iterations << "\n";
+    for (std::size_t c = 0; c < clustering.centers.rows(); ++c) {
+        for (std::size_t d = 0; d < clustering.centers.cols(); ++d)
+            out << (d ? "," : "") << clustering.centers(c, d);
+        out << "\n";
+    }
+    for (std::size_t i = 0; i < clustering.assignment.size(); ++i)
+        out << (i ? "," : "") << clustering.assignment[i];
+    out << "\n";
+}
+
+bool
+loadClustering(const std::string &path, stats::KMeansResult &clustering)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    std::istringstream header(line);
+    std::size_t k = 0, d = 0, n = 0;
+    char sep = 0;
+    double inertia = 0.0, bic = 0.0;
+    int iterations = 0;
+    header >> k >> sep >> d >> sep >> n >> sep >> inertia >> sep >> bic >>
+        sep >> iterations;
+    if (!header || k == 0 || n == 0)
+        return false;
+
+    stats::KMeansResult loaded;
+    loaded.centers = stats::Matrix(k, d);
+    loaded.inertia = inertia;
+    loaded.bic = bic;
+    loaded.iterations = iterations;
+    for (std::size_t c = 0; c < k; ++c) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream row(line);
+        for (std::size_t j = 0; j < d; ++j) {
+            std::string field;
+            if (!std::getline(row, field, ','))
+                return false;
+            loaded.centers(c, j) = std::stod(field);
+        }
+    }
+    if (!std::getline(in, line))
+        return false;
+    std::istringstream arow(line);
+    loaded.assignment.reserve(n);
+    loaded.sizes.assign(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string field;
+        if (!std::getline(arow, field, ','))
+            return false;
+        const std::size_t a = std::stoul(field);
+        if (a >= k)
+            return false;
+        loaded.assignment.push_back(a);
+        ++loaded.sizes[a];
+    }
+    clustering = std::move(loaded);
+    return true;
+}
+
+} // namespace mica::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Phase analysis (paper sections 3.5-3.6): normalize, PCA (retain sd > 1),
+ * rescale, cluster with k-means/BIC, then summarize clusters — weights,
+ * representatives, benchmark composition, and the benchmark-specific /
+ * suite-specific / mixed classification used to organize Figures 2-3.
+ */
+
+#ifndef MICAPHASE_CORE_PHASE_ANALYSIS_HH
+#define MICAPHASE_CORE_PHASE_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/sampling.hh"
+#include "stats/kmeans.hh"
+
+namespace mica::core {
+
+/** How a cluster's members distribute over benchmarks/suites. */
+enum class ClusterKind
+{
+    BenchmarkSpecific, ///< all members from a single benchmark
+    SuiteSpecific,     ///< single suite, multiple benchmarks
+    Mixed,             ///< multiple suites
+};
+
+/** Summary of one cluster (phase behaviour). */
+struct ClusterSummary
+{
+    std::size_t cluster = 0;            ///< id in the KMeansResult
+    double weight = 0.0;                ///< fraction of all sampled rows
+    std::size_t representative_row = 0; ///< row in the sampled data set
+    /** (benchmark index, member rows) pairs, heaviest first. */
+    std::vector<std::pair<std::uint32_t, std::size_t>> benchmark_counts;
+    ClusterKind kind = ClusterKind::Mixed;
+
+    /**
+     * Fraction of the given benchmark's sampled rows that land in this
+     * cluster (the percentages in the paper's benchmark lists).
+     */
+    [[nodiscard]] double benchmarkFraction(std::uint32_t benchmark,
+                                           std::size_t rows_per_benchmark)
+        const;
+};
+
+/** Full phase-analysis output. */
+struct PhaseAnalysis
+{
+    std::size_t pca_components = 0;
+    double pca_explained = 0.0;  ///< variance fraction kept by PCA
+    stats::Matrix reduced;       ///< sampled rows in rescaled PCA space
+    stats::KMeansResult clustering;
+    /** All clusters sorted by weight (descending). */
+    std::vector<ClusterSummary> clusters;
+    /** How many of the heaviest clusters count as "prominent phases". */
+    std::size_t num_prominent = 0;
+
+    /** Total weight of the prominent phases (paper: 87.8%). */
+    [[nodiscard]] double prominentCoverage() const;
+};
+
+/** Run the analysis on a sampled data set. */
+[[nodiscard]] PhaseAnalysis analyzePhases(
+    const SampledDataset &sampled, const CharacterizationResult &chars,
+    const ExperimentConfig &config);
+
+/**
+ * Like analyzePhases, but with the clustering supplied by the caller
+ * (e.g. loaded from the on-disk cache) instead of running k-means.
+ */
+[[nodiscard]] PhaseAnalysis analyzePhasesWithClustering(
+    const SampledDataset &sampled, const CharacterizationResult &chars,
+    const ExperimentConfig &config, stats::KMeansResult clustering);
+
+/** Persist a clustering to CSV (creates parent directories). */
+void saveClustering(const std::string &path,
+                    const stats::KMeansResult &clustering);
+
+/** Load a clustering; false when missing/malformed. */
+[[nodiscard]] bool loadClustering(const std::string &path,
+                                  stats::KMeansResult &clustering);
+
+/**
+ * Raw characteristics (69 columns) of the prominent phase representatives,
+ * heaviest first — the GA's input matrix.
+ */
+[[nodiscard]] stats::Matrix prominentPhaseMatrix(
+    const SampledDataset &sampled, const PhaseAnalysis &analysis);
+
+/** Printable name for a cluster kind. */
+[[nodiscard]] std::string_view clusterKindName(ClusterKind kind);
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_PHASE_ANALYSIS_HH

@@ -1,0 +1,143 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/summary.hh"
+
+namespace mica::core {
+
+ExperimentOutputs
+runFullExperiment(const ExperimentConfig &config, const ProgressFn &progress)
+{
+    ExperimentOutputs out;
+    out.config = config;
+    const workloads::SuiteCatalog catalog;
+    out.characterization = characterizeWithCache(catalog, config, progress);
+    out.sampled = sampleIntervals(out.characterization,
+                                  config.samples_per_benchmark,
+                                  config.seed ^ 0x5A);
+
+    // The clustering is by far the most expensive analysis step; cache it
+    // next to the characterization (sampling is deterministic, so a cached
+    // clustering always matches the freshly drawn sample).
+    std::string cluster_path;
+    if (!config.cache_dir.empty()) {
+        std::ostringstream name;
+        name << config.cache_dir << "/clusters_" << std::hex
+             << config.analysisKey() << ".csv";
+        cluster_path = name.str();
+    }
+    stats::KMeansResult clustering;
+    if (!cluster_path.empty() &&
+        loadClustering(cluster_path, clustering) &&
+        clustering.assignment.size() == out.sampled.data.rows()) {
+        out.analysis = analyzePhasesWithClustering(
+            out.sampled, out.characterization, config,
+            std::move(clustering));
+    } else {
+        out.analysis =
+            analyzePhases(out.sampled, out.characterization, config);
+        if (!cluster_path.empty())
+            saveClustering(cluster_path, out.analysis.clustering);
+    }
+
+    out.comparison =
+        compareSuites(out.characterization, out.sampled, out.analysis);
+    return out;
+}
+
+ga::GaResult
+selectKeyCharacteristics(const ExperimentOutputs &outputs, std::size_t count)
+{
+    const stats::Matrix phases =
+        prominentPhaseMatrix(outputs.sampled, outputs.analysis);
+    const ga::FeatureSelector selector(phases);
+    ga::GaOptions opts;
+    opts.target_count = count;
+    opts.seed = outputs.config.seed ^ 0x6A;
+    return selector.select(opts);
+}
+
+std::vector<viz::AxisStats>
+kiviatAxes(const ExperimentOutputs &outputs,
+           std::span<const std::size_t> key_characteristics)
+{
+    const stats::Matrix phases =
+        prominentPhaseMatrix(outputs.sampled, outputs.analysis);
+    const stats::ColumnStats cs = stats::columnStats(phases);
+
+    std::vector<viz::AxisStats> axes;
+    for (std::size_t idx : key_characteristics) {
+        viz::AxisStats a;
+        a.name = std::string(metrics::metricInfo(idx).name);
+        const auto column = phases.col(idx);
+        a.min = *std::min_element(column.begin(), column.end());
+        a.max = *std::max_element(column.begin(), column.end());
+        a.mean = cs.mean[idx];
+        a.mean_minus_sd = cs.mean[idx] - cs.stddev[idx];
+        a.mean_plus_sd = cs.mean[idx] + cs.stddev[idx];
+        if (a.max <= a.min)
+            a.max = a.min + 1.0;
+        axes.push_back(a);
+    }
+    return axes;
+}
+
+viz::KiviatPanel
+kiviatPanelFor(const ExperimentOutputs &outputs,
+               const ClusterSummary &cluster,
+               std::span<const std::size_t> key_characteristics,
+               double min_caption_fraction)
+{
+    const auto &chars = outputs.characterization;
+    viz::KiviatPanel panel;
+    {
+        std::ostringstream title;
+        title.precision(2);
+        title << std::fixed << "weight: " << cluster.weight * 100.0 << "%";
+        panel.title = title.str();
+    }
+
+    const auto rep = outputs.sampled.data.row(cluster.representative_row);
+    for (std::size_t idx : key_characteristics)
+        panel.values.push_back(rep[idx]);
+
+    // Pie: each benchmark's share of the cluster.
+    std::size_t cluster_rows = 0;
+    for (const auto &[bench, cnt] : cluster.benchmark_counts)
+        cluster_rows += cnt;
+    for (const auto &[bench, cnt] : cluster.benchmark_counts) {
+        viz::PieSlice slice;
+        slice.label = chars.benchmark_ids[bench];
+        slice.fraction = cluster_rows > 0
+            ? static_cast<double>(cnt) / static_cast<double>(cluster_rows)
+            : 0.0;
+        panel.slices.push_back(slice);
+    }
+
+    // Caption: per benchmark, the fraction of the benchmark represented by
+    // this cluster; small contributors fold into "other".
+    const std::size_t per_benchmark =
+        outputs.config.samples_per_benchmark;
+    std::size_t folded = 0;
+    for (const auto &[bench, cnt] : cluster.benchmark_counts) {
+        const double frac = cluster.benchmarkFraction(bench, per_benchmark);
+        if (frac < min_caption_fraction) {
+            ++folded;
+            continue;
+        }
+        std::ostringstream line;
+        line.precision(2);
+        line << std::fixed << chars.benchmark_ids[bench] << ": "
+             << frac * 100.0 << "%";
+        panel.caption_lines.push_back(line.str());
+    }
+    if (folded > 0)
+        panel.caption_lines.push_back("other (" + std::to_string(folded) +
+                                      ")");
+    return panel;
+}
+
+} // namespace mica::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * One-call experiment driver tying the whole methodology together, plus
+ * the helpers the figure binaries use to turn analysis results into
+ * kiviat panels and key-characteristic reports.
+ */
+
+#ifndef MICAPHASE_CORE_PIPELINE_HH
+#define MICAPHASE_CORE_PIPELINE_HH
+
+#include <span>
+
+#include "core/characterize.hh"
+#include "core/phase_analysis.hh"
+#include "core/sampling.hh"
+#include "core/suite_comparison.hh"
+#include "ga/feature_select.hh"
+#include "viz/kiviat.hh"
+
+namespace mica::core {
+
+/** Everything a figure binary needs. */
+struct ExperimentOutputs
+{
+    ExperimentConfig config;
+    CharacterizationResult characterization;
+    SampledDataset sampled;
+    PhaseAnalysis analysis;
+    SuiteComparison comparison;
+};
+
+/**
+ * Run characterize (cached) -> sample -> analyze -> compare.
+ * Deterministic for a given config.
+ */
+[[nodiscard]] ExperimentOutputs runFullExperiment(
+    const ExperimentConfig &config, const ProgressFn &progress = {});
+
+/**
+ * Run the GA over the prominent phases to select the key characteristics
+ * (paper Table 2: 12 characteristics at ~0.8 correlation).
+ */
+[[nodiscard]] ga::GaResult selectKeyCharacteristics(
+    const ExperimentOutputs &outputs, std::size_t count = 12);
+
+/**
+ * Axis statistics (min / mean +- sd / max per key characteristic) over the
+ * prominent phase representatives — the kiviat ring scales.
+ */
+[[nodiscard]] std::vector<viz::AxisStats> kiviatAxes(
+    const ExperimentOutputs &outputs,
+    std::span<const std::size_t> key_characteristics);
+
+/**
+ * Build the kiviat panel (values, pie slices, caption) for one cluster.
+ * min_caption_fraction: benchmarks below this share of their own execution
+ * are folded into an "other" line, as in the paper's plots.
+ */
+[[nodiscard]] viz::KiviatPanel kiviatPanelFor(
+    const ExperimentOutputs &outputs, const ClusterSummary &cluster,
+    std::span<const std::size_t> key_characteristics,
+    double min_caption_fraction = 0.01);
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_PIPELINE_HH

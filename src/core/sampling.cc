@@ -1,0 +1,66 @@
+#include "core/sampling.hh"
+
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace mica::core {
+
+SampledDataset
+sampleIntervals(const CharacterizationResult &chars,
+                std::uint32_t per_benchmark, std::uint64_t seed)
+{
+    if (per_benchmark == 0)
+        throw std::invalid_argument("sampleIntervals: per_benchmark == 0");
+
+    // Group interval indices by benchmark.
+    std::vector<std::vector<std::uint32_t>> by_benchmark(
+        chars.benchmark_ids.size());
+    for (std::size_t i = 0; i < chars.intervals.size(); ++i)
+        by_benchmark[chars.intervals[i].benchmark].push_back(
+            static_cast<std::uint32_t>(i));
+
+    SampledDataset out;
+    out.data = stats::Matrix(
+        chars.benchmark_ids.size() * per_benchmark,
+        metrics::kNumCharacteristics);
+    stats::Rng rng(seed);
+    std::size_t row = 0;
+    for (std::size_t b = 0; b < by_benchmark.size(); ++b) {
+        const auto &pool = by_benchmark[b];
+        if (pool.empty())
+            throw std::runtime_error(
+                "sampleIntervals: benchmark with no intervals: " +
+                chars.benchmark_ids[b]);
+        for (std::uint32_t s = 0; s < per_benchmark; ++s) {
+            const std::uint32_t pick =
+                pool[static_cast<std::size_t>(rng.nextBelow(pool.size()))];
+            const auto &values = chars.intervals[pick].values;
+            auto dst = out.data.row(row);
+            std::copy(values.begin(), values.end(), dst.begin());
+            out.benchmark_of_row.push_back(
+                static_cast<std::uint32_t>(b));
+            out.source_interval.push_back(pick);
+            ++row;
+        }
+    }
+    return out;
+}
+
+SampledDataset
+allIntervals(const CharacterizationResult &chars)
+{
+    SampledDataset out;
+    out.data =
+        stats::Matrix(chars.intervals.size(), metrics::kNumCharacteristics);
+    for (std::size_t i = 0; i < chars.intervals.size(); ++i) {
+        const auto &values = chars.intervals[i].values;
+        auto dst = out.data.row(i);
+        std::copy(values.begin(), values.end(), dst.begin());
+        out.benchmark_of_row.push_back(chars.intervals[i].benchmark);
+        out.source_interval.push_back(static_cast<std::uint32_t>(i));
+    }
+    return out;
+}
+
+} // namespace mica::core

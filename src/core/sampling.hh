@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Interval sampling (paper section 3.4): select a fixed number of intervals
+ * per benchmark, with replacement when a benchmark is shorter, so that every
+ * benchmark carries equal weight in the downstream analysis regardless of
+ * its dynamic instruction count or its number of inputs.
+ */
+
+#ifndef MICAPHASE_CORE_SAMPLING_HH
+#define MICAPHASE_CORE_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "stats/matrix.hh"
+
+namespace mica::core {
+
+/** The sampled data set fed into PCA/clustering. */
+struct SampledDataset
+{
+    /** n x 69 matrix of sampled interval characteristics. */
+    stats::Matrix data;
+    /** Benchmark index per row. */
+    std::vector<std::uint32_t> benchmark_of_row;
+    /** Index of the source interval (into CharacterizationResult). */
+    std::vector<std::uint32_t> source_interval;
+};
+
+/**
+ * Sample per_benchmark intervals per benchmark, uniformly with
+ * replacement, deterministically under the seed.
+ */
+[[nodiscard]] SampledDataset sampleIntervals(
+    const CharacterizationResult &chars, std::uint32_t per_benchmark,
+    std::uint64_t seed);
+
+/**
+ * The no-sampling baseline used by the sampling ablation: every interval
+ * appears exactly once (benchmarks then weigh in proportion to their
+ * dynamic length, which is what sampling is designed to prevent).
+ */
+[[nodiscard]] SampledDataset allIntervals(
+    const CharacterizationResult &chars);
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_SAMPLING_HH

@@ -1,0 +1,150 @@
+#include "core/simpoints.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+#include "workloads/workload.hh"
+
+namespace mica::core {
+
+SimPointSelection
+selectSimPoints(const CharacterizationResult &chars,
+                std::uint32_t benchmark, std::size_t max_points,
+                std::uint64_t seed)
+{
+    if (max_points == 0)
+        throw std::invalid_argument("selectSimPoints: max_points == 0");
+
+    // Gather the benchmark's intervals.
+    std::vector<std::uint32_t> interval_ids;
+    stats::Matrix data(0, 0);
+    for (std::uint32_t i = 0; i < chars.intervals.size(); ++i) {
+        if (chars.intervals[i].benchmark != benchmark)
+            continue;
+        interval_ids.push_back(i);
+        data.appendRow(chars.intervals[i].values);
+    }
+    if (interval_ids.empty())
+        throw std::invalid_argument("selectSimPoints: unknown benchmark");
+
+    SimPointSelection out;
+    out.benchmark = benchmark;
+
+    // Single-interval benchmarks: the interval is the simulation point.
+    if (interval_ids.size() == 1) {
+        out.points.push_back({interval_ids[0], 1.0});
+        out.estimation_error = 0.0;
+        out.simulated_fraction = 1.0;
+        return out;
+    }
+
+    // Cluster in this benchmark's own rescaled PCA space.
+    const stats::Matrix reduced = stats::rescaledPcaSpace(data);
+    stats::KMeans::Options km;
+    km.k = std::min(max_points, interval_ids.size());
+    km.restarts = 3;
+    km.seed = seed;
+    const auto clustering = stats::KMeans::run(reduced, km);
+    const auto reps = clustering.representatives(reduced);
+
+    const double n = static_cast<double>(interval_ids.size());
+    for (std::size_t c = 0; c < clustering.centers.rows(); ++c) {
+        if (clustering.sizes[c] == 0)
+            continue;
+        out.points.push_back(
+            {interval_ids[reps[c]],
+             static_cast<double>(clustering.sizes[c]) / n});
+    }
+    out.simulated_fraction =
+        static_cast<double>(out.points.size()) / n;
+
+    // Estimation error: weighted representatives vs the true average.
+    metrics::CharacteristicVector truth{};
+    metrics::CharacteristicVector estimate{};
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        auto row = data.row(r);
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            truth[c] += row[c] / n;
+    }
+    for (const SimulationPoint &p : out.points)
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            estimate[c] += chars.intervals[p.interval].values[c] * p.weight;
+
+    double total_err = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c) {
+        if (std::fabs(truth[c]) < 1e-6)
+            continue;
+        total_err += std::fabs(estimate[c] - truth[c]) /
+                     std::fabs(truth[c]);
+        ++counted;
+    }
+    out.estimation_error =
+        counted ? total_err / static_cast<double>(counted) : 0.0;
+    return out;
+}
+
+std::vector<SuiteSimPointSummary>
+crossBenchmarkSimPoints(const CharacterizationResult &chars,
+                        const SampledDataset &sampled,
+                        const PhaseAnalysis &analysis,
+                        std::size_t per_benchmark_budget)
+{
+    // Suite list in canonical-then-appearance order (same rule as
+    // compareSuites).
+    std::vector<std::string> suites;
+    for (const std::string &name : workloads::SuiteCatalog::suiteNames())
+        if (std::find(chars.benchmark_suites.begin(),
+                      chars.benchmark_suites.end(),
+                      name) != chars.benchmark_suites.end())
+            suites.push_back(name);
+    for (const std::string &suite : chars.benchmark_suites)
+        if (std::find(suites.begin(), suites.end(), suite) == suites.end())
+            suites.push_back(suite);
+
+    std::vector<SuiteSimPointSummary> out;
+    for (const std::string &suite : suites) {
+        SuiteSimPointSummary summary;
+        summary.suite = suite;
+
+        // Clusters touched by the suite + rows per cluster.
+        std::map<std::size_t, std::size_t> cluster_rows;
+        std::size_t suite_rows = 0;
+        std::set<std::uint32_t> members;
+        for (std::size_t r = 0; r < sampled.benchmark_of_row.size(); ++r) {
+            const std::uint32_t b = sampled.benchmark_of_row[r];
+            if (chars.benchmark_suites[b] != suite)
+                continue;
+            ++cluster_rows[analysis.clustering.assignment[r]];
+            ++suite_rows;
+            members.insert(b);
+        }
+
+        summary.shared_points = cluster_rows.size();
+        summary.isolated_points = members.size() * per_benchmark_budget;
+
+        // Points for 90% coverage: heaviest clusters first.
+        std::vector<std::size_t> sizes;
+        for (const auto &[cluster, rows] : cluster_rows)
+            sizes.push_back(rows);
+        std::sort(sizes.begin(), sizes.end(), std::greater<>());
+        std::size_t acc = 0;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            acc += sizes[i];
+            if (static_cast<double>(acc) >= 0.9 *
+                static_cast<double>(suite_rows)) {
+                summary.shared_points_90 = i + 1;
+                break;
+            }
+        }
+        out.push_back(summary);
+    }
+    return out;
+}
+
+} // namespace mica::core

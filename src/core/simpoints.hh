@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulation-point selection — the paper's main *application* of the
+ * phase-level characterization (section 5.3 and related work [8, 24]).
+ *
+ * Two flavours are implemented:
+ *
+ *  - Per-benchmark selection ("SimPoint" style, Sherwood et al.): cluster
+ *    a single benchmark's intervals and keep one representative per
+ *    cluster, weighted by cluster size. Full-benchmark metrics are then
+ *    estimated as the weighted average of the representatives.
+ *
+ *  - Cross-benchmark selection (Eeckhout et al., IISWC 2005): reuse the
+ *    global phase clustering so one representative can stand in for
+ *    phases shared by *several* benchmarks — fewer total simulation
+ *    points for a whole suite, which is exactly the simulation-time
+ *    argument the paper's section 5.3 makes.
+ */
+
+#ifndef MICAPHASE_CORE_SIMPOINTS_HH
+#define MICAPHASE_CORE_SIMPOINTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phase_analysis.hh"
+
+namespace mica::core {
+
+/** One selected simulation point. */
+struct SimulationPoint
+{
+    std::uint32_t interval = 0; ///< index into the characterization
+    double weight = 0.0;        ///< fraction of the benchmark it stands for
+};
+
+/** Per-benchmark simulation points plus their estimation error. */
+struct SimPointSelection
+{
+    std::uint32_t benchmark = 0;
+    std::vector<SimulationPoint> points;
+
+    /**
+     * Mean relative error, over the 69 characteristics, of estimating the
+     * benchmark's average behaviour from the weighted simulation points
+     * (characteristics whose true mean is ~0 are skipped).
+     */
+    double estimation_error = 0.0;
+
+    /** Fraction of intervals that need simulating (points / intervals). */
+    double simulated_fraction = 0.0;
+};
+
+/**
+ * SimPoint-style per-benchmark selection: cluster the benchmark's own
+ * intervals into at most max_points groups (k-means on the rescaled PCA
+ * space of that benchmark) and keep the centroid-nearest interval per
+ * group.
+ */
+[[nodiscard]] SimPointSelection selectSimPoints(
+    const CharacterizationResult &chars, std::uint32_t benchmark,
+    std::size_t max_points, std::uint64_t seed);
+
+/** Summary of cross-benchmark selection for one suite. */
+struct SuiteSimPointSummary
+{
+    std::string suite;
+    /** Distinct global clusters the suite touches = points needed when
+     * representatives are shared across benchmarks. */
+    std::size_t shared_points = 0;
+    /** Sum of per-benchmark points when every benchmark is simulated in
+     * isolation with the same per-benchmark budget. */
+    std::size_t isolated_points = 0;
+    /** Points needed to cover the given fraction of the suite. */
+    std::size_t shared_points_90 = 0;
+};
+
+/**
+ * Cross-benchmark selection over a finished phase analysis: for each
+ * suite, how many simulation points are needed when phases shared across
+ * benchmarks are simulated only once (paper section 5.3: CPU2006 needs
+ * only slightly more points than CPU2000; domain-specific suites need
+ * very few).
+ */
+[[nodiscard]] std::vector<SuiteSimPointSummary> crossBenchmarkSimPoints(
+    const CharacterizationResult &chars, const SampledDataset &sampled,
+    const PhaseAnalysis &analysis, std::size_t per_benchmark_budget);
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_SIMPOINTS_HH

@@ -1,0 +1,121 @@
+#include "core/suite_comparison.hh"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "workloads/workload.hh"
+
+namespace mica::core {
+
+std::size_t
+SuiteComparison::clustersToCover(std::size_t suite, double fraction) const
+{
+    const auto &curve = cumulative.at(suite);
+    for (std::size_t i = 0; i < curve.size(); ++i)
+        if (curve[i] >= fraction)
+            return i + 1;
+    return curve.size();
+}
+
+std::size_t
+SuiteComparison::indexOf(std::string_view suite) const
+{
+    for (std::size_t i = 0; i < suites.size(); ++i)
+        if (suites[i] == suite)
+            return i;
+    throw std::out_of_range("SuiteComparison: unknown suite " +
+                            std::string(suite));
+}
+
+SuiteComparison
+compareSuites(const CharacterizationResult &chars,
+              const SampledDataset &sampled, const PhaseAnalysis &analysis)
+{
+    SuiteComparison out;
+    // Suites present in the data, listed in canonical order first so the
+    // full experiment reports match the paper's figure order; suites
+    // outside the canonical list (e.g. synthetic test data) follow in
+    // order of first appearance.
+    for (const std::string &name : workloads::SuiteCatalog::suiteNames())
+        if (std::find(chars.benchmark_suites.begin(),
+                      chars.benchmark_suites.end(),
+                      name) != chars.benchmark_suites.end())
+            out.suites.push_back(name);
+    for (const std::string &suite : chars.benchmark_suites)
+        if (std::find(out.suites.begin(), out.suites.end(), suite) ==
+            out.suites.end())
+            out.suites.push_back(suite);
+
+    const std::size_t num_suites = out.suites.size();
+    const std::size_t k = analysis.clustering.centers.rows();
+
+    // Suite index per benchmark.
+    std::vector<std::size_t> suite_of_benchmark(chars.benchmark_ids.size());
+    for (std::size_t b = 0; b < chars.benchmark_suites.size(); ++b)
+        suite_of_benchmark[b] = out.indexOf(chars.benchmark_suites[b]);
+
+    // Count rows per (cluster, suite).
+    std::vector<std::vector<std::size_t>> cluster_suite_rows(
+        k, std::vector<std::size_t>(num_suites, 0));
+    std::vector<std::size_t> suite_rows(num_suites, 0);
+    for (std::size_t row = 0; row < sampled.benchmark_of_row.size();
+         ++row) {
+        const std::size_t c = analysis.clustering.assignment[row];
+        const std::size_t s =
+            suite_of_benchmark[sampled.benchmark_of_row[row]];
+        ++cluster_suite_rows[c][s];
+        ++suite_rows[s];
+    }
+
+    // Figure 4: coverage.
+    out.coverage.assign(num_suites, 0);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t s = 0; s < num_suites; ++s)
+            if (cluster_suite_rows[c][s] > 0)
+                ++out.coverage[s];
+
+    // Figure 5: cumulative coverage per suite.
+    out.cumulative.assign(num_suites, {});
+    for (std::size_t s = 0; s < num_suites; ++s) {
+        std::vector<double> shares;
+        shares.reserve(k);
+        for (std::size_t c = 0; c < k; ++c)
+            shares.push_back(
+                suite_rows[s] > 0
+                    ? static_cast<double>(cluster_suite_rows[c][s]) /
+                          static_cast<double>(suite_rows[s])
+                    : 0.0);
+        std::sort(shares.begin(), shares.end(), std::greater<>());
+        double acc = 0.0;
+        auto &curve = out.cumulative[s];
+        curve.reserve(k);
+        for (double share : shares) {
+            acc += share;
+            curve.push_back(std::min(acc, 1.0));
+        }
+    }
+
+    // Figure 6: uniqueness — rows in clusters exclusive to the suite.
+    out.uniqueness.assign(num_suites, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+        std::size_t populated = 0;
+        std::size_t owner = 0;
+        for (std::size_t s = 0; s < num_suites; ++s) {
+            if (cluster_suite_rows[c][s] > 0) {
+                ++populated;
+                owner = s;
+            }
+        }
+        if (populated == 1)
+            out.uniqueness[owner] +=
+                static_cast<double>(cluster_suite_rows[c][owner]);
+    }
+    for (std::size_t s = 0; s < num_suites; ++s)
+        if (suite_rows[s] > 0)
+            out.uniqueness[s] /= static_cast<double>(suite_rows[s]);
+
+    return out;
+}
+
+} // namespace mica::core

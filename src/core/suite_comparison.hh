@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Suite-level coverage / diversity / uniqueness analysis (paper section 5,
+ * Figures 4-6). All three metrics are computed over all k clusters, not
+ * just the prominent ones, exactly as in the paper.
+ */
+
+#ifndef MICAPHASE_CORE_SUITE_COMPARISON_HH
+#define MICAPHASE_CORE_SUITE_COMPARISON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/phase_analysis.hh"
+
+namespace mica::core {
+
+/** Figures 4-6 data, one entry per suite group. */
+struct SuiteComparison
+{
+    std::vector<std::string> suites;
+
+    /** Figure 4: clusters (of k) containing at least one suite interval. */
+    std::vector<std::size_t> coverage;
+
+    /**
+     * Figure 5: per suite, cumulative fraction of the suite's intervals
+     * covered by its heaviest 1..k clusters (clusters sorted by the
+     * suite's own share, descending).
+     */
+    std::vector<std::vector<double>> cumulative;
+
+    /**
+     * Figure 6: fraction of the suite's intervals inside clusters whose
+     * members all belong to this suite (benchmark- or suite-specific).
+     */
+    std::vector<double> uniqueness;
+
+    /** Clusters needed to reach the given cumulative coverage. */
+    [[nodiscard]] std::size_t clustersToCover(std::size_t suite,
+                                              double fraction) const;
+
+    /** Index of a suite name; throws std::out_of_range when unknown. */
+    [[nodiscard]] std::size_t indexOf(std::string_view suite) const;
+};
+
+/** Compute the suite comparison from a finished phase analysis. */
+[[nodiscard]] SuiteComparison compareSuites(
+    const CharacterizationResult &chars, const SampledDataset &sampled,
+    const PhaseAnalysis &analysis);
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_SUITE_COMPARISON_HH

@@ -1,0 +1,225 @@
+#include "ga/feature_select.hh"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "stats/pca.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace mica::ga {
+
+using stats::Matrix;
+using stats::Rng;
+
+namespace {
+
+/** One genome: a sorted, duplicate-free set of selected column indices. */
+struct Genome
+{
+    std::vector<std::size_t> genes;
+    double fitness = -2.0; ///< below any valid Pearson value
+};
+
+/** Random genome of the given cardinality. */
+Genome
+randomGenome(std::size_t num_features, std::size_t count, Rng &rng)
+{
+    std::vector<std::size_t> all(num_features);
+    for (std::size_t i = 0; i < num_features; ++i)
+        all[i] = i;
+    rng.shuffle(all);
+    Genome g;
+    g.genes.assign(all.begin(),
+                   all.begin() + static_cast<std::ptrdiff_t>(count));
+    std::sort(g.genes.begin(), g.genes.end());
+    return g;
+}
+
+/** Swap one selected gene for one unselected gene. */
+void
+mutate(Genome &g, std::size_t num_features, Rng &rng)
+{
+    const std::size_t victim = rng.nextBelow(g.genes.size());
+    for (int attempts = 0; attempts < 64; ++attempts) {
+        const std::size_t candidate = rng.nextBelow(num_features);
+        if (!std::binary_search(g.genes.begin(), g.genes.end(), candidate)) {
+            g.genes[victim] = candidate;
+            std::sort(g.genes.begin(), g.genes.end());
+            return;
+        }
+    }
+}
+
+/** Offspring drawing genes from the union of two parents. */
+Genome
+crossover(const Genome &a, const Genome &b, Rng &rng)
+{
+    std::set<std::size_t> pool(a.genes.begin(), a.genes.end());
+    pool.insert(b.genes.begin(), b.genes.end());
+    std::vector<std::size_t> candidates(pool.begin(), pool.end());
+    rng.shuffle(candidates);
+    Genome child;
+    child.genes.assign(
+        candidates.begin(),
+        candidates.begin() + static_cast<std::ptrdiff_t>(a.genes.size()));
+    std::sort(child.genes.begin(), child.genes.end());
+    return child;
+}
+
+/** Tournament selection of a parent index. */
+std::size_t
+tournament(const std::vector<Genome> &pop, Rng &rng)
+{
+    const std::size_t a = rng.nextBelow(pop.size());
+    const std::size_t b = rng.nextBelow(pop.size());
+    return pop[a].fitness >= pop[b].fitness ? a : b;
+}
+
+} // namespace
+
+FeatureSelector::FeatureSelector(Matrix data) : data_(std::move(data))
+{
+    if (data_.rows() < 3 || data_.cols() == 0)
+        throw std::invalid_argument("FeatureSelector: need >= 3 phases");
+    const Matrix full_space = stats::rescaledPcaSpace(data_);
+    full_distances_ = stats::pairwiseDistances(full_space);
+}
+
+double
+FeatureSelector::fitnessOf(std::span<const std::size_t> subset) const
+{
+    if (subset.empty())
+        return 0.0;
+    const Matrix reduced = data_.selectCols(subset);
+    const Matrix reduced_space = stats::rescaledPcaSpace(reduced);
+    const std::vector<double> reduced_distances =
+        stats::pairwiseDistances(reduced_space);
+    return stats::pearson(reduced_distances, full_distances_);
+}
+
+GaResult
+FeatureSelector::select(const GaOptions &opts) const
+{
+    if (opts.target_count == 0 || opts.target_count > numFeatures())
+        throw std::invalid_argument("FeatureSelector: bad target_count");
+
+    Rng master(opts.seed);
+    const std::size_t islands = std::max<std::size_t>(1, opts.num_islands);
+    const std::size_t pop_size =
+        std::max<std::size_t>(4, opts.population_size);
+
+    std::vector<std::vector<Genome>> populations(islands);
+    std::vector<Rng> island_rngs;
+    for (std::size_t i = 0; i < islands; ++i)
+        island_rngs.push_back(master.split());
+
+    auto evaluate = [this](Genome &g) {
+        if (g.fitness < -1.5)
+            g.fitness = fitnessOf(g.genes);
+    };
+
+    for (std::size_t i = 0; i < islands; ++i) {
+        for (std::size_t p = 0; p < pop_size; ++p) {
+            populations[i].push_back(randomGenome(
+                numFeatures(), opts.target_count, island_rngs[i]));
+            evaluate(populations[i].back());
+        }
+    }
+
+    Genome best;
+    auto track_best = [&]() {
+        for (const auto &pop : populations)
+            for (const Genome &g : pop)
+                if (g.fitness > best.fitness)
+                    best = g;
+    };
+    track_best();
+
+    int stagnant = 0;
+    int generation = 0;
+    for (; generation < opts.max_generations && stagnant < opts.patience;
+         ++generation) {
+        for (std::size_t i = 0; i < islands; ++i) {
+            auto &pop = populations[i];
+            Rng &rng = island_rngs[i];
+            std::vector<Genome> next;
+            next.reserve(pop_size);
+            // Elitism: carry the island champion over unchanged.
+            const auto champ = std::max_element(
+                pop.begin(), pop.end(),
+                [](const Genome &a, const Genome &b) {
+                    return a.fitness < b.fitness;
+                });
+            next.push_back(*champ);
+            while (next.size() < pop_size) {
+                const Genome &pa = pop[tournament(pop, rng)];
+                Genome child;
+                if (rng.nextBool(opts.crossover_rate)) {
+                    const Genome &pb = pop[tournament(pop, rng)];
+                    child = crossover(pa, pb, rng);
+                } else {
+                    child = pa;
+                    child.fitness = -2.0;
+                }
+                if (rng.nextBool(opts.mutation_rate)) {
+                    mutate(child, numFeatures(), rng);
+                    child.fitness = -2.0;
+                }
+                evaluate(child);
+                next.push_back(std::move(child));
+            }
+            pop = std::move(next);
+        }
+
+        // Migration: island champions move to the next island, replacing
+        // that island's weakest genome.
+        if (islands > 1 && opts.migration_interval > 0 &&
+            (generation + 1) % opts.migration_interval == 0) {
+            std::vector<Genome> champions;
+            for (const auto &pop : populations)
+                champions.push_back(*std::max_element(
+                    pop.begin(), pop.end(),
+                    [](const Genome &a, const Genome &b) {
+                        return a.fitness < b.fitness;
+                    }));
+            for (std::size_t i = 0; i < islands; ++i) {
+                auto &pop = populations[(i + 1) % islands];
+                auto weakest = std::min_element(
+                    pop.begin(), pop.end(),
+                    [](const Genome &a, const Genome &b) {
+                        return a.fitness < b.fitness;
+                    });
+                *weakest = champions[i];
+            }
+        }
+
+        const double prev = best.fitness;
+        track_best();
+        stagnant = best.fitness > prev + 1e-9 ? 0 : stagnant + 1;
+    }
+
+    GaResult result;
+    result.selected = best.genes;
+    result.fitness = best.fitness;
+    result.generations = generation;
+    return result;
+}
+
+std::vector<GaResult>
+FeatureSelector::sweepSubsetSizes(std::size_t max_count,
+                                  const GaOptions &base) const
+{
+    std::vector<GaResult> results;
+    max_count = std::min(max_count, numFeatures());
+    for (std::size_t count = 1; count <= max_count; ++count) {
+        GaOptions opts = base;
+        opts.target_count = count;
+        opts.seed = base.seed + count * 0x9e37;
+        results.push_back(select(opts));
+    }
+    return results;
+}
+
+} // namespace mica::ga

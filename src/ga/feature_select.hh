@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Genetic-algorithm selection of key microarchitecture-independent
+ * characteristics (paper section 3.7).
+ *
+ * Given the matrix of prominent phase behaviours (rows) by raw
+ * characteristics (columns), the GA searches for a fixed-size subset of
+ * characteristics whose induced distance structure best matches the
+ * full-characteristic distance structure. Distances on both sides are
+ * computed in the rescaled PCA space (normalize -> PCA, keep sd > 1 ->
+ * rescale) so correlated characteristics are not double counted; fitness is
+ * the Pearson correlation between the two condensed distance vectors.
+ *
+ * The GA is an island model with mutation, crossover and migration,
+ * matching the operators named in the paper.
+ */
+
+#ifndef MICAPHASE_GA_FEATURE_SELECT_HH
+#define MICAPHASE_GA_FEATURE_SELECT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica::ga {
+
+/** GA tuning knobs. */
+struct GaOptions
+{
+    std::size_t target_count = 12;    ///< characteristics to retain
+    std::size_t num_islands = 3;      ///< independent populations
+    std::size_t population_size = 24; ///< genomes per island
+    int max_generations = 48;
+    int patience = 12;                ///< stop after stagnant generations
+    double mutation_rate = 0.2;       ///< per-offspring gene-swap chance
+    double crossover_rate = 0.7;
+    int migration_interval = 8;       ///< generations between migrations
+    std::uint64_t seed = 1;
+};
+
+/** Result of one GA run. */
+struct GaResult
+{
+    std::vector<std::size_t> selected; ///< sorted characteristic indices
+    double fitness = 0.0;              ///< Pearson distance correlation
+    int generations = 0;               ///< generations actually run
+};
+
+/** Feature-subset search over a phase-by-characteristic matrix. */
+class FeatureSelector
+{
+  public:
+    /**
+     * @param data rows = prominent phase behaviours, columns = raw
+     *             characteristics (e.g. 100 x 69)
+     */
+    explicit FeatureSelector(stats::Matrix data);
+
+    /** Number of characteristics (columns). */
+    [[nodiscard]] std::size_t numFeatures() const { return data_.cols(); }
+
+    /**
+     * Fitness of an explicit subset: Pearson correlation of reduced-space
+     * vs full-space pairwise phase distances. Exposed for tests and for
+     * the Figure 1 sweep.
+     */
+    [[nodiscard]] double fitnessOf(std::span<const std::size_t> subset)
+        const;
+
+    /** Run the GA for a fixed subset size. */
+    [[nodiscard]] GaResult select(const GaOptions &opts) const;
+
+    /**
+     * Figure 1 helper: best fitness found for each subset size in
+     * [1, max_count], re-running the GA per size.
+     */
+    [[nodiscard]] std::vector<GaResult>
+    sweepSubsetSizes(std::size_t max_count, const GaOptions &base) const;
+
+  private:
+    stats::Matrix data_;
+    std::vector<double> full_distances_;
+};
+
+} // namespace mica::ga
+
+#endif // MICAPHASE_GA_FEATURE_SELECT_HH

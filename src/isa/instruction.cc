@@ -1,0 +1,256 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::isa {
+
+namespace {
+
+using File = RegOperand::File;
+
+} // namespace
+
+RegList
+Instruction::sources() const
+{
+    RegList out;
+    switch (info().format) {
+      case Format::None:
+        break;
+      case Format::RRR:
+        out.push(File::Int, rs1);
+        out.push(File::Int, rs2);
+        break;
+      case Format::RRI:
+        out.push(File::Int, rs1);
+        break;
+      case Format::Load:
+      case Format::FLoad:
+        out.push(File::Int, rs1);
+        break;
+      case Format::Store:
+        out.push(File::Int, rs1);
+        out.push(File::Int, rs2);
+        break;
+      case Format::FStore:
+        out.push(File::Int, rs1);
+        out.push(File::Fp, rs2);
+        break;
+      case Format::FRRR:
+        out.push(File::Fp, rs1);
+        out.push(File::Fp, rs2);
+        break;
+      case Format::FRR:
+        out.push(File::Fp, rs1);
+        break;
+      case Format::FMA:
+        out.push(File::Fp, rd); // accumulator is read-modify-write
+        out.push(File::Fp, rs1);
+        out.push(File::Fp, rs2);
+        break;
+      case Format::FCmp:
+        out.push(File::Fp, rs1);
+        out.push(File::Fp, rs2);
+        break;
+      case Format::CvtIF:
+        out.push(File::Int, rs1);
+        break;
+      case Format::CvtFI:
+        out.push(File::Fp, rs1);
+        break;
+      case Format::Branch:
+        out.push(File::Int, rs1);
+        out.push(File::Int, rs2);
+        break;
+      case Format::Jal:
+        break;
+      case Format::Jalr:
+        out.push(File::Int, rs1);
+        break;
+    }
+    return out;
+}
+
+bool
+Instruction::hasDest() const
+{
+    switch (info().format) {
+      case Format::None:
+      case Format::Store:
+      case Format::FStore:
+      case Format::Branch:
+        return false;
+      case Format::Jal:
+      case Format::Jalr:
+      case Format::RRR:
+      case Format::RRI:
+      case Format::Load:
+      case Format::FCmp:
+      case Format::CvtFI:
+        return rd != kRegZero; // integer x0 writes are discarded
+      default:
+        return true; // fp destinations always materialize
+    }
+}
+
+RegOperand
+Instruction::dest() const
+{
+    switch (info().format) {
+      case Format::FLoad:
+      case Format::FRRR:
+      case Format::FRR:
+      case Format::FMA:
+      case Format::CvtIF:
+        return {File::Fp, rd};
+      default:
+        return {File::Int, rd};
+    }
+}
+
+bool
+Instruction::isCall() const
+{
+    return (op == Opcode::Jal || op == Opcode::Jalr) && rd == kRegRa;
+}
+
+bool
+Instruction::isReturn() const
+{
+    return op == Opcode::Jalr && rd == kRegZero && rs1 == kRegRa;
+}
+
+bool
+Instruction::isMove() const
+{
+    return op == Opcode::Fmov ||
+           (op == Opcode::Addi && rs1 == kRegZero) ||
+           (op == Opcode::Add &&
+            (rs1 == kRegZero || rs2 == kRegZero));
+}
+
+std::string
+Instruction::disassemble() const
+{
+    std::ostringstream os;
+    os << mnemonic(op);
+    const auto pad = [&]() { os << " "; };
+    switch (info().format) {
+      case Format::None:
+        break;
+      case Format::RRR:
+        pad();
+        os << intRegName(rd) << ", " << intRegName(rs1) << ", "
+           << intRegName(rs2);
+        break;
+      case Format::RRI:
+        pad();
+        os << intRegName(rd) << ", " << intRegName(rs1) << ", " << imm;
+        break;
+      case Format::Load:
+        pad();
+        os << intRegName(rd) << ", " << imm << "(" << intRegName(rs1) << ")";
+        break;
+      case Format::Store:
+        pad();
+        os << intRegName(rs2) << ", " << imm << "(" << intRegName(rs1)
+           << ")";
+        break;
+      case Format::FLoad:
+        pad();
+        os << fpRegName(rd) << ", " << imm << "(" << intRegName(rs1) << ")";
+        break;
+      case Format::FStore:
+        pad();
+        os << fpRegName(rs2) << ", " << imm << "(" << intRegName(rs1)
+           << ")";
+        break;
+      case Format::FRRR:
+        pad();
+        os << fpRegName(rd) << ", " << fpRegName(rs1) << ", "
+           << fpRegName(rs2);
+        break;
+      case Format::FRR:
+        pad();
+        os << fpRegName(rd) << ", " << fpRegName(rs1);
+        break;
+      case Format::FMA:
+        pad();
+        os << fpRegName(rd) << ", " << fpRegName(rs1) << ", "
+           << fpRegName(rs2);
+        break;
+      case Format::FCmp:
+        pad();
+        os << intRegName(rd) << ", " << fpRegName(rs1) << ", "
+           << fpRegName(rs2);
+        break;
+      case Format::CvtIF:
+        pad();
+        os << fpRegName(rd) << ", " << intRegName(rs1);
+        break;
+      case Format::CvtFI:
+        pad();
+        os << intRegName(rd) << ", " << fpRegName(rs1);
+        break;
+      case Format::Branch:
+        pad();
+        os << intRegName(rs1) << ", " << intRegName(rs2) << ", " << imm;
+        break;
+      case Format::Jal:
+        pad();
+        os << intRegName(rd) << ", " << imm;
+        break;
+      case Format::Jalr:
+        pad();
+        os << intRegName(rd) << ", " << intRegName(rs1) << ", " << imm;
+        break;
+    }
+    return os.str();
+}
+
+std::uint64_t
+encode(const Instruction &instr)
+{
+    if (static_cast<std::uint16_t>(instr.op) >=
+        static_cast<std::uint16_t>(Opcode::NumOpcodes))
+        throw std::out_of_range("encode: invalid opcode");
+    if (instr.rd >= kNumIntRegs || instr.rs1 >= kNumIntRegs ||
+        instr.rs2 >= kNumIntRegs)
+        throw std::out_of_range("encode: register index out of range");
+    if (instr.imm < kImmMin || instr.imm > kImmMax)
+        throw std::out_of_range("encode: immediate out of range");
+
+    const std::uint64_t imm_field =
+        static_cast<std::uint64_t>(instr.imm) & ((1ULL << kImmBits) - 1);
+    return (static_cast<std::uint64_t>(instr.op) << 52) |
+           (static_cast<std::uint64_t>(instr.rd) << 46) |
+           (static_cast<std::uint64_t>(instr.rs1) << 40) |
+           (static_cast<std::uint64_t>(instr.rs2) << 34) |
+           imm_field;
+}
+
+Instruction
+decode(std::uint64_t word)
+{
+    Instruction instr;
+    const std::uint64_t op_field = word >> 52;
+    if (op_field >= static_cast<std::uint64_t>(Opcode::NumOpcodes))
+        throw std::invalid_argument("decode: unknown opcode field");
+    instr.op = static_cast<Opcode>(op_field);
+    instr.rd = static_cast<std::uint8_t>((word >> 46) & 0x3f);
+    instr.rs1 = static_cast<std::uint8_t>((word >> 40) & 0x3f);
+    instr.rs2 = static_cast<std::uint8_t>((word >> 34) & 0x3f);
+    if (instr.rd >= kNumIntRegs || instr.rs1 >= kNumIntRegs ||
+        instr.rs2 >= kNumIntRegs)
+        throw std::invalid_argument("decode: register index out of range");
+
+    std::uint64_t imm = word & ((1ULL << kImmBits) - 1);
+    // Sign-extend the 34-bit immediate.
+    if (imm & (1ULL << (kImmBits - 1)))
+        imm |= ~((1ULL << kImmBits) - 1);
+    instr.imm = static_cast<std::int64_t>(imm);
+    return instr;
+}
+
+} // namespace mica::isa

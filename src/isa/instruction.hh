@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SRISC instruction representation, binary encoding and operand model.
+ *
+ * Instructions are 8 bytes, encoded as
+ *   [63:52] opcode | [51:46] rd | [45:40] rs1 | [39:34] rs2 | [33:0] imm
+ * with a 34-bit sign-extended immediate. The decoded form is what the VM
+ * executes and what the instrumentation layer observes.
+ */
+
+#ifndef MICAPHASE_ISA_INSTRUCTION_HH
+#define MICAPHASE_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace mica::isa {
+
+/** Immediate field width in the binary encoding. */
+constexpr int kImmBits = 34;
+constexpr std::int64_t kImmMax = (1LL << (kImmBits - 1)) - 1;
+constexpr std::int64_t kImmMin = -(1LL << (kImmBits - 1));
+
+/** A register operand, tagged with its register file. */
+struct RegOperand
+{
+    enum class File : std::uint8_t { Int, Fp };
+
+    File file = File::Int;
+    std::uint8_t index = 0;
+
+    bool operator==(const RegOperand &) const = default;
+};
+
+/** Fixed-capacity list of register operands (an instruction reads <= 3). */
+struct RegList
+{
+    RegOperand regs[3];
+    std::uint8_t count = 0;
+
+    void
+    push(RegOperand::File file, std::uint8_t index)
+    {
+        regs[count++] = {file, index};
+    }
+
+    const RegOperand *begin() const { return regs; }
+    const RegOperand *end() const { return regs + count; }
+};
+
+/** One decoded SRISC instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int64_t imm = 0;
+
+    bool operator==(const Instruction &) const = default;
+
+    /** Metadata shorthand. */
+    [[nodiscard]] const OpcodeInfo &info() const { return opcodeInfo(op); }
+
+    /**
+     * Register source operands actually read by this instruction, in
+     * operand order, with x0 reads included (the VM reads it as zero; the
+     * characterization counts it as an operand just like MICA counts
+     * explicit x86 operands).
+     */
+    [[nodiscard]] RegList sources() const;
+
+    /** Register destination, if any. Writes to x0 are discarded. */
+    [[nodiscard]] bool hasDest() const;
+    [[nodiscard]] RegOperand dest() const;
+
+    /** True if this is a call (writes the link register). */
+    [[nodiscard]] bool isCall() const;
+
+    /** True if this is a return (indirect jump through the link register,
+     * discarding the link result). */
+    [[nodiscard]] bool isReturn() const;
+
+    /** True for register/immediate moves (addi rd, x0, imm and fmov). */
+    [[nodiscard]] bool isMove() const;
+
+    /** Disassemble to text ("add x3, x4, x5"). */
+    [[nodiscard]] std::string disassemble() const;
+};
+
+/**
+ * Encode to the 64-bit binary form.
+ * Throws std::out_of_range when a field does not fit.
+ */
+[[nodiscard]] std::uint64_t encode(const Instruction &instr);
+
+/**
+ * Decode from the 64-bit binary form.
+ * Throws std::invalid_argument for an unknown opcode field.
+ */
+[[nodiscard]] Instruction decode(std::uint64_t word);
+
+} // namespace mica::isa
+
+#endif // MICAPHASE_ISA_INSTRUCTION_HH

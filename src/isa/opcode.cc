@@ -1,0 +1,167 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <cassert>
+
+namespace mica::isa {
+
+namespace {
+
+constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    // mnemonic, format, group, mem_bytes
+    {"add",    Format::RRR,    OpGroup::IntArith,   0}, // Add
+    {"sub",    Format::RRR,    OpGroup::IntArith,   0}, // Sub
+    {"mul",    Format::RRR,    OpGroup::IntMul,     0}, // Mul
+    {"div",    Format::RRR,    OpGroup::IntDiv,     0}, // Div
+    {"rem",    Format::RRR,    OpGroup::IntDiv,     0}, // Rem
+    {"and",    Format::RRR,    OpGroup::IntLogic,   0}, // And
+    {"or",     Format::RRR,    OpGroup::IntLogic,   0}, // Or
+    {"xor",    Format::RRR,    OpGroup::IntLogic,   0}, // Xor
+    {"sll",    Format::RRR,    OpGroup::IntShift,   0}, // Sll
+    {"srl",    Format::RRR,    OpGroup::IntShift,   0}, // Srl
+    {"sra",    Format::RRR,    OpGroup::IntShift,   0}, // Sra
+    {"slt",    Format::RRR,    OpGroup::IntCmp,     0}, // Slt
+    {"sltu",   Format::RRR,    OpGroup::IntCmp,     0}, // Sltu
+    {"addi",   Format::RRI,    OpGroup::IntArith,   0}, // Addi
+    {"andi",   Format::RRI,    OpGroup::IntLogic,   0}, // Andi
+    {"ori",    Format::RRI,    OpGroup::IntLogic,   0}, // Ori
+    {"xori",   Format::RRI,    OpGroup::IntLogic,   0}, // Xori
+    {"slli",   Format::RRI,    OpGroup::IntShift,   0}, // Slli
+    {"srli",   Format::RRI,    OpGroup::IntShift,   0}, // Srli
+    {"srai",   Format::RRI,    OpGroup::IntShift,   0}, // Srai
+    {"slti",   Format::RRI,    OpGroup::IntCmp,     0}, // Slti
+    {"lb",     Format::Load,   OpGroup::Load,       1}, // Lb
+    {"lh",     Format::Load,   OpGroup::Load,       2}, // Lh
+    {"lw",     Format::Load,   OpGroup::Load,       4}, // Lw
+    {"ld",     Format::Load,   OpGroup::Load,       8}, // Ld
+    {"sb",     Format::Store,  OpGroup::Store,      1}, // Sb
+    {"sh",     Format::Store,  OpGroup::Store,      2}, // Sh
+    {"sw",     Format::Store,  OpGroup::Store,      4}, // Sw
+    {"sd",     Format::Store,  OpGroup::Store,      8}, // Sd
+    {"fld",    Format::FLoad,  OpGroup::Load,       8}, // Fld
+    {"fsd",    Format::FStore, OpGroup::Store,      8}, // Fsd
+    {"fadd",   Format::FRRR,   OpGroup::FpArith,    0}, // Fadd
+    {"fsub",   Format::FRRR,   OpGroup::FpArith,    0}, // Fsub
+    {"fmul",   Format::FRRR,   OpGroup::FpMul,      0}, // Fmul
+    {"fdiv",   Format::FRRR,   OpGroup::FpDiv,      0}, // Fdiv
+    {"fsqrt",  Format::FRR,    OpGroup::FpSqrt,     0}, // Fsqrt
+    {"fmadd",  Format::FMA,    OpGroup::FpMul,      0}, // Fmadd
+    {"fneg",   Format::FRR,    OpGroup::FpArith,    0}, // Fneg
+    {"fabs",   Format::FRR,    OpGroup::FpArith,    0}, // Fabs
+    {"fmov",   Format::FRR,    OpGroup::Other,      0}, // Fmov
+    {"fcmplt", Format::FCmp,   OpGroup::FpCmp,      0}, // Fcmplt
+    {"fcmple", Format::FCmp,   OpGroup::FpCmp,      0}, // Fcmple
+    {"fcmpeq", Format::FCmp,   OpGroup::FpCmp,      0}, // Fcmpeq
+    {"cvtif",  Format::CvtIF,  OpGroup::FpCvt,      0}, // Cvtif
+    {"cvtfi",  Format::CvtFI,  OpGroup::FpCvt,      0}, // Cvtfi
+    {"beq",    Format::Branch, OpGroup::CondBranch, 0}, // Beq
+    {"bne",    Format::Branch, OpGroup::CondBranch, 0}, // Bne
+    {"blt",    Format::Branch, OpGroup::CondBranch, 0}, // Blt
+    {"bge",    Format::Branch, OpGroup::CondBranch, 0}, // Bge
+    {"bltu",   Format::Branch, OpGroup::CondBranch, 0}, // Bltu
+    {"bgeu",   Format::Branch, OpGroup::CondBranch, 0}, // Bgeu
+    {"jal",    Format::Jal,    OpGroup::Jump,       0}, // Jal
+    {"jalr",   Format::Jalr,   OpGroup::Jump,       0}, // Jalr
+    {"nop",    Format::None,   OpGroup::Other,      0}, // Nop
+    {"halt",   Format::None,   OpGroup::Other,      0}, // Halt
+}};
+
+constexpr std::array<std::string_view, kNumIntRegs> kIntRegNames = {
+    "x0",  "x1",  "x2",  "x3",  "x4",  "x5",  "x6",  "x7",
+    "x8",  "x9",  "x10", "x11", "x12", "x13", "x14", "x15",
+    "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23",
+    "x24", "x25", "x26", "x27", "x28", "x29", "x30", "x31",
+};
+
+constexpr std::array<std::string_view, kNumFpRegs> kFpRegNames = {
+    "f0",  "f1",  "f2",  "f3",  "f4",  "f5",  "f6",  "f7",
+    "f8",  "f9",  "f10", "f11", "f12", "f13", "f14", "f15",
+    "f16", "f17", "f18", "f19", "f20", "f21", "f22", "f23",
+    "f24", "f25", "f26", "f27", "f28", "f29", "f30", "f31",
+};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    assert(idx < kNumOpcodes);
+    return kOpcodeTable[idx];
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    return opcodeInfo(op).mnemonic;
+}
+
+Opcode
+opcodeFromMnemonic(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i)
+        if (kOpcodeTable[i].mnemonic == name)
+            return static_cast<Opcode>(i);
+    return Opcode::NumOpcodes;
+}
+
+std::string_view
+intRegName(std::uint8_t index)
+{
+    assert(index < kNumIntRegs);
+    return kIntRegNames[index];
+}
+
+std::string_view
+fpRegName(std::uint8_t index)
+{
+    assert(index < kNumFpRegs);
+    return kFpRegNames[index];
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opcodeInfo(op).group == OpGroup::CondBranch;
+}
+
+bool
+isControl(Opcode op)
+{
+    const OpGroup g = opcodeInfo(op).group;
+    return g == OpGroup::CondBranch || g == OpGroup::Jump;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opcodeInfo(op).group == OpGroup::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opcodeInfo(op).group == OpGroup::Store;
+}
+
+bool
+isFpOp(Opcode op)
+{
+    switch (opcodeInfo(op).group) {
+      case OpGroup::FpArith:
+      case OpGroup::FpMul:
+      case OpGroup::FpDiv:
+      case OpGroup::FpSqrt:
+      case OpGroup::FpCmp:
+      case OpGroup::FpCvt:
+        return true;
+      default:
+        return op == Opcode::Fld || op == Opcode::Fsd ||
+               op == Opcode::Fmov;
+    }
+}
+
+} // namespace mica::isa

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Opcode set and static metadata of the SRISC mini-ISA.
+ *
+ * SRISC is the synthetic RISC instruction set our benchmark programs are
+ * written in. It stands in for the x86 binaries of the paper's (licensed)
+ * benchmark suites: the characterization methodology only consumes the
+ * dynamic instruction stream's microarchitecture-independent properties
+ * (operation classes, register operands, memory addresses, branch outcomes),
+ * all of which SRISC exposes.
+ *
+ * The ISA is deliberately RISC-V-flavoured: 32 integer registers (x0 wired
+ * to zero), 32 floating-point registers, byte-addressed memory and 8-byte
+ * fixed-width instructions.
+ */
+
+#ifndef MICAPHASE_ISA_OPCODE_HH
+#define MICAPHASE_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace mica::isa {
+
+/** Number of integer and floating-point architectural registers. */
+constexpr int kNumIntRegs = 32;
+constexpr int kNumFpRegs = 32;
+
+/** Conventional register roles used by generated code. */
+constexpr std::uint8_t kRegZero = 0; ///< hard-wired zero
+constexpr std::uint8_t kRegRa = 1;   ///< return address (link register)
+constexpr std::uint8_t kRegSp = 2;   ///< stack pointer
+
+/** Size of one encoded instruction in bytes (fixed width). */
+constexpr std::uint64_t kInstrBytes = 8;
+
+/** All SRISC opcodes. */
+enum class Opcode : std::uint16_t
+{
+    // Integer register-register ALU.
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    // Integer register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    // Integer loads (sign-extending) and stores.
+    Lb, Lh, Lw, Ld, Sb, Sh, Sw, Sd,
+    // Floating-point load/store (64-bit IEEE double).
+    Fld, Fsd,
+    // Floating-point arithmetic.
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fmadd, Fneg, Fabs, Fmov,
+    // Floating-point compares (write an integer register).
+    Fcmplt, Fcmple, Fcmpeq,
+    // Conversions between the register files.
+    Cvtif, ///< fd = (double)rs1
+    Cvtfi, ///< rd = (int64)fs1, truncating
+    // Control transfer.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, Jal, Jalr,
+    // Miscellaneous.
+    Nop, Halt,
+
+    NumOpcodes,
+};
+
+/** Operand/encoding format of an opcode. */
+enum class Format : std::uint8_t
+{
+    None,   ///< no operands (nop, halt)
+    RRR,    ///< rd, rs1, rs2 — all integer
+    RRI,    ///< rd, rs1, imm — integer
+    Load,   ///< rd, imm(rs1) — integer destination
+    Store,  ///< rs2, imm(rs1) — integer source
+    FLoad,  ///< fd, imm(rs1)
+    FStore, ///< fs2, imm(rs1)
+    FRRR,   ///< fd, fs1, fs2
+    FRR,    ///< fd, fs1
+    FMA,    ///< fd, fs1, fs2 with fd read-modify-write
+    FCmp,   ///< rd(int), fs1, fs2
+    CvtIF,  ///< fd, rs1(int)
+    CvtFI,  ///< rd(int), fs1
+    Branch, ///< rs1, rs2, imm (pc-relative byte offset)
+    Jal,    ///< rd, imm (pc-relative byte offset)
+    Jalr,   ///< rd, rs1, imm (absolute indirect)
+};
+
+/** Primary operation group used by the instruction-mix characterization. */
+enum class OpGroup : std::uint8_t
+{
+    IntArith, IntMul, IntDiv, IntLogic, IntShift, IntCmp,
+    FpArith, FpMul, FpDiv, FpSqrt, FpCmp, FpCvt,
+    Load, Store, CondBranch, Jump, Other,
+};
+
+/** Static metadata describing one opcode. */
+struct OpcodeInfo
+{
+    std::string_view mnemonic;
+    Format format;
+    OpGroup group;
+    std::uint8_t mem_bytes; ///< access size; 0 for non-memory instructions
+};
+
+/** Metadata lookup; valid for every opcode below NumOpcodes. */
+[[nodiscard]] const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Mnemonic lookup helper. */
+[[nodiscard]] std::string_view mnemonic(Opcode op);
+
+/** Reverse lookup: mnemonic to opcode; returns NumOpcodes when unknown. */
+[[nodiscard]] Opcode opcodeFromMnemonic(std::string_view name);
+
+/** Printable name of integer register i ("x0".."x31"). */
+[[nodiscard]] std::string_view intRegName(std::uint8_t index);
+
+/** Printable name of floating-point register i ("f0".."f31"). */
+[[nodiscard]] std::string_view fpRegName(std::uint8_t index);
+
+/** True for conditional branch opcodes. */
+[[nodiscard]] bool isCondBranch(Opcode op);
+
+/** True for any control-transfer opcode (branches, jal, jalr). */
+[[nodiscard]] bool isControl(Opcode op);
+
+/** True when the opcode reads memory. */
+[[nodiscard]] bool isLoad(Opcode op);
+
+/** True when the opcode writes memory. */
+[[nodiscard]] bool isStore(Opcode op);
+
+/** True for floating-point operations (including fp loads/stores/cmp/cvt). */
+[[nodiscard]] bool isFpOp(Opcode op);
+
+} // namespace mica::isa
+
+#endif // MICAPHASE_ISA_OPCODE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A loadable SRISC program image: code, initial data, and load addresses.
+ */
+
+#ifndef MICAPHASE_ISA_PROGRAM_HH
+#define MICAPHASE_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace mica::isa {
+
+/** Default segment load addresses used by generated programs. */
+constexpr std::uint64_t kDefaultCodeBase = 0x0000000000010000ULL;
+constexpr std::uint64_t kDefaultDataBase = 0x0000000001000000ULL;
+constexpr std::uint64_t kDefaultStackTop = 0x00000000f0000000ULL;
+
+/** A complete program image ready to load into the VM. */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+    std::vector<std::uint8_t> data;
+
+    std::uint64_t code_base = kDefaultCodeBase;
+    std::uint64_t data_base = kDefaultDataBase;
+    std::uint64_t stack_top = kDefaultStackTop;
+
+    /** Entry point (pc of the first executed instruction). */
+    [[nodiscard]] std::uint64_t entry() const { return code_base; }
+
+    /** pc of instruction index i. */
+    [[nodiscard]] std::uint64_t
+    pcOf(std::size_t index) const
+    {
+        return code_base + index * kInstrBytes;
+    }
+
+    /** Instruction index of a pc; pc must be in range and aligned. */
+    [[nodiscard]] std::size_t
+    indexOf(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>((pc - code_base) / kInstrBytes);
+    }
+
+    /** True when pc addresses an instruction of this program. */
+    [[nodiscard]] bool
+    containsPc(std::uint64_t pc) const
+    {
+        return pc >= code_base && pc < code_base + code.size() * kInstrBytes
+            && (pc - code_base) % kInstrBytes == 0;
+    }
+};
+
+} // namespace mica::isa
+
+#endif // MICAPHASE_ISA_PROGRAM_HH

@@ -1,0 +1,115 @@
+#include "mica/ilp.hh"
+
+#include <algorithm>
+
+namespace mica::profiler {
+
+using isa::RegOperand;
+
+IlpAnalyzer::IlpAnalyzer()
+{
+    reg_producer_.fill(kNoProducer);
+    for (std::size_t w = 0; w < kNumIlpWindows; ++w) {
+        windows_[w].window = kIlpWindows[w];
+        windows_[w].done.assign(kIlpWindows[w], 0);
+        windows_[w].retire.assign(kIlpWindows[w], 0);
+    }
+}
+
+void
+IlpAnalyzer::onInstruction(const vm::DynInstr &dyn)
+{
+    const isa::Instruction &in = *dyn.instr;
+
+    // Gather producer indices (identical for every window size).
+    std::uint64_t producers[4];
+    std::size_t num_producers = 0;
+    for (const RegOperand &src : in.sources()) {
+        if (src.file == RegOperand::File::Int && src.index == isa::kRegZero)
+            continue; // x0 has no producer
+        const std::size_t slot = (src.file == RegOperand::File::Fp ? 32 : 0)
+            + src.index;
+        const std::uint64_t p = reg_producer_[slot];
+        if (p != kNoProducer)
+            producers[num_producers++] = p;
+    }
+    if (dyn.is_load) {
+        // Store-to-load dependence at 8-byte block granularity; accesses
+        // are at most 8 bytes so they span at most two blocks.
+        const std::uint64_t first = dyn.mem_addr >> 3;
+        const std::uint64_t last =
+            (dyn.mem_addr + dyn.mem_bytes - 1) >> 3;
+        for (std::uint64_t blk = first; blk <= last; ++blk) {
+            auto it = mem_producer_.find(blk);
+            if (it != mem_producer_.end())
+                producers[num_producers++] = it->second;
+            if (num_producers == 4)
+                break;
+        }
+    }
+
+    // Schedule in every window.
+    for (auto &ws : windows_) {
+        const std::uint32_t w = ws.window;
+        const std::size_t slot = static_cast<std::size_t>(index_ % w);
+        // Window constraint: instruction (index_-W) must have retired.
+        std::uint64_t start = index_ >= w ? ws.retire[slot] : 0;
+        for (std::size_t i = 0; i < num_producers; ++i) {
+            const std::uint64_t p = producers[i];
+            // Producers older than the window head are covered by the
+            // monotone retire constraint.
+            if (p + w > index_) {
+                const std::uint64_t d = ws.done[p % w];
+                start = std::max(start, d);
+            }
+        }
+        const std::uint64_t done = start + 1; // unit latency
+        ws.done[slot] = done;
+        ws.horizon = std::max(ws.horizon, done);
+        ws.retire[slot] = ws.horizon;
+    }
+
+    // Record this instruction as producer of its outputs.
+    if (in.hasDest()) {
+        const RegOperand d = in.dest();
+        const std::size_t slot = (d.file == RegOperand::File::Fp ? 32 : 0)
+            + d.index;
+        reg_producer_[slot] = index_;
+    }
+    if (dyn.is_store) {
+        const std::uint64_t first = dyn.mem_addr >> 3;
+        const std::uint64_t last =
+            (dyn.mem_addr + dyn.mem_bytes - 1) >> 3;
+        for (std::uint64_t blk = first; blk <= last; ++blk)
+            mem_producer_[blk] = index_;
+    }
+
+    ++index_;
+}
+
+std::array<double, kNumIlpWindows>
+IlpAnalyzer::closeInterval()
+{
+    std::array<double, kNumIlpWindows> out{};
+    const std::uint64_t n = index_ - interval_start_index_;
+    for (std::size_t w = 0; w < kNumIlpWindows; ++w) {
+        const std::uint64_t cycles =
+            windows_[w].horizon - windows_[w].interval_start_cycle;
+        out[w] = cycles > 0
+            ? static_cast<double>(n) / static_cast<double>(cycles)
+            : 0.0;
+        windows_[w].interval_start_cycle = windows_[w].horizon;
+    }
+    interval_start_index_ = index_;
+
+    // The store producer map grows with the write footprint; cap its size
+    // across interval boundaries to keep long runs bounded. Dropping old
+    // entries only loses dependences that the retire constraint almost
+    // always subsumes anyway.
+    if (mem_producer_.size() > (1u << 20))
+        mem_producer_.clear();
+
+    return out;
+}
+
+} // namespace mica::profiler

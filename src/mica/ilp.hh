@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ideal-window ILP analysis (paper Table 1, "ILP" category).
+ *
+ * Models the IPC achievable on an idealized out-of-order processor with
+ * perfect caches and branch prediction, unit execution latency, unlimited
+ * issue width, and a reorder window of W in-flight instructions with
+ * in-order retirement. The only constraints are true data dependences
+ * (register producers, and store-to-load forwarding through memory) and the
+ * window: instruction i may not issue before instruction i-W has retired.
+ *
+ * The dependence structure is extracted once (it is identical for all
+ * window sizes) and shared across the per-window schedulers.
+ */
+
+#ifndef MICAPHASE_MICA_ILP_HH
+#define MICAPHASE_MICA_ILP_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/trace.hh"
+
+namespace mica::profiler {
+
+/** Number of window sizes measured. */
+constexpr std::size_t kNumIlpWindows = 4;
+
+/** The measured window sizes (paper: 32, 64, 128, 256). */
+constexpr std::array<std::uint32_t, kNumIlpWindows> kIlpWindows = {
+    32, 64, 128, 256};
+
+/** Shared dependence extraction plus one scheduler per window size. */
+class IlpAnalyzer
+{
+  public:
+    IlpAnalyzer();
+
+    /** Feed the next dynamic instruction. */
+    void onInstruction(const vm::DynInstr &dyn);
+
+    /**
+     * Close the current interval: returns IPC per window size for the
+     * instructions observed since the previous close, and starts a new
+     * interval.
+     */
+    [[nodiscard]] std::array<double, kNumIlpWindows> closeInterval();
+
+    /** Total instructions observed. */
+    [[nodiscard]] std::uint64_t instructionCount() const { return index_; }
+
+  private:
+    /** One window's scheduler state. */
+    struct WindowState
+    {
+        std::uint32_t window = 0;
+        std::vector<std::uint64_t> done;   ///< circular: finish cycles
+        std::vector<std::uint64_t> retire; ///< circular: retire cycles
+        std::uint64_t horizon = 0;         ///< retire cycle of newest instr
+        std::uint64_t interval_start_cycle = 0;
+    };
+
+    std::uint64_t index_ = 0;               ///< dynamic instruction index
+    std::uint64_t interval_start_index_ = 0;
+
+    /** Producer instruction index per architectural register. */
+    std::array<std::uint64_t, 64> reg_producer_;
+    /** Producer instruction index per 8-byte memory block (stores). */
+    std::unordered_map<std::uint64_t, std::uint64_t> mem_producer_;
+
+    std::array<WindowState, kNumIlpWindows> windows_;
+
+    static constexpr std::uint64_t kNoProducer = ~0ULL;
+};
+
+} // namespace mica::profiler
+
+#endif // MICAPHASE_MICA_ILP_HH

@@ -1,0 +1,154 @@
+#include "mica/metrics.hh"
+
+#include <cassert>
+
+namespace mica::metrics {
+
+namespace {
+
+using C = Category;
+
+constexpr std::array<MetricInfo, kNumCharacteristics> kTable = {{
+    // Instruction mix.
+    {"mix_mem_read", "fraction of memory read instructions",
+     C::InstructionMix},
+    {"mix_mem_write", "fraction of memory write instructions",
+     C::InstructionMix},
+    {"mix_control", "fraction of control transfer instructions",
+     C::InstructionMix},
+    {"mix_cond_branch", "fraction of conditional branches",
+     C::InstructionMix},
+    {"mix_call", "fraction of calls", C::InstructionMix},
+    {"mix_return", "fraction of returns", C::InstructionMix},
+    {"mix_int_arith", "fraction of integer add/sub", C::InstructionMix},
+    {"mix_int_mul", "fraction of integer multiplies", C::InstructionMix},
+    {"mix_int_div", "fraction of integer divides/remainders",
+     C::InstructionMix},
+    {"mix_int_logic", "fraction of integer logical operations",
+     C::InstructionMix},
+    {"mix_int_shift", "fraction of integer shifts", C::InstructionMix},
+    {"mix_int_cmp", "fraction of integer compares", C::InstructionMix},
+    {"mix_fp_arith", "fraction of fp add/sub/neg/abs", C::InstructionMix},
+    {"mix_fp_mul", "fraction of fp multiplies (incl. fmadd)",
+     C::InstructionMix},
+    {"mix_fp_div", "fraction of fp divides", C::InstructionMix},
+    {"mix_fp_sqrt", "fraction of fp square roots", C::InstructionMix},
+    {"mix_fp_cmp", "fraction of fp compares", C::InstructionMix},
+    {"mix_fp_cvt", "fraction of int<->fp conversions", C::InstructionMix},
+    {"mix_move", "fraction of register/immediate moves", C::InstructionMix},
+    {"mix_nop_other", "fraction of nops and other instructions",
+     C::InstructionMix},
+
+    // ILP.
+    {"ilp_w32", "ideal IPC, 32-entry window", C::Ilp},
+    {"ilp_w64", "ideal IPC, 64-entry window", C::Ilp},
+    {"ilp_w128", "ideal IPC, 128-entry window", C::Ilp},
+    {"ilp_w256", "ideal IPC, 256-entry window", C::Ilp},
+
+    // Register traffic.
+    {"reg_input_operands", "average register input operands per instruction",
+     C::RegisterTraffic},
+    {"reg_degree_of_use", "average register reads per register write",
+     C::RegisterTraffic},
+    {"reg_dep_dist_le1", "P(register dependency distance <= 1)",
+     C::RegisterTraffic},
+    {"reg_dep_dist_le2", "P(register dependency distance <= 2)",
+     C::RegisterTraffic},
+    {"reg_dep_dist_le4", "P(register dependency distance <= 4)",
+     C::RegisterTraffic},
+    {"reg_dep_dist_le8", "P(register dependency distance <= 8)",
+     C::RegisterTraffic},
+    {"reg_dep_dist_le16", "P(register dependency distance <= 16)",
+     C::RegisterTraffic},
+    {"reg_dep_dist_le32", "P(register dependency distance <= 32)",
+     C::RegisterTraffic},
+    {"reg_dep_dist_gt32", "P(register dependency distance > 32)",
+     C::RegisterTraffic},
+
+    // Memory footprint.
+    {"instr_footprint_64b", "unique 64-byte blocks in instruction stream",
+     C::MemoryFootprint},
+    {"instr_footprint_4k", "unique 4KB pages in instruction stream",
+     C::MemoryFootprint},
+    {"data_footprint_64b", "unique 64-byte blocks in data stream",
+     C::MemoryFootprint},
+    {"data_footprint_4k", "unique 4KB pages in data stream",
+     C::MemoryFootprint},
+
+    // Strides.
+    {"lls_0", "P(local load stride == 0)", C::DataStride},
+    {"lls_8", "P(local load stride <= 8)", C::DataStride},
+    {"lls_64", "P(local load stride <= 64)", C::DataStride},
+    {"lls_512", "P(local load stride <= 512)", C::DataStride},
+    {"lls_4096", "P(local load stride <= 4096)", C::DataStride},
+    {"lss_0", "P(local store stride == 0)", C::DataStride},
+    {"lss_8", "P(local store stride <= 8)", C::DataStride},
+    {"lss_64", "P(local store stride <= 64)", C::DataStride},
+    {"lss_512", "P(local store stride <= 512)", C::DataStride},
+    {"lss_4096", "P(local store stride <= 4096)", C::DataStride},
+    {"gls_64", "P(global load stride <= 64)", C::DataStride},
+    {"gls_512", "P(global load stride <= 512)", C::DataStride},
+    {"gls_4096", "P(global load stride <= 4096)", C::DataStride},
+    {"gls_32768", "P(global load stride <= 32768)", C::DataStride},
+    {"gss_64", "P(global store stride <= 64)", C::DataStride},
+    {"gss_512", "P(global store stride <= 512)", C::DataStride},
+    {"gss_4096", "P(global store stride <= 4096)", C::DataStride},
+    {"gss_32768", "P(global store stride <= 32768)", C::DataStride},
+
+    // Branch behaviour.
+    {"br_taken_rate", "average branch taken rate",
+     C::BranchPredictability},
+    {"br_transition_rate", "average branch transition rate",
+     C::BranchPredictability},
+    {"ppm_gag_4", "PPM miss rate, global history/global table, 4 bits",
+     C::BranchPredictability},
+    {"ppm_gag_8", "PPM miss rate, global history/global table, 8 bits",
+     C::BranchPredictability},
+    {"ppm_gag_12", "PPM miss rate, global history/global table, 12 bits",
+     C::BranchPredictability},
+    {"ppm_gas_4", "PPM miss rate, global history/per-address table, 4 bits",
+     C::BranchPredictability},
+    {"ppm_gas_8", "PPM miss rate, global history/per-address table, 8 bits",
+     C::BranchPredictability},
+    {"ppm_gas_12",
+     "PPM miss rate, global history/per-address table, 12 bits",
+     C::BranchPredictability},
+    {"ppm_pag_4", "PPM miss rate, local history/global table, 4 bits",
+     C::BranchPredictability},
+    {"ppm_pag_8", "PPM miss rate, local history/global table, 8 bits",
+     C::BranchPredictability},
+    {"ppm_pag_12", "PPM miss rate, local history/global table, 12 bits",
+     C::BranchPredictability},
+    {"ppm_pas_4", "PPM miss rate, local history/per-address table, 4 bits",
+     C::BranchPredictability},
+    {"ppm_pas_8", "PPM miss rate, local history/per-address table, 8 bits",
+     C::BranchPredictability},
+    {"ppm_pas_12",
+     "PPM miss rate, local history/per-address table, 12 bits",
+     C::BranchPredictability},
+}};
+
+} // namespace
+
+const MetricInfo &
+metricInfo(std::size_t index)
+{
+    assert(index < kNumCharacteristics);
+    return kTable[index];
+}
+
+std::string_view
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::InstructionMix: return "instruction mix";
+      case Category::Ilp: return "ILP";
+      case Category::RegisterTraffic: return "register traffic";
+      case Category::MemoryFootprint: return "memory footprint";
+      case Category::DataStride: return "data stream strides";
+      case Category::BranchPredictability: return "branch predictability";
+    }
+    return "?";
+}
+
+} // namespace mica::metrics

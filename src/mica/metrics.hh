@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The 69 microarchitecture-independent characteristics (paper Table 1).
+ *
+ * Index layout (totals per category reconstructed from the paper:
+ * 20 + 4 + 9 + 4 + 18 + 14 = 69):
+ *
+ *  - [0, 20)  instruction mix fractions
+ *  - [20, 24) ideal-window ILP for windows 32/64/128/256
+ *  - [24, 33) register traffic (operands, degree of use, 7 distance buckets)
+ *  - [33, 37) memory footprints (instr/data x 64B blocks/4KB pages)
+ *  - [37, 55) data stride cumulative distributions
+ *  - [55, 69) branch behaviour (taken rate, transition rate, 12 PPM rates)
+ */
+
+#ifndef MICAPHASE_MICA_METRICS_HH
+#define MICAPHASE_MICA_METRICS_HH
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace mica::metrics {
+
+/** Total number of characteristics measured per instruction interval. */
+constexpr std::size_t kNumCharacteristics = 69;
+
+/** A full characterization of one instruction interval. */
+using CharacteristicVector = std::array<double, kNumCharacteristics>;
+
+/** Table 1 categories. */
+enum class Category : std::uint8_t
+{
+    InstructionMix,
+    Ilp,
+    RegisterTraffic,
+    MemoryFootprint,
+    DataStride,
+    BranchPredictability,
+};
+
+/** Static description of one characteristic. */
+struct MetricInfo
+{
+    std::string_view name;        ///< short machine-friendly identifier
+    std::string_view description; ///< Table-1-style human description
+    Category category;
+};
+
+/** Metadata for characteristic index i (i < kNumCharacteristics). */
+[[nodiscard]] const MetricInfo &metricInfo(std::size_t index);
+
+/** Printable category name. */
+[[nodiscard]] std::string_view categoryName(Category category);
+
+/** Characteristic indices, grouped as in Table 1. */
+namespace midx {
+
+// Instruction mix (fractions of dynamic instructions). Note that the first
+// six categories overlap with the rest (a load is also counted in its
+// producing category? No: MemRead/MemWrite/Control and their sub-fractions
+// are separate views of the same stream; the remaining 14 partition the
+// non-memory, non-control instructions).
+constexpr std::size_t MixMemRead = 0;
+constexpr std::size_t MixMemWrite = 1;
+constexpr std::size_t MixControl = 2;
+constexpr std::size_t MixCondBranch = 3;
+constexpr std::size_t MixCall = 4;
+constexpr std::size_t MixReturn = 5;
+constexpr std::size_t MixIntArith = 6;
+constexpr std::size_t MixIntMul = 7;
+constexpr std::size_t MixIntDiv = 8;
+constexpr std::size_t MixIntLogic = 9;
+constexpr std::size_t MixIntShift = 10;
+constexpr std::size_t MixIntCmp = 11;
+constexpr std::size_t MixFpArith = 12;
+constexpr std::size_t MixFpMul = 13;
+constexpr std::size_t MixFpDiv = 14;
+constexpr std::size_t MixFpSqrt = 15;
+constexpr std::size_t MixFpCmp = 16;
+constexpr std::size_t MixFpCvt = 17;
+constexpr std::size_t MixMove = 18;
+constexpr std::size_t MixNopOther = 19;
+
+// Ideal-processor ILP (IPC with perfect caches/branch prediction, unit
+// latency, infinite issue width) for four reorder-window sizes.
+constexpr std::size_t Ilp32 = 20;
+constexpr std::size_t Ilp64 = 21;
+constexpr std::size_t Ilp128 = 22;
+constexpr std::size_t Ilp256 = 23;
+
+// Register traffic.
+constexpr std::size_t RegInputOperands = 24; ///< avg reg sources per instr
+constexpr std::size_t RegDegreeOfUse = 25;   ///< reads per register write
+constexpr std::size_t RegDepDist1 = 26;      ///< P(distance <= 1)
+constexpr std::size_t RegDepDist2 = 27;      ///< P(distance <= 2)
+constexpr std::size_t RegDepDist4 = 28;      ///< P(distance <= 4)
+constexpr std::size_t RegDepDist8 = 29;      ///< P(distance <= 8)
+constexpr std::size_t RegDepDist16 = 30;     ///< P(distance <= 16)
+constexpr std::size_t RegDepDist32 = 31;     ///< P(distance <= 32)
+constexpr std::size_t RegDepDistGt32 = 32;   ///< P(distance > 32)
+
+// Memory footprints (unique blocks/pages touched in the interval).
+constexpr std::size_t InstrFootprint64B = 33;
+constexpr std::size_t InstrFootprint4K = 34;
+constexpr std::size_t DataFootprint64B = 35;
+constexpr std::size_t DataFootprint4K = 36;
+
+// Data-stride cumulative probabilities. "Local" strides are between
+// consecutive accesses of the same static instruction; "global" strides are
+// between consecutive accesses of any instruction; loads and stores are
+// tracked separately (paper Table 1).
+constexpr std::size_t LocalLoadStride0 = 37;
+constexpr std::size_t LocalLoadStride8 = 38;
+constexpr std::size_t LocalLoadStride64 = 39;
+constexpr std::size_t LocalLoadStride512 = 40;
+constexpr std::size_t LocalLoadStride4096 = 41;
+constexpr std::size_t LocalStoreStride0 = 42;
+constexpr std::size_t LocalStoreStride8 = 43;
+constexpr std::size_t LocalStoreStride64 = 44;
+constexpr std::size_t LocalStoreStride512 = 45;
+constexpr std::size_t LocalStoreStride4096 = 46;
+constexpr std::size_t GlobalLoadStride64 = 47;
+constexpr std::size_t GlobalLoadStride512 = 48;
+constexpr std::size_t GlobalLoadStride4096 = 49;
+constexpr std::size_t GlobalLoadStride32768 = 50;
+constexpr std::size_t GlobalStoreStride64 = 51;
+constexpr std::size_t GlobalStoreStride512 = 52;
+constexpr std::size_t GlobalStoreStride4096 = 53;
+constexpr std::size_t GlobalStoreStride32768 = 54;
+
+// Branch behaviour.
+constexpr std::size_t BranchTakenRate = 55;
+constexpr std::size_t BranchTransitionRate = 56;
+// PPM misprediction rates: {GAg, GAs, PAg, PAs} x history {4, 8, 12}.
+constexpr std::size_t PpmGag4 = 57;
+constexpr std::size_t PpmGag8 = 58;
+constexpr std::size_t PpmGag12 = 59;
+constexpr std::size_t PpmGas4 = 60;
+constexpr std::size_t PpmGas8 = 61;
+constexpr std::size_t PpmGas12 = 62;
+constexpr std::size_t PpmPag4 = 63;
+constexpr std::size_t PpmPag8 = 64;
+constexpr std::size_t PpmPag12 = 65;
+constexpr std::size_t PpmPas4 = 66;
+constexpr std::size_t PpmPas8 = 67;
+constexpr std::size_t PpmPas12 = 68;
+
+} // namespace midx
+
+} // namespace mica::metrics
+
+#endif // MICAPHASE_MICA_METRICS_HH

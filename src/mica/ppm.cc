@@ -1,0 +1,98 @@
+#include "mica/ppm.hh"
+
+#include <cassert>
+
+namespace mica::profiler {
+
+PpmPredictor::PpmPredictor(unsigned max_history, bool local_history,
+                           bool per_address)
+    : max_history_(max_history),
+      local_history_(local_history),
+      per_address_(per_address),
+      tables_(max_history + 1)
+{
+    assert(max_history <= 20);
+}
+
+std::uint32_t
+PpmPredictor::historyFor(std::uint64_t pc) const
+{
+    if (!local_history_)
+        return global_history_;
+    auto it = local_histories_.find(pc);
+    return it == local_histories_.end() ? 0 : it->second;
+}
+
+void
+PpmPredictor::updateHistory(std::uint64_t pc, bool taken)
+{
+    const std::uint32_t bit = taken ? 1u : 0u;
+    const std::uint32_t mask = (1u << max_history_) - 1u;
+    if (local_history_) {
+        std::uint32_t &h = local_histories_[pc];
+        h = ((h << 1) | bit) & mask;
+    } else {
+        global_history_ = ((global_history_ << 1) | bit) & mask;
+    }
+}
+
+std::uint64_t
+PpmPredictor::key(std::uint64_t pc, std::uint32_t history,
+                  unsigned length) const
+{
+    const std::uint32_t ctx =
+        length == 0 ? 0 : history & ((1u << length) - 1u);
+    // History fits in 20 bits; shift the pc clear of it so keys are exact
+    // (no hash-collision aliasing between contexts).
+    return per_address_ ? (pc << 21) | ctx : ctx;
+}
+
+bool
+PpmPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    const std::uint32_t history = historyFor(pc);
+
+    // Find the longest matching context.
+    int matched = -1;
+    std::unordered_map<std::uint64_t, std::int8_t>::iterator hit;
+    for (int len = static_cast<int>(max_history_); len >= 0; --len) {
+        auto &table = tables_[static_cast<std::size_t>(len)];
+        auto it = table.find(key(pc, history, static_cast<unsigned>(len)));
+        if (it != table.end()) {
+            matched = len;
+            hit = it;
+            break;
+        }
+    }
+
+    bool predicted_taken = false; // static not-taken when nothing matches
+    if (matched >= 0)
+        predicted_taken = hit->second >= 2;
+    const bool correct = predicted_taken == taken;
+
+    // Train the matched context.
+    if (matched >= 0) {
+        std::int8_t &ctr = hit->second;
+        if (taken)
+            ctr = static_cast<std::int8_t>(ctr < 3 ? ctr + 1 : 3);
+        else
+            ctr = static_cast<std::int8_t>(ctr > 0 ? ctr - 1 : 0);
+    }
+    // Install the longest context when it was absent (update exclusion:
+    // only the full-length context and the order-0 fallback are allocated,
+    // which keeps steady-state cost near one probe per branch).
+    if (matched < static_cast<int>(max_history_)) {
+        auto &top = tables_[max_history_];
+        top.emplace(key(pc, history, max_history_),
+                    static_cast<std::int8_t>(taken ? 2 : 1));
+        // Also seed the zero-length context so a fallback always exists.
+        if (matched < 0)
+            tables_[0].emplace(key(pc, history, 0),
+                               static_cast<std::int8_t>(taken ? 2 : 1));
+    }
+
+    updateHistory(pc, taken);
+    return correct;
+}
+
+} // namespace mica::profiler

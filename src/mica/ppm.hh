@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Prediction-by-partial-matching (PPM) branch predictability metric
+ * (Chen, Coffey & Mudge, ASPLOS 1996; paper Table 1).
+ *
+ * A PPM predictor of order m keeps context tables for history lengths
+ * m, m-1, ..., 0 and predicts with the longest context that has been
+ * observed before. We implement the four classic two-level organizations:
+ *
+ *   - GAg: global history, one shared table
+ *   - GAs: global history, tables indexed per static branch
+ *   - PAg: per-branch (local) history, one shared table
+ *   - PAs: per-branch history, tables indexed per static branch
+ *
+ * Tables are unbounded (this is a predictability *metric*, not a hardware
+ * budget), counters are 2-bit saturating, and on a longest-context miss the
+ * predictor falls back to progressively shorter contexts, then installs the
+ * full-length context (PPM* style update exclusion keeps the cost near one
+ * table probe per branch in steady state).
+ */
+
+#ifndef MICAPHASE_MICA_PPM_HH
+#define MICAPHASE_MICA_PPM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mica::profiler {
+
+/** One PPM predictor configuration. */
+class PpmPredictor
+{
+  public:
+    /**
+     * @param max_history   history length m in bits (<= 20)
+     * @param local_history use per-branch history instead of global
+     * @param per_address   index tables by static branch address as well
+     */
+    PpmPredictor(unsigned max_history, bool local_history, bool per_address);
+
+    /**
+     * Predict the branch at pc, then train on the actual outcome.
+     * @return true when the prediction was correct
+     */
+    bool predictAndTrain(std::uint64_t pc, bool taken);
+
+  private:
+    /** History register value relevant for this branch. */
+    [[nodiscard]] std::uint32_t historyFor(std::uint64_t pc) const;
+
+    void updateHistory(std::uint64_t pc, bool taken);
+
+    [[nodiscard]] std::uint64_t key(std::uint64_t pc,
+                                    std::uint32_t history,
+                                    unsigned length) const;
+
+    unsigned max_history_;
+    bool local_history_;
+    bool per_address_;
+
+    std::uint32_t global_history_ = 0;
+    std::unordered_map<std::uint64_t, std::uint32_t> local_histories_;
+
+    /** One counter table per context length (0..max_history_). */
+    std::vector<std::unordered_map<std::uint64_t, std::int8_t>> tables_;
+};
+
+} // namespace mica::profiler
+
+#endif // MICAPHASE_MICA_PPM_HH

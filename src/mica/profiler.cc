@@ -1,0 +1,312 @@
+#include "mica/profiler.hh"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mica::profiler {
+
+namespace m = metrics::midx;
+using isa::OpGroup;
+using isa::RegOperand;
+
+namespace {
+
+/** Positions in the mix_ counter array, matching metric order. */
+enum MixSlot : std::size_t
+{
+    SlotMemRead, SlotMemWrite, SlotControl, SlotCondBranch, SlotCall,
+    SlotReturn, SlotIntArith, SlotIntMul, SlotIntDiv, SlotIntLogic,
+    SlotIntShift, SlotIntCmp, SlotFpArith, SlotFpMul, SlotFpDiv,
+    SlotFpSqrt, SlotFpCmp, SlotFpCvt, SlotMove, SlotNopOther,
+};
+
+} // namespace
+
+MicaProfiler::MicaProfiler(std::uint64_t interval_instructions)
+    : interval_(interval_instructions)
+{
+    if (interval_ == 0)
+        throw std::invalid_argument("MicaProfiler: interval must be > 0");
+    last_writer_.fill(kNever);
+
+    // {GAg, GAs, PAg, PAs} x history {4, 8, 12}, in metric order.
+    struct Config { bool local; bool per_address; };
+    const Config configs[4] = {
+        {false, false}, {false, true}, {true, false}, {true, true}};
+    const unsigned histories[3] = {4, 8, 12};
+    for (const auto &cfg : configs)
+        for (unsigned h : histories)
+            ppm_.push_back(std::make_unique<PpmPredictor>(
+                h, cfg.local, cfg.per_address));
+}
+
+MicaProfiler::~MicaProfiler() = default;
+
+void
+MicaProfiler::onInstruction(const vm::DynInstr &dyn)
+{
+    const isa::Instruction &in = *dyn.instr;
+    const isa::OpcodeInfo &info = in.info();
+
+    // --- Instruction mix. ---
+    if (dyn.is_load)
+        ++mix_[SlotMemRead];
+    if (dyn.is_store)
+        ++mix_[SlotMemWrite];
+    const bool control = isa::isControl(in.op);
+    if (control) {
+        ++mix_[SlotControl];
+        if (dyn.is_cond_branch)
+            ++mix_[SlotCondBranch];
+        else if (in.isCall())
+            ++mix_[SlotCall];
+        else if (in.isReturn())
+            ++mix_[SlotReturn];
+    } else if (!dyn.is_load && !dyn.is_store) {
+        if (in.isMove()) {
+            ++mix_[SlotMove];
+        } else {
+            switch (info.group) {
+              case OpGroup::IntArith: ++mix_[SlotIntArith]; break;
+              case OpGroup::IntMul: ++mix_[SlotIntMul]; break;
+              case OpGroup::IntDiv: ++mix_[SlotIntDiv]; break;
+              case OpGroup::IntLogic: ++mix_[SlotIntLogic]; break;
+              case OpGroup::IntShift: ++mix_[SlotIntShift]; break;
+              case OpGroup::IntCmp: ++mix_[SlotIntCmp]; break;
+              case OpGroup::FpArith: ++mix_[SlotFpArith]; break;
+              case OpGroup::FpMul: ++mix_[SlotFpMul]; break;
+              case OpGroup::FpDiv: ++mix_[SlotFpDiv]; break;
+              case OpGroup::FpSqrt: ++mix_[SlotFpSqrt]; break;
+              case OpGroup::FpCmp: ++mix_[SlotFpCmp]; break;
+              case OpGroup::FpCvt: ++mix_[SlotFpCvt]; break;
+              default: ++mix_[SlotNopOther]; break;
+            }
+        }
+    }
+
+    // --- ILP. ---
+    ilp_.onInstruction(dyn);
+
+    // --- Register traffic. ---
+    const std::uint64_t dyn_index = total_instructions_;
+    for (const RegOperand &src : in.sources()) {
+        ++reg_reads_;
+        if (src.file == RegOperand::File::Int && src.index == isa::kRegZero)
+            continue; // x0 has no producer: excluded from distances
+        const std::size_t slot = (src.file == RegOperand::File::Fp ? 32 : 0)
+            + src.index;
+        const std::uint64_t writer = last_writer_[slot];
+        if (writer == kNever)
+            continue;
+        const std::uint64_t dist = dyn_index - writer;
+        ++dep_dist_samples_;
+        if (dist <= 1)
+            ++dep_dist_buckets_[0];
+        else if (dist <= 2)
+            ++dep_dist_buckets_[1];
+        else if (dist <= 4)
+            ++dep_dist_buckets_[2];
+        else if (dist <= 8)
+            ++dep_dist_buckets_[3];
+        else if (dist <= 16)
+            ++dep_dist_buckets_[4];
+        else if (dist <= 32)
+            ++dep_dist_buckets_[5];
+        else
+            ++dep_dist_buckets_[6];
+    }
+    if (in.hasDest()) {
+        ++reg_writes_;
+        const RegOperand d = in.dest();
+        const std::size_t slot = (d.file == RegOperand::File::Fp ? 32 : 0)
+            + d.index;
+        last_writer_[slot] = dyn_index;
+    }
+
+    // --- Footprints. ---
+    instr_blocks_.insert(dyn.pc >> 6);
+    instr_pages_.insert(dyn.pc >> 12);
+    if (dyn.mem_bytes != 0) {
+        data_blocks_.insert(dyn.mem_addr >> 6);
+        data_pages_.insert(dyn.mem_addr >> 12);
+    }
+
+    // --- Strides. ---
+    if (dyn.mem_bytes != 0) {
+        StrideCounters &sc = dyn.is_load ? load_strides_ : store_strides_;
+        ++sc.total;
+
+        auto classify_local = [&](std::uint64_t stride) {
+            ++sc.local_samples;
+            if (stride == 0)
+                ++sc.local_buckets[0];
+            if (stride <= 8)
+                ++sc.local_buckets[1];
+            if (stride <= 64)
+                ++sc.local_buckets[2];
+            if (stride <= 512)
+                ++sc.local_buckets[3];
+            if (stride <= 4096)
+                ++sc.local_buckets[4];
+        };
+        auto classify_global = [&](std::uint64_t stride) {
+            ++sc.global_samples;
+            if (stride <= 64)
+                ++sc.global_buckets[0];
+            if (stride <= 512)
+                ++sc.global_buckets[1];
+            if (stride <= 4096)
+                ++sc.global_buckets[2];
+            if (stride <= 32768)
+                ++sc.global_buckets[3];
+        };
+
+        auto [it, fresh] = local_last_addr_.try_emplace(dyn.pc,
+                                                        dyn.mem_addr);
+        if (!fresh) {
+            const std::uint64_t prev = it->second;
+            const std::uint64_t stride = prev > dyn.mem_addr
+                ? prev - dyn.mem_addr : dyn.mem_addr - prev;
+            classify_local(stride);
+            it->second = dyn.mem_addr;
+        }
+
+        if (dyn.is_load) {
+            if (have_global_load_) {
+                const std::uint64_t stride = global_last_load_ > dyn.mem_addr
+                    ? global_last_load_ - dyn.mem_addr
+                    : dyn.mem_addr - global_last_load_;
+                classify_global(stride);
+            }
+            global_last_load_ = dyn.mem_addr;
+            have_global_load_ = true;
+        } else {
+            if (have_global_store_) {
+                const std::uint64_t stride =
+                    global_last_store_ > dyn.mem_addr
+                    ? global_last_store_ - dyn.mem_addr
+                    : dyn.mem_addr - global_last_store_;
+                classify_global(stride);
+            }
+            global_last_store_ = dyn.mem_addr;
+            have_global_store_ = true;
+        }
+    }
+
+    // --- Branch behaviour. ---
+    if (dyn.is_cond_branch) {
+        ++branches_;
+        if (dyn.taken)
+            ++branches_taken_;
+        auto [it, fresh] = last_outcome_.try_emplace(dyn.pc, dyn.taken);
+        if (!fresh) {
+            if (it->second != dyn.taken)
+                ++branch_transitions_;
+            it->second = dyn.taken;
+        }
+        for (std::size_t p = 0; p < ppm_.size(); ++p) {
+            if (!ppm_[p]->predictAndTrain(dyn.pc, dyn.taken))
+                ++ppm_misses_[p];
+        }
+    }
+
+    ++total_instructions_;
+    ++in_interval_;
+    if (in_interval_ == interval_)
+        closeInterval();
+}
+
+bool
+MicaProfiler::flushPartial()
+{
+    if (in_interval_ == 0)
+        return false;
+    closeInterval();
+    return true;
+}
+
+void
+MicaProfiler::closeInterval()
+{
+    metrics::CharacteristicVector v{};
+    const double n = static_cast<double>(in_interval_);
+
+    for (std::size_t i = 0; i < 20; ++i)
+        v[m::MixMemRead + i] = static_cast<double>(mix_[i]) / n;
+
+    const auto ipc = ilp_.closeInterval();
+    v[m::Ilp32] = ipc[0];
+    v[m::Ilp64] = ipc[1];
+    v[m::Ilp128] = ipc[2];
+    v[m::Ilp256] = ipc[3];
+
+    v[m::RegInputOperands] = static_cast<double>(reg_reads_) / n;
+    v[m::RegDegreeOfUse] = reg_writes_ > 0
+        ? static_cast<double>(reg_reads_) /
+          static_cast<double>(reg_writes_)
+        : 0.0;
+    for (std::size_t b = 0; b < 7; ++b)
+        v[m::RegDepDist1 + b] = dep_dist_samples_ > 0
+            ? static_cast<double>(dep_dist_buckets_[b]) /
+              static_cast<double>(dep_dist_samples_)
+            : 0.0;
+
+    v[m::InstrFootprint64B] = static_cast<double>(instr_blocks_.size());
+    v[m::InstrFootprint4K] = static_cast<double>(instr_pages_.size());
+    v[m::DataFootprint64B] = static_cast<double>(data_blocks_.size());
+    v[m::DataFootprint4K] = static_cast<double>(data_pages_.size());
+
+    auto emit_strides = [&](const StrideCounters &sc, std::size_t local_base,
+                            std::size_t global_base) {
+        for (std::size_t b = 0; b < 5; ++b)
+            v[local_base + b] = sc.local_samples > 0
+                ? static_cast<double>(sc.local_buckets[b]) /
+                  static_cast<double>(sc.local_samples)
+                : 0.0;
+        for (std::size_t b = 0; b < 4; ++b)
+            v[global_base + b] = sc.global_samples > 0
+                ? static_cast<double>(sc.global_buckets[b]) /
+                  static_cast<double>(sc.global_samples)
+                : 0.0;
+    };
+    emit_strides(load_strides_, m::LocalLoadStride0, m::GlobalLoadStride64);
+    emit_strides(store_strides_, m::LocalStoreStride0,
+                 m::GlobalStoreStride64);
+
+    const double br = static_cast<double>(branches_);
+    v[m::BranchTakenRate] =
+        branches_ > 0 ? static_cast<double>(branches_taken_) / br : 0.0;
+    v[m::BranchTransitionRate] =
+        branches_ > 0 ? static_cast<double>(branch_transitions_) / br : 0.0;
+    for (std::size_t p = 0; p < 12; ++p)
+        v[m::PpmGag4 + p] = branches_ > 0
+            ? static_cast<double>(ppm_misses_[p]) / br
+            : 0.0;
+
+    intervals_.push_back(v);
+    resetIntervalCounters();
+}
+
+void
+MicaProfiler::resetIntervalCounters()
+{
+    in_interval_ = 0;
+    mix_.fill(0);
+    reg_reads_ = 0;
+    reg_writes_ = 0;
+    dep_dist_buckets_.fill(0);
+    dep_dist_samples_ = 0;
+    instr_blocks_.clear();
+    instr_pages_.clear();
+    data_blocks_.clear();
+    data_pages_.clear();
+    load_strides_ = StrideCounters{};
+    store_strides_ = StrideCounters{};
+    branches_ = 0;
+    branches_taken_ = 0;
+    branch_transitions_ = 0;
+    ppm_misses_.fill(0);
+}
+
+} // namespace mica::profiler

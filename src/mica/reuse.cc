@@ -1,0 +1,133 @@
+#include "mica/reuse.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mica::profiler {
+
+namespace {
+
+/** Initial Fenwick capacity; doubles up to kMaxTreeSize, then compacts. */
+constexpr std::uint32_t kInitialTreeSize = 1u << 16;
+constexpr std::uint32_t kMaxTreeSize = 1u << 22;
+
+} // namespace
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(unsigned block_shift)
+    : block_shift_(block_shift),
+      tree_(kInitialTreeSize, 0),
+      histogram_(kNumBuckets, 0)
+{
+}
+
+void
+ReuseDistanceAnalyzer::treeAdd(std::uint32_t pos, std::int32_t delta)
+{
+    for (; pos < tree_.size(); pos += pos & (0u - pos))
+        tree_[pos] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(tree_[pos]) + delta);
+}
+
+std::uint32_t
+ReuseDistanceAnalyzer::treeSum(std::uint32_t pos) const
+{
+    std::uint32_t sum = 0;
+    for (; pos > 0; pos -= pos & (0u - pos))
+        sum += tree_[pos];
+    return sum;
+}
+
+void
+ReuseDistanceAnalyzer::compact()
+{
+    // Reassign timestamps densely, preserving LRU order: blocks sorted by
+    // old timestamp get consecutive new timestamps.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
+    order.reserve(last_access_.size());
+    for (const auto &[block, t] : last_access_)
+        order.emplace_back(t, block);
+    std::sort(order.begin(), order.end());
+
+    std::fill(tree_.begin(), tree_.end(), 0);
+    std::uint32_t t = 1;
+    for (const auto &[old_t, block] : order) {
+        last_access_[block] = t;
+        treeAdd(t, 1);
+        ++t;
+    }
+    time_ = t;
+}
+
+void
+ReuseDistanceAnalyzer::access(std::uint64_t addr)
+{
+    const std::uint64_t block = addr >> block_shift_;
+
+    // Grow or compact the timestamp space when exhausted. Either way the
+    // Fenwick tree is rebuilt from the resident-block map (Fenwick trees
+    // do not resize in place).
+    if (time_ + 1 >= tree_.size()) {
+        if (tree_.size() < kMaxTreeSize)
+            tree_.assign(tree_.size() * 2, 0);
+        compact();
+    }
+
+    const std::uint32_t now = ++time_;
+    auto it = last_access_.find(block);
+    if (it == last_access_.end()) {
+        ++cold_;
+        last_access_.emplace(block, now);
+        treeAdd(now, 1);
+        return;
+    }
+
+    const std::uint32_t prev = it->second;
+    // Distinct blocks touched strictly after prev = set bits in (prev, now).
+    const std::uint32_t distance = treeSum(now - 1) - treeSum(prev);
+    treeAdd(prev, -1);
+    treeAdd(now, 1);
+    it->second = now;
+
+    ++reuses_;
+    distance_sum_ += distance;
+    const std::size_t bucket = distance == 0
+        ? 0
+        : std::min<std::size_t>(std::bit_width(
+                                    static_cast<std::uint64_t>(distance)),
+                                kNumBuckets - 1);
+    ++histogram_[bucket];
+}
+
+void
+ReuseDistanceAnalyzer::onInstruction(const vm::DynInstr &dyn)
+{
+    if (dyn.mem_bytes != 0)
+        access(dyn.mem_addr);
+}
+
+double
+ReuseDistanceAnalyzer::missRateForCapacity(std::uint64_t blocks) const
+{
+    const std::uint64_t total = reuses_ + cold_;
+    if (total == 0)
+        return 0.0;
+    // Accesses with distance >= capacity miss. Exact for power-of-two
+    // capacities (bucket edges align); otherwise the boundary bucket is
+    // counted as hits.
+    std::uint64_t misses = cold_;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        const std::uint64_t bucket_min = b == 0 ? 0 : (1ULL << (b - 1));
+        if (bucket_min >= blocks)
+            misses += histogram_[b];
+    }
+    return static_cast<double>(misses) / static_cast<double>(total);
+}
+
+double
+ReuseDistanceAnalyzer::meanDistance() const
+{
+    return reuses_ ? distance_sum_ / static_cast<double>(reuses_) : 0.0;
+}
+
+} // namespace mica::profiler

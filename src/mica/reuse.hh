@@ -1,0 +1,96 @@
+/**
+ * @file
+ * LRU stack-distance (reuse-distance) analysis.
+ *
+ * The full MICA tool also measures memory reuse behaviour; the paper's
+ * related work uses memory access patterns for phase classification. This
+ * analyzer measures, per memory access, the number of *distinct* 64-byte
+ * blocks touched since the previous access to the same block — the LRU
+ * stack distance. The resulting histogram directly yields the miss rate
+ * of any fully-associative LRU cache: miss(C) = P(distance >= C blocks),
+ * which the tests cross-check against the concrete vm::CacheModel.
+ *
+ * Implementation: the classic Bennett-Kruskal algorithm — a Fenwick tree
+ * over access timestamps holding one bit per currently-resident block;
+ * the stack distance is the count of set bits after the block's previous
+ * timestamp. Timestamps are compacted in place when the tree fills, so
+ * memory stays proportional to the number of distinct blocks.
+ */
+
+#ifndef MICAPHASE_MICA_REUSE_HH
+#define MICAPHASE_MICA_REUSE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/trace.hh"
+
+namespace mica::profiler {
+
+/** Reuse-distance histogram in power-of-two buckets. */
+class ReuseDistanceAnalyzer : public vm::TraceSink
+{
+  public:
+    /** Distances are bucketed as 2^0, 2^1, ..., 2^(kNumBuckets-2), inf. */
+    static constexpr std::size_t kNumBuckets = 22;
+
+    /** @param block_shift log2 of the tracking granularity (6 = 64B). */
+    explicit ReuseDistanceAnalyzer(unsigned block_shift = 6);
+
+    void onInstruction(const vm::DynInstr &dyn) override;
+
+    /** Record one data access directly (unit-test convenience). */
+    void access(std::uint64_t addr);
+
+    /** Accesses with a finite reuse distance. */
+    [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+    /** First-touch (cold) accesses. */
+    [[nodiscard]] std::uint64_t coldAccesses() const { return cold_; }
+
+    /**
+     * Histogram counts: bucket i holds accesses with distance in
+     * [2^(i-1), 2^i) for i > 0 and distance 0 for i == 0; the last bucket
+     * is unused (cold accesses are reported separately).
+     */
+    [[nodiscard]] const std::vector<std::uint64_t> &histogram() const
+    {
+        return histogram_;
+    }
+
+    /**
+     * Estimated miss rate of a fully-associative LRU cache with the given
+     * capacity in blocks: P(distance >= capacity), with cold accesses
+     * counted as misses.
+     */
+    [[nodiscard]] double missRateForCapacity(std::uint64_t blocks) const;
+
+    /** Mean finite reuse distance. */
+    [[nodiscard]] double meanDistance() const;
+
+  private:
+    void compact();
+
+    unsigned block_shift_;
+
+    /** Fenwick tree over timestamps: 1 = block's most recent access. */
+    std::vector<std::uint32_t> tree_;
+    std::uint32_t time_ = 0; ///< next timestamp (1-based tree positions)
+
+    /** Block id -> its most recent timestamp. */
+    std::unordered_map<std::uint64_t, std::uint32_t> last_access_;
+
+    std::vector<std::uint64_t> histogram_;
+    /** Raw distance sums for the mean. */
+    double distance_sum_ = 0.0;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t cold_ = 0;
+
+    void treeAdd(std::uint32_t pos, std::int32_t delta);
+    [[nodiscard]] std::uint32_t treeSum(std::uint32_t pos) const;
+};
+
+} // namespace mica::profiler
+
+#endif // MICAPHASE_MICA_REUSE_HH

@@ -1,0 +1,129 @@
+#include "stats/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mica::stats {
+
+EigenDecomposition
+jacobiEigenSymmetric(const Matrix &sym, int max_sweeps)
+{
+    if (sym.rows() != sym.cols())
+        throw std::invalid_argument("jacobiEigenSymmetric: non-square input");
+
+    const std::size_t n = sym.rows();
+    Matrix a = sym;               // working copy, progressively diagonalized
+    Matrix v = Matrix::identity(n); // accumulated rotations
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Sum of off-diagonal magnitudes decides convergence.
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += std::fabs(a(p, q));
+        if (off < 1e-13)
+            break;
+
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(rotation angle).
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t i, std::size_t j) {
+                         return a(i, i) > a(j, j);
+                     });
+
+    EigenDecomposition out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t c = 0; c < n; ++c) {
+        out.values[c] = a(order[c], order[c]);
+        // Fix a deterministic sign convention: make the largest-magnitude
+        // component of each eigenvector positive.
+        std::size_t arg = 0;
+        double best = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            const double mag = std::fabs(v(r, order[c]));
+            if (mag > best) {
+                best = mag;
+                arg = r;
+            }
+        }
+        const double sign = v(arg, order[c]) >= 0.0 ? 1.0 : -1.0;
+        for (std::size_t r = 0; r < n; ++r)
+            out.vectors(r, c) = sign * v(r, order[c]);
+    }
+    return out;
+}
+
+Matrix
+covarianceMatrix(const Matrix &data)
+{
+    const std::size_t n = data.rows();
+    const std::size_t p = data.cols();
+    Matrix cov(p, p);
+    if (n == 0)
+        return cov;
+
+    std::vector<double> mu(p, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        auto row = data.row(r);
+        for (std::size_t c = 0; c < p; ++c)
+            mu[c] += row[c];
+    }
+    for (auto &m : mu)
+        m /= static_cast<double>(n);
+
+    for (std::size_t r = 0; r < n; ++r) {
+        auto row = data.row(r);
+        for (std::size_t i = 0; i < p; ++i) {
+            const double di = row[i] - mu[i];
+            for (std::size_t j = i; j < p; ++j)
+                cov(i, j) += di * (row[j] - mu[j]);
+        }
+    }
+    for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t j = i; j < p; ++j) {
+            cov(i, j) /= static_cast<double>(n);
+            cov(j, i) = cov(i, j);
+        }
+    return cov;
+}
+
+} // namespace mica::stats

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi method.
+ *
+ * PCA needs the eigenpairs of a p x p covariance/correlation matrix where p
+ * is the number of characteristics (69). At that size the classic Jacobi
+ * rotation method is simple, numerically robust, and plenty fast, so we use
+ * it rather than pulling in an external linear algebra dependency.
+ */
+
+#ifndef MICAPHASE_STATS_EIGEN_HH
+#define MICAPHASE_STATS_EIGEN_HH
+
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica::stats {
+
+/** Result of a symmetric eigendecomposition, sorted by eigenvalue (desc). */
+struct EigenDecomposition
+{
+    /** Eigenvalues in descending order. */
+    std::vector<double> values;
+    /** Eigenvectors as matrix columns, column i pairs with values[i]. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix using cyclic Jacobi rotations.
+ *
+ * @param sym   symmetric input matrix (only assumed, not checked, beyond
+ *              shape; asymmetric input yields the decomposition of its
+ *              symmetric part in practice)
+ * @param max_sweeps  maximum number of full Jacobi sweeps
+ * @return eigenpairs sorted by descending eigenvalue
+ *
+ * Throws std::invalid_argument for non-square input.
+ */
+[[nodiscard]] EigenDecomposition jacobiEigenSymmetric(const Matrix &sym,
+                                                      int max_sweeps = 64);
+
+/**
+ * Covariance matrix of the columns of a data matrix (population covariance,
+ * i.e. divide by n). Rows are observations.
+ */
+[[nodiscard]] Matrix covarianceMatrix(const Matrix &data);
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_EIGEN_HH

@@ -1,0 +1,248 @@
+#include "stats/kmeans.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace mica::stats {
+
+std::vector<std::size_t>
+KMeansResult::representatives(const Matrix &data) const
+{
+    const std::size_t k = centers.rows();
+    std::vector<std::size_t> best_idx(k, 0);
+    std::vector<double> best_dist(k, std::numeric_limits<double>::max());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        const std::size_t c = assignment[r];
+        const double d = squaredDistance(data.row(r), centers.row(c));
+        if (d < best_dist[c]) {
+            best_dist[c] = d;
+            best_idx[c] = r;
+        }
+    }
+    return best_idx;
+}
+
+namespace {
+
+/** Pick k distinct row indices uniformly at random. */
+std::vector<std::size_t>
+randomDistinct(std::size_t n, std::size_t k, Rng &rng)
+{
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    rng.shuffle(idx);
+    idx.resize(k);
+    return idx;
+}
+
+/** k-means++ seeding: next center drawn with probability ~ D(x)^2. */
+std::vector<std::size_t>
+plusPlusSeeds(const Matrix &data, std::size_t k, Rng &rng)
+{
+    const std::size_t n = data.rows();
+    std::vector<std::size_t> seeds;
+    seeds.reserve(k);
+    seeds.push_back(static_cast<std::size_t>(rng.nextBelow(n)));
+
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    while (seeds.size() < k) {
+        const auto last = data.row(seeds.back());
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            d2[i] = std::min(d2[i], squaredDistance(data.row(i), last));
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with chosen seeds; fall back to
+            // an arbitrary unused index.
+            seeds.push_back(seeds.size() % n);
+            continue;
+        }
+        double pick = rng.nextDouble() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            pick -= d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        seeds.push_back(chosen);
+    }
+    return seeds;
+}
+
+/** One full Lloyd run from the given seed points. */
+KMeansResult
+lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
+      const std::vector<std::size_t> &seed_rows)
+{
+    const std::size_t n = data.rows();
+    const std::size_t d = data.cols();
+
+    KMeansResult res;
+    res.centers = Matrix(k, d);
+    for (std::size_t c = 0; c < k; ++c) {
+        auto src = data.row(seed_rows[c]);
+        auto dst = res.centers.row(c);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    res.assignment.assign(n, 0);
+    res.sizes.assign(k, 0);
+
+    Matrix sums(k, d);
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        res.iterations = iter + 1;
+
+        // Assignment step.
+        bool changed = false;
+        std::fill(res.sizes.begin(), res.sizes.end(), 0);
+        for (std::size_t i = 0; i < k * d; ++i)
+            sums.row(i / d)[i % d] = 0.0;
+        res.inertia = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto point = data.row(i);
+            double best = std::numeric_limits<double>::max();
+            std::size_t arg = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const double dist = squaredDistance(point,
+                                                    res.centers.row(c));
+                if (dist < best) {
+                    best = dist;
+                    arg = c;
+                }
+            }
+            if (res.assignment[i] != arg) {
+                res.assignment[i] = arg;
+                changed = true;
+            }
+            res.inertia += best;
+            ++res.sizes[arg];
+            auto acc = sums.row(arg);
+            for (std::size_t j = 0; j < d; ++j)
+                acc[j] += point[j];
+        }
+
+        // Repair empty clusters: steal the point with the largest distance
+        // to its assigned center.
+        for (std::size_t c = 0; c < k; ++c) {
+            if (res.sizes[c] != 0)
+                continue;
+            double worst = -1.0;
+            std::size_t victim = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (res.sizes[res.assignment[i]] <= 1)
+                    continue;
+                const double dist = squaredDistance(
+                    data.row(i), res.centers.row(res.assignment[i]));
+                if (dist > worst) {
+                    worst = dist;
+                    victim = i;
+                }
+            }
+            if (worst < 0.0)
+                continue; // fewer distinct points than clusters
+            auto old = res.assignment[victim];
+            auto vrow = data.row(victim);
+            auto old_sum = sums.row(old);
+            auto new_sum = sums.row(c);
+            for (std::size_t j = 0; j < d; ++j) {
+                old_sum[j] -= vrow[j];
+                new_sum[j] += vrow[j];
+            }
+            --res.sizes[old];
+            ++res.sizes[c];
+            res.assignment[victim] = c;
+            changed = true;
+        }
+
+        // Update step.
+        double movement = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+            if (res.sizes[c] == 0)
+                continue;
+            auto acc = sums.row(c);
+            auto center = res.centers.row(c);
+            for (std::size_t j = 0; j < d; ++j) {
+                const double nc = acc[j] / static_cast<double>(res.sizes[c]);
+                const double delta = nc - center[j];
+                movement += delta * delta;
+                center[j] = nc;
+            }
+        }
+
+        if (!changed || movement < opts.tolerance * opts.tolerance)
+            break;
+    }
+
+    // Recompute final inertia against the final centers.
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        res.inertia += squaredDistance(data.row(i),
+                                       res.centers.row(res.assignment[i]));
+    return res;
+}
+
+} // namespace
+
+double
+KMeans::bicScore(const Matrix &data, const KMeansResult &clustering)
+{
+    const double n = static_cast<double>(data.rows());
+    const double d = static_cast<double>(data.cols());
+    const double k = static_cast<double>(clustering.centers.rows());
+    if (n <= k)
+        return -std::numeric_limits<double>::max();
+
+    // Pooled spherical variance MLE; clamp so perfectly tight clusters do
+    // not produce log(0).
+    const double sigma2 =
+        std::max(clustering.inertia / (d * (n - k)), 1e-12);
+
+    double loglik = 0.0;
+    for (std::size_t c = 0; c < clustering.sizes.size(); ++c) {
+        const double nc = static_cast<double>(clustering.sizes[c]);
+        if (nc <= 0.0)
+            continue;
+        loglik += nc * std::log(nc / n);
+    }
+    loglik -= n * d / 2.0 * std::log(2.0 * std::numbers::pi * sigma2);
+    loglik -= d * (n - k) / 2.0;
+
+    const double num_params = (k - 1.0) + k * d + 1.0;
+    return loglik - num_params / 2.0 * std::log(n);
+}
+
+KMeansResult
+KMeans::run(const Matrix &data, const Options &opts)
+{
+    if (data.rows() == 0)
+        throw std::invalid_argument("KMeans::run: empty data");
+    const std::size_t k = std::min(opts.k, data.rows());
+    if (k == 0)
+        throw std::invalid_argument("KMeans::run: k must be positive");
+
+    Rng rng(opts.seed);
+    KMeansResult best;
+    bool have_best = false;
+    for (int r = 0; r < std::max(opts.restarts, 1); ++r) {
+        Rng sub = rng.split();
+        const auto seeds = opts.init == Init::PlusPlus
+            ? plusPlusSeeds(data, k, sub)
+            : randomDistinct(data.rows(), k, sub);
+        KMeansResult candidate = lloyd(data, k, opts, seeds);
+        candidate.bic = bicScore(data, candidate);
+        if (!have_best || candidate.bic > best.bic) {
+            best = std::move(candidate);
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+} // namespace mica::stats

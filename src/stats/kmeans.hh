@@ -1,0 +1,86 @@
+/**
+ * @file
+ * k-means clustering with BIC scoring (paper section 3.6).
+ *
+ * The methodology runs k-means for a fixed k (300 in the paper) from several
+ * random initial center sets and keeps the clustering with the highest
+ * Bayesian Information Criterion score. BIC follows the spherical-Gaussian
+ * formulation of Pelleg & Moore (X-means), trading goodness of fit against
+ * the number of clusters.
+ */
+
+#ifndef MICAPHASE_STATS_KMEANS_HH
+#define MICAPHASE_STATS_KMEANS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "stats/rng.hh"
+
+namespace mica::stats {
+
+/** Result of one k-means clustering. */
+struct KMeansResult
+{
+    Matrix centers;                    ///< k x d cluster centers
+    std::vector<std::size_t> assignment; ///< cluster index per row
+    std::vector<std::size_t> sizes;    ///< members per cluster
+    double inertia = 0.0;              ///< total within-cluster squared dist
+    double bic = 0.0;                  ///< BIC score (higher is better)
+    int iterations = 0;                ///< Lloyd iterations of best restart
+
+    /** Index of the member row closest to each cluster center. */
+    [[nodiscard]] std::vector<std::size_t>
+    representatives(const Matrix &data) const;
+
+    /** Mean within-cluster variance (inertia / n). */
+    [[nodiscard]] double meanVariance(std::size_t n) const
+    {
+        return n ? inertia / static_cast<double>(n) : 0.0;
+    }
+};
+
+/** k-means clustering engine. */
+class KMeans
+{
+  public:
+    /** Initialization strategy. */
+    enum class Init
+    {
+        Random,   ///< k distinct random data points (paper's choice)
+        PlusPlus, ///< k-means++ seeding
+    };
+
+    struct Options
+    {
+        std::size_t k = 8;
+        int max_iterations = 100;
+        int restarts = 1;          ///< keep the restart with the best BIC
+        Init init = Init::Random;
+        std::uint64_t seed = 1;
+        /** Convergence threshold on center movement (L2, per center). */
+        double tolerance = 1e-9;
+    };
+
+    /**
+     * Run k-means on a data matrix (rows = points).
+     *
+     * k is clamped to the number of rows. Empty clusters are repaired by
+     * re-seeding them with the point farthest from its current center.
+     */
+    [[nodiscard]] static KMeansResult run(const Matrix &data,
+                                          const Options &opts);
+
+    /**
+     * BIC score of a clustering (spherical Gaussian model, Pelleg & Moore).
+     * Higher is better.
+     */
+    [[nodiscard]] static double bicScore(const Matrix &data,
+                                         const KMeansResult &clustering);
+};
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_KMEANS_HH

@@ -1,0 +1,175 @@
+#include "stats/linkage.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::stats {
+
+std::vector<std::size_t>
+Dendrogram::cut(std::size_t k) const
+{
+    if (k == 0 || k > num_points)
+        throw std::invalid_argument("Dendrogram::cut: bad k");
+
+    // Union-find over point ids, applying the first n-k merges.
+    std::vector<std::size_t> parent(num_points + merges.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    const std::size_t applied = num_points - k;
+    for (std::size_t i = 0; i < applied; ++i) {
+        const std::size_t node = num_points + i;
+        parent[find(merges[i].left)] = node;
+        parent[find(merges[i].right)] = node;
+    }
+
+    // Relabel roots densely.
+    std::vector<std::size_t> labels(num_points);
+    std::vector<std::size_t> roots;
+    for (std::size_t p = 0; p < num_points; ++p) {
+        const std::size_t root = find(p);
+        auto it = std::find(roots.begin(), roots.end(), root);
+        if (it == roots.end()) {
+            roots.push_back(root);
+            labels[p] = roots.size() - 1;
+        } else {
+            labels[p] =
+                static_cast<std::size_t>(it - roots.begin());
+        }
+    }
+    return labels;
+}
+
+double
+Dendrogram::heightForK(std::size_t k) const
+{
+    if (k >= num_points || merges.empty())
+        return 0.0;
+    // The merge that reduces the cluster count to k.
+    return merges[num_points - k - 1].distance;
+}
+
+Dendrogram
+agglomerate(const Matrix &points, Linkage linkage)
+{
+    const std::size_t n = points.rows();
+    Dendrogram tree;
+    tree.num_points = n;
+    if (n < 2)
+        return tree;
+
+    // Distance matrix over cluster slots; slot i starts as point i and is
+    // reused for merged clusters (classic Lance-Williams updates).
+    const std::size_t slots = 2 * n - 1;
+    std::vector<double> dist(slots * slots, 0.0);
+    auto d = [&](std::size_t a, std::size_t b) -> double & {
+        return dist[a * slots + b];
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            d(i, j) = d(j, i) =
+                euclideanDistance(points.row(i), points.row(j));
+
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i)
+        active.push_back(i);
+    std::vector<std::size_t> sizes(slots, 1);
+
+    for (std::size_t step = 0; step + 1 < n; ++step) {
+        // Find the closest active pair.
+        double best = std::numeric_limits<double>::max();
+        std::size_t bi = 0, bj = 1;
+        for (std::size_t i = 0; i < active.size(); ++i)
+            for (std::size_t j = i + 1; j < active.size(); ++j) {
+                const double dij = d(active[i], active[j]);
+                if (dij < best) {
+                    best = dij;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        const std::size_t a = active[bi];
+        const std::size_t b = active[bj];
+        const std::size_t merged = n + step;
+        tree.merges.push_back({a, b, best});
+        sizes[merged] = sizes[a] + sizes[b];
+
+        // Distances from the merged cluster to all remaining actives.
+        for (std::size_t other : active) {
+            if (other == a || other == b)
+                continue;
+            double nd = 0.0;
+            switch (linkage) {
+              case Linkage::Single:
+                nd = std::min(d(other, a), d(other, b));
+                break;
+              case Linkage::Complete:
+                nd = std::max(d(other, a), d(other, b));
+                break;
+              case Linkage::Average:
+                nd = (d(other, a) * static_cast<double>(sizes[a]) +
+                      d(other, b) * static_cast<double>(sizes[b])) /
+                     static_cast<double>(sizes[a] + sizes[b]);
+                break;
+            }
+            d(other, merged) = d(merged, other) = nd;
+        }
+
+        // Replace a and b by the merged slot.
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+        active[bi] = merged;
+    }
+    return tree;
+}
+
+namespace {
+
+void
+renderNode(const Dendrogram &tree, const std::vector<std::string> &labels,
+           std::size_t node, const std::string &prefix, bool last,
+           std::ostringstream &os)
+{
+    os << prefix << (last ? "`- " : "+- ");
+    if (node < tree.num_points) {
+        os << (node < labels.size() ? labels[node]
+                                    : "#" + std::to_string(node))
+           << "\n";
+        return;
+    }
+    const Merge &m = tree.merges[node - tree.num_points];
+    os.precision(3);
+    os << "[d=" << m.distance << "]\n";
+    const std::string child_prefix = prefix + (last ? "   " : "|  ");
+    renderNode(tree, labels, m.left, child_prefix, false, os);
+    renderNode(tree, labels, m.right, child_prefix, true, os);
+}
+
+} // namespace
+
+std::string
+renderDendrogram(const Dendrogram &tree,
+                 const std::vector<std::string> &labels, int)
+{
+    std::ostringstream os;
+    if (tree.merges.empty()) {
+        for (std::size_t i = 0; i < tree.num_points; ++i)
+            os << (i < labels.size() ? labels[i] : "#" + std::to_string(i))
+               << "\n";
+        return os.str();
+    }
+    renderNode(tree, labels, tree.num_points + tree.merges.size() - 1, "",
+               true, os);
+    return os.str();
+}
+
+} // namespace mica::stats

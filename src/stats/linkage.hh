@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering (linkage analysis).
+ *
+ * The PCA+linkage workflow is the workload-similarity methodology the
+ * paper builds on (Eeckhout et al., PACT 2002; Phansalkar/Joshi et al.):
+ * benchmarks are placed in the rescaled PCA space and merged bottom-up
+ * into a dendrogram, which reveals which benchmarks are behaviourally
+ * redundant. This library uses it for benchmark-level similarity and as a
+ * cross-check of the k-means phase clustering.
+ *
+ * The implementation is the classic O(n^3) algorithm over an explicit
+ * distance matrix, which is exactly right for the problem sizes involved
+ * (77 benchmarks, 100 prominent phases).
+ */
+
+#ifndef MICAPHASE_STATS_LINKAGE_HH
+#define MICAPHASE_STATS_LINKAGE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica::stats {
+
+/** Cluster-distance update rule. */
+enum class Linkage
+{
+    Single,   ///< min pairwise distance
+    Complete, ///< max pairwise distance
+    Average,  ///< unweighted average pairwise distance (UPGMA)
+};
+
+/**
+ * One merge step. Cluster ids 0..n-1 are the input points; merge i
+ * creates cluster id n+i.
+ */
+struct Merge
+{
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double distance = 0.0;
+};
+
+/** A complete agglomeration: n-1 merges in nondecreasing order. */
+struct Dendrogram
+{
+    std::size_t num_points = 0;
+    std::vector<Merge> merges;
+
+    /**
+     * Cut the tree into k flat clusters (undo the last k-1 merges).
+     * Returns a cluster index in [0, k) per input point.
+     */
+    [[nodiscard]] std::vector<std::size_t> cut(std::size_t k) const;
+
+    /** Height (merge distance) at which the tree becomes k clusters. */
+    [[nodiscard]] double heightForK(std::size_t k) const;
+};
+
+/** Agglomerate the rows of a matrix under the given linkage rule. */
+[[nodiscard]] Dendrogram agglomerate(const Matrix &points,
+                                     Linkage linkage = Linkage::Average);
+
+/**
+ * ASCII rendering of a dendrogram: each leaf labelled, merges drawn as a
+ * nested outline ordered by the tree structure.
+ */
+[[nodiscard]] std::string renderDendrogram(
+    const Dendrogram &tree, const std::vector<std::string> &labels,
+    int indent_per_level = 2);
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_LINKAGE_HH

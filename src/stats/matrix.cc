@@ -1,0 +1,178 @@
+#include "stats/matrix.hh"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    Matrix m;
+    for (const auto &r : rows)
+        m.appendRow(r);
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+std::span<double>
+Matrix::row(std::size_t r)
+{
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double>
+Matrix::row(std::size_t r) const
+{
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double>
+Matrix::col(std::size_t c) const
+{
+    assert(c < cols_);
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+void
+Matrix::appendRow(std::span<const double> values)
+{
+    if (rows_ == 0 && cols_ == 0) {
+        cols_ = values.size();
+    } else if (values.size() != cols_) {
+        throw std::invalid_argument("Matrix::appendRow: width mismatch");
+    }
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        throw std::invalid_argument("Matrix::multiply: shape mismatch");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = at(i, k);
+            if (a == 0.0)
+                continue;
+            const double *brow = other.data_.data() + k * other.cols_;
+            double *orow = out.data_.data() + i * other.cols_;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                orow[j] += a * brow[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::leftCols(std::size_t n) const
+{
+    assert(n <= cols_);
+    Matrix out(rows_, n);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            out.at(r, c) = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::selectCols(std::span<const std::size_t> idx) const
+{
+    Matrix out(rows_, idx.size());
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < idx.size(); ++c) {
+            assert(idx[c] < cols_);
+            out.at(r, c) = at(r, idx[c]);
+        }
+    return out;
+}
+
+Matrix
+Matrix::selectRows(std::span<const std::size_t> idx) const
+{
+    Matrix out(idx.size(), cols_);
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+        assert(idx[r] < rows_);
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(r, c) = at(idx[r], c);
+    }
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        throw std::invalid_argument("Matrix::maxAbsDiff: shape mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << "[";
+        for (std::size_t c = 0; c < cols_; ++c)
+            os << (c ? ", " : " ") << at(r, c);
+        os << " ]\n";
+    }
+    return os.str();
+}
+
+double
+squaredDistance(std::span<const double> a, std::span<const double> b)
+{
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+euclideanDistance(std::span<const double> a, std::span<const double> b)
+{
+    return std::sqrt(squaredDistance(a, b));
+}
+
+} // namespace mica::stats

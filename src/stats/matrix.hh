@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Dense row-major matrix used throughout the statistics substrate.
+ *
+ * Rows are observations (instruction intervals, phase representatives),
+ * columns are variables (microarchitecture-independent characteristics or
+ * principal components). The class deliberately stays small: the analysis
+ * pipeline needs construction, element access, row/column views, products,
+ * and transposition — not a full BLAS.
+ */
+
+#ifndef MICAPHASE_STATS_MATRIX_HH
+#define MICAPHASE_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mica::stats {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Construct from nested initializer data; all rows must be equal. */
+    static Matrix fromRows(const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+    [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    [[nodiscard]] double &
+    at(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    [[nodiscard]] double
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    double &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+    /** Mutable view of row r. */
+    [[nodiscard]] std::span<double> row(std::size_t r);
+
+    /** Const view of row r. */
+    [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+    /** Copy of column c. */
+    [[nodiscard]] std::vector<double> col(std::size_t c) const;
+
+    /** Append a row (must match cols(), or set cols on first row). */
+    void appendRow(std::span<const double> values);
+
+    /** Matrix product this(r x k) * other(k x c). */
+    [[nodiscard]] Matrix multiply(const Matrix &other) const;
+
+    /** Transpose. */
+    [[nodiscard]] Matrix transposed() const;
+
+    /** Keep only the first n columns. */
+    [[nodiscard]] Matrix leftCols(std::size_t n) const;
+
+    /** Gather the given column indices into a new matrix. */
+    [[nodiscard]] Matrix selectCols(std::span<const std::size_t> idx) const;
+
+    /** Gather the given row indices into a new matrix. */
+    [[nodiscard]] Matrix selectRows(std::span<const std::size_t> idx) const;
+
+    /** Max absolute element-wise difference versus another matrix. */
+    [[nodiscard]] double maxAbsDiff(const Matrix &other) const;
+
+    /** Raw storage (row-major), e.g. for serialization. */
+    [[nodiscard]] const std::vector<double> &data() const { return data_; }
+
+    /** Human-readable dump (for debugging and error messages). */
+    [[nodiscard]] std::string toString(int precision = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Euclidean distance between two equally sized vectors. */
+[[nodiscard]] double euclideanDistance(std::span<const double> a,
+                                       std::span<const double> b);
+
+/** Squared Euclidean distance between two equally sized vectors. */
+[[nodiscard]] double squaredDistance(std::span<const double> a,
+                                     std::span<const double> b);
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_MATRIX_HH

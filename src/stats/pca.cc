@@ -1,0 +1,98 @@
+#include "stats/pca.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/eigen.hh"
+
+namespace mica::stats {
+
+Pca
+Pca::fit(const Matrix &data, const Options &opts)
+{
+    if (data.rows() == 0 || data.cols() == 0)
+        throw std::invalid_argument("Pca::fit: empty data");
+
+    Pca model;
+    model.normalize_input_ = opts.normalize_input;
+    model.input_stats_ = columnStats(data);
+
+    const Matrix prepared = opts.normalize_input
+        ? normalizeColumns(data, model.input_stats_)
+        : data;
+
+    const Matrix cov = covarianceMatrix(prepared);
+    EigenDecomposition eig = jacobiEigenSymmetric(cov);
+    model.eigenvalues_ = eig.values;
+
+    const double min_var = opts.min_stddev * opts.min_stddev;
+    std::size_t keep = 0;
+    for (double v : eig.values) {
+        if (v > min_var)
+            ++keep;
+        else
+            break; // eigenvalues are sorted descending
+    }
+    keep = std::max(keep, opts.min_components);
+    if (opts.max_components > 0)
+        keep = std::min(keep, opts.max_components);
+    keep = std::min(keep, eig.values.size());
+    model.retained_ = keep;
+
+    model.loadings_ = Matrix(data.cols(), keep);
+    for (std::size_t r = 0; r < data.cols(); ++r)
+        for (std::size_t c = 0; c < keep; ++c)
+            model.loadings_(r, c) = eig.vectors(r, c);
+
+    model.score_sd_.resize(keep);
+    for (std::size_t c = 0; c < keep; ++c)
+        model.score_sd_[c] = std::sqrt(std::max(eig.values[c], 0.0));
+
+    return model;
+}
+
+double
+Pca::explainedVarianceFraction() const
+{
+    double total = 0.0, kept = 0.0;
+    for (std::size_t i = 0; i < eigenvalues_.size(); ++i) {
+        const double v = std::max(eigenvalues_[i], 0.0);
+        total += v;
+        if (i < retained_)
+            kept += v;
+    }
+    return total > 0.0 ? kept / total : 0.0;
+}
+
+Matrix
+Pca::transform(const Matrix &data) const
+{
+    if (data.cols() != loadings_.rows())
+        throw std::invalid_argument("Pca::transform: width mismatch");
+    const Matrix prepared = normalize_input_
+        ? normalizeColumns(data, input_stats_)
+        : data;
+    return prepared.multiply(loadings_);
+}
+
+Matrix
+Pca::transformRescaled(const Matrix &data) const
+{
+    Matrix scores = transform(data);
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        auto row = scores.row(r);
+        for (std::size_t c = 0; c < scores.cols(); ++c) {
+            const double sd = score_sd_[c];
+            row[c] = sd > 1e-12 ? row[c] / sd : 0.0;
+        }
+    }
+    return scores;
+}
+
+Matrix
+rescaledPcaSpace(const Matrix &data, const Pca::Options &opts)
+{
+    return Pca::fit(data, opts).transformRescaled(data);
+}
+
+} // namespace mica::stats

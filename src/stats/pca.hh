@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Principal components analysis as used by the characterization methodology
+ * (paper section 3.5).
+ *
+ * The pipeline normalizes the input data set, computes the principal
+ * components, retains the components with standard deviation greater than a
+ * threshold (1.0 in the paper, i.e. eigenvalue > 1 on the correlation
+ * matrix), and finally re-normalizes the retained component scores so every
+ * retained dimension carries equal weight — the "rescaled PCA space" in
+ * which clustering and distance computations happen.
+ */
+
+#ifndef MICAPHASE_STATS_PCA_HH
+#define MICAPHASE_STATS_PCA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "stats/summary.hh"
+
+namespace mica::stats {
+
+/** Fitted PCA model. */
+class Pca
+{
+  public:
+    /** Options controlling component retention. */
+    struct Options
+    {
+        /**
+         * Retain components whose score standard deviation exceeds this
+         * (paper: 1.0, on z-score-normalized input).
+         */
+        double min_stddev = 1.0;
+        /** Normalize input columns to z-scores before decomposition. */
+        bool normalize_input = true;
+        /** Upper bound on retained components (0 = no bound). */
+        std::size_t max_components = 0;
+        /** Always retain at least this many components. */
+        std::size_t min_components = 1;
+    };
+
+    /** Fit a PCA model on a data matrix (rows = observations). */
+    static Pca fit(const Matrix &data, const Options &opts);
+
+    /** Fit with default options. */
+    static Pca fit(const Matrix &data) { return fit(data, Options{}); }
+
+    /** Number of retained components. */
+    [[nodiscard]] std::size_t numComponents() const { return retained_; }
+
+    /** Eigenvalues (variances along components), all of them, descending. */
+    [[nodiscard]] const std::vector<double> &eigenvalues() const
+    {
+        return eigenvalues_;
+    }
+
+    /** Fraction of total variance explained by the retained components. */
+    [[nodiscard]] double explainedVarianceFraction() const;
+
+    /**
+     * Project data into the retained principal component space.
+     * Input must have the same number of columns as the training data.
+     */
+    [[nodiscard]] Matrix transform(const Matrix &data) const;
+
+    /**
+     * Project and rescale so each retained component has unit variance over
+     * the training data ("rescaled PCA space").
+     */
+    [[nodiscard]] Matrix transformRescaled(const Matrix &data) const;
+
+    /** Loadings: columns are the retained eigenvectors (p x m). */
+    [[nodiscard]] const Matrix &loadings() const { return loadings_; }
+
+  private:
+    Pca() = default;
+
+    ColumnStats input_stats_;
+    bool normalize_input_ = true;
+    std::vector<double> eigenvalues_;
+    std::size_t retained_ = 0;
+    Matrix loadings_;                 ///< p x retained
+    std::vector<double> score_sd_;    ///< stddev of each retained component
+};
+
+/**
+ * One-call helper implementing the methodology's distance construction:
+ * normalize -> PCA (retain sd > 1) -> rescale. Returns the rescaled scores.
+ */
+[[nodiscard]] Matrix rescaledPcaSpace(const Matrix &data,
+                                      const Pca::Options &opts = {});
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_PCA_HH

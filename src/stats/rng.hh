@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The analysis pipeline (interval sampling, k-means restarts, genetic
+ * algorithm) must be bit-exactly reproducible across platforms and standard
+ * library implementations, so we provide our own generator and distributions
+ * instead of relying on <random> (whose distributions are
+ * implementation-defined).
+ */
+
+#ifndef MICAPHASE_STATS_RNG_HH
+#define MICAPHASE_STATS_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mica::stats {
+
+/** SplitMix64: used to expand a single 64-bit seed into generator state. */
+[[nodiscard]] std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Small, fast, high-quality, and fully deterministic given a seed. This is
+ * the only source of randomness in the library.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    [[nodiscard]] std::uint64_t nextU64();
+
+    /** Uniform integer in [0, bound), bias-free via rejection. bound > 0. */
+    [[nodiscard]] std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    [[nodiscard]] double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    [[nodiscard]] double uniform(double lo, double hi);
+
+    /** Standard normal deviate via Box-Muller (deterministic). */
+    [[nodiscard]] double nextGaussian();
+
+    /** True with probability p. */
+    [[nodiscard]] bool nextBool(double p);
+
+    /** Fisher-Yates shuffle of a vector (deterministic). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(nextBelow(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-task streams). */
+    [[nodiscard]] Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_RNG_HH

@@ -1,0 +1,125 @@
+#include "stats/summary.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace mica::stats {
+
+namespace {
+
+constexpr double kStddevEpsilon = 1e-12;
+
+} // namespace
+
+ColumnStats
+columnStats(const Matrix &m)
+{
+    ColumnStats out;
+    out.mean.assign(m.cols(), 0.0);
+    out.stddev.assign(m.cols(), 0.0);
+    if (m.rows() == 0)
+        return out;
+
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            out.mean[c] += row[c];
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c)
+        out.mean[c] /= static_cast<double>(m.rows());
+
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            const double d = row[c] - out.mean[c];
+            out.stddev[c] += d * d;
+        }
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c)
+        out.stddev[c] = std::sqrt(out.stddev[c] /
+                                  static_cast<double>(m.rows()));
+    return out;
+}
+
+Matrix
+normalizeColumns(const Matrix &m, const ColumnStats &stats)
+{
+    assert(stats.mean.size() == m.cols());
+    Matrix out(m.rows(), m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        auto src = m.row(r);
+        auto dst = out.row(r);
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            const double sd = stats.stddev[c];
+            dst[c] = sd > kStddevEpsilon ? (src[c] - stats.mean[c]) / sd
+                                         : 0.0;
+        }
+    }
+    return out;
+}
+
+Matrix
+normalizeColumns(const Matrix &m)
+{
+    return normalizeColumns(m, columnStats(m));
+}
+
+double
+mean(std::span<const double> v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+variance(std::span<const double> v)
+{
+    if (v.empty())
+        return 0.0;
+    const double mu = mean(v);
+    double acc = 0.0;
+    for (double x : v) {
+        const double d = x - mu;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(v.size());
+}
+
+double
+pearson(std::span<const double> a, std::span<const double> b)
+{
+    assert(a.size() == b.size());
+    if (a.size() < 2)
+        return 0.0;
+    const double ma = mean(a);
+    const double mb = mean(b);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if (va <= 0.0 || vb <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+std::vector<double>
+pairwiseDistances(const Matrix &m)
+{
+    const std::size_t n = m.rows();
+    std::vector<double> out;
+    out.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            out.push_back(euclideanDistance(m.row(i), m.row(j)));
+    return out;
+}
+
+} // namespace mica::stats

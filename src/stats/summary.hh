@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Column-wise summary statistics and z-score normalization.
+ *
+ * The characterization methodology normalizes the data set (zero mean, unit
+ * variance per characteristic) before PCA, and again after PCA so that all
+ * retained principal components carry equal weight ("rescaled PCA space",
+ * paper section 3.5).
+ */
+
+#ifndef MICAPHASE_STATS_SUMMARY_HH
+#define MICAPHASE_STATS_SUMMARY_HH
+
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica::stats {
+
+/** Per-column mean / standard deviation pair. */
+struct ColumnStats
+{
+    std::vector<double> mean;
+    std::vector<double> stddev; ///< population standard deviation
+};
+
+/** Compute column means and (population) standard deviations. */
+[[nodiscard]] ColumnStats columnStats(const Matrix &m);
+
+/**
+ * Z-score normalize a matrix column-wise.
+ *
+ * Columns with (near-)zero standard deviation are mapped to all-zero columns
+ * rather than dividing by zero; such constant characteristics carry no
+ * information for PCA anyway.
+ */
+[[nodiscard]] Matrix normalizeColumns(const Matrix &m,
+                                      const ColumnStats &stats);
+
+/** Convenience overload computing the stats internally. */
+[[nodiscard]] Matrix normalizeColumns(const Matrix &m);
+
+/** Mean of a vector. */
+[[nodiscard]] double mean(std::span<const double> v);
+
+/** Population variance of a vector. */
+[[nodiscard]] double variance(std::span<const double> v);
+
+/**
+ * Pearson correlation coefficient of two equally sized vectors.
+ *
+ * Returns 0 when either vector is constant (correlation undefined).
+ */
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b);
+
+/**
+ * Condensed upper-triangle pairwise Euclidean distance vector of the rows of
+ * a matrix: entries (0,1), (0,2), ..., (n-2,n-1).
+ */
+[[nodiscard]] std::vector<double> pairwiseDistances(const Matrix &m);
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_SUMMARY_HH

@@ -1,0 +1,125 @@
+#include "viz/charts.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::viz {
+
+std::string
+asciiBarChart(const std::string &title, const std::vector<Bar> &bars,
+              int width, bool percent)
+{
+    std::ostringstream os;
+    os << title << "\n";
+    double max_value = 0.0;
+    std::size_t label_width = 0;
+    for (const Bar &bar : bars) {
+        max_value = std::max(max_value, bar.value);
+        label_width = std::max(label_width, bar.label.size());
+    }
+    if (max_value <= 0.0)
+        max_value = 1.0;
+    for (const Bar &bar : bars) {
+        const int filled = static_cast<int>(
+            std::lround(bar.value / max_value * width));
+        os << "  ";
+        os.width(static_cast<std::streamsize>(label_width));
+        os << std::left << bar.label << " |";
+        for (int i = 0; i < width; ++i)
+            os << (i < filled ? '#' : ' ');
+        os << "| ";
+        if (percent) {
+            os.precision(1);
+            os << std::fixed << bar.value * 100.0 << "%";
+            os.unsetf(std::ios::fixed);
+            os.precision(6);
+        } else {
+            os << bar.value;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+asciiCurves(const std::string &title, const std::vector<Series> &series,
+            int plot_width, int plot_height)
+{
+    std::ostringstream os;
+    os << title << "\n";
+    if (series.empty())
+        return os.str();
+
+    static const char glyphs[] = "*+ox#@%&";
+    std::size_t n = 0;
+    for (const Series &s : series)
+        n = std::max(n, s.values.size());
+    if (n == 0)
+        return os.str();
+
+    // Grid initialized to spaces; row 0 is the top (y == 1.0).
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(plot_height),
+        std::string(static_cast<std::size_t>(plot_width), ' '));
+
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char glyph = glyphs[si % (sizeof(glyphs) - 1)];
+        const auto &vals = series[si].values;
+        for (int col = 0; col < plot_width; ++col) {
+            // Map column to x index (log-ish emphasis on the left would be
+            // nicer, but linear keeps the axis readable).
+            const std::size_t idx = std::min<std::size_t>(
+                vals.size() - 1,
+                static_cast<std::size_t>(
+                    static_cast<double>(col) / (plot_width - 1) *
+                    static_cast<double>(n - 1)));
+            if (idx >= vals.size())
+                continue;
+            const double y = std::clamp(vals[idx], 0.0, 1.0);
+            const int row = plot_height - 1 -
+                static_cast<int>(std::lround(y * (plot_height - 1)));
+            grid[static_cast<std::size_t>(row)]
+                [static_cast<std::size_t>(col)] = glyph;
+        }
+    }
+
+    for (int row = 0; row < plot_height; ++row) {
+        const double y =
+            1.0 - static_cast<double>(row) / (plot_height - 1);
+        os << "  ";
+        os.precision(2);
+        os << std::fixed << y;
+        os.unsetf(std::ios::fixed);
+        os << " |" << grid[static_cast<std::size_t>(row)] << "|\n";
+    }
+    os << "       +";
+    for (int i = 0; i < plot_width; ++i)
+        os << '-';
+    os << "+  (x: 1.." << n << " clusters)\n";
+    for (std::size_t si = 0; si < series.size(); ++si)
+        os << "    " << glyphs[si % (sizeof(glyphs) - 1)] << " "
+           << series[si].name << "\n";
+    return os.str();
+}
+
+void
+writeCsv(const std::string &path, const std::vector<std::string> &header,
+         const std::vector<std::vector<std::string>> &rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("writeCsv: cannot open " + path);
+    for (std::size_t i = 0; i < header.size(); ++i)
+        out << (i ? "," : "") << header[i];
+    out << "\n";
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            out << (i ? "," : "") << row[i];
+        out << "\n";
+    }
+}
+
+} // namespace mica::viz

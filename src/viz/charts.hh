@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Terminal-friendly charts and CSV emission for the experiment harness:
+ * ASCII bar charts (Figures 4 and 6), ASCII multi-series curves (Figure 5)
+ * and CSV writers so results can be re-plotted externally.
+ */
+
+#ifndef MICAPHASE_VIZ_CHARTS_HH
+#define MICAPHASE_VIZ_CHARTS_HH
+
+#include <string>
+#include <vector>
+
+namespace mica::viz {
+
+/** One bar of a bar chart. */
+struct Bar
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/** ASCII horizontal bar chart; values are scaled to the widest bar. */
+[[nodiscard]] std::string asciiBarChart(const std::string &title,
+                                        const std::vector<Bar> &bars,
+                                        int width = 50,
+                                        bool percent = false);
+
+/** One named series of y-values over a shared integer x-axis 1..n. */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/**
+ * ASCII multi-series curve plot (y in [0, 1] expected); each series is
+ * drawn with its own glyph. Used for the cumulative-coverage curves.
+ */
+[[nodiscard]] std::string asciiCurves(const std::string &title,
+                                      const std::vector<Series> &series,
+                                      int plot_width = 64,
+                                      int plot_height = 20);
+
+/** Write a CSV file: header + rows. Throws std::runtime_error on I/O. */
+void writeCsv(const std::string &path,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows);
+
+} // namespace mica::viz
+
+#endif // MICAPHASE_VIZ_CHARTS_HH

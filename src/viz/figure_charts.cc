@@ -1,0 +1,129 @@
+#include "viz/figure_charts.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mica::viz {
+
+namespace {
+
+const char *const kSeriesPalette[] = {
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+};
+constexpr std::size_t kSeriesPaletteSize =
+    sizeof(kSeriesPalette) / sizeof(kSeriesPalette[0]);
+
+std::string
+formatValue(double v, bool percent)
+{
+    std::ostringstream os;
+    os.precision(percent ? 1 : 4);
+    if (percent)
+        os << std::fixed << v * 100.0 << "%";
+    else
+        os << v;
+    return os.str();
+}
+
+} // namespace
+
+SvgDocument
+renderBarChartSvg(const std::string &title, const std::vector<Bar> &bars,
+                  const ChartOptions &opts)
+{
+    SvgDocument doc(opts.width, opts.height);
+    doc.rect({0, 0}, opts.width, opts.height, "#ffffff");
+    doc.text({10, 20}, title, 13, "start", "#000000");
+
+    double max_value = 0.0;
+    for (const Bar &bar : bars)
+        max_value = std::max(max_value, bar.value);
+    if (max_value <= 0.0)
+        max_value = 1.0;
+
+    const double label_w = 130.0;
+    const double value_w = 70.0;
+    const double plot_w = opts.width - label_w - value_w - 20.0;
+    const double top = 36.0;
+    const double row_h =
+        bars.empty() ? 0.0
+                     : (opts.height - top - 10.0) /
+                           static_cast<double>(bars.size());
+
+    for (std::size_t i = 0; i < bars.size(); ++i) {
+        const double y = top + row_h * static_cast<double>(i);
+        const double w = plot_w * bars[i].value / max_value;
+        doc.text({label_w - 6.0, y + row_h * 0.65}, bars[i].label, 11,
+                 "end", "#333333");
+        doc.rect({label_w, y + row_h * 0.15}, w, row_h * 0.7,
+                 kSeriesPalette[i % kSeriesPaletteSize]);
+        doc.text({label_w + w + 6.0, y + row_h * 0.65},
+                 formatValue(bars[i].value, opts.percent), 10, "start",
+                 "#333333");
+    }
+    return doc;
+}
+
+SvgDocument
+renderLineChartSvg(const std::string &title,
+                   const std::vector<Series> &series,
+                   const ChartOptions &opts)
+{
+    SvgDocument doc(opts.width, opts.height);
+    doc.rect({0, 0}, opts.width, opts.height, "#ffffff");
+    doc.text({10, 20}, title, 13, "start", "#000000");
+
+    std::size_t n = 0;
+    double max_y = 0.0;
+    for (const Series &s : series) {
+        n = std::max(n, s.values.size());
+        for (double v : s.values)
+            max_y = std::max(max_y, v);
+    }
+    if (n < 2 || max_y <= 0.0)
+        return doc;
+
+    const double left = 50.0, right = 150.0, top = 36.0, bottom = 30.0;
+    const double plot_w = opts.width - left - right;
+    const double plot_h = opts.height - top - bottom;
+
+    // Axes + gridlines at quarter heights.
+    doc.line({left, top}, {left, top + plot_h}, "#888888");
+    doc.line({left, top + plot_h}, {left + plot_w, top + plot_h},
+             "#888888");
+    for (int g = 0; g <= 4; ++g) {
+        const double frac = static_cast<double>(g) / 4.0;
+        const double y = top + plot_h * (1.0 - frac);
+        doc.line({left, y}, {left + plot_w, y}, "#eeeeee", 0.5);
+        doc.text({left - 6.0, y + 3.0},
+                 formatValue(max_y * frac, opts.percent), 9, "end",
+                 "#666666");
+    }
+
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const auto &values = series[si].values;
+        if (values.size() < 2)
+            continue;
+        std::vector<Point> pts;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            const double x = left + plot_w * static_cast<double>(i) /
+                                 static_cast<double>(n - 1);
+            const double y =
+                top + plot_h * (1.0 - std::clamp(values[i] / max_y, 0.0,
+                                                 1.0));
+            pts.push_back({x, y});
+        }
+        const char *color = kSeriesPalette[si % kSeriesPaletteSize];
+        doc.polyline(pts, color, 1.5);
+        doc.text({left + plot_w + 8.0,
+                  top + 14.0 * static_cast<double>(si + 1)},
+                 series[si].name, 10, "start", color);
+    }
+    doc.text({left + plot_w / 2.0, opts.height - 8.0},
+             "clusters (1.." + std::to_string(n) + ")", 10, "middle",
+             "#666666");
+    return doc;
+}
+
+} // namespace mica::viz

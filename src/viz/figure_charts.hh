@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SVG renderings of the paper's figure styles: horizontal bar charts
+ * (Figures 4 and 6) and multi-series line charts (Figures 1 and 5), built
+ * on the same SvgDocument substrate as the kiviat plots.
+ */
+
+#ifndef MICAPHASE_VIZ_FIGURE_CHARTS_HH
+#define MICAPHASE_VIZ_FIGURE_CHARTS_HH
+
+#include "viz/charts.hh"
+#include "viz/svg.hh"
+
+namespace mica::viz {
+
+/** Options shared by the SVG chart renderers. */
+struct ChartOptions
+{
+    double width = 640.0;
+    double height = 360.0;
+    bool percent = false; ///< format values as percentages
+};
+
+/** Horizontal bar chart (one bar per suite, Figure 4/6 style). */
+[[nodiscard]] SvgDocument renderBarChartSvg(const std::string &title,
+                                            const std::vector<Bar> &bars,
+                                            const ChartOptions &opts);
+
+/**
+ * Multi-series line chart over an implicit x-axis 1..n (Figure 1/5
+ * style). y values are plotted on [0, max].
+ */
+[[nodiscard]] SvgDocument renderLineChartSvg(
+    const std::string &title, const std::vector<Series> &series,
+    const ChartOptions &opts);
+
+} // namespace mica::viz
+
+#endif // MICAPHASE_VIZ_FIGURE_CHARTS_HH

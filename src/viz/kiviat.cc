@@ -1,0 +1,204 @@
+#include "viz/kiviat.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::viz {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/** Categorical palette for pie slices. */
+const char *const kPalette[] = {
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+Point
+polar(Point center, double radius, double angle)
+{
+    return {center.x + radius * std::cos(angle),
+            center.y - radius * std::sin(angle)};
+}
+
+/** Draw one kiviat into doc at the given center/radius. */
+void
+drawKiviat(SvgDocument &doc, const KiviatPanel &panel,
+           const std::vector<AxisStats> &axes, Point center, double radius,
+           bool labels)
+{
+    const std::size_t n = axes.size();
+    if (panel.values.size() != n)
+        throw std::invalid_argument("drawKiviat: axis/value count mismatch");
+
+    auto angle_of = [&](std::size_t i) {
+        return std::numbers::pi / 2.0 +
+               kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    };
+
+    // Rings: min (center), mean-sd, mean, mean+sd, max (outer). Ring radii
+    // are per-axis since each axis has its own scale; we draw them as
+    // polygons connecting per-axis radii.
+    const auto ring = [&](double AxisStats::*field, const char *color) {
+        std::vector<Point> pts;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double v = axes[i].*field;
+            pts.push_back(polar(center, radius * axisRadius(axes[i], v),
+                                angle_of(i)));
+        }
+        doc.polygon(pts, "none", color, 0.0);
+    };
+    // Outer boundary.
+    std::vector<Point> outer;
+    for (std::size_t i = 0; i < n; ++i)
+        outer.push_back(polar(center, radius, angle_of(i)));
+    doc.polygon(outer, "none", "#999999", 0.0);
+    ring(&AxisStats::mean_minus_sd, "#cccccc");
+    ring(&AxisStats::mean, "#bbbbbb");
+    ring(&AxisStats::mean_plus_sd, "#cccccc");
+
+    // Axis spokes.
+    for (std::size_t i = 0; i < n; ++i)
+        doc.line(center, polar(center, radius, angle_of(i)), "#dddddd",
+                 0.5);
+
+    // The phase polygon.
+    std::vector<Point> shape;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double r = radius * axisRadius(axes[i], panel.values[i]);
+        shape.push_back(polar(center, r, angle_of(i)));
+    }
+    doc.polygon(shape, "#555555", "#222222", 0.75);
+
+    if (labels) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Point p = polar(center, radius + 6.0, angle_of(i));
+            const std::string anchor =
+                p.x < center.x - 2 ? "end"
+                : p.x > center.x + 2 ? "start" : "middle";
+            doc.text(p, axes[i].name, 6.0, anchor, "#666666");
+        }
+    }
+}
+
+/** Draw the benchmark share pie next to the kiviat. */
+void
+drawPie(SvgDocument &doc, const std::vector<PieSlice> &slices, Point center,
+        double radius)
+{
+    double angle = std::numbers::pi / 2.0;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        const double span = kTwoPi * std::clamp(slices[i].fraction, 0.0,
+                                                1.0);
+        // SVG arcs cannot express a full circle as one wedge; clamp just
+        // below to keep single-benchmark clusters rendering correctly.
+        const double a1 = angle + std::min(span, kTwoPi - 1e-4);
+        doc.wedge(center, radius, angle, a1,
+                  kPalette[i % kPaletteSize]);
+        angle = a1;
+    }
+}
+
+} // namespace
+
+double
+axisRadius(const AxisStats &axis, double value)
+{
+    const double span = axis.max - axis.min;
+    if (span <= 0.0)
+        return 0.5;
+    return std::clamp((value - axis.min) / span, 0.0, 1.0);
+}
+
+SvgDocument
+renderKiviatPanel(const KiviatPanel &panel,
+                  const std::vector<AxisStats> &axes,
+                  const KiviatOptions &opts)
+{
+    const double s = opts.panel_size;
+    SvgDocument doc(2.0 * s, s + 20.0 * (panel.caption_lines.size() + 1));
+    doc.text({6.0, 12.0}, panel.title, 10.0, "start", "#000000");
+    drawKiviat(doc, panel, axes, {s * 0.5, s * 0.55}, s * 0.36,
+               opts.draw_axis_labels);
+    drawPie(doc, panel.slices, {s * 1.5, s * 0.45}, s * 0.28);
+    double y = s + 8.0;
+    for (const std::string &line : panel.caption_lines) {
+        doc.text({6.0, y}, line, 8.0, "start", "#333333");
+        y += 11.0;
+    }
+    return doc;
+}
+
+SvgDocument
+renderKiviatGrid(const std::string &title,
+                 const std::vector<KiviatPanel> &panels,
+                 const std::vector<AxisStats> &axes,
+                 const KiviatOptions &opts)
+{
+    const int cols = std::max(1, opts.columns);
+    const double s = opts.panel_size;
+    const double cell_w = 2.0 * s + 10.0;
+    const double cell_h = s + 70.0;
+    const int rows =
+        static_cast<int>((panels.size() + cols - 1) / cols);
+    SvgDocument doc(cell_w * cols + 20.0, cell_h * rows + 40.0);
+    doc.text({10.0, 20.0}, title, 14.0, "start", "#000000");
+
+    for (std::size_t p = 0; p < panels.size(); ++p) {
+        const int r = static_cast<int>(p) / cols;
+        const int c = static_cast<int>(p) % cols;
+        const double ox = 10.0 + c * cell_w;
+        const double oy = 30.0 + r * cell_h;
+        doc.text({ox, oy + 10.0}, panels[p].title, 9.0, "start",
+                 "#000000");
+        drawKiviat(doc, panels[p], axes,
+                   {ox + s * 0.5, oy + 20.0 + s * 0.45}, s * 0.34,
+                   opts.draw_axis_labels);
+        drawPie(doc, panels[p].slices, {ox + s * 1.5, oy + 20.0 + s * 0.4},
+                s * 0.26);
+        double y = oy + 20.0 + s * 0.85;
+        for (std::size_t l = 0;
+             l < panels[p].caption_lines.size() && l < 4; ++l) {
+            doc.text({ox + s * 1.1, y}, panels[p].caption_lines[l], 7.0,
+                     "start", "#333333");
+            y += 9.0;
+        }
+    }
+    return doc;
+}
+
+std::string
+renderAsciiKiviat(const KiviatPanel &panel,
+                  const std::vector<AxisStats> &axes, int bar_width)
+{
+    std::ostringstream os;
+    os << panel.title << "\n";
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        const double r = axisRadius(axes[i], panel.values[i]);
+        const int filled = static_cast<int>(std::lround(r * bar_width));
+        os << "  ";
+        os.width(24);
+        os << std::left << axes[i].name;
+        os << " |";
+        for (int b = 0; b < bar_width; ++b)
+            os << (b < filled ? '#' : ' ');
+        os << "| ";
+        os.precision(4);
+        os << panel.values[i] << "\n";
+    }
+    for (const PieSlice &slice : panel.slices) {
+        os << "    " << slice.label << ": ";
+        os.precision(1);
+        os << std::fixed << slice.fraction * 100.0 << "%\n";
+        os.unsetf(std::ios::fixed);
+        os.precision(6);
+    }
+    return os.str();
+}
+
+} // namespace mica::viz

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Kiviat (radar) diagrams for prominent phase behaviours, plus the
+ * benchmark pie charts shown next to them (paper section 3.8, Figures
+ * 2-3). Rings mark min, mean - sd, mean, mean + sd and max of each axis
+ * over the whole phase set, matching the paper's plot convention.
+ */
+
+#ifndef MICAPHASE_VIZ_KIVIAT_HH
+#define MICAPHASE_VIZ_KIVIAT_HH
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.hh"
+
+namespace mica::viz {
+
+/** Per-axis scaling statistics (over all plotted phases). */
+struct AxisStats
+{
+    std::string name;
+    double min = 0.0;
+    double mean_minus_sd = 0.0;
+    double mean = 0.0;
+    double mean_plus_sd = 0.0;
+    double max = 1.0;
+};
+
+/** A pie-chart slice: which benchmark and what share of the cluster. */
+struct PieSlice
+{
+    std::string label;
+    double fraction = 0.0; ///< share of the cluster's weight
+};
+
+/** One kiviat panel: a phase's key-characteristic values + its pie. */
+struct KiviatPanel
+{
+    std::string title;          ///< e.g. "weight: 4.87%"
+    std::vector<double> values; ///< one per axis, raw characteristic units
+    std::vector<PieSlice> slices;
+    std::vector<std::string> caption_lines; ///< benchmark list text
+};
+
+/** Rendering options. */
+struct KiviatOptions
+{
+    double panel_size = 220.0; ///< square panel edge, SVG units
+    int columns = 5;           ///< panels per row in a grid rendering
+    bool draw_axis_labels = true;
+};
+
+/** Render one panel (kiviat + pie side by side) into a fresh document. */
+[[nodiscard]] SvgDocument renderKiviatPanel(const KiviatPanel &panel,
+                                            const std::vector<AxisStats>
+                                                &axes,
+                                            const KiviatOptions &opts);
+
+/** Render a grid of panels (one SVG, as in the paper's Figures 2-3). */
+[[nodiscard]] SvgDocument renderKiviatGrid(
+    const std::string &title, const std::vector<KiviatPanel> &panels,
+    const std::vector<AxisStats> &axes, const KiviatOptions &opts);
+
+/**
+ * Normalize a raw axis value to a [0, 1] radius using the axis min/max.
+ * Values outside the range clamp.
+ */
+[[nodiscard]] double axisRadius(const AxisStats &axis, double value);
+
+/**
+ * ASCII rendering of one kiviat panel (one bar line per axis), for
+ * terminal-friendly output in the bench harness.
+ */
+[[nodiscard]] std::string renderAsciiKiviat(const KiviatPanel &panel,
+                                            const std::vector<AxisStats>
+                                                &axes,
+                                            int bar_width = 40);
+
+} // namespace mica::viz
+
+#endif // MICAPHASE_VIZ_KIVIAT_HH

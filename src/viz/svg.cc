@@ -1,0 +1,155 @@
+#include "viz/svg.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mica::viz {
+
+namespace {
+
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+escapeXml(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height)
+{
+}
+
+void
+SvgDocument::line(Point a, Point b, const std::string &stroke,
+                  double stroke_width)
+{
+    std::ostringstream os;
+    os << "<line x1=\"" << fmt(a.x) << "\" y1=\"" << fmt(a.y) << "\" x2=\""
+       << fmt(b.x) << "\" y2=\"" << fmt(b.y) << "\" stroke=\"" << stroke
+       << "\" stroke-width=\"" << fmt(stroke_width) << "\"/>";
+    elements_.push_back(os.str());
+}
+
+void
+SvgDocument::circle(Point center, double radius, const std::string &fill,
+                    const std::string &stroke)
+{
+    std::ostringstream os;
+    os << "<circle cx=\"" << fmt(center.x) << "\" cy=\"" << fmt(center.y)
+       << "\" r=\"" << fmt(radius) << "\" fill=\"" << fill << "\" stroke=\""
+       << stroke << "\"/>";
+    elements_.push_back(os.str());
+}
+
+void
+SvgDocument::polygon(const std::vector<Point> &points,
+                     const std::string &fill, const std::string &stroke,
+                     double fill_opacity)
+{
+    std::ostringstream os;
+    os << "<polygon points=\"";
+    for (const Point &p : points)
+        os << fmt(p.x) << "," << fmt(p.y) << " ";
+    os << "\" fill=\"" << fill << "\" stroke=\"" << stroke
+       << "\" fill-opacity=\"" << fmt(fill_opacity) << "\"/>";
+    elements_.push_back(os.str());
+}
+
+void
+SvgDocument::polyline(const std::vector<Point> &points,
+                      const std::string &stroke, double stroke_width)
+{
+    std::ostringstream os;
+    os << "<polyline points=\"";
+    for (const Point &p : points)
+        os << fmt(p.x) << "," << fmt(p.y) << " ";
+    os << "\" fill=\"none\" stroke=\"" << stroke << "\" stroke-width=\""
+       << fmt(stroke_width) << "\"/>";
+    elements_.push_back(os.str());
+}
+
+void
+SvgDocument::wedge(Point c, double r, double a0, double a1,
+                   const std::string &fill)
+{
+    const Point p0{c.x + r * std::cos(a0), c.y - r * std::sin(a0)};
+    const Point p1{c.x + r * std::cos(a1), c.y - r * std::sin(a1)};
+    const int large_arc = (a1 - a0) > 3.14159265358979 ? 1 : 0;
+    std::ostringstream os;
+    os << "<path d=\"M " << fmt(c.x) << " " << fmt(c.y) << " L " << fmt(p0.x)
+       << " " << fmt(p0.y) << " A " << fmt(r) << " " << fmt(r) << " 0 "
+       << large_arc << " 0 " << fmt(p1.x) << " " << fmt(p1.y)
+       << " Z\" fill=\"" << fill << "\" stroke=\"#ffffff\""
+       << " stroke-width=\"0.5\"/>";
+    elements_.push_back(os.str());
+}
+
+void
+SvgDocument::text(Point at, const std::string &content, double font_size,
+                  const std::string &anchor, const std::string &fill)
+{
+    std::ostringstream os;
+    os << "<text x=\"" << fmt(at.x) << "\" y=\"" << fmt(at.y)
+       << "\" font-size=\"" << fmt(font_size)
+       << "\" font-family=\"sans-serif\" text-anchor=\"" << anchor
+       << "\" fill=\"" << fill << "\">" << escapeXml(content) << "</text>";
+    elements_.push_back(os.str());
+}
+
+void
+SvgDocument::rect(Point top_left, double w, double h,
+                  const std::string &fill)
+{
+    std::ostringstream os;
+    os << "<rect x=\"" << fmt(top_left.x) << "\" y=\"" << fmt(top_left.y)
+       << "\" width=\"" << fmt(w) << "\" height=\"" << fmt(h)
+       << "\" fill=\"" << fill << "\"/>";
+    elements_.push_back(os.str());
+}
+
+std::string
+SvgDocument::str() const
+{
+    std::ostringstream os;
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+       << fmt(width_) << "\" height=\"" << fmt(height_) << "\" viewBox=\"0 0 "
+       << fmt(width_) << " " << fmt(height_) << "\">\n";
+    for (const std::string &el : elements_)
+        os << "  " << el << "\n";
+    os << "</svg>\n";
+    return os.str();
+}
+
+void
+SvgDocument::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("SvgDocument: cannot write " + path);
+    out << str();
+}
+
+} // namespace mica::viz

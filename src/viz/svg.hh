@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal SVG document builder used by the kiviat and pie-chart renderers.
+ * Deliberately tiny: shapes are appended in paint order and serialized as
+ * standalone SVG text.
+ */
+
+#ifndef MICAPHASE_VIZ_SVG_HH
+#define MICAPHASE_VIZ_SVG_HH
+
+#include <string>
+#include <vector>
+
+namespace mica::viz {
+
+/** A 2D point in SVG user units. */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** SVG document under construction. */
+class SvgDocument
+{
+  public:
+    SvgDocument(double width, double height);
+
+    void line(Point a, Point b, const std::string &stroke,
+              double stroke_width = 1.0);
+    void circle(Point center, double radius, const std::string &fill,
+                const std::string &stroke = "none");
+    void polygon(const std::vector<Point> &points, const std::string &fill,
+                 const std::string &stroke, double fill_opacity = 1.0);
+    void polyline(const std::vector<Point> &points,
+                  const std::string &stroke, double stroke_width = 1.0);
+    /** Pie-slice wedge between two angles (radians, 0 = +x, ccw). */
+    void wedge(Point center, double radius, double a0, double a1,
+               const std::string &fill);
+    void text(Point at, const std::string &content, double font_size,
+              const std::string &anchor = "start",
+              const std::string &fill = "#333333");
+    void rect(Point top_left, double w, double h, const std::string &fill);
+
+    /** Serialize the document. */
+    [[nodiscard]] std::string str() const;
+
+    /** Serialize and write to a file; throws std::runtime_error on I/O
+     * failure. */
+    void writeFile(const std::string &path) const;
+
+    [[nodiscard]] double width() const { return width_; }
+    [[nodiscard]] double height() const { return height_; }
+
+  private:
+    double width_;
+    double height_;
+    std::vector<std::string> elements_;
+};
+
+/** Escape XML-special characters in text content. */
+[[nodiscard]] std::string escapeXml(const std::string &text);
+
+} // namespace mica::viz
+
+#endif // MICAPHASE_VIZ_SVG_HH

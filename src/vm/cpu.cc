@@ -1,0 +1,263 @@
+#include "vm/cpu.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace mica::vm {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** Sign-extend the low `bits` bits of value. */
+inline std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    const unsigned shift = 64 - bits;
+    return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+/** Truncating double->int64 conversion without undefined behaviour. */
+inline std::int64_t
+doubleToInt64(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    if (v >= 9.2233720368547758e18)
+        return std::numeric_limits<std::int64_t>::max();
+    if (v <= -9.2233720368547758e18)
+        return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(v);
+}
+
+} // namespace
+
+Cpu::Cpu(isa::Program program) : program_(std::move(program))
+{
+    reset();
+}
+
+void
+Cpu::reset()
+{
+    mem_.clear();
+    xregs_.fill(0);
+    fregs_.fill(0.0);
+    if (!program_.data.empty())
+        mem_.writeBytes(program_.data_base, program_.data);
+    pc_ = program_.entry();
+    xregs_[isa::kRegSp] = static_cast<std::int64_t>(program_.stack_top);
+    retired_ = 0;
+    halted_ = false;
+}
+
+RunResult
+Cpu::run(std::uint64_t max_instructions, TraceSink *sink)
+{
+    RunResult result;
+    if (halted_) {
+        result.reason = StopReason::Halted;
+        return result;
+    }
+
+    const std::uint64_t code_base = program_.code_base;
+    const std::uint64_t code_end =
+        code_base + program_.code.size() * isa::kInstrBytes;
+
+    while (result.executed < max_instructions) {
+        if (pc_ < code_base || pc_ >= code_end ||
+            (pc_ - code_base) % isa::kInstrBytes != 0) {
+            result.reason = StopReason::InvalidPc;
+            return result;
+        }
+
+        const std::size_t idx =
+            static_cast<std::size_t>((pc_ - code_base) / isa::kInstrBytes);
+        const Instruction &in = program_.code[idx];
+
+        DynInstr dyn;
+        dyn.instr = &in;
+        dyn.pc = pc_;
+
+        std::uint64_t next_pc = pc_ + isa::kInstrBytes;
+        const std::int64_t a = xregs_[in.rs1];
+        const std::int64_t b = xregs_[in.rs2];
+        const std::uint64_t ua = static_cast<std::uint64_t>(a);
+        const std::uint64_t ub = static_cast<std::uint64_t>(b);
+        const double fa = fregs_[in.rs1];
+        const double fb = fregs_[in.rs2];
+
+        auto write_x = [&](std::int64_t v) {
+            if (in.rd != isa::kRegZero)
+                xregs_[in.rd] = v;
+        };
+        auto write_f = [&](double v) { fregs_[in.rd] = v; };
+        auto mem_access = [&](std::uint64_t addr, bool load) {
+            dyn.mem_addr = addr;
+            dyn.mem_bytes = in.info().mem_bytes;
+            dyn.is_load = load;
+            dyn.is_store = !load;
+        };
+
+        switch (in.op) {
+          case Opcode::Add: write_x(a + b); break;
+          case Opcode::Sub: write_x(a - b); break;
+          case Opcode::Mul: write_x(a * b); break;
+          case Opcode::Div:
+            // RISC-V semantics: x/0 == -1; overflow wraps to dividend.
+            if (b == 0)
+                write_x(-1);
+            else if (a == std::numeric_limits<std::int64_t>::min() &&
+                     b == -1)
+                write_x(a);
+            else
+                write_x(a / b);
+            break;
+          case Opcode::Rem:
+            if (b == 0)
+                write_x(a);
+            else if (a == std::numeric_limits<std::int64_t>::min() &&
+                     b == -1)
+                write_x(0);
+            else
+                write_x(a % b);
+            break;
+          case Opcode::And: write_x(a & b); break;
+          case Opcode::Or: write_x(a | b); break;
+          case Opcode::Xor: write_x(a ^ b); break;
+          case Opcode::Sll:
+            write_x(static_cast<std::int64_t>(ua << (ub & 63)));
+            break;
+          case Opcode::Srl:
+            write_x(static_cast<std::int64_t>(ua >> (ub & 63)));
+            break;
+          case Opcode::Sra: write_x(a >> (ub & 63)); break;
+          case Opcode::Slt: write_x(a < b ? 1 : 0); break;
+          case Opcode::Sltu: write_x(ua < ub ? 1 : 0); break;
+
+          case Opcode::Addi: write_x(a + in.imm); break;
+          case Opcode::Andi: write_x(a & in.imm); break;
+          case Opcode::Ori: write_x(a | in.imm); break;
+          case Opcode::Xori: write_x(a ^ in.imm); break;
+          case Opcode::Slli:
+            write_x(static_cast<std::int64_t>(ua << (in.imm & 63)));
+            break;
+          case Opcode::Srli:
+            write_x(static_cast<std::int64_t>(ua >> (in.imm & 63)));
+            break;
+          case Opcode::Srai: write_x(a >> (in.imm & 63)); break;
+          case Opcode::Slti: write_x(a < in.imm ? 1 : 0); break;
+
+          case Opcode::Lb:
+          case Opcode::Lh:
+          case Opcode::Lw:
+          case Opcode::Ld: {
+            const std::uint64_t addr = ua + in.imm;
+            const unsigned size = in.info().mem_bytes;
+            mem_access(addr, true);
+            write_x(signExtend(mem_.read(addr, size), size * 8));
+            break;
+          }
+          case Opcode::Sb:
+          case Opcode::Sh:
+          case Opcode::Sw:
+          case Opcode::Sd: {
+            const std::uint64_t addr = ua + in.imm;
+            mem_access(addr, false);
+            mem_.write(addr, ub, in.info().mem_bytes);
+            break;
+          }
+          case Opcode::Fld: {
+            const std::uint64_t addr = ua + in.imm;
+            mem_access(addr, true);
+            write_f(mem_.readDouble(addr));
+            break;
+          }
+          case Opcode::Fsd: {
+            const std::uint64_t addr = ua + in.imm;
+            mem_access(addr, false);
+            mem_.writeDouble(addr, fregs_[in.rs2]);
+            break;
+          }
+
+          case Opcode::Fadd: write_f(fa + fb); break;
+          case Opcode::Fsub: write_f(fa - fb); break;
+          case Opcode::Fmul: write_f(fa * fb); break;
+          case Opcode::Fdiv: write_f(fa / fb); break;
+          case Opcode::Fsqrt:
+            write_f(std::sqrt(std::max(fa, 0.0)));
+            break;
+          case Opcode::Fmadd: write_f(fregs_[in.rd] + fa * fb); break;
+          case Opcode::Fneg: write_f(-fa); break;
+          case Opcode::Fabs: write_f(std::fabs(fa)); break;
+          case Opcode::Fmov: write_f(fa); break;
+          case Opcode::Fcmplt: write_x(fa < fb ? 1 : 0); break;
+          case Opcode::Fcmple: write_x(fa <= fb ? 1 : 0); break;
+          case Opcode::Fcmpeq: write_x(fa == fb ? 1 : 0); break;
+          case Opcode::Cvtif: write_f(static_cast<double>(a)); break;
+          case Opcode::Cvtfi: write_x(doubleToInt64(fa)); break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Bltu:
+          case Opcode::Bgeu: {
+            bool taken = false;
+            switch (in.op) {
+              case Opcode::Beq: taken = a == b; break;
+              case Opcode::Bne: taken = a != b; break;
+              case Opcode::Blt: taken = a < b; break;
+              case Opcode::Bge: taken = a >= b; break;
+              case Opcode::Bltu: taken = ua < ub; break;
+              case Opcode::Bgeu: taken = ua >= ub; break;
+              default: break;
+            }
+            dyn.is_cond_branch = true;
+            dyn.taken = taken;
+            if (taken)
+                next_pc = pc_ + static_cast<std::uint64_t>(in.imm);
+            break;
+          }
+          case Opcode::Jal:
+            write_x(static_cast<std::int64_t>(pc_ + isa::kInstrBytes));
+            next_pc = pc_ + static_cast<std::uint64_t>(in.imm);
+            break;
+          case Opcode::Jalr: {
+            const std::uint64_t target =
+                static_cast<std::uint64_t>(a + in.imm);
+            write_x(static_cast<std::int64_t>(pc_ + isa::kInstrBytes));
+            next_pc = target;
+            break;
+          }
+
+          case Opcode::Nop:
+            break;
+          case Opcode::Halt:
+            halted_ = true;
+            break;
+          case Opcode::NumOpcodes:
+            break;
+        }
+
+        pc_ = next_pc;
+        ++retired_;
+        ++result.executed;
+
+        if (sink) {
+            dyn.next_pc = next_pc;
+            sink->onInstruction(dyn);
+        }
+
+        if (halted_) {
+            result.reason = StopReason::Halted;
+            return result;
+        }
+    }
+
+    result.reason = StopReason::InstructionLimit;
+    return result;
+}
+
+} // namespace mica::vm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Functional interpreter for SRISC programs.
+ *
+ * The Cpu executes a loaded Program instruction by instruction, maintaining
+ * architectural state only (no timing): 32 integer registers, 32 fp
+ * registers, pc, and sparse memory. An optional TraceSink observes every
+ * retired instruction — this is the instrumentation attachment point used by
+ * the MICA profiler.
+ */
+
+#ifndef MICAPHASE_VM_CPU_HH
+#define MICAPHASE_VM_CPU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "vm/memory.hh"
+#include "vm/trace.hh"
+
+namespace mica::vm {
+
+/** Reasons an execution slice stopped. */
+enum class StopReason
+{
+    InstructionLimit, ///< executed the requested number of instructions
+    Halted,           ///< retired a HALT instruction
+    InvalidPc,        ///< pc left the code segment (e.g. bad jalr target)
+};
+
+/** Result of Cpu::run. */
+struct RunResult
+{
+    StopReason reason = StopReason::InstructionLimit;
+    std::uint64_t executed = 0; ///< instructions retired in this slice
+};
+
+/** Functional SRISC interpreter. */
+class Cpu
+{
+  public:
+    /**
+     * Load a program: copies data segment into memory, resets state. The
+     * Cpu keeps its own copy of the program image, so callers may pass
+     * temporaries.
+     */
+    explicit Cpu(isa::Program program);
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /** Reset registers/pc/memory to the freshly loaded state. */
+    void reset();
+
+    /**
+     * Execute up to max_instructions instructions, reporting each retired
+     * instruction to the sink (when non-null).
+     */
+    RunResult run(std::uint64_t max_instructions,
+                  TraceSink *sink = nullptr);
+
+    /** @name Architectural state access (tests and workload drivers). */
+    /// @{
+    [[nodiscard]] std::int64_t intReg(std::uint8_t i) const
+    {
+        return xregs_[i];
+    }
+    void setIntReg(std::uint8_t i, std::int64_t v)
+    {
+        if (i != isa::kRegZero)
+            xregs_[i] = v;
+    }
+    [[nodiscard]] double fpReg(std::uint8_t i) const { return fregs_[i]; }
+    void setFpReg(std::uint8_t i, double v) { fregs_[i] = v; }
+    [[nodiscard]] std::uint64_t pc() const { return pc_; }
+    void setPc(std::uint64_t pc) { pc_ = pc; }
+    [[nodiscard]] Memory &memory() { return mem_; }
+    [[nodiscard]] const Memory &memory() const { return mem_; }
+    /// @}
+
+    /** Total instructions retired since the last reset. */
+    [[nodiscard]] std::uint64_t instructionsRetired() const
+    {
+        return retired_;
+    }
+
+    /** The program this CPU runs. */
+    [[nodiscard]] const isa::Program &program() const { return program_; }
+
+  private:
+    const isa::Program program_;
+    Memory mem_;
+    std::array<std::int64_t, isa::kNumIntRegs> xregs_{};
+    std::array<double, isa::kNumFpRegs> fregs_{};
+    std::uint64_t pc_ = 0;
+    std::uint64_t retired_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace mica::vm
+
+#endif // MICAPHASE_VM_CPU_HH

@@ -1,0 +1,107 @@
+#include "vm/memory.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace mica::vm {
+
+std::uint8_t
+Memory::readByte(std::uint64_t addr) const
+{
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return 0;
+    return (*page)[addr % kPageBytes];
+}
+
+void
+Memory::writeByte(std::uint64_t addr, std::uint8_t value)
+{
+    pageFor(addr)[addr % kPageBytes] = value;
+}
+
+Memory::Page &
+Memory::pageFor(std::uint64_t addr)
+{
+    const std::uint64_t key = addr / kPageBytes;
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages_.emplace(key, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const Memory::Page *
+Memory::pageForConst(std::uint64_t addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+Memory::read(std::uint64_t addr, unsigned size) const
+{
+    assert(size == 1 || size == 2 || size == 4 || size == 8);
+    // Fast path: access fully inside one page.
+    const std::uint64_t offset = addr % kPageBytes;
+    if (offset + size <= kPageBytes) {
+        const Page *page = pageForConst(addr);
+        if (!page)
+            return 0;
+        std::uint64_t value = 0;
+        std::memcpy(&value, page->data() + offset, size);
+        return value;
+    }
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+Memory::write(std::uint64_t addr, std::uint64_t value, unsigned size)
+{
+    assert(size == 1 || size == 2 || size == 4 || size == 8);
+    const std::uint64_t offset = addr % kPageBytes;
+    if (offset + size <= kPageBytes) {
+        std::memcpy(pageFor(addr).data() + offset, &value, size);
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+double
+Memory::readDouble(std::uint64_t addr) const
+{
+    const std::uint64_t bits = read(addr, 8);
+    double out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+void
+Memory::writeDouble(std::uint64_t addr, double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write(addr, bits, 8);
+}
+
+void
+Memory::writeBytes(std::uint64_t addr, std::span<const std::uint8_t> bytes)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        writeByte(addr + i, bytes[i]);
+}
+
+void
+Memory::readBytes(std::uint64_t addr, std::span<std::uint8_t> out) const
+{
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = readByte(addr + i);
+}
+
+} // namespace mica::vm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse, demand-allocated flat memory for the SRISC VM.
+ *
+ * Memory is byte-addressed over a 64-bit address space and backed by 4KB
+ * pages allocated on first touch (zero-filled). This lets workloads use
+ * widely separated segments (code, data, stack, heaps) without committing
+ * host memory for the gaps.
+ */
+
+#ifndef MICAPHASE_VM_MEMORY_HH
+#define MICAPHASE_VM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+namespace mica::vm {
+
+/** Page granularity of the backing store. */
+constexpr std::uint64_t kPageBytes = 4096;
+
+/** Sparse paged memory. */
+class Memory
+{
+  public:
+    /** Read a little-endian unsigned value of 1/2/4/8 bytes. */
+    [[nodiscard]] std::uint64_t read(std::uint64_t addr, unsigned size) const;
+
+    /** Write the low `size` bytes of value, little-endian. */
+    void write(std::uint64_t addr, std::uint64_t value, unsigned size);
+
+    /** Read a 64-bit IEEE double. */
+    [[nodiscard]] double readDouble(std::uint64_t addr) const;
+
+    /** Write a 64-bit IEEE double. */
+    void writeDouble(std::uint64_t addr, double value);
+
+    /** Bulk copy-in (used by the program loader). */
+    void writeBytes(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+
+    /** Bulk copy-out (used by tests). */
+    void readBytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+    /** Number of pages that have been touched. */
+    [[nodiscard]] std::size_t pagesAllocated() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    [[nodiscard]] std::uint8_t readByte(std::uint64_t addr) const;
+    void writeByte(std::uint64_t addr, std::uint8_t value);
+
+    Page &pageFor(std::uint64_t addr);
+    [[nodiscard]] const Page *pageForConst(std::uint64_t addr) const;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace mica::vm
+
+#endif // MICAPHASE_VM_MEMORY_HH

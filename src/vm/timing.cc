@@ -1,0 +1,157 @@
+#include "vm/timing.hh"
+
+#include <cassert>
+
+namespace mica::vm {
+
+namespace {
+
+unsigned
+log2OfPow2(std::uint32_t v)
+{
+    unsigned shift = 0;
+    while ((1u << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+CacheModel::CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t ways)
+    : line_shift_(log2OfPow2(line_bytes)),
+      num_sets_(size_bytes / (line_bytes * ways)),
+      ways_(ways),
+      sets_(static_cast<std::size_t>(num_sets_) * ways)
+{
+    assert(num_sets_ > 0);
+}
+
+bool
+CacheModel::access(std::uint64_t addr)
+{
+    ++tick_;
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line % num_sets_);
+    const std::uint64_t tag = line / num_sets_;
+    Way *base = sets_.data() + static_cast<std::size_t>(set) * ways_;
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: evict the LRU way.
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w)
+        if (!base[w].valid ||
+            (base[victim].valid && base[w].lru < base[victim].lru))
+            victim = w;
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].lru = tick_;
+    ++misses_;
+    return false;
+}
+
+double
+CacheModel::missRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+GsharePredictor::GsharePredictor(unsigned log2_entries)
+    : log2_entries_(log2_entries),
+      table_(1u << log2_entries, 1) // weakly not-taken
+{
+}
+
+bool
+GsharePredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    const std::uint32_t mask = (1u << log2_entries_) - 1u;
+    const std::uint32_t index =
+        (static_cast<std::uint32_t>(pc >> 3) ^ history_) & mask;
+    std::int8_t &ctr = table_[index];
+    const bool predicted = ctr >= 2;
+    if (taken)
+        ctr = static_cast<std::int8_t>(ctr < 3 ? ctr + 1 : 3);
+    else
+        ctr = static_cast<std::int8_t>(ctr > 0 ? ctr - 1 : 0);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask;
+    return predicted == taken;
+}
+
+TimingModel::TimingModel(const TimingConfig &config)
+    : config_(config),
+      l1i_(config.l1i_bytes, config.l1_line, config.l1_ways),
+      l1d_(config.l1d_bytes, config.l1_line, config.l1_ways),
+      l2_(config.l2_bytes, config.l2_line, config.l2_ways),
+      predictor_(config.predictor_log2_entries)
+{
+}
+
+void
+TimingModel::onInstruction(const DynInstr &dyn)
+{
+    std::uint64_t cycles = 1;
+
+    // Instruction fetch.
+    if (!l1i_.access(dyn.pc)) {
+        cycles += l2_.access(dyn.pc) ? config_.l1_miss_penalty
+                                     : config_.l1_miss_penalty +
+                                           config_.l2_miss_penalty;
+    }
+
+    // Data access.
+    if (dyn.mem_bytes != 0) {
+        if (!l1d_.access(dyn.mem_addr)) {
+            cycles += l2_.access(dyn.mem_addr)
+                ? config_.l1_miss_penalty
+                : config_.l1_miss_penalty + config_.l2_miss_penalty;
+        }
+    }
+
+    // Execution latency beyond the base cycle.
+    switch (dyn.instr->info().group) {
+      case isa::OpGroup::IntMul:
+        cycles += config_.mul_latency;
+        break;
+      case isa::OpGroup::IntDiv:
+        cycles += config_.div_latency;
+        break;
+      case isa::OpGroup::FpArith:
+      case isa::OpGroup::FpMul:
+      case isa::OpGroup::FpCmp:
+      case isa::OpGroup::FpCvt:
+        cycles += config_.fp_latency;
+        break;
+      case isa::OpGroup::FpDiv:
+      case isa::OpGroup::FpSqrt:
+        cycles += config_.fdiv_latency;
+        break;
+      default:
+        break;
+    }
+
+    // Branch prediction.
+    if (dyn.is_cond_branch) {
+        ++stats_.branches;
+        if (!predictor_.predictAndTrain(dyn.pc, dyn.taken)) {
+            ++stats_.branch_mispredictions;
+            cycles += config_.branch_penalty;
+        }
+    }
+
+    ++stats_.instructions;
+    stats_.cycles += cycles;
+}
+
+} // namespace mica::vm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A simple cycle-approximate timing model, implemented as a TraceSink.
+ *
+ * The paper's characterization is deliberately microarchitecture-
+ * *independent*; this sink provides the microarchitecture-*dependent*
+ * counterpart (CPI, cache miss rates, branch misprediction rates on a
+ * concrete configuration). It exists for two reasons:
+ *
+ *  - the related-work application of the workload space is predicting a
+ *    program's performance from its behavioural neighbours (Hoste et al.,
+ *    PACT 2006) — that needs a ground-truth performance number;
+ *  - it lets the test suite confirm that the microarchitecture-independent
+ *    metrics actually track machine behaviour (e.g. PPM miss rate
+ *    correlates with a real predictor's miss rate).
+ *
+ * Model: blocking in-order pipeline, 1 cycle per instruction, plus
+ * additive penalties for I/D cache misses (two levels), branch
+ * mispredictions (gshare) and long-latency arithmetic. No overlap is
+ * modelled — deliberately simple, fully deterministic.
+ */
+
+#ifndef MICAPHASE_VM_TIMING_HH
+#define MICAPHASE_VM_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/trace.hh"
+
+namespace mica::vm {
+
+/** Set-associative LRU cache model (tags only). */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param line_bytes line size (power of two)
+     * @param ways associativity
+     */
+    CacheModel(std::uint32_t size_bytes, std::uint32_t line_bytes,
+               std::uint32_t ways);
+
+    /** Access the line containing addr; returns true on hit. */
+    bool access(std::uint64_t addr);
+
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+    [[nodiscard]] double missRate() const;
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~0ULL;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t line_shift_;
+    std::uint32_t num_sets_;
+    std::uint32_t ways_;
+    std::vector<Way> sets_; ///< num_sets_ * ways_
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** gshare branch predictor with a fixed-size table of 2-bit counters. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(unsigned log2_entries = 12);
+
+    /** Predict + train; returns true when the prediction was correct. */
+    bool predictAndTrain(std::uint64_t pc, bool taken);
+
+  private:
+    unsigned log2_entries_;
+    std::uint32_t history_ = 0;
+    std::vector<std::int8_t> table_;
+};
+
+/** Machine configuration for the timing sink. */
+struct TimingConfig
+{
+    std::uint32_t l1i_bytes = 16 * 1024;
+    std::uint32_t l1d_bytes = 16 * 1024;
+    std::uint32_t l1_line = 64;
+    std::uint32_t l1_ways = 2;
+    std::uint32_t l2_bytes = 256 * 1024;
+    std::uint32_t l2_line = 64;
+    std::uint32_t l2_ways = 8;
+
+    std::uint32_t l1_miss_penalty = 8;    ///< cycles, L1 miss / L2 hit
+    std::uint32_t l2_miss_penalty = 60;   ///< cycles, L2 miss
+    std::uint32_t branch_penalty = 10;    ///< misprediction flush
+    std::uint32_t mul_latency = 2;        ///< extra cycles beyond 1
+    std::uint32_t div_latency = 20;
+    std::uint32_t fp_latency = 3;
+    std::uint32_t fdiv_latency = 15;
+
+    unsigned predictor_log2_entries = 12;
+};
+
+/** Per-run timing statistics. */
+struct TimingStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t branch_mispredictions = 0;
+    std::uint64_t branches = 0;
+
+    [[nodiscard]] double cpi() const
+    {
+        return instructions
+            ? static_cast<double>(cycles) /
+                  static_cast<double>(instructions)
+            : 0.0;
+    }
+
+    [[nodiscard]] double
+    branchMissRate() const
+    {
+        return branches ? static_cast<double>(branch_mispredictions) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+};
+
+/** The timing sink: attach to Cpu::run like any other TraceSink. */
+class TimingModel : public TraceSink
+{
+  public:
+    explicit TimingModel(const TimingConfig &config = {});
+
+    void onInstruction(const DynInstr &dyn) override;
+
+    [[nodiscard]] const TimingStats &stats() const { return stats_; }
+    [[nodiscard]] const CacheModel &l1i() const { return l1i_; }
+    [[nodiscard]] const CacheModel &l1d() const { return l1d_; }
+    [[nodiscard]] const CacheModel &l2() const { return l2_; }
+
+  private:
+    TimingConfig config_;
+    CacheModel l1i_;
+    CacheModel l1d_;
+    CacheModel l2_;
+    GsharePredictor predictor_;
+    TimingStats stats_;
+};
+
+} // namespace mica::vm
+
+#endif // MICAPHASE_VM_TIMING_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic instruction records and the instrumentation-hook interface.
+ *
+ * TraceSink is this library's analogue of a Pin analysis routine: the VM
+ * calls TraceSink::onInstruction once per retired instruction with
+ * everything a microarchitecture-independent characterization needs —
+ * the static instruction, its pc, the effective memory address, and the
+ * branch outcome.
+ */
+
+#ifndef MICAPHASE_VM_TRACE_HH
+#define MICAPHASE_VM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace mica::vm {
+
+/** One retired dynamic instruction as observed by instrumentation. */
+struct DynInstr
+{
+    /** Static instruction (points into the loaded program, never null). */
+    const isa::Instruction *instr = nullptr;
+    /** pc of this instruction. */
+    std::uint64_t pc = 0;
+    /** pc of the next retired instruction (fall-through or target). */
+    std::uint64_t next_pc = 0;
+    /** Effective address for loads/stores; undefined otherwise. */
+    std::uint64_t mem_addr = 0;
+    /** Access size in bytes; 0 for non-memory instructions. */
+    std::uint8_t mem_bytes = 0;
+    /** True when a memory instruction reads. */
+    bool is_load = false;
+    /** True when a memory instruction writes. */
+    bool is_store = false;
+    /** True when this is a conditional branch. */
+    bool is_cond_branch = false;
+    /** Conditional branch outcome (false for non-branches). */
+    bool taken = false;
+};
+
+/** Instrumentation hook invoked by the VM for every retired instruction. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called after the instruction has architecturally completed. */
+    virtual void onInstruction(const DynInstr &dyn) = 0;
+};
+
+/** A sink that fans a trace out to several sinks (e.g. MICA + a logger). */
+class TeeSink : public TraceSink
+{
+  public:
+    void attach(TraceSink *sink) { sinks_.push_back(sink); }
+
+    void
+    onInstruction(const DynInstr &dyn) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onInstruction(dyn);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+} // namespace mica::vm
+
+#endif // MICAPHASE_VM_TRACE_HH

@@ -1,0 +1,32 @@
+#include "vm/trace_logger.hh"
+
+#include <iomanip>
+
+namespace mica::vm {
+
+TraceLogger::TraceLogger(std::ostream &out, std::uint64_t max_lines)
+    : out_(out), max_lines_(max_lines)
+{
+}
+
+void
+TraceLogger::onInstruction(const DynInstr &dyn)
+{
+    ++seen_;
+    if (max_lines_ != 0 && seen_ > max_lines_)
+        return;
+
+    out_ << "0x" << std::hex << std::setw(8) << std::setfill('0') << dyn.pc
+         << std::dec << std::setfill(' ') << "  " << std::left
+         << std::setw(28) << dyn.instr->disassemble() << std::right;
+    if (dyn.mem_bytes != 0) {
+        out_ << (dyn.is_load ? "  R " : "  W ") << "0x" << std::hex
+             << dyn.mem_addr << std::dec << " (" << int(dyn.mem_bytes)
+             << "B)";
+    }
+    if (dyn.is_cond_branch)
+        out_ << (dyn.taken ? "  [taken]" : "  [not taken]");
+    out_ << "\n";
+}
+
+} // namespace mica::vm

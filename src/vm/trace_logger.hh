@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A human-readable execution tracer: logs each retired instruction
+ * (pc, disassembly, memory address, branch outcome) to a stream. Useful
+ * for debugging generated workloads and as a reference TraceSink
+ * implementation; compose it with other sinks through TeeSink.
+ */
+
+#ifndef MICAPHASE_VM_TRACE_LOGGER_HH
+#define MICAPHASE_VM_TRACE_LOGGER_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "vm/trace.hh"
+
+namespace mica::vm {
+
+/** Streams one formatted line per retired instruction. */
+class TraceLogger : public TraceSink
+{
+  public:
+    /**
+     * @param out          destination stream (must outlive the logger)
+     * @param max_lines    stop logging after this many instructions
+     *                     (0 = unlimited); execution continues either way
+     */
+    explicit TraceLogger(std::ostream &out, std::uint64_t max_lines = 0);
+
+    void onInstruction(const DynInstr &dyn) override;
+
+    /** Instructions seen (including ones beyond the logging limit). */
+    [[nodiscard]] std::uint64_t seen() const { return seen_; }
+
+  private:
+    std::ostream &out_;
+    std::uint64_t max_lines_;
+    std::uint64_t seen_ = 0;
+};
+
+} // namespace mica::vm
+
+#endif // MICAPHASE_VM_TRACE_LOGGER_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The synthetic kernel library.
+ *
+ * Each emit function generates a leaf subroutine (entered with jal/ra,
+ * exiting with ret) performing one "unit of work", plus the private data it
+ * operates on. Benchmarks are composed from these kernels via phase
+ * schedules (see composer.hh); kernel parameters are what give each of the
+ * 77 synthetic benchmarks its distinctive microarchitecture-independent
+ * signature (instruction mix, ILP, locality, branch behaviour).
+ *
+ * Calling conventions for generated kernels:
+ *   - x5..x27 and f0..f31 are scratch (kernels may clobber freely);
+ *   - x28..x31 belong to the phase scheduler and must be preserved;
+ *   - kernels are leaves: they never call other subroutines;
+ *   - kernel state that persists across invocations (stream cursors, PRNG
+ *     state, ring positions) lives in the kernel's private data segment.
+ */
+
+#ifndef MICAPHASE_WORKLOADS_KERNELS_HH
+#define MICAPHASE_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+
+#include "stats/rng.hh"
+#include "workloads/program_builder.hh"
+
+namespace mica::workloads {
+
+// ---------------------------------------------------------------------
+// Streaming / dense numeric kernels.
+// ---------------------------------------------------------------------
+
+/** STREAM-style array kernel. */
+struct StreamParams
+{
+    enum class Mode { Copy, Scale, Add, Triad, Dot };
+
+    std::uint32_t elements = 1024; ///< array length
+    std::uint32_t stride = 1;      ///< element stride between accesses
+    Mode mode = Mode::Triad;
+    bool fp = true;                ///< double arrays vs int64 arrays
+    std::uint32_t unroll = 2;      ///< 1..4
+};
+Label emitStream(ProgramBuilder &pb, const StreamParams &params);
+
+/** 5-point 2D stencil sweep over a grid (swim/mgrid/leslie3d-style). */
+struct StencilParams
+{
+    std::uint32_t rows = 32;
+    std::uint32_t cols = 64;
+    std::uint32_t sweeps = 1; ///< sweeps per call
+};
+Label emitStencil2D(ProgramBuilder &pb, const StencilParams &params);
+
+/** Naive dense matrix multiply (wupwise/calculix/tonto-style). */
+struct MatMulParams
+{
+    std::uint32_t n = 16; ///< n x n doubles
+};
+Label emitMatMul(ProgramBuilder &pb, const MatMulParams &params,
+                 stats::Rng &rng);
+
+/** k x k convolution over an image (facerec/BMW face/hand-style). */
+struct ConvParams
+{
+    std::uint32_t rows = 24;
+    std::uint32_t cols = 48;
+    std::uint32_t k = 3;
+    bool fp = true; ///< integer variant for fixed-point image code
+};
+Label emitConv2D(ProgramBuilder &pb, const ConvParams &params,
+                 stats::Rng &rng);
+
+/** FIR filter over a sample ring (sphinx/BMW gait/speak-style). */
+struct FirParams
+{
+    std::uint32_t taps = 32;
+    std::uint32_t samples = 128;  ///< outputs per call
+    std::uint32_t parallel = 1;   ///< independent accumulators (1..2)
+};
+Label emitFir(ProgramBuilder &pb, const FirParams &params,
+              stats::Rng &rng);
+
+/** Biquad IIR filter: serial fp recurrence, minimal ILP. */
+struct IirParams
+{
+    std::uint32_t samples = 256; ///< samples per call
+};
+Label emitIir(ProgramBuilder &pb, const IirParams &params,
+              stats::Rng &rng);
+
+/** Radix-2 FFT butterflies over a complex array (lucas/BMW speak-style). */
+struct FftParams
+{
+    std::uint32_t log2n = 8; ///< transform size = 2^log2n (<= 16)
+};
+Label emitFftPass(ProgramBuilder &pb, const FftParams &params,
+                  stats::Rng &rng);
+
+/** Divide/square-root heavy fp kernel (povray/apsi-style math). */
+struct FpMathParams
+{
+    std::uint32_t n = 256; ///< elements processed per call
+};
+Label emitFpMath(ProgramBuilder &pb, const FpMathParams &params,
+                 stats::Rng &rng);
+
+/** Long serial arithmetic dependency chain (ILP ~ 1). */
+struct ReduceChainParams
+{
+    std::uint32_t length = 4096; ///< chain steps per call
+    bool fp = false;
+    bool use_mul = true;         ///< alternate mul into the chain
+};
+Label emitReduceChain(ProgramBuilder &pb, const ReduceChainParams &params);
+
+// ---------------------------------------------------------------------
+// Irregular-memory kernels.
+// ---------------------------------------------------------------------
+
+/** Random-cycle linked-list traversal (mcf/omnetpp-style). */
+struct PointerChaseParams
+{
+    std::uint32_t nodes = 4096; ///< 16-byte nodes
+    std::uint32_t hops = 2048;  ///< hops per call
+    bool payload = true;        ///< also load & accumulate node payloads
+};
+Label emitPointerChase(ProgramBuilder &pb, const PointerChaseParams &params,
+                       stats::Rng &rng);
+
+/** Hash-table probing with an in-code LCG (vortex/xalancbmk-style). */
+struct HashProbeParams
+{
+    std::uint32_t log2_slots = 12; ///< table size = 2^log2_slots
+    std::uint32_t probes = 1024;   ///< probes per call
+    bool update = false;           ///< write back to probed slots
+};
+Label emitHashProbe(ProgramBuilder &pb, const HashProbeParams &params,
+                    stats::Rng &rng);
+
+/** Indexed gather (+optional scatter) over fp data (equake/soplex-style). */
+struct GatherParams
+{
+    std::uint32_t n = 1024;          ///< index entries walked per call
+    std::uint32_t log2_range = 12;   ///< gather target range (elements)
+    bool scatter = false;            ///< also write an output element
+};
+Label emitGather(ProgramBuilder &pb, const GatherParams &params,
+                 stats::Rng &rng);
+
+/** Byte histogram (bzip2/gzip-style counting). */
+struct HistogramParams
+{
+    std::uint32_t input_bytes = 4096; ///< bytes consumed per call
+    std::uint32_t alphabet = 256;     ///< distinct byte values in input
+};
+Label emitHistogram(ProgramBuilder &pb, const HistogramParams &params,
+                    stats::Rng &rng);
+
+/** Binary search over a sorted array (astar/gobmk lookup-style). */
+struct TreeWalkParams
+{
+    std::uint32_t log2_size = 14; ///< array elements = 2^log2_size
+    std::uint32_t searches = 256; ///< searches per call
+};
+Label emitTreeWalk(ProgramBuilder &pb, const TreeWalkParams &params,
+                   stats::Rng &rng);
+
+/** Bubble pass with periodic re-scrambling (bzip2 sort-style). */
+struct SortPassParams
+{
+    std::uint32_t n = 1024;      ///< array elements
+    std::uint32_t scramble = 16; ///< slots re-randomized per call
+};
+Label emitSortPass(ProgramBuilder &pb, const SortPassParams &params,
+                   stats::Rng &rng);
+
+// ---------------------------------------------------------------------
+// Control-heavy and domain kernels.
+// ---------------------------------------------------------------------
+
+/** Parameterized-predictability branch generator (crafty/sjeng-style). */
+struct RandomBranchParams
+{
+    std::uint32_t branches = 2048; ///< dispatch iterations per call
+    /** Fraction [0,256] of iterations taking the data-dependent path. */
+    std::uint32_t taken_threshold = 128;
+    /**
+     * 0 = purely (pseudo)random outcomes; k > 0 = outcome follows a
+     * period-2^k pattern, i.e. predictable with >= k bits of history.
+     */
+    std::uint32_t pattern_bits = 0;
+};
+Label emitRandomBranch(ProgramBuilder &pb, const RandomBranchParams &params);
+
+/** Many distinct basic blocks behind indirect dispatch (gcc/perl-style). */
+struct CodeBloatParams
+{
+    std::uint32_t blocks = 64;      ///< distinct dispatched blocks
+    std::uint32_t block_instrs = 12; ///< ALU instructions per block
+    std::uint32_t dispatches = 512; ///< dispatches per call
+    bool sequential = false;        ///< round-robin instead of random
+    double fp_fraction = 0.0;       ///< fraction of blocks doing fp work
+};
+Label emitCodeBloat(ProgramBuilder &pb, const CodeBloatParams &params,
+                    stats::Rng &rng);
+
+/** Naive substring scan over random text (blast/fasta/parser-style). */
+struct StringMatchParams
+{
+    std::uint32_t text_len = 4096;
+    std::uint32_t pattern_len = 8;
+    std::uint32_t alphabet = 4; ///< 4 = DNA-like
+};
+Label emitStringMatch(ProgramBuilder &pb, const StringMatchParams &params,
+                      stats::Rng &rng);
+
+/** Smith-Waterman style DP with affine-free gap penalty (clustalw/
+ *  t-coffee-style). */
+struct SmithWatermanParams
+{
+    std::uint32_t query_len = 24;  ///< DP rows per call
+    std::uint32_t db_len = 96;     ///< DP columns
+    std::uint32_t alphabet = 4;
+};
+Label emitSmithWaterman(ProgramBuilder &pb,
+                        const SmithWatermanParams &params,
+                        stats::Rng &rng);
+
+/** Profile-HMM Viterbi inner loop (hmmer-style). */
+struct ProfileHmmParams
+{
+    std::uint32_t states = 64;
+    std::uint32_t steps = 32; ///< sequence symbols per call
+};
+Label emitProfileHmm(ProgramBuilder &pb, const ProfileHmmParams &params,
+                     stats::Rng &rng);
+
+/** Fixed-point 8x8 DCT (jpeg/mpeg-style). */
+struct DctParams
+{
+    std::uint32_t blocks = 4; ///< 8x8 blocks transformed per call
+};
+Label emitDct8x8(ProgramBuilder &pb, const DctParams &params,
+                 stats::Rng &rng);
+
+/** Sum-of-absolute-differences motion search (h264/mpeg-style). */
+struct SadParams
+{
+    std::uint32_t candidates = 9; ///< candidate positions per call
+};
+Label emitSad(ProgramBuilder &pb, const SadParams &params, stats::Rng &rng);
+
+/** Quantization with saturation (media codecs). */
+struct QuantizeParams
+{
+    std::uint32_t n = 512; ///< coefficients per call
+};
+Label emitQuantize(ProgramBuilder &pb, const QuantizeParams &params,
+                   stats::Rng &rng);
+
+} // namespace mica::workloads
+
+#endif // MICAPHASE_WORKLOADS_KERNELS_HH

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Irregular-memory kernels: pointer chasing, hash probing, gather/scatter,
+ * histogramming, binary search, and sort passes.
+ */
+
+#include <numeric>
+#include <vector>
+
+#include "workloads/kernels.hh"
+#include "workloads/kernels_util.hh"
+
+namespace mica::workloads {
+
+using detail::Loop;
+using isa::Opcode;
+
+Label
+emitPointerChase(ProgramBuilder &pb, const PointerChaseParams &params,
+                 stats::Rng &rng)
+{
+    const std::uint32_t nodes = std::max(2u, params.nodes);
+    const std::uint32_t hops = std::max(1u, params.hops);
+
+    // Lay the nodes out as one random cycle: following `next` visits every
+    // node before repeating, with no short cycles to get stuck in.
+    std::vector<std::uint32_t> order(nodes);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    const std::uint64_t node_base = pb.allocData(0, 16);
+    std::vector<std::uint64_t> node_words(2 * nodes, 0);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+        const std::uint32_t from = order[i];
+        const std::uint32_t to = order[(i + 1) % nodes];
+        node_words[2 * from] = node_base + 16ULL * to;
+        node_words[2 * from + 1] = rng.nextBelow(1000); // payload
+    }
+    const std::uint64_t laid = pb.allocWords(node_words);
+    (void)laid; // == node_base: allocWords continues at the aligned cursor
+
+    const std::uint64_t cursor_words[1] = {node_base + 16ULL * order[0]};
+    const std::uint64_t cursor_slot = pb.allocWords(cursor_words);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(cursor_slot));
+    pb.load(Opcode::Ld, 6, 5, 0);
+    pb.li(9, 0);
+
+    Loop loop(pb, 7, hops);
+    pb.load(Opcode::Ld, 6, 6, 0); // follow next
+    if (params.payload) {
+        pb.load(Opcode::Ld, 8, 6, 8);
+        pb.alu(Opcode::Add, 9, 9, 8);
+    }
+    loop.end();
+
+    pb.store(Opcode::Sd, 6, 5, 0); // persist cursor for the next call
+    pb.ret();
+    return entry;
+}
+
+Label
+emitHashProbe(ProgramBuilder &pb, const HashProbeParams &params,
+              stats::Rng &rng)
+{
+    const std::uint32_t log2_slots = std::min(std::max(params.log2_slots,
+                                                       4u), 24u);
+    const std::uint64_t slots = 1ULL << log2_slots;
+    const std::uint32_t probes = std::max(1u, params.probes);
+
+    std::vector<std::uint64_t> table(slots);
+    for (auto &v : table)
+        v = rng.nextU64();
+    const std::uint64_t table_base = pb.allocWords(table);
+    const std::uint64_t state_words[1] = {rng.nextU64() | 1};
+    const std::uint64_t state_slot = pb.allocWords(state_words);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(state_slot));
+    pb.load(Opcode::Ld, 6, 5, 0);
+    detail::loadBigConst(pb, 15, detail::kLcgMultiplier);
+    pb.li(12, static_cast<std::int64_t>(table_base));
+    pb.li(14, 0);
+
+    Loop loop(pb, 7, probes);
+    detail::emitLcgStep(pb, 6, 15);
+    pb.alui(Opcode::Srli, 9, 6, 33);
+    pb.alui(Opcode::Andi, 9, 9,
+            static_cast<std::int64_t>(slots - 1));
+    pb.alui(Opcode::Slli, 9, 9, 3);
+    pb.alu(Opcode::Add, 9, 9, 12);
+    pb.load(Opcode::Ld, 10, 9, 0);
+    pb.alui(Opcode::Andi, 11, 10, 1);
+    Label skip = pb.newLabel();
+    pb.branch(Opcode::Beq, 11, isa::kRegZero, skip); // ~50/50, random
+    pb.alui(Opcode::Addi, 14, 14, 1);
+    if (params.update) {
+        pb.alu(Opcode::Xor, 10, 10, 6);
+        pb.store(Opcode::Sd, 10, 9, 0);
+    }
+    pb.bind(skip);
+    loop.end();
+
+    pb.store(Opcode::Sd, 6, 5, 0);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitGather(ProgramBuilder &pb, const GatherParams &params, stats::Rng &rng)
+{
+    const std::uint32_t log2_range = std::min(std::max(params.log2_range,
+                                                       4u), 24u);
+    const std::uint64_t range = 1ULL << log2_range;
+    const std::uint32_t n = std::max(1u, params.n);
+
+    std::vector<std::uint64_t> indices(n);
+    for (auto &v : indices)
+        v = rng.nextBelow(range);
+    const std::uint64_t idx_base = pb.allocWords(indices);
+
+    std::vector<double> values(range);
+    for (auto &v : values)
+        v = rng.uniform(-1.0, 1.0);
+    const std::uint64_t val_base = pb.allocDoubles(values);
+    const std::uint64_t out_base =
+        params.scatter ? pb.allocData(range * 8) : 0;
+    const std::uint64_t result_slot = pb.allocData(8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(idx_base));
+    pb.li(6, static_cast<std::int64_t>(val_base));
+    if (params.scatter)
+        pb.li(13, static_cast<std::int64_t>(out_base));
+    detail::fzero(pb, 1);
+
+    Loop loop(pb, 7, n);
+    pb.load(Opcode::Ld, 8, 5, 0);
+    pb.alui(Opcode::Slli, 8, 8, 3);
+    pb.alu(Opcode::Add, 9, 8, 6);
+    pb.fload(2, 9, 0);
+    if (params.scatter) {
+        pb.alu(Opcode::Add, 10, 8, 13);
+        pb.fop(Opcode::Fadd, 3, 2, 2);
+        pb.fstore(3, 10, 0);
+    } else {
+        pb.fop(Opcode::Fadd, 1, 1, 2);
+    }
+    pb.alui(Opcode::Addi, 5, 5, 8);
+    loop.end();
+
+    pb.li(9, static_cast<std::int64_t>(result_slot));
+    pb.fstore(1, 9, 0);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitHistogram(ProgramBuilder &pb, const HistogramParams &params,
+              stats::Rng &rng)
+{
+    const std::uint32_t n = std::max(1u, params.input_bytes);
+    const std::uint32_t alphabet =
+        std::min(std::max(params.alphabet, 2u), 256u);
+
+    const std::uint64_t in_base = pb.allocData(0, 8);
+    {
+        // Random input bytes, emitted as packed words.
+        std::vector<std::uint64_t> words((n + 7) / 8, 0);
+        for (std::uint32_t i = 0; i < n; ++i)
+            words[i / 8] |= rng.nextBelow(alphabet) << (8 * (i % 8));
+        (void)pb.allocWords(words);
+    }
+    const std::uint64_t bins = pb.allocData(256 * 8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(in_base));
+    pb.li(6, static_cast<std::int64_t>(bins));
+
+    Loop loop(pb, 7, n);
+    pb.load(Opcode::Lb, 8, 5, 0);
+    pb.alui(Opcode::Andi, 8, 8, 255);
+    pb.alui(Opcode::Slli, 8, 8, 3);
+    pb.alu(Opcode::Add, 8, 8, 6);
+    pb.load(Opcode::Ld, 9, 8, 0);
+    pb.alui(Opcode::Addi, 9, 9, 1);
+    pb.store(Opcode::Sd, 9, 8, 0);
+    pb.alui(Opcode::Addi, 5, 5, 1);
+    loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitTreeWalk(ProgramBuilder &pb, const TreeWalkParams &params,
+             stats::Rng &rng)
+{
+    const std::uint32_t log2_size = std::min(std::max(params.log2_size, 4u),
+                                             22u);
+    const std::uint64_t size = 1ULL << log2_size;
+    const std::uint32_t searches = std::max(1u, params.searches);
+
+    std::vector<std::uint64_t> sorted(size);
+    for (std::uint64_t i = 0; i < size; ++i)
+        sorted[i] = i * 7 + 3;
+    const std::uint64_t base = pb.allocWords(sorted);
+    const std::uint64_t state_words[1] = {rng.nextU64() | 1};
+    const std::uint64_t state_slot = pb.allocWords(state_words);
+    const std::int64_t key_mask = static_cast<std::int64_t>(size * 8 - 1);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(state_slot));
+    pb.load(Opcode::Ld, 6, 5, 0);
+    detail::loadBigConst(pb, 15, detail::kLcgMultiplier);
+    pb.li(12, static_cast<std::int64_t>(base));
+    pb.li(16, 0); // result accumulator
+
+    Loop searches_loop(pb, 7, searches);
+    detail::emitLcgStep(pb, 6, 15);
+    pb.alui(Opcode::Srli, 8, 6, 16);
+    pb.alui(Opcode::Andi, 8, 8, key_mask); // key in value range
+    pb.li(9, 0);                            // lo
+    pb.li(10, static_cast<std::int64_t>(size)); // hi
+
+    Label bloop = pb.newLabel();
+    Label go_left = pb.newLabel();
+    Label cont = pb.newLabel();
+    pb.bind(bloop);
+    pb.alu(Opcode::Add, 11, 9, 10);
+    pb.alui(Opcode::Srli, 11, 11, 1); // mid
+    pb.alui(Opcode::Slli, 13, 11, 3);
+    pb.alu(Opcode::Add, 13, 13, 12);
+    pb.load(Opcode::Ld, 14, 13, 0);
+    pb.branch(Opcode::Bge, 14, 8, go_left); // data-dependent
+    pb.alui(Opcode::Addi, 9, 11, 1);
+    pb.jump(cont);
+    pb.bind(go_left);
+    pb.mv(10, 11);
+    pb.bind(cont);
+    pb.branch(Opcode::Blt, 9, 10, bloop);
+    pb.alu(Opcode::Add, 16, 16, 9);
+    searches_loop.end();
+
+    pb.store(Opcode::Sd, 6, 5, 0);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitSortPass(ProgramBuilder &pb, const SortPassParams &params,
+             stats::Rng &rng)
+{
+    const std::uint32_t n = std::max(4u, params.n);
+
+    std::vector<std::uint64_t> array(n);
+    for (auto &v : array)
+        v = rng.nextBelow(1u << 30);
+    const std::uint64_t base = pb.allocWords(array);
+    const std::uint64_t state_words[1] = {rng.nextU64() | 1};
+    const std::uint64_t state_slot = pb.allocWords(state_words);
+    const std::int64_t idx_mask = static_cast<std::int64_t>(n - 1) & ~7LL;
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(base));
+
+    // One bubble pass: data-dependent swap branches whose predictability
+    // improves as the array gets sorted, then degrades after scrambling.
+    Loop pass(pb, 6, n - 1);
+    pb.load(Opcode::Ld, 7, 5, 0);
+    pb.load(Opcode::Ld, 8, 5, 8);
+    Label noswap = pb.newLabel();
+    pb.branch(Opcode::Bge, 8, 7, noswap);
+    pb.store(Opcode::Sd, 8, 5, 0);
+    pb.store(Opcode::Sd, 7, 5, 8);
+    pb.bind(noswap);
+    pb.alui(Opcode::Addi, 5, 5, 8);
+    pass.end();
+
+    // Scramble a few random slots so the branch behaviour never fully
+    // converges to "always sorted".
+    if (params.scramble > 0) {
+        pb.li(9, static_cast<std::int64_t>(state_slot));
+        pb.load(Opcode::Ld, 10, 9, 0);
+        detail::loadBigConst(pb, 15, detail::kLcgMultiplier);
+        pb.li(12, static_cast<std::int64_t>(base));
+        Loop scramble(pb, 11, params.scramble);
+        detail::emitLcgStep(pb, 10, 15);
+        pb.alui(Opcode::Srli, 13, 10, 20);
+        pb.alui(Opcode::Andi, 13, 13, idx_mask);
+        pb.alui(Opcode::Slli, 13, 13, 3);
+        pb.alu(Opcode::Add, 13, 13, 12);
+        pb.alui(Opcode::Srli, 14, 10, 34);
+        pb.store(Opcode::Sd, 14, 13, 0);
+        scramble.end();
+        pb.store(Opcode::Sd, 10, 9, 0);
+    }
+    pb.ret();
+    return entry;
+}
+
+} // namespace mica::workloads

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Control-heavy and domain kernels: parameterized branch generators,
+ * indirect-dispatch code bloat, string matching, sequence-alignment DP,
+ * profile-HMM Viterbi, and media-codec primitives (DCT, SAD, quantize).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "workloads/kernels.hh"
+#include "workloads/kernels_util.hh"
+
+namespace mica::workloads {
+
+using detail::Loop;
+using isa::Opcode;
+
+namespace {
+
+/** Pack random bytes < alphabet into 64-bit words for the data segment. */
+std::vector<std::uint64_t>
+packedRandomBytes(std::uint32_t n, std::uint32_t alphabet, stats::Rng &rng)
+{
+    std::vector<std::uint64_t> words((n + 7) / 8, 0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        words[i / 8] |= rng.nextBelow(alphabet) << (8 * (i % 8));
+    return words;
+}
+
+std::uint32_t
+roundUpPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Label
+emitRandomBranch(ProgramBuilder &pb, const RandomBranchParams &params)
+{
+    const std::uint32_t branches = std::max(1u, params.branches);
+    const std::uint64_t state_words[2] = {0x243f6a8885a308d3ULL, 0};
+    const std::uint64_t state_slot = pb.allocWords(state_words);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(state_slot));
+    pb.load(Opcode::Ld, 6, 5, 0);  // lcg state
+    pb.load(Opcode::Ld, 12, 5, 8); // iteration counter (pattern mode)
+    detail::loadBigConst(pb, 15, detail::kLcgMultiplier);
+    pb.li(10, 0);
+    pb.li(11, 0);
+
+    Loop loop(pb, 7, branches);
+    detail::emitLcgStep(pb, 6, 15);
+    if (params.pattern_bits == 0) {
+        // Purely pseudo-random outcome: taken iff high lcg byte < thresh.
+        pb.alui(Opcode::Srli, 8, 6, 56);
+        pb.alui(Opcode::Slti, 9, 8,
+                static_cast<std::int64_t>(params.taken_threshold));
+    } else {
+        // Pseudo-random but periodic outcome with period 2^pattern_bits:
+        // within one period the outcomes look random (hash of the phase),
+        // so short-history predictors stay near chance while histories of
+        // >= pattern_bits uniquely identify the position in the period.
+        const std::int64_t mask = (1LL << params.pattern_bits) - 1;
+        pb.alui(Opcode::Andi, 8, 12, mask);
+        pb.alu(Opcode::Mul, 8, 8, 15); // hash the phase position
+        pb.alui(Opcode::Srli, 8, 8, 29);
+        pb.alui(Opcode::Andi, 8, 8, 255);
+        pb.alui(Opcode::Slti, 9, 8,
+                static_cast<std::int64_t>(params.taken_threshold));
+    }
+    pb.alui(Opcode::Addi, 12, 12, 1);
+    Label taken_path = pb.newLabel();
+    Label join = pb.newLabel();
+    pb.branch(Opcode::Bne, 9, isa::kRegZero, taken_path);
+    pb.alu(Opcode::Xor, 10, 10, 6);
+    pb.jump(join);
+    pb.bind(taken_path);
+    pb.alu(Opcode::Add, 11, 11, 6);
+    pb.bind(join);
+    // A second branch perfectly correlated with the first (same polarity,
+    // so the taken rate tracks the threshold): separates global-history
+    // from local-history predictor behaviour.
+    Label do2 = pb.newLabel();
+    Label skip2 = pb.newLabel();
+    pb.branch(Opcode::Bne, 9, isa::kRegZero, do2);
+    pb.jump(skip2);
+    pb.bind(do2);
+    pb.alui(Opcode::Addi, 11, 11, 1);
+    pb.bind(skip2);
+    loop.end();
+
+    pb.store(Opcode::Sd, 6, 5, 0);
+    pb.store(Opcode::Sd, 12, 5, 8);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitCodeBloat(ProgramBuilder &pb, const CodeBloatParams &params,
+              stats::Rng &rng)
+{
+    const std::uint32_t blocks = roundUpPow2(std::max(2u, params.blocks));
+    const std::uint32_t block_instrs = std::max(2u, params.block_instrs);
+    const std::uint32_t dispatches = std::max(1u, params.dispatches);
+
+    // Emit the dispatched blocks first, each ending in ret. Blocks use a
+    // deterministic but block-specific mixture of operations so every block
+    // is distinct code (large instruction footprint, like gcc/perl).
+    std::vector<Label> block_labels(blocks);
+    Label entry_skip = pb.newLabel();
+    pb.jump(entry_skip); // fall-through guard for the first block
+    for (std::uint32_t bidx = 0; bidx < blocks; ++bidx) {
+        block_labels[bidx] = pb.newLabel();
+        pb.bind(block_labels[bidx]);
+        const bool fp_block = rng.nextDouble() < params.fp_fraction;
+        for (std::uint32_t i = 0; i < block_instrs; ++i) {
+            const std::uint32_t sel = (bidx * 7 + i * 3) % 6;
+            const Reg d = static_cast<Reg>(16 + (bidx + i) % 6);
+            const Reg s1 = static_cast<Reg>(16 + (bidx + i + 1) % 6);
+            const Reg s2 = static_cast<Reg>(16 + (bidx + i + 3) % 6);
+            if (fp_block) {
+                switch (sel % 3) {
+                  case 0: pb.fop(Opcode::Fadd, d, s1, s2); break;
+                  case 1: pb.fop(Opcode::Fmul, d, s1, s2); break;
+                  default: pb.fop(Opcode::Fsub, d, s1, s2); break;
+                }
+            } else {
+                switch (sel) {
+                  case 0: pb.alu(Opcode::Add, d, s1, s2); break;
+                  case 1: pb.alu(Opcode::Xor, d, s1, s2); break;
+                  case 2:
+                    pb.alui(Opcode::Slli, d, s1,
+                            static_cast<std::int64_t>((bidx + i) % 13));
+                    break;
+                  case 3: pb.alu(Opcode::Sub, d, s1, s2); break;
+                  case 4: pb.alu(Opcode::Or, d, s1, s2); break;
+                  default:
+                    pb.alui(Opcode::Addi, d, s1,
+                            static_cast<std::int64_t>(bidx * 17 + i));
+                    break;
+                }
+            }
+        }
+        pb.ret();
+    }
+    pb.bind(entry_skip);
+    const std::uint64_t table = pb.allocLabelTable(block_labels);
+    const std::uint64_t state_words[2] = {rng.nextU64() | 1, 0};
+    const std::uint64_t state_slot = pb.allocWords(state_words);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.mv(23, isa::kRegRa); // the indirect calls below clobber ra
+    pb.li(5, static_cast<std::int64_t>(state_slot));
+    pb.load(Opcode::Ld, 6, 5, 0);
+    pb.load(Opcode::Ld, 12, 5, 8);
+    detail::loadBigConst(pb, 15, detail::kLcgMultiplier);
+    pb.li(13, static_cast<std::int64_t>(table));
+    // Keep the block registers initialized.
+    for (Reg r = 16; r < 22; ++r)
+        pb.li(r, r * 3);
+    for (Reg r = 16; r < 22; ++r)
+        detail::fzero(pb, r);
+
+    Loop loop(pb, 7, dispatches);
+    if (params.sequential) {
+        pb.alui(Opcode::Andi, 8, 12,
+                static_cast<std::int64_t>(blocks - 1));
+        pb.alui(Opcode::Addi, 12, 12, 1);
+    } else {
+        detail::emitLcgStep(pb, 6, 15);
+        pb.alui(Opcode::Srli, 8, 6, 25);
+        pb.alui(Opcode::Andi, 8, 8,
+                static_cast<std::int64_t>(blocks - 1));
+    }
+    pb.alui(Opcode::Slli, 8, 8, 3);
+    pb.alu(Opcode::Add, 8, 8, 13);
+    pb.load(Opcode::Ld, 9, 8, 0);
+    pb.callIndirect(9);
+    loop.end();
+
+    pb.store(Opcode::Sd, 6, 5, 0);
+    pb.store(Opcode::Sd, 12, 5, 8);
+    pb.mv(isa::kRegRa, 23);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitStringMatch(ProgramBuilder &pb, const StringMatchParams &params,
+                stats::Rng &rng)
+{
+    const std::uint32_t pattern_len = std::max(2u, params.pattern_len);
+    const std::uint32_t text_len = std::max(pattern_len + 2,
+                                            params.text_len);
+    const std::uint32_t alphabet = std::min(std::max(params.alphabet, 2u),
+                                            256u);
+
+    const std::uint64_t text = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(text_len, alphabet, rng));
+    const std::uint64_t pattern = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(pattern_len, alphabet, rng));
+    const std::uint64_t count_slot = pb.allocData(8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(text));
+    pb.li(13, static_cast<std::int64_t>(pattern));
+    pb.li(12, static_cast<std::int64_t>(pattern_len));
+    pb.li(14, 0);
+
+    Loop positions(pb, 6, text_len - pattern_len);
+    pb.li(7, 0);
+    Label kloop = pb.newLabel();
+    Label mismatch = pb.newLabel();
+    pb.bind(kloop);
+    pb.alu(Opcode::Add, 8, 5, 7);
+    pb.load(Opcode::Lb, 9, 8, 0);
+    pb.alu(Opcode::Add, 10, 13, 7);
+    pb.load(Opcode::Lb, 11, 10, 0);
+    pb.branch(Opcode::Bne, 9, 11, mismatch); // data-dependent early exit
+    pb.alui(Opcode::Addi, 7, 7, 1);
+    pb.branch(Opcode::Blt, 7, 12, kloop);
+    pb.alui(Opcode::Addi, 14, 14, 1); // full match
+    pb.bind(mismatch);
+    pb.alui(Opcode::Addi, 5, 5, 1);
+    positions.end();
+
+    pb.li(9, static_cast<std::int64_t>(count_slot));
+    pb.store(Opcode::Sd, 14, 9, 0);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitSmithWaterman(ProgramBuilder &pb, const SmithWatermanParams &params,
+                  stats::Rng &rng)
+{
+    const std::uint32_t rows = std::max(2u, params.query_len);
+    const std::uint32_t cols = std::max(4u, params.db_len);
+    const std::uint32_t alphabet = std::min(std::max(params.alphabet, 2u),
+                                            256u);
+
+    const std::uint64_t seq_a = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(rows, alphabet, rng));
+    const std::uint64_t seq_b = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(cols, alphabet, rng));
+    const std::uint64_t row0 = pb.allocData((cols + 1) * 8);
+    const std::uint64_t row1 = pb.allocData((cols + 1) * 8);
+    const std::uint64_t best_slot = pb.allocData(8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(25, static_cast<std::int64_t>(row0)); // prev row base
+    pb.li(26, static_cast<std::int64_t>(row1)); // cur row base
+    pb.li(21, static_cast<std::int64_t>(seq_a));
+    pb.li(17, 0); // global best
+
+    Loop row_loop(pb, 5, rows);
+    pb.load(Opcode::Lb, 20, 21, 0); // a_i
+    pb.li(22, 0);                   // H[i][j-1]
+    pb.alui(Opcode::Addi, 7, 25, 8); // &prev[j], j=1
+    pb.alui(Opcode::Addi, 24, 26, 8); // &cur[j]
+    pb.li(9, static_cast<std::int64_t>(seq_b));
+
+    Loop col_loop(pb, 6, cols);
+    pb.load(Opcode::Lb, 15, 9, 0); // b_j
+    Label is_match = pb.newLabel();
+    Label scored = pb.newLabel();
+    pb.branch(Opcode::Beq, 20, 15, is_match); // data-dependent
+    pb.li(10, -3);
+    pb.jump(scored);
+    pb.bind(is_match);
+    pb.li(10, 5);
+    pb.bind(scored);
+    pb.load(Opcode::Ld, 11, 7, -8); // H[i-1][j-1]
+    pb.alu(Opcode::Add, 11, 11, 10);
+    pb.load(Opcode::Ld, 12, 7, 0); // H[i-1][j]
+    pb.alui(Opcode::Addi, 12, 12, -4);
+    pb.alui(Opcode::Addi, 13, 22, -4); // H[i][j-1] - gap
+    pb.li(14, 0);
+    detail::emitMaxInto(pb, 14, 11);
+    detail::emitMaxInto(pb, 14, 12);
+    detail::emitMaxInto(pb, 14, 13);
+    pb.store(Opcode::Sd, 14, 24, 0);
+    pb.mv(22, 14);
+    detail::emitMaxInto(pb, 17, 14);
+    pb.alui(Opcode::Addi, 7, 7, 8);
+    pb.alui(Opcode::Addi, 24, 24, 8);
+    pb.alui(Opcode::Addi, 9, 9, 1);
+    col_loop.end();
+
+    // Swap row roles for the next DP row.
+    pb.mv(27, 25);
+    pb.mv(25, 26);
+    pb.mv(26, 27);
+    pb.alui(Opcode::Addi, 21, 21, 1);
+    row_loop.end();
+
+    pb.li(9, static_cast<std::int64_t>(best_slot));
+    pb.store(Opcode::Sd, 17, 9, 0);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitProfileHmm(ProgramBuilder &pb, const ProfileHmmParams &params,
+               stats::Rng &rng)
+{
+    const std::uint32_t states = std::max(2u, params.states);
+    const std::uint32_t steps = std::max(1u, params.steps);
+
+    const std::uint64_t seq = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(steps, 20, rng)); // amino-ish
+    std::vector<std::uint64_t> emissions(256);
+    for (auto &v : emissions)
+        v = rng.nextBelow(32);
+    const std::uint64_t etable = pb.allocWords(emissions);
+    const std::uint64_t m_prev = pb.allocData((states + 1) * 8);
+    const std::uint64_t m_cur = pb.allocData((states + 1) * 8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(25, static_cast<std::int64_t>(m_prev));
+    pb.li(26, static_cast<std::int64_t>(m_cur));
+    pb.li(21, static_cast<std::int64_t>(seq));
+    pb.li(18, static_cast<std::int64_t>(etable));
+
+    Loop step_loop(pb, 5, steps);
+    pb.load(Opcode::Lb, 20, 21, 0); // symbol
+    pb.alui(Opcode::Addi, 7, 25, 8);  // &prev[s]
+    pb.alui(Opcode::Addi, 24, 26, 8); // &cur[s]
+    pb.li(19, 0); // state counter for emission index
+
+    Loop state_loop(pb, 6, states);
+    pb.load(Opcode::Ld, 8, 7, -8); // M[t-1][s-1] (transition from s-1)
+    pb.alui(Opcode::Addi, 8, 8, -2);
+    pb.load(Opcode::Ld, 9, 7, 0); // M[t-1][s] (self transition)
+    pb.alui(Opcode::Addi, 9, 9, -1);
+    detail::emitMaxInto(pb, 8, 9); // data-dependent max
+    // Emission gather: etable[(symbol ^ state) & 255].
+    pb.alu(Opcode::Xor, 10, 20, 19);
+    pb.alui(Opcode::Andi, 10, 10, 255);
+    pb.alui(Opcode::Slli, 10, 10, 3);
+    pb.alu(Opcode::Add, 10, 10, 18);
+    pb.load(Opcode::Ld, 11, 10, 0);
+    pb.alu(Opcode::Add, 8, 8, 11);
+    pb.store(Opcode::Sd, 8, 24, 0);
+    pb.alui(Opcode::Addi, 7, 7, 8);
+    pb.alui(Opcode::Addi, 24, 24, 8);
+    pb.alui(Opcode::Addi, 19, 19, 1);
+    state_loop.end();
+
+    pb.mv(27, 25);
+    pb.mv(25, 26);
+    pb.mv(26, 27);
+    pb.alui(Opcode::Addi, 21, 21, 1);
+    step_loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitDct8x8(ProgramBuilder &pb, const DctParams &params, stats::Rng &rng)
+{
+    const std::uint32_t blocks = std::max(1u, params.blocks);
+
+    std::vector<std::uint64_t> block_data(64);
+    for (auto &v : block_data)
+        v = rng.nextBelow(256);
+    const std::uint64_t block = pb.allocWords(block_data);
+    std::vector<std::uint64_t> cosines(64);
+    for (std::uint32_t u = 0; u < 8; ++u)
+        for (std::uint32_t x = 0; x < 8; ++x) {
+            const double c =
+                std::cos((2.0 * x + 1.0) * u * 3.14159265358979 / 16.0);
+            cosines[u * 8 + x] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(c * 256.0));
+        }
+    const std::uint64_t ctable = pb.allocWords(cosines);
+    const std::uint64_t tmp = pb.allocData(64 * 8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+
+    Loop blk_loop(pb, 5, blocks);
+    // Row transform: tmp[r][u] = sum_x block[r][x] * cos[u][x] >> 8.
+    pb.li(12, static_cast<std::int64_t>(block)); // row base
+    pb.li(16, static_cast<std::int64_t>(tmp));   // output walker
+    Loop r_loop(pb, 6, 8);
+    pb.li(13, static_cast<std::int64_t>(ctable)); // cos row base
+    Loop u_loop(pb, 7, 8);
+    pb.li(10, 0);
+    pb.mv(14, 12); // data walker
+    pb.mv(15, 13); // cos walker
+    Loop x_loop(pb, 8, 8);
+    pb.load(Opcode::Ld, 9, 14, 0);
+    pb.load(Opcode::Ld, 11, 15, 0);
+    pb.alu(Opcode::Mul, 9, 9, 11);
+    pb.alu(Opcode::Add, 10, 10, 9);
+    pb.alui(Opcode::Addi, 14, 14, 8);
+    pb.alui(Opcode::Addi, 15, 15, 8);
+    x_loop.end();
+    pb.alui(Opcode::Srai, 10, 10, 8);
+    pb.store(Opcode::Sd, 10, 16, 0);
+    pb.alui(Opcode::Addi, 16, 16, 8);
+    pb.alui(Opcode::Addi, 13, 13, 64);
+    u_loop.end();
+    pb.alui(Opcode::Addi, 12, 12, 64);
+    r_loop.end();
+
+    // Column transform back into the block (stride-64 accesses).
+    pb.li(12, static_cast<std::int64_t>(tmp));
+    pb.li(16, static_cast<std::int64_t>(block));
+    Loop c_loop(pb, 6, 8);
+    pb.li(13, static_cast<std::int64_t>(ctable));
+    Loop v_loop(pb, 7, 8);
+    pb.li(10, 0);
+    pb.mv(14, 12);
+    pb.mv(15, 13);
+    Loop y_loop(pb, 8, 8);
+    pb.load(Opcode::Ld, 9, 14, 0);
+    pb.load(Opcode::Ld, 11, 15, 0);
+    pb.alu(Opcode::Mul, 9, 9, 11);
+    pb.alu(Opcode::Add, 10, 10, 9);
+    pb.alui(Opcode::Addi, 14, 14, 64); // column stride
+    pb.alui(Opcode::Addi, 15, 15, 8);
+    y_loop.end();
+    pb.alui(Opcode::Srai, 10, 10, 8);
+    pb.store(Opcode::Sd, 10, 16, 0);
+    pb.alui(Opcode::Addi, 16, 16, 64);
+    pb.alui(Opcode::Addi, 13, 13, 64);
+    v_loop.end();
+    pb.alui(Opcode::Addi, 12, 12, 8);
+    pb.alui(Opcode::Addi, 16, 16,
+            8 - 8 * 64); // next column of the output block
+    c_loop.end();
+    blk_loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitSad(ProgramBuilder &pb, const SadParams &params, stats::Rng &rng)
+{
+    const std::uint32_t candidates = std::max(1u, params.candidates);
+
+    const std::uint64_t cur = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(16 * 16, 256, rng));
+    const std::uint64_t ref = pb.allocData(0, 8);
+    (void)pb.allocWords(packedRandomBytes(32 * 32, 256, rng));
+    // Candidate offsets into the reference window.
+    std::vector<std::uint64_t> offsets(candidates);
+    for (std::uint32_t c = 0; c < candidates; ++c)
+        offsets[c] = (c % 3) * 4 + (c / 3) * 32 * 4;
+    const std::uint64_t offset_table = pb.allocWords(offsets);
+    const std::uint64_t best_slot = pb.allocData(16);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(18, static_cast<std::int64_t>(offset_table));
+    pb.li(19, 1 << 30); // best SAD so far
+
+    Loop cand_loop(pb, 5, candidates);
+    pb.load(Opcode::Ld, 20, 18, 0); // candidate offset
+    pb.alui(Opcode::Addi, 18, 18, 8);
+    pb.li(21, static_cast<std::int64_t>(cur));
+    pb.li(22, static_cast<std::int64_t>(ref));
+    pb.alu(Opcode::Add, 22, 22, 20);
+    pb.li(6, 0); // accumulated SAD
+
+    Loop y_loop(pb, 7, 16);
+    Loop x_loop(pb, 8, 4); // 4 iterations x 4-wide unroll
+    for (int u = 0; u < 4; ++u) {
+        pb.load(Opcode::Lb, 9, 21, u);
+        pb.load(Opcode::Lb, 10, 22, u);
+        pb.alu(Opcode::Sub, 9, 9, 10);
+        detail::emitAbs(pb, 9, 9, 11);
+        pb.alu(Opcode::Add, 6, 6, 9);
+    }
+    pb.alui(Opcode::Addi, 21, 21, 4);
+    pb.alui(Opcode::Addi, 22, 22, 4);
+    x_loop.end();
+    pb.alui(Opcode::Addi, 22, 22, 16); // reference row pitch is 32
+    y_loop.end();
+
+    Label not_better = pb.newLabel();
+    pb.branch(Opcode::Bge, 6, 19, not_better);
+    pb.mv(19, 6);
+    pb.bind(not_better);
+    cand_loop.end();
+
+    pb.li(9, static_cast<std::int64_t>(best_slot));
+    pb.store(Opcode::Sd, 19, 9, 0);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitQuantize(ProgramBuilder &pb, const QuantizeParams &params,
+             stats::Rng &rng)
+{
+    const std::uint32_t n = std::max(1u, params.n);
+
+    std::vector<std::uint64_t> coeffs(n);
+    for (auto &v : coeffs)
+        v = rng.nextBelow(4096);
+    const std::uint64_t data = pb.allocWords(coeffs);
+    std::vector<std::uint64_t> qtable(64);
+    for (auto &v : qtable)
+        v = 1 + rng.nextBelow(31);
+    const std::uint64_t quant = pb.allocWords(qtable);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(5, static_cast<std::int64_t>(data));
+    pb.li(6, static_cast<std::int64_t>(quant));
+    pb.li(12, 0);   // table index
+    pb.li(13, 255); // clamp bounds
+    pb.li(14, -255);
+
+    Loop loop(pb, 7, n);
+    pb.load(Opcode::Ld, 8, 5, 0);
+    pb.alui(Opcode::Andi, 9, 12, 63);
+    pb.alui(Opcode::Slli, 9, 9, 3);
+    pb.alu(Opcode::Add, 9, 9, 6);
+    pb.load(Opcode::Ld, 10, 9, 0);
+    pb.alu(Opcode::Mul, 8, 8, 10);
+    pb.alui(Opcode::Srai, 8, 8, 8);
+    Label no_hi = pb.newLabel();
+    Label no_lo = pb.newLabel();
+    pb.branch(Opcode::Blt, 8, 13, no_hi); // rarely taken clamps
+    pb.mv(8, 13);
+    pb.bind(no_hi);
+    pb.branch(Opcode::Bge, 8, 14, no_lo);
+    pb.mv(8, 14);
+    pb.bind(no_lo);
+    pb.store(Opcode::Sd, 8, 5, 0);
+    pb.alui(Opcode::Addi, 5, 5, 8);
+    pb.alui(Opcode::Addi, 12, 12, 1);
+    loop.end();
+    pb.ret();
+    return entry;
+}
+
+} // namespace mica::workloads

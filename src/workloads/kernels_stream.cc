@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Streaming / dense numeric kernels: STREAM ops, stencil, matmul,
+ * convolution, FIR/IIR filters, FFT butterflies, and serial reduction
+ * chains.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "workloads/kernels.hh"
+#include "workloads/kernels_util.hh"
+
+namespace mica::workloads {
+
+using detail::Loop;
+using isa::Opcode;
+
+namespace {
+
+/** Allocate an array of n doubles initialized with small random values. */
+std::uint64_t
+allocRandomDoubles(ProgramBuilder &pb, std::size_t n, stats::Rng &rng)
+{
+    std::vector<double> values(n);
+    for (double &v : values)
+        v = rng.uniform(-1.0, 1.0);
+    return pb.allocDoubles(values);
+}
+
+/** Allocate an array of n int64 values drawn uniformly from [lo, hi). */
+std::uint64_t
+allocRandomWords(ProgramBuilder &pb, std::size_t n, stats::Rng &rng,
+                 std::uint64_t lo, std::uint64_t hi)
+{
+    std::vector<std::uint64_t> values(n);
+    for (auto &v : values)
+        v = lo + rng.nextBelow(hi - lo);
+    return pb.allocWords(values);
+}
+
+} // namespace
+
+Label
+emitStream(ProgramBuilder &pb, const StreamParams &params)
+{
+    const std::uint32_t unroll = std::max(1u, std::min(params.unroll, 4u));
+    const std::uint32_t stride = std::max(1u, params.stride);
+    const std::int64_t step = static_cast<std::int64_t>(stride) * 8;
+    const std::int64_t iterations =
+        std::max<std::int64_t>(1, params.elements / (stride * unroll));
+    const std::size_t bytes = static_cast<std::size_t>(params.elements) * 8;
+
+    const std::uint64_t a = pb.allocData(bytes);
+    const std::uint64_t b = pb.allocData(bytes);
+    const std::uint64_t c = pb.allocData(bytes);
+    const double scale_val[1] = {0.42};
+    const std::uint64_t scale_slot = pb.allocDoubles(scale_val);
+    const std::uint64_t result_slot = pb.allocData(8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+
+    pb.li(5, static_cast<std::int64_t>(a));
+    pb.li(6, static_cast<std::int64_t>(b));
+    pb.li(7, static_cast<std::int64_t>(c));
+    if (params.fp) {
+        pb.fload(10, isa::kRegZero, static_cast<std::int64_t>(scale_slot));
+        if (params.mode == StreamParams::Mode::Dot)
+            for (std::uint32_t u = 0; u < unroll; ++u)
+                detail::fzero(pb, static_cast<Reg>(20 + u));
+    } else {
+        pb.li(10, 3); // integer scale factor
+        if (params.mode == StreamParams::Mode::Dot)
+            for (std::uint32_t u = 0; u < unroll; ++u)
+                pb.li(static_cast<Reg>(20 + u), 0);
+    }
+
+    Loop loop(pb, 8, iterations);
+    for (std::uint32_t u = 0; u < unroll; ++u) {
+        const std::int64_t off = static_cast<std::int64_t>(u) * step;
+        if (params.fp) {
+            switch (params.mode) {
+              case StreamParams::Mode::Copy:
+                pb.fload(1, 5, off);
+                pb.fstore(1, 7, off);
+                break;
+              case StreamParams::Mode::Scale:
+                pb.fload(1, 5, off);
+                pb.fop(Opcode::Fmul, 1, 1, 10);
+                pb.fstore(1, 7, off);
+                break;
+              case StreamParams::Mode::Add:
+                pb.fload(1, 5, off);
+                pb.fload(2, 6, off);
+                pb.fop(Opcode::Fadd, 1, 1, 2);
+                pb.fstore(1, 7, off);
+                break;
+              case StreamParams::Mode::Triad:
+                pb.fload(1, 5, off);
+                pb.fload(2, 6, off);
+                pb.fop(Opcode::Fmul, 2, 2, 10);
+                pb.fop(Opcode::Fadd, 1, 1, 2);
+                pb.fstore(1, 7, off);
+                break;
+              case StreamParams::Mode::Dot:
+                pb.fload(1, 5, off);
+                pb.fload(2, 6, off);
+                pb.fop(Opcode::Fmadd, static_cast<Reg>(20 + u), 1, 2);
+                break;
+            }
+        } else {
+            switch (params.mode) {
+              case StreamParams::Mode::Copy:
+                pb.load(Opcode::Ld, 11, 5, off);
+                pb.store(Opcode::Sd, 11, 7, off);
+                break;
+              case StreamParams::Mode::Scale:
+                pb.load(Opcode::Ld, 11, 5, off);
+                pb.alu(Opcode::Mul, 11, 11, 10);
+                pb.store(Opcode::Sd, 11, 7, off);
+                break;
+              case StreamParams::Mode::Add:
+                pb.load(Opcode::Ld, 11, 5, off);
+                pb.load(Opcode::Ld, 12, 6, off);
+                pb.alu(Opcode::Add, 11, 11, 12);
+                pb.store(Opcode::Sd, 11, 7, off);
+                break;
+              case StreamParams::Mode::Triad:
+                pb.load(Opcode::Ld, 11, 5, off);
+                pb.load(Opcode::Ld, 12, 6, off);
+                pb.alu(Opcode::Mul, 12, 12, 10);
+                pb.alu(Opcode::Add, 11, 11, 12);
+                pb.store(Opcode::Sd, 11, 7, off);
+                break;
+              case StreamParams::Mode::Dot:
+                pb.load(Opcode::Ld, 11, 5, off);
+                pb.load(Opcode::Ld, 12, 6, off);
+                pb.alu(Opcode::Mul, 11, 11, 12);
+                pb.alu(Opcode::Add, static_cast<Reg>(20 + u),
+                       static_cast<Reg>(20 + u), 11);
+                break;
+            }
+        }
+    }
+    const std::int64_t advance = step * unroll;
+    pb.alui(Opcode::Addi, 5, 5, advance);
+    pb.alui(Opcode::Addi, 6, 6, advance);
+    pb.alui(Opcode::Addi, 7, 7, advance);
+    loop.end();
+
+    if (params.mode == StreamParams::Mode::Dot) {
+        if (params.fp) {
+            for (std::uint32_t u = 1; u < unroll; ++u)
+                pb.fop(Opcode::Fadd, 20, 20, static_cast<Reg>(20 + u));
+            pb.li(9, static_cast<std::int64_t>(result_slot));
+            pb.fstore(20, 9, 0);
+        } else {
+            for (std::uint32_t u = 1; u < unroll; ++u)
+                pb.alu(Opcode::Add, 20, 20, static_cast<Reg>(20 + u));
+            pb.li(9, static_cast<std::int64_t>(result_slot));
+            pb.store(Opcode::Sd, 20, 9, 0);
+        }
+    }
+    pb.ret();
+    return entry;
+}
+
+Label
+emitStencil2D(ProgramBuilder &pb, const StencilParams &params)
+{
+    const std::uint32_t rows = std::max(3u, params.rows);
+    const std::uint32_t cols = std::max(3u, params.cols);
+    const std::size_t grid_bytes = static_cast<std::size_t>(rows) * cols * 8;
+    const std::uint64_t src = pb.allocData(grid_bytes);
+    const std::uint64_t dst = pb.allocData(grid_bytes);
+    const double coeffs[2] = {0.5, 0.125};
+    const std::uint64_t coeff_slot = pb.allocDoubles(coeffs);
+    const std::int64_t row_bytes = static_cast<std::int64_t>(cols) * 8;
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.fload(10, isa::kRegZero, static_cast<std::int64_t>(coeff_slot));
+    pb.fload(11, isa::kRegZero, static_cast<std::int64_t>(coeff_slot) + 8);
+
+    Loop sweeps(pb, 9, std::max(1u, params.sweeps));
+    pb.li(6, static_cast<std::int64_t>(src) + row_bytes + 8);
+    pb.li(12, static_cast<std::int64_t>(dst) + row_bytes + 8);
+    Loop row_loop(pb, 5, rows - 2);
+    pb.mv(8, 6);
+    pb.mv(13, 12);
+    Loop col_loop(pb, 7, cols - 2);
+    pb.fload(1, 8, 0);          // center
+    pb.fload(2, 8, -8);         // west
+    pb.fload(3, 8, 8);          // east
+    pb.fload(4, 8, -row_bytes); // north
+    pb.fload(5, 8, row_bytes);  // south
+    pb.fop(Opcode::Fmul, 1, 1, 10);
+    pb.fop(Opcode::Fadd, 2, 2, 3);
+    pb.fop(Opcode::Fadd, 4, 4, 5);
+    pb.fop(Opcode::Fadd, 2, 2, 4);
+    pb.fop(Opcode::Fmadd, 1, 2, 11);
+    pb.fstore(1, 13, 0);
+    pb.alui(Opcode::Addi, 8, 8, 8);
+    pb.alui(Opcode::Addi, 13, 13, 8);
+    col_loop.end();
+    pb.alui(Opcode::Addi, 6, 6, row_bytes);
+    pb.alui(Opcode::Addi, 12, 12, row_bytes);
+    row_loop.end();
+    sweeps.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitMatMul(ProgramBuilder &pb, const MatMulParams &params, stats::Rng &rng)
+{
+    const std::uint32_t n = std::max(2u, params.n);
+    const std::size_t elems = static_cast<std::size_t>(n) * n;
+    const std::uint64_t a = allocRandomDoubles(pb, elems, rng);
+    const std::uint64_t b = allocRandomDoubles(pb, elems, rng);
+    const std::uint64_t c = pb.allocData(elems * 8);
+    const std::int64_t row_bytes = static_cast<std::int64_t>(n) * 8;
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(8, static_cast<std::int64_t>(a));  // a row base
+    pb.li(12, static_cast<std::int64_t>(c)); // c walking pointer
+
+    Loop i_loop(pb, 5, n);
+    pb.li(9, static_cast<std::int64_t>(b)); // b column base (+8 per j)
+    Loop j_loop(pb, 6, n);
+    pb.mv(10, 8); // a walker (+8 per k)
+    pb.mv(11, 9); // b walker (+row per k)
+    detail::fzero(pb, 3);
+    Loop k_loop(pb, 7, n);
+    pb.fload(1, 10, 0);
+    pb.fload(2, 11, 0);
+    pb.fop(Opcode::Fmadd, 3, 1, 2);
+    pb.alui(Opcode::Addi, 10, 10, 8);
+    pb.alui(Opcode::Addi, 11, 11, row_bytes);
+    k_loop.end();
+    pb.fstore(3, 12, 0);
+    pb.alui(Opcode::Addi, 12, 12, 8);
+    pb.alui(Opcode::Addi, 9, 9, 8);
+    j_loop.end();
+    pb.alui(Opcode::Addi, 8, 8, row_bytes);
+    i_loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitConv2D(ProgramBuilder &pb, const ConvParams &params, stats::Rng &rng)
+{
+    const std::uint32_t k = std::max(2u, params.k);
+    const std::uint32_t rows = std::max(params.rows, k + 1);
+    const std::uint32_t cols = std::max(params.cols, k + 1);
+    const std::uint32_t out_rows = rows - k + 1;
+    const std::uint32_t out_cols = cols - k + 1;
+    const std::size_t in_elems = static_cast<std::size_t>(rows) * cols;
+    const std::int64_t row_bytes = static_cast<std::int64_t>(cols) * 8;
+
+    std::uint64_t in, coeff;
+    if (params.fp) {
+        in = allocRandomDoubles(pb, in_elems, rng);
+        coeff = allocRandomDoubles(pb, static_cast<std::size_t>(k) * k, rng);
+    } else {
+        in = allocRandomWords(pb, in_elems, rng, 0, 256);
+        coeff = allocRandomWords(pb, static_cast<std::size_t>(k) * k, rng,
+                                 0, 16);
+    }
+    const std::uint64_t out =
+        pb.allocData(static_cast<std::size_t>(out_rows) * out_cols * 8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(9, static_cast<std::int64_t>(in));   // input row base
+    pb.li(15, static_cast<std::int64_t>(out)); // output walker
+
+    Loop r_loop(pb, 5, out_rows);
+    pb.mv(10, 9); // input col base
+    Loop c_loop(pb, 6, out_cols);
+    pb.li(13, static_cast<std::int64_t>(coeff)); // coefficient walker
+    if (params.fp)
+        detail::fzero(pb, 1);
+    else
+        pb.li(14, 0);
+    pb.mv(11, 10); // kernel-row walker
+    Loop kr_loop(pb, 7, k);
+    pb.mv(12, 11); // kernel-col walker
+    Loop kc_loop(pb, 8, k);
+    if (params.fp) {
+        pb.fload(2, 12, 0);
+        pb.fload(3, 13, 0);
+        pb.fop(Opcode::Fmadd, 1, 2, 3);
+    } else {
+        pb.load(Opcode::Ld, 16, 12, 0);
+        pb.load(Opcode::Ld, 17, 13, 0);
+        pb.alu(Opcode::Mul, 16, 16, 17);
+        pb.alu(Opcode::Add, 14, 14, 16);
+    }
+    pb.alui(Opcode::Addi, 12, 12, 8);
+    pb.alui(Opcode::Addi, 13, 13, 8);
+    kc_loop.end();
+    pb.alui(Opcode::Addi, 11, 11, row_bytes);
+    kr_loop.end();
+    if (params.fp) {
+        pb.fstore(1, 15, 0);
+    } else {
+        pb.alui(Opcode::Srai, 14, 14, 8); // fixed-point renormalization
+        pb.store(Opcode::Sd, 14, 15, 0);
+    }
+    pb.alui(Opcode::Addi, 15, 15, 8);
+    pb.alui(Opcode::Addi, 10, 10, 8);
+    c_loop.end();
+    pb.alui(Opcode::Addi, 9, 9, row_bytes);
+    r_loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitFir(ProgramBuilder &pb, const FirParams &params, stats::Rng &rng)
+{
+    const std::uint32_t taps = std::max(2u, params.taps);
+    const std::uint32_t parallel = std::min(std::max(params.parallel, 1u),
+                                            2u);
+    const std::uint32_t samples = std::max(parallel, params.samples);
+    const std::uint64_t input =
+        allocRandomDoubles(pb, samples + taps + parallel, rng);
+    const std::uint64_t coeff = allocRandomDoubles(pb, taps, rng);
+    const std::uint64_t output =
+        pb.allocData(static_cast<std::size_t>(samples + parallel) * 8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(6, static_cast<std::int64_t>(input));  // window base, +8/output
+    pb.li(10, static_cast<std::int64_t>(output)); // output walker
+
+    Loop out_loop(pb, 5, samples / parallel);
+    detail::fzero(pb, 1);
+    if (parallel == 2)
+        detail::fzero(pb, 5);
+    pb.mv(8, 6);                                 // sample walker
+    pb.li(9, static_cast<std::int64_t>(coeff));  // coefficient walker
+    Loop tap_loop(pb, 7, taps);
+    pb.fload(2, 8, 0);
+    pb.fload(3, 9, 0);
+    pb.fop(Opcode::Fmadd, 1, 2, 3);
+    if (parallel == 2) {
+        pb.fload(4, 8, 8);
+        pb.fop(Opcode::Fmadd, 5, 4, 3);
+    }
+    pb.alui(Opcode::Addi, 8, 8, 8);
+    pb.alui(Opcode::Addi, 9, 9, 8);
+    tap_loop.end();
+    pb.fstore(1, 10, 0);
+    if (parallel == 2)
+        pb.fstore(5, 10, 8);
+    pb.alui(Opcode::Addi, 10, 10, parallel * 8);
+    pb.alui(Opcode::Addi, 6, 6, parallel * 8);
+    out_loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitIir(ProgramBuilder &pb, const IirParams &params, stats::Rng &rng)
+{
+    const std::uint32_t samples = std::max(1u, params.samples);
+    const std::uint64_t input = allocRandomDoubles(pb, samples, rng);
+    const std::uint64_t output =
+        pb.allocData(static_cast<std::size_t>(samples) * 8);
+    // Stable biquad coefficients (poles well inside the unit circle).
+    const double coeffs[5] = {0.2, 0.3, 0.2, 0.4, -0.1};
+    const std::uint64_t coeff_slot = pb.allocDoubles(coeffs);
+    const std::uint64_t state_slot = pb.allocData(4 * 8);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    for (int i = 0; i < 5; ++i)
+        pb.fload(static_cast<Reg>(10 + i), isa::kRegZero,
+                 static_cast<std::int64_t>(coeff_slot) + 8 * i);
+    for (int i = 0; i < 4; ++i) // y1 y2 x1 x2 persist across calls
+        pb.fload(static_cast<Reg>(20 + i), isa::kRegZero,
+                 static_cast<std::int64_t>(state_slot) + 8 * i);
+    pb.li(6, static_cast<std::int64_t>(input));
+    pb.li(7, static_cast<std::int64_t>(output));
+
+    Loop loop(pb, 5, samples);
+    pb.fload(1, 6, 0);                 // x
+    pb.fop(Opcode::Fmul, 2, 1, 10);    // y  = b0*x
+    pb.fop(Opcode::Fmadd, 2, 22, 11);  // y += b1*x1
+    pb.fop(Opcode::Fmadd, 2, 23, 12);  // y += b2*x2
+    pb.fop(Opcode::Fmadd, 2, 20, 13);  // y += a1*y1
+    pb.fop(Opcode::Fmadd, 2, 21, 14);  // y += a2*y2
+    pb.fop2(Opcode::Fmov, 23, 22);     // x2 = x1
+    pb.fop2(Opcode::Fmov, 22, 1);      // x1 = x
+    pb.fop2(Opcode::Fmov, 21, 20);     // y2 = y1
+    pb.fop2(Opcode::Fmov, 20, 2);      // y1 = y
+    pb.fstore(2, 7, 0);
+    pb.alui(Opcode::Addi, 6, 6, 8);
+    pb.alui(Opcode::Addi, 7, 7, 8);
+    loop.end();
+
+    for (int i = 0; i < 4; ++i)
+        pb.fstore(static_cast<Reg>(20 + i), isa::kRegZero,
+                  static_cast<std::int64_t>(state_slot) + 8 * i);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitFftPass(ProgramBuilder &pb, const FftParams &params, stats::Rng &rng)
+{
+    const std::uint32_t log2n = std::min(std::max(params.log2n, 2u), 16u);
+    const std::uint32_t n = 1u << log2n;
+    const std::uint64_t re = allocRandomDoubles(pb, n, rng);
+    const std::uint64_t im = allocRandomDoubles(pb, n, rng);
+    // Twiddle factors: w_j = exp(-2*pi*i*j/n), j in [0, n/2).
+    std::vector<double> wre(n / 2), wim(n / 2);
+    for (std::uint32_t j = 0; j < n / 2; ++j) {
+        const double ang = -2.0 * 3.14159265358979323846 * j / n;
+        wre[j] = std::cos(ang);
+        wim[j] = std::sin(ang);
+    }
+    const std::uint64_t wre_base = pb.allocDoubles(wre);
+    const std::uint64_t wim_base = pb.allocDoubles(wim);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(16, static_cast<std::int64_t>(re));
+    pb.li(17, static_cast<std::int64_t>(im));
+    pb.li(18, static_cast<std::int64_t>(wre_base));
+    pb.li(19, static_cast<std::int64_t>(wim_base));
+    pb.li(20, n);
+    pb.li(5, 1);     // s: half block size
+    pb.li(6, n / 2); // twiddle stride
+
+    Label pass_loop = pb.newLabel();
+    pb.bind(pass_loop);
+    pb.li(7, 0); // base
+    Label base_loop = pb.newLabel();
+    pb.bind(base_loop);
+    pb.li(8, 0); // j
+    Label j_loop = pb.newLabel();
+    pb.bind(j_loop);
+    // Element addresses: idx1 = base + j, idx2 = idx1 + s.
+    pb.alu(Opcode::Add, 10, 7, 8);
+    pb.alui(Opcode::Slli, 11, 10, 3);
+    pb.alu(Opcode::Add, 12, 11, 16); // &re[idx1]
+    pb.alu(Opcode::Add, 13, 11, 17); // &im[idx1]
+    pb.alui(Opcode::Slli, 14, 5, 3);
+    pb.alu(Opcode::Add, 21, 12, 14); // &re[idx2]
+    pb.alu(Opcode::Add, 22, 13, 14); // &im[idx2]
+    // Twiddle index: j * tw_stride.
+    pb.alu(Opcode::Mul, 15, 8, 6);
+    pb.alui(Opcode::Slli, 15, 15, 3);
+    pb.alu(Opcode::Add, 23, 15, 18);
+    pb.alu(Opcode::Add, 24, 15, 19);
+    pb.fload(1, 12, 0); // re1
+    pb.fload(2, 13, 0); // im1
+    pb.fload(3, 21, 0); // re2
+    pb.fload(4, 22, 0); // im2
+    pb.fload(5, 23, 0); // wr
+    pb.fload(6, 24, 0); // wi
+    // t = w * x2 (complex).
+    pb.fop(Opcode::Fmul, 7, 3, 5);
+    pb.fop(Opcode::Fmul, 8, 4, 6);
+    pb.fop(Opcode::Fsub, 7, 7, 8); // tre
+    pb.fop(Opcode::Fmul, 8, 3, 6);
+    pb.fop(Opcode::Fmadd, 8, 4, 5); // tim
+    pb.fop(Opcode::Fadd, 9, 1, 7);
+    pb.fstore(9, 12, 0);
+    pb.fop(Opcode::Fadd, 9, 2, 8);
+    pb.fstore(9, 13, 0);
+    pb.fop(Opcode::Fsub, 9, 1, 7);
+    pb.fstore(9, 21, 0);
+    pb.fop(Opcode::Fsub, 9, 2, 8);
+    pb.fstore(9, 22, 0);
+    pb.alui(Opcode::Addi, 8, 8, 1);
+    pb.branch(Opcode::Blt, 8, 5, j_loop);
+    pb.alu(Opcode::Add, 7, 7, 5);
+    pb.alu(Opcode::Add, 7, 7, 5);
+    pb.branch(Opcode::Blt, 7, 20, base_loop);
+    pb.alui(Opcode::Slli, 5, 5, 1);
+    pb.alui(Opcode::Srli, 6, 6, 1);
+    pb.branch(Opcode::Blt, 5, 20, pass_loop);
+    pb.ret();
+    return entry;
+}
+
+Label
+emitFpMath(ProgramBuilder &pb, const FpMathParams &params, stats::Rng &rng)
+{
+    const std::uint32_t n = std::max(1u, params.n);
+    const std::uint64_t input = allocRandomDoubles(pb, n, rng);
+    const std::uint64_t output =
+        pb.allocData(static_cast<std::size_t>(n) * 8);
+    const double one[1] = {1.0};
+    const std::uint64_t one_slot = pb.allocDoubles(one);
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    pb.li(6, static_cast<std::int64_t>(input));
+    pb.li(7, static_cast<std::int64_t>(output));
+    pb.fload(10, isa::kRegZero, static_cast<std::int64_t>(one_slot));
+    detail::fzero(pb, 4);
+
+    Loop loop(pb, 5, n);
+    pb.fload(1, 6, 0);
+    pb.fop2(Opcode::Fabs, 1, 1);       // keep sqrt's domain valid
+    pb.fop2(Opcode::Fsqrt, 2, 1);
+    pb.fop(Opcode::Fadd, 2, 2, 10);    // denominator >= 1
+    pb.fop(Opcode::Fdiv, 3, 1, 2);
+    pb.fop(Opcode::Fadd, 4, 4, 3);
+    pb.fstore(3, 7, 0);
+    pb.alui(Opcode::Addi, 6, 6, 8);
+    pb.alui(Opcode::Addi, 7, 7, 8);
+    loop.end();
+    pb.ret();
+    return entry;
+}
+
+Label
+emitReduceChain(ProgramBuilder &pb, const ReduceChainParams &params)
+{
+    const std::uint32_t steps = std::max(4u, params.length) / 4;
+
+    Label entry = pb.newLabel();
+    pb.bind(entry);
+    if (params.fp) {
+        detail::fzero(pb, 1);
+        const double consts[2] = {1.0000001, 0.9999999};
+        const std::uint64_t slot = pb.allocDoubles(consts);
+        pb.fload(2, isa::kRegZero, static_cast<std::int64_t>(slot));
+        pb.fload(3, isa::kRegZero, static_cast<std::int64_t>(slot) + 8);
+    } else {
+        pb.li(10, 0);
+        pb.li(11, 0x5bd1e995);
+        pb.li(12, 7);
+    }
+
+    Loop loop(pb, 5, steps);
+    if (params.fp) {
+        // Four serially dependent fp operations per iteration.
+        pb.fop(Opcode::Fadd, 1, 1, 2);
+        if (params.use_mul)
+            pb.fop(Opcode::Fmul, 1, 1, 3);
+        else
+            pb.fop(Opcode::Fsub, 1, 1, 3);
+        pb.fop(Opcode::Fadd, 1, 1, 3);
+        pb.fop(Opcode::Fsub, 1, 1, 2);
+    } else {
+        pb.alu(Opcode::Add, 10, 10, 11);
+        if (params.use_mul)
+            pb.alu(Opcode::Mul, 10, 10, 12);
+        else
+            pb.alu(Opcode::Xor, 10, 10, 12);
+        pb.alu(Opcode::Xor, 10, 10, 11);
+        pb.alui(Opcode::Srai, 13, 10, 9);
+        pb.alu(Opcode::Add, 10, 10, 13);
+    }
+    loop.end();
+    pb.ret();
+    return entry;
+}
+
+} // namespace mica::workloads

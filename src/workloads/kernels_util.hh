@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for kernel emission (loop scaffolding, constants, idioms).
+ * Internal to the workloads library.
+ */
+
+#ifndef MICAPHASE_WORKLOADS_KERNELS_UTIL_HH
+#define MICAPHASE_WORKLOADS_KERNELS_UTIL_HH
+
+#include <cstdint>
+
+#include "workloads/program_builder.hh"
+
+namespace mica::workloads::detail {
+
+/** Counted-loop scaffolding: construct at loop top, call end() at bottom. */
+class Loop
+{
+  public:
+    Loop(ProgramBuilder &pb, Reg counter, std::int64_t count)
+        : pb_(pb), counter_(counter)
+    {
+        pb_.li(counter_, count);
+        top_ = pb_.newLabel();
+        pb_.bind(top_);
+    }
+
+    /** Emit the decrement-and-branch closing the loop. */
+    void
+    end()
+    {
+        pb_.alui(isa::Opcode::Addi, counter_, counter_, -1);
+        pb_.branch(isa::Opcode::Bne, counter_, isa::kRegZero, top_);
+    }
+
+  private:
+    ProgramBuilder &pb_;
+    Reg counter_;
+    Label top_;
+};
+
+/**
+ * Load a 64-bit constant that may not fit the 34-bit immediate: the value
+ * is placed in the data segment and loaded by absolute address.
+ */
+inline void
+loadBigConst(ProgramBuilder &pb, Reg rd, std::uint64_t value)
+{
+    const std::uint64_t words[1] = {value};
+    const std::uint64_t slot = pb.allocWords(words);
+    pb.load(isa::Opcode::Ld, rd, isa::kRegZero,
+            static_cast<std::int64_t>(slot));
+}
+
+/** Set an fp register to +0.0 (conversion from x0; safe for any state). */
+inline void
+fzero(ProgramBuilder &pb, Reg fd)
+{
+    pb.cvtif(fd, isa::kRegZero);
+}
+
+/** Branch-free absolute value of src into dst, clobbering tmp. */
+inline void
+emitAbs(ProgramBuilder &pb, Reg dst, Reg src, Reg tmp)
+{
+    pb.alui(isa::Opcode::Srai, tmp, src, 63);
+    pb.alu(isa::Opcode::Xor, dst, src, tmp);
+    pb.alu(isa::Opcode::Sub, dst, dst, tmp);
+}
+
+/** acc = max(acc, candidate) via a data-dependent branch. */
+inline void
+emitMaxInto(ProgramBuilder &pb, Reg acc, Reg candidate)
+{
+    Label skip = pb.newLabel();
+    pb.branch(isa::Opcode::Blt, candidate, acc, skip);
+    pb.mv(acc, candidate);
+    pb.bind(skip);
+}
+
+/** Emit the standard 64-bit LCG step: state = state * mul_reg + 12345. */
+inline void
+emitLcgStep(ProgramBuilder &pb, Reg state, Reg mul_reg)
+{
+    pb.alu(isa::Opcode::Mul, state, state, mul_reg);
+    pb.alui(isa::Opcode::Addi, state, state, 12345);
+}
+
+/** The multiplier used by generated LCGs (Knuth's MMIX constant). */
+constexpr std::uint64_t kLcgMultiplier = 6364136223846793005ULL;
+
+} // namespace mica::workloads::detail
+
+#endif // MICAPHASE_WORKLOADS_KERNELS_UTIL_HH

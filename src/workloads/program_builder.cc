@@ -1,0 +1,268 @@
+#include "workloads/program_builder.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mica::workloads {
+
+using isa::Instruction;
+using isa::Opcode;
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+Label
+ProgramBuilder::newLabel()
+{
+    label_positions_.push_back(-1);
+    return Label{static_cast<std::uint32_t>(label_positions_.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (!label.valid() || label.id >= label_positions_.size())
+        throw std::logic_error("ProgramBuilder::bind: unknown label");
+    if (label_positions_[label.id] >= 0)
+        throw std::logic_error("ProgramBuilder::bind: label bound twice");
+    label_positions_[label.id] = static_cast<std::int64_t>(code_.size());
+}
+
+std::uint64_t
+ProgramBuilder::allocData(std::size_t bytes, std::size_t align)
+{
+    if (align == 0)
+        align = 1;
+    while (data_.size() % align != 0)
+        data_.push_back(0);
+    const std::uint64_t addr = isa::kDefaultDataBase + data_.size();
+    data_.insert(data_.end(), bytes, 0);
+    return addr;
+}
+
+std::uint64_t
+ProgramBuilder::allocWords(std::span<const std::uint64_t> words)
+{
+    const std::uint64_t addr = allocData(0, 8);
+    for (std::uint64_t w : words)
+        for (int i = 0; i < 8; ++i)
+            data_.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    return addr;
+}
+
+std::uint64_t
+ProgramBuilder::allocDoubles(std::span<const double> values)
+{
+    const std::uint64_t addr = allocData(0, 8);
+    for (double d : values) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        for (int i = 0; i < 8; ++i)
+            data_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+    return addr;
+}
+
+std::uint64_t
+ProgramBuilder::allocLabelTable(std::span<const Label> labels)
+{
+    const std::uint64_t addr = allocData(0, 8);
+    for (const Label &label : labels) {
+        if (!label.valid() || label.id >= label_positions_.size())
+            throw std::logic_error("allocLabelTable: unknown label");
+        data_fixups_.push_back({data_.size(), label.id});
+        data_.insert(data_.end(), 8, 0);
+    }
+    return addr;
+}
+
+void
+ProgramBuilder::patchWord(std::uint64_t address, std::uint64_t value)
+{
+    if (address < isa::kDefaultDataBase ||
+        address + 8 > isa::kDefaultDataBase + data_.size())
+        throw std::logic_error("patchWord: address outside data segment");
+    const std::size_t off =
+        static_cast<std::size_t>(address - isa::kDefaultDataBase);
+    for (int i = 0; i < 8; ++i)
+        data_[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::size_t
+ProgramBuilder::emit(const Instruction &instr)
+{
+    code_.push_back(instr);
+    return code_.size() - 1;
+}
+
+void
+ProgramBuilder::li(Reg rd, std::int64_t imm)
+{
+    emit({Opcode::Addi, rd, isa::kRegZero, 0, imm});
+}
+
+void
+ProgramBuilder::mv(Reg rd, Reg rs)
+{
+    emit({Opcode::Addi, rd, rs, 0, 0});
+}
+
+void
+ProgramBuilder::alu(Opcode op, Reg rd, Reg rs1, Reg rs2)
+{
+    emit({op, rd, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::alui(Opcode op, Reg rd, Reg rs1, std::int64_t imm)
+{
+    emit({op, rd, rs1, 0, imm});
+}
+
+void
+ProgramBuilder::load(Opcode op, Reg rd, Reg base, std::int64_t offset)
+{
+    emit({op, rd, base, 0, offset});
+}
+
+void
+ProgramBuilder::store(Opcode op, Reg src, Reg base, std::int64_t offset)
+{
+    emit({op, 0, base, src, offset});
+}
+
+void
+ProgramBuilder::fload(Reg fd, Reg base, std::int64_t offset)
+{
+    emit({Opcode::Fld, fd, base, 0, offset});
+}
+
+void
+ProgramBuilder::fstore(Reg fs, Reg base, std::int64_t offset)
+{
+    emit({Opcode::Fsd, 0, base, fs, offset});
+}
+
+void
+ProgramBuilder::fop(Opcode op, Reg fd, Reg fs1, Reg fs2)
+{
+    emit({op, fd, fs1, fs2, 0});
+}
+
+void
+ProgramBuilder::fop2(Opcode op, Reg fd, Reg fs1)
+{
+    emit({op, fd, fs1, 0, 0});
+}
+
+void
+ProgramBuilder::fcmp(Opcode op, Reg rd, Reg fs1, Reg fs2)
+{
+    emit({op, rd, fs1, fs2, 0});
+}
+
+void
+ProgramBuilder::cvtif(Reg fd, Reg rs)
+{
+    emit({Opcode::Cvtif, fd, rs, 0, 0});
+}
+
+void
+ProgramBuilder::cvtfi(Reg rd, Reg fs)
+{
+    emit({Opcode::Cvtfi, rd, fs, 0, 0});
+}
+
+void
+ProgramBuilder::branch(Opcode op, Reg rs1, Reg rs2, Label target)
+{
+    if (!target.valid() || target.id >= label_positions_.size())
+        throw std::logic_error("branch: unknown label");
+    code_fixups_.push_back({code_.size(), target.id});
+    emit({op, 0, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::jump(Label target)
+{
+    if (!target.valid() || target.id >= label_positions_.size())
+        throw std::logic_error("jump: unknown label");
+    code_fixups_.push_back({code_.size(), target.id});
+    emit({Opcode::Jal, isa::kRegZero, 0, 0, 0});
+}
+
+void
+ProgramBuilder::call(Label target)
+{
+    if (!target.valid() || target.id >= label_positions_.size())
+        throw std::logic_error("call: unknown label");
+    code_fixups_.push_back({code_.size(), target.id});
+    emit({Opcode::Jal, isa::kRegRa, 0, 0, 0});
+}
+
+void
+ProgramBuilder::callIndirect(Reg rs)
+{
+    emit({Opcode::Jalr, isa::kRegRa, rs, 0, 0});
+}
+
+void
+ProgramBuilder::jumpIndirect(Reg rs)
+{
+    emit({Opcode::Jalr, isa::kRegZero, rs, 0, 0});
+}
+
+void
+ProgramBuilder::ret()
+{
+    emit({Opcode::Jalr, isa::kRegZero, isa::kRegRa, 0, 0});
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit({Opcode::Nop, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit({Opcode::Halt, 0, 0, 0, 0});
+}
+
+isa::Program
+ProgramBuilder::build()
+{
+    isa::Program program;
+    program.name = name_;
+    program.code = code_;
+    program.data = data_;
+
+    auto label_pc = [&](std::uint32_t id) -> std::uint64_t {
+        const std::int64_t pos = label_positions_[id];
+        if (pos < 0)
+            throw std::logic_error("ProgramBuilder::build: unbound label " +
+                                   std::to_string(id));
+        return program.pcOf(static_cast<std::size_t>(pos));
+    };
+
+    for (const CodeFixup &fix : code_fixups_) {
+        const std::uint64_t target = label_pc(fix.label_id);
+        const std::uint64_t pc = program.pcOf(fix.instr_index);
+        program.code[fix.instr_index].imm =
+            static_cast<std::int64_t>(target) -
+            static_cast<std::int64_t>(pc);
+    }
+    for (const DataFixup &fix : data_fixups_) {
+        const std::uint64_t target = label_pc(fix.label_id);
+        for (int i = 0; i < 8; ++i)
+            program.data[fix.data_offset + i] =
+                static_cast<std::uint8_t>(target >> (8 * i));
+    }
+
+    // Validate that everything encodes (catches out-of-range immediates).
+    for (const Instruction &in : program.code)
+        (void)isa::encode(in);
+    return program;
+}
+
+} // namespace mica::workloads

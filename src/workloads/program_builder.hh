@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Programmatic code generator for SRISC workloads.
+ *
+ * ProgramBuilder is the workload library's "compiler backend": kernels emit
+ * instructions through it, using forward-referenceable labels for control
+ * flow and an integrated data-segment allocator (including tables of code
+ * addresses for indirect dispatch). build() resolves all fixups and returns
+ * a loadable Program.
+ */
+
+#ifndef MICAPHASE_WORKLOADS_PROGRAM_BUILDER_HH
+#define MICAPHASE_WORKLOADS_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mica::workloads {
+
+/** Register index alias for readability in kernel code. */
+using Reg = std::uint8_t;
+
+/** Scratch integer registers available to generated kernels. */
+constexpr Reg kKernelRegBase = 5;  ///< x5..x27 are kernel scratch
+constexpr Reg kKernelRegLimit = 28;
+constexpr Reg kSchedulerReg0 = 28; ///< x28..x31 reserved for the scheduler
+constexpr Reg kSchedulerReg1 = 29;
+constexpr Reg kSchedulerReg2 = 30;
+constexpr Reg kSchedulerReg3 = 31;
+
+/** Opaque control-flow label. */
+struct Label
+{
+    std::uint32_t id = ~0u;
+    [[nodiscard]] bool valid() const { return id != ~0u; }
+};
+
+/** Code generator with label fixups and data allocation. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** @name Labels */
+    /// @{
+    [[nodiscard]] Label newLabel();
+    /** Bind a label to the next emitted instruction. */
+    void bind(Label label);
+    /// @}
+
+    /** @name Data segment */
+    /// @{
+    /** Reserve zero-initialized bytes; returns the absolute address. */
+    std::uint64_t allocData(std::size_t bytes, std::size_t align = 8);
+    /** Emit 64-bit words; returns the absolute address. */
+    std::uint64_t allocWords(std::span<const std::uint64_t> words);
+    /** Emit doubles; returns the absolute address. */
+    std::uint64_t allocDoubles(std::span<const double> values);
+    /** Emit a table of absolute code addresses (for jalr dispatch). */
+    std::uint64_t allocLabelTable(std::span<const Label> labels);
+    /** Patch an already reserved 64-bit slot with a constant. */
+    void patchWord(std::uint64_t address, std::uint64_t value);
+    /// @}
+
+    /** @name Raw emission */
+    /// @{
+    /** Append a fully formed instruction; returns its index. */
+    std::size_t emit(const isa::Instruction &instr);
+    /** Current instruction count (== index of the next instruction). */
+    [[nodiscard]] std::size_t position() const { return code_.size(); }
+    /// @}
+
+    /** @name Convenience emitters */
+    /// @{
+    void li(Reg rd, std::int64_t imm);          ///< addi rd, x0, imm
+    void mv(Reg rd, Reg rs);                    ///< addi rd, rs, 0
+    void alu(isa::Opcode op, Reg rd, Reg rs1, Reg rs2);
+    void alui(isa::Opcode op, Reg rd, Reg rs1, std::int64_t imm);
+    void load(isa::Opcode op, Reg rd, Reg base, std::int64_t offset = 0);
+    void store(isa::Opcode op, Reg src, Reg base, std::int64_t offset = 0);
+    void fload(Reg fd, Reg base, std::int64_t offset = 0);
+    void fstore(Reg fs, Reg base, std::int64_t offset = 0);
+    void fop(isa::Opcode op, Reg fd, Reg fs1, Reg fs2);
+    void fop2(isa::Opcode op, Reg fd, Reg fs1);
+    void fcmp(isa::Opcode op, Reg rd, Reg fs1, Reg fs2);
+    void cvtif(Reg fd, Reg rs);
+    void cvtfi(Reg rd, Reg fs);
+    void branch(isa::Opcode op, Reg rs1, Reg rs2, Label target);
+    void jump(Label target);                    ///< jal x0, target
+    void call(Label target);                    ///< jal ra, target
+    void callIndirect(Reg rs);                  ///< jalr ra, rs, 0
+    void jumpIndirect(Reg rs);                  ///< jalr x0, rs, 0
+    void ret();                                 ///< jalr x0, ra, 0
+    void nop();
+    void halt();
+    /// @}
+
+    /**
+     * Resolve fixups and produce the program image.
+     * Throws std::logic_error when a referenced label was never bound.
+     */
+    [[nodiscard]] isa::Program build();
+
+  private:
+    struct CodeFixup
+    {
+        std::size_t instr_index;
+        std::uint32_t label_id;
+    };
+    struct DataFixup
+    {
+        std::size_t data_offset;
+        std::uint32_t label_id;
+    };
+
+    std::string name_;
+    std::vector<isa::Instruction> code_;
+    std::vector<std::uint8_t> data_;
+    std::vector<std::int64_t> label_positions_; ///< instr index or -1
+    std::vector<CodeFixup> code_fixups_;
+    std::vector<DataFixup> data_fixups_;
+};
+
+} // namespace mica::workloads
+
+#endif // MICAPHASE_WORKLOADS_PROGRAM_BUILDER_HH

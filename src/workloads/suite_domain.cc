@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Synthetic stand-ins for the emerging domain-specific suites: BioPerf
+ * (bio-informatics, 10 benchmarks), BioMetricsWorkload (5) and MediaBench
+ * II (7).
+ *
+ * Deliberate design points mirroring the paper's findings:
+ *  - BioPerf leans on kernel families and parameter regions no other suite
+ *    uses (DNA-alphabet dynamic programming, tiny-stride integer-dense
+ *    sweeps) — it must come out with the highest fraction of unique
+ *    behaviour (~65% in the paper).
+ *  - BMW and MediaBench II intentionally *share* kernel families with each
+ *    other and with SPEC members (facerec, sphinx3, h264ref), giving them
+ *    narrow coverage and low uniqueness (~9-19%).
+ */
+
+#include "workloads/suite_helpers.hh"
+#include "workloads/suite_registry.hh"
+
+namespace mica::workloads::detail {
+
+namespace {
+
+using Phases = std::vector<PhaseSpec>;
+
+void
+registerBioPerf(SuiteCatalog &cat)
+{
+    auto add = [&cat](const char *name, std::uint32_t inputs,
+                      std::uint32_t intervals, std::uint64_t seed,
+                      std::function<Phases(std::uint32_t)> fn) {
+        cat.add({name, "BioPerf", inputs, intervals, std::move(fn), seed});
+    };
+
+    // blast: seeded local alignment - DNA scanning plus index gathers.
+    add("blast", 1, 73, 0x30001, [](std::uint32_t) {
+        return Phases{
+            stringPhase({.text_len = 4096, .pattern_len = 11,
+                         .alphabet = 4}, 10),
+            swPhase({.query_len = 12, .db_len = 48, .alphabet = 4}, 3),
+            hashPhase({.log2_slots = 15, .probes = 512, .update = false},
+                      2),
+        };
+    });
+
+    // ce: combinatorial extension structure alignment - fp distance
+    // matrices over residue pairs.
+    add("ce", 1, 8, 0x30002, [](std::uint32_t) {
+        return Phases{
+            matmulPhase({.n = 14}, 3),
+            swPhase({.query_len = 16, .db_len = 40, .alphabet = 20}, 3),
+        };
+    });
+
+    // clustalw: progressive multiple alignment - DP-dominated.
+    add("clustalw", 1, 43, 0x30003, [](std::uint32_t) {
+        return Phases{
+            swPhase({.query_len = 24, .db_len = 96, .alphabet = 20}, 10),
+            treeWalkPhase({.log2_size = 9, .searches = 48}, 1),
+        };
+    });
+
+    // fasta: the heavyweight of the suite (two benchmark-specific
+    // clusters covering ~7% of the whole analysis in the paper): word
+    // scanning over large DNA text plus banded DP.
+    add("fasta", 2, 350, 0x30004, [](std::uint32_t in) {
+        return Phases{
+            stringPhase({.text_len = 6144u << in, .pattern_len = 6,
+                         .alphabet = 4}, 5),
+            swPhase({.query_len = 20, .db_len = 80, .alphabet = 4}, 4),
+            histogramPhase({.input_bytes = 4096, .alphabet = 4}, 2),
+        };
+    });
+
+    // glimmer: gene finding with interpolated Markov models.
+    add("glimmer", 1, 8, 0x30005, [](std::uint32_t) {
+        return Phases{
+            hmmPhase({.states = 48, .steps = 24}, 4),
+            stringPhase({.text_len = 1024, .pattern_len = 6,
+                         .alphabet = 4}, 2),
+        };
+    });
+
+    // grappa: genome rearrangement - the paper highlights its unique
+    // combination of massive integer operation counts with very
+    // small-distance global strides.
+    add("grappa", 1, 100, 0x30006, [](std::uint32_t) {
+        return Phases{
+            reducePhase({.length = 16384, .fp = false, .use_mul = true},
+                        6),
+            streamPhase({.elements = 1024, .stride = 1,
+                         .mode = StreamParams::Mode::Scale, .fp = false,
+                         .unroll = 1}, 8),
+            histogramPhase({.input_bytes = 1024, .alphabet = 4}, 2),
+        };
+    });
+
+    // hmmer (BioPerf edition): same core as SPEC's but a small model with
+    // a long erratic tail - the paper finds only partial overlap.
+    add("hmmer", 1, 125, 0x30007, [](std::uint32_t) {
+        return Phases{
+            hmmPhase({.states = 32, .steps = 24}, 12),
+            stringPhase({.text_len = 1536, .pattern_len = 7,
+                         .alphabet = 20}, 4),
+            branchPhase({.branches = 1024, .taken_threshold = 150,
+                         .pattern_bits = 0}, 2),
+        };
+    });
+
+    // phylip: phylogeny - likelihood evaluation over tree nodes.
+    add("phylip", 1, 25, 0x30008, [](std::uint32_t) {
+        return Phases{
+            gatherPhase({.n = 768, .log2_range = 10, .scatter = false}, 3),
+            fpMathPhase({.n = 384}, 3),
+            swPhase({.query_len = 10, .db_len = 40, .alphabet = 4}, 2),
+        };
+    });
+
+    // predator: gene prediction - hashing plus DNA scanning.
+    add("predator", 1, 18, 0x30009, [](std::uint32_t) {
+        return Phases{
+            hashPhase({.log2_slots = 11, .probes = 768, .update = true},
+                      3),
+            stringPhase({.text_len = 2048, .pattern_len = 9,
+                         .alphabet = 4}, 3),
+        };
+    });
+
+    // tcoffee: consistency-based multiple alignment - DP + list juggling.
+    add("tcoffee", 1, 44, 0x3000a, [](std::uint32_t) {
+        return Phases{
+            swPhase({.query_len = 20, .db_len = 64, .alphabet = 20}, 5),
+            chasePhase({.nodes = 2048, .hops = 768, .payload = true}, 2),
+            stringPhase({.text_len = 1024, .pattern_len = 5,
+                         .alphabet = 20}, 2),
+        };
+    });
+}
+
+void
+registerBmw(SuiteCatalog &cat)
+{
+    auto add = [&cat](const char *name, std::uint32_t inputs,
+                      std::uint32_t intervals, std::uint64_t seed,
+                      std::function<Phases(std::uint32_t)> fn) {
+        cat.add({name, "BMW", inputs, intervals, std::move(fn), seed});
+    };
+
+    // face: eigenface recognition - image convolution + projections.
+    // Shares its convolution parameters with SPECfp2000's facerec so the
+    // two overlap in the workload space (BMW is a low-uniqueness suite).
+    add("face", 1, 64, 0x40001, [](std::uint32_t) {
+        return Phases{
+            convPhase({.rows = 20, .cols = 40, .k = 3, .fp = true}, 12),
+            matmulPhase({.n = 12}, 8),
+            streamPhase({.elements = 2048, .stride = 1,
+                         .mode = StreamParams::Mode::Dot, .fp = true,
+                         .unroll = 2}, 8),
+        };
+    });
+
+    // finger: minutiae extraction - fixed-point image ops + ridge walks.
+    add("finger", 1, 182, 0x40002, [](std::uint32_t) {
+        return Phases{
+            convPhase({.rows = 24, .cols = 48, .k = 3, .fp = false}, 12),
+            treeWalkPhase({.log2_size = 12, .searches = 128}, 10),
+            quantizePhase({.n = 512}, 12),
+        };
+    });
+
+    // gait: accelerometer signal processing - filter banks.
+    add("gait", 1, 32, 0x40003, [](std::uint32_t) {
+        return Phases{
+            firPhase({.taps = 40, .samples = 160, .parallel = 1}, 12),
+            iirPhase({.samples = 384}, 12),
+        };
+    });
+
+    // hand: hand-geometry verification - fixed-point contour processing.
+    add("hand", 1, 270, 0x40004, [](std::uint32_t) {
+        return Phases{
+            convPhase({.rows = 20, .cols = 40, .k = 3, .fp = false}, 12),
+            histogramPhase({.input_bytes = 3072, .alphabet = 128}, 8),
+            quantizePhase({.n = 512}, 12),
+        };
+    });
+
+    // speak: speaker verification - MFCC-ish front end + HMM scoring
+    // (the paper clusters "voice" with sphinx3).
+    add("speak", 1, 71, 0x40005, [](std::uint32_t) {
+        return Phases{
+            firPhase({.taps = 40, .samples = 160, .parallel = 1}, 12),
+            fftPhase({.log2n = 7}, 8),
+            hmmPhase({.states = 40, .steps = 24}, 8),
+        };
+    });
+}
+
+void
+registerMediaBench(SuiteCatalog &cat)
+{
+    auto add = [&cat](const char *name, std::uint32_t inputs,
+                      std::uint32_t intervals, std::uint64_t seed,
+                      std::function<Phases(std::uint32_t)> fn) {
+        cat.add({name, "MediaBenchII", inputs, intervals, std::move(fn),
+                 seed});
+    };
+
+    // h263enc: low-bitrate video - SAD + DCT + quantization.
+    add("h263enc", 1, 6, 0x50001, [](std::uint32_t) {
+        return Phases{
+            sadPhase({.candidates = 16}, 12),
+            dctPhase({.blocks = 4}, 10),
+            quantizePhase({.n = 1024}, 12),
+        };
+    });
+
+    // h264enc: like h263 with a larger search and deblocking-ish streams.
+    add("h264enc", 1, 63, 0x50002, [](std::uint32_t) {
+        return Phases{
+            sadPhase({.candidates = 16}, 16),
+            dctPhase({.blocks = 4}, 10),
+            quantizePhase({.n = 1024}, 12),
+            streamPhase({.elements = 2048, .stride = 1,
+                         .mode = StreamParams::Mode::Copy, .fp = false,
+                         .unroll = 4}, 8),
+        };
+    });
+
+    // jpeg2000: wavelet transform = filter pairs + quantization.
+    add("jpeg2000", 1, 6, 0x50003, [](std::uint32_t) {
+        return Phases{
+            firPhase({.taps = 16, .samples = 192, .parallel = 2}, 12),
+            quantizePhase({.n = 1024}, 12),
+        };
+    });
+
+    // jpegenc: classic DCT pipeline + entropy-coding histograms.
+    add("jpegenc", 1, 8, 0x50004, [](std::uint32_t) {
+        return Phases{
+            dctPhase({.blocks = 4}, 12),
+            quantizePhase({.n = 1024}, 12),
+            histogramPhase({.input_bytes = 2048, .alphabet = 200}, 8),
+        };
+    });
+
+    // mpeg2enc: motion estimation dominated.
+    add("mpeg2enc", 1, 10, 0x50005, [](std::uint32_t) {
+        return Phases{
+            sadPhase({.candidates = 16}, 14),
+            dctPhase({.blocks = 4}, 8),
+            quantizePhase({.n = 1024}, 10),
+        };
+    });
+
+    // mpeg4enc: adds prediction-mode decisions to the mpeg2 pipeline.
+    add("mpeg4enc", 1, 12, 0x50006, [](std::uint32_t) {
+        return Phases{
+            sadPhase({.candidates = 16}, 14),
+            dctPhase({.blocks = 4}, 8),
+            branchPhase({.branches = 768, .taken_threshold = 80,
+                         .pattern_bits = 4}, 8),
+            quantizePhase({.n = 1024}, 10),
+        };
+    });
+
+    // mpeg4-mmx: the hand-vectorized variant - same pipeline, wider
+    // unrolled copies standing in for SIMD.
+    add("mpeg4-mmx", 1, 8, 0x50007, [](std::uint32_t) {
+        return Phases{
+            sadPhase({.candidates = 16}, 14),
+            streamPhase({.elements = 4096, .stride = 1,
+                         .mode = StreamParams::Mode::Copy, .fp = false,
+                         .unroll = 4}, 10),
+            dctPhase({.blocks = 4}, 8),
+        };
+    });
+}
+
+} // namespace
+
+void
+registerDomainSuites(SuiteCatalog &catalog)
+{
+    registerBioPerf(catalog);
+    registerBmw(catalog);
+    registerMediaBench(catalog);
+}
+
+} // namespace mica::workloads::detail

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Internal phase-factory helpers shared by the suite registration units:
+ * each helper binds one kernel family's parameters into a PhaseSpec.
+ */
+
+#ifndef MICAPHASE_WORKLOADS_SUITE_HELPERS_HH
+#define MICAPHASE_WORKLOADS_SUITE_HELPERS_HH
+
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+namespace mica::workloads::detail {
+
+inline PhaseSpec
+streamPhase(StreamParams p, std::uint32_t reps)
+{
+    return {"stream",
+            [p](ProgramBuilder &pb, stats::Rng &) {
+                return emitStream(pb, p);
+            },
+            reps};
+}
+
+inline PhaseSpec
+stencilPhase(StencilParams p, std::uint32_t reps)
+{
+    return {"stencil2d",
+            [p](ProgramBuilder &pb, stats::Rng &) {
+                return emitStencil2D(pb, p);
+            },
+            reps};
+}
+
+inline PhaseSpec
+matmulPhase(MatMulParams p, std::uint32_t reps)
+{
+    return {"matmul",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitMatMul(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+convPhase(ConvParams p, std::uint32_t reps)
+{
+    return {"conv2d",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitConv2D(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+firPhase(FirParams p, std::uint32_t reps)
+{
+    return {"fir",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitFir(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+iirPhase(IirParams p, std::uint32_t reps)
+{
+    return {"iir",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitIir(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+fftPhase(FftParams p, std::uint32_t reps)
+{
+    return {"fft",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitFftPass(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+fpMathPhase(FpMathParams p, std::uint32_t reps)
+{
+    return {"fp_math",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitFpMath(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+reducePhase(ReduceChainParams p, std::uint32_t reps)
+{
+    return {"reduce_chain",
+            [p](ProgramBuilder &pb, stats::Rng &) {
+                return emitReduceChain(pb, p);
+            },
+            reps};
+}
+
+inline PhaseSpec
+chasePhase(PointerChaseParams p, std::uint32_t reps)
+{
+    return {"pointer_chase",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitPointerChase(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+hashPhase(HashProbeParams p, std::uint32_t reps)
+{
+    return {"hash_probe",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitHashProbe(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+gatherPhase(GatherParams p, std::uint32_t reps)
+{
+    return {"gather",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitGather(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+histogramPhase(HistogramParams p, std::uint32_t reps)
+{
+    return {"histogram",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitHistogram(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+treeWalkPhase(TreeWalkParams p, std::uint32_t reps)
+{
+    return {"tree_walk",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitTreeWalk(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+sortPhase(SortPassParams p, std::uint32_t reps)
+{
+    return {"sort_pass",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitSortPass(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+branchPhase(RandomBranchParams p, std::uint32_t reps)
+{
+    return {"random_branch",
+            [p](ProgramBuilder &pb, stats::Rng &) {
+                return emitRandomBranch(pb, p);
+            },
+            reps};
+}
+
+inline PhaseSpec
+bloatPhase(CodeBloatParams p, std::uint32_t reps)
+{
+    return {"code_bloat",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitCodeBloat(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+stringPhase(StringMatchParams p, std::uint32_t reps)
+{
+    return {"string_match",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitStringMatch(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+swPhase(SmithWatermanParams p, std::uint32_t reps)
+{
+    return {"smith_waterman",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitSmithWaterman(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+hmmPhase(ProfileHmmParams p, std::uint32_t reps)
+{
+    return {"profile_hmm",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitProfileHmm(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+dctPhase(DctParams p, std::uint32_t reps)
+{
+    return {"dct8x8",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitDct8x8(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+sadPhase(SadParams p, std::uint32_t reps)
+{
+    return {"sad",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitSad(pb, p, rng);
+            },
+            reps};
+}
+
+inline PhaseSpec
+quantizePhase(QuantizeParams p, std::uint32_t reps)
+{
+    return {"quantize",
+            [p](ProgramBuilder &pb, stats::Rng &rng) {
+                return emitQuantize(pb, p, rng);
+            },
+            reps};
+}
+
+} // namespace mica::workloads::detail
+
+#endif // MICAPHASE_WORKLOADS_SUITE_HELPERS_HH

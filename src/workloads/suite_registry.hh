@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Internal registration hooks: each suite family lives in its own
+ * translation unit and registers its benchmarks into the catalog.
+ */
+
+#ifndef MICAPHASE_WORKLOADS_SUITE_REGISTRY_HH
+#define MICAPHASE_WORKLOADS_SUITE_REGISTRY_HH
+
+#include "workloads/workload.hh"
+
+namespace mica::workloads::detail {
+
+void registerSpecCpu2000(SuiteCatalog &catalog);
+void registerSpecCpu2006(SuiteCatalog &catalog);
+void registerDomainSuites(SuiteCatalog &catalog); // BioPerf, BMW, MediaBench
+
+} // namespace mica::workloads::detail
+
+#endif // MICAPHASE_WORKLOADS_SUITE_REGISTRY_HH

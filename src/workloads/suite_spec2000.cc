@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Synthetic stand-ins for SPEC CPU2000 (12 integer + 14 floating-point
+ * benchmarks). Phase schedules and kernel parameters are chosen to mimic
+ * each original benchmark's published behavioural signature (instruction
+ * mix, locality, branch behaviour), per the substitution documented in
+ * DESIGN.md. Interval budgets are the paper's Table 3 counts scaled down
+ * ~40x.
+ */
+
+#include "workloads/suite_helpers.hh"
+#include "workloads/suite_registry.hh"
+
+namespace mica::workloads::detail {
+
+namespace {
+
+using Phases = std::vector<PhaseSpec>;
+
+void
+registerInt2000(SuiteCatalog &cat)
+{
+    auto add = [&cat](const char *name, std::uint32_t inputs,
+                      std::uint32_t intervals, std::uint64_t seed,
+                      std::function<Phases(std::uint32_t)> fn) {
+        cat.add({name, "SPECint2000", inputs, intervals, std::move(fn),
+                 seed});
+    };
+
+    // gzip: LZ-style matching + byte histograms + block copies.
+    add("gzip", 2, 38, 0x20001, [](std::uint32_t in) {
+        const std::uint32_t text = 2048u << in;
+        return Phases{
+            stringPhase({.text_len = text, .pattern_len = 6,
+                         .alphabet = 64}, 4),
+            histogramPhase({.input_bytes = 4096, .alphabet = 200}, 3),
+            streamPhase({.elements = 4096, .stride = 1,
+                         .mode = StreamParams::Mode::Copy, .fp = false,
+                         .unroll = 2}, 4),
+        };
+    });
+
+    // vpr: placement/routing = randomized decisions over a graph.
+    add("vpr", 2, 27, 0x20002, [](std::uint32_t in) {
+        return Phases{
+            branchPhase({.branches = 2048, .taken_threshold = 110,
+                         .pattern_bits = 0}, 6),
+            treeWalkPhase({.log2_size = static_cast<std::uint32_t>(12 + in),
+                           .searches = 128}, 4),
+        };
+    });
+
+    // gcc: huge instruction footprint, indirect dispatch, symbol hashing.
+    add("gcc", 3, 75, 0x20003, [](std::uint32_t in) {
+        return Phases{
+            bloatPhase({.blocks = 256u << in, .block_instrs = 14,
+                        .dispatches = 512, .sequential = false,
+                        .fp_fraction = 0.05}, 8),
+            hashPhase({.log2_slots = 13, .probes = 1024,
+                       .update = true}, 3),
+            treeWalkPhase({.log2_size = 12, .searches = 96}, 2),
+        };
+    });
+
+    // mcf: dominant pointer chasing over a large network.
+    add("mcf", 1, 50, 0x20004, [](std::uint32_t) {
+        return Phases{
+            chasePhase({.nodes = 1u << 16, .hops = 4096,
+                        .payload = true}, 10),
+            gatherPhase({.n = 1024, .log2_range = 15, .scatter = false}, 2),
+        };
+    });
+
+    // crafty: chess = bit twiddling + unpredictable search branches.
+    add("crafty", 1, 46, 0x20005, [](std::uint32_t) {
+        return Phases{
+            branchPhase({.branches = 2048, .taken_threshold = 128,
+                         .pattern_bits = 0}, 5),
+            reducePhase({.length = 4096, .fp = false, .use_mul = false}, 3),
+            hashPhase({.log2_slots = 14, .probes = 768, .update = false},
+                      2),
+        };
+    });
+
+    // parser: dictionary lookup + link grammar scanning.
+    add("parser", 1, 38, 0x20006, [](std::uint32_t) {
+        return Phases{
+            stringPhase({.text_len = 2048, .pattern_len = 5,
+                         .alphabet = 26}, 5),
+            treeWalkPhase({.log2_size = 13, .searches = 128}, 3),
+            hashPhase({.log2_slots = 12, .probes = 512, .update = false},
+                      2),
+        };
+    });
+
+    // eon: C++ ray tracer - the lone fp-heavy SPECint2000 member.
+    add("eon", 1, 26, 0x20007, [](std::uint32_t) {
+        return Phases{
+            convPhase({.rows = 16, .cols = 32, .k = 3, .fp = true}, 4),
+            streamPhase({.elements = 2048, .stride = 1,
+                         .mode = StreamParams::Mode::Dot, .fp = true,
+                         .unroll = 2}, 4),
+            branchPhase({.branches = 1024, .taken_threshold = 90,
+                         .pattern_bits = 0}, 2),
+        };
+    });
+
+    // perlbmk: interpreter dispatch + hash tables + string handling.
+    add("perlbmk", 2, 32, 0x20008, [](std::uint32_t in) {
+        return Phases{
+            bloatPhase({.blocks = 128u << in, .block_instrs = 10,
+                        .dispatches = 640, .sequential = false,
+                        .fp_fraction = 0.0}, 7),
+            hashPhase({.log2_slots = 12, .probes = 896, .update = true},
+                      3),
+            stringPhase({.text_len = 1024, .pattern_len = 4,
+                         .alphabet = 32}, 2),
+        };
+    });
+
+    // gap: computational group theory - integer arithmetic + gathers.
+    add("gap", 1, 25, 0x20009, [](std::uint32_t) {
+        return Phases{
+            streamPhase({.elements = 4096, .stride = 1,
+                         .mode = StreamParams::Mode::Triad, .fp = false,
+                         .unroll = 2}, 5),
+            reducePhase({.length = 8192, .fp = false, .use_mul = true}, 3),
+            gatherPhase({.n = 768, .log2_range = 12, .scatter = false}, 2),
+        };
+    });
+
+    // vortex: OO database - hashing and pointer-linked objects.
+    add("vortex", 1, 74, 0x2000a, [](std::uint32_t) {
+        return Phases{
+            hashPhase({.log2_slots = 15, .probes = 1024, .update = true},
+                      6),
+            chasePhase({.nodes = 8192, .hops = 2048, .payload = true}, 4),
+            bloatPhase({.blocks = 64, .block_instrs = 12,
+                        .dispatches = 384, .sequential = true,
+                        .fp_fraction = 0.0}, 2),
+        };
+    });
+
+    // bzip2: block sorting + move-to-front coding.
+    add("bzip2", 2, 72, 0x2000b, [](std::uint32_t in) {
+        return Phases{
+            sortPhase({.n = 1024u << in, .scramble = 32}, 6),
+            histogramPhase({.input_bytes = 4096, .alphabet = 256}, 4),
+            stringPhase({.text_len = 1536, .pattern_len = 4,
+                         .alphabet = 16}, 2),
+        };
+    });
+
+    // twolf: place & route with simulated annealing accept/reject.
+    add("twolf", 1, 71, 0x2000c, [](std::uint32_t) {
+        return Phases{
+            branchPhase({.branches = 2048, .taken_threshold = 100,
+                         .pattern_bits = 0}, 6),
+            gatherPhase({.n = 1024, .log2_range = 13, .scatter = true}, 3),
+            treeWalkPhase({.log2_size = 11, .searches = 96}, 2),
+        };
+    });
+}
+
+void
+registerFp2000(SuiteCatalog &cat)
+{
+    auto add = [&cat](const char *name, std::uint32_t inputs,
+                      std::uint32_t intervals, std::uint64_t seed,
+                      std::function<Phases(std::uint32_t)> fn) {
+        cat.add({name, "SPECfp2000", inputs, intervals, std::move(fn),
+                 seed});
+    };
+
+    // wupwise: lattice QCD - dense complex linear algebra.
+    add("wupwise", 1, 122, 0x21001, [](std::uint32_t) {
+        return Phases{
+            matmulPhase({.n = 20}, 6),
+            streamPhase({.elements = 4096, .stride = 1,
+                         .mode = StreamParams::Mode::Dot, .fp = true,
+                         .unroll = 4}, 3),
+        };
+    });
+
+    // swim: shallow-water stencil over large grids.
+    add("swim", 1, 71, 0x21002, [](std::uint32_t) {
+        return Phases{
+            stencilPhase({.rows = 64, .cols = 128, .sweeps = 1}, 6),
+            streamPhase({.elements = 8192, .stride = 1,
+                         .mode = StreamParams::Mode::Add, .fp = true,
+                         .unroll = 4}, 2),
+        };
+    });
+
+    // mgrid: multigrid solver - stencils at several granularities.
+    add("mgrid", 1, 120, 0x21003, [](std::uint32_t) {
+        return Phases{
+            stencilPhase({.rows = 48, .cols = 96, .sweeps = 1}, 5),
+            stencilPhase({.rows = 16, .cols = 32, .sweeps = 4}, 3),
+            streamPhase({.elements = 8192, .stride = 2,
+                         .mode = StreamParams::Mode::Copy, .fp = true,
+                         .unroll = 2}, 2),
+        };
+    });
+
+    // applu: SSOR solver - stencil plus gathers from banded matrices.
+    add("applu", 1, 37, 0x21004, [](std::uint32_t) {
+        return Phases{
+            stencilPhase({.rows = 40, .cols = 64, .sweeps = 1}, 4),
+            gatherPhase({.n = 1024, .log2_range = 13, .scatter = false},
+                        3),
+        };
+    });
+
+    // mesa: software 3D pipeline - fp transform + fixed-point rasterize.
+    add("mesa", 1, 72, 0x21005, [](std::uint32_t) {
+        return Phases{
+            convPhase({.rows = 20, .cols = 40, .k = 3, .fp = false}, 8),
+            quantizePhase({.n = 512}, 8),
+            streamPhase({.elements = 4096, .stride = 1,
+                         .mode = StreamParams::Mode::Triad, .fp = true,
+                         .unroll = 2}, 3),
+        };
+    });
+
+    // galgel: fluid dynamics via Galerkin method - dense + gathers.
+    add("galgel", 1, 42, 0x21006, [](std::uint32_t) {
+        return Phases{
+            matmulPhase({.n = 16}, 5),
+            gatherPhase({.n = 1536, .log2_range = 12, .scatter = false},
+                        3),
+        };
+    });
+
+    // art: neural network image recognition - dot products over small data.
+    add("art", 1, 39, 0x21007, [](std::uint32_t) {
+        return Phases{
+            streamPhase({.elements = 1024, .stride = 1,
+                         .mode = StreamParams::Mode::Dot, .fp = true,
+                         .unroll = 1}, 10),
+            reducePhase({.length = 2048, .fp = true, .use_mul = true}, 2),
+        };
+    });
+
+    // equake: sparse matrix-vector products from an FEM mesh.
+    add("equake", 1, 39, 0x21008, [](std::uint32_t) {
+        return Phases{
+            gatherPhase({.n = 2048, .log2_range = 14, .scatter = true}, 6),
+            streamPhase({.elements = 2048, .stride = 1,
+                         .mode = StreamParams::Mode::Add, .fp = true,
+                         .unroll = 2}, 2),
+        };
+    });
+
+    // facerec: image-processing front end + frequency-domain matching.
+    add("facerec", 1, 42, 0x21009, [](std::uint32_t) {
+        return Phases{
+            convPhase({.rows = 20, .cols = 40, .k = 3, .fp = true}, 10),
+            fftPhase({.log2n = 7}, 6),
+        };
+    });
+
+    // ammp: molecular dynamics - neighbor lists + fp accumulation.
+    add("ammp", 1, 64, 0x2100a, [](std::uint32_t) {
+        return Phases{
+            chasePhase({.nodes = 4096, .hops = 1536, .payload = true}, 4),
+            firPhase({.taps = 24, .samples = 96, .parallel = 2}, 4),
+        };
+    });
+
+    // lucas: Lucas-Lehmer primality - FFT-based squaring.
+    add("lucas", 1, 36, 0x2100b, [](std::uint32_t) {
+        return Phases{
+            fftPhase({.log2n = 9}, 4),
+            streamPhase({.elements = 4096, .stride = 1,
+                         .mode = StreamParams::Mode::Scale, .fp = true,
+                         .unroll = 4}, 2),
+        };
+    });
+
+    // fma3d: crash simulation - gathers + elementwise fp streams.
+    add("fma3d", 1, 30, 0x2100c, [](std::uint32_t) {
+        return Phases{
+            gatherPhase({.n = 1024, .log2_range = 13, .scatter = true}, 4),
+            streamPhase({.elements = 3072, .stride = 1,
+                         .mode = StreamParams::Mode::Triad, .fp = true,
+                         .unroll = 2}, 3),
+        };
+    });
+
+    // sixtrack: accelerator tracking - long serial fp recurrences.
+    add("sixtrack", 1, 176, 0x2100d, [](std::uint32_t) {
+        return Phases{
+            iirPhase({.samples = 384}, 6),
+            reducePhase({.length = 4096, .fp = true, .use_mul = true}, 4),
+            streamPhase({.elements = 1024, .stride = 1,
+                         .mode = StreamParams::Mode::Triad, .fp = true,
+                         .unroll = 1}, 2),
+        };
+    });
+
+    // apsi: pollutant distribution - stencil + fp with divides.
+    add("apsi", 1, 114, 0x2100e, [](std::uint32_t) {
+        return Phases{
+            stencilPhase({.rows = 32, .cols = 64, .sweeps = 1}, 5),
+            firPhase({.taps = 16, .samples = 128, .parallel = 1}, 3),
+            streamPhase({.elements = 2048, .stride = 4,
+                         .mode = StreamParams::Mode::Scale, .fp = true,
+                         .unroll = 1}, 2),
+        };
+    });
+}
+
+} // namespace
+
+void
+registerSpecCpu2000(SuiteCatalog &catalog)
+{
+    registerInt2000(catalog);
+    registerFp2000(catalog);
+}
+
+} // namespace mica::workloads::detail

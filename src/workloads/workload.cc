@@ -1,0 +1,115 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workloads/suite_registry.hh"
+
+namespace mica::workloads {
+
+isa::Program
+composeProgram(const std::string &name, std::uint64_t seed,
+               const std::vector<PhaseSpec> &phases)
+{
+    if (phases.empty())
+        throw std::invalid_argument("composeProgram: no phases");
+
+    ProgramBuilder pb(name);
+    stats::Rng rng(seed);
+
+    // Instruction 0 jumps over the kernel bodies to the scheduler.
+    Label main = pb.newLabel();
+    pb.jump(main);
+
+    std::vector<Label> entries;
+    entries.reserve(phases.size());
+    for (const PhaseSpec &phase : phases)
+        entries.push_back(phase.emit(pb, rng));
+
+    // Scheduler: loop the phase schedule forever. x28/x29 are reserved for
+    // the scheduler by the kernel calling convention.
+    pb.bind(main);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+        pb.li(kSchedulerReg0, std::max(1u, phases[p].reps));
+        Label phase_loop = pb.newLabel();
+        pb.bind(phase_loop);
+        pb.call(entries[p]);
+        pb.alui(isa::Opcode::Addi, kSchedulerReg0, kSchedulerReg0, -1);
+        pb.branch(isa::Opcode::Bne, kSchedulerReg0, isa::kRegZero,
+                  phase_loop);
+    }
+    pb.jump(top);
+    return pb.build();
+}
+
+isa::Program
+BenchmarkSpec::build(std::uint32_t input) const
+{
+    if (input >= num_inputs)
+        throw std::out_of_range("BenchmarkSpec::build: bad input index");
+    // Distinct but reproducible data per input.
+    const std::uint64_t input_seed =
+        seed ^ (0x9e3779b97f4a7c15ULL * (input + 1));
+    return composeProgram(name + "." + std::to_string(input), input_seed,
+                          phases(input));
+}
+
+std::uint32_t
+BenchmarkSpec::intervalsForInput(std::uint32_t input) const
+{
+    const std::uint32_t base = total_intervals / num_inputs;
+    const std::uint32_t extra = input < total_intervals % num_inputs ? 1 : 0;
+    return std::max(1u, base + extra);
+}
+
+const std::vector<std::string> &
+SuiteCatalog::suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "BioPerf",     "BMW",         "SPECint2000", "SPECfp2000",
+        "SPECint2006", "SPECfp2006",  "MediaBenchII",
+    };
+    return names;
+}
+
+SuiteCatalog::SuiteCatalog()
+{
+    detail::registerSpecCpu2000(*this);
+    detail::registerSpecCpu2006(*this);
+    detail::registerDomainSuites(*this);
+}
+
+void
+SuiteCatalog::add(BenchmarkSpec spec)
+{
+    if (find(spec.id()))
+        throw std::logic_error("SuiteCatalog: duplicate benchmark " +
+                               spec.id());
+    if (std::find(suiteNames().begin(), suiteNames().end(), spec.suite) ==
+        suiteNames().end())
+        throw std::logic_error("SuiteCatalog: unknown suite " + spec.suite);
+    benchmarks_.push_back(std::move(spec));
+}
+
+std::vector<const BenchmarkSpec *>
+SuiteCatalog::bySuite(std::string_view suite) const
+{
+    std::vector<const BenchmarkSpec *> out;
+    for (const auto &b : benchmarks_)
+        if (b.suite == suite)
+            out.push_back(&b);
+    return out;
+}
+
+const BenchmarkSpec *
+SuiteCatalog::find(std::string_view id) const
+{
+    for (const auto &b : benchmarks_)
+        if (b.id() == id)
+            return &b;
+    return nullptr;
+}
+
+} // namespace mica::workloads

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Benchmark composition: phase schedules, benchmark specs, and the suite
+ * catalog holding the 77 synthetic benchmarks standing in for the paper's
+ * five benchmark suites (seven suite groups: the paper splits SPEC CPU into
+ * integer and floating-point halves).
+ */
+
+#ifndef MICAPHASE_WORKLOADS_WORKLOAD_HH
+#define MICAPHASE_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hh"
+#include "stats/rng.hh"
+#include "workloads/program_builder.hh"
+
+namespace mica::workloads {
+
+/** One phase of a benchmark: a kernel instance and how often it runs. */
+struct PhaseSpec
+{
+    /** Kernel family name (documentation / tests). */
+    std::string kernel;
+    /** Emits the kernel subroutine; called once at program build time. */
+    std::function<Label(ProgramBuilder &, stats::Rng &)> emit;
+    /** Kernel invocations per visit of this phase. */
+    std::uint32_t reps = 1;
+};
+
+/**
+ * Compose a benchmark program from a phase schedule.
+ *
+ * The generated program runs the schedule in an infinite loop (phase 0 for
+ * reps_0 calls, phase 1 for reps_1 calls, ...), which yields the
+ * time-varying behaviour the phase-level methodology studies. The program
+ * never halts; the characterization driver runs it for a fixed instruction
+ * budget.
+ */
+[[nodiscard]] isa::Program composeProgram(
+    const std::string &name, std::uint64_t seed,
+    const std::vector<PhaseSpec> &phases);
+
+/** A benchmark: named phase schedules for one or more inputs. */
+struct BenchmarkSpec
+{
+    std::string name;  ///< e.g. "mcf"
+    std::string suite; ///< e.g. "SPECint2000"
+    std::uint32_t num_inputs = 1;
+    /**
+     * Total instruction intervals to characterize across all inputs in the
+     * default experiment configuration (scaled-down Table 3 budget).
+     */
+    std::uint32_t total_intervals = 40;
+    /** Phase schedule for a given input index (< num_inputs). */
+    std::function<std::vector<PhaseSpec>(std::uint32_t input)> phases;
+    std::uint64_t seed = 0;
+
+    /** Suite-qualified unique identifier ("SPECint2000/mcf"). */
+    [[nodiscard]] std::string id() const { return suite + "/" + name; }
+
+    /** Build the program image for one input. */
+    [[nodiscard]] isa::Program build(std::uint32_t input) const;
+
+    /** Interval budget for one input (total split evenly, >= 1). */
+    [[nodiscard]] std::uint32_t intervalsForInput(std::uint32_t input) const;
+};
+
+/** The catalog of all benchmarks, grouped into the paper's suites. */
+class SuiteCatalog
+{
+  public:
+    /** Canonical suite-group names, in the paper's figure order. */
+    static const std::vector<std::string> &suiteNames();
+
+    /** Build the full 77-benchmark catalog. */
+    SuiteCatalog();
+
+    [[nodiscard]] const std::vector<BenchmarkSpec> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+
+    /** All benchmarks of one suite group. */
+    [[nodiscard]] std::vector<const BenchmarkSpec *>
+    bySuite(std::string_view suite) const;
+
+    /** Look up by suite-qualified id ("BioPerf/hmmer"); null if missing. */
+    [[nodiscard]] const BenchmarkSpec *find(std::string_view id) const;
+
+    /** Register a benchmark (used by the per-suite registration units). */
+    void add(BenchmarkSpec spec);
+
+  private:
+    std::vector<BenchmarkSpec> benchmarks_;
+};
+
+} // namespace mica::workloads
+
+#endif // MICAPHASE_WORKLOADS_WORKLOAD_HH

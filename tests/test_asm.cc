@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the two-pass text assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+
+namespace {
+
+using namespace mica;
+using assembler::AsmError;
+using assembler::assemble;
+using isa::Opcode;
+
+TEST(Assembler, EmptyProgram)
+{
+    const auto prog = assemble("");
+    EXPECT_TRUE(prog.code.empty());
+    EXPECT_TRUE(prog.data.empty());
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const auto prog = assemble(R"(
+        ; full line comment
+        # another comment style
+        nop      ; trailing comment
+        halt     # trailing comment
+    )");
+    ASSERT_EQ(prog.code.size(), 2u);
+    EXPECT_EQ(prog.code[0].op, Opcode::Nop);
+    EXPECT_EQ(prog.code[1].op, Opcode::Halt);
+}
+
+TEST(Assembler, AllOperandFormats)
+{
+    const auto prog = assemble(R"(
+        add x1, x2, x3
+        addi x1, x2, -5
+        ld x1, 16(x2)
+        sd x3, 8(x2)
+        fld f1, 0(x2)
+        fsd f2, 24(x2)
+        fadd f1, f2, f3
+        fsqrt f1, f2
+        fmadd f1, f2, f3
+        fcmplt x1, f2, f3
+        cvtif f1, x2
+        cvtfi x1, f2
+        beq x1, x2, 16
+        jal x1, -8
+        jalr x0, ra, 0
+        nop
+        halt
+    )");
+    EXPECT_EQ(prog.code.size(), 17u);
+    EXPECT_EQ(prog.code[1].imm, -5);
+    EXPECT_EQ(prog.code[2].imm, 16);
+    EXPECT_EQ(prog.code[3].rs2, 3);
+    EXPECT_EQ(prog.code[12].imm, 16);
+    EXPECT_EQ(prog.code[13].imm, -8);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    const auto prog = assemble("add x1, zero, sp\n jalr x0, ra, 0");
+    EXPECT_EQ(prog.code[0].rs1, isa::kRegZero);
+    EXPECT_EQ(prog.code[0].rs2, isa::kRegSp);
+    EXPECT_EQ(prog.code[1].rs1, isa::kRegRa);
+}
+
+TEST(Assembler, BackwardBranchLabel)
+{
+    const auto prog = assemble(R"(
+    top:
+        addi x5, x5, -1
+        bne x5, x0, top
+    )");
+    EXPECT_EQ(prog.code[1].imm, -static_cast<std::int64_t>(
+                                    isa::kInstrBytes));
+}
+
+TEST(Assembler, ForwardBranchLabel)
+{
+    const auto prog = assemble(R"(
+        beq x0, x0, done
+        nop
+        nop
+    done:
+        halt
+    )");
+    EXPECT_EQ(prog.code[0].imm, 3 * static_cast<std::int64_t>(
+                                    isa::kInstrBytes));
+}
+
+TEST(Assembler, MultipleLabelsOneLine)
+{
+    const auto prog = assemble(R"(
+    a: b: nop
+        jal x0, a
+        jal x0, b
+    )");
+    EXPECT_EQ(prog.code[1].imm, -8);
+    EXPECT_EQ(prog.code[2].imm, -16);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const auto prog = assemble(R"(
+        .data
+        w64: .word64 1, 2, 3
+        w32: .word32 7
+        b:   .byte 1, 2
+        z:   .zero 6
+        d:   .double 1.5
+        .text
+        halt
+    )");
+    // 24 + 4 + 2 + 6 + 8 — directives pack without padding.
+    EXPECT_EQ(prog.data.size(), 44u);
+    EXPECT_EQ(prog.data[0], 1u);
+    EXPECT_EQ(prog.data[8], 2u);
+    EXPECT_EQ(prog.data[24], 7u);
+    EXPECT_EQ(prog.data[28], 1u);
+    EXPECT_EQ(prog.data[29], 2u);
+}
+
+TEST(Assembler, DataLabelAsImmediate)
+{
+    const auto prog = assemble(R"(
+        .data
+        pad: .zero 16
+        var: .word64 99
+        .text
+        ld x5, var(x0)
+        halt
+    )");
+    EXPECT_EQ(prog.code[0].imm,
+              static_cast<std::int64_t>(prog.data_base + 16));
+}
+
+TEST(Assembler, DataLabelInsideWord64)
+{
+    const auto prog = assemble(R"(
+        .data
+        a: .word64 5
+        p: .word64 a
+        .text
+        halt
+    )");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= static_cast<std::uint64_t>(prog.data[8 + i]) << (8 * i);
+    EXPECT_EQ(stored, prog.data_base);
+}
+
+TEST(Assembler, HexNumbers)
+{
+    const auto prog = assemble("addi x5, x0, 0xff\n halt");
+    EXPECT_EQ(prog.code[0].imm, 255);
+}
+
+TEST(Assembler, FullRangeUnsignedWord64)
+{
+    // Values above INT64_MAX are stored as their two's-complement bits.
+    const auto prog = assemble(R"(
+        .data
+        v: .word64 0xffffffffffffffff
+        w: .word64 0x8000000000000000
+        .text
+        halt
+    )");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(prog.data[static_cast<std::size_t>(i)], 0xffu);
+    EXPECT_EQ(prog.data[15], 0x80u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        (void)assemble("nop\nbogus x1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Assembler, UnknownMnemonicThrows)
+{
+    EXPECT_THROW((void)assemble("frobnicate x1, x2"), AsmError);
+}
+
+TEST(Assembler, UnknownLabelThrows)
+{
+    EXPECT_THROW((void)assemble("jal x0, nowhere"), AsmError);
+}
+
+TEST(Assembler, DuplicateLabelThrows)
+{
+    EXPECT_THROW((void)assemble("a: nop\na: nop"), AsmError);
+}
+
+TEST(Assembler, WrongOperandCountThrows)
+{
+    EXPECT_THROW((void)assemble("add x1, x2"), AsmError);
+    EXPECT_THROW((void)assemble("nop x1"), AsmError);
+}
+
+TEST(Assembler, BadRegisterThrows)
+{
+    EXPECT_THROW((void)assemble("add x1, x2, x32"), AsmError);
+    EXPECT_THROW((void)assemble("add x1, x2, f3"), AsmError);
+    EXPECT_THROW((void)assemble("fadd f1, x2, f3"), AsmError);
+}
+
+TEST(Assembler, BranchToDataLabelThrows)
+{
+    EXPECT_THROW((void)assemble(R"(
+        .data
+        v: .word64 1
+        .text
+        jal x0, v
+    )"),
+                 AsmError);
+}
+
+TEST(Assembler, InstructionInDataSectionThrows)
+{
+    EXPECT_THROW((void)assemble(".data\nnop"), AsmError);
+}
+
+TEST(Assembler, ImmediateOutOfRangeThrows)
+{
+    EXPECT_THROW((void)assemble("addi x1, x0, 99999999999"), AsmError);
+}
+
+TEST(Assembler, DisassembleProgramListsAll)
+{
+    const auto prog = assemble("nop\nadd x1, x2, x3\nhalt");
+    const std::string text = assembler::disassembleProgram(prog);
+    EXPECT_NE(text.find("nop"), std::string::npos);
+    EXPECT_NE(text.find("add x1, x2, x3"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonics)
+{
+    const auto prog = assemble("ADD x1, X2, x3\nHALT");
+    EXPECT_EQ(prog.code[0].op, Opcode::Add);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for catalog characterization and the on-disk cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "asm/assembler.hh"
+#include "core/characterize.hh"
+
+namespace {
+
+using namespace mica;
+using core::CharacterizationResult;
+using core::ExperimentConfig;
+
+TEST(Characterize, ProgramYieldsRequestedIntervals)
+{
+    const auto prog = assembler::assemble("loop: addi x5, x5, 1\n"
+                                          "jal x0, loop");
+    const auto intervals = core::characterizeProgram(prog, 1000, 7);
+    EXPECT_EQ(intervals.size(), 7u);
+}
+
+TEST(Characterize, HaltedProgramStopsEarly)
+{
+    const auto prog = assembler::assemble("addi x5, x0, 1\nhalt");
+    const auto intervals = core::characterizeProgram(prog, 1000, 5);
+    EXPECT_TRUE(intervals.empty()); // too short for a full interval
+}
+
+TEST(Characterize, TrappingProgramThrows)
+{
+    const auto prog = assembler::assemble("jalr x0, x0, 64");
+    EXPECT_THROW((void)core::characterizeProgram(prog, 100, 1),
+                 std::runtime_error);
+}
+
+TEST(Characterize, KeyIgnoresAnalysisParameters)
+{
+    ExperimentConfig a;
+    ExperimentConfig b = a;
+    b.kmeans_k = 77;
+    b.samples_per_benchmark = 13;
+    b.seed = 999;
+    EXPECT_EQ(a.characterizationKey(), b.characterizationKey());
+    b.interval_instructions = 1234;
+    EXPECT_NE(a.characterizationKey(), b.characterizationKey());
+    ExperimentConfig c;
+    c.interval_scale = 0.5;
+    EXPECT_NE(a.characterizationKey(), c.characterizationKey());
+}
+
+/** A small synthetic result for save/load round trips. */
+CharacterizationResult
+sampleResult()
+{
+    CharacterizationResult r;
+    r.benchmark_ids = {"SuiteA/x", "SuiteA/y"};
+    r.benchmark_names = {"x", "y"};
+    r.benchmark_suites = {"SuiteA", "SuiteA"};
+    for (int i = 0; i < 5; ++i) {
+        core::IntervalRecord rec;
+        rec.benchmark = i % 2;
+        rec.input = static_cast<std::uint32_t>(i % 3);
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            rec.values[c] = 0.25 * static_cast<double>(i) +
+                            0.001 * static_cast<double>(c);
+        r.intervals.push_back(rec);
+    }
+    return r;
+}
+
+TEST(Characterize, SaveLoadRoundTrip)
+{
+    const std::string path = "/tmp/micaphase_chars_test.csv";
+    const auto original = sampleResult();
+    core::saveCharacterization(path, original);
+
+    CharacterizationResult loaded;
+    loaded.benchmark_ids = original.benchmark_ids;
+    loaded.benchmark_names = original.benchmark_names;
+    loaded.benchmark_suites = original.benchmark_suites;
+    ASSERT_TRUE(core::loadCharacterization(path, loaded));
+    ASSERT_EQ(loaded.intervals.size(), original.intervals.size());
+    for (std::size_t i = 0; i < loaded.intervals.size(); ++i) {
+        EXPECT_EQ(loaded.intervals[i].benchmark,
+                  original.intervals[i].benchmark);
+        EXPECT_EQ(loaded.intervals[i].input, original.intervals[i].input);
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            EXPECT_DOUBLE_EQ(loaded.intervals[i].values[c],
+                             original.intervals[i].values[c]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Characterize, LoadMissingFileFails)
+{
+    CharacterizationResult r;
+    EXPECT_FALSE(core::loadCharacterization("/tmp/nope_does_not_exist.csv",
+                                            r));
+}
+
+TEST(Characterize, LoadRejectsUnknownBenchmark)
+{
+    const std::string path = "/tmp/micaphase_chars_test2.csv";
+    core::saveCharacterization(path, sampleResult());
+    CharacterizationResult other;
+    other.benchmark_ids = {"SuiteB/z"};
+    EXPECT_FALSE(core::loadCharacterization(path, other));
+    std::remove(path.c_str());
+}
+
+TEST(Characterize, IntervalsPerBenchmark)
+{
+    const auto r = sampleResult();
+    const auto counts = r.intervalsPerBenchmark();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 3u);
+    EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(Characterize, ThreadCountDoesNotChangeResults)
+{
+    workloads::SuiteCatalog catalog;
+    ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.cache_dir.clear();
+
+    ExperimentConfig serial = cfg;
+    serial.threads = 1;
+    ExperimentConfig parallel = cfg;
+    parallel.threads = 4;
+
+    const auto a = core::characterizeCatalog(catalog, serial);
+    const auto b = core::characterizeCatalog(catalog, parallel);
+    ASSERT_EQ(a.intervals.size(), b.intervals.size());
+    for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+        ASSERT_EQ(a.intervals[i].benchmark, b.intervals[i].benchmark);
+        ASSERT_EQ(a.intervals[i].input, b.intervals[i].input);
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            ASSERT_EQ(a.intervals[i].values[c], b.intervals[i].values[c]);
+    }
+}
+
+TEST(Characterize, GranularityChangesResolutionNotValidity)
+{
+    // Paper section 3.9: the methodology applies at any interval
+    // granularity. Finer intervals must partition the same instruction
+    // stream: footprints shrink (or stay equal), fractions stay bounded,
+    // and the instruction budget is conserved.
+    workloads::SuiteCatalog catalog;
+    const auto *bench = catalog.find("SPECint2000/mcf");
+    ASSERT_NE(bench, nullptr);
+    const auto program = bench->build(0);
+
+    const auto coarse = core::characterizeProgram(program, 40000, 2);
+    const auto fine = core::characterizeProgram(program, 10000, 8);
+    ASSERT_EQ(coarse.size(), 2u);
+    ASSERT_EQ(fine.size(), 8u);
+
+    namespace m = metrics::midx;
+    double coarse_max_fp = 0.0, fine_max_fp = 0.0;
+    for (const auto &v : coarse)
+        coarse_max_fp = std::max(coarse_max_fp, v[m::DataFootprint64B]);
+    for (const auto &v : fine)
+        fine_max_fp = std::max(fine_max_fp, v[m::DataFootprint64B]);
+    EXPECT_LE(fine_max_fp, coarse_max_fp + 1e-9)
+        << "a sub-interval cannot touch more blocks than its superset";
+
+    for (const auto &v : fine) {
+        EXPECT_GE(v[m::MixMemRead], 0.0);
+        EXPECT_LE(v[m::MixMemRead], 1.0);
+        EXPECT_GT(v[m::Ilp32], 0.0);
+    }
+}
+
+TEST(Characterize, CacheAvoidsRecomputation)
+{
+    const std::string cache_dir = "/tmp/micaphase_cache_test";
+    std::filesystem::remove_all(cache_dir);
+
+    workloads::SuiteCatalog catalog;
+    ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02; // ~1 interval per benchmark
+    cfg.cache_dir = cache_dir;
+
+    int progress_calls_first = 0;
+    const auto first = core::characterizeWithCache(
+        catalog, cfg,
+        [&](const std::string &, std::size_t, std::size_t) {
+            ++progress_calls_first;
+        });
+    EXPECT_GT(progress_calls_first, 0);
+
+    int progress_calls_second = 0;
+    const auto second = core::characterizeWithCache(
+        catalog, cfg,
+        [&](const std::string &, std::size_t, std::size_t) {
+            ++progress_calls_second;
+        });
+    EXPECT_EQ(progress_calls_second, 0) << "cache miss on identical config";
+    ASSERT_EQ(first.intervals.size(), second.intervals.size());
+    for (std::size_t i = 0; i < first.intervals.size(); ++i)
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            EXPECT_DOUBLE_EQ(first.intervals[i].values[c],
+                             second.intervals[i].values[c]);
+    std::filesystem::remove_all(cache_dir);
+}
+
+} // namespace

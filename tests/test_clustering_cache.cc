@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the clustering persistence used by the analysis cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/phase_analysis.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+using stats::KMeansResult;
+
+KMeansResult
+sampleClustering()
+{
+    KMeansResult res;
+    res.centers = stats::Matrix::fromRows({{1.5, -2.25}, {0.0, 4.125}});
+    res.assignment = {0, 1, 1, 0, 1};
+    res.sizes = {2, 3};
+    res.inertia = 3.75;
+    res.bic = -12.5;
+    res.iterations = 9;
+    return res;
+}
+
+TEST(ClusteringCache, SaveLoadRoundTrip)
+{
+    const std::string path = "/tmp/micaphase_clustering_test.csv";
+    const auto original = sampleClustering();
+    core::saveClustering(path, original);
+
+    KMeansResult loaded;
+    ASSERT_TRUE(core::loadClustering(path, loaded));
+    EXPECT_EQ(loaded.assignment, original.assignment);
+    EXPECT_EQ(loaded.sizes, original.sizes);
+    EXPECT_DOUBLE_EQ(loaded.inertia, original.inertia);
+    EXPECT_DOUBLE_EQ(loaded.bic, original.bic);
+    EXPECT_EQ(loaded.iterations, original.iterations);
+    EXPECT_EQ(loaded.centers.maxAbsDiff(original.centers), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(ClusteringCache, LoadMissingFails)
+{
+    KMeansResult out;
+    EXPECT_FALSE(core::loadClustering("/tmp/nope_micaphase.csv", out));
+}
+
+TEST(ClusteringCache, LoadRejectsTruncatedFile)
+{
+    const std::string path = "/tmp/micaphase_clustering_trunc.csv";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("2,2,5,1.0,2.0,3\n0.0,0.0\n", f); // missing rows
+        std::fclose(f);
+    }
+    KMeansResult out;
+    EXPECT_FALSE(core::loadClustering(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(ClusteringCache, LoadRejectsBadAssignment)
+{
+    const std::string path = "/tmp/micaphase_clustering_bad.csv";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        // Assignment index 7 >= k = 2.
+        std::fputs("2,1,3,1.0,2.0,3\n0.0\n1.0\n0,7,1\n", f);
+        std::fclose(f);
+    }
+    KMeansResult out;
+    EXPECT_FALSE(core::loadClustering(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(ClusteringCache, AnalysisKeySensitivity)
+{
+    core::ExperimentConfig a;
+    core::ExperimentConfig b = a;
+    EXPECT_EQ(a.analysisKey(), b.analysisKey());
+    b.kmeans_k = a.kmeans_k + 1;
+    EXPECT_NE(a.analysisKey(), b.analysisKey());
+    b = a;
+    b.seed ^= 1;
+    EXPECT_NE(a.analysisKey(), b.analysisKey());
+    b = a;
+    b.samples_per_benchmark += 1;
+    EXPECT_NE(a.analysisKey(), b.analysisKey());
+    b = a;
+    b.interval_instructions += 1; // flows in via characterizationKey
+    EXPECT_NE(a.analysisKey(), b.analysisKey());
+}
+
+TEST(ClusteringCache, WithClusteringRejectsSizeMismatch)
+{
+    core::CharacterizationResult chars;
+    chars.benchmark_ids = {"S/x"};
+    chars.benchmark_names = {"x"};
+    chars.benchmark_suites = {"S"};
+
+    core::SampledDataset sampled;
+    for (int i = 0; i < 4; ++i) {
+        std::vector<double> row(metrics::kNumCharacteristics,
+                                static_cast<double>(i));
+        sampled.data.appendRow(row);
+        sampled.benchmark_of_row.push_back(0);
+        sampled.source_interval.push_back(0);
+    }
+
+    auto clustering = sampleClustering(); // 5 assignments != 4 rows
+    core::ExperimentConfig cfg;
+    EXPECT_THROW((void)core::analyzePhasesWithClustering(
+                     sampled, chars, cfg, clustering),
+                 std::invalid_argument);
+}
+
+TEST(ClusteringCache, WithClusteringMatchesDirectAnalysis)
+{
+    // Feeding analyzePhases' own clustering back through the cached path
+    // must reproduce the identical summary.
+    core::CharacterizationResult chars;
+    chars.benchmark_ids = {"S/x", "S/y"};
+    chars.benchmark_names = {"x", "y"};
+    chars.benchmark_suites = {"S", "S"};
+
+    stats::Rng rng(5);
+    core::SampledDataset sampled;
+    for (int i = 0; i < 30; ++i) {
+        std::vector<double> row(metrics::kNumCharacteristics, 0.0);
+        row[0] = (i % 2) * 10.0 + 0.01 * rng.nextGaussian();
+        row[1] = rng.nextGaussian();
+        sampled.data.appendRow(row);
+        sampled.benchmark_of_row.push_back(i % 2);
+        sampled.source_interval.push_back(0);
+    }
+    core::ExperimentConfig cfg;
+    cfg.kmeans_k = 2;
+    cfg.num_prominent = 2;
+
+    const auto direct = core::analyzePhases(sampled, chars, cfg);
+    const auto cached = core::analyzePhasesWithClustering(
+        sampled, chars, cfg, direct.clustering);
+    ASSERT_EQ(cached.clusters.size(), direct.clusters.size());
+    for (std::size_t i = 0; i < cached.clusters.size(); ++i) {
+        EXPECT_EQ(cached.clusters[i].cluster, direct.clusters[i].cluster);
+        EXPECT_EQ(cached.clusters[i].weight, direct.clusters[i].weight);
+        EXPECT_EQ(cached.clusters[i].representative_row,
+                  direct.clusters[i].representative_row);
+        EXPECT_EQ(cached.clusters[i].kind, direct.clusters[i].kind);
+    }
+}
+
+} // namespace

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Unit tests for the SRISC interpreter: per-opcode semantics, control
+ * flow, trap behaviour and trace-sink records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "asm/assembler.hh"
+#include "vm/cpu.hh"
+
+namespace {
+
+using namespace mica;
+using vm::Cpu;
+using vm::StopReason;
+
+/** Assemble, run to halt (or budget), return the CPU for inspection. */
+struct RunFixture
+{
+    isa::Program program;
+    std::unique_ptr<Cpu> cpu;
+    vm::RunResult result;
+
+    explicit RunFixture(const std::string &source,
+                        std::uint64_t budget = 100000)
+        : program(assembler::assemble(source))
+    {
+        cpu = std::make_unique<Cpu>(program);
+        result = cpu->run(budget);
+    }
+};
+
+/** Parameterized check: one ALU snippet and the expected x10 value. */
+struct AluCase
+{
+    const char *name;
+    const char *source;
+    std::int64_t expected;
+};
+
+class AluSemanticsTest : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluSemanticsTest, ComputesExpectedValue)
+{
+    RunFixture fix(GetParam().source);
+    EXPECT_EQ(fix.result.reason, StopReason::Halted);
+    EXPECT_EQ(fix.cpu->intReg(10), GetParam().expected);
+}
+
+const AluCase kAluCases[] = {
+    {"add", "addi x5, x0, 7\n addi x6, x0, 35\n add x10, x5, x6\n halt",
+     42},
+    {"sub", "addi x5, x0, 7\n addi x6, x0, 35\n sub x10, x6, x5\n halt",
+     28},
+    {"mul", "addi x5, x0, -6\n addi x6, x0, 7\n mul x10, x5, x6\n halt",
+     -42},
+    {"div", "addi x5, x0, 45\n addi x6, x0, 7\n div x10, x5, x6\n halt",
+     6},
+    {"div_negative",
+     "addi x5, x0, -45\n addi x6, x0, 7\n div x10, x5, x6\n halt", -6},
+    {"div_by_zero", "addi x5, x0, 45\n div x10, x5, x0\n halt", -1},
+    {"rem", "addi x5, x0, 45\n addi x6, x0, 7\n rem x10, x5, x6\n halt",
+     3},
+    {"rem_by_zero", "addi x5, x0, 45\n rem x10, x5, x0\n halt", 45},
+    {"and", "addi x5, x0, 12\n addi x6, x0, 10\n and x10, x5, x6\n halt",
+     8},
+    {"or", "addi x5, x0, 12\n addi x6, x0, 10\n or x10, x5, x6\n halt",
+     14},
+    {"xor", "addi x5, x0, 12\n addi x6, x0, 10\n xor x10, x5, x6\n halt",
+     6},
+    {"sll", "addi x5, x0, 3\n addi x6, x0, 4\n sll x10, x5, x6\n halt",
+     48},
+    {"srl_positive",
+     "addi x5, x0, 48\n addi x6, x0, 4\n srl x10, x5, x6\n halt", 3},
+    {"sra_negative",
+     "addi x5, x0, -48\n addi x6, x0, 4\n sra x10, x5, x6\n halt", -3},
+    {"slt_true", "addi x5, x0, -1\n addi x6, x0, 1\n slt x10, x5, x6\n halt",
+     1},
+    {"sltu_wraps",
+     "addi x5, x0, -1\n addi x6, x0, 1\n sltu x10, x5, x6\n halt", 0},
+    {"addi_negative", "addi x10, x0, -100\n halt", -100},
+    {"andi", "addi x5, x0, 13\n andi x10, x5, 6\n halt", 4},
+    {"ori", "addi x5, x0, 8\n ori x10, x5, 3\n halt", 11},
+    {"xori", "addi x5, x0, 15\n xori x10, x5, 9\n halt", 6},
+    {"slli", "addi x5, x0, 5\n slli x10, x5, 3\n halt", 40},
+    {"srli", "addi x5, x0, 40\n srli x10, x5, 3\n halt", 5},
+    {"srai", "addi x5, x0, -40\n srai x10, x5, 3\n halt", -5},
+    {"slti", "addi x5, x0, 3\n slti x10, x5, 4\n halt", 1},
+};
+
+INSTANTIATE_TEST_SUITE_P(Cases, AluSemanticsTest,
+                         ::testing::ValuesIn(kAluCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(Cpu, X0AlwaysZero)
+{
+    RunFixture fix("addi x0, x0, 55\n add x10, x0, x0\n halt");
+    EXPECT_EQ(fix.cpu->intReg(0), 0);
+    EXPECT_EQ(fix.cpu->intReg(10), 0);
+}
+
+TEST(Cpu, LoadStoreRoundTrip)
+{
+    RunFixture fix(R"(
+        .data
+        buf: .zero 64
+        .text
+        addi x5, x0, -123456
+        sd x5, buf(x0)
+        ld x10, buf(x0)
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), -123456);
+}
+
+TEST(Cpu, ByteLoadSignExtends)
+{
+    RunFixture fix(R"(
+        .data
+        buf: .byte 0xff
+        .text
+        lb x10, buf(x0)
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), -1);
+}
+
+TEST(Cpu, HalfWordLoad)
+{
+    RunFixture fix(R"(
+        .data
+        buf: .zero 8
+        .text
+        addi x5, x0, 0x8001
+        sh x5, buf(x0)
+        lh x10, buf(x0)
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10),
+              static_cast<std::int64_t>(static_cast<std::int16_t>(0x8001)));
+}
+
+TEST(Cpu, WordLoadSignExtends)
+{
+    RunFixture fix(R"(
+        .data
+        buf: .word32 0x80000000
+        .text
+        lw x10, buf(x0)
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), static_cast<std::int64_t>(
+                                       static_cast<std::int32_t>(0x80000000)));
+}
+
+TEST(Cpu, FpArithmetic)
+{
+    RunFixture fix(R"(
+        .data
+        a: .double 1.5
+        b: .double 2.5
+        out: .zero 8
+        .text
+        fld f1, a(x0)
+        fld f2, b(x0)
+        fadd f3, f1, f2
+        fmul f4, f1, f2
+        fsub f5, f2, f1
+        fdiv f6, f2, f1
+        fsd f3, out(x0)
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(3), 4.0);
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(4), 3.75);
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(5), 1.0);
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(6), 2.5 / 1.5);
+    EXPECT_DOUBLE_EQ(fix.cpu->memory().readDouble(
+                         fix.program.data_base + 16),
+                     4.0);
+}
+
+TEST(Cpu, FpMaddAccumulates)
+{
+    RunFixture fix(R"(
+        .data
+        a: .double 2.0
+        b: .double 3.0
+        .text
+        fld f1, a(x0)
+        fld f2, b(x0)
+        cvtif f3, x0
+        fmadd f3, f1, f2
+        fmadd f3, f1, f2
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(3), 12.0);
+}
+
+TEST(Cpu, FpUnaryOps)
+{
+    RunFixture fix(R"(
+        .data
+        a: .double -9.0
+        .text
+        fld f1, a(x0)
+        fabs f2, f1
+        fsqrt f3, f2
+        fneg f4, f3
+        fmov f5, f4
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(2), 9.0);
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(3), 3.0);
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(4), -3.0);
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(5), -3.0);
+}
+
+TEST(Cpu, FpCompares)
+{
+    RunFixture fix(R"(
+        .data
+        a: .double 1.0
+        b: .double 2.0
+        .text
+        fld f1, a(x0)
+        fld f2, b(x0)
+        fcmplt x10, f1, f2
+        fcmple x11, f2, f2
+        fcmpeq x12, f1, f2
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), 1);
+    EXPECT_EQ(fix.cpu->intReg(11), 1);
+    EXPECT_EQ(fix.cpu->intReg(12), 0);
+}
+
+TEST(Cpu, Conversions)
+{
+    RunFixture fix(R"(
+        .data
+        a: .double -7.9
+        .text
+        addi x5, x0, 42
+        cvtif f1, x5
+        fld f2, a(x0)
+        cvtfi x10, f2
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(fix.cpu->fpReg(1), 42.0);
+    EXPECT_EQ(fix.cpu->intReg(10), -7) << "conversion truncates toward 0";
+}
+
+TEST(Cpu, BranchTakenAndNotTaken)
+{
+    RunFixture fix(R"(
+        addi x5, x0, 1
+        beq x5, x0, bad     ; not taken
+        addi x10, x0, 1
+        bne x5, x0, good    ; taken
+    bad:
+        addi x10, x0, 99
+        halt
+    good:
+        addi x11, x0, 2
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), 1);
+    EXPECT_EQ(fix.cpu->intReg(11), 2);
+}
+
+TEST(Cpu, UnsignedBranches)
+{
+    RunFixture fix(R"(
+        addi x5, x0, -1     ; unsigned max
+        addi x6, x0, 1
+        bltu x6, x5, l1
+        addi x10, x0, 99
+        halt
+    l1:
+        bgeu x5, x6, l2
+        addi x10, x0, 98
+        halt
+    l2:
+        addi x10, x0, 1
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), 1);
+}
+
+TEST(Cpu, LoopExecutes)
+{
+    RunFixture fix(R"(
+        addi x5, x0, 10
+        addi x10, x0, 0
+    loop:
+        add x10, x10, x5
+        addi x5, x5, -1
+        bne x5, x0, loop
+        halt
+    )");
+    EXPECT_EQ(fix.cpu->intReg(10), 55);
+}
+
+TEST(Cpu, CallAndReturn)
+{
+    RunFixture fix(R"(
+        jal ra, func
+        addi x10, x0, 5
+        halt
+    func:
+        addi x11, x0, 7
+        jalr x0, ra, 0
+    )");
+    EXPECT_EQ(fix.result.reason, StopReason::Halted);
+    EXPECT_EQ(fix.cpu->intReg(10), 5);
+    EXPECT_EQ(fix.cpu->intReg(11), 7);
+}
+
+TEST(Cpu, JalWritesLinkRegister)
+{
+    RunFixture fix(R"(
+        jal x5, target
+    target:
+        halt
+    )");
+    EXPECT_EQ(static_cast<std::uint64_t>(fix.cpu->intReg(5)),
+              fix.program.code_base + isa::kInstrBytes);
+}
+
+TEST(Cpu, InvalidPcTraps)
+{
+    RunFixture fix(R"(
+        addi x5, x0, 64
+        jalr x0, x5, 0      ; jump outside the code segment
+    )");
+    EXPECT_EQ(fix.result.reason, StopReason::InvalidPc);
+    EXPECT_EQ(fix.result.executed, 2u);
+}
+
+TEST(Cpu, InstructionLimitStops)
+{
+    isa::Program prog = assembler::assemble(R"(
+    loop:
+        addi x5, x5, 1
+        jal x0, loop
+    )");
+    Cpu cpu(prog);
+    const auto res = cpu.run(1001);
+    EXPECT_EQ(res.reason, StopReason::InstructionLimit);
+    EXPECT_EQ(res.executed, 1001u);
+    EXPECT_EQ(cpu.instructionsRetired(), 1001u);
+}
+
+TEST(Cpu, RunAfterHaltIsNoop)
+{
+    isa::Program prog = assembler::assemble("halt");
+    Cpu cpu(prog);
+    EXPECT_EQ(cpu.run(10).reason, StopReason::Halted);
+    const auto again = cpu.run(10);
+    EXPECT_EQ(again.reason, StopReason::Halted);
+    EXPECT_EQ(again.executed, 0u);
+}
+
+TEST(Cpu, ResetRestoresInitialState)
+{
+    isa::Program prog = assembler::assemble(R"(
+        .data
+        buf: .zero 8
+        .text
+        addi x5, x0, 9
+        sd x5, buf(x0)
+        halt
+    )");
+    Cpu cpu(prog);
+    (void)cpu.run(100);
+    EXPECT_EQ(cpu.intReg(5), 9);
+    cpu.reset();
+    EXPECT_EQ(cpu.intReg(5), 0);
+    EXPECT_EQ(cpu.pc(), prog.entry());
+    EXPECT_EQ(cpu.instructionsRetired(), 0u);
+    EXPECT_EQ(cpu.memory().read(prog.data_base, 8), 0u);
+    // And it runs again identically.
+    EXPECT_EQ(cpu.run(100).reason, StopReason::Halted);
+    EXPECT_EQ(cpu.intReg(5), 9);
+}
+
+TEST(Cpu, StackPointerInitialized)
+{
+    isa::Program prog = assembler::assemble("halt");
+    Cpu cpu(prog);
+    EXPECT_EQ(static_cast<std::uint64_t>(cpu.intReg(isa::kRegSp)),
+              prog.stack_top);
+}
+
+/** Collects every dynamic record for trace assertions. */
+struct RecordingSink : vm::TraceSink
+{
+    std::vector<vm::DynInstr> records;
+
+    void
+    onInstruction(const vm::DynInstr &dyn) override
+    {
+        records.push_back(dyn);
+    }
+};
+
+TEST(CpuTrace, RecordsMemoryAccesses)
+{
+    isa::Program prog = assembler::assemble(R"(
+        .data
+        buf: .zero 16
+        .text
+        addi x5, x0, 3
+        sd x5, buf(x0)
+        ld x6, buf(x0)
+        halt
+    )");
+    Cpu cpu(prog);
+    RecordingSink sink;
+    (void)cpu.run(100, &sink);
+    ASSERT_EQ(sink.records.size(), 4u);
+    EXPECT_EQ(sink.records[1].is_store, true);
+    EXPECT_EQ(sink.records[1].mem_addr, prog.data_base);
+    EXPECT_EQ(sink.records[1].mem_bytes, 8);
+    EXPECT_EQ(sink.records[2].is_load, true);
+    EXPECT_EQ(sink.records[2].mem_addr, prog.data_base);
+}
+
+TEST(CpuTrace, RecordsBranchOutcomes)
+{
+    isa::Program prog = assembler::assemble(R"(
+        addi x5, x0, 1
+        beq x5, x0, skip    ; not taken
+        bne x5, x0, skip    ; taken
+        addi x6, x0, 9
+    skip:
+        halt
+    )");
+    Cpu cpu(prog);
+    RecordingSink sink;
+    (void)cpu.run(100, &sink);
+    ASSERT_GE(sink.records.size(), 3u);
+    EXPECT_TRUE(sink.records[1].is_cond_branch);
+    EXPECT_FALSE(sink.records[1].taken);
+    EXPECT_EQ(sink.records[1].next_pc,
+              sink.records[1].pc + isa::kInstrBytes);
+    EXPECT_TRUE(sink.records[2].is_cond_branch);
+    EXPECT_TRUE(sink.records[2].taken);
+    EXPECT_NE(sink.records[2].next_pc,
+              sink.records[2].pc + isa::kInstrBytes);
+}
+
+TEST(CpuTrace, PcSequenceIsConsistent)
+{
+    isa::Program prog = assembler::assemble(R"(
+        addi x5, x0, 3
+    loop:
+        addi x5, x5, -1
+        bne x5, x0, loop
+        halt
+    )");
+    Cpu cpu(prog);
+    RecordingSink sink;
+    (void)cpu.run(100, &sink);
+    for (std::size_t i = 0; i + 1 < sink.records.size(); ++i)
+        EXPECT_EQ(sink.records[i].next_pc, sink.records[i + 1].pc);
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Edge-case semantics: integer overflow corners, fp special values,
+ * conversion clamping, and the profiler metrics those paths feed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "asm/assembler.hh"
+#include "mica/profiler.hh"
+#include "vm/cpu.hh"
+
+namespace {
+
+using namespace mica;
+namespace m = metrics::midx;
+
+std::unique_ptr<vm::Cpu>
+runToHalt(const std::string &source)
+{
+    auto cpu = std::make_unique<vm::Cpu>(assembler::assemble(source));
+    const auto res = cpu->run(100000);
+    EXPECT_EQ(res.reason, vm::StopReason::Halted);
+    return cpu;
+}
+
+TEST(EdgeSemantics, DivOverflowWrapsLikeRiscV)
+{
+    // INT64_MIN / -1 overflows; RISC-V defines the result as the dividend.
+    auto cpu = runToHalt(R"(
+        .data
+        min: .word64 0x8000000000000000
+        .text
+        ld x5, min(x0)
+        addi x6, x0, -1
+        div x10, x5, x6
+        rem x11, x5, x6
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(cpu->intReg(11), 0);
+}
+
+TEST(EdgeSemantics, MulWrapsModulo64)
+{
+    auto cpu = runToHalt(R"(
+        .data
+        big: .word64 0x8000000000000001
+        .text
+        ld x5, big(x0)
+        addi x6, x0, 2
+        mul x10, x5, x6
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), 2); // (2^63+1)*2 mod 2^64 = 2
+}
+
+TEST(EdgeSemantics, ShiftAmountsAreMasked)
+{
+    auto cpu = runToHalt(R"(
+        addi x5, x0, 1
+        addi x6, x0, 65      ; 65 & 63 == 1
+        sll x10, x5, x6
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), 2);
+}
+
+TEST(EdgeSemantics, SraiPreservesSignAcrossFullShift)
+{
+    auto cpu = runToHalt(R"(
+        addi x5, x0, -1
+        srai x10, x5, 63
+        srli x11, x5, 63
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), -1);
+    EXPECT_EQ(cpu->intReg(11), 1);
+}
+
+TEST(EdgeSemantics, FsqrtOfNegativeClampsToZero)
+{
+    auto cpu = runToHalt(R"(
+        .data
+        neg: .double -4.0
+        .text
+        fld f1, neg(x0)
+        fsqrt f2, f1
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(cpu->fpReg(2), 0.0)
+        << "domain is clamped, no NaN escapes";
+}
+
+TEST(EdgeSemantics, CvtfiClampsAtInt64Bounds)
+{
+    auto cpu = runToHalt(R"(
+        .data
+        huge:  .double 1e300
+        nhuge: .double -1e300
+        .text
+        fld f1, huge(x0)
+        cvtfi x10, f1
+        fld f2, nhuge(x0)
+        cvtfi x11, f2
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(cpu->intReg(11), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(EdgeSemantics, CvtfiOfNanIsZero)
+{
+    auto cpu = runToHalt(R"(
+        .data
+        zero: .double 0.0
+        .text
+        fld f1, zero(x0)
+        fdiv f2, f1, f1     ; 0/0 = NaN
+        cvtfi x10, f2
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), 0);
+}
+
+TEST(EdgeSemantics, FpDivisionByZeroIsInf)
+{
+    auto cpu = runToHalt(R"(
+        .data
+        one:  .double 1.0
+        zero: .double 0.0
+        .text
+        fld f1, one(x0)
+        fld f2, zero(x0)
+        fdiv f3, f1, f2
+        fcmplt x10, f1, f3  ; 1.0 < inf
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), 1);
+}
+
+TEST(EdgeSemantics, JalrWithOffset)
+{
+    auto cpu = runToHalt(R"(
+        addi x5, x0, 0x10000 ; code base
+        jalr x1, x5, 24      ; jump to the 4th instruction
+        halt                 ; skipped
+        addi x10, x0, 9
+        halt
+    )");
+    EXPECT_EQ(cpu->intReg(10), 9);
+    EXPECT_EQ(static_cast<std::uint64_t>(cpu->intReg(1)),
+              0x10000u + 2 * isa::kInstrBytes);
+}
+
+TEST(EdgeSemantics, ProfilerCountsFmaddThreeOperands)
+{
+    vm::Cpu cpu(assembler::assemble(R"(
+    loop:
+        fmadd f1, f2, f3
+        jal x0, loop
+    )"));
+    profiler::MicaProfiler prof(1000);
+    (void)cpu.run(1000, &prof);
+    // fmadd reads fd, fs1, fs2 = 3 operands; jal reads none.
+    EXPECT_NEAR(prof.intervals().at(0)[m::RegInputOperands], 1.5, 0.01);
+}
+
+TEST(EdgeSemantics, ProfilerTracksGlobalStoreStrides)
+{
+    vm::Cpu cpu(assembler::assemble(R"(
+        .data
+        buf: .zero 65536
+        .text
+        addi x5, x0, buf
+    loop:
+        sd x6, 0(x5)
+        sd x6, 8(x5)
+        addi x5, x5, 16
+        andi x5, x5, 0xffff
+        addi x5, x5, buf
+        jal x0, loop
+    )"));
+    profiler::MicaProfiler prof(6000);
+    (void)cpu.run(6000, &prof);
+    const auto &v = prof.intervals().at(0);
+    EXPECT_GT(v[m::GlobalStoreStride64], 0.95)
+        << "consecutive stores are 8 or 8-after-16 bytes apart";
+    EXPECT_EQ(v[m::GlobalLoadStride64], 0.0) << "no loads at all";
+}
+
+TEST(EdgeSemantics, InstructionPageFootprintGrowsWithCode)
+{
+    // >512 instructions span multiple 4K instruction pages.
+    std::string body;
+    for (int i = 0; i < 1200; ++i)
+        body += "addi x5, x5, 1\n";
+    vm::Cpu cpu(assembler::assemble("loop:\n" + body + "jal x0, loop"));
+    profiler::MicaProfiler prof(3000);
+    (void)cpu.run(3000, &prof);
+    EXPECT_GE(prof.intervals().at(0)[m::InstrFootprint4K], 2.0);
+}
+
+TEST(EdgeSemantics, GasOutperformsGagOnAliasedBranches)
+{
+    // Two branches with identical (random-ish) global history but
+    // opposite fixed outcomes: a per-address table separates them, a
+    // purely global table sees conflicting updates.
+    vm::Cpu cpu(assembler::assemble(R"(
+        .data
+        mult: .word64 6364136223846793005
+        .text
+        ld x9, mult(x0)
+        addi x6, x0, 7
+    loop:
+        mul x6, x6, x9
+        addi x6, x6, 12345
+        srli x7, x6, 60
+        andi x7, x7, 1
+        beq x7, x0, a_nt      ; random branch (shifts history)
+        addi x8, x8, 1
+    a_nt:
+        beq x0, x0, b_t       ; always taken
+        nop
+    b_t:
+        bne x0, x0, c_nt      ; never taken
+    c_nt:
+        jal x0, loop
+    )"));
+    profiler::MicaProfiler prof(30000);
+    (void)cpu.run(30000, &prof);
+    const auto &v = prof.intervals().at(0);
+    EXPECT_LT(v[m::PpmGas12], v[m::PpmGag12] + 1e-9);
+    EXPECT_LT(v[m::PpmPas12], 0.2);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the Jacobi eigensolver and covariance computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/eigen.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using mica::stats::Matrix;
+
+TEST(Eigen, DiagonalMatrix)
+{
+    Matrix d = Matrix::fromRows({{3, 0, 0}, {0, 7, 0}, {0, 0, 1}});
+    const auto e = mica::stats::jacobiEigenSymmetric(d);
+    ASSERT_EQ(e.values.size(), 3u);
+    EXPECT_NEAR(e.values[0], 7.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-10);
+}
+
+TEST(Eigen, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix m = Matrix::fromRows({{2, 1}, {1, 2}});
+    const auto e = mica::stats::jacobiEigenSymmetric(m);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(e.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+    EXPECT_NEAR(std::fabs(e.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(Eigen, NonSquareThrows)
+{
+    Matrix m(2, 3);
+    EXPECT_THROW((void)mica::stats::jacobiEigenSymmetric(m),
+                 std::invalid_argument);
+}
+
+/** Random symmetric matrices of several sizes: check the decomposition
+ * properties rather than specific values. */
+class EigenPropertyTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EigenPropertyTest, ReconstructsAndIsOrthogonal)
+{
+    const std::size_t n = GetParam();
+    mica::stats::Rng rng(n * 17 + 1);
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            m(i, j) = m(j, i) = rng.uniform(-2.0, 2.0);
+
+    const auto e = mica::stats::jacobiEigenSymmetric(m);
+
+    // Eigenvalues sorted descending.
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        EXPECT_GE(e.values[i], e.values[i + 1] - 1e-12);
+
+    // V^T V == I (orthonormal columns).
+    const Matrix vtv = e.vectors.transposed().multiply(e.vectors);
+    EXPECT_LT(vtv.maxAbsDiff(Matrix::identity(n)), 1e-8);
+
+    // V diag(lambda) V^T == M.
+    Matrix lam(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        lam(i, i) = e.values[i];
+    const Matrix rebuilt =
+        e.vectors.multiply(lam).multiply(e.vectors.transposed());
+    EXPECT_LT(rebuilt.maxAbsDiff(m), 1e-8);
+
+    // Trace is preserved.
+    double trace = 0.0, sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        trace += m(i, i);
+        sum += e.values[i];
+    }
+    EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 34, 69));
+
+TEST(Covariance, KnownValues)
+{
+    // Two perfectly correlated columns.
+    Matrix m = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+    const Matrix cov = mica::stats::covarianceMatrix(m);
+    EXPECT_NEAR(cov(0, 0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cov(1, 1), 8.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(cov(0, 1), cov(1, 0));
+}
+
+TEST(Covariance, ZeroForConstantColumns)
+{
+    Matrix m = Matrix::fromRows({{5, 1}, {5, 2}, {5, 3}});
+    const Matrix cov = mica::stats::covarianceMatrix(m);
+    EXPECT_EQ(cov(0, 0), 0.0);
+    EXPECT_EQ(cov(0, 1), 0.0);
+}
+
+TEST(Covariance, PositiveSemiDefinite)
+{
+    mica::stats::Rng rng(33);
+    Matrix m(50, 6);
+    for (std::size_t r = 0; r < 50; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            m(r, c) = rng.nextGaussian();
+    const auto e =
+        mica::stats::jacobiEigenSymmetric(mica::stats::covarianceMatrix(m));
+    for (double v : e.values)
+        EXPECT_GE(v, -1e-10);
+}
+
+} // namespace

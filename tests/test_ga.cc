@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the genetic-algorithm feature selector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ga/feature_select.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using mica::ga::FeatureSelector;
+using mica::ga::GaOptions;
+using mica::stats::Matrix;
+
+/**
+ * Synthetic data set: the first `informative` columns are independent
+ * signals, the rest are noisy copies of column 0 (redundant).
+ */
+Matrix
+syntheticPhases(std::size_t rows, std::size_t informative,
+                std::size_t total, mica::stats::Rng &rng)
+{
+    Matrix m(rows, total);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < informative; ++c)
+            m(r, c) = rng.nextGaussian();
+        for (std::size_t c = informative; c < total; ++c)
+            m(r, c) = m(r, 0) + 0.01 * rng.nextGaussian();
+    }
+    return m;
+}
+
+TEST(FeatureSelector, TooFewRowsThrows)
+{
+    Matrix m(2, 5);
+    EXPECT_THROW(FeatureSelector sel(m), std::invalid_argument);
+}
+
+TEST(FeatureSelector, FullSubsetHasPerfectFitness)
+{
+    mica::stats::Rng rng(1);
+    const Matrix m = syntheticPhases(40, 4, 10, rng);
+    FeatureSelector sel(m);
+    std::vector<std::size_t> all(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        all[i] = i;
+    EXPECT_NEAR(sel.fitnessOf(all), 1.0, 1e-9);
+}
+
+TEST(FeatureSelector, EmptySubsetIsZero)
+{
+    mica::stats::Rng rng(2);
+    const Matrix m = syntheticPhases(30, 3, 6, rng);
+    FeatureSelector sel(m);
+    EXPECT_EQ(sel.fitnessOf({}), 0.0);
+}
+
+TEST(FeatureSelector, InformativeSubsetBeatsRedundantSubset)
+{
+    mica::stats::Rng rng(3);
+    const Matrix m = syntheticPhases(60, 4, 12, rng);
+    FeatureSelector sel(m);
+    const std::size_t informative[] = {0, 1, 2, 3};
+    const std::size_t redundant[] = {0, 4, 5, 6}; // copies of column 0
+    EXPECT_GT(sel.fitnessOf(informative),
+              sel.fitnessOf(redundant) + 0.1);
+}
+
+TEST(FeatureSelector, GaFindsInformativeColumns)
+{
+    mica::stats::Rng rng(4);
+    const Matrix m = syntheticPhases(60, 4, 16, rng);
+    FeatureSelector sel(m);
+    GaOptions opts;
+    opts.target_count = 4;
+    opts.seed = 11;
+    const auto result = sel.select(opts);
+    ASSERT_EQ(result.selected.size(), 4u);
+    // Columns >= 4 are near-copies of column 0, so the distinct signal
+    // classes are {col0-like, 1, 2, 3}; a good subset covers most of them
+    // without wasting genes on duplicate col0 copies.
+    std::set<std::size_t> classes;
+    for (std::size_t g : result.selected)
+        classes.insert(g >= 4 ? 0 : g);
+    EXPECT_GE(classes.size(), 3u)
+        << "GA wasted genes on redundant columns";
+    EXPECT_GT(result.fitness, 0.9);
+}
+
+TEST(FeatureSelector, ExactCardinalityAndNoDuplicates)
+{
+    mica::stats::Rng rng(5);
+    const Matrix m = syntheticPhases(40, 5, 20, rng);
+    FeatureSelector sel(m);
+    for (std::size_t k : {1u, 3u, 7u, 20u}) {
+        GaOptions opts;
+        opts.target_count = k;
+        opts.max_generations = 8;
+        const auto result = sel.select(opts);
+        ASSERT_EQ(result.selected.size(), k);
+        auto sorted = result.selected;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                    sorted.end());
+        for (std::size_t g : sorted)
+            EXPECT_LT(g, 20u);
+    }
+}
+
+TEST(FeatureSelector, BadCardinalityThrows)
+{
+    mica::stats::Rng rng(6);
+    const Matrix m = syntheticPhases(30, 3, 8, rng);
+    FeatureSelector sel(m);
+    GaOptions opts;
+    opts.target_count = 0;
+    EXPECT_THROW((void)sel.select(opts), std::invalid_argument);
+    opts.target_count = 9;
+    EXPECT_THROW((void)sel.select(opts), std::invalid_argument);
+}
+
+TEST(FeatureSelector, DeterministicForSeed)
+{
+    mica::stats::Rng rng(7);
+    const Matrix m = syntheticPhases(40, 4, 12, rng);
+    FeatureSelector sel(m);
+    GaOptions opts;
+    opts.target_count = 5;
+    opts.seed = 77;
+    const auto a = sel.select(opts);
+    const auto b = sel.select(opts);
+    EXPECT_EQ(a.selected, b.selected);
+    EXPECT_EQ(a.fitness, b.fitness);
+}
+
+TEST(FeatureSelector, SweepIsBroadlyIncreasing)
+{
+    mica::stats::Rng rng(8);
+    const Matrix m = syntheticPhases(50, 6, 14, rng);
+    FeatureSelector sel(m);
+    GaOptions opts;
+    opts.max_generations = 16;
+    opts.patience = 6;
+    const auto sweep = sel.sweepSubsetSizes(8, opts);
+    ASSERT_EQ(sweep.size(), 8u);
+    // Fitness with many features must beat fitness with one feature.
+    EXPECT_GT(sweep.back().fitness, sweep.front().fitness);
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        EXPECT_EQ(sweep[i].selected.size(), i + 1);
+}
+
+TEST(FeatureSelector, FitnessWithinPearsonBounds)
+{
+    mica::stats::Rng rng(9);
+    const Matrix m = syntheticPhases(30, 4, 10, rng);
+    FeatureSelector sel(m);
+    for (std::size_t c = 0; c < 10; ++c) {
+        const std::size_t one[] = {c};
+        const double f = sel.fitnessOf(one);
+        EXPECT_GE(f, -1.0 - 1e-12);
+        EXPECT_LE(f, 1.0 + 1e-12);
+    }
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the SRISC ISA: opcode metadata, encode/decode round
+ * trips, operand extraction and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace {
+
+using namespace mica::isa;
+
+constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+TEST(Opcode, EveryOpcodeHasMetadata)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(mnemonic(op).empty());
+    }
+}
+
+TEST(Opcode, MnemonicsAreUnique)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i)
+        for (std::size_t j = i + 1; j < kNumOpcodes; ++j)
+            EXPECT_NE(mnemonic(static_cast<Opcode>(i)),
+                      mnemonic(static_cast<Opcode>(j)));
+}
+
+TEST(Opcode, MnemonicRoundTrip)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromMnemonic(mnemonic(op)), op);
+    }
+}
+
+TEST(Opcode, UnknownMnemonic)
+{
+    EXPECT_EQ(opcodeFromMnemonic("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Opcode, Predicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::Ld));
+    EXPECT_TRUE(isLoad(Opcode::Fld));
+    EXPECT_FALSE(isLoad(Opcode::Sd));
+    EXPECT_TRUE(isStore(Opcode::Sb));
+    EXPECT_TRUE(isStore(Opcode::Fsd));
+    EXPECT_TRUE(isCondBranch(Opcode::Beq));
+    EXPECT_FALSE(isCondBranch(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jalr));
+    EXPECT_TRUE(isControl(Opcode::Bgeu));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_TRUE(isFpOp(Opcode::Fadd));
+    EXPECT_TRUE(isFpOp(Opcode::Fld));
+    EXPECT_TRUE(isFpOp(Opcode::Cvtif));
+    EXPECT_TRUE(isFpOp(Opcode::Fmov));
+    EXPECT_FALSE(isFpOp(Opcode::Add));
+}
+
+TEST(Opcode, MemBytes)
+{
+    EXPECT_EQ(opcodeInfo(Opcode::Lb).mem_bytes, 1);
+    EXPECT_EQ(opcodeInfo(Opcode::Lh).mem_bytes, 2);
+    EXPECT_EQ(opcodeInfo(Opcode::Lw).mem_bytes, 4);
+    EXPECT_EQ(opcodeInfo(Opcode::Ld).mem_bytes, 8);
+    EXPECT_EQ(opcodeInfo(Opcode::Fsd).mem_bytes, 8);
+    EXPECT_EQ(opcodeInfo(Opcode::Add).mem_bytes, 0);
+}
+
+TEST(Opcode, RegisterNames)
+{
+    EXPECT_EQ(intRegName(0), "x0");
+    EXPECT_EQ(intRegName(31), "x31");
+    EXPECT_EQ(fpRegName(7), "f7");
+}
+
+/** Encode/decode round trip, parameterized over all opcodes. */
+class EncodeRoundTripTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EncodeRoundTripTest, RoundTrips)
+{
+    Instruction in;
+    in.op = static_cast<Opcode>(GetParam());
+    in.rd = 5;
+    in.rs1 = 17;
+    in.rs2 = 31;
+    for (std::int64_t imm : {0L, 1L, -1L, 4096L, -4096L,
+                             static_cast<long>(kImmMax),
+                             static_cast<long>(kImmMin)}) {
+        in.imm = imm;
+        const Instruction out = decode(encode(in));
+        EXPECT_EQ(out, in) << "imm=" << imm;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodeRoundTripTest,
+    ::testing::Range<std::size_t>(0, kNumOpcodes));
+
+TEST(Encode, ImmediateOutOfRangeThrows)
+{
+    Instruction in{Opcode::Addi, 1, 2, 0, kImmMax + 1};
+    EXPECT_THROW((void)encode(in), std::out_of_range);
+    in.imm = kImmMin - 1;
+    EXPECT_THROW((void)encode(in), std::out_of_range);
+}
+
+TEST(Encode, RegisterOutOfRangeThrows)
+{
+    Instruction in{Opcode::Add, 32, 0, 0, 0};
+    EXPECT_THROW((void)encode(in), std::out_of_range);
+}
+
+TEST(Decode, UnknownOpcodeFieldThrows)
+{
+    const std::uint64_t word = 0xfffULL << 52;
+    EXPECT_THROW((void)decode(word), std::invalid_argument);
+}
+
+TEST(Instruction, SourcesRRR)
+{
+    Instruction in{Opcode::Add, 3, 4, 5, 0};
+    const auto src = in.sources();
+    ASSERT_EQ(src.count, 2);
+    EXPECT_EQ(src.regs[0].index, 4);
+    EXPECT_EQ(src.regs[1].index, 5);
+    EXPECT_EQ(src.regs[0].file, RegOperand::File::Int);
+    ASSERT_TRUE(in.hasDest());
+    EXPECT_EQ(in.dest().index, 3);
+}
+
+TEST(Instruction, SourcesStore)
+{
+    Instruction in{Opcode::Sd, 0, 10, 11, 16};
+    const auto src = in.sources();
+    ASSERT_EQ(src.count, 2);
+    EXPECT_FALSE(in.hasDest());
+}
+
+TEST(Instruction, SourcesFpStore)
+{
+    Instruction in{Opcode::Fsd, 0, 10, 3, 0};
+    const auto src = in.sources();
+    ASSERT_EQ(src.count, 2);
+    EXPECT_EQ(src.regs[0].file, RegOperand::File::Int);
+    EXPECT_EQ(src.regs[1].file, RegOperand::File::Fp);
+}
+
+TEST(Instruction, FmaddReadsAccumulator)
+{
+    Instruction in{Opcode::Fmadd, 1, 2, 3, 0};
+    const auto src = in.sources();
+    ASSERT_EQ(src.count, 3);
+    EXPECT_EQ(src.regs[0].index, 1); // rd is read
+    ASSERT_TRUE(in.hasDest());
+    EXPECT_EQ(in.dest().file, RegOperand::File::Fp);
+}
+
+TEST(Instruction, FcmpWritesIntFile)
+{
+    Instruction in{Opcode::Fcmplt, 7, 1, 2, 0};
+    EXPECT_EQ(in.dest().file, RegOperand::File::Int);
+    const auto src = in.sources();
+    EXPECT_EQ(src.regs[0].file, RegOperand::File::Fp);
+}
+
+TEST(Instruction, ConversionsCrossFiles)
+{
+    Instruction itf{Opcode::Cvtif, 4, 9, 0, 0};
+    EXPECT_EQ(itf.dest().file, RegOperand::File::Fp);
+    EXPECT_EQ(itf.sources().regs[0].file, RegOperand::File::Int);
+    Instruction fti{Opcode::Cvtfi, 4, 9, 0, 0};
+    EXPECT_EQ(fti.dest().file, RegOperand::File::Int);
+    EXPECT_EQ(fti.sources().regs[0].file, RegOperand::File::Fp);
+}
+
+TEST(Instruction, WritesToX0Discarded)
+{
+    Instruction in{Opcode::Add, 0, 1, 2, 0};
+    EXPECT_FALSE(in.hasDest());
+}
+
+TEST(Instruction, CallAndReturnDetection)
+{
+    Instruction call{Opcode::Jal, kRegRa, 0, 0, 64};
+    EXPECT_TRUE(call.isCall());
+    EXPECT_FALSE(call.isReturn());
+
+    Instruction icall{Opcode::Jalr, kRegRa, 9, 0, 0};
+    EXPECT_TRUE(icall.isCall());
+
+    Instruction ret{Opcode::Jalr, kRegZero, kRegRa, 0, 0};
+    EXPECT_TRUE(ret.isReturn());
+    EXPECT_FALSE(ret.isCall());
+
+    Instruction plain{Opcode::Jal, kRegZero, 0, 0, 8};
+    EXPECT_FALSE(plain.isCall());
+    EXPECT_FALSE(plain.isReturn());
+}
+
+TEST(Instruction, MoveDetection)
+{
+    Instruction li{Opcode::Addi, 5, kRegZero, 0, 42};
+    EXPECT_TRUE(li.isMove());
+    Instruction addi{Opcode::Addi, 5, 6, 0, 42};
+    EXPECT_FALSE(addi.isMove());
+    Instruction fmov{Opcode::Fmov, 1, 2, 0, 0};
+    EXPECT_TRUE(fmov.isMove());
+}
+
+TEST(Instruction, Disassembly)
+{
+    EXPECT_EQ((Instruction{Opcode::Add, 3, 4, 5, 0}).disassemble(),
+              "add x3, x4, x5");
+    EXPECT_EQ((Instruction{Opcode::Addi, 3, 4, 0, -7}).disassemble(),
+              "addi x3, x4, -7");
+    EXPECT_EQ((Instruction{Opcode::Ld, 3, 4, 0, 16}).disassemble(),
+              "ld x3, 16(x4)");
+    EXPECT_EQ((Instruction{Opcode::Sd, 0, 4, 7, 8}).disassemble(),
+              "sd x7, 8(x4)");
+    EXPECT_EQ((Instruction{Opcode::Fadd, 1, 2, 3, 0}).disassemble(),
+              "fadd f1, f2, f3");
+    EXPECT_EQ((Instruction{Opcode::Fld, 1, 4, 0, 24}).disassemble(),
+              "fld f1, 24(x4)");
+    EXPECT_EQ((Instruction{Opcode::Beq, 0, 1, 2, -16}).disassemble(),
+              "beq x1, x2, -16");
+    EXPECT_EQ((Instruction{Opcode::Jal, 1, 0, 0, 32}).disassemble(),
+              "jal x1, 32");
+    EXPECT_EQ((Instruction{Opcode::Nop, 0, 0, 0, 0}).disassemble(), "nop");
+    EXPECT_EQ((Instruction{Opcode::Fcmplt, 3, 1, 2, 0}).disassemble(),
+              "fcmplt x3, f1, f2");
+}
+
+} // namespace

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the synthetic kernel library: every kernel must emit a
+ * well-formed subroutine that runs trap-free, and the headline kernels
+ * must exhibit the behavioural signature they are designed for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "mica/profiler.hh"
+#include "vm/cpu.hh"
+#include "workloads/kernels.hh"
+
+namespace {
+
+using namespace mica;
+namespace m = metrics::midx;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+/** Wrap a kernel subroutine in a driver loop and profile one interval. */
+metrics::CharacteristicVector
+profileKernel(
+    const std::function<Label(ProgramBuilder &, stats::Rng &)> &emit,
+    std::uint64_t budget = 40000, std::uint64_t seed = 7)
+{
+    ProgramBuilder pb("kernel");
+    stats::Rng rng(seed);
+    Label main = pb.newLabel();
+    pb.jump(main);
+    Label entry = emit(pb, rng);
+    pb.bind(main);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.call(entry);
+    pb.jump(top);
+
+    vm::Cpu cpu(pb.build());
+    profiler::MicaProfiler prof(budget);
+    const auto run = cpu.run(budget, &prof);
+    EXPECT_EQ(run.reason, vm::StopReason::InstructionLimit)
+        << "kernel trapped";
+    EXPECT_EQ(prof.intervals().size(), 1u);
+    return prof.intervals().at(0);
+}
+
+// --- Every kernel family runs trap-free (parameterized smoke test). ---
+
+struct KernelCase
+{
+    const char *name;
+    std::function<Label(ProgramBuilder &, stats::Rng &)> emit;
+};
+
+class KernelSmokeTest : public ::testing::TestWithParam<KernelCase>
+{
+};
+
+TEST_P(KernelSmokeTest, RunsTrapFree)
+{
+    const auto v = profileKernel(GetParam().emit);
+    double mix_total = v[m::MixMemRead] + v[m::MixMemWrite];
+    for (std::size_t i = m::MixControl; i <= m::MixNopOther; ++i)
+        mix_total += v[i];
+    EXPECT_GT(mix_total, 0.5) << "implausible instruction mix";
+    EXPECT_GT(v[m::Ilp32], 0.0);
+}
+
+const KernelCase kKernelCases[] = {
+    {"stream_triad_fp",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         return emitStream(pb, {});
+     }},
+    {"stream_dot_int",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         workloads::StreamParams p;
+         p.mode = workloads::StreamParams::Mode::Dot;
+         p.fp = false;
+         return emitStream(pb, p);
+     }},
+    {"stream_copy_strided",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         workloads::StreamParams p;
+         p.mode = workloads::StreamParams::Mode::Copy;
+         p.stride = 8;
+         return emitStream(pb, p);
+     }},
+    {"stencil",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         return emitStencil2D(pb, {});
+     }},
+    {"matmul",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitMatMul(pb, {}, rng);
+     }},
+    {"conv_fp",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitConv2D(pb, {}, rng);
+     }},
+    {"conv_int",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         workloads::ConvParams p;
+         p.fp = false;
+         return emitConv2D(pb, p, rng);
+     }},
+    {"fir",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitFir(pb, {}, rng);
+     }},
+    {"fir_parallel",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         workloads::FirParams p;
+         p.parallel = 2;
+         return emitFir(pb, p, rng);
+     }},
+    {"iir",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitIir(pb, {}, rng);
+     }},
+    {"fft",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitFftPass(pb, {}, rng);
+     }},
+    {"fp_math",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitFpMath(pb, {}, rng);
+     }},
+    {"reduce_int",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         return emitReduceChain(pb, {});
+     }},
+    {"reduce_fp",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         workloads::ReduceChainParams p;
+         p.fp = true;
+         return emitReduceChain(pb, p);
+     }},
+    {"pointer_chase",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitPointerChase(pb, {}, rng);
+     }},
+    {"hash_probe",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitHashProbe(pb, {}, rng);
+     }},
+    {"hash_probe_update",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         workloads::HashProbeParams p;
+         p.update = true;
+         return emitHashProbe(pb, p, rng);
+     }},
+    {"gather",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitGather(pb, {}, rng);
+     }},
+    {"gather_scatter",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         workloads::GatherParams p;
+         p.scatter = true;
+         return emitGather(pb, p, rng);
+     }},
+    {"histogram",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitHistogram(pb, {}, rng);
+     }},
+    {"tree_walk",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitTreeWalk(pb, {}, rng);
+     }},
+    {"sort_pass",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitSortPass(pb, {}, rng);
+     }},
+    {"random_branch",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         return emitRandomBranch(pb, {});
+     }},
+    {"random_branch_pattern",
+     [](ProgramBuilder &pb, stats::Rng &) {
+         workloads::RandomBranchParams p;
+         p.pattern_bits = 6;
+         return emitRandomBranch(pb, p);
+     }},
+    {"code_bloat",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitCodeBloat(pb, {}, rng);
+     }},
+    {"code_bloat_sequential",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         workloads::CodeBloatParams p;
+         p.sequential = true;
+         p.fp_fraction = 0.5;
+         return emitCodeBloat(pb, p, rng);
+     }},
+    {"string_match",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitStringMatch(pb, {}, rng);
+     }},
+    {"smith_waterman",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitSmithWaterman(pb, {}, rng);
+     }},
+    {"profile_hmm",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitProfileHmm(pb, {}, rng);
+     }},
+    {"dct",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitDct8x8(pb, {}, rng);
+     }},
+    {"sad",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitSad(pb, {}, rng);
+     }},
+    {"quantize",
+     [](ProgramBuilder &pb, stats::Rng &rng) {
+         return emitQuantize(pb, {}, rng);
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSmokeTest,
+                         ::testing::ValuesIn(kKernelCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+// --- Signature checks for the headline kernels. ---
+
+TEST(KernelSignature, StreamFpTriadIsFpAndMemoryHeavy)
+{
+    const auto v = profileKernel([](ProgramBuilder &pb, stats::Rng &) {
+        return emitStream(pb, {});
+    });
+    EXPECT_GT(v[m::MixMemRead], 0.15);
+    EXPECT_GT(v[m::MixMemWrite], 0.05);
+    EXPECT_GT(v[m::MixFpArith] + v[m::MixFpMul], 0.15);
+    // Default unroll of 2 advances each static load by 16 bytes.
+    EXPECT_LT(v[m::LocalLoadStride8], 0.1);
+    EXPECT_GT(v[m::LocalLoadStride64], 0.9);
+}
+
+TEST(KernelSignature, PointerChaseIsSerialAndLoadHeavy)
+{
+    const auto chase = profileKernel([](ProgramBuilder &pb,
+                                        stats::Rng &rng) {
+        workloads::PointerChaseParams p;
+        p.payload = false;
+        return emitPointerChase(pb, p, rng);
+    });
+    const auto stream = profileKernel([](ProgramBuilder &pb, stats::Rng &) {
+        return emitStream(pb, {});
+    });
+    EXPECT_GT(chase[m::MixMemRead], 0.3);
+    EXPECT_LT(chase[m::Ilp256], stream[m::Ilp256])
+        << "dependent loads must limit ILP vs streaming";
+    // Random node order: global strides mostly large.
+    EXPECT_LT(chase[m::GlobalLoadStride64], 0.3);
+}
+
+TEST(KernelSignature, HistogramIsStoreHeavyWithSmallFootprint)
+{
+    const auto v = profileKernel([](ProgramBuilder &pb, stats::Rng &rng) {
+        return emitHistogram(pb, {}, rng);
+    });
+    EXPECT_GT(v[m::MixMemWrite], 0.09);
+    EXPECT_LT(v[m::DataFootprint4K], 4.0);
+}
+
+TEST(KernelSignature, RandomBranchTakenRateTracksThreshold)
+{
+    for (std::uint32_t thresh : {64u, 128u, 192u}) {
+        const auto v = profileKernel(
+            [thresh](ProgramBuilder &pb, stats::Rng &) {
+                workloads::RandomBranchParams p;
+                p.taken_threshold = thresh;
+                p.branches = 4096;
+                return emitRandomBranch(pb, p);
+            },
+            60000);
+        // Two of the three branches in the loop follow the threshold (the
+        // loop back-edge is nearly always taken); expected rate is
+        // (2*(t/256) + 1) / 3.
+        const double expected = (2.0 * thresh / 256.0 + 1.0) / 3.0;
+        EXPECT_NEAR(v[m::BranchTakenRate], expected, 0.06)
+            << "threshold " << thresh;
+    }
+}
+
+TEST(KernelSignature, RandomBranchIsUnpredictablePatternIsNot)
+{
+    const auto random = profileKernel([](ProgramBuilder &pb, stats::Rng &) {
+        workloads::RandomBranchParams p;
+        p.pattern_bits = 0;
+        return emitRandomBranch(pb, p);
+    });
+    const auto pattern = profileKernel([](ProgramBuilder &pb,
+                                          stats::Rng &) {
+        workloads::RandomBranchParams p;
+        p.pattern_bits = 4;
+        return emitRandomBranch(pb, p);
+    });
+    EXPECT_GT(random[m::PpmGag12], pattern[m::PpmGag12] + 0.05);
+    EXPECT_LT(pattern[m::PpmGag12], 0.1)
+        << "period-16 pattern is predictable with 12 bits of history";
+}
+
+TEST(KernelSignature, CodeBloatFootprintGrowsWithBlocks)
+{
+    const auto small = profileKernel([](ProgramBuilder &pb,
+                                        stats::Rng &rng) {
+        workloads::CodeBloatParams p;
+        p.blocks = 32;
+        return emitCodeBloat(pb, p, rng);
+    });
+    const auto large = profileKernel([](ProgramBuilder &pb,
+                                        stats::Rng &rng) {
+        workloads::CodeBloatParams p;
+        p.blocks = 512;
+        return emitCodeBloat(pb, p, rng);
+    });
+    EXPECT_GT(large[m::InstrFootprint64B],
+              2.0 * small[m::InstrFootprint64B]);
+    EXPECT_GT(large[m::MixCall], 0.01);
+    EXPECT_GT(large[m::MixReturn], 0.01);
+}
+
+TEST(KernelSignature, ReduceChainHasMinimalIlp)
+{
+    const auto v = profileKernel([](ProgramBuilder &pb, stats::Rng &) {
+        workloads::ReduceChainParams p;
+        p.length = 16384;
+        return emitReduceChain(pb, p);
+    });
+    EXPECT_LT(v[m::Ilp256], 2.5);
+}
+
+TEST(KernelSignature, StringMatchUsesByteStrides)
+{
+    const auto v = profileKernel([](ProgramBuilder &pb, stats::Rng &rng) {
+        return emitStringMatch(pb, {}, rng);
+    });
+    EXPECT_GT(v[m::LocalLoadStride8], 0.9);
+    EXPECT_GT(v[m::MixCondBranch], 0.1);
+}
+
+TEST(KernelSignature, SmithWatermanBranchesAreDataDependent)
+{
+    const auto v = profileKernel([](ProgramBuilder &pb, stats::Rng &rng) {
+        return emitSmithWaterman(pb, {}, rng);
+    }, 60000);
+    // Match/mismatch and max-selection branches over random sequences:
+    // clearly worse than a fully regular loop.
+    EXPECT_GT(v[m::PpmGag12], 0.02);
+    EXPECT_GT(v[m::MixCondBranch], 0.1);
+}
+
+TEST(KernelSignature, IirIsSerialFp)
+{
+    const auto iir = profileKernel([](ProgramBuilder &pb, stats::Rng &rng) {
+        return emitIir(pb, {}, rng);
+    });
+    EXPECT_GT(iir[m::MixFpMul] + iir[m::MixFpArith] + iir[m::MixMove],
+              0.3);
+    EXPECT_LT(iir[m::Ilp256], 8.0);
+}
+
+TEST(KernelSignature, GatherHasIrregularGlobalStrides)
+{
+    const auto v = profileKernel([](ProgramBuilder &pb, stats::Rng &rng) {
+        workloads::GatherParams p;
+        p.log2_range = 14;
+        return emitGather(pb, p, rng);
+    });
+    EXPECT_LT(v[m::GlobalLoadStride512], 0.8);
+}
+
+TEST(KernelSignature, DeterministicEmission)
+{
+    auto build = [] {
+        ProgramBuilder pb("k");
+        stats::Rng rng(99);
+        Label main = pb.newLabel();
+        pb.jump(main);
+        (void)emitSortPass(pb, {}, rng);
+        pb.bind(main);
+        pb.halt();
+        return pb.build();
+    };
+    const auto a = build();
+    const auto b = build();
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (std::size_t i = 0; i < a.code.size(); ++i)
+        ASSERT_EQ(a.code[i], b.code[i]);
+    EXPECT_EQ(a.data, b.data);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for k-means clustering and BIC scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/kmeans.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using mica::stats::KMeans;
+using mica::stats::KMeansResult;
+using mica::stats::Matrix;
+
+/** n points around each of k well-separated 2D centers. */
+Matrix
+blobs(std::size_t k, std::size_t per_cluster, mica::stats::Rng &rng,
+      double spread = 0.05)
+{
+    Matrix m(k * per_cluster, 2);
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+        const double cx = static_cast<double>(c) * 10.0;
+        const double cy = static_cast<double>(c % 2) * 10.0;
+        for (std::size_t i = 0; i < per_cluster; ++i, ++row) {
+            m(row, 0) = cx + spread * rng.nextGaussian();
+            m(row, 1) = cy + spread * rng.nextGaussian();
+        }
+    }
+    return m;
+}
+
+TEST(KMeans, EmptyDataThrows)
+{
+    Matrix m;
+    KMeans::Options opts;
+    EXPECT_THROW((void)KMeans::run(m, opts), std::invalid_argument);
+}
+
+TEST(KMeans, RecoversSeparatedClusters)
+{
+    mica::stats::Rng rng(1);
+    const Matrix m = blobs(4, 30, rng);
+    KMeans::Options opts;
+    opts.k = 4;
+    opts.restarts = 5;
+    opts.seed = 7;
+    const KMeansResult res = KMeans::run(m, opts);
+    // Every ground-truth blob maps to exactly one cluster.
+    std::set<std::size_t> used;
+    for (std::size_t blob = 0; blob < 4; ++blob) {
+        std::set<std::size_t> assigned;
+        for (std::size_t i = 0; i < 30; ++i)
+            assigned.insert(res.assignment[blob * 30 + i]);
+        ASSERT_EQ(assigned.size(), 1u) << "blob " << blob << " split";
+        used.insert(*assigned.begin());
+    }
+    EXPECT_EQ(used.size(), 4u);
+    EXPECT_LT(res.inertia, 10.0);
+}
+
+TEST(KMeans, KClampedToNumPoints)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {1, 1}, {2, 2}});
+    KMeans::Options opts;
+    opts.k = 10;
+    const KMeansResult res = KMeans::run(m, opts);
+    EXPECT_EQ(res.centers.rows(), 3u);
+}
+
+TEST(KMeans, SizesSumToN)
+{
+    mica::stats::Rng rng(2);
+    const Matrix m = blobs(3, 25, rng);
+    KMeans::Options opts;
+    opts.k = 5;
+    const KMeansResult res = KMeans::run(m, opts);
+    std::size_t total = 0;
+    for (std::size_t s : res.sizes)
+        total += s;
+    EXPECT_EQ(total, m.rows());
+}
+
+TEST(KMeans, NoEmptyClustersOnSeparableData)
+{
+    mica::stats::Rng rng(3);
+    const Matrix m = blobs(6, 20, rng);
+    KMeans::Options opts;
+    opts.k = 6;
+    opts.restarts = 3;
+    const KMeansResult res = KMeans::run(m, opts);
+    for (std::size_t s : res.sizes)
+        EXPECT_GT(s, 0u);
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    mica::stats::Rng rng(4);
+    const Matrix m = blobs(3, 40, rng);
+    KMeans::Options opts;
+    opts.k = 3;
+    opts.seed = 99;
+    const KMeansResult a = KMeans::run(m, opts);
+    const KMeansResult b = KMeans::run(m, opts);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.bic, b.bic);
+}
+
+TEST(KMeans, AssignmentMatchesNearestCenter)
+{
+    mica::stats::Rng rng(5);
+    const Matrix m = blobs(3, 30, rng);
+    KMeans::Options opts;
+    opts.k = 3;
+    const KMeansResult res = KMeans::run(m, opts);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        const double assigned = mica::stats::squaredDistance(
+            m.row(i), res.centers.row(res.assignment[i]));
+        for (std::size_t c = 0; c < res.centers.rows(); ++c)
+            EXPECT_LE(assigned,
+                      mica::stats::squaredDistance(m.row(i),
+                                                   res.centers.row(c)) +
+                          1e-9);
+    }
+}
+
+TEST(KMeans, RepresentativesBelongToTheirCluster)
+{
+    mica::stats::Rng rng(6);
+    const Matrix m = blobs(4, 20, rng);
+    KMeans::Options opts;
+    opts.k = 4;
+    const KMeansResult res = KMeans::run(m, opts);
+    const auto reps = res.representatives(m);
+    for (std::size_t c = 0; c < reps.size(); ++c) {
+        if (res.sizes[c] > 0) {
+            EXPECT_EQ(res.assignment[reps[c]], c);
+        }
+    }
+}
+
+TEST(KMeans, BicPrefersTrueK)
+{
+    mica::stats::Rng rng(7);
+    const Matrix m = blobs(4, 50, rng);
+    double best_bic = -1e300;
+    std::size_t best_k = 0;
+    for (std::size_t k : {2u, 3u, 4u, 6u, 8u}) {
+        KMeans::Options opts;
+        opts.k = k;
+        opts.restarts = 4;
+        opts.seed = 13;
+        const KMeansResult res = KMeans::run(m, opts);
+        if (res.bic > best_bic) {
+            best_bic = res.bic;
+            best_k = k;
+        }
+    }
+    EXPECT_EQ(best_k, 4u);
+}
+
+TEST(KMeans, PlusPlusInitAlsoRecovers)
+{
+    mica::stats::Rng rng(8);
+    const Matrix m = blobs(5, 30, rng);
+    KMeans::Options opts;
+    opts.k = 5;
+    opts.init = KMeans::Init::PlusPlus;
+    opts.restarts = 2;
+    const KMeansResult res = KMeans::run(m, opts);
+    EXPECT_LT(res.inertia, 10.0);
+}
+
+TEST(KMeans, MeanVariance)
+{
+    KMeansResult res;
+    res.inertia = 50.0;
+    EXPECT_DOUBLE_EQ(res.meanVariance(10), 5.0);
+    EXPECT_EQ(res.meanVariance(0), 0.0);
+}
+
+TEST(KMeans, MoreRestartsNeverWorseBic)
+{
+    mica::stats::Rng rng(9);
+    const Matrix m = blobs(4, 25, rng, 1.0);
+    KMeans::Options one;
+    one.k = 4;
+    one.restarts = 1;
+    one.seed = 3;
+    KMeans::Options many = one;
+    many.restarts = 8;
+    // With the same seed stream, the first restart of `many` equals the
+    // single restart of `one`; the best of 8 can only be >=.
+    EXPECT_GE(KMeans::run(m, many).bic, KMeans::run(m, one).bic - 1e-9);
+}
+
+/** Larger-k runs remain structurally valid (weights, sizes, reps). */
+class KMeansSweepTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(KMeansSweepTest, StructurallyValid)
+{
+    mica::stats::Rng rng(GetParam() * 31 + 7);
+    const Matrix m = blobs(6, 40, rng, 2.0);
+    KMeans::Options opts;
+    opts.k = GetParam();
+    opts.seed = GetParam();
+    const KMeansResult res = KMeans::run(m, opts);
+    EXPECT_EQ(res.assignment.size(), m.rows());
+    std::size_t total = 0;
+    for (std::size_t s : res.sizes)
+        total += s;
+    EXPECT_EQ(total, m.rows());
+    EXPECT_GE(res.inertia, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweepTest,
+                         ::testing::Values(1, 2, 5, 10, 40, 100, 240));
+
+} // namespace

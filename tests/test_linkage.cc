@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for agglomerative hierarchical clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/linkage.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using mica::stats::agglomerate;
+using mica::stats::Dendrogram;
+using mica::stats::Linkage;
+using mica::stats::Matrix;
+
+Matrix
+threeBlobs(mica::stats::Rng &rng, int per_blob = 5)
+{
+    Matrix m(0, 0);
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int blob = 0; blob < 3; ++blob)
+        for (int i = 0; i < per_blob; ++i) {
+            const double row[2] = {
+                centers[blob][0] + 0.1 * rng.nextGaussian(),
+                centers[blob][1] + 0.1 * rng.nextGaussian()};
+            m.appendRow(row);
+        }
+    return m;
+}
+
+TEST(Linkage, ProducesNMinusOneMerges)
+{
+    mica::stats::Rng rng(1);
+    const Matrix m = threeBlobs(rng);
+    const Dendrogram tree = agglomerate(m);
+    EXPECT_EQ(tree.num_points, 15u);
+    EXPECT_EQ(tree.merges.size(), 14u);
+}
+
+TEST(Linkage, SinglePointTree)
+{
+    Matrix m = Matrix::fromRows({{1.0, 2.0}});
+    const Dendrogram tree = agglomerate(m);
+    EXPECT_EQ(tree.num_points, 1u);
+    EXPECT_TRUE(tree.merges.empty());
+}
+
+TEST(Linkage, FirstMergeIsClosestPair)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {5, 0}, {5.1, 0}, {20, 0}});
+    const Dendrogram tree = agglomerate(m);
+    const auto &first = tree.merges[0];
+    const std::set<std::size_t> pair{first.left, first.right};
+    EXPECT_TRUE(pair.count(1));
+    EXPECT_TRUE(pair.count(2));
+    EXPECT_NEAR(first.distance, 0.1, 1e-9);
+}
+
+TEST(Linkage, CutRecoversBlobs)
+{
+    mica::stats::Rng rng(2);
+    const Matrix m = threeBlobs(rng);
+    for (Linkage linkage :
+         {Linkage::Single, Linkage::Complete, Linkage::Average}) {
+        const Dendrogram tree = agglomerate(m, linkage);
+        const auto labels = tree.cut(3);
+        // Each blob maps to exactly one flat cluster.
+        std::set<std::size_t> used;
+        for (int blob = 0; blob < 3; ++blob) {
+            std::set<std::size_t> blob_labels;
+            for (int i = 0; i < 5; ++i)
+                blob_labels.insert(labels[blob * 5 + i]);
+            ASSERT_EQ(blob_labels.size(), 1u)
+                << "linkage " << static_cast<int>(linkage);
+            used.insert(*blob_labels.begin());
+        }
+        EXPECT_EQ(used.size(), 3u);
+    }
+}
+
+TEST(Linkage, CutAtOneIsSingleCluster)
+{
+    mica::stats::Rng rng(3);
+    const Matrix m = threeBlobs(rng);
+    const auto labels = agglomerate(m).cut(1);
+    for (std::size_t l : labels)
+        EXPECT_EQ(l, 0u);
+}
+
+TEST(Linkage, CutAtNIsAllSingletons)
+{
+    mica::stats::Rng rng(4);
+    const Matrix m = threeBlobs(rng);
+    const auto labels = agglomerate(m).cut(15);
+    std::set<std::size_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), 15u);
+}
+
+TEST(Linkage, CutBadKThrows)
+{
+    mica::stats::Rng rng(5);
+    const Dendrogram tree = agglomerate(threeBlobs(rng));
+    EXPECT_THROW((void)tree.cut(0), std::invalid_argument);
+    EXPECT_THROW((void)tree.cut(16), std::invalid_argument);
+}
+
+TEST(Linkage, MergeDistancesNondecreasingForAverage)
+{
+    mica::stats::Rng rng(6);
+    Matrix m(12, 3);
+    for (std::size_t r = 0; r < 12; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            m(r, c) = rng.nextGaussian();
+    const Dendrogram tree = agglomerate(m, Linkage::Average);
+    // Average linkage is monotone on Euclidean data (no inversions in
+    // practice for random points; single/complete are monotone too).
+    for (std::size_t i = 0; i + 1 < tree.merges.size(); ++i)
+        EXPECT_LE(tree.merges[i].distance,
+                  tree.merges[i + 1].distance + 1e-9);
+}
+
+TEST(Linkage, HeightForK)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {1, 0}, {10, 0}});
+    const Dendrogram tree = agglomerate(m);
+    // 3 -> 2 clusters happens at distance 1; 2 -> 1 at ~9.5 (average).
+    EXPECT_NEAR(tree.heightForK(2), 1.0, 1e-9);
+    EXPECT_GT(tree.heightForK(1), 8.0);
+    EXPECT_EQ(tree.heightForK(3), 0.0);
+}
+
+TEST(Linkage, SingleVsCompleteDifferOnChains)
+{
+    // A chain of points: single linkage glues the chain end-to-end early;
+    // complete linkage keeps the two chain halves apart longer.
+    Matrix m(8, 1);
+    for (std::size_t i = 0; i < 8; ++i)
+        m(i, 0) = static_cast<double>(i);
+    const Dendrogram single = agglomerate(m, Linkage::Single);
+    const Dendrogram complete = agglomerate(m, Linkage::Complete);
+    EXPECT_NEAR(single.merges.back().distance, 1.0, 1e-9)
+        << "single linkage joins the chain at unit steps";
+    EXPECT_GT(complete.merges.back().distance, 3.0);
+}
+
+TEST(Linkage, RenderDendrogramContainsLabelsAndDistances)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {1, 0}, {10, 0}});
+    const Dendrogram tree = agglomerate(m);
+    const std::string text = mica::stats::renderDendrogram(
+        tree, {"alpha", "beta", "gamma"});
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("gamma"), std::string::npos);
+    EXPECT_NE(text.find("[d="), std::string::npos);
+}
+
+TEST(Linkage, RenderHandlesEmptyTree)
+{
+    Matrix m = Matrix::fromRows({{1.0}});
+    const std::string text =
+        mica::stats::renderDendrogram(agglomerate(m), {"only"});
+    EXPECT_NE(text.find("only"), std::string::npos);
+}
+
+TEST(Linkage, DeterministicAcrossRuns)
+{
+    mica::stats::Rng rng(7);
+    const Matrix m = threeBlobs(rng);
+    const Dendrogram a = agglomerate(m);
+    const Dendrogram b = agglomerate(m);
+    ASSERT_EQ(a.merges.size(), b.merges.size());
+    for (std::size_t i = 0; i < a.merges.size(); ++i) {
+        EXPECT_EQ(a.merges[i].left, b.merges[i].left);
+        EXPECT_EQ(a.merges[i].right, b.merges[i].right);
+    }
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the dense matrix substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/matrix.hh"
+
+namespace {
+
+using mica::stats::Matrix;
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, ElementAccess)
+{
+    Matrix m(2, 2);
+    m(0, 1) = 3.5;
+    m(1, 0) = -2.0;
+    EXPECT_EQ(m.at(0, 1), 3.5);
+    EXPECT_EQ(m.at(1, 0), -2.0);
+}
+
+TEST(Matrix, FromRows)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, AppendRowSetsWidth)
+{
+    Matrix m;
+    const double row[] = {1.0, 2.0};
+    m.appendRow(row);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(Matrix, AppendRowWidthMismatchThrows)
+{
+    Matrix m;
+    const double r1[] = {1.0, 2.0};
+    const double r2[] = {1.0};
+    m.appendRow(r1);
+    EXPECT_THROW(m.appendRow(r2), std::invalid_argument);
+}
+
+TEST(Matrix, RowViewIsMutable)
+{
+    Matrix m(2, 3);
+    auto row = m.row(1);
+    row[2] = 9.0;
+    EXPECT_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, ColCopy)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const auto col = m.col(1);
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_EQ(col[0], 2.0);
+    EXPECT_EQ(col[2], 6.0);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix id = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MultiplyKnownResult)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix c = a.multiply(b);
+    EXPECT_EQ(c(0, 0), 19.0);
+    EXPECT_EQ(c(0, 1), 22.0);
+    EXPECT_EQ(c(1, 0), 43.0);
+    EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentity)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix r = a.multiply(Matrix::identity(3));
+    EXPECT_EQ(r.maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows)
+{
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW((void)a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(2, 1), 6.0);
+    EXPECT_EQ(t.transposed().maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, LeftCols)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix l = a.leftCols(2);
+    EXPECT_EQ(l.cols(), 2u);
+    EXPECT_EQ(l(1, 1), 5.0);
+}
+
+TEST(Matrix, SelectCols)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const std::size_t idx[] = {2, 0};
+    Matrix s = a.selectCols(idx);
+    EXPECT_EQ(s(0, 0), 3.0);
+    EXPECT_EQ(s(0, 1), 1.0);
+    EXPECT_EQ(s(1, 0), 6.0);
+}
+
+TEST(Matrix, SelectRows)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const std::size_t idx[] = {2, 2, 0};
+    Matrix s = a.selectRows(idx);
+    EXPECT_EQ(s.rows(), 3u);
+    EXPECT_EQ(s(0, 0), 5.0);
+    EXPECT_EQ(s(1, 0), 5.0);
+    EXPECT_EQ(s(2, 1), 2.0);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a = Matrix::fromRows({{1, 2}});
+    Matrix b = Matrix::fromRows({{1.5, 1.0}});
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 1.0);
+}
+
+TEST(Matrix, Distances)
+{
+    const double a[] = {0.0, 0.0};
+    const double b[] = {3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mica::stats::euclideanDistance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(mica::stats::squaredDistance(a, b), 25.0);
+}
+
+TEST(Matrix, ToStringContainsValues)
+{
+    Matrix a = Matrix::fromRows({{1.25, -2.0}});
+    const std::string s = a.toString(2);
+    EXPECT_NE(s.find("1.25"), std::string::npos);
+    EXPECT_NE(s.find("-2.00"), std::string::npos);
+}
+
+} // namespace

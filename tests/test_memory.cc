@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the sparse paged VM memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/memory.hh"
+
+namespace {
+
+using mica::vm::Memory;
+
+TEST(Memory, ZeroFilledOnFirstTouch)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read(0x1234, 8), 0u);
+    EXPECT_EQ(mem.pagesAllocated(), 0u) << "reads must not allocate";
+}
+
+TEST(Memory, ReadBackWrites)
+{
+    Memory mem;
+    mem.write(0x1000, 0xdeadbeefcafebabeULL, 8);
+    EXPECT_EQ(mem.read(0x1000, 8), 0xdeadbeefcafebabeULL);
+}
+
+TEST(Memory, PartialWidths)
+{
+    Memory mem;
+    mem.write(0x2000, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(mem.read(0x2000, 1), 0x88u);
+    EXPECT_EQ(mem.read(0x2000, 2), 0x7788u);
+    EXPECT_EQ(mem.read(0x2000, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(0x2004, 4), 0x11223344u);
+}
+
+TEST(Memory, WriteNarrowPreservesNeighbours)
+{
+    Memory mem;
+    mem.write(0x3000, 0xffffffffffffffffULL, 8);
+    mem.write(0x3002, 0x00, 1);
+    EXPECT_EQ(mem.read(0x3000, 8), 0xffffffffff00ffffULL);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory mem;
+    const std::uint64_t addr = mica::vm::kPageBytes - 4;
+    mem.write(addr, 0x0123456789abcdefULL, 8);
+    EXPECT_EQ(mem.read(addr, 8), 0x0123456789abcdefULL);
+    EXPECT_EQ(mem.pagesAllocated(), 2u);
+}
+
+TEST(Memory, Doubles)
+{
+    Memory mem;
+    mem.writeDouble(0x4000, -3.25);
+    EXPECT_DOUBLE_EQ(mem.readDouble(0x4000), -3.25);
+}
+
+TEST(Memory, BulkReadWrite)
+{
+    Memory mem;
+    std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7};
+    mem.writeBytes(0x5000, data);
+    std::vector<std::uint8_t> out(7);
+    mem.readBytes(0x5000, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(Memory, SparseAllocation)
+{
+    Memory mem;
+    mem.write(0x0, 1, 1);
+    mem.write(0x100000000ULL, 1, 1); // 4 GiB away
+    EXPECT_EQ(mem.pagesAllocated(), 2u);
+}
+
+TEST(Memory, ClearDropsEverything)
+{
+    Memory mem;
+    mem.write(0x9000, 77, 8);
+    mem.clear();
+    EXPECT_EQ(mem.pagesAllocated(), 0u);
+    EXPECT_EQ(mem.read(0x9000, 8), 0u);
+}
+
+TEST(Memory, HighAddresses)
+{
+    Memory mem;
+    const std::uint64_t addr = 0xfffffffffff0ULL;
+    mem.write(addr, 42, 8);
+    EXPECT_EQ(mem.read(addr, 8), 42u);
+}
+
+} // namespace

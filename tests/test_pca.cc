@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for PCA and the rescaled PCA space construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/pca.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace {
+
+using mica::stats::Matrix;
+using mica::stats::Pca;
+
+/** Data with one dominant direction plus small noise. */
+Matrix
+correlatedData(std::size_t n, std::size_t p, mica::stats::Rng &rng)
+{
+    Matrix m(n, p);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double t = rng.nextGaussian();
+        for (std::size_t c = 0; c < p; ++c)
+            m(r, c) = t * (1.0 + static_cast<double>(c)) +
+                      0.01 * rng.nextGaussian();
+    }
+    return m;
+}
+
+TEST(Pca, EmptyThrows)
+{
+    Matrix m;
+    EXPECT_THROW((void)Pca::fit(m), std::invalid_argument);
+}
+
+TEST(Pca, SingleDominantComponent)
+{
+    mica::stats::Rng rng(1);
+    const Matrix m = correlatedData(300, 5, rng);
+    const Pca pca = Pca::fit(m);
+    // All columns are scalar multiples of one factor: one component.
+    EXPECT_EQ(pca.numComponents(), 1u);
+    EXPECT_GT(pca.explainedVarianceFraction(), 0.99);
+}
+
+TEST(Pca, EigenvaluesDescending)
+{
+    mica::stats::Rng rng(2);
+    Matrix m(200, 6);
+    for (std::size_t r = 0; r < 200; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            m(r, c) = rng.nextGaussian() * (1.0 + static_cast<double>(c));
+    const Pca pca = Pca::fit(m);
+    for (std::size_t i = 0; i + 1 < pca.eigenvalues().size(); ++i)
+        EXPECT_GE(pca.eigenvalues()[i], pca.eigenvalues()[i + 1] - 1e-12);
+}
+
+TEST(Pca, IndependentColumnsKeepAllSignificantComponents)
+{
+    mica::stats::Rng rng(3);
+    Matrix m(2000, 4);
+    for (std::size_t r = 0; r < 2000; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            m(r, c) = rng.nextGaussian();
+    Pca::Options opts;
+    opts.min_stddev = 0.5; // all normalized components have sd ~1
+    const Pca pca = Pca::fit(m, opts);
+    EXPECT_EQ(pca.numComponents(), 4u);
+}
+
+TEST(Pca, MaxComponentsBound)
+{
+    mica::stats::Rng rng(4);
+    Matrix m(100, 6);
+    for (std::size_t r = 0; r < 100; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            m(r, c) = rng.nextGaussian();
+    Pca::Options opts;
+    opts.min_stddev = 0.0;
+    opts.max_components = 2;
+    const Pca pca = Pca::fit(m, opts);
+    EXPECT_EQ(pca.numComponents(), 2u);
+}
+
+TEST(Pca, MinComponentsFloor)
+{
+    mica::stats::Rng rng(5);
+    const Matrix m = correlatedData(100, 4, rng);
+    Pca::Options opts;
+    opts.min_components = 3;
+    const Pca pca = Pca::fit(m, opts);
+    EXPECT_GE(pca.numComponents(), 3u);
+}
+
+TEST(Pca, TransformShape)
+{
+    mica::stats::Rng rng(6);
+    const Matrix m = correlatedData(50, 4, rng);
+    const Pca pca = Pca::fit(m);
+    const Matrix scores = pca.transform(m);
+    EXPECT_EQ(scores.rows(), 50u);
+    EXPECT_EQ(scores.cols(), pca.numComponents());
+}
+
+TEST(Pca, TransformWidthMismatchThrows)
+{
+    mica::stats::Rng rng(7);
+    const Matrix m = correlatedData(50, 4, rng);
+    const Pca pca = Pca::fit(m);
+    Matrix wrong(10, 3);
+    EXPECT_THROW((void)pca.transform(wrong), std::invalid_argument);
+}
+
+TEST(Pca, RescaledSpaceHasUnitVariance)
+{
+    mica::stats::Rng rng(8);
+    Matrix m(500, 5);
+    for (std::size_t r = 0; r < 500; ++r) {
+        const double t = rng.nextGaussian();
+        const double u = rng.nextGaussian();
+        m(r, 0) = t;
+        m(r, 1) = t + 0.3 * u;
+        m(r, 2) = u;
+        m(r, 3) = rng.nextGaussian();
+        m(r, 4) = 2.0 * t - u + 0.1 * rng.nextGaussian();
+    }
+    Pca::Options opts;
+    opts.min_stddev = 0.3;
+    const Pca pca = Pca::fit(m, opts);
+    const Matrix rescaled = pca.transformRescaled(m);
+    const auto cs = mica::stats::columnStats(rescaled);
+    for (std::size_t c = 0; c < rescaled.cols(); ++c)
+        EXPECT_NEAR(cs.stddev[c], 1.0, 1e-6) << "component " << c;
+}
+
+TEST(Pca, ComponentsAreUncorrelated)
+{
+    mica::stats::Rng rng(9);
+    Matrix m(800, 4);
+    for (std::size_t r = 0; r < 800; ++r) {
+        const double t = rng.nextGaussian();
+        m(r, 0) = t + 0.5 * rng.nextGaussian();
+        m(r, 1) = -t + 0.5 * rng.nextGaussian();
+        m(r, 2) = rng.nextGaussian();
+        m(r, 3) = 0.7 * t + rng.nextGaussian();
+    }
+    Pca::Options opts;
+    opts.min_stddev = 0.1;
+    const Pca pca = Pca::fit(m, opts);
+    const Matrix scores = pca.transform(m);
+    for (std::size_t a = 0; a < scores.cols(); ++a)
+        for (std::size_t b = a + 1; b < scores.cols(); ++b) {
+            const auto ca = scores.col(a);
+            const auto cb = scores.col(b);
+            EXPECT_NEAR(mica::stats::pearson(ca, cb), 0.0, 1e-6)
+                << "components " << a << ", " << b;
+        }
+}
+
+TEST(Pca, ExplainedVarianceFractionInUnitRange)
+{
+    mica::stats::Rng rng(10);
+    const Matrix m = correlatedData(100, 6, rng);
+    const Pca pca = Pca::fit(m);
+    EXPECT_GT(pca.explainedVarianceFraction(), 0.0);
+    EXPECT_LE(pca.explainedVarianceFraction(), 1.0 + 1e-12);
+}
+
+TEST(Pca, RescaledPcaSpaceHelperMatches)
+{
+    mica::stats::Rng rng(11);
+    const Matrix m = correlatedData(60, 4, rng);
+    const Matrix a = mica::stats::rescaledPcaSpace(m);
+    const Matrix b = Pca::fit(m).transformRescaled(m);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-12);
+}
+
+TEST(Pca, DeterministicAcrossRuns)
+{
+    mica::stats::Rng rng(12);
+    const Matrix m = correlatedData(80, 5, rng);
+    const Matrix a = mica::stats::rescaledPcaSpace(m);
+    const Matrix b = mica::stats::rescaledPcaSpace(m);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+}
+
+} // namespace

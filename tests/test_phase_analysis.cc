@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the phase analysis: PCA + clustering wiring, cluster
+ * summaries, kind classification, and the prominent-phase matrix. Uses
+ * hand-built data sets with known structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/phase_analysis.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+using core::CharacterizationResult;
+using core::ClusterKind;
+using core::ExperimentConfig;
+using core::SampledDataset;
+
+/**
+ * Build a synthetic sampled data set with three well-separated behaviour
+ * groups:
+ *   group 0: benchmark 0 only            (expect benchmark-specific)
+ *   group 1: benchmarks 1 and 2, suite A (expect suite-specific)
+ *   group 2: benchmarks 3 (suite A) and 4 (suite B) (expect mixed)
+ */
+struct Fixture
+{
+    CharacterizationResult chars;
+    SampledDataset sampled;
+
+    Fixture()
+    {
+        const std::vector<std::string> suites = {"A", "A", "A", "A", "B"};
+        for (std::size_t b = 0; b < 5; ++b) {
+            chars.benchmark_ids.push_back(suites[b] + "/b" +
+                                          std::to_string(b));
+            chars.benchmark_names.push_back("b" + std::to_string(b));
+            chars.benchmark_suites.push_back(suites[b]);
+        }
+
+        stats::Rng rng(5);
+        auto add_rows = [&](std::uint32_t bench, double cx, double cy,
+                            int rows) {
+            for (int i = 0; i < rows; ++i) {
+                std::vector<double> row(metrics::kNumCharacteristics, 0.0);
+                row[0] = cx + 0.01 * rng.nextGaussian();
+                row[1] = cy + 0.01 * rng.nextGaussian();
+                // A couple of extra informative dimensions so PCA keeps
+                // more than one component.
+                row[2] = cx * 0.5 + 0.01 * rng.nextGaussian();
+                row[3] = cy * 0.25 + 0.01 * rng.nextGaussian();
+                sampled.data.appendRow(row);
+                sampled.benchmark_of_row.push_back(bench);
+                sampled.source_interval.push_back(0);
+            }
+        };
+        add_rows(0, 0.0, 0.0, 30);  // group 0 (heaviest)
+        add_rows(1, 10.0, 0.0, 10); // group 1
+        add_rows(2, 10.0, 0.0, 10);
+        add_rows(3, 0.0, 10.0, 10); // group 2
+        add_rows(4, 0.0, 10.0, 10);
+    }
+
+    ExperimentConfig
+    config() const
+    {
+        ExperimentConfig cfg;
+        cfg.kmeans_k = 3;
+        cfg.kmeans_restarts = 4;
+        cfg.num_prominent = 3;
+        cfg.seed = 11;
+        return cfg;
+    }
+};
+
+TEST(PhaseAnalysis, WeightsSumToOne)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    double total = 0.0;
+    for (const auto &c : analysis.clusters)
+        total += c.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PhaseAnalysis, ClustersSortedByWeight)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    for (std::size_t i = 0; i + 1 < analysis.clusters.size(); ++i)
+        EXPECT_GE(analysis.clusters[i].weight,
+                  analysis.clusters[i + 1].weight);
+}
+
+TEST(PhaseAnalysis, KindClassification)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    ASSERT_EQ(analysis.clusters.size(), 3u);
+
+    int benchmark_specific = 0, suite_specific = 0, mixed = 0;
+    for (const auto &c : analysis.clusters) {
+        switch (c.kind) {
+          case ClusterKind::BenchmarkSpecific: ++benchmark_specific; break;
+          case ClusterKind::SuiteSpecific: ++suite_specific; break;
+          case ClusterKind::Mixed: ++mixed; break;
+        }
+    }
+    EXPECT_EQ(benchmark_specific, 1);
+    EXPECT_EQ(suite_specific, 1);
+    EXPECT_EQ(mixed, 1);
+}
+
+TEST(PhaseAnalysis, HeaviestClusterIsTheBigGroup)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    const auto &top = analysis.clusters[0];
+    EXPECT_NEAR(top.weight, 30.0 / 70.0, 1e-9);
+    EXPECT_EQ(top.kind, ClusterKind::BenchmarkSpecific);
+    ASSERT_EQ(top.benchmark_counts.size(), 1u);
+    EXPECT_EQ(top.benchmark_counts[0].first, 0u);
+}
+
+TEST(PhaseAnalysis, RepresentativeBelongsToCluster)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    for (const auto &c : analysis.clusters)
+        EXPECT_EQ(analysis.clustering.assignment[c.representative_row],
+                  c.cluster);
+}
+
+TEST(PhaseAnalysis, BenchmarkFraction)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    const auto &top = analysis.clusters[0];
+    EXPECT_DOUBLE_EQ(top.benchmarkFraction(0, 30), 1.0);
+    EXPECT_DOUBLE_EQ(top.benchmarkFraction(1, 10), 0.0);
+    EXPECT_EQ(top.benchmarkFraction(0, 0), 0.0);
+}
+
+TEST(PhaseAnalysis, ProminentCoverage)
+{
+    Fixture fix;
+    auto cfg = fix.config();
+    cfg.num_prominent = 2;
+    const auto analysis = core::analyzePhases(fix.sampled, fix.chars, cfg);
+    EXPECT_EQ(analysis.num_prominent, 2u);
+    const double expected = analysis.clusters[0].weight +
+                            analysis.clusters[1].weight;
+    EXPECT_NEAR(analysis.prominentCoverage(), expected, 1e-12);
+    EXPECT_LT(analysis.prominentCoverage(), 1.0);
+}
+
+TEST(PhaseAnalysis, ProminentPhaseMatrixShape)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    const auto matrix =
+        core::prominentPhaseMatrix(fix.sampled, analysis);
+    EXPECT_EQ(matrix.rows(), analysis.num_prominent);
+    EXPECT_EQ(matrix.cols(), metrics::kNumCharacteristics);
+    // First row is the representative of the heaviest cluster.
+    const auto rep = fix.sampled.data.row(
+        analysis.clusters[0].representative_row);
+    for (std::size_t c = 0; c < matrix.cols(); ++c)
+        EXPECT_EQ(matrix(0, c), rep[c]);
+}
+
+TEST(PhaseAnalysis, PcaStatsPopulated)
+{
+    Fixture fix;
+    const auto analysis =
+        core::analyzePhases(fix.sampled, fix.chars, fix.config());
+    EXPECT_GE(analysis.pca_components, 1u);
+    EXPECT_GT(analysis.pca_explained, 0.5);
+    EXPECT_LE(analysis.pca_explained, 1.0 + 1e-12);
+    EXPECT_EQ(analysis.reduced.rows(), fix.sampled.data.rows());
+}
+
+TEST(PhaseAnalysis, EmptyDataThrows)
+{
+    Fixture fix;
+    SampledDataset empty;
+    EXPECT_THROW(
+        (void)core::analyzePhases(empty, fix.chars, fix.config()),
+        std::invalid_argument);
+}
+
+TEST(PhaseAnalysis, KindNames)
+{
+    EXPECT_EQ(core::clusterKindName(ClusterKind::BenchmarkSpecific),
+              "benchmark-specific");
+    EXPECT_EQ(core::clusterKindName(ClusterKind::SuiteSpecific),
+              "suite-specific");
+    EXPECT_EQ(core::clusterKindName(ClusterKind::Mixed), "mixed");
+}
+
+TEST(PhaseAnalysis, DeterministicForSeed)
+{
+    Fixture fix;
+    const auto a = core::analyzePhases(fix.sampled, fix.chars,
+                                       fix.config());
+    const auto b = core::analyzePhases(fix.sampled, fix.chars,
+                                       fix.config());
+    EXPECT_EQ(a.clustering.assignment, b.clustering.assignment);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests: the full methodology end to end on a scaled-down
+ * configuration, asserting both structural invariants and the paper's
+ * headline qualitative findings (section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/pipeline.hh"
+
+namespace {
+
+using namespace mica;
+
+/** One shared scaled-down experiment (built once; ~2s). */
+const core::ExperimentOutputs &
+experiment()
+{
+    static const core::ExperimentOutputs outputs = [] {
+        core::ExperimentConfig cfg;
+        cfg.interval_instructions = 20000;
+        cfg.interval_scale = 0.2;
+        cfg.samples_per_benchmark = 50;
+        cfg.kmeans_k = 120;
+        cfg.num_prominent = 60;
+        cfg.kmeans_restarts = 2;
+        cfg.cache_dir = "/tmp/micaphase_pipeline_test_cache";
+        return core::runFullExperiment(cfg);
+    }();
+    return outputs;
+}
+
+TEST(Pipeline, CharacterizesEveryBenchmark)
+{
+    const auto &out = experiment();
+    EXPECT_EQ(out.characterization.benchmark_ids.size(), 77u);
+    const auto counts = out.characterization.intervalsPerBenchmark();
+    for (std::size_t b = 0; b < counts.size(); ++b)
+        EXPECT_GE(counts[b], 1u)
+            << out.characterization.benchmark_ids[b];
+}
+
+TEST(Pipeline, SampledDatasetShape)
+{
+    const auto &out = experiment();
+    EXPECT_EQ(out.sampled.data.rows(), 77u * 50u);
+    EXPECT_EQ(out.sampled.data.cols(), metrics::kNumCharacteristics);
+}
+
+TEST(Pipeline, PcaKeepsSubstantialVariance)
+{
+    const auto &out = experiment();
+    // The paper retains components explaining 85.4% of total variance.
+    EXPECT_GT(out.analysis.pca_explained, 0.7);
+    EXPECT_GT(out.analysis.pca_components, 5u);
+    EXPECT_LT(out.analysis.pca_components, 40u);
+}
+
+TEST(Pipeline, ProminentPhasesCoverMostExecution)
+{
+    const auto &out = experiment();
+    // Paper: 100 of 300 clusters cover 87.8%. Our scaled run keeps the
+    // same 1:3 ratio and must land in the same regime.
+    EXPECT_GT(out.analysis.prominentCoverage(), 0.6);
+    EXPECT_LT(out.analysis.prominentCoverage(), 1.0);
+}
+
+TEST(Pipeline, ClusterWeightsAccountForEverything)
+{
+    const auto &out = experiment();
+    double total = 0.0;
+    for (const auto &c : out.analysis.clusters)
+        total += c.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pipeline, AllThreeClusterKindsAppear)
+{
+    const auto &out = experiment();
+    int counts[3] = {0, 0, 0};
+    for (const auto &c : out.analysis.clusters)
+        ++counts[static_cast<int>(c.kind)];
+    EXPECT_GT(counts[0], 0) << "no benchmark-specific clusters";
+    EXPECT_GT(counts[1], 0) << "no suite-specific clusters";
+    EXPECT_GT(counts[2], 0) << "no mixed clusters";
+}
+
+TEST(Pipeline, PaperFinding_SpecCoversMoreThanDomainSuites)
+{
+    const auto &cmp = experiment().comparison;
+    const auto spec_int06 = cmp.coverage[cmp.indexOf("SPECint2006")];
+    const auto spec_fp06 = cmp.coverage[cmp.indexOf("SPECfp2006")];
+    const auto bmw = cmp.coverage[cmp.indexOf("BMW")];
+    const auto media = cmp.coverage[cmp.indexOf("MediaBenchII")];
+    const auto bio = cmp.coverage[cmp.indexOf("BioPerf")];
+    // Domain-specific suites cover a much narrower part of the space.
+    EXPECT_GT(spec_int06, bmw);
+    EXPECT_GT(spec_int06, media);
+    EXPECT_GT(spec_fp06, bmw);
+    EXPECT_GT(spec_fp06, media);
+    EXPECT_GT(spec_fp06, bio);
+}
+
+TEST(Pipeline, PaperFinding_Cpu2006CoversMoreThanCpu2000)
+{
+    const auto &cmp = experiment().comparison;
+    EXPECT_GE(cmp.coverage[cmp.indexOf("SPECint2006")],
+              cmp.coverage[cmp.indexOf("SPECint2000")]);
+    EXPECT_GE(cmp.coverage[cmp.indexOf("SPECfp2006")],
+              cmp.coverage[cmp.indexOf("SPECfp2000")]);
+}
+
+TEST(Pipeline, PaperFinding_BioPerfHasMostUniqueBehaviour)
+{
+    const auto &cmp = experiment().comparison;
+    const double bio = cmp.uniqueness[cmp.indexOf("BioPerf")];
+    EXPECT_GT(bio, 0.35);
+    EXPECT_GT(bio, cmp.uniqueness[cmp.indexOf("MediaBenchII")]);
+    EXPECT_GT(bio, cmp.uniqueness[cmp.indexOf("SPECint2000")]);
+    EXPECT_GT(bio, cmp.uniqueness[cmp.indexOf("SPECint2006")]);
+}
+
+TEST(Pipeline, PaperFinding_DomainSuitesLessDiverse)
+{
+    const auto &cmp = experiment().comparison;
+    // Fewer clusters needed to cover 90% of a domain-specific suite than
+    // of SPEC CPU2006 (lower diversity).
+    EXPECT_LT(cmp.clustersToCover(cmp.indexOf("MediaBenchII"), 0.9),
+              cmp.clustersToCover(cmp.indexOf("SPECfp2006"), 0.9));
+    EXPECT_LT(cmp.clustersToCover(cmp.indexOf("BMW"), 0.9),
+              cmp.clustersToCover(cmp.indexOf("SPECint2006"), 0.9));
+}
+
+TEST(Pipeline, UniquenessWithinBounds)
+{
+    const auto &cmp = experiment().comparison;
+    for (double u : cmp.uniqueness) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(Pipeline, KeyCharacteristicSelectionWorks)
+{
+    const auto &out = experiment();
+    const auto result = core::selectKeyCharacteristics(out, 8);
+    EXPECT_EQ(result.selected.size(), 8u);
+    EXPECT_GT(result.fitness, 0.5)
+        << "8 key characteristics should correlate decently";
+    for (std::size_t idx : result.selected)
+        EXPECT_LT(idx, metrics::kNumCharacteristics);
+}
+
+TEST(Pipeline, KiviatPanelConstruction)
+{
+    const auto &out = experiment();
+    const std::vector<std::size_t> keys = {0, 1, 20, 33, 55};
+    const auto axes = core::kiviatAxes(out, keys);
+    ASSERT_EQ(axes.size(), keys.size());
+    for (const auto &a : axes) {
+        EXPECT_LE(a.min, a.mean);
+        EXPECT_LE(a.mean, a.max);
+    }
+    const auto panel =
+        core::kiviatPanelFor(out, out.analysis.clusters[0], keys);
+    EXPECT_EQ(panel.values.size(), keys.size());
+    EXPECT_FALSE(panel.slices.empty());
+    double total = 0.0;
+    for (const auto &s : panel.slices)
+        total += s.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NE(panel.title.find("weight"), std::string::npos);
+}
+
+TEST(Pipeline, DeterministicEndToEnd)
+{
+    // Re-running with the same config (cache warm) reproduces the exact
+    // comparison numbers.
+    core::ExperimentConfig cfg = experiment().config;
+    const auto again = core::runFullExperiment(cfg);
+    EXPECT_EQ(again.comparison.coverage, experiment().comparison.coverage);
+    EXPECT_EQ(again.comparison.uniqueness,
+              experiment().comparison.uniqueness);
+}
+
+} // namespace

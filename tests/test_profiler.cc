@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the MicaProfiler: each of the six Table-1 metric
+ * categories is validated against hand-built programs with known
+ * behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "mica/profiler.hh"
+#include "vm/cpu.hh"
+
+namespace {
+
+using namespace mica;
+namespace m = metrics::midx;
+using profiler::MicaProfiler;
+
+/** Run a program for `budget` instructions with a given interval size. */
+std::vector<metrics::CharacteristicVector>
+profile(const std::string &source, std::uint64_t interval,
+        std::uint64_t budget)
+{
+    const auto prog = assembler::assemble(source);
+    vm::Cpu cpu(prog);
+    MicaProfiler prof(interval);
+    (void)cpu.run(budget, &prof);
+    return prof.intervals();
+}
+
+TEST(Profiler, IntervalZeroThrows)
+{
+    EXPECT_THROW(MicaProfiler prof(0), std::invalid_argument);
+}
+
+TEST(Profiler, IntervalCountMatchesBudget)
+{
+    const auto iv = profile(R"(
+    loop:
+        addi x5, x5, 1
+        jal x0, loop
+    )",
+                            1000, 5500);
+    EXPECT_EQ(iv.size(), 5u) << "partial trailing interval not emitted";
+}
+
+TEST(Profiler, FlushPartialEmitsTail)
+{
+    const auto prog = assembler::assemble("addi x5, x0, 1\n halt");
+    vm::Cpu cpu(prog);
+    MicaProfiler prof(1000);
+    (void)cpu.run(100, &prof);
+    EXPECT_TRUE(prof.flushPartial());
+    EXPECT_EQ(prof.intervals().size(), 1u);
+    EXPECT_FALSE(prof.flushPartial()) << "nothing left to flush";
+}
+
+TEST(Profiler, MixFractionsKnownLoop)
+{
+    // Loop body: ld, sd, addi, addi, bne (5 instructions).
+    const auto iv = profile(R"(
+        .data
+        buf: .zero 8
+        .text
+    loop:
+        ld x5, buf(x0)
+        sd x5, buf(x0)
+        addi x5, x5, 1
+        addi x6, x6, 1
+        bne x6, x0, loop
+    )",
+                            5000, 5000);
+    ASSERT_EQ(iv.size(), 1u);
+    const auto &v = iv[0];
+    EXPECT_NEAR(v[m::MixMemRead], 0.2, 0.01);
+    EXPECT_NEAR(v[m::MixMemWrite], 0.2, 0.01);
+    EXPECT_NEAR(v[m::MixControl], 0.2, 0.01);
+    EXPECT_NEAR(v[m::MixCondBranch], 0.2, 0.01);
+    EXPECT_NEAR(v[m::MixIntArith], 0.4, 0.01);
+    EXPECT_NEAR(v[m::MixFpArith], 0.0, 1e-9);
+}
+
+TEST(Profiler, CallReturnFractions)
+{
+    const auto iv = profile(R"(
+        jal x0, main
+    fn:
+        jalr x0, ra, 0
+    main:
+        jal ra, fn
+        jal x0, main
+    )",
+                            3000, 3000);
+    ASSERT_EQ(iv.size(), 1u);
+    const auto &v = iv[0];
+    // Steady state: call, ret, jump — one third each.
+    EXPECT_NEAR(v[m::MixCall], 1.0 / 3.0, 0.01);
+    EXPECT_NEAR(v[m::MixReturn], 1.0 / 3.0, 0.01);
+    EXPECT_NEAR(v[m::MixControl], 1.0, 0.01);
+}
+
+TEST(Profiler, MoveClassification)
+{
+    const auto iv = profile(R"(
+    loop:
+        addi x5, x0, 7      ; li -> move
+        addi x6, x5, 1      ; real add
+        jal x0, loop
+    )",
+                            3000, 3000);
+    const auto &v = iv[0];
+    EXPECT_NEAR(v[m::MixMove], 1.0 / 3.0, 0.01);
+    EXPECT_NEAR(v[m::MixIntArith], 1.0 / 3.0, 0.01);
+}
+
+TEST(Profiler, FpCategories)
+{
+    const auto iv = profile(R"(
+        .data
+        a: .double 1.1
+        .text
+        fld f1, a(x0)
+        fld f2, a(x0)
+    loop:
+        fadd f3, f1, f2
+        fmul f4, f1, f2
+        fdiv f5, f1, f2
+        fsqrt f6, f1
+        fcmplt x5, f1, f2
+        cvtif f7, x5
+        jal x0, loop
+    )",
+                            7000, 7000);
+    const auto &v = iv[0];
+    EXPECT_NEAR(v[m::MixFpArith], 1.0 / 7.0, 0.01);
+    EXPECT_NEAR(v[m::MixFpMul], 1.0 / 7.0, 0.01);
+    EXPECT_NEAR(v[m::MixFpDiv], 1.0 / 7.0, 0.01);
+    EXPECT_NEAR(v[m::MixFpSqrt], 1.0 / 7.0, 0.01);
+    EXPECT_NEAR(v[m::MixFpCmp], 1.0 / 7.0, 0.01);
+    EXPECT_NEAR(v[m::MixFpCvt], 1.0 / 7.0, 0.01);
+}
+
+TEST(Profiler, RegisterOperandCount)
+{
+    // add reads 2, addi reads 1, bne reads 2: 5 reads / 3 instructions.
+    const auto iv = profile(R"(
+    loop:
+        add x5, x6, x7
+        addi x6, x6, 1
+        bne x6, x0, loop
+    )",
+                            3000, 3000);
+    EXPECT_NEAR(iv[0][m::RegInputOperands], 5.0 / 3.0, 0.01);
+}
+
+TEST(Profiler, DegreeOfUse)
+{
+    // Two reads per write: add writes x5 (read twice next iteration).
+    const auto iv = profile(R"(
+    loop:
+        add x5, x5, x5
+        jal x0, loop
+    )",
+                            2000, 2000);
+    // Reads: 2 per add; writes: 1 per add (jal x0 discards its dest).
+    EXPECT_NEAR(iv[0][m::RegDegreeOfUse], 2.0, 0.01);
+}
+
+TEST(Profiler, DependencyDistanceBuckets)
+{
+    // x5 written then read immediately (distance 1); x7 read 4
+    // instructions after its write (distance 4).
+    const auto iv = profile(R"(
+    loop:
+        addi x7, x7, 1      ; writes x7 (also reads x7: distance 4)
+        addi x5, x5, 1      ; distance 1 from previous loop? no: 4
+        add x6, x5, x5      ; two reads of x5 at distance 1
+        jal x0, loop
+    )",
+                            4000, 4000);
+    const auto &v = iv[0];
+    const double total = v[m::RegDepDist1] + v[m::RegDepDist2] +
+                         v[m::RegDepDist4] + v[m::RegDepDist8] +
+                         v[m::RegDepDist16] + v[m::RegDepDist32] +
+                         v[m::RegDepDistGt32];
+    EXPECT_NEAR(total, 1.0, 1e-6) << "buckets must partition all reads";
+    // Reads per iteration: x7@4, x5@4, x5@1, x5@1 -> half at <=1, half in
+    // the (2,4] bucket.
+    EXPECT_NEAR(v[m::RegDepDist1], 0.5, 0.02);
+    EXPECT_NEAR(v[m::RegDepDist4], 0.5, 0.02);
+}
+
+TEST(Profiler, InstructionFootprintCounts)
+{
+    // A loop of 16 instructions = 128 bytes = 2 or 3 64B blocks, 1 page.
+    std::string body;
+    for (int i = 0; i < 15; ++i)
+        body += "addi x5, x5, 1\n";
+    const auto iv =
+        profile("loop:\n" + body + "jal x0, loop", 4000, 4000);
+    const auto &v = iv[0];
+    EXPECT_GE(v[m::InstrFootprint64B], 2.0);
+    EXPECT_LE(v[m::InstrFootprint64B], 3.0);
+    EXPECT_EQ(v[m::InstrFootprint4K], 1.0);
+}
+
+TEST(Profiler, DataFootprintCounts)
+{
+    // Touch 4096 consecutive bytes once, then spin.
+    const auto iv = profile(R"(
+        .data
+        buf: .zero 8192
+        .text
+        addi x5, x0, buf
+        addi x6, x0, 512
+    loop:
+        ld x7, 0(x5)
+        addi x5, x5, 8
+        addi x6, x6, -1
+        bne x6, x0, loop
+        halt
+    )",
+                            2000, 2000);
+    ASSERT_GE(iv.size(), 1u);
+    // First interval: 2000 instructions = 500 loads over 666 iterations...
+    // loads cover 8 * (2000/4) bytes = 4000 bytes ~ 62-63 blocks.
+    EXPECT_GT(iv[0][m::DataFootprint64B], 55.0);
+    EXPECT_LE(iv[0][m::DataFootprint4K], 2.0);
+}
+
+TEST(Profiler, UnitStrideDistributions)
+{
+    const auto iv = profile(R"(
+        .data
+        buf: .zero 65536
+        .text
+        addi x5, x0, buf
+    loop:
+        ld x6, 0(x5)
+        sd x6, 8(x5)
+        addi x5, x5, 8
+        slti x7, x5, 17000000   ; keep going until far into the buffer
+        bne x7, x0, loop
+        halt
+    )",
+                            4000, 4000);
+    const auto &v = iv[0];
+    // Loads advance 8 bytes per iteration: local stride 8 globally too.
+    EXPECT_GT(v[m::LocalLoadStride8], 0.95);
+    EXPECT_GT(v[m::LocalStoreStride8], 0.95);
+    EXPECT_GT(v[m::GlobalLoadStride64], 0.95);
+    EXPECT_GT(v[m::GlobalStoreStride64], 0.95);
+    // Cumulative: wider thresholds dominate narrower ones.
+    EXPECT_GE(v[m::LocalLoadStride64], v[m::LocalLoadStride8]);
+    EXPECT_GE(v[m::LocalLoadStride512], v[m::LocalLoadStride64]);
+    EXPECT_GE(v[m::LocalLoadStride4096], v[m::LocalLoadStride512]);
+    EXPECT_EQ(v[m::LocalLoadStride0], 0.0);
+}
+
+TEST(Profiler, ZeroStrideDetected)
+{
+    const auto iv = profile(R"(
+        .data
+        cell: .word64 1
+        .text
+    loop:
+        ld x5, cell(x0)
+        jal x0, loop
+    )",
+                            2000, 2000);
+    EXPECT_GT(iv[0][m::LocalLoadStride0], 0.99);
+}
+
+TEST(Profiler, LargeStrideFallsOutsideBuckets)
+{
+    const auto iv = profile(R"(
+        .data
+        buf: .zero 8000000
+        .text
+        addi x5, x0, buf
+    loop:
+        ld x6, 0(x5)
+        addi x5, x5, 65536      ; 64KB stride > every bucket
+        jal x0, loop
+    )",
+                            3000, 3000);
+    const auto &v = iv[0];
+    EXPECT_LT(v[m::LocalLoadStride4096], 0.01);
+    EXPECT_LT(v[m::GlobalLoadStride32768], 0.01);
+}
+
+TEST(Profiler, BranchTakenRate)
+{
+    // x5 counts down from 4: the loop branch runs 4 times per outer
+    // iteration and is taken 3 of those 4 executions.
+    const auto iv = profile(R"(
+    outer:
+        addi x5, x0, 4
+    loop:
+        addi x5, x5, -1
+        bne x5, x0, loop
+        jal x0, outer
+    )",
+                            4000, 4000);
+    EXPECT_NEAR(iv[0][m::BranchTakenRate], 0.75, 0.02);
+}
+
+TEST(Profiler, TransitionRateAlternating)
+{
+    // x6 parity flips every iteration: the inner branch alternates.
+    const auto iv = profile(R"(
+    loop:
+        addi x6, x6, 1
+        andi x5, x6, 1
+        beq x5, x0, skip
+        addi x7, x7, 1
+    skip:
+        jal x0, loop
+    )",
+                            4000, 4000);
+    // Branch outcomes alternate -> transition rate near 1.
+    EXPECT_GT(iv[0][m::BranchTransitionRate], 0.95);
+}
+
+TEST(Profiler, TransitionRateConstant)
+{
+    const auto iv = profile(R"(
+    loop:
+        beq x0, x0, loop
+    )",
+                            2000, 2000);
+    EXPECT_LT(iv[0][m::BranchTransitionRate], 0.01);
+    EXPECT_GT(iv[0][m::BranchTakenRate], 0.99);
+}
+
+TEST(Profiler, PpmLearnsRegularLoop)
+{
+    const auto iv = profile(R"(
+    outer:
+        addi x5, x0, 8
+    loop:
+        addi x5, x5, -1
+        bne x5, x0, loop
+        jal x0, outer
+    )",
+                            10000, 20000);
+    ASSERT_EQ(iv.size(), 2u);
+    // Second interval: predictors are warm, the period-8 loop is fully
+    // predictable with >= 8 bits of history.
+    EXPECT_LT(iv[1][m::PpmGag12], 0.02);
+    EXPECT_LT(iv[1][m::PpmPas12], 0.02);
+    // Miss rates never exceed 1.
+    for (std::size_t p = m::PpmGag4; p <= m::PpmPas12; ++p) {
+        EXPECT_GE(iv[1][p], 0.0);
+        EXPECT_LE(iv[1][p], 1.0);
+    }
+}
+
+TEST(Profiler, IlpMetricsPopulated)
+{
+    const auto iv = profile(R"(
+    loop:
+        addi x5, x5, 1
+        addi x6, x6, 1
+        addi x7, x7, 1
+        jal x0, loop
+    )",
+                            4000, 4000);
+    EXPECT_GT(iv[0][m::Ilp32], 1.0);
+    EXPECT_LE(iv[0][m::Ilp32], 32.0);
+    EXPECT_GE(iv[0][m::Ilp256], iv[0][m::Ilp32] - 1e-9);
+}
+
+TEST(Profiler, CountersResetBetweenIntervals)
+{
+    // Phase change: loads for the first interval, pure ALU afterwards.
+    const auto iv = profile(R"(
+        .data
+        buf: .zero 64
+        .text
+        addi x6, x0, 1000
+    p1:
+        ld x5, buf(x0)
+        addi x6, x6, -1
+        bne x6, x0, p1
+    p2:
+        addi x7, x7, 1
+        jal x0, p2
+    )",
+                            3000, 9000);
+    ASSERT_EQ(iv.size(), 3u);
+    EXPECT_GT(iv[0][m::MixMemRead], 0.3);
+    EXPECT_LT(iv[2][m::MixMemRead], 0.01)
+        << "memory counters leaked into the ALU phase";
+    EXPECT_EQ(iv[2][m::DataFootprint64B], 0.0);
+}
+
+TEST(Profiler, InstructionsObservedAdvances)
+{
+    const auto prog = assembler::assemble("loop: jal x0, loop");
+    vm::Cpu cpu(prog);
+    MicaProfiler prof(100);
+    (void)cpu.run(250, &prof);
+    EXPECT_EQ(prof.instructionsObserved(), 250u);
+    EXPECT_EQ(prof.intervalLength(), 100u);
+    EXPECT_EQ(prof.intervals().size(), 2u);
+}
+
+} // namespace

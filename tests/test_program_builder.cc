@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the ProgramBuilder code generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/cpu.hh"
+#include "workloads/program_builder.hh"
+
+namespace {
+
+using namespace mica;
+using isa::Opcode;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+TEST(ProgramBuilder, EmitsInstructions)
+{
+    ProgramBuilder pb("t");
+    pb.li(5, 42);
+    pb.halt();
+    const auto prog = pb.build();
+    ASSERT_EQ(prog.code.size(), 2u);
+    EXPECT_EQ(prog.code[0].op, Opcode::Addi);
+    EXPECT_EQ(prog.code[0].imm, 42);
+    EXPECT_EQ(prog.name, "t");
+}
+
+TEST(ProgramBuilder, BackwardBranchFixup)
+{
+    ProgramBuilder pb("t");
+    pb.li(5, 3);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, -1);
+    pb.branch(Opcode::Bne, 5, isa::kRegZero, top);
+    pb.halt();
+    const auto prog = pb.build();
+    EXPECT_EQ(prog.code[2].imm, -8);
+
+    vm::Cpu cpu(prog);
+    EXPECT_EQ(cpu.run(100).reason, vm::StopReason::Halted);
+    EXPECT_EQ(cpu.intReg(5), 0);
+}
+
+TEST(ProgramBuilder, ForwardJumpFixup)
+{
+    ProgramBuilder pb("t");
+    Label skip = pb.newLabel();
+    pb.jump(skip);
+    pb.li(5, 99); // skipped
+    pb.bind(skip);
+    pb.li(6, 7);
+    pb.halt();
+    const auto prog = pb.build();
+    vm::Cpu cpu(prog);
+    (void)cpu.run(100);
+    EXPECT_EQ(cpu.intReg(5), 0);
+    EXPECT_EQ(cpu.intReg(6), 7);
+}
+
+TEST(ProgramBuilder, CallRetSequence)
+{
+    ProgramBuilder pb("t");
+    Label fn = pb.newLabel();
+    Label main = pb.newLabel();
+    pb.jump(main);
+    pb.bind(fn);
+    pb.li(7, 5);
+    pb.ret();
+    pb.bind(main);
+    pb.call(fn);
+    pb.li(8, 6);
+    pb.halt();
+    vm::Cpu cpu(pb.build());
+    EXPECT_EQ(cpu.run(100).reason, vm::StopReason::Halted);
+    EXPECT_EQ(cpu.intReg(7), 5);
+    EXPECT_EQ(cpu.intReg(8), 6);
+}
+
+TEST(ProgramBuilder, UnboundLabelThrowsAtBuild)
+{
+    ProgramBuilder pb("t");
+    Label l = pb.newLabel();
+    pb.jump(l);
+    EXPECT_THROW((void)pb.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, DoubleBindThrows)
+{
+    ProgramBuilder pb("t");
+    Label l = pb.newLabel();
+    pb.bind(l);
+    EXPECT_THROW(pb.bind(l), std::logic_error);
+}
+
+TEST(ProgramBuilder, DataAllocationAlignment)
+{
+    ProgramBuilder pb("t");
+    const auto a = pb.allocData(3, 1);
+    const auto b = pb.allocData(8, 8);
+    EXPECT_EQ(a, isa::kDefaultDataBase);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GE(b, a + 3);
+}
+
+TEST(ProgramBuilder, AllocWordsContents)
+{
+    ProgramBuilder pb("t");
+    const std::uint64_t words[] = {0x1122334455667788ULL, 42};
+    const auto addr = pb.allocWords(words);
+    pb.halt();
+    vm::Cpu cpu(pb.build());
+    EXPECT_EQ(cpu.memory().read(addr, 8), words[0]);
+    EXPECT_EQ(cpu.memory().read(addr + 8, 8), 42u);
+}
+
+TEST(ProgramBuilder, AllocDoublesContents)
+{
+    ProgramBuilder pb("t");
+    const double values[] = {2.5, -1.0};
+    const auto addr = pb.allocDoubles(values);
+    pb.halt();
+    vm::Cpu cpu(pb.build());
+    EXPECT_DOUBLE_EQ(cpu.memory().readDouble(addr), 2.5);
+    EXPECT_DOUBLE_EQ(cpu.memory().readDouble(addr + 8), -1.0);
+}
+
+TEST(ProgramBuilder, ConsecutiveAllocationsAreContiguousWhenAligned)
+{
+    ProgramBuilder pb("t");
+    const auto mark = pb.allocData(0, 16);
+    const std::uint64_t words[] = {1, 2};
+    const auto addr = pb.allocWords(words);
+    EXPECT_EQ(mark, addr) << "allocWords must continue at the cursor";
+}
+
+TEST(ProgramBuilder, LabelTableHoldsCodeAddresses)
+{
+    ProgramBuilder pb("t");
+    Label f1 = pb.newLabel();
+    Label f2 = pb.newLabel();
+    std::vector<Label> labels{f1, f2};
+    const auto table = pb.allocLabelTable(labels);
+    Label main = pb.newLabel();
+    pb.jump(main);
+    pb.bind(f1);
+    pb.li(5, 1);
+    pb.ret();
+    pb.bind(f2);
+    pb.li(6, 2);
+    pb.ret();
+    pb.bind(main);
+    // Call both functions through the table.
+    pb.load(Opcode::Ld, 9, isa::kRegZero,
+            static_cast<std::int64_t>(table));
+    pb.callIndirect(9);
+    pb.load(Opcode::Ld, 9, isa::kRegZero,
+            static_cast<std::int64_t>(table) + 8);
+    pb.callIndirect(9);
+    pb.halt();
+    vm::Cpu cpu(pb.build());
+    EXPECT_EQ(cpu.run(100).reason, vm::StopReason::Halted);
+    EXPECT_EQ(cpu.intReg(5), 1);
+    EXPECT_EQ(cpu.intReg(6), 2);
+}
+
+TEST(ProgramBuilder, PatchWord)
+{
+    ProgramBuilder pb("t");
+    const auto slot = pb.allocData(8);
+    pb.patchWord(slot, 1234);
+    pb.halt();
+    vm::Cpu cpu(pb.build());
+    EXPECT_EQ(cpu.memory().read(slot, 8), 1234u);
+}
+
+TEST(ProgramBuilder, PatchWordOutsideSegmentThrows)
+{
+    ProgramBuilder pb("t");
+    (void)pb.allocData(8);
+    EXPECT_THROW(pb.patchWord(isa::kDefaultDataBase + 8, 1),
+                 std::logic_error);
+}
+
+TEST(ProgramBuilder, BuildValidatesEncoding)
+{
+    ProgramBuilder pb("t");
+    pb.li(5, isa::kImmMax + 1); // too large for the immediate field
+    EXPECT_THROW((void)pb.build(), std::out_of_range);
+}
+
+} // namespace

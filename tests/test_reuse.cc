@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the LRU stack-distance analyzer, including the classic
+ * cross-check: the miss rate predicted from the reuse-distance histogram
+ * must match a fully-associative LRU cache simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "mica/reuse.hh"
+#include "stats/rng.hh"
+#include "vm/cpu.hh"
+#include "vm/timing.hh"
+
+namespace {
+
+using namespace mica;
+using profiler::ReuseDistanceAnalyzer;
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero)
+{
+    ReuseDistanceAnalyzer rd;
+    rd.access(0x1000);
+    rd.access(0x1000);
+    rd.access(0x1008); // same 64B block
+    EXPECT_EQ(rd.coldAccesses(), 1u);
+    EXPECT_EQ(rd.reuses(), 2u);
+    EXPECT_EQ(rd.histogram()[0], 2u);
+    EXPECT_DOUBLE_EQ(rd.meanDistance(), 0.0);
+}
+
+TEST(ReuseDistance, DistanceCountsDistinctBlocks)
+{
+    ReuseDistanceAnalyzer rd;
+    rd.access(0 << 6);
+    rd.access(1 << 6);
+    rd.access(2 << 6);
+    rd.access(0 << 6); // 2 distinct blocks in between
+    EXPECT_EQ(rd.reuses(), 1u);
+    EXPECT_DOUBLE_EQ(rd.meanDistance(), 2.0);
+    // Distance 2 lands in bucket [2,4).
+    EXPECT_EQ(rd.histogram()[2], 1u);
+}
+
+TEST(ReuseDistance, RepeatedScanHasDistanceEqualToWorkingSet)
+{
+    ReuseDistanceAnalyzer rd;
+    const int blocks = 64;
+    for (int pass = 0; pass < 3; ++pass)
+        for (int b = 0; b < blocks; ++b)
+            rd.access(static_cast<std::uint64_t>(b) << 6);
+    EXPECT_EQ(rd.coldAccesses(), 64u);
+    EXPECT_EQ(rd.reuses(), 128u);
+    // Every reuse sees exactly 63 distinct other blocks -> bucket [32,64).
+    EXPECT_DOUBLE_EQ(rd.meanDistance(), 63.0);
+    EXPECT_EQ(rd.histogram()[6], 128u);
+}
+
+TEST(ReuseDistance, MissRatePredictionForScans)
+{
+    ReuseDistanceAnalyzer rd;
+    const int blocks = 64;
+    for (int pass = 0; pass < 10; ++pass)
+        for (int b = 0; b < blocks; ++b)
+            rd.access(static_cast<std::uint64_t>(b) << 6);
+    // A cache of >= 64 blocks holds the loop: only cold misses remain.
+    EXPECT_NEAR(rd.missRateForCapacity(128), 64.0 / 640.0, 1e-9);
+    // A cache of 32 blocks thrashes completely under LRU.
+    EXPECT_NEAR(rd.missRateForCapacity(32), 1.0, 1e-9);
+}
+
+TEST(ReuseDistance, SurvivesCompaction)
+{
+    // Push more accesses than the initial timestamp capacity (2^16) with
+    // a small working set: compaction must keep distances exact.
+    ReuseDistanceAnalyzer rd;
+    const int blocks = 8;
+    for (int i = 0; i < 200000; ++i)
+        rd.access(static_cast<std::uint64_t>(i % blocks) << 6);
+    EXPECT_EQ(rd.coldAccesses(), 8u);
+    EXPECT_DOUBLE_EQ(rd.meanDistance(), 7.0);
+}
+
+TEST(ReuseDistance, MatchesFullyAssociativeLruSimulation)
+{
+    // Ground truth: vm::CacheModel with ways == blocks is fully
+    // associative LRU. Drive both with the same random access stream and
+    // compare non-cold miss behaviour.
+    stats::Rng rng(17);
+    ReuseDistanceAnalyzer rd;
+    const std::uint64_t capacity_blocks = 64;
+    vm::CacheModel cache(static_cast<std::uint32_t>(capacity_blocks * 64),
+                         64, static_cast<std::uint32_t>(capacity_blocks));
+
+    std::uint64_t misses = 0, total = 0;
+    for (int i = 0; i < 50000; ++i) {
+        // Zipf-ish mixture: hot region + occasional far accesses.
+        const std::uint64_t block = rng.nextBool(0.8)
+            ? rng.nextBelow(48)
+            : rng.nextBelow(4096);
+        const std::uint64_t addr = block << 6;
+        rd.access(addr);
+        misses += !cache.access(addr);
+        ++total;
+    }
+    const double simulated =
+        static_cast<double>(misses) / static_cast<double>(total);
+    const double predicted = rd.missRateForCapacity(capacity_blocks);
+    EXPECT_NEAR(predicted, simulated, 0.02)
+        << "stack-distance theory vs LRU simulation";
+}
+
+TEST(ReuseDistance, AsTraceSink)
+{
+    const auto prog = assembler::assemble(R"(
+        .data
+        buf: .zero 8192
+        .text
+        addi x5, x0, buf
+        addi x6, x0, 64
+    loop:
+        ld x7, 0(x5)
+        addi x5, x5, 64
+        addi x6, x6, -1
+        bne x6, x0, loop
+        addi x5, x0, buf
+        addi x6, x0, 64
+        jal x0, loop
+    )");
+    vm::Cpu cpu(prog);
+    ReuseDistanceAnalyzer rd;
+    (void)cpu.run(50000, &rd);
+    EXPECT_EQ(rd.coldAccesses(), 64u); // 64 iterations x 64B stride
+    EXPECT_GT(rd.reuses(), 100u);
+    // The scan loop re-touches each block after 63 distinct others.
+    EXPECT_NEAR(rd.meanDistance(), 63.0, 1.0);
+}
+
+TEST(ReuseDistance, ColdOnlyStreamHasNoReuses)
+{
+    ReuseDistanceAnalyzer rd;
+    for (int i = 0; i < 1000; ++i)
+        rd.access(static_cast<std::uint64_t>(i) << 6);
+    EXPECT_EQ(rd.reuses(), 0u);
+    EXPECT_EQ(rd.coldAccesses(), 1000u);
+    EXPECT_DOUBLE_EQ(rd.missRateForCapacity(1u << 20), 1.0)
+        << "cold misses always miss";
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/rng.hh"
+
+namespace {
+
+using mica::stats::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitMix64IsDeterministic)
+{
+    std::uint64_t s1 = 7, s2 = 7;
+    EXPECT_EQ(mica::stats::splitMix64(s1), mica::stats::splitMix64(s2));
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(6);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(v, -3.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng rng(7);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.nextDouble();
+    EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMomentsSane)
+{
+    Rng rng(8);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.06);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(12);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[static_cast<std::size_t>(i)] = i;
+    auto copy = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, copy) << "shuffle of 100 elements left them in place";
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleDeterministic)
+{
+    std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+    auto b = a;
+    Rng r1(77), r2(77);
+    r1.shuffle(a);
+    r2.shuffle(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(13);
+    Rng child = parent.split();
+    // The child stream should not equal the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.nextU64() == child.nextU64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, CoversFullRangeOfBuckets)
+{
+    Rng rng(14);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(16));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for interval sampling (equal benchmark weight, replacement,
+ * determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/sampling.hh"
+
+namespace {
+
+using namespace mica;
+using core::CharacterizationResult;
+
+CharacterizationResult
+makeResult(const std::vector<std::uint32_t> &counts)
+{
+    CharacterizationResult r;
+    for (std::uint32_t b = 0; b < counts.size(); ++b) {
+        r.benchmark_ids.push_back("S/b" + std::to_string(b));
+        r.benchmark_names.push_back("b" + std::to_string(b));
+        r.benchmark_suites.push_back("S");
+        for (std::uint32_t i = 0; i < counts[b]; ++i) {
+            core::IntervalRecord rec;
+            rec.benchmark = b;
+            rec.input = 0;
+            rec.values[0] = static_cast<double>(b);
+            rec.values[1] = static_cast<double>(i);
+            r.intervals.push_back(rec);
+        }
+    }
+    return r;
+}
+
+TEST(Sampling, EqualRowsPerBenchmark)
+{
+    const auto chars = makeResult({100, 3, 17});
+    const auto ds = core::sampleIntervals(chars, 25, 1);
+    EXPECT_EQ(ds.data.rows(), 75u);
+    std::vector<int> per_benchmark(3, 0);
+    for (auto b : ds.benchmark_of_row)
+        ++per_benchmark[b];
+    for (int count : per_benchmark)
+        EXPECT_EQ(count, 25);
+}
+
+TEST(Sampling, ReplacementForShortBenchmarks)
+{
+    // Benchmark 1 has 3 intervals but contributes 25 samples: some of its
+    // intervals must appear several times.
+    const auto chars = makeResult({100, 3});
+    const auto ds = core::sampleIntervals(chars, 25, 2);
+    std::map<std::uint32_t, int> hits;
+    for (std::size_t row = 0; row < ds.data.rows(); ++row)
+        if (ds.benchmark_of_row[row] == 1)
+            ++hits[ds.source_interval[row]];
+    int max_hits = 0;
+    for (const auto &[idx, n] : hits)
+        max_hits = std::max(max_hits, n);
+    EXPECT_GT(max_hits, 1);
+}
+
+TEST(Sampling, RowsComeFromTheRightBenchmark)
+{
+    const auto chars = makeResult({10, 20});
+    const auto ds = core::sampleIntervals(chars, 15, 3);
+    for (std::size_t row = 0; row < ds.data.rows(); ++row) {
+        EXPECT_EQ(ds.data(row, 0),
+                  static_cast<double>(ds.benchmark_of_row[row]));
+        EXPECT_EQ(chars.intervals[ds.source_interval[row]].benchmark,
+                  ds.benchmark_of_row[row]);
+    }
+}
+
+TEST(Sampling, DeterministicForSeed)
+{
+    const auto chars = makeResult({30, 40});
+    const auto a = core::sampleIntervals(chars, 20, 7);
+    const auto b = core::sampleIntervals(chars, 20, 7);
+    EXPECT_EQ(a.source_interval, b.source_interval);
+    const auto c = core::sampleIntervals(chars, 20, 8);
+    EXPECT_NE(a.source_interval, c.source_interval);
+}
+
+TEST(Sampling, ZeroPerBenchmarkThrows)
+{
+    const auto chars = makeResult({5});
+    EXPECT_THROW((void)core::sampleIntervals(chars, 0, 1),
+                 std::invalid_argument);
+}
+
+TEST(Sampling, EmptyBenchmarkThrows)
+{
+    auto chars = makeResult({5});
+    chars.benchmark_ids.push_back("S/empty");
+    chars.benchmark_names.push_back("empty");
+    chars.benchmark_suites.push_back("S");
+    EXPECT_THROW((void)core::sampleIntervals(chars, 5, 1),
+                 std::runtime_error);
+}
+
+TEST(Sampling, AllIntervalsKeepsEveryRowOnce)
+{
+    const auto chars = makeResult({4, 6});
+    const auto ds = core::allIntervals(chars);
+    EXPECT_EQ(ds.data.rows(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(ds.source_interval[i], i);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for simulation-point selection (the section-5.3 application).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simpoints.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+using core::CharacterizationResult;
+
+/**
+ * Synthetic characterization: benchmark 0 has two sharply different
+ * behaviours (60%/40% of its intervals), benchmark 1 is homogeneous,
+ * benchmark 2 has a single interval.
+ */
+CharacterizationResult
+makeChars()
+{
+    CharacterizationResult chars;
+    for (int b = 0; b < 3; ++b) {
+        chars.benchmark_ids.push_back("S/b" + std::to_string(b));
+        chars.benchmark_names.push_back("b" + std::to_string(b));
+        chars.benchmark_suites.push_back("S");
+    }
+    stats::Rng rng(3);
+    auto add = [&](std::uint32_t bench, double level, int count) {
+        for (int i = 0; i < count; ++i) {
+            core::IntervalRecord rec;
+            rec.benchmark = bench;
+            rec.values[0] = level + 0.001 * rng.nextGaussian();
+            rec.values[1] = 2.0 * level + 0.001 * rng.nextGaussian();
+            rec.values[2] = 0.5; // constant characteristic
+            chars.intervals.push_back(rec);
+        }
+    };
+    add(0, 1.0, 30);
+    add(0, 9.0, 20);
+    add(1, 4.0, 25);
+    add(2, 7.0, 1);
+    return chars;
+}
+
+TEST(SimPoints, WeightsSumToOne)
+{
+    const auto chars = makeChars();
+    const auto sel = core::selectSimPoints(chars, 0, 4, 1);
+    double total = 0.0;
+    for (const auto &p : sel.points)
+        total += p.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SimPoints, TwoBehavioursNeedTwoPoints)
+{
+    const auto chars = makeChars();
+    const auto sel = core::selectSimPoints(chars, 0, 2, 1);
+    ASSERT_EQ(sel.points.size(), 2u);
+    // The weights must reflect the 60/40 split.
+    double w0 = sel.points[0].weight;
+    double w1 = sel.points[1].weight;
+    if (w0 < w1)
+        std::swap(w0, w1);
+    EXPECT_NEAR(w0, 0.6, 0.02);
+    EXPECT_NEAR(w1, 0.4, 0.02);
+}
+
+TEST(SimPoints, PointsBelongToTheBenchmark)
+{
+    const auto chars = makeChars();
+    for (std::uint32_t b = 0; b < 3; ++b) {
+        const auto sel = core::selectSimPoints(chars, b, 3, 1);
+        for (const auto &p : sel.points)
+            EXPECT_EQ(chars.intervals[p.interval].benchmark, b);
+    }
+}
+
+TEST(SimPoints, EstimationErrorSmallWithEnoughPoints)
+{
+    const auto chars = makeChars();
+    const auto sel = core::selectSimPoints(chars, 0, 2, 1);
+    EXPECT_LT(sel.estimation_error, 0.02)
+        << "two points should reconstruct a two-mode benchmark";
+}
+
+TEST(SimPoints, OnePointForTwoModesIsWorse)
+{
+    const auto chars = makeChars();
+    const auto one = core::selectSimPoints(chars, 0, 1, 1);
+    const auto two = core::selectSimPoints(chars, 0, 2, 1);
+    EXPECT_EQ(one.points.size(), 1u);
+    EXPECT_GT(one.estimation_error, two.estimation_error);
+}
+
+TEST(SimPoints, HomogeneousBenchmarkNeedsOnePointWorth)
+{
+    const auto chars = makeChars();
+    const auto sel = core::selectSimPoints(chars, 1, 1, 1);
+    EXPECT_EQ(sel.points.size(), 1u);
+    EXPECT_LT(sel.estimation_error, 0.01);
+}
+
+TEST(SimPoints, SingleIntervalBenchmark)
+{
+    const auto chars = makeChars();
+    const auto sel = core::selectSimPoints(chars, 2, 8, 1);
+    ASSERT_EQ(sel.points.size(), 1u);
+    EXPECT_DOUBLE_EQ(sel.points[0].weight, 1.0);
+    EXPECT_EQ(sel.estimation_error, 0.0);
+    EXPECT_DOUBLE_EQ(sel.simulated_fraction, 1.0);
+}
+
+TEST(SimPoints, SimulatedFraction)
+{
+    const auto chars = makeChars();
+    const auto sel = core::selectSimPoints(chars, 0, 2, 1);
+    EXPECT_NEAR(sel.simulated_fraction, 2.0 / 50.0, 1e-9);
+}
+
+TEST(SimPoints, BadArgumentsThrow)
+{
+    const auto chars = makeChars();
+    EXPECT_THROW((void)core::selectSimPoints(chars, 0, 0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)core::selectSimPoints(chars, 9, 2, 1),
+                 std::invalid_argument);
+}
+
+TEST(SimPoints, CrossBenchmarkSummary)
+{
+    // Hand-built analysis: suite S over 3 benchmarks, 4 clusters total.
+    const auto chars = makeChars();
+    core::SampledDataset sampled;
+    core::PhaseAnalysis analysis;
+    // 6 rows: benchmarks 0,0,1,1,2,2 in clusters 0,1,1,2,3,3.
+    const std::uint32_t bench_of[] = {0, 0, 1, 1, 2, 2};
+    const std::size_t cluster_of[] = {0, 1, 1, 2, 3, 3};
+    for (int i = 0; i < 6; ++i) {
+        std::vector<double> row(metrics::kNumCharacteristics, 0.0);
+        sampled.data.appendRow(row);
+        sampled.benchmark_of_row.push_back(bench_of[i]);
+        sampled.source_interval.push_back(0);
+        analysis.clustering.assignment.push_back(cluster_of[i]);
+    }
+    analysis.clustering.centers = stats::Matrix(4, 1);
+    analysis.clustering.sizes = {1, 2, 1, 2};
+
+    const auto summaries =
+        core::crossBenchmarkSimPoints(chars, sampled, analysis, 8);
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].suite, "S");
+    EXPECT_EQ(summaries[0].shared_points, 4u);
+    EXPECT_EQ(summaries[0].isolated_points, 24u);
+    EXPECT_GT(summaries[0].shared_points_90, 0u);
+    EXPECT_LE(summaries[0].shared_points_90, 4u);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the coverage / diversity / uniqueness math (Figures 4-6),
+ * validated against a hand-computed clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/suite_comparison.hh"
+
+namespace {
+
+using namespace mica;
+using core::CharacterizationResult;
+using core::PhaseAnalysis;
+using core::SampledDataset;
+
+/**
+ * Hand-built scenario with 4 clusters and two suites:
+ *
+ *   cluster 0: 4 rows of suite X (benchmark 0)      -> exclusive to X
+ *   cluster 1: 2 rows X (bench 1) + 2 rows Y (b2)   -> shared
+ *   cluster 2: 2 rows of suite Y (benchmark 2)      -> exclusive to Y
+ *   cluster 3: 2 rows of suite Y (benchmark 3)      -> exclusive to Y
+ *
+ * Suite X: 6 rows, suite Y: 6 rows.
+ *   coverage:  X touches clusters {0,1} = 2; Y touches {1,2,3} = 3.
+ *   unique:    X: 4/6; Y: 4/6.
+ *   cumulative X: 4/6, 6/6, ...; Y: shares 2/6,2/6,2/6 -> 1/3, 2/3, 1.
+ */
+struct Fixture
+{
+    CharacterizationResult chars;
+    SampledDataset sampled;
+    PhaseAnalysis analysis;
+
+    Fixture()
+    {
+        const char *suites[] = {"X", "X", "Y", "Y"};
+        for (std::uint32_t b = 0; b < 4; ++b) {
+            chars.benchmark_ids.push_back(std::string(suites[b]) + "/b" +
+                                          std::to_string(b));
+            chars.benchmark_names.push_back("b" + std::to_string(b));
+            chars.benchmark_suites.push_back(suites[b]);
+        }
+
+        const std::uint32_t bench_per_row[] = {0, 0, 0, 0, 1, 1, 2, 2,
+                                               2, 2, 3, 3};
+        const std::size_t cluster_per_row[] = {0, 0, 0, 0, 1, 1, 1, 1,
+                                               2, 2, 3, 3};
+        for (std::size_t i = 0; i < 12; ++i) {
+            std::vector<double> row(metrics::kNumCharacteristics, 0.0);
+            row[0] = static_cast<double>(cluster_per_row[i]);
+            sampled.data.appendRow(row);
+            sampled.benchmark_of_row.push_back(bench_per_row[i]);
+            sampled.source_interval.push_back(0);
+            analysis.clustering.assignment.push_back(cluster_per_row[i]);
+        }
+        analysis.clustering.centers = stats::Matrix(4, 1);
+        analysis.clustering.sizes = {4, 4, 2, 2};
+    }
+};
+
+TEST(SuiteComparison, SuitesListedInDataOrder)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    ASSERT_EQ(cmp.suites.size(), 2u);
+    EXPECT_EQ(cmp.suites[0], "X");
+    EXPECT_EQ(cmp.suites[1], "Y");
+}
+
+TEST(SuiteComparison, CoverageCountsTouchedClusters)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    EXPECT_EQ(cmp.coverage[cmp.indexOf("X")], 2u);
+    EXPECT_EQ(cmp.coverage[cmp.indexOf("Y")], 3u);
+}
+
+TEST(SuiteComparison, UniquenessFractions)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    EXPECT_NEAR(cmp.uniqueness[cmp.indexOf("X")], 4.0 / 6.0, 1e-12);
+    EXPECT_NEAR(cmp.uniqueness[cmp.indexOf("Y")], 4.0 / 6.0, 1e-12);
+}
+
+TEST(SuiteComparison, CumulativeCurves)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    const auto &x = cmp.cumulative[cmp.indexOf("X")];
+    ASSERT_EQ(x.size(), 4u);
+    EXPECT_NEAR(x[0], 4.0 / 6.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+    EXPECT_NEAR(x[3], 1.0, 1e-12);
+
+    const auto &y = cmp.cumulative[cmp.indexOf("Y")];
+    EXPECT_NEAR(y[0], 2.0 / 6.0, 1e-12);
+    EXPECT_NEAR(y[1], 4.0 / 6.0, 1e-12);
+    EXPECT_NEAR(y[2], 1.0, 1e-12);
+}
+
+TEST(SuiteComparison, CurvesAreMonotone)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    for (const auto &curve : cmp.cumulative)
+        for (std::size_t i = 0; i + 1 < curve.size(); ++i)
+            EXPECT_LE(curve[i], curve[i + 1] + 1e-12);
+}
+
+TEST(SuiteComparison, ClustersToCover)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    EXPECT_EQ(cmp.clustersToCover(cmp.indexOf("X"), 0.5), 1u);
+    EXPECT_EQ(cmp.clustersToCover(cmp.indexOf("X"), 0.9), 2u);
+    EXPECT_EQ(cmp.clustersToCover(cmp.indexOf("Y"), 0.9), 3u);
+}
+
+TEST(SuiteComparison, IndexOfUnknownThrows)
+{
+    Fixture fix;
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    EXPECT_THROW((void)cmp.indexOf("Nope"), std::out_of_range);
+}
+
+TEST(SuiteComparison, SingleSuiteIsFullyUnique)
+{
+    Fixture fix;
+    // Relabel everything as one suite.
+    for (auto &s : fix.chars.benchmark_suites)
+        s = "X";
+    const auto cmp =
+        core::compareSuites(fix.chars, fix.sampled, fix.analysis);
+    ASSERT_EQ(cmp.suites.size(), 1u);
+    EXPECT_NEAR(cmp.uniqueness[0], 1.0, 1e-12);
+    EXPECT_EQ(cmp.coverage[0], 4u);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Guard tests for the catalog's design intentions: each suite's hallmark
+ * benchmarks must exhibit the behavioural signature they were built to
+ * have (DESIGN.md section 3, paper section 4). These tests protect the
+ * figure shapes from accidental catalog regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/characterize.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+namespace m = metrics::midx;
+
+const workloads::SuiteCatalog &
+catalog()
+{
+    static const workloads::SuiteCatalog instance;
+    return instance;
+}
+
+/** Mean characteristic vector over a short run of a benchmark. */
+metrics::CharacteristicVector
+profileOf(const char *id, std::uint32_t input = 0)
+{
+    const auto *bench = catalog().find(id);
+    if (!bench)
+        throw std::runtime_error(std::string("missing ") + id);
+    const auto intervals =
+        core::characterizeProgram(bench->build(input), 25000, 8);
+    metrics::CharacteristicVector mean{};
+    for (const auto &v : intervals)
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            mean[c] += v[c] / static_cast<double>(intervals.size());
+    return mean;
+}
+
+TEST(SuiteSignature, McfIsLoadDominatedWithLowIlp)
+{
+    const auto mcf = profileOf("SPECint2006/mcf");
+    const auto lbm = profileOf("SPECfp2006/lbm");
+    EXPECT_GT(mcf[m::MixMemRead], 0.25);
+    EXPECT_LT(mcf[m::Ilp256], lbm[m::Ilp256])
+        << "pointer chasing must cap ILP below streaming";
+}
+
+TEST(SuiteSignature, LbmIsFpStreaming)
+{
+    const auto lbm = profileOf("SPECfp2006/lbm");
+    EXPECT_GT(lbm[m::MixFpArith] + lbm[m::MixFpMul], 0.1);
+    EXPECT_GT(lbm[m::MixMemRead], 0.15);
+    // stride 4 elements x unroll 4 = 128-byte static strides: inside the
+    // <=512 cumulative bucket, outside <=64.
+    EXPECT_GT(lbm[m::LocalLoadStride512], 0.8);
+    EXPECT_LT(lbm[m::LocalLoadStride64], 0.2);
+}
+
+TEST(SuiteSignature, GccHasLargestInstructionFootprint)
+{
+    const auto gcc = profileOf("SPECint2006/gcc");
+    const auto mcf = profileOf("SPECint2006/mcf");
+    const auto lbm = profileOf("SPECfp2006/lbm");
+    EXPECT_GT(gcc[m::InstrFootprint64B],
+              3.0 * mcf[m::InstrFootprint64B]);
+    EXPECT_GT(gcc[m::InstrFootprint64B],
+              3.0 * lbm[m::InstrFootprint64B]);
+    EXPECT_GT(gcc[m::MixCall], 0.005);
+}
+
+TEST(SuiteSignature, GrappaMatchesThePaperDescription)
+{
+    // Paper section 4.2: "most of Grappa's execution exhibits a large
+    // number of [arithmetic] operations along with a large number of
+    // global small-distance strides".
+    const auto *bench = catalog().find("BioPerf/grappa");
+    ASSERT_NE(bench, nullptr);
+    const auto intervals =
+        core::characterizeProgram(bench->build(0), 25000, 24);
+    double arith = 0.0, small_global = 0.0;
+    for (const auto &v : intervals) {
+        arith = std::max(arith, v[m::MixIntArith] + v[m::MixIntMul] +
+                                    v[m::MixIntLogic] + v[m::MixIntShift]);
+        small_global = std::max(small_global, v[m::GlobalLoadStride64]);
+        EXPECT_LT(v[m::MixFpArith] + v[m::MixFpMul], 0.01);
+    }
+    EXPECT_GT(arith, 0.5) << "integer-operation-dense phase missing";
+    EXPECT_GT(small_global, 0.9)
+        << "global small-distance stride phase missing";
+}
+
+TEST(SuiteSignature, SjengBranchesAreHistoryPredictable)
+{
+    // sjeng uses a pseudo-random period-512 pattern: long history can
+    // pin the position in the period, 4 bits cannot.
+    const auto sjeng = profileOf("SPECint2006/sjeng");
+    EXPECT_GT(sjeng[m::PpmGag4], sjeng[m::PpmGag12] + 0.02);
+}
+
+TEST(SuiteSignature, GobmkBranchesAreErratic)
+{
+    const auto gobmk = profileOf("SPECint2006/gobmk");
+    const auto h264 = profileOf("SPECint2006/h264ref");
+    EXPECT_GT(gobmk[m::PpmGag12], h264[m::PpmGag12] + 0.05)
+        << "search branches vs regular codec loops";
+}
+
+TEST(SuiteSignature, VideoCodecsShareTheSadSignature)
+{
+    // The MediaBench codecs and SPEC's h264ref run the same SAD kernel
+    // parameters; their aggregate vectors must be close in the plain
+    // characteristic space (this is what drives their low uniqueness).
+    const auto h264ref = profileOf("SPECint2006/h264ref");
+    const auto mpeg2 = profileOf("MediaBenchII/mpeg2enc");
+    double dist = 0.0;
+    int counted = 0;
+    for (std::size_t c = 0; c < 20; ++c) { // instruction-mix block
+        dist += std::fabs(h264ref[c] - mpeg2[c]);
+        ++counted;
+    }
+    EXPECT_LT(dist / counted, 0.05)
+        << "codec instruction mixes diverged";
+}
+
+TEST(SuiteSignature, BmwFaceMatchesFacerec)
+{
+    const auto face = profileOf("BMW/face");
+    const auto facerec = profileOf("SPECfp2000/facerec");
+    // Both are convolution-led fp pipelines.
+    EXPECT_GT(face[m::MixFpArith] + face[m::MixFpMul], 0.1);
+    EXPECT_GT(facerec[m::MixFpArith] + facerec[m::MixFpMul], 0.1);
+}
+
+TEST(SuiteSignature, SixtrackHasLowIlpFpChains)
+{
+    const auto sixtrack = profileOf("SPECfp2000/sixtrack");
+    const auto bwaves = profileOf("SPECfp2006/bwaves");
+    EXPECT_LT(sixtrack[m::Ilp256], bwaves[m::Ilp256])
+        << "serial recurrences vs parallel stencils";
+}
+
+TEST(SuiteSignature, LibquantumHasStridedIntStreams)
+{
+    const auto lq = profileOf("SPECint2006/libquantum");
+    EXPECT_LT(lq[m::MixFpArith], 0.01);
+    EXPECT_GT(lq[m::MixMemRead], 0.1);
+    // stride-8 elements = 64-byte local strides: inside <=64 cumulative
+    // bucket but outside <=8.
+    EXPECT_GT(lq[m::LocalLoadStride512], 0.9);
+}
+
+TEST(SuiteSignature, PovrayUsesFpDivideAndSqrt)
+{
+    const auto povray = profileOf("SPECfp2006/povray");
+    EXPECT_GT(povray[m::MixFpDiv], 0.005);
+    EXPECT_GT(povray[m::MixFpSqrt], 0.005);
+}
+
+TEST(SuiteSignature, AstarInputsScaleItsFootprint)
+{
+    // Input 1 doubles the open-list node count; the chase phase of the
+    // larger input must touch more pages in its heaviest interval. Use
+    // enough intervals to cover the whole phase schedule.
+    const auto *bench = catalog().find("SPECint2006/astar");
+    ASSERT_NE(bench, nullptr);
+    auto max_pages = [&](std::uint32_t input) {
+        const auto intervals =
+            core::characterizeProgram(bench->build(input), 25000, 40);
+        double pages = 0.0;
+        for (const auto &v : intervals)
+            pages = std::max(pages, v[m::DataFootprint4K]);
+        return pages;
+    };
+    EXPECT_GT(max_pages(1), max_pages(0) * 1.4);
+}
+
+TEST(SuiteSignature, FastaIsDnaScanning)
+{
+    const auto fasta = profileOf("BioPerf/fasta");
+    // Byte loads with unit strides and branchy inner loops.
+    EXPECT_GT(fasta[m::MixCondBranch], 0.15);
+    EXPECT_GT(fasta[m::LocalLoadStride8], 0.5);
+}
+
+} // namespace

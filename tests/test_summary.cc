@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for column statistics, normalization and Pearson correlation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace {
+
+using mica::stats::Matrix;
+
+TEST(Summary, ColumnStatsKnownValues)
+{
+    Matrix m = Matrix::fromRows({{1, 10}, {3, 10}, {5, 10}});
+    const auto cs = mica::stats::columnStats(m);
+    EXPECT_DOUBLE_EQ(cs.mean[0], 3.0);
+    EXPECT_DOUBLE_EQ(cs.mean[1], 10.0);
+    EXPECT_NEAR(cs.stddev[0], std::sqrt(8.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(cs.stddev[1], 0.0);
+}
+
+TEST(Summary, NormalizeProducesZeroMeanUnitVariance)
+{
+    mica::stats::Rng rng(1);
+    Matrix m(200, 3);
+    for (std::size_t r = 0; r < 200; ++r) {
+        m(r, 0) = rng.uniform(5.0, 9.0);
+        m(r, 1) = rng.nextGaussian() * 10.0 - 4.0;
+        m(r, 2) = rng.nextDouble();
+    }
+    const Matrix n = mica::stats::normalizeColumns(m);
+    const auto cs = mica::stats::columnStats(n);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(cs.mean[c], 0.0, 1e-9);
+        EXPECT_NEAR(cs.stddev[c], 1.0, 1e-9);
+    }
+}
+
+TEST(Summary, NormalizeConstantColumnToZero)
+{
+    Matrix m = Matrix::fromRows({{7, 1}, {7, 2}, {7, 3}});
+    const Matrix n = mica::stats::normalizeColumns(m);
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_EQ(n(r, 0), 0.0);
+}
+
+TEST(Summary, MeanAndVariance)
+{
+    const double v[] = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_DOUBLE_EQ(mica::stats::mean(v), 5.0);
+    EXPECT_DOUBLE_EQ(mica::stats::variance(v), 5.0);
+}
+
+TEST(Summary, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mica::stats::mean({}), 0.0);
+    EXPECT_EQ(mica::stats::variance({}), 0.0);
+}
+
+TEST(Summary, PearsonPerfectPositive)
+{
+    const double a[] = {1, 2, 3, 4, 5};
+    const double b[] = {10, 20, 30, 40, 50};
+    EXPECT_NEAR(mica::stats::pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Summary, PearsonPerfectNegative)
+{
+    const double a[] = {1, 2, 3, 4};
+    const double b[] = {8, 6, 4, 2};
+    EXPECT_NEAR(mica::stats::pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Summary, PearsonConstantInputIsZero)
+{
+    const double a[] = {1, 1, 1};
+    const double b[] = {1, 2, 3};
+    EXPECT_EQ(mica::stats::pearson(a, b), 0.0);
+}
+
+TEST(Summary, PearsonSymmetric)
+{
+    const double a[] = {1, 5, 2, 8, 3};
+    const double b[] = {2, 3, 9, 1, 4};
+    EXPECT_DOUBLE_EQ(mica::stats::pearson(a, b),
+                     mica::stats::pearson(b, a));
+}
+
+TEST(Summary, PearsonInvariantToAffineTransform)
+{
+    const double a[] = {1, 5, 2, 8, 3};
+    const double b[] = {2, 3, 9, 1, 4};
+    double b2[5];
+    for (int i = 0; i < 5; ++i)
+        b2[i] = 3.0 * b[i] + 7.0;
+    EXPECT_NEAR(mica::stats::pearson(a, b), mica::stats::pearson(a, b2),
+                1e-12);
+}
+
+TEST(Summary, PearsonNearZeroForIndependentData)
+{
+    mica::stats::Rng rng(4);
+    std::vector<double> a(5000), b(5000);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.nextGaussian();
+        b[i] = rng.nextGaussian();
+    }
+    EXPECT_NEAR(mica::stats::pearson(a, b), 0.0, 0.05);
+}
+
+TEST(Summary, PairwiseDistancesCondensedLayout)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {3, 4}, {0, 8}});
+    const auto d = mica::stats::pairwiseDistances(m);
+    ASSERT_EQ(d.size(), 3u); // (0,1), (0,2), (1,2)
+    EXPECT_DOUBLE_EQ(d[0], 5.0);
+    EXPECT_DOUBLE_EQ(d[1], 8.0);
+    EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+/** Pearson is bounded in [-1, 1] for arbitrary random inputs. */
+class PearsonBoundsTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PearsonBoundsTest, WithinBounds)
+{
+    mica::stats::Rng rng(GetParam());
+    std::vector<double> a(50), b(50);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.uniform(-100.0, 100.0);
+        b[i] = rng.uniform(-100.0, 100.0);
+    }
+    const double r = mica::stats::pearson(a, b);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonBoundsTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the trace-sink plumbing: TeeSink fan-out and the
+ * TraceLogger's formatted output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "mica/profiler.hh"
+#include "vm/cpu.hh"
+#include "vm/timing.hh"
+#include "vm/trace_logger.hh"
+
+namespace {
+
+using namespace mica;
+
+struct CountingSink : vm::TraceSink
+{
+    int count = 0;
+    void onInstruction(const vm::DynInstr &) override { ++count; }
+};
+
+TEST(TeeSink, FansOutToAllSinks)
+{
+    const auto prog = assembler::assemble("loop: addi x5, x5, 1\n"
+                                          "jal x0, loop");
+    vm::Cpu cpu(prog);
+    CountingSink a, b, c;
+    vm::TeeSink tee;
+    tee.attach(&a);
+    tee.attach(&b);
+    tee.attach(&c);
+    (void)cpu.run(100, &tee);
+    EXPECT_EQ(a.count, 100);
+    EXPECT_EQ(b.count, 100);
+    EXPECT_EQ(c.count, 100);
+}
+
+TEST(TeeSink, ProfilerAndTimingCompose)
+{
+    const auto prog = assembler::assemble(R"(
+        .data
+        buf: .zero 1024
+        .text
+    loop:
+        ld x5, buf(x0)
+        addi x6, x6, 1
+        jal x0, loop
+    )");
+    vm::Cpu cpu(prog);
+    profiler::MicaProfiler profiler(500);
+    vm::TimingModel timing;
+    vm::TeeSink tee;
+    tee.attach(&profiler);
+    tee.attach(&timing);
+    (void)cpu.run(1000, &tee);
+    EXPECT_EQ(profiler.intervals().size(), 2u);
+    EXPECT_EQ(timing.stats().instructions, 1000u);
+}
+
+TEST(TraceLogger, FormatsInstructionLines)
+{
+    const auto prog = assembler::assemble(R"(
+        .data
+        buf: .zero 64
+        .text
+        addi x5, x0, 7
+        sd x5, buf(x0)
+        beq x5, x0, skip
+        addi x6, x0, 1
+    skip:
+        halt
+    )");
+    vm::Cpu cpu(prog);
+    std::ostringstream log;
+    vm::TraceLogger logger(log);
+    (void)cpu.run(100, &logger);
+    const std::string text = log.str();
+
+    EXPECT_NE(text.find("addi x5, x0, 7"), std::string::npos);
+    EXPECT_NE(text.find("sd x5,"), std::string::npos);
+    EXPECT_NE(text.find("W 0x"), std::string::npos) << "store address";
+    EXPECT_NE(text.find("(8B)"), std::string::npos);
+    EXPECT_NE(text.find("[not taken]"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+    EXPECT_EQ(logger.seen(), 5u);
+}
+
+TEST(TraceLogger, RespectsLineLimit)
+{
+    const auto prog = assembler::assemble("loop: addi x5, x5, 1\n"
+                                          "jal x0, loop");
+    vm::Cpu cpu(prog);
+    std::ostringstream log;
+    vm::TraceLogger logger(log, 10);
+    (void)cpu.run(1000, &logger);
+    EXPECT_EQ(logger.seen(), 1000u);
+    int lines = 0;
+    for (char c : log.str())
+        lines += c == '\n';
+    EXPECT_EQ(lines, 10);
+}
+
+TEST(TraceLogger, MarksTakenBranches)
+{
+    const auto prog = assembler::assemble(R"(
+        addi x5, x0, 1
+        bne x5, x0, target
+        nop
+    target:
+        halt
+    )");
+    vm::Cpu cpu(prog);
+    std::ostringstream log;
+    vm::TraceLogger logger(log);
+    (void)cpu.run(100, &logger);
+    EXPECT_NE(log.str().find("[taken]"), std::string::npos);
+    EXPECT_EQ(log.str().find("nop"), std::string::npos)
+        << "skipped instruction must not appear";
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the visualization layer: SVG structure, kiviat scaling, ASCII
+ * charts and CSV emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "viz/charts.hh"
+#include "viz/figure_charts.hh"
+#include "viz/kiviat.hh"
+#include "viz/svg.hh"
+
+namespace {
+
+using namespace mica::viz;
+
+int
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    int count = 0;
+    std::size_t pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(Svg, DocumentStructure)
+{
+    SvgDocument doc(100, 50);
+    doc.line({0, 0}, {10, 10}, "#000000");
+    doc.circle({5, 5}, 2, "red");
+    const std::string s = doc.str();
+    EXPECT_NE(s.find("<svg"), std::string::npos);
+    EXPECT_NE(s.find("</svg>"), std::string::npos);
+    EXPECT_NE(s.find("width=\"100.00\""), std::string::npos);
+    EXPECT_EQ(countOccurrences(s, "<line"), 1);
+    EXPECT_EQ(countOccurrences(s, "<circle"), 1);
+}
+
+TEST(Svg, EscapesText)
+{
+    SvgDocument doc(10, 10);
+    doc.text({0, 0}, "a<b & \"c\"", 10);
+    const std::string s = doc.str();
+    EXPECT_NE(s.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+    EXPECT_EQ(s.find("a<b"), std::string::npos);
+}
+
+TEST(Svg, PolygonPoints)
+{
+    SvgDocument doc(10, 10);
+    doc.polygon({{0, 0}, {5, 0}, {5, 5}}, "none", "#123456");
+    EXPECT_NE(doc.str().find("5.00,5.00"), std::string::npos);
+}
+
+TEST(Svg, WedgeEmitsPath)
+{
+    SvgDocument doc(10, 10);
+    doc.wedge({5, 5}, 4, 0.0, 2.0, "#ff0000");
+    EXPECT_NE(doc.str().find("<path"), std::string::npos);
+}
+
+TEST(Svg, WritesFile)
+{
+    const std::string path = "/tmp/micaphase_test_svg.svg";
+    SvgDocument doc(10, 10);
+    doc.rect({0, 0}, 5, 5, "#ffffff");
+    doc.writeFile(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, doc.str());
+    std::remove(path.c_str());
+}
+
+std::vector<AxisStats>
+twoAxes()
+{
+    return {
+        {"a", 0.0, 0.2, 0.5, 0.8, 1.0},
+        {"b", 10.0, 12.0, 15.0, 18.0, 20.0},
+    };
+}
+
+TEST(Kiviat, AxisRadiusScalesAndClamps)
+{
+    const AxisStats axis{"x", 0.0, 0.0, 0.5, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(axisRadius(axis, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(axisRadius(axis, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(axisRadius(axis, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(axisRadius(axis, -5.0), 0.0);
+    EXPECT_DOUBLE_EQ(axisRadius(axis, 9.0), 1.0);
+}
+
+TEST(Kiviat, DegenerateAxisMidpoint)
+{
+    const AxisStats axis{"x", 3.0, 3.0, 3.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(axisRadius(axis, 3.0), 0.5);
+}
+
+TEST(Kiviat, PanelRenders)
+{
+    KiviatPanel panel;
+    panel.title = "weight: 4.87%";
+    panel.values = {0.7, 14.0};
+    panel.slices = {{"fasta", 1.0}};
+    panel.caption_lines = {"BioPerf/fasta: 23.56%"};
+    const auto doc = renderKiviatPanel(panel, twoAxes(), {});
+    const std::string s = doc.str();
+    EXPECT_NE(s.find("weight: 4.87%"), std::string::npos);
+    EXPECT_NE(s.find("23.56%"), std::string::npos);
+    EXPECT_GE(countOccurrences(s, "<polygon"), 5) << "rings + shape";
+    EXPECT_GE(countOccurrences(s, "<path"), 1) << "pie slice";
+}
+
+TEST(Kiviat, ValueCountMismatchThrows)
+{
+    KiviatPanel panel;
+    panel.values = {0.5};
+    EXPECT_THROW((void)renderKiviatPanel(panel, twoAxes(), {}),
+                 std::invalid_argument);
+}
+
+TEST(Kiviat, GridLaysOutAllPanels)
+{
+    KiviatPanel panel;
+    panel.title = "w";
+    panel.values = {0.5, 12.0};
+    panel.slices = {{"x", 0.5}, {"y", 0.5}};
+    std::vector<KiviatPanel> panels(7, panel);
+    KiviatOptions opts;
+    opts.columns = 3;
+    const auto doc = renderKiviatGrid("grid title", panels, twoAxes(),
+                                      opts);
+    const std::string s = doc.str();
+    EXPECT_NE(s.find("grid title"), std::string::npos);
+    EXPECT_GE(countOccurrences(s, "<path"), 14) << "2 slices x 7 panels";
+}
+
+TEST(Kiviat, AsciiContainsAxesAndSlices)
+{
+    KiviatPanel panel;
+    panel.title = "weight: 1.00%";
+    panel.values = {0.9, 11.0};
+    panel.slices = {{"SPECint2006/astar", 0.75}};
+    const std::string s = renderAsciiKiviat(panel, twoAxes());
+    EXPECT_NE(s.find("weight: 1.00%"), std::string::npos);
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("astar"), std::string::npos);
+    EXPECT_NE(s.find("75.0%"), std::string::npos);
+}
+
+TEST(Charts, BarChartScalesToWidest)
+{
+    const std::string s = asciiBarChart(
+        "t", {{"one", 1.0}, {"two", 2.0}}, 10);
+    EXPECT_NE(s.find("one"), std::string::npos);
+    // The widest bar fills the full width.
+    EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(Charts, BarChartPercentMode)
+{
+    const std::string s =
+        asciiBarChart("t", {{"x", 0.652}}, 10, true);
+    EXPECT_NE(s.find("65.2%"), std::string::npos);
+}
+
+TEST(Charts, BarChartHandlesAllZero)
+{
+    const std::string s = asciiBarChart("t", {{"x", 0.0}}, 10);
+    EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+TEST(Charts, CurvesListSeriesNames)
+{
+    Series s1{"SPECint2006", {0.2, 0.5, 0.8, 1.0}};
+    Series s2{"BMW", {0.6, 0.9, 1.0, 1.0}};
+    const std::string s = asciiCurves("fig5", {s1, s2});
+    EXPECT_NE(s.find("SPECint2006"), std::string::npos);
+    EXPECT_NE(s.find("BMW"), std::string::npos);
+    EXPECT_NE(s.find("fig5"), std::string::npos);
+}
+
+TEST(Charts, CurvesEmptyIsSafe)
+{
+    EXPECT_NO_THROW((void)asciiCurves("t", {}));
+    EXPECT_NO_THROW((void)asciiCurves("t", {{"s", {}}}));
+}
+
+TEST(Charts, CsvWriter)
+{
+    const std::string path = "/tmp/micaphase_test.csv";
+    writeCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "3,4");
+    std::remove(path.c_str());
+}
+
+TEST(FigureCharts, BarChartSvgStructure)
+{
+    const auto doc = renderBarChartSvg(
+        "fig4", {{"SPECint2006", 80.0}, {"BMW", 39.0}}, {});
+    const std::string s = doc.str();
+    EXPECT_NE(s.find("fig4"), std::string::npos);
+    EXPECT_NE(s.find("SPECint2006"), std::string::npos);
+    EXPECT_NE(s.find("BMW"), std::string::npos);
+    EXPECT_GE(countOccurrences(s, "<rect"), 3) << "background + 2 bars";
+}
+
+TEST(FigureCharts, BarChartSvgPercentFormatting)
+{
+    ChartOptions opts;
+    opts.percent = true;
+    const auto doc = renderBarChartSvg("u", {{"BioPerf", 0.831}}, opts);
+    EXPECT_NE(doc.str().find("83.1%"), std::string::npos);
+}
+
+TEST(FigureCharts, BarChartSvgHandlesEmpty)
+{
+    EXPECT_NO_THROW((void)renderBarChartSvg("empty", {}, {}));
+}
+
+TEST(FigureCharts, LineChartSvgStructure)
+{
+    Series a{"SPECfp2006", {0.1, 0.4, 0.8, 1.0}};
+    Series b{"BMW", {0.5, 0.9, 1.0, 1.0}};
+    const auto doc = renderLineChartSvg("fig5", {a, b}, {});
+    const std::string s = doc.str();
+    EXPECT_EQ(countOccurrences(s, "<polyline"), 2);
+    EXPECT_NE(s.find("SPECfp2006"), std::string::npos);
+    EXPECT_NE(s.find("clusters (1..4)"), std::string::npos);
+}
+
+TEST(FigureCharts, LineChartSvgHandlesDegenerateInput)
+{
+    EXPECT_NO_THROW((void)renderLineChartSvg("t", {}, {}));
+    EXPECT_NO_THROW((void)renderLineChartSvg("t", {{"one", {0.5}}}, {}));
+    EXPECT_NO_THROW(
+        (void)renderLineChartSvg("t", {{"zeros", {0.0, 0.0}}}, {}));
+}
+
+TEST(Charts, CsvWriterBadPathThrows)
+{
+    EXPECT_THROW(writeCsv("/nonexistent_dir_xyz/f.csv", {"a"}, {}),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the benchmark catalog: structure (77 benchmarks, 7 suites,
+ * paper-matching counts) and execution (every benchmark input builds and
+ * runs trap-free; builds are deterministic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/cpu.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+using workloads::BenchmarkSpec;
+using workloads::SuiteCatalog;
+
+const SuiteCatalog &
+catalog()
+{
+    static const SuiteCatalog instance;
+    return instance;
+}
+
+TEST(SuiteCatalog, Has77Benchmarks)
+{
+    EXPECT_EQ(catalog().benchmarks().size(), 77u);
+}
+
+TEST(SuiteCatalog, SuiteSizesMatchPaperTable3)
+{
+    EXPECT_EQ(catalog().bySuite("BioPerf").size(), 10u);
+    EXPECT_EQ(catalog().bySuite("BMW").size(), 5u);
+    EXPECT_EQ(catalog().bySuite("SPECint2000").size(), 12u);
+    EXPECT_EQ(catalog().bySuite("SPECfp2000").size(), 14u);
+    EXPECT_EQ(catalog().bySuite("SPECint2006").size(), 12u);
+    EXPECT_EQ(catalog().bySuite("SPECfp2006").size(), 17u);
+    EXPECT_EQ(catalog().bySuite("MediaBenchII").size(), 7u);
+}
+
+TEST(SuiteCatalog, SevenSuiteGroups)
+{
+    EXPECT_EQ(SuiteCatalog::suiteNames().size(), 7u);
+}
+
+TEST(SuiteCatalog, IdsAreUnique)
+{
+    std::set<std::string> ids;
+    for (const auto &b : catalog().benchmarks())
+        EXPECT_TRUE(ids.insert(b.id()).second) << "duplicate " << b.id();
+}
+
+TEST(SuiteCatalog, SharedNamesAcrossSuitesAreDistinctIds)
+{
+    // The paper has hmmer in both BioPerf and SPECint2006, and bzip2/gcc/
+    // mcf in both CPU2000 and CPU2006.
+    EXPECT_NE(catalog().find("BioPerf/hmmer"), nullptr);
+    EXPECT_NE(catalog().find("SPECint2006/hmmer"), nullptr);
+    EXPECT_NE(catalog().find("SPECint2000/mcf"), nullptr);
+    EXPECT_NE(catalog().find("SPECint2006/mcf"), nullptr);
+}
+
+TEST(SuiteCatalog, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(catalog().find("SPECint2000/quake3"), nullptr);
+}
+
+TEST(SuiteCatalog, AddDuplicateThrows)
+{
+    SuiteCatalog cat;
+    BenchmarkSpec dup = cat.benchmarks().front();
+    EXPECT_THROW(cat.add(dup), std::logic_error);
+}
+
+TEST(SuiteCatalog, AddUnknownSuiteThrows)
+{
+    SuiteCatalog cat;
+    BenchmarkSpec spec = cat.benchmarks().front();
+    spec.name = "fresh";
+    spec.suite = "SPECint2042";
+    EXPECT_THROW(cat.add(spec), std::logic_error);
+}
+
+TEST(SuiteCatalog, EveryBenchmarkHasPhasesAndBudget)
+{
+    for (const auto &b : catalog().benchmarks()) {
+        EXPECT_GE(b.num_inputs, 1u) << b.id();
+        EXPECT_GE(b.total_intervals, 1u) << b.id();
+        EXPECT_FALSE(b.phases(0).empty()) << b.id();
+    }
+}
+
+TEST(SuiteCatalog, IntervalsForInputSplitsBudget)
+{
+    for (const auto &b : catalog().benchmarks()) {
+        std::uint32_t total = 0;
+        for (std::uint32_t in = 0; in < b.num_inputs; ++in)
+            total += b.intervalsForInput(in);
+        EXPECT_GE(total, b.total_intervals) << b.id();
+        EXPECT_LE(total, b.total_intervals + b.num_inputs) << b.id();
+    }
+}
+
+TEST(SuiteCatalog, BadInputIndexThrows)
+{
+    const auto &b = catalog().benchmarks().front();
+    EXPECT_THROW((void)b.build(b.num_inputs), std::out_of_range);
+}
+
+TEST(SuiteCatalog, BuildIsDeterministic)
+{
+    const auto *b = catalog().find("SPECint2006/astar");
+    ASSERT_NE(b, nullptr);
+    const auto p1 = b->build(0);
+    const auto p2 = b->build(0);
+    ASSERT_EQ(p1.code.size(), p2.code.size());
+    for (std::size_t i = 0; i < p1.code.size(); ++i)
+        ASSERT_EQ(p1.code[i], p2.code[i]);
+    EXPECT_EQ(p1.data, p2.data);
+}
+
+TEST(SuiteCatalog, InputsProduceDifferentPrograms)
+{
+    const auto *b = catalog().find("SPECint2000/gcc");
+    ASSERT_NE(b, nullptr);
+    ASSERT_GE(b->num_inputs, 2u);
+    const auto p0 = b->build(0);
+    const auto p1 = b->build(1);
+    EXPECT_TRUE(p0.code.size() != p1.code.size() || p0.data != p1.data);
+}
+
+TEST(ComposeProgram, EmptyPhasesThrows)
+{
+    EXPECT_THROW(
+        (void)workloads::composeProgram("x", 1, {}),
+        std::invalid_argument);
+}
+
+/** Every benchmark input runs 40K instructions without trapping. */
+struct RunCase
+{
+    std::string id;
+    std::uint32_t input;
+};
+
+class BenchmarkRunTest : public ::testing::TestWithParam<RunCase>
+{
+};
+
+TEST_P(BenchmarkRunTest, RunsTrapFree)
+{
+    const auto *bench = catalog().find(GetParam().id);
+    ASSERT_NE(bench, nullptr);
+    vm::Cpu cpu(bench->build(GetParam().input));
+    const auto res = cpu.run(40000);
+    EXPECT_EQ(res.reason, vm::StopReason::InstructionLimit)
+        << "benchmark " << GetParam().id << " input " << GetParam().input
+        << " stopped after " << res.executed << " instructions";
+    EXPECT_EQ(res.executed, 40000u);
+}
+
+std::vector<RunCase>
+allRunCases()
+{
+    std::vector<RunCase> cases;
+    for (const auto &b : catalog().benchmarks())
+        for (std::uint32_t in = 0; in < b.num_inputs; ++in)
+            cases.push_back({b.id(), in});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkRunTest, ::testing::ValuesIn(allRunCases()),
+    [](const auto &info) {
+        std::string name = info.param.id + "_in" +
+                           std::to_string(info.param.input);
+        for (char &c : name)
+            if (c == '/' || c == '-' || c == '.')
+                c = '_';
+        return name;
+    });
+
+} // namespace
