@@ -1,0 +1,160 @@
+/**
+ * @file
+ * mica_lint: static-analysis front end — lint catalog benchmarks or an
+ * assembly file with the analysis subsystem and dump diagnostics, the
+ * CFG, and the static program features.
+ *
+ * Usage:
+ *   mica_lint all [options]
+ *       lint every program of every registered benchmark
+ *   mica_lint <suite> [options]
+ *       lint one suite group (e.g. SPECint2000, BioPerf)
+ *   mica_lint <suite/name | file.s> [options]
+ *       lint one benchmark (all inputs) or an assembly file
+ *   options:
+ *       --cfg                 dump basic blocks and edges
+ *       --features            dump the static feature signature
+ *       --werror              treat warnings as errors (exit status)
+ *       --require-termination flag infinite loops (off for generated
+ *                             workloads, which loop by design)
+ *
+ * Exit status: 0 when no Error-level diagnostic was found, 1 otherwise.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/static_features.hh"
+#include "analysis/verifier.hh"
+#include "asm/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+
+struct LintOptions
+{
+    bool dump_cfg = false;
+    bool dump_features = false;
+    bool werror = false;
+    analysis::Options verify;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mica_lint <all | suite | suite/name | file.s>\n"
+                 "                 [--cfg] [--features] [--werror]\n"
+                 "                 [--require-termination]\n");
+    return 2;
+}
+
+/** Lint one program; returns the number of error-level diagnostics. */
+std::size_t
+lintProgram(const isa::Program &program, const LintOptions &opts)
+{
+    const analysis::Report report = analysis::verify(program, opts.verify);
+    const analysis::StaticFeatures features =
+        analysis::staticFeatures(program);
+
+    std::printf("%-32s %5zu instrs %4zu blocks %3zu loops  "
+                "%zu error(s), %zu warning(s)\n",
+                program.name.c_str(), program.code.size(),
+                features.num_blocks, features.num_loops,
+                report.errorCount(), report.warningCount());
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        std::printf("  %s\n", d.toString().c_str());
+    if (opts.dump_features)
+        std::printf("%s", features.toString().c_str());
+    if (opts.dump_cfg)
+        std::printf("%s", analysis::buildCfg(program).toString().c_str());
+
+    return report.errorCount() +
+        (opts.werror ? report.warningCount() : 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string target = argv[1];
+
+    LintOptions opts;
+    // Generated workloads run forever under an external budget; infinite
+    // loops are only a defect when explicitly requested.
+    opts.verify.allow_nonterminating = true;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cfg")
+            opts.dump_cfg = true;
+        else if (arg == "--features")
+            opts.dump_features = true;
+        else if (arg == "--werror")
+            opts.werror = true;
+        else if (arg == "--require-termination")
+            opts.verify.allow_nonterminating = false;
+        else
+            return usage();
+    }
+
+    // Assembly file?
+    if (target.size() > 2 && target.substr(target.size() - 2) == ".s") {
+        std::ifstream in(target);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", target.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        isa::Program program;
+        try {
+            program = assembler::assemble(buffer.str(), target);
+        } catch (const assembler::AsmError &e) {
+            std::fprintf(stderr, "%s: %s\n", target.c_str(), e.what());
+            return 1;
+        }
+        return lintProgram(program, opts) == 0 ? 0 : 1;
+    }
+
+    const workloads::SuiteCatalog catalog;
+    std::vector<const workloads::BenchmarkSpec *> selected;
+    if (target == "all") {
+        for (const auto &bench : catalog.benchmarks())
+            selected.push_back(&bench);
+    } else if (std::find(workloads::SuiteCatalog::suiteNames().begin(),
+                         workloads::SuiteCatalog::suiteNames().end(),
+                         target) !=
+               workloads::SuiteCatalog::suiteNames().end()) {
+        selected = catalog.bySuite(target);
+    } else if (const auto *bench = catalog.find(target)) {
+        selected.push_back(bench);
+    } else {
+        std::fprintf(stderr,
+                     "'%s' is neither 'all', a suite, a catalog id nor an "
+                     ".s file (try 'mica_dump list')\n",
+                     target.c_str());
+        return 1;
+    }
+
+    std::size_t programs = 0, failures = 0;
+    for (const auto *bench : selected) {
+        for (std::uint32_t input = 0; input < bench->num_inputs; ++input) {
+            ++programs;
+            if (lintProgram(bench->build(input), opts) != 0)
+                ++failures;
+        }
+    }
+    std::printf("\nlinted %zu program(s): %zu failing\n", programs,
+                failures);
+    return failures == 0 ? 0 : 1;
+}

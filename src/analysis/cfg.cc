@@ -1,0 +1,215 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mica::analysis {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** Static branch/jal target pc, when the instruction has one. */
+bool
+staticTarget(const isa::Program &program, std::size_t index,
+             std::uint64_t &target)
+{
+    const Instruction &in = program.code[index];
+    const isa::Format format = in.info().format;
+    if (format != isa::Format::Branch && format != isa::Format::Jal)
+        return false;
+    target = program.pcOf(index) + static_cast<std::uint64_t>(in.imm);
+    return true;
+}
+
+/** True when the instruction ends a basic block. */
+bool
+isTerminator(const Instruction &in)
+{
+    return isa::isControl(in.op) || in.op == Opcode::Halt;
+}
+
+} // namespace
+
+Cfg
+buildCfg(const isa::Program &program)
+{
+    Cfg cfg;
+    cfg.program = &program;
+    const std::size_t n = program.code.size();
+    if (n == 0)
+        return cfg;
+
+    // Pass 1: leaders. Instruction 0, every static control-transfer target
+    // inside the code segment, and every instruction after a terminator.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t target = 0;
+        if (staticTarget(program, i, target) && program.containsPc(target))
+            leader[program.indexOf(target)] = true;
+        if (isTerminator(program.code[i]) && i + 1 < n)
+            leader[i + 1] = true;
+    }
+
+    // Address-taken candidates: aligned 64-bit words in the data segment
+    // whose value is a valid instruction pc. ProgramBuilder emits label
+    // tables this way for jalr dispatch, so these are the recoverable
+    // indirect-jump targets.
+    std::vector<std::size_t> taken_instrs;
+    for (std::size_t off = 0; off + 8 <= program.data.size(); off += 8) {
+        std::uint64_t word = 0;
+        for (int b = 7; b >= 0; --b)
+            word = (word << 8) | program.data[off + b];
+        if (program.containsPc(word)) {
+            const std::size_t idx = program.indexOf(word);
+            leader[idx] = true;
+            taken_instrs.push_back(idx);
+        }
+    }
+
+    // Pass 2: group into blocks.
+    cfg.block_of_instr.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            cfg.blocks.push_back(bb);
+        }
+        cfg.block_of_instr[i] = cfg.blocks.size() - 1;
+        cfg.blocks.back().last = i;
+    }
+
+    std::sort(taken_instrs.begin(), taken_instrs.end());
+    taken_instrs.erase(
+        std::unique(taken_instrs.begin(), taken_instrs.end()),
+        taken_instrs.end());
+    for (std::size_t idx : taken_instrs)
+        cfg.address_taken.push_back(cfg.block_of_instr[idx]);
+
+    // Pass 3: edges.
+    auto add_edge = [&cfg](std::size_t from, std::size_t to, EdgeKind kind) {
+        cfg.edges.push_back({from, to, kind});
+        auto &succs = cfg.blocks[from].succs;
+        if (std::find(succs.begin(), succs.end(), to) == succs.end())
+            succs.push_back(to);
+        auto &preds = cfg.blocks[to].preds;
+        if (std::find(preds.begin(), preds.end(), from) == preds.end())
+            preds.push_back(from);
+    };
+
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock &bb = cfg.blocks[b];
+        const std::size_t t = bb.last;
+        const Instruction &in = program.code[t];
+        const bool has_next = t + 1 < n;
+
+        std::uint64_t target = 0;
+        const bool target_in_code =
+            staticTarget(program, t, target) && program.containsPc(target);
+        const auto target_block = [&]() {
+            return cfg.block_of_instr[program.indexOf(target)];
+        };
+
+        if (isa::isCondBranch(in.op)) {
+            if (target_in_code)
+                add_edge(b, target_block(), EdgeKind::Taken);
+            if (has_next)
+                add_edge(b, b + 1, EdgeKind::Fallthrough);
+            else
+                bb.falls_off_end = true;
+        } else if (in.op == Opcode::Jal) {
+            if (in.rd == isa::kRegZero) {
+                if (target_in_code)
+                    add_edge(b, target_block(), EdgeKind::Jump);
+            } else {
+                // Call: edge into the callee plus the return-site edge
+                // (the callee's ret resumes at the next instruction).
+                if (target_in_code)
+                    add_edge(b, target_block(), EdgeKind::Call);
+                if (has_next)
+                    add_edge(b, b + 1, EdgeKind::ReturnSite);
+                else
+                    bb.falls_off_end = true;
+            }
+        } else if (in.op == Opcode::Jalr) {
+            if (in.isReturn()) {
+                bb.ends_in_return = true;
+            } else {
+                bb.ends_in_indirect = true;
+                for (std::size_t cand : cfg.address_taken)
+                    add_edge(b, cand,
+                             in.rd == isa::kRegZero ? EdgeKind::Indirect
+                                                    : EdgeKind::Call);
+                if (in.rd != isa::kRegZero) {
+                    if (has_next)
+                        add_edge(b, b + 1, EdgeKind::ReturnSite);
+                    else
+                        bb.falls_off_end = true;
+                }
+            }
+        } else if (in.op == Opcode::Halt) {
+            // No successors.
+        } else {
+            if (has_next)
+                add_edge(b, b + 1, EdgeKind::Fallthrough);
+            else
+                bb.falls_off_end = true;
+        }
+    }
+
+    // Pass 4: reachability and reverse postorder from the entry block.
+    cfg.reachable.assign(cfg.blocks.size(), false);
+    std::vector<std::size_t> post;
+    post.reserve(cfg.blocks.size());
+    // Iterative DFS; state tracks the next successor index to visit.
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(cfg.entryBlock(), 0);
+    cfg.reachable[cfg.entryBlock()] = true;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < cfg.blocks[b].succs.size()) {
+            const std::size_t s = cfg.blocks[b].succs[next++];
+            if (!cfg.reachable[s]) {
+                cfg.reachable[s] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    cfg.rpo.assign(post.rbegin(), post.rend());
+    return cfg;
+}
+
+std::string
+Cfg::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &bb = blocks[b];
+        os << "block " << b << " [0x" << std::hex << program->pcOf(bb.first)
+           << "..0x" << program->pcOf(bb.last) << std::dec << "] ("
+           << bb.size() << (bb.size() == 1 ? " instr)" : " instrs)");
+        if (!reachable[b])
+            os << " unreachable";
+        if (bb.ends_in_return)
+            os << " ret";
+        if (bb.ends_in_indirect)
+            os << " indirect";
+        if (!bb.succs.empty()) {
+            os << " ->";
+            for (std::size_t s : bb.succs)
+                os << " " << s;
+        }
+        os << "\n";
+        for (std::size_t i = bb.first; i <= bb.last; ++i)
+            os << "  0x" << std::hex << program->pcOf(i) << std::dec
+               << ":  " << program->code[i].disassemble() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mica::analysis

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Control-flow graph construction over a loaded SRISC program.
+ *
+ * The CFG is built at the binary level, directly from isa::Program: leaders
+ * are detected from static branch/jump targets, instructions are grouped
+ * into maximal basic blocks, and edges record how control can flow between
+ * them. Calls are modelled with both a call edge (into the callee entry)
+ * and a return-site edge (to the instruction after the call), the standard
+ * flat-binary summarization; returns and other indirect jumps have no
+ * static successors beyond the address-taken candidates recovered from the
+ * data segment (label tables emitted for jalr dispatch).
+ */
+
+#ifndef MICAPHASE_ANALYSIS_CFG_HH
+#define MICAPHASE_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mica::analysis {
+
+/** How an edge leaves its source block. */
+enum class EdgeKind : std::uint8_t
+{
+    Fallthrough, ///< non-control flow into the next leader, or branch-not-taken
+    Taken,       ///< conditional branch taken
+    Jump,        ///< unconditional jal x0
+    Call,        ///< jal/jalr with a live link register, into the callee
+    ReturnSite,  ///< from a call block to the instruction after the call
+    Indirect,    ///< jalr to an address-taken candidate block
+};
+
+/** One CFG edge (block ids are indices into Cfg::blocks). */
+struct Edge
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+    EdgeKind kind = EdgeKind::Fallthrough;
+};
+
+/** A maximal straight-line instruction sequence. */
+struct BasicBlock
+{
+    std::size_t first = 0; ///< index of the first instruction (inclusive)
+    std::size_t last = 0;  ///< index of the last instruction (inclusive)
+    std::vector<std::size_t> succs; ///< successor block ids (deduplicated)
+    std::vector<std::size_t> preds; ///< predecessor block ids
+    bool ends_in_return = false;   ///< terminator is jalr x0, ra
+    bool ends_in_indirect = false; ///< terminator is a non-return jalr
+    bool falls_off_end = false;    ///< control can run past the last instr
+
+    [[nodiscard]] std::size_t size() const { return last - first + 1; }
+};
+
+/** The control-flow graph of one program. */
+struct Cfg
+{
+    const isa::Program *program = nullptr;
+    std::vector<BasicBlock> blocks;        ///< in program order
+    std::vector<Edge> edges;               ///< all edges with their kind
+    std::vector<std::size_t> block_of_instr; ///< instr index -> block id
+    /**
+     * Blocks whose address appears as an aligned 64-bit word in the data
+     * segment (candidate jalr dispatch targets).
+     */
+    std::vector<std::size_t> address_taken;
+    /** Reachable blocks in reverse postorder (entry first). */
+    std::vector<std::size_t> rpo;
+    /** reachable[b]: block b is reachable from the entry block. */
+    std::vector<bool> reachable;
+
+    /** Block containing the entry point (always block 0 for nonempty code). */
+    [[nodiscard]] std::size_t entryBlock() const { return 0; }
+
+    /** pc of the first instruction of block b. */
+    [[nodiscard]] std::uint64_t blockPc(std::size_t b) const
+    {
+        return program->pcOf(blocks[b].first);
+    }
+
+    /** Multi-line textual dump ("block 3 [0x10020..0x10038] -> 4, 7"). */
+    [[nodiscard]] std::string toString() const;
+};
+
+/**
+ * Build the CFG of a program. An empty program yields an empty CFG.
+ * Branch/jump targets that fall outside the code segment (a verifier
+ * error) simply contribute no edge, so construction never fails.
+ *
+ * The Cfg borrows the program; it must outlive the returned graph
+ * (hence the deleted rvalue overload).
+ */
+[[nodiscard]] Cfg buildCfg(const isa::Program &program);
+Cfg buildCfg(isa::Program &&) = delete;
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_CFG_HH

@@ -1,0 +1,263 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "isa/opcode.hh"
+
+namespace mica::analysis {
+
+using isa::Instruction;
+
+RegMask
+readMask(const Instruction &instr)
+{
+    RegMask mask = 0;
+    for (const isa::RegOperand &reg : instr.sources())
+        mask |= regBit(reg);
+    // x0 is hard-wired; reads of it carry no dataflow.
+    return mask & ~RegMask{1};
+}
+
+RegMask
+writeMask(const Instruction &instr)
+{
+    return instr.hasDest() ? regBit(instr.dest()) : 0;
+}
+
+int
+intRegCount(RegMask mask)
+{
+    return std::popcount(mask & 0xffffffffULL);
+}
+
+int
+fpRegCount(RegMask mask)
+{
+    return std::popcount(mask >> 32);
+}
+
+bool
+DominatorTree::dominates(std::size_t a, std::size_t b) const
+{
+    while (true) {
+        if (a == b)
+            return true;
+        if (b >= idom.size() || idom[b] == kNone || idom[b] == b)
+            return false;
+        b = idom[b];
+    }
+}
+
+DominatorTree
+computeDominators(const Cfg &cfg)
+{
+    DominatorTree doms;
+    doms.idom.assign(cfg.blocks.size(), DominatorTree::kNone);
+    if (cfg.blocks.empty())
+        return doms;
+
+    // Cooper–Harvey–Kennedy: iterate intersect() over reverse postorder.
+    std::vector<std::size_t> rpo_index(cfg.blocks.size(),
+                                       DominatorTree::kNone);
+    for (std::size_t i = 0; i < cfg.rpo.size(); ++i)
+        rpo_index[cfg.rpo[i]] = i;
+
+    const std::size_t entry = cfg.entryBlock();
+    doms.idom[entry] = entry;
+
+    auto intersect = [&](std::size_t a, std::size_t b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = doms.idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = doms.idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b : cfg.rpo) {
+            if (b == entry)
+                continue;
+            std::size_t new_idom = DominatorTree::kNone;
+            for (std::size_t p : cfg.blocks[b].preds) {
+                if (doms.idom[p] == DominatorTree::kNone)
+                    continue; // pred not processed / unreachable
+                new_idom = new_idom == DominatorTree::kNone
+                    ? p
+                    : intersect(p, new_idom);
+            }
+            if (new_idom != DominatorTree::kNone &&
+                doms.idom[b] != new_idom) {
+                doms.idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return doms;
+}
+
+bool
+NaturalLoop::contains(std::size_t block) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(const Cfg &cfg, const DominatorTree &doms)
+{
+    std::vector<NaturalLoop> loops;
+    for (const Edge &edge : cfg.edges) {
+        if (!cfg.reachable[edge.from] || !cfg.reachable[edge.to])
+            continue;
+        if (!doms.dominates(edge.to, edge.from))
+            continue; // not a back edge
+
+        // Merge back edges sharing a header into one loop.
+        NaturalLoop *loop = nullptr;
+        for (NaturalLoop &l : loops)
+            if (l.header == edge.to)
+                loop = &l;
+        if (!loop) {
+            loops.push_back({});
+            loop = &loops.back();
+            loop->header = edge.to;
+            loop->blocks = {edge.to};
+        }
+        loop->latch = edge.from;
+
+        // Body: blocks reaching the latch without passing the header,
+        // found by a reverse flood from the latch.
+        std::vector<std::size_t> work{edge.from};
+        auto insert_sorted = [&](std::size_t b) {
+            const auto it =
+                std::lower_bound(loop->blocks.begin(), loop->blocks.end(), b);
+            if (it != loop->blocks.end() && *it == b)
+                return false;
+            loop->blocks.insert(it, b);
+            return true;
+        };
+        while (!work.empty()) {
+            const std::size_t b = work.back();
+            work.pop_back();
+            if (!insert_sorted(b))
+                continue;
+            for (std::size_t p : cfg.blocks[b].preds)
+                if (cfg.reachable[p])
+                    work.push_back(p);
+        }
+    }
+
+    std::sort(loops.begin(), loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.header < b.header;
+              });
+
+    // Nesting depth: 1 + number of loops properly containing the header.
+    for (NaturalLoop &inner : loops) {
+        for (const NaturalLoop &outer : loops) {
+            if (&inner != &outer && outer.contains(inner.header) &&
+                inner.blocks.size() < outer.blocks.size())
+                ++inner.depth;
+        }
+    }
+
+    // Exit detection. Call edges return into the loop, so they are not
+    // exits; returns, unresolved indirect terminators and Halt are.
+    for (NaturalLoop &loop : loops) {
+        for (std::size_t b : loop.blocks) {
+            const BasicBlock &bb = cfg.blocks[b];
+            if (bb.ends_in_return ||
+                cfg.program->code[bb.last].op == isa::Opcode::Halt ||
+                (bb.ends_in_indirect && cfg.address_taken.empty())) {
+                loop.has_exit = true;
+                break;
+            }
+        }
+        if (loop.has_exit)
+            continue;
+        for (const Edge &edge : cfg.edges) {
+            if (edge.kind == EdgeKind::Call)
+                continue;
+            if (loop.contains(edge.from) && !loop.contains(edge.to)) {
+                loop.has_exit = true;
+                break;
+            }
+        }
+    }
+    return loops;
+}
+
+PossibleDefs
+computePossibleDefs(const Cfg &cfg)
+{
+    PossibleDefs defs;
+    defs.in.assign(cfg.blocks.size(), 0);
+    defs.out.assign(cfg.blocks.size(), 0);
+    if (cfg.blocks.empty())
+        return defs;
+
+    std::vector<RegMask> gen(cfg.blocks.size(), 0);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i)
+            gen[b] |= writeMask(cfg.program->code[i]);
+
+    // At reset the VM defines x0 (hard-wired) and the stack pointer.
+    const RegMask entry_mask =
+        RegMask{1} | (RegMask{1} << isa::kRegSp);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b : cfg.rpo) {
+            RegMask in = b == cfg.entryBlock() ? entry_mask : 0;
+            for (std::size_t p : cfg.blocks[b].preds)
+                in |= defs.out[p];
+            const RegMask out = in | gen[b];
+            if (in != defs.in[b] || out != defs.out[b]) {
+                defs.in[b] = in;
+                defs.out[b] = out;
+                changed = true;
+            }
+        }
+    }
+    return defs;
+}
+
+Liveness
+computeLiveness(const Cfg &cfg)
+{
+    Liveness live;
+    live.in.assign(cfg.blocks.size(), 0);
+    live.out.assign(cfg.blocks.size(), 0);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+            const std::size_t b = *it;
+            RegMask out = 0;
+            for (std::size_t s : cfg.blocks[b].succs)
+                out |= live.in[s];
+            RegMask in = out;
+            for (std::size_t i = cfg.blocks[b].last + 1;
+                 i-- > cfg.blocks[b].first;) {
+                const Instruction &instr = cfg.program->code[i];
+                in &= ~writeMask(instr);
+                in |= readMask(instr);
+            }
+            if (in != live.in[b] || out != live.out[b]) {
+                live.in[b] = in;
+                live.out[b] = out;
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+} // namespace mica::analysis

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dataflow analyses over the SRISC CFG: dominators, natural loops,
+ * possibly-assigned registers (a no-kill reaching-definitions variant used
+ * for use-before-def detection), and live registers.
+ *
+ * Register sets are bitmasks over both register files: bit i (0..31) is
+ * integer register xi, bit 32+i is floating-point register fi.
+ */
+
+#ifndef MICAPHASE_ANALYSIS_DATAFLOW_HH
+#define MICAPHASE_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "isa/instruction.hh"
+
+namespace mica::analysis {
+
+/** Bitmask over both register files (x0..x31 then f0..f31). */
+using RegMask = std::uint64_t;
+
+/** Bit of one register operand. */
+[[nodiscard]] constexpr RegMask
+regBit(isa::RegOperand reg)
+{
+    const unsigned shift =
+        reg.file == isa::RegOperand::File::Fp ? 32u + reg.index : reg.index;
+    return RegMask{1} << shift;
+}
+
+/** Mask of the registers an instruction reads. */
+[[nodiscard]] RegMask readMask(const isa::Instruction &instr);
+
+/** Mask of the register an instruction writes (0 when none). */
+[[nodiscard]] RegMask writeMask(const isa::Instruction &instr);
+
+/** Number of set bits in the x-file / f-file halves of a mask. */
+[[nodiscard]] int intRegCount(RegMask mask);
+[[nodiscard]] int fpRegCount(RegMask mask);
+
+/**
+ * Immediate dominators of every reachable block, computed with the
+ * Cooper–Harvey–Kennedy iterative algorithm over the reverse postorder.
+ */
+struct DominatorTree
+{
+    /** idom[b]: immediate dominator block id; entry points at itself.
+     *  Unreachable blocks hold kNone. */
+    std::vector<std::size_t> idom;
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+    /** True when a dominates b (reflexive). */
+    [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+};
+
+[[nodiscard]] DominatorTree computeDominators(const Cfg &cfg);
+
+/** One natural loop (back edge latch -> header, header dominates latch). */
+struct NaturalLoop
+{
+    std::size_t header = 0;
+    std::size_t latch = 0;             ///< source of the back edge
+    std::vector<std::size_t> blocks;   ///< loop body incl. header, sorted
+    std::size_t depth = 1;             ///< 1 = outermost
+    /**
+     * True when some edge leaves the loop body. Call edges do not count
+     * (a returning callee resumes inside the loop) but indirect jumps and
+     * a reachable Halt do.
+     */
+    bool has_exit = false;
+
+    [[nodiscard]] bool contains(std::size_t block) const;
+};
+
+/**
+ * All natural loops, one per back edge, sorted by header block id. Loops
+ * sharing a header are merged. Nesting depth is derived from body
+ * containment.
+ */
+[[nodiscard]] std::vector<NaturalLoop>
+findNaturalLoops(const Cfg &cfg, const DominatorTree &doms);
+
+/**
+ * Possibly-assigned registers: for every reachable block, the union over
+ * all entry paths of registers written before block entry (plus the
+ * registers the VM defines at reset: x0 and the stack pointer). A read of
+ * a register absent from this set is a use that no definition can reach
+ * on any path — the use-before-def signal consumed by the verifier.
+ */
+struct PossibleDefs
+{
+    std::vector<RegMask> in;  ///< at block entry
+    std::vector<RegMask> out; ///< at block exit
+};
+
+[[nodiscard]] PossibleDefs computePossibleDefs(const Cfg &cfg);
+
+/** Classic backward liveness: registers whose value may still be read. */
+struct Liveness
+{
+    std::vector<RegMask> in;  ///< live at block entry
+    std::vector<RegMask> out; ///< live at block exit
+};
+
+[[nodiscard]] Liveness computeLiveness(const Cfg &cfg);
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,128 @@
+#include "analysis/static_features.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+
+namespace mica::analysis {
+
+namespace {
+
+constexpr std::string_view kGroupNames[kNumOpGroups] = {
+    "int_arith", "int_mul",  "int_div",  "int_logic", "int_shift",
+    "int_cmp",   "fp_arith", "fp_mul",   "fp_div",    "fp_sqrt",
+    "fp_cmp",    "fp_cvt",   "load",     "store",     "cond_branch",
+    "jump",      "other",
+};
+
+} // namespace
+
+std::vector<std::string>
+StaticFeatures::featureNames()
+{
+    std::vector<std::string> names = {
+        "static_instructions", "basic_blocks",     "cfg_edges",
+        "natural_loops",       "max_loop_depth",   "avg_block_size",
+        "branch_density",      "mem_density",      "fp_density",
+    };
+    for (std::string_view g : kGroupNames)
+        names.push_back("static_mix_" + std::string(g));
+    names.push_back("max_int_pressure");
+    names.push_back("max_fp_pressure");
+    return names;
+}
+
+std::vector<double>
+StaticFeatures::toVector() const
+{
+    std::vector<double> v = {
+        static_cast<double>(num_instructions),
+        static_cast<double>(num_blocks),
+        static_cast<double>(num_edges),
+        static_cast<double>(num_loops),
+        static_cast<double>(max_loop_depth),
+        avg_block_size,
+        branch_density,
+        mem_density,
+        fp_density,
+    };
+    v.insert(v.end(), group_mix.begin(), group_mix.end());
+    v.push_back(static_cast<double>(max_int_pressure));
+    v.push_back(static_cast<double>(max_fp_pressure));
+    return v;
+}
+
+std::string
+StaticFeatures::toString() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << num_instructions << " instructions in " << num_blocks
+       << " blocks (" << num_edges << " edges), " << num_loops
+       << " loops (max depth " << max_loop_depth << ")\n"
+       << "densities: branch " << branch_density << ", mem " << mem_density
+       << ", fp " << fp_density << "; avg block " << avg_block_size
+       << " instrs\n"
+       << "register pressure: " << max_int_pressure << " int, "
+       << max_fp_pressure << " fp\n"
+       << "static mix:";
+    for (std::size_t g = 0; g < kNumOpGroups; ++g)
+        if (group_mix[g] > 0.0)
+            os << " " << kGroupNames[g] << "=" << group_mix[g];
+    os << "\n";
+    return os.str();
+}
+
+StaticFeatures
+staticFeatures(const isa::Program &program)
+{
+    StaticFeatures f;
+    f.num_instructions = program.code.size();
+    if (program.code.empty())
+        return f;
+
+    const Cfg cfg = buildCfg(program);
+    f.num_blocks = cfg.blocks.size();
+    f.num_edges = cfg.edges.size();
+    f.avg_block_size = static_cast<double>(f.num_instructions) /
+        static_cast<double>(f.num_blocks);
+
+    std::size_t control = 0, mem = 0, fp = 0;
+    for (const isa::Instruction &in : program.code) {
+        const isa::OpcodeInfo &info = in.info();
+        ++f.group_mix[static_cast<std::size_t>(info.group)];
+        if (isa::isControl(in.op))
+            ++control;
+        if (isa::isLoad(in.op) || isa::isStore(in.op))
+            ++mem;
+        if (isa::isFpOp(in.op))
+            ++fp;
+    }
+    const double n = static_cast<double>(f.num_instructions);
+    for (double &g : f.group_mix)
+        g /= n;
+    f.branch_density = static_cast<double>(control) / n;
+    f.mem_density = static_cast<double>(mem) / n;
+    f.fp_density = static_cast<double>(fp) / n;
+
+    const DominatorTree doms = computeDominators(cfg);
+    const std::vector<NaturalLoop> loops = findNaturalLoops(cfg, doms);
+    f.num_loops = loops.size();
+    for (const NaturalLoop &loop : loops)
+        f.max_loop_depth = std::max(f.max_loop_depth, loop.depth);
+
+    const Liveness live = computeLiveness(cfg);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.reachable[b])
+            continue;
+        f.max_int_pressure =
+            std::max(f.max_int_pressure, intRegCount(live.in[b]));
+        f.max_fp_pressure =
+            std::max(f.max_fp_pressure, fpRegCount(live.in[b]));
+    }
+    return f;
+}
+
+} // namespace mica::analysis

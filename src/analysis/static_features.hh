@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static, microarchitecture-independent program features.
+ *
+ * Where the MICA profiler measures a program's *dynamic* instruction
+ * stream, these features summarize the program *text* via the CFG and
+ * liveness: static opcode-class mix, control-flow structure (blocks,
+ * branch density, loop count and nesting), and a register-pressure
+ * estimate. They complement the 69 dynamic characteristics with a
+ * signature that needs no simulation, in the spirit of static loop-based
+ * workload analysis (see PAPERS.md).
+ */
+
+#ifndef MICAPHASE_ANALYSIS_STATIC_FEATURES_HH
+#define MICAPHASE_ANALYSIS_STATIC_FEATURES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+
+namespace mica::analysis {
+
+/** Number of OpGroup values (isa::OpGroup::Other is the last). */
+constexpr std::size_t kNumOpGroups =
+    static_cast<std::size_t>(isa::OpGroup::Other) + 1;
+
+/** Static signature of one program. */
+struct StaticFeatures
+{
+    std::size_t num_instructions = 0;
+    std::size_t num_blocks = 0;      ///< basic blocks
+    std::size_t num_edges = 0;       ///< CFG edges
+    std::size_t num_loops = 0;       ///< natural loops
+    std::size_t max_loop_depth = 0;  ///< deepest nesting (0 = no loops)
+    double avg_block_size = 0.0;     ///< instructions per basic block
+    double branch_density = 0.0;     ///< control transfers / instruction
+    double mem_density = 0.0;        ///< loads+stores / instruction
+    double fp_density = 0.0;         ///< fp operations / instruction
+    /** Fraction of static instructions per operation group. */
+    std::array<double, kNumOpGroups> group_mix{};
+    /** Max integer / fp registers simultaneously live at a block entry. */
+    int max_int_pressure = 0;
+    int max_fp_pressure = 0;
+
+    /** Names for toVector(), in order (for CSV headers). */
+    [[nodiscard]] static std::vector<std::string> featureNames();
+    /** Flattened feature vector matching featureNames(). */
+    [[nodiscard]] std::vector<double> toVector() const;
+    /** Human-readable multi-line summary. */
+    [[nodiscard]] std::string toString() const;
+};
+
+/** Extract the static signature of a program. */
+[[nodiscard]] StaticFeatures staticFeatures(const isa::Program &program);
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_STATIC_FEATURES_HH

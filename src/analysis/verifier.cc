@@ -1,0 +1,402 @@
+#include "analysis/verifier.hh"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+
+namespace mica::analysis {
+
+using isa::Instruction;
+using isa::Opcode;
+
+std::string_view
+checkName(Check check)
+{
+    switch (check) {
+      case Check::EmptyProgram: return "empty-program";
+      case Check::BadRegisterIndex: return "bad-register-index";
+      case Check::ImmediateOutOfRange: return "immediate-out-of-range";
+      case Check::ShiftAmountOutOfRange: return "shift-amount-out-of-range";
+      case Check::BranchTargetOutOfRange:
+        return "branch-target-out-of-range";
+      case Check::CodeSegmentAccess: return "code-segment-access";
+      case Check::MemAccessOutOfSegment: return "mem-access-out-of-segment";
+      case Check::MisalignedAccess: return "misaligned-access";
+      case Check::UseBeforeDef: return "use-before-def";
+      case Check::UnreachableBlock: return "unreachable-block";
+      case Check::ReturnWithoutLink: return "return-without-link";
+      case Check::FallsOffEnd: return "falls-off-end";
+      case Check::InfiniteLoop: return "infinite-loop";
+    }
+    return "unknown";
+}
+
+std::string_view
+severityName(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << ": " << checkName(check) << " @0x"
+       << std::hex << pc << std::dec << ": " << message;
+    return os.str();
+}
+
+std::size_t
+Report::errorCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(diagnostics.begin(), diagnostics.end(),
+                      [](const Diagnostic &d) {
+                          return d.severity == Severity::Error;
+                      }));
+}
+
+std::size_t
+Report::warningCount() const
+{
+    return diagnostics.size() - errorCount();
+}
+
+bool
+Report::has(Check check) const
+{
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [check](const Diagnostic &d) {
+                           return d.check == check;
+                       });
+}
+
+std::string
+Report::toString() const
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics) {
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** Collects diagnostics with the program at hand for disassembly. */
+class Verifier
+{
+  public:
+    Verifier(const isa::Program &program, const Options &options)
+        : program_(program), options_(options)
+    {
+    }
+
+    Report run();
+
+  private:
+    void report(Check check, Severity severity, std::size_t index,
+                const std::string &detail);
+    void reportBlock(Check check, Severity severity, std::size_t index,
+                     const std::string &detail);
+    void checkOperands(std::size_t index);
+    void checkControlTargets(std::size_t index);
+    void checkMemAccess(std::size_t index, std::uint64_t addr);
+
+    /**
+     * Statically known integer register values: a register qualifies when
+     * exactly one reachable definition exists program-wide and it is a
+     * load-immediate (addi rd, x0, imm). Single-definition constants
+     * cover the generators' base-pointer idiom; anything reassigned
+     * (loop counters, strided pointers) stays unresolved.
+     */
+    void resolveConstants(const Cfg &cfg);
+    [[nodiscard]] std::optional<std::uint64_t>
+    baseValue(std::uint8_t reg) const;
+
+    const isa::Program &program_;
+    const Options &options_;
+    Report out_;
+    std::vector<std::optional<std::int64_t>> const_value_;
+    std::vector<int> def_count_;
+};
+
+void
+Verifier::report(Check check, Severity severity, std::size_t index,
+                 const std::string &detail)
+{
+    Diagnostic d;
+    d.check = check;
+    d.severity = severity;
+    d.instr_index = index;
+    d.pc = program_.pcOf(index);
+    d.message = "`" + program_.code[index].disassemble() + "`: " + detail;
+    out_.diagnostics.push_back(std::move(d));
+}
+
+void
+Verifier::reportBlock(Check check, Severity severity, std::size_t index,
+                      const std::string &detail)
+{
+    Diagnostic d;
+    d.check = check;
+    d.severity = severity;
+    d.instr_index = index;
+    d.pc = program_.pcOf(index);
+    d.message = detail;
+    out_.diagnostics.push_back(std::move(d));
+}
+
+void
+Verifier::checkOperands(std::size_t index)
+{
+    const Instruction &in = program_.code[index];
+
+    // Operand model from OpcodeInfo: sources()/dest() enumerate exactly
+    // the fields the instruction's format uses.
+    for (const isa::RegOperand &reg : in.sources())
+        if (reg.index >= isa::kNumIntRegs)
+            report(Check::BadRegisterIndex, Severity::Error, index,
+                   "source register index " + std::to_string(reg.index) +
+                       " out of range");
+    if (in.hasDest() && in.dest().index >= isa::kNumIntRegs)
+        report(Check::BadRegisterIndex, Severity::Error, index,
+               "destination register index " +
+                   std::to_string(in.dest().index) + " out of range");
+
+    if (in.imm < isa::kImmMin || in.imm > isa::kImmMax)
+        report(Check::ImmediateOutOfRange, Severity::Error, index,
+               "immediate " + std::to_string(in.imm) + " does not fit " +
+                   std::to_string(isa::kImmBits) + " bits");
+
+    if ((in.op == Opcode::Slli || in.op == Opcode::Srli ||
+         in.op == Opcode::Srai) &&
+        (in.imm < 0 || in.imm > 63))
+        report(Check::ShiftAmountOutOfRange, Severity::Warning, index,
+               "shift amount " + std::to_string(in.imm) +
+                   " outside [0, 63] (the VM masks it)");
+}
+
+void
+Verifier::checkControlTargets(std::size_t index)
+{
+    const Instruction &in = program_.code[index];
+    const isa::Format format = in.info().format;
+
+    if (format == isa::Format::Branch || format == isa::Format::Jal) {
+        const std::uint64_t target =
+            program_.pcOf(index) + static_cast<std::uint64_t>(in.imm);
+        if (!program_.containsPc(target)) {
+            std::ostringstream os;
+            os << "target 0x" << std::hex << target << std::dec
+               << (target % isa::kInstrBytes != 0
+                       ? " is not 8-byte aligned"
+                       : " is outside the code segment");
+            report(Check::BranchTargetOutOfRange, Severity::Error, index,
+                   os.str());
+        }
+    } else if (format == isa::Format::Jalr) {
+        // Only resolvable when the base register is a known constant.
+        if (const auto base = baseValue(in.rs1)) {
+            const std::uint64_t target =
+                *base + static_cast<std::uint64_t>(in.imm);
+            if (!program_.containsPc(target)) {
+                std::ostringstream os;
+                os << "indirect target 0x" << std::hex << target
+                   << std::dec << " is not an instruction address";
+                report(Check::BranchTargetOutOfRange, Severity::Error,
+                       index, os.str());
+            }
+        }
+    }
+}
+
+void
+Verifier::checkMemAccess(std::size_t index, std::uint64_t addr)
+{
+    const Instruction &in = program_.code[index];
+    const unsigned size = in.info().mem_bytes;
+    const bool is_store = isa::isStore(in.op);
+
+    const std::uint64_t code_end =
+        program_.code_base + program_.code.size() * isa::kInstrBytes;
+    const std::uint64_t data_end = program_.data_base + program_.data.size();
+    const std::uint64_t stack_lo =
+        program_.stack_top > options_.stack_reserve
+            ? program_.stack_top - options_.stack_reserve
+            : 0;
+
+    std::ostringstream os;
+    os << (is_store ? "store to 0x" : "load from 0x") << std::hex << addr
+       << std::dec << " (" << size << " bytes)";
+
+    if (addr < code_end && addr + size > program_.code_base) {
+        report(Check::CodeSegmentAccess, Severity::Error, index,
+               os.str() + " hits the code segment");
+        return;
+    }
+    const bool in_data = addr >= program_.data_base && addr + size <= data_end;
+    const bool in_stack =
+        addr >= stack_lo && addr + size <= program_.stack_top;
+    if (!in_data && !in_stack) {
+        std::ostringstream seg;
+        seg << " is outside the data segment [0x" << std::hex
+            << program_.data_base << ", 0x" << data_end
+            << ") and the stack";
+        report(Check::MemAccessOutOfSegment, Severity::Error, index,
+               os.str() + seg.str());
+        return;
+    }
+    if (size > 1 && addr % size != 0)
+        report(Check::MisalignedAccess, Severity::Warning, index,
+               os.str() + " is not " + std::to_string(size) +
+                   "-byte aligned");
+}
+
+void
+Verifier::resolveConstants(const Cfg &cfg)
+{
+    const_value_.assign(isa::kNumIntRegs, std::nullopt);
+    def_count_.assign(isa::kNumIntRegs, 0);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.reachable[b])
+            continue;
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i) {
+            const Instruction &in = program_.code[i];
+            if (!in.hasDest() ||
+                in.dest().file != isa::RegOperand::File::Int)
+                continue;
+            const std::uint8_t rd = in.dest().index;
+            if (rd >= isa::kNumIntRegs)
+                continue;
+            ++def_count_[rd];
+            if (in.op == Opcode::Addi && in.rs1 == isa::kRegZero)
+                const_value_[rd] = in.imm;
+            else
+                const_value_[rd] = std::nullopt;
+        }
+    }
+}
+
+std::optional<std::uint64_t>
+Verifier::baseValue(std::uint8_t reg) const
+{
+    if (reg == isa::kRegZero)
+        return 0;
+    if (reg < const_value_.size() && def_count_[reg] == 1 &&
+        const_value_[reg])
+        return static_cast<std::uint64_t>(*const_value_[reg]);
+    return std::nullopt;
+}
+
+Report
+Verifier::run()
+{
+    if (program_.code.empty()) {
+        Diagnostic d;
+        d.check = Check::EmptyProgram;
+        d.severity = Severity::Error;
+        d.pc = program_.code_base;
+        d.message = "program has no instructions";
+        out_.diagnostics.push_back(std::move(d));
+        return std::move(out_);
+    }
+
+    const Cfg cfg = buildCfg(program_);
+    resolveConstants(cfg);
+
+    // Per-instruction encoding and target checks (all blocks: even dead
+    // code must be well-formed enough to encode).
+    for (std::size_t i = 0; i < program_.code.size(); ++i) {
+        checkOperands(i);
+        checkControlTargets(i);
+    }
+
+    // Unreachable blocks and falls-off-end.
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = cfg.blocks[b];
+        if (!cfg.reachable[b]) {
+            reportBlock(Check::UnreachableBlock, Severity::Warning,
+                        bb.first,
+                        "basic block of " + std::to_string(bb.size()) +
+                            " instructions is unreachable from the entry");
+            continue;
+        }
+        if (bb.falls_off_end)
+            report(Check::FallsOffEnd, Severity::Error, bb.last,
+                   "control can run past the last instruction of the "
+                   "code segment");
+    }
+
+    // Dataflow checks on reachable blocks.
+    const PossibleDefs defs = computePossibleDefs(cfg);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.reachable[b])
+            continue;
+        RegMask defined = defs.in[b];
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i) {
+            const Instruction &in = program_.code[i];
+            // Before the use-before-def loop below marks ra as "seen".
+            if (in.isReturn() &&
+                (defined & (RegMask{1} << isa::kRegRa)) == 0)
+                report(Check::ReturnWithoutLink, Severity::Error, i,
+                       "return reachable with no definition of the link "
+                       "register (would jump to pc 0)");
+            for (const isa::RegOperand &reg : in.sources()) {
+                if (reg.index >= isa::kNumIntRegs)
+                    continue; // already a BadRegisterIndex error
+                const RegMask bit = regBit(reg) & ~RegMask{1};
+                if (bit != 0 && (defined & bit) == 0) {
+                    const bool fp = reg.file == isa::RegOperand::File::Fp;
+                    report(Check::UseBeforeDef, Severity::Warning, i,
+                           std::string("read of ") +
+                               std::string(fp ? isa::fpRegName(reg.index)
+                                              : isa::intRegName(reg.index)) +
+                               " which no definition reaches (the VM "
+                               "zero-initializes it)");
+                    defined |= bit; // report each register once per block
+                }
+            }
+            // Statically resolvable memory accesses.
+            if (isa::isLoad(in.op) || isa::isStore(in.op)) {
+                if (const auto base = baseValue(in.rs1))
+                    checkMemAccess(
+                        i, *base + static_cast<std::uint64_t>(in.imm));
+            }
+            defined |= writeMask(in);
+        }
+    }
+
+    // Guaranteed non-termination: a natural loop with no exit edge.
+    if (!options_.allow_nonterminating) {
+        const DominatorTree doms = computeDominators(cfg);
+        for (const NaturalLoop &loop : findNaturalLoops(cfg, doms)) {
+            if (loop.has_exit)
+                continue;
+            reportBlock(Check::InfiniteLoop, Severity::Error,
+                        cfg.blocks[loop.header].first,
+                        "natural loop of " +
+                            std::to_string(loop.blocks.size()) +
+                            " blocks has no exit edge (program cannot "
+                            "terminate)");
+        }
+    }
+
+    return std::move(out_);
+}
+
+} // namespace
+
+Report
+verify(const isa::Program &program, const Options &options)
+{
+    return Verifier(program, options).run();
+}
+
+} // namespace mica::analysis

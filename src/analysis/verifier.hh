@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Static program verifier / linter for SRISC programs.
+ *
+ * verify() runs the CFG + dataflow analyses over a Program and returns a
+ * Report of severity-tagged diagnostics, each carrying the pc and the
+ * disassembly of the offending instruction. The workload generators are
+ * required to produce programs with zero Error-level diagnostics; the
+ * characterization pipeline enforces that before any program reaches the
+ * VM (see core/characterize.cc).
+ *
+ * The diagnostic catalog is documented in docs/ANALYSIS.md.
+ */
+
+#ifndef MICAPHASE_ANALYSIS_VERIFIER_HH
+#define MICAPHASE_ANALYSIS_VERIFIER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mica::analysis {
+
+/** Diagnostic severity. Error means the program must not be executed. */
+enum class Severity : std::uint8_t
+{
+    Warning, ///< likely generator bug; the VM still executes it soundly
+    Error,   ///< malformed program (traps, unencodable, or misleading)
+};
+
+/** Diagnostic classes the verifier can emit. */
+enum class Check : std::uint8_t
+{
+    EmptyProgram,          ///< no instructions at all
+    BadRegisterIndex,      ///< operand register index >= 32
+    ImmediateOutOfRange,   ///< imm does not fit kImmBits
+    ShiftAmountOutOfRange, ///< immediate shift amount outside [0, 63]
+    BranchTargetOutOfRange,///< branch/jump target outside code or unaligned
+    CodeSegmentAccess,     ///< resolvable load/store hits the code segment
+    MemAccessOutOfSegment, ///< resolvable address outside data and stack
+    MisalignedAccess,      ///< resolvable address not size-aligned
+    UseBeforeDef,          ///< read that no register definition reaches
+    UnreachableBlock,      ///< basic block unreachable from the entry
+    ReturnWithoutLink,     ///< ret reachable with the link register unset
+    FallsOffEnd,           ///< control can run past the last instruction
+    InfiniteLoop,          ///< natural loop with no exit edge
+};
+
+/** Printable names ("use-before-def", "error"). */
+[[nodiscard]] std::string_view checkName(Check check);
+[[nodiscard]] std::string_view severityName(Severity severity);
+
+/** One finding. */
+struct Diagnostic
+{
+    Check check = Check::EmptyProgram;
+    Severity severity = Severity::Error;
+    std::size_t instr_index = 0; ///< offending instruction (when applicable)
+    std::uint64_t pc = 0;        ///< its pc (block-start pc for block checks)
+    std::string message;         ///< human-readable detail with disassembly
+
+    /** "error: branch-target-out-of-range @0x10008: ..." */
+    [[nodiscard]] std::string toString() const;
+};
+
+/** Verifier knobs. */
+struct Options
+{
+    /**
+     * Accept programs designed to run forever under an external
+     * instruction budget (every generated workload: the phase scheduler
+     * loops its schedule without a Halt). Suppresses InfiniteLoop.
+     */
+    bool allow_nonterminating = false;
+    /** Bytes below stack_top treated as valid stack. */
+    std::uint64_t stack_reserve = 1ull << 20;
+};
+
+/** Verification result. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+
+    [[nodiscard]] std::size_t errorCount() const;
+    [[nodiscard]] std::size_t warningCount() const;
+    /** True when no Error-level diagnostic was produced. */
+    [[nodiscard]] bool ok() const { return errorCount() == 0; }
+    /** True when a diagnostic of the given class was produced. */
+    [[nodiscard]] bool has(Check check) const;
+    /** All findings, one per line. */
+    [[nodiscard]] std::string toString() const;
+};
+
+/** Statically verify a program. Never throws; findings go to the report. */
+[[nodiscard]] Report verify(const isa::Program &program,
+                            const Options &options = {});
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_VERIFIER_HH

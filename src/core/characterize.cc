@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <charconv>
+#include <cstdio>
 #include <cmath>
 #include <mutex>
 #include <thread>
@@ -10,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/verifier.hh"
 #include "mica/profiler.hh"
 #include "vm/cpu.hh"
 
@@ -31,7 +33,7 @@ ExperimentConfig::characterizationKey() const
     mix(static_cast<std::uint64_t>(interval_scale * 1024.0));
     // Version tag: bump whenever the workload catalog or the metric
     // definitions change, to invalidate stale caches.
-    mix(0xC0FFEE05);
+    mix(0xC0FFEE06);
     return h;
 }
 
@@ -60,6 +62,23 @@ CharacterizationResult::intervalsPerBenchmark() const
     for (const IntervalRecord &rec : intervals)
         ++counts[rec.benchmark];
     return counts;
+}
+
+void
+verifyProgram(const isa::Program &program)
+{
+    analysis::Options options;
+    // Generated workloads loop their phase schedule forever by design;
+    // the driver bounds them with an instruction budget.
+    options.allow_nonterminating = true;
+    const analysis::Report report = analysis::verify(program, options);
+    if (!report.ok())
+        throw std::runtime_error("verifyProgram: " + program.name +
+                                 " failed static verification:\n" +
+                                 report.toString());
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        std::fprintf(stderr, "verify %s: %s\n", program.name.c_str(),
+                     d.toString().c_str());
 }
 
 std::vector<metrics::CharacteristicVector>
@@ -106,6 +125,7 @@ characterizeCatalog(const workloads::SuiteCatalog &catalog,
                        bench.intervalsForInput(input) *
                        config.interval_scale)));
             const isa::Program program = bench.build(input);
+            verifyProgram(program);
             const auto vectors = characterizeProgram(
                 program, config.interval_instructions, budget);
             for (const auto &v : vectors) {

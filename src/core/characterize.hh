@@ -43,6 +43,14 @@ struct CharacterizationResult
 using ProgressFn =
     std::function<void(const std::string &, std::size_t, std::size_t)>;
 
+/**
+ * Statically verify a generated workload program before execution
+ * (analysis::verify with the non-terminating workload contract).
+ * Error-level diagnostics throw std::runtime_error with the full report;
+ * warnings are logged to stderr.
+ */
+void verifyProgram(const isa::Program &program);
+
 /** Characterize every benchmark input in the catalog (no cache). */
 [[nodiscard]] CharacterizationResult characterizeCatalog(
     const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,

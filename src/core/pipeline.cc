@@ -8,12 +8,21 @@
 
 namespace mica::core {
 
+void
+verifyCatalog(const workloads::SuiteCatalog &catalog)
+{
+    for (const workloads::BenchmarkSpec &bench : catalog.benchmarks())
+        for (std::uint32_t input = 0; input < bench.num_inputs; ++input)
+            verifyProgram(bench.build(input));
+}
+
 ExperimentOutputs
 runFullExperiment(const ExperimentConfig &config, const ProgressFn &progress)
 {
     ExperimentOutputs out;
     out.config = config;
     const workloads::SuiteCatalog catalog;
+    verifyCatalog(catalog);
     out.characterization = characterizeWithCache(catalog, config, progress);
     out.sampled = sampleIntervals(out.characterization,
                                   config.samples_per_benchmark,

@@ -30,7 +30,17 @@ struct ExperimentOutputs
 };
 
 /**
- * Run characterize (cached) -> sample -> analyze -> compare.
+ * Statically verify every program of every registered benchmark (all
+ * inputs) with the analysis subsystem. Throws std::runtime_error naming
+ * the offending benchmark when any program has Error-level diagnostics.
+ * runFullExperiment calls this before characterizing, so malformed
+ * generator output is rejected even when the characterization itself is
+ * served from the on-disk cache.
+ */
+void verifyCatalog(const workloads::SuiteCatalog &catalog);
+
+/**
+ * Run verify -> characterize (cached) -> sample -> analyze -> compare.
  * Deterministic for a given config.
  */
 [[nodiscard]] ExperimentOutputs runFullExperiment(

@@ -11,6 +11,7 @@
 #ifndef MICAPHASE_ISA_INSTRUCTION_HH
 #define MICAPHASE_ISA_INSTRUCTION_HH
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -43,6 +44,8 @@ struct RegList
     void
     push(RegOperand::File file, std::uint8_t index)
     {
+        assert(count < sizeof(regs) / sizeof(regs[0]) &&
+               "RegList::push: more than 3 register operands");
         regs[count++] = {file, index};
     }
 

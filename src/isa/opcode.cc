@@ -111,14 +111,18 @@ opcodeFromMnemonic(std::string_view name)
 std::string_view
 intRegName(std::uint8_t index)
 {
-    assert(index < kNumIntRegs);
+    // Total on purpose: the verifier disassembles malformed instructions
+    // whose register fields may be out of range.
+    if (index >= kNumIntRegs)
+        return "x??";
     return kIntRegNames[index];
 }
 
 std::string_view
 fpRegName(std::uint8_t index)
 {
-    assert(index < kNumFpRegs);
+    if (index >= kNumFpRegs)
+        return "f??";
     return kFpRegNames[index];
 }
 

@@ -6,6 +6,7 @@
 #ifndef MICAPHASE_ISA_PROGRAM_HH
 #define MICAPHASE_ISA_PROGRAM_HH
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,6 +45,8 @@ struct Program
     [[nodiscard]] std::size_t
     indexOf(std::uint64_t pc) const
     {
+        assert(containsPc(pc) &&
+               "Program::indexOf: pc out of range or unaligned");
         return static_cast<std::size_t>((pc - code_base) / kInstrBytes);
     }
 

@@ -101,9 +101,17 @@ Cpu::run(std::uint64_t max_instructions, TraceSink *sink)
         };
 
         switch (in.op) {
-          case Opcode::Add: write_x(a + b); break;
-          case Opcode::Sub: write_x(a - b); break;
-          case Opcode::Mul: write_x(a * b); break;
+          // Integer arithmetic wraps (two's complement): compute in
+          // unsigned to keep the wrap-around defined behaviour.
+          case Opcode::Add:
+            write_x(static_cast<std::int64_t>(ua + ub));
+            break;
+          case Opcode::Sub:
+            write_x(static_cast<std::int64_t>(ua - ub));
+            break;
+          case Opcode::Mul:
+            write_x(static_cast<std::int64_t>(ua * ub));
+            break;
           case Opcode::Div:
             // RISC-V semantics: x/0 == -1; overflow wraps to dividend.
             if (b == 0)
@@ -136,7 +144,10 @@ Cpu::run(std::uint64_t max_instructions, TraceSink *sink)
           case Opcode::Slt: write_x(a < b ? 1 : 0); break;
           case Opcode::Sltu: write_x(ua < ub ? 1 : 0); break;
 
-          case Opcode::Addi: write_x(a + in.imm); break;
+          case Opcode::Addi:
+            write_x(static_cast<std::int64_t>(
+                ua + static_cast<std::uint64_t>(in.imm)));
+            break;
           case Opcode::Andi: write_x(a & in.imm); break;
           case Opcode::Ori: write_x(a | in.imm); break;
           case Opcode::Xori: write_x(a ^ in.imm); break;
@@ -226,7 +237,7 @@ Cpu::run(std::uint64_t max_instructions, TraceSink *sink)
             break;
           case Opcode::Jalr: {
             const std::uint64_t target =
-                static_cast<std::uint64_t>(a + in.imm);
+                ua + static_cast<std::uint64_t>(in.imm);
             write_x(static_cast<std::int64_t>(pc_ + isa::kInstrBytes));
             next_pc = target;
             break;

@@ -114,8 +114,6 @@ emitCodeBloat(ProgramBuilder &pb, const CodeBloatParams &params,
     // deterministic but block-specific mixture of operations so every block
     // is distinct code (large instruction footprint, like gcc/perl).
     std::vector<Label> block_labels(blocks);
-    Label entry_skip = pb.newLabel();
-    pb.jump(entry_skip); // fall-through guard for the first block
     for (std::uint32_t bidx = 0; bidx < blocks; ++bidx) {
         block_labels[bidx] = pb.newLabel();
         pb.bind(block_labels[bidx]);
@@ -150,7 +148,6 @@ emitCodeBloat(ProgramBuilder &pb, const CodeBloatParams &params,
         }
         pb.ret();
     }
-    pb.bind(entry_skip);
     const std::uint64_t table = pb.allocLabelTable(block_labels);
     const std::uint64_t state_words[2] = {rng.nextU64() | 1, 0};
     const std::uint64_t state_slot = pb.allocWords(state_words);

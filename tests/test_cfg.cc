@@ -1,0 +1,304 @@
+/**
+ * @file
+ * CFG construction, dominators, natural loops, dataflow and static
+ * features on hand-assembled programs.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/static_features.hh"
+#include "workloads/program_builder.hh"
+
+namespace {
+
+using namespace mica;
+using analysis::buildCfg;
+using analysis::Cfg;
+using isa::Opcode;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+/** li / loop-decrement / halt: two blocks plus a self-loop. */
+isa::Program
+countdownProgram()
+{
+    ProgramBuilder pb("countdown");
+    pb.li(5, 10);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, -1);
+    pb.branch(Opcode::Bne, 5, isa::kRegZero, top);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    ProgramBuilder pb("straight");
+    pb.li(5, 1);
+    pb.li(6, 2);
+    pb.alu(Opcode::Add, 7, 5, 6);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    ASSERT_EQ(cfg.blocks.size(), 1u);
+    EXPECT_EQ(cfg.blocks[0].first, 0u);
+    EXPECT_EQ(cfg.blocks[0].last, 3u);
+    EXPECT_TRUE(cfg.blocks[0].succs.empty());
+    EXPECT_TRUE(cfg.reachable[0]);
+    EXPECT_FALSE(cfg.blocks[0].falls_off_end);
+}
+
+TEST(Cfg, EmptyProgram)
+{
+    const isa::Program empty{};
+    const Cfg cfg = buildCfg(empty);
+    EXPECT_TRUE(cfg.blocks.empty());
+    EXPECT_TRUE(cfg.rpo.empty());
+}
+
+TEST(Cfg, LoopBlocksAndEdges)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    // Blocks: [li], [addi+bne], [halt].
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    EXPECT_EQ(cfg.blocks[1].succs.size(), 2u); // taken + fallthrough
+    // The loop block is its own predecessor.
+    EXPECT_NE(std::find(cfg.blocks[1].preds.begin(),
+                        cfg.blocks[1].preds.end(), 1u),
+              cfg.blocks[1].preds.end());
+    EXPECT_EQ(cfg.rpo.size(), 3u);
+    EXPECT_EQ(cfg.rpo.front(), cfg.entryBlock());
+}
+
+TEST(Cfg, CallHasCalleeAndReturnSiteEdges)
+{
+    ProgramBuilder pb("call");
+    Label main = pb.newLabel();
+    pb.jump(main);
+    Label sub = pb.newLabel();
+    pb.bind(sub);
+    pb.li(5, 7);
+    pb.ret();
+    pb.bind(main);
+    pb.call(sub);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+
+    // jump / sub body / call / halt.
+    ASSERT_EQ(cfg.blocks.size(), 4u);
+    bool saw_call = false, saw_return_site = false;
+    for (const analysis::Edge &e : cfg.edges) {
+        saw_call |= e.kind == analysis::EdgeKind::Call;
+        saw_return_site |= e.kind == analysis::EdgeKind::ReturnSite;
+    }
+    EXPECT_TRUE(saw_call);
+    EXPECT_TRUE(saw_return_site);
+    // The callee ends in ret with no static successors.
+    EXPECT_TRUE(cfg.blocks[1].ends_in_return);
+    EXPECT_TRUE(cfg.blocks[1].succs.empty());
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        EXPECT_TRUE(cfg.reachable[b]) << "block " << b;
+}
+
+TEST(Cfg, AddressTakenBlocksRecoveredFromLabelTables)
+{
+    ProgramBuilder pb("dispatch");
+    Label main = pb.newLabel();
+    pb.jump(main);
+    Label handler = pb.newLabel();
+    pb.bind(handler);
+    pb.li(6, 1);
+    pb.ret();
+    pb.bind(main);
+    const Label handlers[1] = {handler};
+    const std::uint64_t table = pb.allocLabelTable(handlers);
+    pb.load(Opcode::Ld, 5, isa::kRegZero,
+            static_cast<std::int64_t>(table));
+    pb.callIndirect(5);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+
+    ASSERT_EQ(cfg.address_taken.size(), 1u);
+    EXPECT_EQ(cfg.blocks[cfg.address_taken[0]].first,
+              program.indexOf(program.code_base + isa::kInstrBytes));
+    // Handler reachable through the recovered indirect call edge.
+    EXPECT_TRUE(cfg.reachable[cfg.address_taken[0]]);
+}
+
+TEST(Dominators, LoopHeaderDominatesLatch)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    const analysis::DominatorTree doms = analysis::computeDominators(cfg);
+    EXPECT_TRUE(doms.dominates(0, 1));
+    EXPECT_TRUE(doms.dominates(0, 2));
+    EXPECT_TRUE(doms.dominates(1, 2));
+    EXPECT_FALSE(doms.dominates(2, 1));
+    EXPECT_EQ(doms.idom[cfg.entryBlock()], cfg.entryBlock());
+}
+
+TEST(Dominators, DiamondJoinDominatedByFork)
+{
+    ProgramBuilder pb("diamond");
+    Label else_arm = pb.newLabel(), join = pb.newLabel();
+    pb.li(5, 1);
+    pb.branch(Opcode::Beq, 5, isa::kRegZero, else_arm); // block 0
+    pb.li(6, 1);                                        // then, block 1
+    pb.jump(join);
+    pb.bind(else_arm);
+    pb.li(6, 2);                                        // else, block 2
+    pb.bind(join);
+    pb.halt();                                          // join, block 3
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    ASSERT_EQ(cfg.blocks.size(), 4u);
+    const analysis::DominatorTree doms = analysis::computeDominators(cfg);
+    EXPECT_EQ(doms.idom[3], 0u); // join's idom is the fork, not an arm
+    EXPECT_FALSE(doms.dominates(1, 3));
+    EXPECT_FALSE(doms.dominates(2, 3));
+}
+
+TEST(Loops, SingleLoopDetectedWithExit)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    const auto loops =
+        analysis::findNaturalLoops(cfg, analysis::computeDominators(cfg));
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1u);
+    EXPECT_EQ(loops[0].latch, 1u);
+    EXPECT_EQ(loops[0].depth, 1u);
+    EXPECT_TRUE(loops[0].has_exit);
+    EXPECT_TRUE(loops[0].contains(1));
+    EXPECT_FALSE(loops[0].contains(0));
+}
+
+TEST(Loops, NestingDepthComputed)
+{
+    ProgramBuilder pb("nest");
+    pb.li(5, 3);
+    Label outer = pb.newLabel();
+    pb.bind(outer);
+    pb.li(6, 4);
+    Label inner = pb.newLabel();
+    pb.bind(inner);
+    pb.alui(Opcode::Addi, 6, 6, -1);
+    pb.branch(Opcode::Bne, 6, isa::kRegZero, inner);
+    pb.alui(Opcode::Addi, 5, 5, -1);
+    pb.branch(Opcode::Bne, 5, isa::kRegZero, outer);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const auto loops =
+        analysis::findNaturalLoops(cfg, analysis::computeDominators(cfg));
+    ASSERT_EQ(loops.size(), 2u);
+    std::size_t max_depth = 0;
+    for (const auto &loop : loops)
+        max_depth = std::max(max_depth, loop.depth);
+    EXPECT_EQ(max_depth, 2u);
+}
+
+TEST(Loops, InfiniteLoopHasNoExit)
+{
+    ProgramBuilder pb("forever");
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, 1);
+    pb.jump(top);
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const auto loops =
+        analysis::findNaturalLoops(cfg, analysis::computeDominators(cfg));
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_FALSE(loops[0].has_exit);
+}
+
+TEST(Dataflow, PossibleDefsFlowThroughCallEdges)
+{
+    ProgramBuilder pb("defs");
+    Label main = pb.newLabel();
+    pb.jump(main);
+    Label sub = pb.newLabel();
+    pb.bind(sub);
+    pb.alu(Opcode::Add, 7, 5, 5); // reads x5 defined by the caller
+    pb.ret();
+    pb.bind(main);
+    pb.li(5, 3);
+    pb.call(sub);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const analysis::PossibleDefs defs = analysis::computePossibleDefs(cfg);
+    // x5's definition reaches the callee entry.
+    const std::size_t callee = cfg.block_of_instr[1];
+    EXPECT_NE(defs.in[callee] & (analysis::RegMask{1} << 5), 0u);
+    // The VM-defined stack pointer is available everywhere reachable.
+    EXPECT_NE(defs.in[cfg.entryBlock()] &
+                  (analysis::RegMask{1} << isa::kRegSp),
+              0u);
+}
+
+TEST(Dataflow, LivenessAcrossLoop)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    const analysis::Liveness live = analysis::computeLiveness(cfg);
+    // x5 is live entering the loop block (read by addi and bne).
+    EXPECT_NE(live.in[1] & (analysis::RegMask{1} << 5), 0u);
+    // Nothing is live entering the final halt block.
+    EXPECT_EQ(live.in[2], 0u);
+}
+
+TEST(Dataflow, ReadWriteMasks)
+{
+    const isa::Instruction fmadd{Opcode::Fmadd, 3, 1, 2, 0};
+    const analysis::RegMask reads = analysis::readMask(fmadd);
+    EXPECT_NE(reads & (analysis::RegMask{1} << (32 + 1)), 0u);
+    EXPECT_NE(reads & (analysis::RegMask{1} << (32 + 2)), 0u);
+    EXPECT_NE(reads & (analysis::RegMask{1} << (32 + 3)), 0u); // accumulator
+    EXPECT_EQ(analysis::writeMask(fmadd),
+              analysis::RegMask{1} << (32 + 3));
+
+    // Reads of x0 carry no dataflow; writes to x0 are discarded.
+    const isa::Instruction addx0{Opcode::Add, 0, 0, 5, 0};
+    EXPECT_EQ(analysis::readMask(addx0), analysis::RegMask{1} << 5);
+    EXPECT_EQ(analysis::writeMask(addx0), 0u);
+}
+
+TEST(StaticFeatures, CountsAndDensities)
+{
+    const analysis::StaticFeatures f =
+        analysis::staticFeatures(countdownProgram());
+    EXPECT_EQ(f.num_instructions, 4u);
+    EXPECT_EQ(f.num_blocks, 3u);
+    EXPECT_EQ(f.num_loops, 1u);
+    EXPECT_EQ(f.max_loop_depth, 1u);
+    EXPECT_NEAR(f.branch_density, 0.25, 1e-12); // one bne in four instrs
+    EXPECT_EQ(f.mem_density, 0.0);
+    EXPECT_GE(f.max_int_pressure, 1);
+    EXPECT_EQ(f.max_fp_pressure, 0);
+    // Vector and names agree in size.
+    EXPECT_EQ(f.toVector().size(),
+              analysis::StaticFeatures::featureNames().size());
+    EXPECT_FALSE(f.toString().empty());
+}
+
+TEST(StaticFeatures, MixSumsToOne)
+{
+    const analysis::StaticFeatures f =
+        analysis::staticFeatures(countdownProgram());
+    double sum = 0.0;
+    for (double g : f.group_mix)
+        sum += g;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Program verifier: every diagnostic class triggered by a seeded defect,
+ * plus clean-program negative tests and the catalog acceptance check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.hh"
+#include "workloads/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+using analysis::Check;
+using analysis::Options;
+using analysis::Report;
+using analysis::Severity;
+using analysis::verify;
+using isa::Instruction;
+using isa::Opcode;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+/** A well-formed program: defines what it reads, loops, halts. */
+isa::Program
+cleanProgram()
+{
+    ProgramBuilder pb("clean");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.li(6, 4);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.load(Opcode::Ld, 7, 5, 0);
+    pb.alui(Opcode::Addi, 7, 7, 1);
+    pb.store(Opcode::Sd, 7, 5, 0);
+    pb.alui(Opcode::Addi, 6, 6, -1);
+    pb.branch(Opcode::Bne, 6, isa::kRegZero, top);
+    pb.halt();
+    return pb.build();
+}
+
+TEST(Verifier, CleanProgramHasNoDiagnostics)
+{
+    const Report report = verify(cleanProgram());
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.diagnostics.size(), 0u) << report.toString();
+}
+
+TEST(Verifier, EmptyProgramIsAnError)
+{
+    const Report report = verify(isa::Program{});
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::EmptyProgram));
+}
+
+TEST(Verifier, BranchTargetOutsideCode)
+{
+    // bne jumping 100 instructions past the end.
+    isa::Program program = cleanProgram();
+    program.code[6].imm = 800;
+    const Report report = verify(program);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::BranchTargetOutOfRange))
+        << report.toString();
+}
+
+TEST(Verifier, BranchTargetUnaligned)
+{
+    isa::Program program = cleanProgram();
+    program.code[6].imm = -12; // not a multiple of kInstrBytes
+    const Report report = verify(program);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::BranchTargetOutOfRange));
+}
+
+TEST(Verifier, ImmediateOutOfRange)
+{
+    isa::Program program = cleanProgram();
+    program.code[4].imm = isa::kImmMax + 1;
+    const Report report = verify(program);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::ImmediateOutOfRange));
+}
+
+TEST(Verifier, ShiftAmountOutOfRange)
+{
+    ProgramBuilder pb("shift");
+    pb.li(5, 1);
+    pb.alui(Opcode::Slli, 5, 5, 64);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::ShiftAmountOutOfRange));
+    EXPECT_TRUE(report.ok()); // warning only: the VM masks the amount
+}
+
+TEST(Verifier, BadRegisterIndex)
+{
+    isa::Program program = cleanProgram();
+    program.code[3].rs1 = 40; // beyond x31; decode would reject this too
+    const Report report = verify(program);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::BadRegisterIndex));
+}
+
+TEST(Verifier, StoreIntoCodeSegment)
+{
+    ProgramBuilder pb("smc");
+    pb.li(5, static_cast<std::int64_t>(isa::kDefaultCodeBase));
+    pb.store(Opcode::Sd, 6, 5, 8);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::CodeSegmentAccess)) << report.toString();
+}
+
+TEST(Verifier, LoadOutsideAnySegment)
+{
+    ProgramBuilder pb("wild");
+    (void)pb.allocData(32);
+    pb.li(5, 0x500000); // far from code, data and stack
+    pb.load(Opcode::Ld, 6, 5, 0);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::MemAccessOutOfSegment))
+        << report.toString();
+}
+
+TEST(Verifier, MisalignedResolvableAccess)
+{
+    ProgramBuilder pb("misaligned");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.load(Opcode::Ld, 6, 5, 3); // 8-byte load at +3
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::MisalignedAccess));
+    EXPECT_TRUE(report.ok()); // warning: the VM handles it
+}
+
+TEST(Verifier, UseBeforeDefIsAWarning)
+{
+    ProgramBuilder pb("ubd");
+    pb.alu(Opcode::Add, 6, 5, 5); // x5 never written anywhere
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::UseBeforeDef));
+    EXPECT_TRUE(report.ok());
+    // x0 and the stack pointer are VM-defined, not use-before-def.
+    ProgramBuilder ok("sp");
+    ok.alui(Opcode::Addi, 5, isa::kRegSp, -8);
+    ok.alu(Opcode::Add, 6, 5, isa::kRegZero);
+    ok.halt();
+    EXPECT_FALSE(verify(ok.build()).has(Check::UseBeforeDef));
+}
+
+TEST(Verifier, FpUseBeforeDefTracksOwnFile)
+{
+    ProgramBuilder pb("fp-ubd");
+    pb.li(5, 1);
+    pb.cvtif(1, 5);                  // defines f1
+    pb.fop(Opcode::Fadd, 2, 1, 3);   // f3 never defined
+    pb.halt();
+    const Report report = verify(pb.build());
+    ASSERT_TRUE(report.has(Check::UseBeforeDef));
+    EXPECT_NE(report.toString().find("f3"), std::string::npos)
+        << report.toString();
+}
+
+TEST(Verifier, UnreachableBlockWarning)
+{
+    ProgramBuilder pb("dead");
+    Label end = pb.newLabel();
+    pb.jump(end);
+    pb.li(5, 1); // skipped by the jump, no inbound edge
+    pb.bind(end);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::UnreachableBlock));
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(Verifier, ReturnWithoutLink)
+{
+    ProgramBuilder pb("noret");
+    pb.li(5, 1);
+    pb.ret(); // no call ever defined ra
+    const Report report = verify(pb.build());
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::ReturnWithoutLink));
+}
+
+TEST(Verifier, ProperCallReturnIsClean)
+{
+    ProgramBuilder pb("callret");
+    Label main = pb.newLabel();
+    pb.jump(main);
+    Label sub = pb.newLabel();
+    pb.bind(sub);
+    pb.li(5, 7);
+    pb.ret();
+    pb.bind(main);
+    pb.call(sub);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_FALSE(report.has(Check::ReturnWithoutLink));
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Verifier, FallsOffEnd)
+{
+    ProgramBuilder pb("falloff");
+    pb.li(5, 1);
+    pb.alui(Opcode::Addi, 5, 5, 1); // last instruction is not control
+    const Report report = verify(pb.build());
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::FallsOffEnd));
+}
+
+TEST(Verifier, InfiniteLoopDetected)
+{
+    ProgramBuilder pb("forever");
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.li(5, 1);
+    pb.jump(top);
+    const Report report = verify(pb.build());
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(Check::InfiniteLoop));
+
+    // The workload contract accepts budget-bounded non-termination.
+    Options allow;
+    allow.allow_nonterminating = true;
+    EXPECT_TRUE(verify(pb.build(), allow).ok());
+}
+
+TEST(Verifier, LoopWithExitIsNotInfinite)
+{
+    const Report report = verify(cleanProgram());
+    EXPECT_FALSE(report.has(Check::InfiniteLoop));
+}
+
+TEST(Verifier, DiagnosticsCarryPcAndDisassembly)
+{
+    ProgramBuilder pb("diag");
+    pb.li(5, 1);
+    pb.ret();
+    const Report report = verify(pb.build());
+    ASSERT_FALSE(report.diagnostics.empty());
+    const analysis::Diagnostic &d = report.diagnostics.front();
+    EXPECT_EQ(d.instr_index, 1u); // the ret
+    EXPECT_EQ(d.pc, isa::kDefaultCodeBase + d.instr_index * 8);
+    EXPECT_NE(d.message.find("jalr"), std::string::npos) << d.message;
+    EXPECT_NE(report.toString().find("error"), std::string::npos);
+    EXPECT_NE(report.toString().find("warning"), std::string::npos);
+}
+
+TEST(Verifier, ReportCountsAndSeverities)
+{
+    ProgramBuilder pb("counts");
+    pb.alu(Opcode::Add, 6, 5, 5); // warning: use-before-def (x5)
+    pb.ret(); // error: return-without-link; warning: use-before-def (ra)
+    const Report report = verify(pb.build());
+    EXPECT_EQ(report.errorCount(), 1u) << report.toString();
+    EXPECT_EQ(report.warningCount(), 2u) << report.toString();
+    EXPECT_FALSE(report.ok());
+}
+
+/** Acceptance criterion: every registered suite program verifies clean. */
+TEST(Verifier, AllCatalogProgramsVerifyWithZeroErrors)
+{
+    Options options;
+    options.allow_nonterminating = true; // workloads loop by design
+    const workloads::SuiteCatalog catalog;
+    for (const auto &bench : catalog.benchmarks()) {
+        for (std::uint32_t input = 0; input < bench.num_inputs; ++input) {
+            const isa::Program program = bench.build(input);
+            const Report report = verify(program, options);
+            EXPECT_EQ(report.errorCount(), 0u)
+                << bench.id() << " input " << input << ":\n"
+                << report.toString();
+            EXPECT_EQ(report.warningCount(), 0u)
+                << bench.id() << " input " << input << ":\n"
+                << report.toString();
+        }
+    }
+}
+
+} // namespace
