@@ -4,13 +4,29 @@
  * interpretation speed (with and without the MICA profiler attached),
  * the individual metric analyzers, and the statistics kernels. These are
  * the costs that determine how large an experiment the library can run.
+ *
+ * After the registered benchmarks run, a serial-vs-parallel speedup table
+ * for the thread-pooled stats stages (k-means restarts, GA fitness, PCA
+ * covariance) is printed and recorded in
+ * ${MICAPHASE_OUT:-out}/BENCH_parallel_speedup.json, including a bitwise
+ * determinism cross-check between the serial and parallel runs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "asm/assembler.hh"
+#include "bench/bench_util.hh"
 #include "ga/feature_select.hh"
 #include "mica/profiler.hh"
+#include "stats/eigen.hh"
 #include "stats/kmeans.hh"
 #include "stats/linkage.hh"
 #include "stats/pca.hh"
@@ -117,6 +133,58 @@ BENCHMARK(BM_KMeans)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_KMeansRestartsThreaded(benchmark::State &state)
+{
+    const auto data = randomMatrix(3000, 16, 2);
+    stats::KMeans::Options opts;
+    opts.k = 64;
+    opts.restarts = 8;
+    opts.max_iterations = 12;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::KMeans::run(data, opts));
+}
+BENCHMARK(BM_KMeansRestartsThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GaSelectThreaded(benchmark::State &state)
+{
+    const auto phases = randomMatrix(100, 69, 3);
+    const ga::FeatureSelector selector(phases);
+    ga::GaOptions opts;
+    opts.target_count = 12;
+    opts.max_generations = 4;
+    opts.patience = 4;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(selector.select(opts));
+}
+BENCHMARK(BM_GaSelectThreaded)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PcaCovarianceThreaded(benchmark::State &state)
+{
+    const auto data = randomMatrix(20000, 69, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::covarianceMatrix(
+            data, static_cast<unsigned>(state.range(0))));
+}
+BENCHMARK(BM_PcaCovarianceThreaded)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_GaFitnessEvaluation(benchmark::State &state)
 {
     const auto phases = randomMatrix(100, 69, 3);
@@ -163,6 +231,168 @@ BM_EncodeDecodeRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_EncodeDecodeRoundTrip);
 
+/** Best-of-3 wall-clock seconds of one invocation of fn. */
+template <typename Fn>
+double
+wallSeconds(Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        best = std::min(best, dt);
+    }
+    return best;
+}
+
+struct SpeedupRow
+{
+    std::string stage;
+    std::vector<unsigned> threads;
+    std::vector<double> seconds;
+    bool deterministic = true; ///< parallel output bitwise equals serial
+};
+
+/**
+ * Serial-vs-parallel wall-clock table for the pooled stats stages. Each
+ * stage is also cross-checked for bitwise equality between the serial and
+ * every parallel run — the determinism guarantee the engine is built on.
+ */
+std::vector<SpeedupRow>
+measureSpeedups()
+{
+    const std::vector<unsigned> counts = {1, 2, 4};
+    std::vector<SpeedupRow> rows;
+
+    {
+        SpeedupRow row;
+        row.stage = "kmeans_restarts";
+        const auto data = randomMatrix(3000, 16, 2);
+        stats::KMeans::Options opts;
+        opts.k = 64;
+        opts.restarts = 8;
+        opts.max_iterations = 12;
+        opts.threads = 1;
+        const auto serial = stats::KMeans::run(data, opts);
+        for (unsigned t : counts) {
+            opts.threads = t;
+            stats::KMeansResult out;
+            row.threads.push_back(t);
+            row.seconds.push_back(wallSeconds(
+                [&]() { out = stats::KMeans::run(data, opts); }));
+            row.deterministic = row.deterministic &&
+                out.assignment == serial.assignment &&
+                out.bic == serial.bic &&
+                out.centers.maxAbsDiff(serial.centers) == 0.0;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    {
+        SpeedupRow row;
+        row.stage = "ga_fitness";
+        const auto phases = randomMatrix(100, 69, 3);
+        const ga::FeatureSelector selector(phases);
+        ga::GaOptions opts;
+        opts.target_count = 12;
+        opts.max_generations = 4;
+        opts.patience = 4;
+        opts.threads = 1;
+        const auto serial = selector.select(opts);
+        for (unsigned t : counts) {
+            opts.threads = t;
+            ga::GaResult out;
+            row.threads.push_back(t);
+            row.seconds.push_back(
+                wallSeconds([&]() { out = selector.select(opts); }));
+            row.deterministic = row.deterministic &&
+                out.selected == serial.selected &&
+                out.fitness == serial.fitness;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    {
+        SpeedupRow row;
+        row.stage = "pca_covariance";
+        const auto data = randomMatrix(20000, 69, 5);
+        const auto serial = stats::covarianceMatrix(data, 1);
+        for (unsigned t : counts) {
+            stats::Matrix out;
+            row.threads.push_back(t);
+            row.seconds.push_back(wallSeconds(
+                [&]() { out = stats::covarianceMatrix(data, t); }));
+            row.deterministic =
+                row.deterministic && out.maxAbsDiff(serial) == 0.0;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    return rows;
+}
+
+void
+emitSpeedupTable()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const auto rows = measureSpeedups();
+
+    std::printf("\nparallel stats engine, serial vs parallel "
+                "(hardware threads: %u)\n",
+                hw);
+    std::printf("%-16s %8s %12s %10s %14s\n", "stage", "threads",
+                "seconds", "speedup", "deterministic");
+    for (const SpeedupRow &row : rows)
+        for (std::size_t i = 0; i < row.threads.size(); ++i)
+            std::printf("%-16s %8u %12.4f %9.2fx %14s\n", row.stage.c_str(),
+                        row.threads[i], row.seconds[i],
+                        row.seconds[0] / row.seconds[i],
+                        row.deterministic ? "yes" : "NO");
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_parallel_speedup.json";
+    std::ofstream out(path);
+    out << "{\n  \"benchmark\": \"parallel_speedup\",\n"
+        << "  \"hardware_threads\": " << hw << ",\n  \"stages\": [\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const SpeedupRow &row = rows[r];
+        out << "    {\"stage\": \"" << row.stage << "\", \"threads\": [";
+        for (std::size_t i = 0; i < row.threads.size(); ++i)
+            out << (i ? ", " : "") << row.threads[i];
+        out << "], \"seconds\": [";
+        for (std::size_t i = 0; i < row.seconds.size(); ++i) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6f", row.seconds[i]);
+            out << (i ? ", " : "") << buf;
+        }
+        out << "], \"speedup\": [";
+        for (std::size_t i = 0; i < row.seconds.size(); ++i) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.3f",
+                          row.seconds[0] / row.seconds[i]);
+            out << (i ? ", " : "") << buf;
+        }
+        out << "], \"deterministic\": "
+            << (row.deterministic ? "true" : "false") << "}"
+            << (r + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitSpeedupTable();
+    return 0;
+}

@@ -27,6 +27,7 @@ main(int argc, char **argv)
     cfg.num_prominent = 40;
     cfg.kmeans_restarts = 2;
     cfg.cache_dir.clear(); // always run live in this example
+    cfg.threads = 0;       // all cores; results are identical regardless
 
     std::printf("running the phase-level methodology on all 77 "
                 "benchmarks (%u samples each)...\n",

@@ -1,11 +1,9 @@
 #include "core/characterize.hh"
 
-#include <atomic>
 #include <charconv>
 #include <cstdio>
 #include <cmath>
 #include <mutex>
-#include <thread>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -13,6 +11,7 @@
 
 #include "analysis/verifier.hh"
 #include "mica/profiler.hh"
+#include "util/thread_pool.hh"
 #include "vm/cpu.hh"
 
 namespace mica::core {
@@ -52,6 +51,10 @@ ExperimentConfig::analysisKey() const
     mix(kmeans_k);
     mix(static_cast<std::uint64_t>(kmeans_restarts));
     mix(seed);
+    // Analysis version tag: bump when the clustering numerics change (the
+    // blocked, thread-count-invariant accumulation altered rounding), so
+    // stale clustering caches are not replayed against new code.
+    mix(0xB10C0001);
     return h;
 }
 
@@ -138,43 +141,18 @@ characterizeCatalog(const workloads::SuiteCatalog &catalog,
         }
     };
 
-    unsigned threads = config.threads != 0
-        ? config.threads
-        : std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min<unsigned>(
-        threads, static_cast<unsigned>(benchmarks.size()));
-
-    if (threads <= 1) {
-        for (std::size_t bi = 0; bi < benchmarks.size(); ++bi) {
-            characterize_one(bi);
-            if (progress)
-                progress(benchmarks[bi].id(), bi + 1, benchmarks.size());
+    const unsigned threads =
+        util::resolveThreads(config.threads, benchmarks.size());
+    std::mutex progress_mutex;
+    std::size_t finished = 0;
+    util::parallelFor(threads, benchmarks.size(), [&](std::size_t bi) {
+        characterize_one(bi);
+        if (progress) {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            ++finished;
+            progress(benchmarks[bi].id(), finished, benchmarks.size());
         }
-    } else {
-        std::atomic<std::size_t> next{0};
-        std::atomic<std::size_t> done{0};
-        std::mutex progress_mutex;
-        std::vector<std::thread> pool;
-        for (unsigned t = 0; t < threads; ++t) {
-            pool.emplace_back([&]() {
-                for (;;) {
-                    const std::size_t bi = next.fetch_add(1);
-                    if (bi >= benchmarks.size())
-                        return;
-                    characterize_one(bi);
-                    const std::size_t finished = done.fetch_add(1) + 1;
-                    if (progress) {
-                        const std::lock_guard<std::mutex> lock(
-                            progress_mutex);
-                        progress(benchmarks[bi].id(), finished,
-                                 benchmarks.size());
-                    }
-                }
-            });
-        }
-        for (auto &worker : pool)
-            worker.join();
-    }
+    });
 
     for (auto &records : per_benchmark)
         for (auto &rec : records)

@@ -40,9 +40,15 @@ struct ExperimentConfig
     /** Directory for the characterization cache; empty disables caching. */
     std::string cache_dir = "out/cache";
     /**
-     * Worker threads for the characterization phase (benchmarks are
-     * independent; results are identical regardless of thread count).
-     * 0 = use the hardware concurrency.
+     * Worker threads for the characterization phase AND the stats engine
+     * (k-means restarts + Lloyd assignment, GA fitness evaluation, PCA
+     * covariance accumulation), all served by the shared pool in
+     * util/thread_pool.hh.
+     *
+     * Convention (uniform across the library): 0 = hardware concurrency;
+     * every site caps the effective count at its own work-item count
+     * (benchmarks, restarts, row blocks, genomes) via util::resolveThreads.
+     * Results are bit-identical for every value — see docs/PERFORMANCE.md.
      */
     unsigned threads = 0;
 

@@ -44,6 +44,7 @@ reduceDimensions(const SampledDataset &sampled,
     stats::Pca::Options pca_opts;
     pca_opts.min_stddev = config.pca_min_stddev;
     pca_opts.normalize_input = true;
+    pca_opts.threads = config.threads;
     const stats::Pca pca = stats::Pca::fit(sampled.data, pca_opts);
     out.pca_components = pca.numComponents();
     out.pca_explained = pca.explainedVarianceFraction();
@@ -69,6 +70,7 @@ analyzePhases(const SampledDataset &sampled,
     km.restarts = config.kmeans_restarts;
     km.seed = config.seed ^ 0xC1u;
     km.init = stats::KMeans::Init::Random;
+    km.threads = config.threads;
     out.clustering = stats::KMeans::run(out.reduced, km);
 
     return analyzePhasesWithClustering(sampled, chars, config,

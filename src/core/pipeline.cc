@@ -66,6 +66,7 @@ selectKeyCharacteristics(const ExperimentOutputs &outputs, std::size_t count)
     ga::GaOptions opts;
     opts.target_count = count;
     opts.seed = outputs.config.seed ^ 0x6A;
+    opts.threads = outputs.config.threads;
     return selector.select(opts);
 }
 

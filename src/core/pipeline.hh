@@ -41,7 +41,14 @@ void verifyCatalog(const workloads::SuiteCatalog &catalog);
 
 /**
  * Run verify -> characterize (cached) -> sample -> analyze -> compare.
- * Deterministic for a given config.
+ *
+ * Deterministic for a given config — including config.threads: the knob
+ * (0 = hardware concurrency, any site capped at its work-item count; see
+ * ExperimentConfig::threads) fans the characterization, k-means, GA and
+ * PCA stages out over the shared thread pool, and every stage reduces
+ * fixed-boundary partials in a fixed order, so cluster assignments,
+ * GA-selected features and retained PCs are bit-identical whether the
+ * pipeline runs on 1 thread or 64.
  */
 [[nodiscard]] ExperimentOutputs runFullExperiment(
     const ExperimentConfig &config, const ProgressFn &progress = {});

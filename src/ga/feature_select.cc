@@ -7,6 +7,7 @@
 #include "stats/pca.hh"
 #include "stats/rng.hh"
 #include "stats/summary.hh"
+#include "util/thread_pool.hh"
 
 namespace mica::ga {
 
@@ -115,18 +116,30 @@ FeatureSelector::select(const GaOptions &opts) const
     for (std::size_t i = 0; i < islands; ++i)
         island_rngs.push_back(master.split());
 
-    auto evaluate = [this](Genome &g) {
-        if (g.fitness < -1.5)
-            g.fitness = fitnessOf(g.genes);
+    // Fitness is a pure function of the genes, so pending genomes can be
+    // evaluated concurrently after each serial (Rng-driven) breeding pass:
+    // every genome's fitness lands in its own slot, independent of the
+    // thread count or evaluation order.
+    const unsigned eval_threads =
+        util::resolveThreads(opts.threads, islands * pop_size);
+    auto evaluatePending = [&]() {
+        std::vector<Genome *> pending;
+        for (auto &pop : populations)
+            for (Genome &g : pop)
+                if (g.fitness < -1.5)
+                    pending.push_back(&g);
+        util::parallelFor(eval_threads, pending.size(),
+                          [&](std::size_t i) {
+                              pending[i]->fitness =
+                                  fitnessOf(pending[i]->genes);
+                          });
     };
 
-    for (std::size_t i = 0; i < islands; ++i) {
-        for (std::size_t p = 0; p < pop_size; ++p) {
+    for (std::size_t i = 0; i < islands; ++i)
+        for (std::size_t p = 0; p < pop_size; ++p)
             populations[i].push_back(randomGenome(
                 numFeatures(), opts.target_count, island_rngs[i]));
-            evaluate(populations[i].back());
-        }
-    }
+    evaluatePending();
 
     Genome best;
     auto track_best = [&]() {
@@ -167,11 +180,14 @@ FeatureSelector::select(const GaOptions &opts) const
                     mutate(child, numFeatures(), rng);
                     child.fitness = -2.0;
                 }
-                evaluate(child);
                 next.push_back(std::move(child));
             }
             pop = std::move(next);
         }
+
+        // Offspring fitness is only read from the next generation on, so
+        // all islands' new genomes evaluate together in parallel.
+        evaluatePending();
 
         // Migration: island champions move to the next island, replacing
         // that island's weakest genome.

@@ -38,6 +38,13 @@ struct GaOptions
     double crossover_rate = 0.7;
     int migration_interval = 8;       ///< generations between migrations
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for genome fitness evaluation (0 = hardware
+     * concurrency, capped at the population size). Offspring are generated
+     * serially from per-island Rng streams and fitness is a pure function
+     * of the genes, so the search is bit-identical for every value.
+     */
+    unsigned threads = 1;
 };
 
 /** Result of one GA run. */

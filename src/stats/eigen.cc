@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/thread_pool.hh"
+
 namespace mica::stats {
 
 EigenDecomposition
@@ -93,7 +95,7 @@ jacobiEigenSymmetric(const Matrix &sym, int max_sweeps)
 }
 
 Matrix
-covarianceMatrix(const Matrix &data)
+covarianceMatrix(const Matrix &data, unsigned threads)
 {
     const std::size_t n = data.rows();
     const std::size_t p = data.cols();
@@ -101,23 +103,51 @@ covarianceMatrix(const Matrix &data)
     if (n == 0)
         return cov;
 
+    // Block boundaries depend only on n; partials reduce in block order,
+    // making the sums bit-identical for any thread count.
+    constexpr std::size_t kRowBlock = 1024;
+    const std::size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
+    const unsigned pool = util::resolveThreads(threads, num_blocks);
+
+    std::vector<std::vector<double>> mu_partial(num_blocks);
+    util::parallelFor(pool, num_blocks, [&](std::size_t b) {
+        auto &part = mu_partial[b];
+        part.assign(p, 0.0);
+        const std::size_t lo = b * kRowBlock;
+        const std::size_t hi = std::min(n, lo + kRowBlock);
+        for (std::size_t r = lo; r < hi; ++r) {
+            auto row = data.row(r);
+            for (std::size_t c = 0; c < p; ++c)
+                part[c] += row[c];
+        }
+    });
     std::vector<double> mu(p, 0.0);
-    for (std::size_t r = 0; r < n; ++r) {
-        auto row = data.row(r);
+    for (const auto &part : mu_partial)
         for (std::size_t c = 0; c < p; ++c)
-            mu[c] += row[c];
-    }
+            mu[c] += part[c];
     for (auto &m : mu)
         m /= static_cast<double>(n);
 
-    for (std::size_t r = 0; r < n; ++r) {
-        auto row = data.row(r);
-        for (std::size_t i = 0; i < p; ++i) {
-            const double di = row[i] - mu[i];
-            for (std::size_t j = i; j < p; ++j)
-                cov(i, j) += di * (row[j] - mu[j]);
+    std::vector<Matrix> cov_partial(num_blocks);
+    util::parallelFor(pool, num_blocks, [&](std::size_t b) {
+        Matrix &part = cov_partial[b];
+        part = Matrix(p, p);
+        const std::size_t lo = b * kRowBlock;
+        const std::size_t hi = std::min(n, lo + kRowBlock);
+        for (std::size_t r = lo; r < hi; ++r) {
+            auto row = data.row(r);
+            for (std::size_t i = 0; i < p; ++i) {
+                const double di = row[i] - mu[i];
+                for (std::size_t j = i; j < p; ++j)
+                    part(i, j) += di * (row[j] - mu[j]);
+            }
         }
-    }
+    });
+    for (const Matrix &part : cov_partial)
+        for (std::size_t i = 0; i < p; ++i)
+            for (std::size_t j = i; j < p; ++j)
+                cov(i, j) += part(i, j);
+
     for (std::size_t i = 0; i < p; ++i)
         for (std::size_t j = i; j < p; ++j) {
             cov(i, j) /= static_cast<double>(n);

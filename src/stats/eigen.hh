@@ -43,8 +43,13 @@ struct EigenDecomposition
 /**
  * Covariance matrix of the columns of a data matrix (population covariance,
  * i.e. divide by n). Rows are observations.
+ *
+ * The accumulation is blocked over fixed-size row ranges whose partials
+ * are reduced in block order, so the result is bit-identical for every
+ * `threads` value (0 = hardware concurrency, capped at the block count).
  */
-[[nodiscard]] Matrix covarianceMatrix(const Matrix &data);
+[[nodiscard]] Matrix covarianceMatrix(const Matrix &data,
+                                      unsigned threads = 1);
 
 } // namespace mica::stats
 

@@ -7,6 +7,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "util/thread_pool.hh"
+
 namespace mica::stats {
 
 std::vector<std::size_t>
@@ -77,6 +79,22 @@ plusPlusSeeds(const Matrix &data, std::size_t k, Rng &rng)
     return seeds;
 }
 
+/**
+ * Rows per assignment block. Block boundaries depend only on n, never on
+ * the thread count, and block partials are reduced in block order — the
+ * key to thread-count-invariant floating-point results.
+ */
+constexpr std::size_t kRowBlock = 1024;
+
+/** Per-block partial accumulation of one Lloyd assignment pass. */
+struct AssignPartial
+{
+    std::vector<std::size_t> sizes;
+    Matrix sums;
+    double inertia = 0.0;
+    bool changed = false;
+};
+
 /** One full Lloyd run from the given seed points. */
 KMeansResult
 lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
@@ -95,37 +113,73 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
     res.assignment.assign(n, 0);
     res.sizes.assign(k, 0);
 
+    const std::size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
+    const unsigned threads = util::resolveThreads(opts.threads, num_blocks);
+    std::vector<AssignPartial> partials(num_blocks);
+    for (AssignPartial &p : partials) {
+        p.sizes.assign(k, 0);
+        p.sums = Matrix(k, d);
+    }
+
     Matrix sums(k, d);
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
         res.iterations = iter + 1;
 
-        // Assignment step.
+        // Assignment step, row-partitioned: each block classifies its rows
+        // against the current centers and accumulates private partials.
+        util::parallelFor(threads, num_blocks, [&](std::size_t b) {
+            AssignPartial &part = partials[b];
+            std::fill(part.sizes.begin(), part.sizes.end(), 0);
+            for (std::size_t c = 0; c < k; ++c) {
+                auto acc = part.sums.row(c);
+                std::fill(acc.begin(), acc.end(), 0.0);
+            }
+            part.inertia = 0.0;
+            part.changed = false;
+            const std::size_t lo = b * kRowBlock;
+            const std::size_t hi = std::min(n, lo + kRowBlock);
+            for (std::size_t i = lo; i < hi; ++i) {
+                auto point = data.row(i);
+                double best = std::numeric_limits<double>::max();
+                std::size_t arg = 0;
+                for (std::size_t c = 0; c < k; ++c) {
+                    const double dist = squaredDistance(
+                        point, res.centers.row(c));
+                    if (dist < best) {
+                        best = dist;
+                        arg = c;
+                    }
+                }
+                if (res.assignment[i] != arg) {
+                    res.assignment[i] = arg;
+                    part.changed = true;
+                }
+                part.inertia += best;
+                ++part.sizes[arg];
+                auto acc = part.sums.row(arg);
+                for (std::size_t j = 0; j < d; ++j)
+                    acc[j] += point[j];
+            }
+        });
+
+        // Serial reduction in block order.
         bool changed = false;
         std::fill(res.sizes.begin(), res.sizes.end(), 0);
-        for (std::size_t i = 0; i < k * d; ++i)
-            sums.row(i / d)[i % d] = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+            auto acc = sums.row(c);
+            std::fill(acc.begin(), acc.end(), 0.0);
+        }
         res.inertia = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            auto point = data.row(i);
-            double best = std::numeric_limits<double>::max();
-            std::size_t arg = 0;
+        for (const AssignPartial &part : partials) {
+            changed = changed || part.changed;
+            res.inertia += part.inertia;
             for (std::size_t c = 0; c < k; ++c) {
-                const double dist = squaredDistance(point,
-                                                    res.centers.row(c));
-                if (dist < best) {
-                    best = dist;
-                    arg = c;
-                }
+                res.sizes[c] += part.sizes[c];
+                auto acc = sums.row(c);
+                auto src = part.sums.row(c);
+                for (std::size_t j = 0; j < d; ++j)
+                    acc[j] += src[j];
             }
-            if (res.assignment[i] != arg) {
-                res.assignment[i] = arg;
-                changed = true;
-            }
-            res.inertia += best;
-            ++res.sizes[arg];
-            auto acc = sums.row(arg);
-            for (std::size_t j = 0; j < d; ++j)
-                acc[j] += point[j];
         }
 
         // Repair empty clusters: steal the point with the largest distance
@@ -180,11 +234,21 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
             break;
     }
 
-    // Recompute final inertia against the final centers.
+    // Recompute final inertia against the final centers, with the same
+    // blocked reduction so the value is thread-count invariant.
+    std::vector<double> block_inertia(num_blocks, 0.0);
+    util::parallelFor(threads, num_blocks, [&](std::size_t b) {
+        const std::size_t lo = b * kRowBlock;
+        const std::size_t hi = std::min(n, lo + kRowBlock);
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            acc += squaredDistance(data.row(i),
+                                   res.centers.row(res.assignment[i]));
+        block_inertia[b] = acc;
+    });
     res.inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        res.inertia += squaredDistance(data.row(i),
-                                       res.centers.row(res.assignment[i]));
+    for (double v : block_inertia)
+        res.inertia += v;
     return res;
 }
 
@@ -227,22 +291,34 @@ KMeans::run(const Matrix &data, const Options &opts)
     if (k == 0)
         throw std::invalid_argument("KMeans::run: k must be positive");
 
+    // Split one Rng stream per restart sequentially up front, so each
+    // restart's randomness is independent of how restarts are scheduled.
+    const std::size_t restarts =
+        static_cast<std::size_t>(std::max(opts.restarts, 1));
     Rng rng(opts.seed);
-    KMeansResult best;
-    bool have_best = false;
-    for (int r = 0; r < std::max(opts.restarts, 1); ++r) {
-        Rng sub = rng.split();
+    std::vector<Rng> streams;
+    streams.reserve(restarts);
+    for (std::size_t r = 0; r < restarts; ++r)
+        streams.push_back(rng.split());
+
+    const unsigned threads = util::resolveThreads(opts.threads, restarts);
+    std::vector<KMeansResult> candidates(restarts);
+    util::parallelFor(threads, restarts, [&](std::size_t r) {
+        Rng sub = streams[r];
         const auto seeds = opts.init == Init::PlusPlus
             ? plusPlusSeeds(data, k, sub)
             : randomDistinct(data.rows(), k, sub);
-        KMeansResult candidate = lloyd(data, k, opts, seeds);
-        candidate.bic = bicScore(data, candidate);
-        if (!have_best || candidate.bic > best.bic) {
-            best = std::move(candidate);
-            have_best = true;
-        }
-    }
-    return best;
+        candidates[r] = lloyd(data, k, opts, seeds);
+        candidates[r].bic = bicScore(data, candidates[r]);
+    });
+
+    // Fixed reduction order: the lowest restart index wins BIC ties, for
+    // every thread count.
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < restarts; ++r)
+        if (candidates[r].bic > candidates[best].bic)
+            best = r;
+    return std::move(candidates[best]);
 }
 
 } // namespace mica::stats

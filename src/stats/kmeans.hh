@@ -62,6 +62,15 @@ class KMeans
         std::uint64_t seed = 1;
         /** Convergence threshold on center movement (L2, per center). */
         double tolerance = 1e-9;
+        /**
+         * Worker threads for the restart fan-out and the row-partitioned
+         * Lloyd assignment step (0 = hardware concurrency, capped at the
+         * work-item count). Results are bit-identical for every value:
+         * restarts use sequentially pre-split Rng streams with a fixed
+         * best-BIC reduction order, and the assignment step accumulates
+         * per-block partials whose boundaries depend only on n.
+         */
+        unsigned threads = 1;
     };
 
     /**

@@ -21,7 +21,7 @@ Pca::fit(const Matrix &data, const Options &opts)
         ? normalizeColumns(data, model.input_stats_)
         : data;
 
-    const Matrix cov = covarianceMatrix(prepared);
+    const Matrix cov = covarianceMatrix(prepared, opts.threads);
     EigenDecomposition eig = jacobiEigenSymmetric(cov);
     model.eigenvalues_ = eig.values;
 

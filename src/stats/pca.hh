@@ -40,6 +40,12 @@ class Pca
         std::size_t max_components = 0;
         /** Always retain at least this many components. */
         std::size_t min_components = 1;
+        /**
+         * Worker threads for the blocked covariance accumulation
+         * (0 = hardware concurrency). The fitted model is bit-identical
+         * for every value; see covarianceMatrix.
+         */
+        unsigned threads = 1;
     };
 
     /** Fit a PCA model on a data matrix (rows = observations). */

@@ -1,0 +1,160 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+namespace mica::util {
+
+namespace {
+
+/**
+ * State of one parallelFor invocation. Helpers enqueued on the pool keep
+ * the job alive through a shared_ptr, so a helper that only gets scheduled
+ * after the loop already finished merely observes an exhausted counter and
+ * returns without touching the (by then dead) function object.
+ */
+struct ForJob
+{
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t completed = 0;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    void
+    run()
+    {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            std::exception_ptr thrown;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                thrown = std::current_exception();
+            }
+            const std::lock_guard<std::mutex> lock(mutex);
+            if (thrown && i < error_index) {
+                error_index = i;
+                error = thrown;
+            }
+            if (++completed == n)
+                done.notify_all();
+        }
+    }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = std::max(threads, 1u);
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn,
+                        unsigned max_helpers)
+{
+    if (n == 0)
+        return;
+
+    auto job = std::make_shared<ForJob>();
+    job->n = n;
+    job->fn = &fn;
+
+    // The calling thread runs indices too, so n-1 helpers suffice.
+    const std::size_t helpers = std::min(
+        {static_cast<std::size_t>(max_helpers),
+         static_cast<std::size_t>(size()), n - 1});
+    for (std::size_t h = 0; h < helpers; ++h)
+        enqueue([job]() { job->run(); });
+
+    job->run();
+
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done.wait(lock, [&]() { return job->completed == job->n; });
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(
+        std::max(1u, std::thread::hardware_concurrency()));
+    return pool;
+}
+
+unsigned
+resolveThreads(unsigned requested, std::size_t work_items)
+{
+    unsigned n = requested != 0
+        ? requested
+        : std::max(1u, std::thread::hardware_concurrency());
+    if (work_items < n)
+        n = static_cast<unsigned>(std::max<std::size_t>(work_items, 1));
+    return n;
+}
+
+void
+parallelFor(unsigned threads, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool::shared().parallelFor(n, fn, threads - 1);
+}
+
+} // namespace mica::util

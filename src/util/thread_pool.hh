@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared futures-based thread pool for the statistics engine.
+ *
+ * The pool is deliberately work-stealing-free: `parallelFor` hands out
+ * indices from a single atomic counter and the *callers* decide how work
+ * maps to indices. Every parallel site in the library follows the same
+ * determinism recipe:
+ *
+ *   1. Partition the work into blocks whose boundaries depend only on the
+ *      problem size (never on the thread count).
+ *   2. Compute an independent partial result per block (seeded Rng streams
+ *      are split sequentially up front when randomness is involved).
+ *   3. Reduce the partials serially in block-index order.
+ *
+ * Under that contract the numeric output is bit-for-bit identical for any
+ * thread count, including 1 — the thread count only changes wall-clock
+ * time. See docs/PERFORMANCE.md for the full determinism argument.
+ */
+
+#ifndef MICAPHASE_UTIL_THREAD_POOL_HH
+#define MICAPHASE_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mica::util {
+
+/** Fixed-size worker pool with futures-based submission. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    [[nodiscard]] unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue a task; the future carries its result or exception. */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n) on the calling thread plus up to
+     * min(size(), max_helpers) pool workers, blocking until all indices
+     * completed. Every index executes even when one throws; afterwards the
+     * exception with the lowest index is rethrown, so the surfaced error
+     * does not depend on scheduling. The calling thread always participates,
+     * which makes nested parallelFor calls deadlock-free.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn,
+                     unsigned max_helpers = ~0u);
+
+    /** Process-wide pool sized to the hardware concurrency. */
+    static ThreadPool &shared();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Resolve a requested thread count to an effective one: 0 means hardware
+ * concurrency; the result is clamped to [1, work_items] so no site ever
+ * spins up more workers than it has work items (work_items == 0 resolves
+ * to 1).
+ */
+[[nodiscard]] unsigned resolveThreads(unsigned requested,
+                                      std::size_t work_items);
+
+/**
+ * Convenience parallel-for over the shared pool: run fn(i) for i in [0, n)
+ * with ~`threads` concurrent executors (the calling thread plus threads-1
+ * pool helpers). threads <= 1 runs serially in index order on the calling
+ * thread without touching the pool. Exception propagation matches
+ * ThreadPool::parallelFor (lowest index wins).
+ */
+void parallelFor(unsigned threads, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace mica::util
+
+#endif // MICAPHASE_UTIL_THREAD_POOL_HH

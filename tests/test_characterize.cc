@@ -148,6 +148,69 @@ TEST(Characterize, ThreadCountDoesNotChangeResults)
     }
 }
 
+TEST(Characterize, ThreadsZeroMeansHardwareConcurrency)
+{
+    // 0 resolves to the hardware concurrency (capped at the benchmark
+    // count); the results must match an explicit serial run bit for bit.
+    workloads::SuiteCatalog catalog;
+    ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.cache_dir.clear();
+
+    ExperimentConfig hw = cfg;
+    hw.threads = 0;
+    ExperimentConfig serial = cfg;
+    serial.threads = 1;
+
+    const auto a = core::characterizeCatalog(catalog, serial);
+    const auto b = core::characterizeCatalog(catalog, hw);
+    ASSERT_EQ(a.intervals.size(), b.intervals.size());
+    for (std::size_t i = 0; i < a.intervals.size(); ++i)
+        for (std::size_t c = 0; c < metrics::kNumCharacteristics; ++c)
+            ASSERT_EQ(a.intervals[i].values[c], b.intervals[i].values[c]);
+}
+
+TEST(Characterize, ProgressReportsEachBenchmarkExactlyOnce)
+{
+    workloads::SuiteCatalog catalog;
+    ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.cache_dir.clear();
+    cfg.threads = 4;
+
+    // The progress mutex in characterizeCatalog serializes callbacks, so
+    // plain containers are safe here.
+    std::vector<std::string> reported_ids;
+    std::vector<std::size_t> finished_counts;
+    std::vector<std::size_t> totals;
+    const auto result = core::characterizeCatalog(
+        catalog, cfg,
+        [&](const std::string &id, std::size_t finished,
+            std::size_t total) {
+            reported_ids.push_back(id);
+            finished_counts.push_back(finished);
+            totals.push_back(total);
+        });
+
+    const std::size_t n = catalog.benchmarks().size();
+    ASSERT_EQ(reported_ids.size(), n);
+
+    // Each benchmark id appears exactly once.
+    std::vector<std::string> sorted_ids = reported_ids;
+    std::sort(sorted_ids.begin(), sorted_ids.end());
+    std::vector<std::string> expected_ids = result.benchmark_ids;
+    std::sort(expected_ids.begin(), expected_ids.end());
+    EXPECT_EQ(sorted_ids, expected_ids);
+
+    // `finished` increases monotonically from 1 to n; `total` is constant.
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(finished_counts[i], i + 1);
+        EXPECT_EQ(totals[i], n);
+    }
+}
+
 TEST(Characterize, GranularityChangesResolutionNotValidity)
 {
     // Paper section 3.9: the methodology applies at any interval

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Thread-count-invariance suite: every parallel stage of the stats engine
+ * (k-means restarts + blocked Lloyd assignment, GA fitness evaluation,
+ * PCA covariance accumulation) and the full pipeline must produce
+ * bit-for-bit identical results for threads = 1, 2 and 4 with the same
+ * seed. Also covers the k-means++ degenerate-data path that the restart
+ * fan-out must survive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "ga/feature_select.hh"
+#include "stats/eigen.hh"
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+using stats::KMeans;
+using stats::KMeansResult;
+using stats::Matrix;
+
+Matrix
+gaussianMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.nextGaussian();
+    return m;
+}
+
+void
+expectIdentical(const KMeansResult &a, const KMeansResult &b)
+{
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.sizes, b.sizes);
+    EXPECT_EQ(a.centers.maxAbsDiff(b.centers), 0.0);
+    EXPECT_EQ(a.inertia, b.inertia);
+    EXPECT_EQ(a.bic, b.bic);
+    EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Determinism, KMeansRestartsThreadCountInvariant)
+{
+    const Matrix m = gaussianMatrix(500, 8, 11);
+    KMeans::Options opts;
+    opts.k = 16;
+    opts.restarts = 4;
+    opts.seed = 99;
+    opts.threads = 1;
+    const KMeansResult serial = KMeans::run(m, opts);
+    for (unsigned t : {2u, 4u}) {
+        opts.threads = t;
+        expectIdentical(serial, KMeans::run(m, opts));
+    }
+}
+
+TEST(Determinism, KMeansBlockedAssignmentInvariantForLargeN)
+{
+    // More rows than one assignment block (1024), so the row-partitioned
+    // Lloyd step genuinely reduces across several blocks.
+    const Matrix m = gaussianMatrix(3000, 6, 12);
+    KMeans::Options opts;
+    opts.k = 24;
+    opts.restarts = 2;
+    opts.seed = 5;
+    opts.init = KMeans::Init::PlusPlus;
+    opts.threads = 1;
+    const KMeansResult serial = KMeans::run(m, opts);
+    for (unsigned t : {2u, 4u}) {
+        opts.threads = t;
+        expectIdentical(serial, KMeans::run(m, opts));
+    }
+}
+
+TEST(Determinism, KMeansPlusPlusDegenerateAllIdenticalRows)
+{
+    // Every row coincides, so after the first seed all D(x)^2 mass is zero
+    // and plusPlusSeeds takes its `total <= 0` fallback path.
+    Matrix m(64, 3);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = 1.5;
+    KMeans::Options opts;
+    opts.k = 5;
+    opts.restarts = 3;
+    opts.init = KMeans::Init::PlusPlus;
+    opts.seed = 7;
+    opts.threads = 1;
+    const KMeansResult serial = KMeans::run(m, opts);
+    EXPECT_EQ(serial.assignment.size(), 64u);
+    EXPECT_EQ(serial.inertia, 0.0);
+    std::size_t total = 0;
+    for (std::size_t s : serial.sizes)
+        total += s;
+    EXPECT_EQ(total, 64u);
+    for (unsigned t : {2u, 4u}) {
+        opts.threads = t;
+        expectIdentical(serial, KMeans::run(m, opts));
+    }
+}
+
+TEST(Determinism, GaSelectionThreadCountInvariant)
+{
+    // First 4 columns are independent signals, the rest noisy copies of
+    // column 0 (same construction as test_ga.cc).
+    stats::Rng rng(21);
+    Matrix m(40, 12);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < 4; ++c)
+            m(r, c) = rng.nextGaussian();
+        for (std::size_t c = 4; c < 12; ++c)
+            m(r, c) = m(r, 0) + 0.01 * rng.nextGaussian();
+    }
+    const ga::FeatureSelector selector(m);
+    ga::GaOptions opts;
+    opts.target_count = 4;
+    opts.seed = 31;
+    opts.max_generations = 12;
+    opts.threads = 1;
+    const ga::GaResult serial = selector.select(opts);
+    for (unsigned t : {2u, 4u}) {
+        opts.threads = t;
+        const ga::GaResult parallel = selector.select(opts);
+        EXPECT_EQ(serial.selected, parallel.selected);
+        EXPECT_EQ(serial.fitness, parallel.fitness);
+        EXPECT_EQ(serial.generations, parallel.generations);
+    }
+}
+
+TEST(Determinism, PcaCovarianceThreadCountInvariant)
+{
+    const Matrix m = gaussianMatrix(3000, 20, 13);
+    const Matrix serial = stats::covarianceMatrix(m, 1);
+    for (unsigned t : {2u, 4u})
+        EXPECT_EQ(serial.maxAbsDiff(stats::covarianceMatrix(m, t)), 0.0);
+}
+
+TEST(Determinism, PcaFitThreadCountInvariant)
+{
+    const Matrix m = gaussianMatrix(2500, 16, 14);
+    stats::Pca::Options opts;
+    opts.threads = 1;
+    const stats::Pca serial = stats::Pca::fit(m, opts);
+    for (unsigned t : {2u, 4u}) {
+        opts.threads = t;
+        const stats::Pca parallel = stats::Pca::fit(m, opts);
+        EXPECT_EQ(serial.numComponents(), parallel.numComponents());
+        EXPECT_EQ(serial.eigenvalues(), parallel.eigenvalues());
+        EXPECT_EQ(serial.loadings().maxAbsDiff(parallel.loadings()), 0.0);
+        EXPECT_EQ(serial.transformRescaled(m).maxAbsDiff(
+                      parallel.transformRescaled(m)),
+                  0.0);
+    }
+}
+
+/**
+ * Flagship acceptance test: the entire pipeline — characterization,
+ * sampling, PCA, clustering, suite comparison, GA key-characteristic
+ * selection — is bitwise identical across threads = 1/2/4 with the same
+ * seed. The cache is disabled so every run genuinely recomputes.
+ */
+TEST(Determinism, PipelineThreadCountInvariant)
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear();
+
+    cfg.threads = 1;
+    const core::ExperimentOutputs serial = core::runFullExperiment(cfg);
+    const stats::Matrix serial_phases =
+        prominentPhaseMatrix(serial.sampled, serial.analysis);
+
+    ga::GaOptions ga_opts;
+    ga_opts.target_count = 4;
+    ga_opts.seed = 17;
+    ga_opts.max_generations = 6;
+    ga_opts.population_size = 8;
+    ga_opts.num_islands = 2;
+    const ga::GaResult serial_ga =
+        ga::FeatureSelector(serial_phases).select(ga_opts);
+
+    for (unsigned t : {2u, 4u}) {
+        cfg.threads = t;
+        const core::ExperimentOutputs parallel =
+            core::runFullExperiment(cfg);
+
+        // Characterization (VM + profiler) and sampling.
+        ASSERT_EQ(serial.characterization.intervals.size(),
+                  parallel.characterization.intervals.size());
+        EXPECT_EQ(serial.sampled.data.maxAbsDiff(parallel.sampled.data),
+                  0.0);
+
+        // Retained PCs and the rescaled space.
+        EXPECT_EQ(serial.analysis.pca_components,
+                  parallel.analysis.pca_components);
+        EXPECT_EQ(serial.analysis.pca_explained,
+                  parallel.analysis.pca_explained);
+        EXPECT_EQ(serial.analysis.reduced.maxAbsDiff(
+                      parallel.analysis.reduced),
+                  0.0);
+
+        // Cluster assignments and the derived suite comparison.
+        expectIdentical(serial.analysis.clustering,
+                        parallel.analysis.clustering);
+        EXPECT_EQ(serial.comparison.coverage, parallel.comparison.coverage);
+        EXPECT_EQ(serial.comparison.uniqueness,
+                  parallel.comparison.uniqueness);
+
+        // GA-selected key characteristics over the prominent phases.
+        ga_opts.threads = t;
+        const stats::Matrix parallel_phases =
+            prominentPhaseMatrix(parallel.sampled, parallel.analysis);
+        EXPECT_EQ(serial_phases.maxAbsDiff(parallel_phases), 0.0);
+        const ga::GaResult parallel_ga =
+            ga::FeatureSelector(parallel_phases).select(ga_opts);
+        EXPECT_EQ(serial_ga.selected, parallel_ga.selected);
+        EXPECT_EQ(serial_ga.fitness, parallel_ga.fitness);
+    }
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the shared thread pool (util/thread_pool.hh): index
+ * coverage, exception propagation, reuse across submissions, nesting, and
+ * the resolveThreads clamping convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace {
+
+using mica::util::ThreadPool;
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+
+    mica::util::parallelFor(4, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, FewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EveryIndexExecutesExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 5000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ExceptionFromTaskPropagates)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i) {
+                                      if (i == 17)
+                                          throw std::runtime_error("task");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    // All indices still run; afterwards the exception with the lowest
+    // index is rethrown regardless of scheduling.
+    std::atomic<int> calls{0};
+    try {
+        pool.parallelFor(64, [&](std::size_t i) {
+            ++calls;
+            if (i == 5 || i == 40)
+                throw std::runtime_error("idx" + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "idx5");
+    }
+    EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPool, PoolReuseAcrossSubmissions)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum += static_cast<long>(i);
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue)
+{
+    ThreadPool pool(2);
+    auto a = pool.submit([]() { return 42; });
+    auto b = pool.submit([]() { return std::string("ok"); });
+    EXPECT_EQ(a.get(), 42);
+    EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int {
+        throw std::logic_error("boom");
+    });
+    EXPECT_THROW((void)f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // The calling thread always participates, so inner loops make progress
+    // even when every pool worker is busy with outer iterations.
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(4, [&](std::size_t) { ++calls; });
+    });
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable)
+{
+    std::atomic<int> calls{0};
+    ThreadPool::shared().parallelFor(10, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+    EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInIndexOrder)
+{
+    std::vector<std::size_t> order;
+    mica::util::parallelFor(1, 5, [&](std::size_t i) {
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ResolveThreadsClampsToWorkItems)
+{
+    using mica::util::resolveThreads;
+    EXPECT_EQ(resolveThreads(8, 3), 3u);
+    EXPECT_EQ(resolveThreads(2, 100), 2u);
+    EXPECT_EQ(resolveThreads(8, 0), 1u);
+    EXPECT_EQ(resolveThreads(1, 1), 1u);
+    // 0 = hardware concurrency (>= 1 on any platform).
+    EXPECT_GE(resolveThreads(0, 1000), 1u);
+    EXPECT_LE(resolveThreads(0, 2), 2u);
+}
+
+} // namespace
