@@ -5,8 +5,10 @@
  * printer, and output-directory handling.
  *
  * Environment knobs:
- *   MICAPHASE_FAST=1   scale the experiment down ~10x (quick smoke runs)
- *   MICAPHASE_OUT=dir  output directory for CSV/SVG artifacts (default out)
+ *   MICAPHASE_FAST=1     scale the experiment down ~10x (quick smoke runs)
+ *   MICAPHASE_OUT=dir    output directory for CSV/SVG artifacts (default out)
+ *   MICAPHASE_TRACE=path export a Chrome trace-event JSON of the run (plus
+ *                        a .metrics.json summary); see docs/OBSERVABILITY.md
  */
 
 #ifndef MICAPHASE_BENCH_BENCH_UTIL_HH
@@ -45,6 +47,9 @@ experimentConfig()
 {
     mica::core::ExperimentConfig cfg;
     cfg.cache_dir = outputDir() + "/cache";
+    if (const char *trace = std::getenv("MICAPHASE_TRACE");
+        trace != nullptr && trace[0] != '\0')
+        cfg.trace_path = trace;
     if (fastMode()) {
         cfg.interval_instructions = 20'000;
         cfg.interval_scale = 0.2;
@@ -56,19 +61,40 @@ experimentConfig()
     return cfg;
 }
 
+/**
+ * Stderr progress reporting for the figure binaries: a live line while
+ * benchmarks characterize, then one timing line per completed stage.
+ */
+class ProgressPrinter final : public mica::core::PipelineObserver
+{
+  public:
+    void
+    onStage(const mica::core::StageEvent &event) override
+    {
+        using mica::core::StageEvent;
+        if (event.kind == StageEvent::Kind::Progress) {
+            std::fprintf(stderr, "\r  characterizing [%3zu/%zu] %-40s",
+                         event.done, event.total,
+                         std::string(event.item).c_str());
+            if (event.done == event.total)
+                std::fprintf(stderr, "\n");
+        } else if (event.kind == StageEvent::Kind::End) {
+            std::fprintf(
+                stderr, "  stage %-12s %8.2fs\n",
+                std::string(mica::core::stageName(event.stage)).c_str(),
+                static_cast<double>(event.elapsed.count()) / 1e6);
+        }
+    }
+};
+
 /** Run (or reload from cache) the shared experiment, with progress. */
 inline mica::core::ExperimentOutputs
 runExperiment()
 {
     const auto t0 = std::chrono::steady_clock::now();
-    auto outputs = mica::core::runFullExperiment(
-        experimentConfig(),
-        [](const std::string &id, std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "\r  characterizing [%3zu/%zu] %-40s",
-                         done, total, id.c_str());
-            if (done == total)
-                std::fprintf(stderr, "\n");
-        });
+    ProgressPrinter printer;
+    auto outputs = mica::core::runFullExperiment(experimentConfig(),
+                                                 &printer);
     const double dt =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

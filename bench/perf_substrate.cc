@@ -9,7 +9,10 @@
  * for the thread-pooled stats stages (k-means restarts, GA fitness, PCA
  * covariance) is printed and recorded in
  * ${MICAPHASE_OUT:-out}/BENCH_parallel_speedup.json, including a bitwise
- * determinism cross-check between the serial and parallel runs.
+ * determinism cross-check between the serial and parallel runs. A second
+ * table measures the obs tracing layer's overhead (traced vs untraced
+ * pipeline, with a bitwise result cross-check) and is recorded in
+ * BENCH_tracing_overhead.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -26,6 +29,7 @@
 #include "bench/bench_util.hh"
 #include "ga/feature_select.hh"
 #include "mica/profiler.hh"
+#include "obs/trace.hh"
 #include "stats/eigen.hh"
 #include "stats/kmeans.hh"
 #include "stats/linkage.hh"
@@ -383,6 +387,78 @@ emitSpeedupTable()
     std::printf("wrote %s\n", path.c_str());
 }
 
+/**
+ * Tracing-overhead measurement: the full mini-pipeline untraced vs under
+ * an active TraceSession (spans, counters and the pipeline observer all
+ * live), best of 3 each, plus a bitwise cross-check that tracing did not
+ * perturb the results. Also exports the traced run's Chrome trace.
+ */
+void
+emitTracingOverhead()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear(); // measure real work, not cache loads
+    cfg.threads = 0;
+
+    core::ExperimentOutputs untraced_out;
+    const double untraced_s = wallSeconds(
+        [&]() { untraced_out = core::runFullExperiment(cfg); });
+
+    // Activate a session manually (instead of cfg.trace_path) so one
+    // session spans all three traced repetitions and can be inspected.
+    const auto session = obs::TraceSession::create();
+    core::ExperimentOutputs traced_out;
+    session->activate();
+    const double traced_s = wallSeconds(
+        [&]() { traced_out = core::runFullExperiment(cfg); });
+    session->deactivate();
+
+    const bool deterministic =
+        traced_out.comparison.coverage == untraced_out.comparison.coverage &&
+        traced_out.comparison.uniqueness ==
+            untraced_out.comparison.uniqueness &&
+        traced_out.analysis.clustering.assignment ==
+            untraced_out.analysis.clustering.assignment &&
+        traced_out.analysis.clustering.bic ==
+            untraced_out.analysis.clustering.bic;
+
+    const std::size_t num_spans = session->spans().size();
+    const double overhead =
+        untraced_s > 0.0 ? traced_s / untraced_s - 1.0 : 0.0;
+    std::printf("\ntracing overhead (full mini-pipeline, best of 3)\n");
+    std::printf("%-12s %12s\n", "mode", "seconds");
+    std::printf("%-12s %12.4f\n", "untraced", untraced_s);
+    std::printf("%-12s %12.4f\n", "traced", traced_s);
+    std::printf("overhead: %.2f%%  spans recorded: %zu  deterministic: %s\n",
+                overhead * 100.0, num_spans, deterministic ? "yes" : "NO");
+
+    const std::string dir = micabench::outputDir();
+    session->writeChromeTrace(dir + "/BENCH_pipeline_trace.json");
+    session->writeMetrics(dir + "/BENCH_pipeline_trace.metrics.json");
+    session->clearRecords();
+
+    const std::string path = dir + "/BENCH_tracing_overhead.json";
+    std::ofstream out(path);
+    char buf[64];
+    out << "{\n  \"benchmark\": \"tracing_overhead\",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", untraced_s);
+    out << "  \"untraced_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", traced_s);
+    out << "  \"traced_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.4f", overhead);
+    out << "  \"overhead_fraction\": " << buf << ",\n"
+        << "  \"spans_recorded\": " << num_spans << ",\n"
+        << "  \"deterministic\": " << (deterministic ? "true" : "false")
+        << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int
@@ -394,5 +470,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitSpeedupTable();
+    emitTracingOverhead();
     return 0;
 }

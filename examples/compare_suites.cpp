@@ -13,6 +13,24 @@
 
 #include "core/pipeline.hh"
 
+namespace {
+
+/** Prints a line every few characterized benchmarks. */
+struct CoarseProgress final : mica::core::PipelineObserver
+{
+    void
+    onStage(const mica::core::StageEvent &event) override
+    {
+        if (event.kind != mica::core::StageEvent::Kind::Progress)
+            return;
+        if (event.done % 11 == 0 || event.done == event.total)
+            std::printf("  characterized %zu/%zu benchmarks\n", event.done,
+                        event.total);
+    }
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -32,12 +50,8 @@ main(int argc, char **argv)
     std::printf("running the phase-level methodology on all 77 "
                 "benchmarks (%u samples each)...\n",
                 cfg.samples_per_benchmark);
-    const auto out = core::runFullExperiment(
-        cfg, [](const std::string &, std::size_t done, std::size_t total) {
-            if (done % 11 == 0 || done == total)
-                std::printf("  characterized %zu/%zu benchmarks\n", done,
-                            total);
-        });
+    CoarseProgress progress;
+    const auto out = core::runFullExperiment(cfg, &progress);
 
     std::printf("\nPCA kept %zu components (%.1f%% of variance); "
                 "top-%zu phases cover %.1f%% of execution\n\n",

@@ -7,20 +7,74 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * With `--trace out/quickstart_trace.json` the quickstart additionally
+ * runs the full experiment pipeline at a tiny operating point under the
+ * tracing layer and exports a Chrome trace-event JSON (open it in
+ * chrome://tracing or https://ui.perfetto.dev) plus a metrics summary —
+ * see docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
 #include <string>
 
 #include "asm/assembler.hh"
+#include "core/pipeline.hh"
 #include "mica/metrics.hh"
 #include "mica/profiler.hh"
+#include "obs/trace.hh"
 #include "vm/cpu.hh"
 
+namespace {
+
+/** Traced mini-experiment: every pipeline stage plus the GA in one trace. */
 int
-main()
+runTraced(const std::string &trace_path)
 {
     using namespace mica;
+
+    // Own the scope here (instead of config.trace_path) so the GA stage,
+    // which runs after runFullExperiment returns, lands in the same trace.
+    obs::TraceScope trace(trace_path);
+
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear(); // always run live so the trace has real work
+    // Explicit thread count (not 0): even on a single-core host this
+    // routes work through the shared pool, so the trace demonstrates the
+    // pool.task spans and per-worker metrics. Results are identical for
+    // any value — see docs/PERFORMANCE.md.
+    cfg.threads = 4;
+
+    std::printf("running the traced mini-pipeline...\n");
+    const auto out = core::runFullExperiment(cfg);
+    const auto keys = core::selectKeyCharacteristics(out, 4);
+
+    std::printf("characterized %zu intervals, %zu PCs, %zu clusters, "
+                "%zu key characteristics (fitness %.3f)\n",
+                out.characterization.intervals.size(),
+                out.analysis.pca_components,
+                out.analysis.clustering.centers.rows(),
+                keys.selected.size(), keys.fitness);
+    std::printf("trace: %s\nmetrics: %s\n", trace_path.c_str(),
+                obs::TraceScope::metricsPathFor(trace_path).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mica;
+
+    if (argc == 3 && std::string(argv[1]) == "--trace")
+        return runTraced(argv[2]);
 
     // A toy workload with two phases: a memory-streaming loop and an
     // ALU-only loop, alternating forever.

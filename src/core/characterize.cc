@@ -11,6 +11,7 @@
 
 #include "analysis/verifier.hh"
 #include "mica/profiler.hh"
+#include "obs/trace.hh"
 #include "util/thread_pool.hh"
 #include "vm/cpu.hh"
 
@@ -20,7 +21,8 @@ std::uint64_t
 ExperimentConfig::characterizationKey() const
 {
     // FNV-1a over the fields that affect the raw interval data. Sampling,
-    // PCA and clustering parameters do not invalidate the cache.
+    // PCA and clustering parameters do not invalidate the cache; neither
+    // does trace_path, which never touches the numerics.
     std::uint64_t h = 1469598103934665603ULL;
     auto mix = [&h](std::uint64_t v) {
         for (int i = 0; i < 8; ++i) {
@@ -105,7 +107,7 @@ characterizeProgram(const isa::Program &program,
 CharacterizationResult
 characterizeCatalog(const workloads::SuiteCatalog &catalog,
                     const ExperimentConfig &config,
-                    const ProgressFn &progress)
+                    PipelineObserver *observer)
 {
     CharacterizationResult result;
     const auto &benchmarks = catalog.benchmarks();
@@ -115,12 +117,15 @@ characterizeCatalog(const workloads::SuiteCatalog &catalog,
         result.benchmark_suites.push_back(b.suite);
     }
 
+    StageScope scope(observer, Stage::Characterize, benchmarks.size());
+
     // Each benchmark simulates independently; workers pull benchmark
     // indices from a shared counter and write into per-benchmark slots,
     // so the assembled result is identical for any thread count.
     std::vector<std::vector<IntervalRecord>> per_benchmark(
         benchmarks.size());
     const auto characterize_one = [&](std::size_t bi) {
+        const obs::Span span("characterize.benchmark", "characterize");
         const auto &bench = benchmarks[bi];
         for (std::uint32_t input = 0; input < bench.num_inputs; ++input) {
             const std::uint32_t budget = std::max<std::uint32_t>(
@@ -131,6 +136,8 @@ characterizeCatalog(const workloads::SuiteCatalog &catalog,
             verifyProgram(program);
             const auto vectors = characterizeProgram(
                 program, config.interval_instructions, budget);
+            obs::count("characterize.intervals",
+                       static_cast<double>(vectors.size()));
             for (const auto &v : vectors) {
                 IntervalRecord rec;
                 rec.benchmark = static_cast<std::uint32_t>(bi);
@@ -147,10 +154,18 @@ characterizeCatalog(const workloads::SuiteCatalog &catalog,
     std::size_t finished = 0;
     util::parallelFor(threads, benchmarks.size(), [&](std::size_t bi) {
         characterize_one(bi);
-        if (progress) {
+        if (observer != nullptr) {
+            // Serialize Progress events (observers are not thread-safe).
             const std::lock_guard<std::mutex> lock(progress_mutex);
             ++finished;
-            progress(benchmarks[bi].id(), finished, benchmarks.size());
+            const std::string id = benchmarks[bi].id();
+            StageEvent event;
+            event.stage = Stage::Characterize;
+            event.kind = StageEvent::Kind::Progress;
+            event.done = finished;
+            event.total = benchmarks.size();
+            event.item = id;
+            observer->onStage(event);
         }
     });
 
@@ -160,6 +175,17 @@ characterizeCatalog(const workloads::SuiteCatalog &catalog,
     return result;
 }
 
+CharacterizationResult
+characterizeCatalog(const workloads::SuiteCatalog &catalog,
+                    const ExperimentConfig &config, const ProgressFn &progress)
+{
+    if (!progress)
+        return characterizeCatalog(catalog, config,
+                                   static_cast<PipelineObserver *>(nullptr));
+    ProgressObserverAdapter adapter(progress);
+    return characterizeCatalog(catalog, config, &adapter);
+}
+
 void
 saveCharacterization(const std::string &path,
                      const CharacterizationResult &result)
@@ -167,21 +193,35 @@ saveCharacterization(const std::string &path,
     const std::filesystem::path p(path);
     if (p.has_parent_path())
         std::filesystem::create_directories(p.parent_path());
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("saveCharacterization: cannot write " +
-                                 path);
-    out << "benchmark,input";
-    for (std::size_t i = 0; i < metrics::kNumCharacteristics; ++i)
-        out << "," << metrics::metricInfo(i).name;
-    out << "\n";
-    out.precision(17);
-    for (const IntervalRecord &rec : result.intervals) {
-        out << result.benchmark_ids[rec.benchmark] << "," << rec.input;
-        for (double v : rec.values)
-            out << "," << v;
+
+    // Write to a temporary sibling and rename into place so concurrent
+    // readers (and crashed writers) never observe a partial file; the
+    // row-count footer lets loadCharacterization reject truncation even
+    // if a non-atomic copy sneaks in some other way.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path);
+        if (!out)
+            throw std::runtime_error("saveCharacterization: cannot write " +
+                                     tmp_path);
+        out << "benchmark,input";
+        for (std::size_t i = 0; i < metrics::kNumCharacteristics; ++i)
+            out << "," << metrics::metricInfo(i).name;
         out << "\n";
+        out.precision(17);
+        for (const IntervalRecord &rec : result.intervals) {
+            out << result.benchmark_ids[rec.benchmark] << "," << rec.input;
+            for (double v : rec.values)
+                out << "," << v;
+            out << "\n";
+        }
+        out << "#rows," << result.intervals.size() << "\n";
+        out.flush();
+        if (!out)
+            throw std::runtime_error("saveCharacterization: write failed: " +
+                                     tmp_path);
     }
+    std::filesystem::rename(tmp_path, path);
 }
 
 bool
@@ -197,10 +237,27 @@ loadCharacterization(const std::string &path,
 
     // Map benchmark ids (already populated from the catalog) to indices.
     std::vector<IntervalRecord> intervals;
+    bool footer_seen = false;
+    std::size_t footer_rows = 0;
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
+        if (line[0] == '#') {
+            // Footer: "#rows,<N>". Anything after it means corruption.
+            if (footer_seen || line.rfind("#rows,", 0) != 0)
+                return false;
+            const char *first = line.data() + 6;
+            const char *last = line.data() + line.size();
+            const auto [ptr, ec] =
+                std::from_chars(first, last, footer_rows);
+            if (ec != std::errc{} || ptr != last)
+                return false;
+            footer_seen = true;
+            continue;
+        }
+        if (footer_seen)
+            return false;
         std::istringstream ls(line);
         std::string id, field;
         if (!std::getline(ls, id, ','))
@@ -226,6 +283,8 @@ loadCharacterization(const std::string &path,
         }
         intervals.push_back(rec);
     }
+    if (!footer_seen || footer_rows != intervals.size())
+        return false;
     if (intervals.empty())
         return false;
     result.intervals = std::move(intervals);
@@ -235,7 +294,7 @@ loadCharacterization(const std::string &path,
 CharacterizationResult
 characterizeWithCache(const workloads::SuiteCatalog &catalog,
                       const ExperimentConfig &config,
-                      const ProgressFn &progress)
+                      PipelineObserver *observer)
 {
     CharacterizationResult result;
     for (const auto &b : catalog.benchmarks()) {
@@ -251,14 +310,47 @@ characterizeWithCache(const workloads::SuiteCatalog &catalog,
              << config.characterizationKey() << "_"
              << catalog.benchmarks().size() << ".csv";
         cache_path = name.str();
-        if (loadCharacterization(cache_path, result))
+        const auto t0 = std::chrono::steady_clock::now();
+        bool hit = false;
+        {
+            const obs::Span span("characterize.cache_load", "characterize");
+            hit = loadCharacterization(cache_path, result);
+        }
+        if (hit) {
+            // A hit skips the simulation entirely, so the observer sees
+            // a Begin/End pair timing the load but no Progress events.
+            if (observer != nullptr) {
+                StageEvent event;
+                event.stage = Stage::Characterize;
+                event.total = catalog.benchmarks().size();
+                event.kind = StageEvent::Kind::Begin;
+                observer->onStage(event);
+                event.kind = StageEvent::Kind::End;
+                event.done = event.total;
+                event.elapsed =
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0);
+                observer->onStage(event);
+            }
             return result;
+        }
     }
 
-    result = characterizeCatalog(catalog, config, progress);
+    result = characterizeCatalog(catalog, config, observer);
     if (!cache_path.empty())
         saveCharacterization(cache_path, result);
     return result;
+}
+
+CharacterizationResult
+characterizeWithCache(const workloads::SuiteCatalog &catalog,
+                      const ExperimentConfig &config, const ProgressFn &progress)
+{
+    if (!progress)
+        return characterizeWithCache(catalog, config,
+                                     static_cast<PipelineObserver *>(nullptr));
+    ProgressObserverAdapter adapter(progress);
+    return characterizeWithCache(catalog, config, &adapter);
 }
 
 } // namespace mica::core

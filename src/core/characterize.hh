@@ -3,17 +3,19 @@
  * Catalog-wide characterization: run every benchmark input on the VM with
  * the MICA profiler attached and collect per-interval characteristic
  * vectors. Results can be cached to CSV so the figure binaries only pay
- * the simulation cost once.
+ * the simulation cost once. Progress reporting goes through the
+ * structured PipelineObserver API (core/observer.hh); the ProgressFn
+ * overloads are compatibility adapters only.
  */
 
 #ifndef MICAPHASE_CORE_CHARACTERIZE_HH
 #define MICAPHASE_CORE_CHARACTERIZE_HH
 
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/observer.hh"
 #include "mica/metrics.hh"
 #include "workloads/workload.hh"
 
@@ -39,10 +41,6 @@ struct CharacterizationResult
     [[nodiscard]] std::vector<std::uint32_t> intervalsPerBenchmark() const;
 };
 
-/** Progress callback: benchmark id, finished count, total count. */
-using ProgressFn =
-    std::function<void(const std::string &, std::size_t, std::size_t)>;
-
 /**
  * Statically verify a generated workload program before execution
  * (analysis::verify with the non-terminating workload contract).
@@ -51,10 +49,18 @@ using ProgressFn =
  */
 void verifyProgram(const isa::Program &program);
 
-/** Characterize every benchmark input in the catalog (no cache). */
+/**
+ * Characterize every benchmark input in the catalog (no cache). Emits
+ * Characterize Begin/Progress/End events on the observer (may be null).
+ */
 [[nodiscard]] CharacterizationResult characterizeCatalog(
     const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,
-    const ProgressFn &progress = {});
+    PipelineObserver *observer = nullptr);
+
+/** Compatibility adapter for the legacy ProgressFn callback. */
+[[nodiscard]] CharacterizationResult characterizeCatalog(
+    const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,
+    const ProgressFn &progress);
 
 /** Characterize one program for a fixed number of intervals. */
 [[nodiscard]] std::vector<metrics::CharacteristicVector>
@@ -62,21 +68,37 @@ characterizeProgram(const isa::Program &program,
                     std::uint64_t interval_instructions,
                     std::uint32_t num_intervals);
 
-/** Save a characterization to CSV (creates parent directories). */
+/**
+ * Save a characterization to CSV (creates parent directories). The file
+ * is written to a ".tmp" sibling and atomically renamed into place, and
+ * ends with a "#rows,<N>" footer that loadCharacterization verifies, so
+ * a crashed or interrupted writer can never leave a truncated cache that
+ * later loads as valid.
+ */
 void saveCharacterization(const std::string &path,
                           const CharacterizationResult &result);
 
 /**
  * Load a characterization from CSV.
- * @return false when the file is missing or malformed.
+ * @return false when the file is missing, malformed, or truncated (the
+ *         row-count footer is absent or disagrees with the data rows).
  */
 [[nodiscard]] bool loadCharacterization(const std::string &path,
                                         CharacterizationResult &result);
 
-/** Characterize through the on-disk cache keyed by the config. */
+/**
+ * Characterize through the on-disk cache keyed by the config. On a cache
+ * hit the observer still sees a Characterize Begin/End pair (timing the
+ * load) but no Progress events.
+ */
 [[nodiscard]] CharacterizationResult characterizeWithCache(
     const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,
-    const ProgressFn &progress = {});
+    PipelineObserver *observer = nullptr);
+
+/** Compatibility adapter for the legacy ProgressFn callback. */
+[[nodiscard]] CharacterizationResult characterizeWithCache(
+    const workloads::SuiteCatalog &catalog, const ExperimentConfig &config,
+    const ProgressFn &progress);
 
 } // namespace mica::core
 

@@ -51,6 +51,15 @@ struct ExperimentConfig
      * Results are bit-identical for every value — see docs/PERFORMANCE.md.
      */
     unsigned threads = 0;
+    /**
+     * When non-empty, runFullExperiment wraps the run in an
+     * obs::TraceScope writing Chrome trace-event JSON to this path (plus
+     * a "<stem>.metrics.json" summary). Empty disables tracing entirely
+     * (a single relaxed atomic check per instrumentation site). Tracing
+     * never affects results or cache keys: traced and untraced runs are
+     * bit-identical.
+     */
+    std::string trace_path;
 
     /** Stable hash of the fields that determine the characterization. */
     [[nodiscard]] std::uint64_t characterizationKey() const;

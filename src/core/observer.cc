@@ -1,0 +1,111 @@
+#include "core/observer.hh"
+
+#include "obs/trace.hh"
+
+namespace mica::core {
+
+std::string_view
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Verify: return "verify";
+      case Stage::Characterize: return "characterize";
+      case Stage::Sample: return "sample";
+      case Stage::Pca: return "pca";
+      case Stage::KMeans: return "kmeans";
+      case Stage::Compare: return "compare";
+      case Stage::FeatureSelect: return "ga";
+    }
+    return "unknown";
+}
+
+std::string_view
+stageSpanName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Verify: return "pipeline.verify";
+      case Stage::Characterize: return "pipeline.characterize";
+      case Stage::Sample: return "pipeline.sample";
+      case Stage::Pca: return "pipeline.pca";
+      case Stage::KMeans: return "pipeline.kmeans";
+      case Stage::Compare: return "pipeline.compare";
+      case Stage::FeatureSelect: return "pipeline.ga";
+    }
+    return "pipeline.unknown";
+}
+
+void
+ProgressObserverAdapter::onStage(const StageEvent &event)
+{
+    if (!fn_ || event.stage != Stage::Characterize ||
+        event.kind != StageEvent::Kind::Progress) {
+        return;
+    }
+    fn_(std::string(event.item), event.done, event.total);
+}
+
+void
+ObserverList::add(PipelineObserver *observer)
+{
+    if (observer != nullptr)
+        observers_.push_back(observer);
+}
+
+void
+ObserverList::onStage(const StageEvent &event)
+{
+    for (PipelineObserver *observer : observers_)
+        observer->onStage(event);
+}
+
+void
+TracingObserver::onStage(const StageEvent &event)
+{
+    obs::TraceSession *session = obs::TraceSession::active();
+    if (session == nullptr)
+        return;
+    const auto index = static_cast<std::size_t>(event.stage);
+    switch (event.kind) {
+      case StageEvent::Kind::Begin:
+        begin_us_[index] = session->nowMicros();
+        break;
+      case StageEvent::Kind::Progress:
+        session->addCounter("pipeline.progress_events", 1.0);
+        break;
+      case StageEvent::Kind::End:
+        session->recordSpan(stageSpanName(event.stage), "pipeline",
+                            begin_us_[index], session->nowMicros(),
+                            obs::currentThreadId(), 0);
+        break;
+    }
+}
+
+StageScope::StageScope(PipelineObserver *observer, Stage stage,
+                       std::size_t total)
+    : observer_(observer), stage_(stage), total_(total),
+      t0_(std::chrono::steady_clock::now())
+{
+    if (observer_ == nullptr)
+        return;
+    StageEvent event;
+    event.stage = stage_;
+    event.kind = StageEvent::Kind::Begin;
+    event.total = total_;
+    observer_->onStage(event);
+}
+
+StageScope::~StageScope()
+{
+    if (observer_ == nullptr)
+        return;
+    StageEvent event;
+    event.stage = stage_;
+    event.kind = StageEvent::Kind::End;
+    event.done = total_;
+    event.total = total_;
+    event.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0_);
+    observer_->onStage(event);
+}
+
+} // namespace mica::core

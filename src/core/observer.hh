@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Structured pipeline observation: every stage of the experiment pipeline
+ * (verify, characterize, sample, PCA, k-means, suite comparison, GA key-
+ * characteristic selection) reports typed StageEvents to a
+ * PipelineObserver — begin/end with durations, plus per-item progress
+ * where a stage iterates over benchmarks.
+ *
+ * This replaces the bare `ProgressFn` callback that used to be the only
+ * hook into the pipeline. ProgressFn remains available strictly as a
+ * compatibility adapter (ProgressObserverAdapter); new code should
+ * implement PipelineObserver. The obs tracing layer plugs in as just
+ * another observer (TracingObserver), which is how a traced
+ * runFullExperiment gets its per-stage spans.
+ *
+ * Threading: Begin/End events for a stage are emitted from the thread
+ * driving that stage; Progress events may arrive from worker threads but
+ * are serialized (never concurrent with each other or with the stage's
+ * Begin/End). The `item` string_view is only valid for the duration of
+ * the callback.
+ */
+
+#ifndef MICAPHASE_CORE_OBSERVER_HH
+#define MICAPHASE_CORE_OBSERVER_HH
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mica::core {
+
+/** The pipeline stages an observer can see. */
+enum class Stage : std::uint8_t
+{
+    Verify = 0,    ///< static verification of every catalog program
+    Characterize,  ///< VM + MICA profiler over the catalog (or cache load)
+    Sample,        ///< per-benchmark interval sampling
+    Pca,           ///< normalize -> PCA -> rescale
+    KMeans,        ///< clustering with BIC restarts
+    Compare,       ///< suite coverage / diversity / uniqueness
+    FeatureSelect, ///< GA key-characteristic selection
+};
+
+inline constexpr std::size_t kNumStages = 7;
+
+/** Short stable name, e.g. "characterize". */
+[[nodiscard]] std::string_view stageName(Stage stage);
+
+/** Span name the tracing layer uses, e.g. "pipeline.characterize". */
+[[nodiscard]] std::string_view stageSpanName(Stage stage);
+
+/** One typed pipeline event. */
+struct StageEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Begin,    ///< stage started (total set when known)
+        Progress, ///< one item finished (done/total/item set)
+        End,      ///< stage finished (elapsed set)
+    };
+
+    Stage stage = Stage::Verify;
+    Kind kind = Kind::Begin;
+    std::size_t done = 0;  ///< items finished so far (Progress)
+    std::size_t total = 0; ///< total items (0 when not meaningful)
+    /** Current item id, e.g. "SPECint2006/gcc" (Progress only). */
+    std::string_view item{};
+    /** Stage duration (End only). */
+    std::chrono::microseconds elapsed{0};
+};
+
+/** Interface every pipeline stage reports into. */
+class PipelineObserver
+{
+  public:
+    virtual ~PipelineObserver() = default;
+    virtual void onStage(const StageEvent &event) = 0;
+};
+
+/**
+ * Legacy progress callback: benchmark id, finished count, total count.
+ * Kept only so existing callers compile; wraps into the observer API via
+ * ProgressObserverAdapter. New code should implement PipelineObserver.
+ */
+using ProgressFn =
+    std::function<void(const std::string &, std::size_t, std::size_t)>;
+
+/**
+ * Compatibility adapter: forwards Characterize Progress events to a
+ * ProgressFn, preserving the legacy callback's exact semantics (one call
+ * per characterized benchmark; nothing on cache hits). All other events
+ * are dropped.
+ */
+class ProgressObserverAdapter final : public PipelineObserver
+{
+  public:
+    explicit ProgressObserverAdapter(ProgressFn fn) : fn_(std::move(fn)) {}
+    void onStage(const StageEvent &event) override;
+
+  private:
+    ProgressFn fn_;
+};
+
+/** Fan-out to several observers (non-owning), in add() order. */
+class ObserverList final : public PipelineObserver
+{
+  public:
+    void add(PipelineObserver *observer);
+    [[nodiscard]] bool empty() const { return observers_.empty(); }
+    void onStage(const StageEvent &event) override;
+
+  private:
+    std::vector<PipelineObserver *> observers_;
+};
+
+/**
+ * Observer that mirrors stage Begin/End pairs into the active
+ * obs::TraceSession as "pipeline.<stage>" spans. No-op when tracing is
+ * disabled. Progress events are counted ("pipeline.progress_events").
+ */
+class TracingObserver final : public PipelineObserver
+{
+  public:
+    void onStage(const StageEvent &event) override;
+
+  private:
+    std::array<std::uint64_t, kNumStages> begin_us_{};
+};
+
+/**
+ * RAII Begin/End emitter used by the stage implementations: emits Begin
+ * on construction and End (with the measured duration) on destruction.
+ * No-op when the observer is null.
+ */
+class StageScope
+{
+  public:
+    StageScope(PipelineObserver *observer, Stage stage,
+               std::size_t total = 0);
+    ~StageScope();
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+    /** Adjust the total after construction (emitted with End). */
+    void setTotal(std::size_t total) { total_ = total; }
+
+  private:
+    PipelineObserver *observer_;
+    Stage stage_;
+    std::size_t total_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_OBSERVER_HH

@@ -51,48 +51,12 @@ reduceDimensions(const SampledDataset &sampled,
     out.reduced = pca.transformRescaled(sampled.data);
 }
 
-} // namespace
-
-PhaseAnalysis
-analyzePhases(const SampledDataset &sampled,
-              const CharacterizationResult &chars,
-              const ExperimentConfig &config)
+/** Fill out.clusters / num_prominent from out.reduced + out.clustering. */
+void
+summarizeClusters(const SampledDataset &sampled,
+                  const CharacterizationResult &chars,
+                  const ExperimentConfig &config, PhaseAnalysis &out)
 {
-    if (sampled.data.rows() == 0)
-        throw std::invalid_argument("analyzePhases: empty data");
-
-    PhaseAnalysis out;
-    reduceDimensions(sampled, config, out);
-
-    // Cluster with several random restarts; highest BIC wins.
-    stats::KMeans::Options km;
-    km.k = config.kmeans_k;
-    km.restarts = config.kmeans_restarts;
-    km.seed = config.seed ^ 0xC1u;
-    km.init = stats::KMeans::Init::Random;
-    km.threads = config.threads;
-    out.clustering = stats::KMeans::run(out.reduced, km);
-
-    return analyzePhasesWithClustering(sampled, chars, config,
-                                       std::move(out.clustering));
-}
-
-PhaseAnalysis
-analyzePhasesWithClustering(const SampledDataset &sampled,
-                            const CharacterizationResult &chars,
-                            const ExperimentConfig &config,
-                            stats::KMeansResult clustering)
-{
-    if (sampled.data.rows() == 0)
-        throw std::invalid_argument("analyzePhases: empty data");
-    if (clustering.assignment.size() != sampled.data.rows())
-        throw std::invalid_argument(
-            "analyzePhasesWithClustering: clustering/data size mismatch");
-
-    PhaseAnalysis out;
-    reduceDimensions(sampled, config, out);
-    out.clustering = std::move(clustering);
-
     // Summarize every cluster.
     const std::size_t k = out.clustering.centers.rows();
     const std::size_t n = sampled.data.rows();
@@ -136,6 +100,60 @@ analyzePhasesWithClustering(const SampledDataset &sampled,
               });
     out.clusters = std::move(summaries);
     out.num_prominent = std::min(config.num_prominent, out.clusters.size());
+}
+
+} // namespace
+
+PhaseAnalysis
+analyzePhases(const SampledDataset &sampled,
+              const CharacterizationResult &chars,
+              const ExperimentConfig &config, PipelineObserver *observer)
+{
+    if (sampled.data.rows() == 0)
+        throw std::invalid_argument("analyzePhases: empty data");
+
+    PhaseAnalysis out;
+    {
+        StageScope scope(observer, Stage::Pca, sampled.data.rows());
+        reduceDimensions(sampled, config, out);
+    }
+
+    // Cluster with several random restarts; highest BIC wins.
+    {
+        StageScope scope(observer, Stage::KMeans, config.kmeans_k);
+        stats::KMeans::Options km;
+        km.k = config.kmeans_k;
+        km.restarts = config.kmeans_restarts;
+        km.seed = config.seed ^ 0xC1u;
+        km.init = stats::KMeans::Init::Random;
+        km.threads = config.threads;
+        out.clustering = stats::KMeans::run(out.reduced, km);
+    }
+
+    summarizeClusters(sampled, chars, config, out);
+    return out;
+}
+
+PhaseAnalysis
+analyzePhasesWithClustering(const SampledDataset &sampled,
+                            const CharacterizationResult &chars,
+                            const ExperimentConfig &config,
+                            stats::KMeansResult clustering,
+                            PipelineObserver *observer)
+{
+    if (sampled.data.rows() == 0)
+        throw std::invalid_argument("analyzePhases: empty data");
+    if (clustering.assignment.size() != sampled.data.rows())
+        throw std::invalid_argument(
+            "analyzePhasesWithClustering: clustering/data size mismatch");
+
+    PhaseAnalysis out;
+    {
+        StageScope scope(observer, Stage::Pca, sampled.data.rows());
+        reduceDimensions(sampled, config, out);
+    }
+    out.clustering = std::move(clustering);
+    summarizeClusters(sampled, chars, config, out);
     return out;
 }
 

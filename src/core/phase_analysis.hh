@@ -62,18 +62,23 @@ struct PhaseAnalysis
     [[nodiscard]] double prominentCoverage() const;
 };
 
-/** Run the analysis on a sampled data set. */
+/**
+ * Run the analysis on a sampled data set. Emits Pca and KMeans stage
+ * events on the observer (may be null).
+ */
 [[nodiscard]] PhaseAnalysis analyzePhases(
     const SampledDataset &sampled, const CharacterizationResult &chars,
-    const ExperimentConfig &config);
+    const ExperimentConfig &config, PipelineObserver *observer = nullptr);
 
 /**
  * Like analyzePhases, but with the clustering supplied by the caller
  * (e.g. loaded from the on-disk cache) instead of running k-means.
+ * Emits only Pca stage events (no clustering happens).
  */
 [[nodiscard]] PhaseAnalysis analyzePhasesWithClustering(
     const SampledDataset &sampled, const CharacterizationResult &chars,
-    const ExperimentConfig &config, stats::KMeansResult clustering);
+    const ExperimentConfig &config, stats::KMeansResult clustering,
+    PipelineObserver *observer = nullptr);
 
 /** Persist a clustering to CSV (creates parent directories). */
 void saveClustering(const std::string &path,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "stats/summary.hh"
 
 namespace mica::core {
@@ -17,16 +18,36 @@ verifyCatalog(const workloads::SuiteCatalog &catalog)
 }
 
 ExperimentOutputs
-runFullExperiment(const ExperimentConfig &config, const ProgressFn &progress)
+runFullExperiment(const ExperimentConfig &config, PipelineObserver *observer)
 {
+    // When tracing is requested, the whole run lives inside a TraceScope
+    // (exports on return) and the tracing observer rides along with any
+    // caller-supplied one. An already-active session (e.g. the caller
+    // owns a TraceScope) is also picked up.
+    obs::TraceScope trace(config.trace_path);
+    TracingObserver tracer;
+    ObserverList observers;
+    observers.add(observer);
+    if (obs::TraceSession::active() != nullptr)
+        observers.add(&tracer);
+    PipelineObserver *obs_ptr = observers.empty() ? nullptr : &observers;
+
     ExperimentOutputs out;
     out.config = config;
     const workloads::SuiteCatalog catalog;
-    verifyCatalog(catalog);
-    out.characterization = characterizeWithCache(catalog, config, progress);
-    out.sampled = sampleIntervals(out.characterization,
-                                  config.samples_per_benchmark,
-                                  config.seed ^ 0x5A);
+    {
+        StageScope scope(obs_ptr, Stage::Verify,
+                         catalog.benchmarks().size());
+        verifyCatalog(catalog);
+    }
+    out.characterization = characterizeWithCache(catalog, config, obs_ptr);
+    {
+        StageScope scope(obs_ptr, Stage::Sample,
+                         out.characterization.benchmark_ids.size());
+        out.sampled = sampleIntervals(out.characterization,
+                                      config.samples_per_benchmark,
+                                      config.seed ^ 0x5A);
+    }
 
     // The clustering is by far the most expensive analysis step; cache it
     // next to the characterization (sampling is deterministic, so a cached
@@ -39,27 +60,54 @@ runFullExperiment(const ExperimentConfig &config, const ProgressFn &progress)
         cluster_path = name.str();
     }
     stats::KMeansResult clustering;
-    if (!cluster_path.empty() &&
-        loadClustering(cluster_path, clustering) &&
-        clustering.assignment.size() == out.sampled.data.rows()) {
+    bool cluster_hit = false;
+    if (!cluster_path.empty()) {
+        const obs::Span span("kmeans.cache_load", "kmeans");
+        cluster_hit = loadClustering(cluster_path, clustering) &&
+                      clustering.assignment.size() ==
+                          out.sampled.data.rows();
+    }
+    if (cluster_hit) {
         out.analysis = analyzePhasesWithClustering(
             out.sampled, out.characterization, config,
-            std::move(clustering));
+            std::move(clustering), obs_ptr);
     } else {
-        out.analysis =
-            analyzePhases(out.sampled, out.characterization, config);
+        out.analysis = analyzePhases(out.sampled, out.characterization,
+                                     config, obs_ptr);
         if (!cluster_path.empty())
             saveClustering(cluster_path, out.analysis.clustering);
     }
 
-    out.comparison =
-        compareSuites(out.characterization, out.sampled, out.analysis);
+    {
+        StageScope scope(obs_ptr, Stage::Compare);
+        out.comparison =
+            compareSuites(out.characterization, out.sampled, out.analysis);
+    }
     return out;
 }
 
-ga::GaResult
-selectKeyCharacteristics(const ExperimentOutputs &outputs, std::size_t count)
+ExperimentOutputs
+runFullExperiment(const ExperimentConfig &config, const ProgressFn &progress)
 {
+    if (!progress)
+        return runFullExperiment(config,
+                                 static_cast<PipelineObserver *>(nullptr));
+    ProgressObserverAdapter adapter(progress);
+    return runFullExperiment(config, &adapter);
+}
+
+ga::GaResult
+selectKeyCharacteristics(const ExperimentOutputs &outputs, std::size_t count,
+                         PipelineObserver *observer)
+{
+    TracingObserver tracer;
+    ObserverList observers;
+    observers.add(observer);
+    if (obs::TraceSession::active() != nullptr)
+        observers.add(&tracer);
+    PipelineObserver *obs_ptr = observers.empty() ? nullptr : &observers;
+    StageScope scope(obs_ptr, Stage::FeatureSelect, count);
+
     const stats::Matrix phases =
         prominentPhaseMatrix(outputs.sampled, outputs.analysis);
     const ga::FeatureSelector selector(phases);

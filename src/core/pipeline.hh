@@ -42,6 +42,12 @@ void verifyCatalog(const workloads::SuiteCatalog &catalog);
 /**
  * Run verify -> characterize (cached) -> sample -> analyze -> compare.
  *
+ * Every stage reports typed StageEvents to the observer (may be null);
+ * when config.trace_path is non-empty the run is additionally wrapped in
+ * an obs::TraceScope and a TracingObserver, exporting Chrome trace-event
+ * JSON plus a metrics summary on return. Tracing and observation never
+ * touch the numerics: traced and untraced runs are bit-identical.
+ *
  * Deterministic for a given config — including config.threads: the knob
  * (0 = hardware concurrency, any site capped at its work-item count; see
  * ExperimentConfig::threads) fans the characterization, k-means, GA and
@@ -51,14 +57,24 @@ void verifyCatalog(const workloads::SuiteCatalog &catalog);
  * pipeline runs on 1 thread or 64.
  */
 [[nodiscard]] ExperimentOutputs runFullExperiment(
-    const ExperimentConfig &config, const ProgressFn &progress = {});
+    const ExperimentConfig &config, PipelineObserver *observer = nullptr);
+
+/**
+ * Compatibility adapter for the legacy ProgressFn callback (receives one
+ * call per characterized benchmark, nothing else). New code should pass
+ * a PipelineObserver instead.
+ */
+[[nodiscard]] ExperimentOutputs runFullExperiment(
+    const ExperimentConfig &config, const ProgressFn &progress);
 
 /**
  * Run the GA over the prominent phases to select the key characteristics
- * (paper Table 2: 12 characteristics at ~0.8 correlation).
+ * (paper Table 2: 12 characteristics at ~0.8 correlation). Emits
+ * FeatureSelect stage events on the observer (may be null).
  */
 [[nodiscard]] ga::GaResult selectKeyCharacteristics(
-    const ExperimentOutputs &outputs, std::size_t count = 12);
+    const ExperimentOutputs &outputs, std::size_t count = 12,
+    PipelineObserver *observer = nullptr);
 
 /**
  * Axis statistics (min / mean +- sd / max per key characteristic) over the

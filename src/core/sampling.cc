@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "stats/rng.hh"
 
 namespace mica::core {
@@ -12,6 +13,8 @@ sampleIntervals(const CharacterizationResult &chars,
 {
     if (per_benchmark == 0)
         throw std::invalid_argument("sampleIntervals: per_benchmark == 0");
+
+    const obs::Span span("sample.intervals", "sample");
 
     // Group interval indices by benchmark.
     std::vector<std::vector<std::uint32_t>> by_benchmark(
@@ -44,6 +47,7 @@ sampleIntervals(const CharacterizationResult &chars,
             ++row;
         }
     }
+    obs::count("sample.rows", static_cast<double>(row));
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "stats/pca.hh"
 #include "stats/rng.hh"
 #include "stats/summary.hh"
@@ -106,6 +107,7 @@ FeatureSelector::select(const GaOptions &opts) const
     if (opts.target_count == 0 || opts.target_count > numFeatures())
         throw std::invalid_argument("FeatureSelector: bad target_count");
 
+    const obs::Span select_span("ga.select", "ga");
     Rng master(opts.seed);
     const std::size_t islands = std::max<std::size_t>(1, opts.num_islands);
     const std::size_t pop_size =
@@ -128,6 +130,9 @@ FeatureSelector::select(const GaOptions &opts) const
             for (Genome &g : pop)
                 if (g.fitness < -1.5)
                     pending.push_back(&g);
+        const obs::Span batch_span("ga.fitness_batch", "ga");
+        obs::count("ga.genomes_evaluated",
+                   static_cast<double>(pending.size()));
         util::parallelFor(eval_threads, pending.size(),
                           [&](std::size_t i) {
                               pending[i]->fitness =
@@ -214,6 +219,7 @@ FeatureSelector::select(const GaOptions &opts) const
         const double prev = best.fitness;
         track_best();
         stagnant = best.fitness > prev + 1e-9 ? 0 : stagnant + 1;
+        obs::count("ga.generations");
     }
 
     GaResult result;

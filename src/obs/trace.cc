@@ -1,0 +1,406 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace mica::obs {
+
+namespace {
+
+/** Process-wide registry keeping every created session alive (see .hh). */
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<std::shared_ptr<TraceSession>> &
+registry()
+{
+    static std::vector<std::shared_ptr<TraceSession>> r;
+    return r;
+}
+
+/** Per-thread span nesting depth. */
+thread_local std::uint32_t t_span_depth = 0;
+
+/** Minimal JSON string escape (names are library-controlled). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content,
+              const char *what)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error(std::string(what) + ": cannot write " +
+                                 path);
+    out << content;
+}
+
+} // namespace
+
+std::uint32_t
+currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::shared_ptr<TraceSession>
+TraceSession::create()
+{
+    std::shared_ptr<TraceSession> session(new TraceSession());
+    const std::lock_guard<std::mutex> lock(registryMutex());
+    registry().push_back(session);
+    return session;
+}
+
+void
+TraceSession::activate() noexcept
+{
+    detail::g_active.store(this, std::memory_order_release);
+}
+
+void
+TraceSession::deactivate() noexcept
+{
+    TraceSession *expected = this;
+    detail::g_active.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+}
+
+std::uint64_t
+TraceSession::nowMicros() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+TraceSession::recordSpan(std::string_view name, std::string_view category,
+                         std::uint64_t begin_us, std::uint64_t end_us,
+                         std::uint32_t tid, std::uint32_t depth)
+{
+    SpanRecord rec;
+    rec.name.assign(name);
+    rec.category.assign(category);
+    rec.begin_us = begin_us;
+    rec.end_us = std::max(begin_us, end_us);
+    rec.tid = tid;
+    rec.depth = depth;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(rec));
+}
+
+void
+TraceSession::addCounter(std::string_view name, double delta)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_[std::string(name)] += delta;
+}
+
+void
+TraceSession::setGauge(std::string_view name, double value)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    GaugeRecord &g = gauges_[std::string(name)];
+    g.last = value;
+    g.max = std::max(g.max, value);
+}
+
+std::vector<SpanRecord>
+TraceSession::spans() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::map<std::string, double>
+TraceSession::counters() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::map<std::string, GaugeRecord>
+TraceSession::gauges() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_;
+}
+
+double
+TraceSession::counter(std::string_view name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(std::string(name));
+    return it != counters_.end() ? it->second : 0.0;
+}
+
+std::string
+TraceSession::chromeTraceJson() const
+{
+    const std::vector<SpanRecord> all = spans();
+
+    // One B and one E event per span, globally sorted by timestamp so
+    // viewers see properly nested stacks. Tie-breaks keep same-timestamp
+    // pairs well-formed: ends before begins, deeper ends first, shallower
+    // begins first.
+    struct Event
+    {
+        std::uint64_t ts;
+        bool is_end;
+        std::uint32_t depth;
+        const SpanRecord *span;
+    };
+    std::vector<Event> events;
+    events.reserve(all.size() * 2);
+    for (const SpanRecord &rec : all) {
+        events.push_back({rec.begin_us, false, rec.depth, &rec});
+        events.push_back({rec.end_us, true, rec.depth, &rec});
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         if (a.is_end != b.is_end)
+                             return a.is_end; // E before B
+                         if (a.is_end)
+                             return a.depth > b.depth; // deeper E first
+                         return a.depth < b.depth;     // shallower B first
+                     });
+
+    std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n"
+                      "  \"traceEvents\": [\n";
+    char buf[64];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        out += "    {\"name\": \"" + jsonEscape(e.span->name) +
+               "\", \"cat\": \"" + jsonEscape(e.span->category) + "\"";
+        out += ", \"ph\": \"";
+        out += e.is_end ? 'E' : 'B';
+        out += "\", \"pid\": 1, \"tid\": ";
+        std::snprintf(buf, sizeof(buf), "%" PRIu32 ", \"ts\": %" PRIu64,
+                      e.span->tid, e.ts);
+        out += buf;
+        out += "}";
+        if (i + 1 < events.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+TraceSession::metricsJson() const
+{
+    const std::uint64_t wall_us = nowMicros();
+    const std::vector<SpanRecord> all = spans();
+    const auto counter_snapshot = counters();
+    const auto gauge_snapshot = gauges();
+
+    // Aggregate spans by name, and pool-category spans by thread: the
+    // thread pool tags every executed task with a "pool" span, so busy
+    // time per worker falls out of the records without extra bookkeeping.
+    struct SpanAgg
+    {
+        std::uint64_t count = 0;
+        std::uint64_t total_us = 0;
+    };
+    std::map<std::string, SpanAgg> by_name;
+    struct WorkerAgg
+    {
+        std::uint64_t tasks = 0;
+        std::uint64_t busy_us = 0;
+    };
+    std::map<std::uint32_t, WorkerAgg> pool_workers;
+    for (const SpanRecord &rec : all) {
+        SpanAgg &agg = by_name[rec.name];
+        ++agg.count;
+        agg.total_us += rec.end_us - rec.begin_us;
+        if (rec.category == "pool") {
+            WorkerAgg &w = pool_workers[rec.tid];
+            ++w.tasks;
+            w.busy_us += rec.end_us - rec.begin_us;
+        }
+    }
+
+    char buf[96];
+    std::string out = "{\n";
+    std::snprintf(buf, sizeof(buf), "  \"wall_us\": %" PRIu64 ",\n",
+                  wall_us);
+    out += buf;
+
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counter_snapshot) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(name) + "\": " + formatDouble(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauge_snapshot) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(name) + "\": {\"last\": " +
+               formatDouble(g.last) + ", \"max\": " + formatDouble(g.max) +
+               "}";
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"spans\": {";
+    first = true;
+    for (const auto &[name, agg] : by_name) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"count\": %" PRIu64 ", \"total_us\": %" PRIu64 "}",
+                      agg.count, agg.total_us);
+        out += "    \"" + jsonEscape(name) + "\": " + buf;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"pool\": {\n    \"workers\": [";
+    first = true;
+    for (const auto &[tid, w] : pool_workers) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        const double utilization = wall_us > 0
+            ? static_cast<double>(w.busy_us) / static_cast<double>(wall_us)
+            : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"tid\": %" PRIu32 ", \"tasks\": %" PRIu64
+                      ", \"busy_us\": %" PRIu64 ", \"utilization\": %.6f}",
+                      tid, w.tasks, w.busy_us, utilization);
+        out += buf;
+    }
+    out += first ? "]\n  }\n" : "\n    ]\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+TraceSession::writeChromeTrace(const std::string &path) const
+{
+    writeTextFile(path, chromeTraceJson(), "writeChromeTrace");
+}
+
+void
+TraceSession::writeMetrics(const std::string &path) const
+{
+    writeTextFile(path, metricsJson(), "writeMetrics");
+}
+
+void
+TraceSession::clearRecords()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    spans_.shrink_to_fit();
+    counters_.clear();
+    gauges_.clear();
+}
+
+void
+Span::begin()
+{
+    depth_ = t_span_depth++;
+    begin_us_ = session_->nowMicros();
+}
+
+void
+Span::end()
+{
+    --t_span_depth;
+    session_->recordSpan(name_, category_, begin_us_, session_->nowMicros(),
+                         currentThreadId(), depth_);
+}
+
+TraceScope::TraceScope(const std::string &trace_path)
+{
+    if (trace_path.empty())
+        return;
+    path_ = trace_path;
+    previous_ = TraceSession::active();
+    session_ = TraceSession::create();
+    session_->activate();
+}
+
+TraceScope::~TraceScope()
+{
+    if (!session_)
+        return;
+    // Stop tracing first so stragglers stop recording, then export.
+    detail::g_active.store(previous_, std::memory_order_release);
+    try {
+        session_->writeChromeTrace(path_);
+        session_->writeMetrics(metricsPathFor(path_));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "TraceScope: export failed: %s\n", e.what());
+    }
+    session_->clearRecords();
+}
+
+std::string
+TraceScope::metricsPathFor(const std::string &trace_path)
+{
+    const std::string suffix = ".json";
+    if (trace_path.size() > suffix.size() &&
+        trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+        return trace_path.substr(0, trace_path.size() - suffix.size()) +
+               ".metrics.json";
+    }
+    return trace_path + ".metrics.json";
+}
+
+} // namespace mica::obs

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Lightweight tracing + metrics for the experiment pipeline.
+ *
+ * A TraceSession collects RAII Span records (name, category, monotonic
+ * begin/end timestamps, a small stable thread id, nesting depth), named
+ * counters (monotonic accumulators) and gauges (last + max value). At most
+ * one session is *active* process-wide at a time; Span, count() and
+ * gauge() no-op when none is — the disabled cost is a single atomic load
+ * per call site, so the instrumentation stays compiled into production
+ * code paths without perturbing untraced runs. Tracing never touches any
+ * RNG or numeric state, so traced results are bit-identical to untraced
+ * ones. See docs/OBSERVABILITY.md for naming conventions and usage.
+ *
+ * Exports:
+ *  - Chrome trace-event JSON (balanced "B"/"E" pairs per span), loadable
+ *    in chrome://tracing or https://ui.perfetto.dev;
+ *  - a metrics-summary JSON: counters, gauges, per-span-name aggregates
+ *    and per-worker thread-pool busy time / utilization (derived from
+ *    spans in the "pool" category).
+ *
+ * Lifetime: sessions are created through TraceSession::create() and a
+ * process-wide registry keeps every created session alive until exit.
+ * A raw session pointer captured by a concurrent Span therefore never
+ * dangles, even if the session is deactivated while a stale pool task is
+ * still in flight — no reference counting on the hot path. Retired
+ * sessions free their bulk storage with clearRecords().
+ */
+
+#ifndef MICAPHASE_OBS_TRACE_HH
+#define MICAPHASE_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mica::obs {
+
+/** Small stable id for the calling thread (assigned on first use). */
+[[nodiscard]] std::uint32_t currentThreadId();
+
+/** One completed span. */
+struct SpanRecord
+{
+    std::string name;
+    std::string category;
+    std::uint64_t begin_us = 0; ///< microseconds since session start
+    std::uint64_t end_us = 0;
+    std::uint32_t tid = 0;      ///< currentThreadId() of the recording thread
+    std::uint32_t depth = 0;    ///< nesting depth on that thread (0 = top)
+};
+
+/** Last and maximum value a gauge has seen. */
+struct GaugeRecord
+{
+    double last = 0.0;
+    double max = 0.0;
+};
+
+class TraceSession
+{
+  public:
+    /** Create a session (registered process-wide; see file comment). */
+    [[nodiscard]] static std::shared_ptr<TraceSession> create();
+
+    /** The active session, or nullptr when tracing is disabled. */
+    [[nodiscard]] static TraceSession *active() noexcept;
+
+    /** Install this session as the process-wide active one. */
+    void activate() noexcept;
+
+    /** Clear the active slot if this session currently holds it. */
+    void deactivate() noexcept;
+
+    /** Monotonic microseconds since this session was created. */
+    [[nodiscard]] std::uint64_t nowMicros() const;
+
+    /** Record a completed span. */
+    void recordSpan(std::string_view name, std::string_view category,
+                    std::uint64_t begin_us, std::uint64_t end_us,
+                    std::uint32_t tid, std::uint32_t depth);
+
+    /** Add to a named counter (created at 0 on first use). */
+    void addCounter(std::string_view name, double delta);
+
+    /** Set a named gauge (records last and max). */
+    void setGauge(std::string_view name, double value);
+
+    /** Snapshot of all recorded spans. */
+    [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+    /** Snapshot of all counters. */
+    [[nodiscard]] std::map<std::string, double> counters() const;
+
+    /** Snapshot of all gauges. */
+    [[nodiscard]] std::map<std::string, GaugeRecord> gauges() const;
+
+    /** Value of one counter (0 when never touched). */
+    [[nodiscard]] double counter(std::string_view name) const;
+
+    /** Chrome trace-event JSON (balanced B/E pairs, ts-sorted). */
+    [[nodiscard]] std::string chromeTraceJson() const;
+
+    /** Metrics-summary JSON (counters, gauges, spans, pool workers). */
+    [[nodiscard]] std::string metricsJson() const;
+
+    /** Write chromeTraceJson() to a file (creates parent directories). */
+    void writeChromeTrace(const std::string &path) const;
+
+    /** Write metricsJson() to a file (creates parent directories). */
+    void writeMetrics(const std::string &path) const;
+
+    /** Drop all recorded data (used when retiring a session). */
+    void clearRecords();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+  private:
+    TraceSession();
+
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, GaugeRecord> gauges_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+namespace detail {
+/**
+ * The active session. Acquire/release ordering publishes the session's
+ * construction to threads that pick it up; the load is the only cost a
+ * disabled call site pays.
+ */
+inline std::atomic<TraceSession *> g_active{nullptr};
+} // namespace detail
+
+inline TraceSession *
+TraceSession::active() noexcept
+{
+    return detail::g_active.load(std::memory_order_acquire);
+}
+
+/**
+ * RAII span. Binds to the session active at construction; when none is,
+ * construction and destruction are no-ops. The name and category must be
+ * string literals (or otherwise outlive the span).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *category = "pipeline")
+        : session_(TraceSession::active()), name_(name), category_(category)
+    {
+        if (session_ != nullptr)
+            begin();
+    }
+
+    ~Span()
+    {
+        if (session_ != nullptr)
+            end();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    void begin();
+    void end();
+
+    TraceSession *session_;
+    const char *name_;
+    const char *category_;
+    std::uint64_t begin_us_ = 0;
+    std::uint32_t depth_ = 0;
+};
+
+/** Add to a named counter of the active session (no-op when disabled). */
+inline void
+count(const char *name, double delta = 1.0)
+{
+    if (TraceSession *session = TraceSession::active())
+        session->addCounter(name, delta);
+}
+
+/** Set a named gauge of the active session (no-op when disabled). */
+inline void
+gauge(const char *name, double value)
+{
+    if (TraceSession *session = TraceSession::active())
+        session->setGauge(name, value);
+}
+
+/**
+ * RAII activate-and-export helper: an empty trace path disables tracing
+ * entirely; otherwise a fresh session is created and activated, and on
+ * destruction the Chrome trace is written to the path, the metrics
+ * summary to metricsPathFor(path), and the previously active session (if
+ * any) is restored.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const std::string &trace_path);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Whether this scope actually traces. */
+    [[nodiscard]] bool enabled() const { return session_ != nullptr; }
+
+    /** "x.json" -> "x.metrics.json"; otherwise append ".metrics.json". */
+    [[nodiscard]] static std::string
+    metricsPathFor(const std::string &trace_path);
+
+  private:
+    std::shared_ptr<TraceSession> session_;
+    TraceSession *previous_ = nullptr;
+    std::string path_;
+};
+
+} // namespace mica::obs
+
+#endif // MICAPHASE_OBS_TRACE_HH

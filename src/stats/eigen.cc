@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "util/thread_pool.hh"
 
 namespace mica::stats {
@@ -15,6 +16,7 @@ jacobiEigenSymmetric(const Matrix &sym, int max_sweeps)
     if (sym.rows() != sym.cols())
         throw std::invalid_argument("jacobiEigenSymmetric: non-square input");
 
+    const obs::Span span("pca.jacobi", "stats");
     const std::size_t n = sym.rows();
     Matrix a = sym;               // working copy, progressively diagonalized
     Matrix v = Matrix::identity(n); // accumulated rotations
@@ -97,6 +99,7 @@ jacobiEigenSymmetric(const Matrix &sym, int max_sweeps)
 Matrix
 covarianceMatrix(const Matrix &data, unsigned threads)
 {
+    const obs::Span span("pca.covariance", "stats");
     const std::size_t n = data.rows();
     const std::size_t p = data.cols();
     Matrix cov(p, p);

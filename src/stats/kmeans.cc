@@ -7,6 +7,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "util/thread_pool.hh"
 
 namespace mica::stats {
@@ -291,6 +292,8 @@ KMeans::run(const Matrix &data, const Options &opts)
     if (k == 0)
         throw std::invalid_argument("KMeans::run: k must be positive");
 
+    const obs::Span run_span("kmeans.run", "stats");
+
     // Split one Rng stream per restart sequentially up front, so each
     // restart's randomness is independent of how restarts are scheduled.
     const std::size_t restarts =
@@ -304,12 +307,16 @@ KMeans::run(const Matrix &data, const Options &opts)
     const unsigned threads = util::resolveThreads(opts.threads, restarts);
     std::vector<KMeansResult> candidates(restarts);
     util::parallelFor(threads, restarts, [&](std::size_t r) {
+        const obs::Span restart_span("kmeans.restart", "stats");
         Rng sub = streams[r];
         const auto seeds = opts.init == Init::PlusPlus
             ? plusPlusSeeds(data, k, sub)
             : randomDistinct(data.rows(), k, sub);
         candidates[r] = lloyd(data, k, opts, seeds);
         candidates[r].bic = bicScore(data, candidates[r]);
+        obs::count("kmeans.restarts");
+        obs::count("kmeans.lloyd_iterations",
+                   static_cast<double>(candidates[r].iterations));
     });
 
     // Fixed reduction order: the lowest restart index wins BIC ties, for
@@ -318,6 +325,7 @@ KMeans::run(const Matrix &data, const Options &opts)
     for (std::size_t r = 1; r < restarts; ++r)
         if (candidates[r].bic > candidates[best].bic)
             best = r;
+    obs::gauge("kmeans.winning_restart", static_cast<double>(best));
     return std::move(candidates[best]);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "stats/eigen.hh"
 
 namespace mica::stats {
@@ -13,6 +14,7 @@ Pca::fit(const Matrix &data, const Options &opts)
     if (data.rows() == 0 || data.cols() == 0)
         throw std::invalid_argument("Pca::fit: empty data");
 
+    const obs::Span fit_span("pca.fit", "stats");
     Pca model;
     model.normalize_input_ = opts.normalize_input;
     model.input_stats_ = columnStats(data);

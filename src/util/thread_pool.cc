@@ -4,6 +4,8 @@
 #include <atomic>
 #include <limits>
 
+#include "obs/trace.hh"
+
 namespace mica::util {
 
 namespace {
@@ -74,11 +76,16 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
+    std::size_t depth = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         queue_.push(std::move(task));
+        depth = queue_.size();
     }
     cv_.notify_one();
+    // Instrumentation stays outside the pool lock.
+    obs::count("pool.tasks_queued");
+    obs::gauge("pool.queue_depth", static_cast<double>(depth));
 }
 
 void
@@ -95,7 +102,11 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop();
         }
-        task();
+        {
+            const obs::Span span("pool.task", "pool");
+            task();
+        }
+        obs::count("pool.tasks_executed");
     }
 }
 

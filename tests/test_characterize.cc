@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "asm/assembler.hh"
 #include "core/characterize.hh"
@@ -103,6 +105,84 @@ TEST(Characterize, LoadMissingFileFails)
     CharacterizationResult r;
     EXPECT_FALSE(core::loadCharacterization("/tmp/nope_does_not_exist.csv",
                                             r));
+}
+
+TEST(Characterize, SaveWritesFooterAndLeavesNoTempFile)
+{
+    const std::string path = "/tmp/micaphase_chars_footer.csv";
+    const auto original = sampleResult();
+    core::saveCharacterization(path, original);
+
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+        << "temporary sibling must be renamed away";
+
+    std::ifstream in(path);
+    std::string line, last;
+    while (std::getline(in, line))
+        if (!line.empty())
+            last = line;
+    EXPECT_EQ(last, "#rows," + std::to_string(original.intervals.size()));
+    std::remove(path.c_str());
+}
+
+TEST(Characterize, LoadRejectsTruncatedFile)
+{
+    const std::string path = "/tmp/micaphase_chars_trunc.csv";
+    const auto original = sampleResult();
+    core::saveCharacterization(path, original);
+
+    // Chop the file mid-way: a crashed non-atomic writer would leave
+    // something like this. The missing footer must turn it into a miss.
+    std::string contents;
+    {
+        std::ifstream in(path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        contents = ss.str();
+    }
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << contents.substr(0, contents.size() / 2);
+    }
+
+    CharacterizationResult loaded;
+    loaded.benchmark_ids = original.benchmark_ids;
+    loaded.benchmark_names = original.benchmark_names;
+    loaded.benchmark_suites = original.benchmark_suites;
+    EXPECT_FALSE(core::loadCharacterization(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(Characterize, LoadRejectsWrongFooterCount)
+{
+    const std::string path = "/tmp/micaphase_chars_badfooter.csv";
+    const auto original = sampleResult();
+    core::saveCharacterization(path, original);
+
+    // Drop the last data row but keep the (now lying) footer.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 3u);
+    const std::string footer = lines.back();
+    ASSERT_EQ(footer.rfind("#rows,", 0), 0u);
+    lines.erase(lines.end() - 2); // last data row
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (const std::string &line : lines)
+            out << line << "\n";
+    }
+
+    CharacterizationResult loaded;
+    loaded.benchmark_ids = original.benchmark_ids;
+    loaded.benchmark_names = original.benchmark_names;
+    loaded.benchmark_suites = original.benchmark_suites;
+    EXPECT_FALSE(core::loadCharacterization(path, loaded));
+    std::remove(path.c_str());
 }
 
 TEST(Characterize, LoadRejectsUnknownBenchmark)

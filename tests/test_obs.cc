@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the obs tracing/metrics subsystem and the PipelineObserver
+ * API: span balance and nesting, counter/gauge accumulation, export
+ * formats, disabled-session no-ops, observer event ordering, and the
+ * traced-pipeline determinism guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "obs/trace.hh"
+
+namespace {
+
+using namespace mica;
+
+/** Count non-overlapping occurrences of `needle` in `haystack`. */
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Obs, DisabledSpansAreNoOps)
+{
+    ASSERT_EQ(obs::TraceSession::active(), nullptr)
+        << "no session may leak in from another test";
+    {
+        const obs::Span span("should.not.record", "test");
+        obs::count("should.not.count");
+        obs::gauge("should.not.gauge", 1.0);
+    }
+    // Activate a session afterwards: nothing from above may appear.
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    session->deactivate();
+    EXPECT_TRUE(session->spans().empty());
+    EXPECT_TRUE(session->counters().empty());
+}
+
+TEST(Obs, SpanNestingDepthAndThreadIds)
+{
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    {
+        const obs::Span outer("outer", "test");
+        {
+            const obs::Span inner("inner", "test");
+        }
+    }
+    std::thread other([]() { const obs::Span t("other-thread", "test"); });
+    other.join();
+    session->deactivate();
+
+    const auto spans = session->spans();
+    ASSERT_EQ(spans.size(), 3u);
+
+    const obs::SpanRecord *outer = nullptr, *inner = nullptr,
+                          *threaded = nullptr;
+    for (const auto &s : spans) {
+        if (s.name == "outer")
+            outer = &s;
+        else if (s.name == "inner")
+            inner = &s;
+        else if (s.name == "other-thread")
+            threaded = &s;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(threaded, nullptr);
+
+    EXPECT_EQ(inner->depth, outer->depth + 1);
+    EXPECT_EQ(inner->tid, outer->tid);
+    EXPECT_NE(threaded->tid, outer->tid);
+    EXPECT_LE(outer->begin_us, inner->begin_us);
+    EXPECT_LE(inner->end_us, outer->end_us);
+}
+
+TEST(Obs, CountersAccumulateExactly)
+{
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    for (int i = 0; i < 10; ++i)
+        obs::count("test.ticks");
+    obs::count("test.weighted", 2.5);
+    obs::count("test.weighted", 0.5);
+    session->deactivate();
+
+    EXPECT_DOUBLE_EQ(session->counter("test.ticks"), 10.0);
+    EXPECT_DOUBLE_EQ(session->counter("test.weighted"), 3.0);
+    EXPECT_DOUBLE_EQ(session->counter("test.never"), 0.0);
+}
+
+TEST(Obs, GaugeTracksLastAndMax)
+{
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    obs::gauge("test.depth", 3.0);
+    obs::gauge("test.depth", 7.0);
+    obs::gauge("test.depth", 2.0);
+    session->deactivate();
+
+    const auto gauges = session->gauges();
+    ASSERT_EQ(gauges.count("test.depth"), 1u);
+    EXPECT_DOUBLE_EQ(gauges.at("test.depth").last, 2.0);
+    EXPECT_DOUBLE_EQ(gauges.at("test.depth").max, 7.0);
+}
+
+TEST(Obs, ChromeTraceBalancedAndWellFormed)
+{
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    {
+        const obs::Span a("alpha", "test");
+        const obs::Span b("beta", "test");
+    }
+    session->deactivate();
+
+    const std::string json = session->chromeTraceJson();
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"B\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"E\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "\"name\": \"alpha\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "\"name\": \"beta\""), 2u);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Crude structural check: braces/brackets balance.
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Obs, MetricsJsonAggregatesSpansAndCounters)
+{
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    {
+        const obs::Span a("work", "pool");
+    }
+    {
+        const obs::Span b("work", "pool");
+    }
+    obs::count("tasks", 2.0);
+    session->deactivate();
+
+    const std::string json = session->metricsJson();
+    EXPECT_NE(json.find("\"wall_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"work\": {\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"tasks\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"workers\""), std::string::npos);
+    EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+}
+
+TEST(Obs, TraceScopeWritesBothFilesAndRestoresDisabled)
+{
+    const std::string dir = "/tmp/micaphase_obs_scope";
+    std::filesystem::remove_all(dir);
+    const std::string trace_path = dir + "/trace.json";
+
+    ASSERT_EQ(obs::TraceSession::active(), nullptr);
+    {
+        obs::TraceScope scope(trace_path);
+        ASSERT_TRUE(scope.enabled());
+        ASSERT_NE(obs::TraceSession::active(), nullptr);
+        const obs::Span span("scoped", "test");
+    }
+    EXPECT_EQ(obs::TraceSession::active(), nullptr);
+
+    EXPECT_TRUE(std::filesystem::exists(trace_path));
+    EXPECT_TRUE(
+        std::filesystem::exists(dir + "/trace.metrics.json"));
+    EXPECT_NE(readFile(trace_path).find("scoped"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Obs, EmptyPathDisablesTraceScope)
+{
+    obs::TraceScope scope("");
+    EXPECT_FALSE(scope.enabled());
+    EXPECT_EQ(obs::TraceSession::active(), nullptr);
+}
+
+TEST(Obs, MetricsPathDerivation)
+{
+    EXPECT_EQ(obs::TraceScope::metricsPathFor("out/t.json"),
+              "out/t.metrics.json");
+    EXPECT_EQ(obs::TraceScope::metricsPathFor("trace"),
+              "trace.metrics.json");
+}
+
+/** Small pipeline config shared by the observer/trace pipeline tests. */
+core::ExperimentConfig
+miniConfig()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear();
+    return cfg;
+}
+
+/** Observer recording every event it sees. */
+struct RecordingObserver final : core::PipelineObserver
+{
+    struct Seen
+    {
+        core::Stage stage;
+        core::StageEvent::Kind kind;
+        std::size_t done;
+        std::size_t total;
+        std::string item;
+    };
+    std::vector<Seen> events;
+
+    void
+    onStage(const core::StageEvent &event) override
+    {
+        events.push_back({event.stage, event.kind, event.done, event.total,
+                          std::string(event.item)});
+    }
+};
+
+TEST(Observer, ReceivesAllStagesInOrder)
+{
+    auto cfg = miniConfig();
+    RecordingObserver rec;
+    const auto out = core::runFullExperiment(cfg, &rec);
+    (void)core::selectKeyCharacteristics(out, 4, &rec);
+
+    using K = core::StageEvent::Kind;
+    // Begin/End pairs arrive in pipeline order.
+    std::vector<core::Stage> begin_order, end_order;
+    for (const auto &e : rec.events) {
+        if (e.kind == K::Begin)
+            begin_order.push_back(e.stage);
+        if (e.kind == K::End)
+            end_order.push_back(e.stage);
+    }
+    const std::vector<core::Stage> expected = {
+        core::Stage::Verify,  core::Stage::Characterize,
+        core::Stage::Sample,  core::Stage::Pca,
+        core::Stage::KMeans,  core::Stage::Compare,
+        core::Stage::FeatureSelect,
+    };
+    EXPECT_EQ(begin_order, expected);
+    EXPECT_EQ(end_order, expected);
+
+    // Characterize emits one Progress per benchmark, with ids.
+    std::size_t progress = 0;
+    for (const auto &e : rec.events)
+        if (e.kind == K::Progress) {
+            EXPECT_EQ(e.stage, core::Stage::Characterize);
+            EXPECT_FALSE(e.item.empty());
+            ++progress;
+        }
+    EXPECT_EQ(progress, out.characterization.benchmark_ids.size());
+}
+
+TEST(Observer, ProgressAdapterForwardsCharacterizeOnly)
+{
+    core::ProgressFn fn;
+    std::vector<std::string> ids;
+    fn = [&](const std::string &id, std::size_t done, std::size_t total) {
+        ids.push_back(id + "/" + std::to_string(done) + "/" +
+                      std::to_string(total));
+    };
+    core::ProgressObserverAdapter adapter(std::move(fn));
+
+    core::StageEvent event;
+    event.stage = core::Stage::Characterize;
+    event.kind = core::StageEvent::Kind::Progress;
+    event.done = 1;
+    event.total = 2;
+    event.item = "SuiteA/x";
+    adapter.onStage(event);
+
+    event.kind = core::StageEvent::Kind::Begin; // dropped
+    adapter.onStage(event);
+    event.stage = core::Stage::Pca; // dropped
+    event.kind = core::StageEvent::Kind::Progress;
+    adapter.onStage(event);
+
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], "SuiteA/x/1/2");
+}
+
+TEST(Observer, StageNamesAreStable)
+{
+    EXPECT_EQ(core::stageName(core::Stage::Characterize), "characterize");
+    EXPECT_EQ(core::stageName(core::Stage::FeatureSelect), "ga");
+    EXPECT_EQ(core::stageSpanName(core::Stage::KMeans), "pipeline.kmeans");
+    EXPECT_EQ(core::stageSpanName(core::Stage::Verify), "pipeline.verify");
+}
+
+TEST(ObsPipeline, TracedRunEmitsStageSpansAndStaysDeterministic)
+{
+    const std::string dir = "/tmp/micaphase_obs_pipeline";
+    std::filesystem::remove_all(dir);
+
+    // Untraced single-threaded reference.
+    auto base = miniConfig();
+    base.threads = 1;
+    const auto reference = core::runFullExperiment(base);
+
+    // Traced, multi-threaded run.
+    auto traced_cfg = miniConfig();
+    traced_cfg.threads = 4;
+    traced_cfg.trace_path = dir + "/pipeline_trace.json";
+    const auto traced = core::runFullExperiment(traced_cfg);
+
+    // Bit-identical results: tracing and threading change nothing.
+    ASSERT_EQ(traced.analysis.clustering.assignment,
+              reference.analysis.clustering.assignment);
+    EXPECT_EQ(traced.analysis.clustering.bic,
+              reference.analysis.clustering.bic);
+    EXPECT_EQ(traced.analysis.pca_components,
+              reference.analysis.pca_components);
+    EXPECT_EQ(traced.comparison.coverage, reference.comparison.coverage);
+    EXPECT_EQ(traced.comparison.uniqueness,
+              reference.comparison.uniqueness);
+
+    // The exported trace has spans for all six pipeline stages plus the
+    // thread-pool task spans; the metrics summary reports pool workers.
+    const std::string trace = readFile(traced_cfg.trace_path);
+    for (const char *name :
+         {"pipeline.verify", "pipeline.characterize", "pipeline.sample",
+          "pipeline.pca", "pipeline.kmeans", "pipeline.compare",
+          "pool.task", "kmeans.run", "pca.fit"})
+        EXPECT_NE(trace.find(name), std::string::npos)
+            << "missing span: " << name;
+    EXPECT_EQ(countOccurrences(trace, "\"ph\": \"B\""),
+              countOccurrences(trace, "\"ph\": \"E\""));
+
+    const std::string metrics =
+        readFile(obs::TraceScope::metricsPathFor(traced_cfg.trace_path));
+    EXPECT_NE(metrics.find("\"workers\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"kmeans.restarts\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"characterize.intervals\""),
+              std::string::npos);
+
+    EXPECT_EQ(obs::TraceSession::active(), nullptr)
+        << "runFullExperiment must deactivate its session";
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
