@@ -12,7 +12,14 @@
  * determinism cross-check between the serial and parallel runs. A second
  * table measures the obs tracing layer's overhead (traced vs untraced
  * pipeline, with a bitwise result cross-check) and is recorded in
- * BENCH_tracing_overhead.json.
+ * BENCH_tracing_overhead.json. A third table compares the naive k-means
+ * scan against the Hamerly-pruned engine — wall time, fraction of distance
+ * evaluations skipped, GA fitness cache hit rate, and a bitwise
+ * cross-check of both paths — recorded in BENCH_kmeans_speedup.json.
+ *
+ * MICAPHASE_SUBSTRATE_TABLES selects which post-benchmark tables run: a
+ * comma-separated subset of "parallel", "tracing", "kmeans" (unset runs
+ * all three). CI's bench smoke step sets it to "kmeans".
  */
 
 #include <benchmark/benchmark.h>
@@ -20,6 +27,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -459,6 +467,163 @@ emitTracingOverhead()
     std::printf("wrote %s\n", path.c_str());
 }
 
+/**
+ * Well-separated gaussian blobs: `true_k` spread centers with small
+ * per-point noise. Separated clusters are where triangle-inequality
+ * pruning shines, which is also the regime the phase-analysis pipeline
+ * operates in (distinct program phases, not isotropic noise).
+ */
+stats::Matrix
+clusteredMatrix(std::size_t rows, std::size_t cols, std::size_t true_k,
+                std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    stats::Matrix centers(true_k, cols);
+    for (std::size_t c = 0; c < true_k; ++c)
+        for (std::size_t j = 0; j < cols; ++j)
+            centers(c, j) = 20.0 * rng.nextGaussian();
+    stats::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t c =
+            static_cast<std::size_t>(rng.nextBelow(true_k));
+        for (std::size_t j = 0; j < cols; ++j)
+            m(r, j) = centers(c, j) + 0.5 * rng.nextGaussian();
+    }
+    return m;
+}
+
+/**
+ * Naive-vs-pruned k-means comparison plus the GA fitness-memoization
+ * rates, written to BENCH_kmeans_speedup.json. The bitwise cross-check is
+ * the contract (`stats/distance.hh`): pruning must only skip work, never
+ * change a single output bit.
+ */
+void
+emitKMeansPruning()
+{
+    const auto data = clusteredMatrix(8000, 16, 64, 42);
+    stats::KMeans::Options opts;
+    opts.k = 64;
+    opts.restarts = 2;
+    opts.max_iterations = 30;
+    opts.threads = 1;
+
+    opts.pruning = false;
+    stats::KMeansResult naive;
+    const double naive_s =
+        wallSeconds([&]() { naive = stats::KMeans::run(data, opts); });
+
+    opts.pruning = true;
+    stats::KMeansResult pruned;
+    const double pruned_s =
+        wallSeconds([&]() { pruned = stats::KMeans::run(data, opts); });
+
+    const bool identical = pruned.assignment == naive.assignment &&
+                           pruned.sizes == naive.sizes &&
+                           pruned.inertia == naive.inertia &&
+                           pruned.bic == naive.bic &&
+                           pruned.centers.maxAbsDiff(naive.centers) == 0.0;
+    const double total = static_cast<double>(
+        pruned.distance_counters.computed + pruned.distance_counters.pruned);
+    const double pruned_fraction =
+        total > 0.0
+            ? static_cast<double>(pruned.distance_counters.pruned) / total
+            : 0.0;
+    const double speedup = pruned_s > 0.0 ? naive_s / pruned_s : 0.0;
+
+    // GA memoization: run the selector twice under a trace session. The
+    // first run warms the cache from rebred genomes; the second replays
+    // the same breeding and must be entirely cache-hot. The counters give
+    // the aggregate hit rate; the selections must not move.
+    const auto phases = randomMatrix(100, 69, 3);
+    const ga::FeatureSelector selector(phases);
+    ga::GaOptions ga_opts;
+    ga_opts.target_count = 12;
+    ga_opts.max_generations = 8;
+    ga_opts.patience = 8;
+    ga_opts.threads = 1;
+    const auto session = obs::TraceSession::create();
+    session->activate();
+    const auto ga_first = selector.select(ga_opts);
+    const auto ga_second = selector.select(ga_opts);
+    session->deactivate();
+    const auto counters = session->counters();
+    const auto counter_at = [&](const char *name) {
+        const auto it = counters.find(name);
+        return it == counters.end() ? 0.0 : it->second;
+    };
+    const double ga_hits = counter_at("ga.fitness_cache_hits");
+    const double ga_evaluated = counter_at("ga.genomes_evaluated");
+    const double ga_hit_rate = ga_hits + ga_evaluated > 0.0
+                                   ? ga_hits / (ga_hits + ga_evaluated)
+                                   : 0.0;
+    const bool ga_identical = ga_first.selected == ga_second.selected &&
+                              ga_first.fitness == ga_second.fitness;
+
+    std::printf("\nk-means distance pruning (n=8000 d=16 k=64, best of 3)\n");
+    std::printf("%-12s %12s\n", "path", "seconds");
+    std::printf("%-12s %12.4f\n", "naive", naive_s);
+    std::printf("%-12s %12.4f\n", "pruned", pruned_s);
+    std::printf("speedup: %.2fx  distances pruned: %.1f%%  bitwise: %s\n",
+                speedup, pruned_fraction * 100.0, identical ? "yes" : "NO");
+    std::printf("ga fitness cache: %.0f hits / %.0f evaluations "
+                "(hit rate %.1f%%)  selection stable: %s\n",
+                ga_hits, ga_evaluated, ga_hit_rate * 100.0,
+                ga_identical ? "yes" : "NO");
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_kmeans_speedup.json";
+    std::ofstream out(path);
+    char buf[64];
+    out << "{\n  \"benchmark\": \"kmeans_pruning\",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", naive_s);
+    out << "  \"naive_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", pruned_s);
+    out << "  \"pruned_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", speedup);
+    out << "  \"speedup\": " << buf << ",\n"
+        << "  \"distances_computed\": " << pruned.distance_counters.computed
+        << ",\n"
+        << "  \"distances_pruned\": " << pruned.distance_counters.pruned
+        << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.4f", pruned_fraction);
+    out << "  \"pruned_fraction\": " << buf << ",\n"
+        << "  \"bitwise_identical\": " << (identical ? "true" : "false")
+        << ",\n  \"ga\": {\n"
+        << "    \"fitness_cache_hits\": "
+        << static_cast<std::uint64_t>(ga_hits) << ",\n"
+        << "    \"genomes_evaluated\": "
+        << static_cast<std::uint64_t>(ga_evaluated) << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.4f", ga_hit_rate);
+    out << "    \"hit_rate\": " << buf << ",\n"
+        << "    \"selected_identical\": "
+        << (ga_identical ? "true" : "false") << "\n  }\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/** True if `table` appears in MICAPHASE_SUBSTRATE_TABLES (unset = all). */
+bool
+tableEnabled(const char *table)
+{
+    const char *env = std::getenv("MICAPHASE_SUBSTRATE_TABLES");
+    if (env == nullptr || *env == '\0')
+        return true;
+    const std::string list(env);
+    const std::string name(table);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (list.compare(pos, end - pos, name) == 0)
+            return true;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return false;
+}
+
 } // namespace
 
 int
@@ -469,7 +634,11 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    emitSpeedupTable();
-    emitTracingOverhead();
+    if (tableEnabled("parallel"))
+        emitSpeedupTable();
+    if (tableEnabled("tracing"))
+        emitTracingOverhead();
+    if (tableEnabled("kmeans"))
+        emitKMeansPruning();
     return 0;
 }

@@ -53,10 +53,13 @@ ExperimentConfig::analysisKey() const
     mix(kmeans_k);
     mix(static_cast<std::uint64_t>(kmeans_restarts));
     mix(seed);
-    // Analysis version tag: bump when the clustering numerics change (the
-    // blocked, thread-count-invariant accumulation altered rounding), so
-    // stale clustering caches are not replayed against new code.
-    mix(0xB10C0001);
+    // Analysis version tag: bump when the clustering numerics change, so
+    // stale clustering caches are not replayed against new code. 0001:
+    // blocked thread-count-invariant accumulation altered rounding.
+    // 0002: k-means++ D² totals are now reduced in block order (affects
+    // PlusPlus seeding only — Hamerly pruning itself is bit-neutral and
+    // kmeans_pruning is deliberately NOT mixed in).
+    mix(0xB10C0002);
     return h;
 }
 

@@ -33,6 +33,15 @@ struct ExperimentConfig
     std::size_t kmeans_k = 300;
     /** Random-restart count, best BIC wins (paper: "a number of"). */
     int kmeans_restarts = 3;
+    /**
+     * Hamerly-bound distance pruning in the clustering engine
+     * (stats::KMeans::Options::pruning). Bounds only ever skip exact
+     * distance evaluations whose outcome is proven, so results are
+     * bit-identical either way — the flag is excluded from the cache
+     * keys and exists to keep the naive path alive as a test oracle.
+     * See docs/PERFORMANCE.md ("Distance pruning").
+     */
+    bool kmeans_pruning = true;
     /** Prominent phases kept for visualization/GA (paper: 100). */
     std::size_t num_prominent = 100;
     /** Master seed for sampling/clustering/GA. */

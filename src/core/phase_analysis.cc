@@ -127,6 +127,7 @@ analyzePhases(const SampledDataset &sampled,
         km.seed = config.seed ^ 0xC1u;
         km.init = stats::KMeans::Init::Random;
         km.threads = config.threads;
+        km.pruning = config.kmeans_pruning;
         out.clustering = stats::KMeans::run(out.reduced, km);
     }
 

@@ -49,6 +49,9 @@ selectSimPoints(const CharacterizationResult &chars,
     km.k = std::min(max_points, interval_ids.size());
     km.restarts = 3;
     km.seed = seed;
+    // Bit-identical to the naive scan (see stats/distance.hh), so the
+    // pruned engine is safe to use for simulation-point selection too.
+    km.pruning = true;
     const auto clustering = stats::KMeans::run(reduced, km);
     const auto reps = clustering.representatives(reduced);
 

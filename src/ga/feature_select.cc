@@ -121,16 +121,35 @@ FeatureSelector::select(const GaOptions &opts) const
     // Fitness is a pure function of the genes, so pending genomes can be
     // evaluated concurrently after each serial (Rng-driven) breeding pass:
     // every genome's fitness lands in its own slot, independent of the
-    // thread count or evaluation order.
+    // thread count or evaluation order. The memoization cache is read
+    // (hits pre-populated) and written strictly in this serial pass, so
+    // the parallel batch never touches shared state; a cached value is
+    // bitwise equal to a recomputed one, so no GA decision can change.
     const unsigned eval_threads =
         util::resolveThreads(opts.threads, islands * pop_size);
     auto evaluatePending = [&]() {
         std::vector<Genome *> pending;
-        for (auto &pop : populations)
-            for (Genome &g : pop)
-                if (g.fitness < -1.5)
-                    pending.push_back(&g);
+        std::uint64_t hits = 0;
+        {
+            const std::lock_guard<std::mutex> lock(cache_mutex_);
+            for (auto &pop : populations) {
+                for (Genome &g : pop) {
+                    if (g.fitness >= -1.5)
+                        continue;
+                    const auto it = fitness_cache_.find(g.genes);
+                    if (it != fitness_cache_.end()) {
+                        g.fitness = it->second;
+                        ++hits;
+                    } else {
+                        pending.push_back(&g);
+                    }
+                }
+            }
+            cache_stats_.hits += hits;
+            cache_stats_.misses += pending.size();
+        }
         const obs::Span batch_span("ga.fitness_batch", "ga");
+        obs::count("ga.fitness_cache_hits", static_cast<double>(hits));
         obs::count("ga.genomes_evaluated",
                    static_cast<double>(pending.size()));
         util::parallelFor(eval_threads, pending.size(),
@@ -138,6 +157,12 @@ FeatureSelector::select(const GaOptions &opts) const
                               pending[i]->fitness =
                                   fitnessOf(pending[i]->genes);
                           });
+        {
+            const std::lock_guard<std::mutex> lock(cache_mutex_);
+            for (const Genome *g : pending)
+                fitness_cache_.emplace(g->genes, g->fitness);
+            cache_stats_.entries = fitness_cache_.size();
+        }
     };
 
     for (std::size_t i = 0; i < islands; ++i)
@@ -227,6 +252,13 @@ FeatureSelector::select(const GaOptions &opts) const
     result.fitness = best.fitness;
     result.generations = generation;
     return result;
+}
+
+FeatureSelector::CacheStats
+FeatureSelector::cacheStats() const
+{
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_stats_;
 }
 
 std::vector<GaResult>

@@ -19,6 +19,8 @@
 #define MICAPHASE_GA_FEATURE_SELECT_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -55,7 +57,21 @@ struct GaResult
     int generations = 0;               ///< generations actually run
 };
 
-/** Feature-subset search over a phase-by-characteristic matrix. */
+/**
+ * Feature-subset search over a phase-by-characteristic matrix.
+ *
+ * Fitness evaluations are memoized per selector instance, keyed by the
+ * sorted gene set: elitism, migration and repeated crossover products —
+ * and every re-run of `select` or `sweepSubsetSizes` on the same
+ * selector — never recompute `rescaledPcaSpace` + `pairwiseDistances`
+ * for a genome already scored. Because fitness is a pure function of the
+ * genes (for a fixed selector), a cached value is bitwise equal to a
+ * recomputed one, so memoization cannot change any GA decision; the
+ * cache is consulted and filled only in the serial breeding pass (hits
+ * are resolved before each parallel evaluation batch), preserving
+ * thread-count-invariant determinism. Hits are reported on the
+ * `ga.fitness_cache_hits` obs counter.
+ */
 class FeatureSelector
 {
   public:
@@ -86,9 +102,28 @@ class FeatureSelector
     [[nodiscard]] std::vector<GaResult>
     sweepSubsetSizes(std::size_t max_count, const GaOptions &base) const;
 
+    /** Fitness-memoization statistics since construction. */
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;   ///< evaluations answered from the cache
+        std::uint64_t misses = 0; ///< evaluations actually computed
+        std::size_t entries = 0;  ///< distinct genomes cached
+    };
+
+    /** Snapshot of the fitness cache's hit/miss counters. */
+    [[nodiscard]] CacheStats cacheStats() const;
+
   private:
     stats::Matrix data_;
     std::vector<double> full_distances_;
+    /**
+     * Memoized fitness by sorted gene set. Guarded by `cache_mutex_` for
+     * concurrent `select` calls on one selector; within a call it is only
+     * touched from the serial breeding pass.
+     */
+    mutable std::map<std::vector<std::size_t>, double> fitness_cache_;
+    mutable CacheStats cache_stats_;
+    mutable std::mutex cache_mutex_;
 };
 
 } // namespace mica::ga

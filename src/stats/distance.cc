@@ -1,0 +1,70 @@
+#include "stats/distance.hh"
+
+#include <cassert>
+
+namespace mica::stats {
+
+NearestCenter
+nearestCenter(std::span<const double> point, const Matrix &centers,
+              std::size_t cached_index, double cached_dist2)
+{
+    NearestCenter out;
+    out.dist2 = std::numeric_limits<double>::max();
+    out.second_dist2 = std::numeric_limits<double>::max();
+    const std::size_t k = centers.rows();
+    for (std::size_t c = 0; c < k; ++c) {
+        const double dist = c == cached_index
+            ? cached_dist2
+            : squaredDistance(point, centers.row(c));
+        if (dist < out.dist2) {
+            out.second_dist2 = out.dist2;
+            out.dist2 = dist;
+            out.index = c;
+        } else if (dist < out.second_dist2) {
+            out.second_dist2 = dist;
+        }
+    }
+    return out;
+}
+
+void
+HamerlyBounds::reset(std::size_t n)
+{
+    upper_.assign(n, std::numeric_limits<double>::max());
+    lower_.assign(n, 0.0);
+}
+
+void
+CenterDrift::fromSquaredMovements(std::span<const double> move2)
+{
+    move.resize(move2.size());
+    max_move = 0.0;
+    second_max_move = 0.0;
+    max_index = 0;
+    for (std::size_t c = 0; c < move2.size(); ++c) {
+        move[c] = inflateBound(std::sqrt(move2[c]));
+        if (move[c] > max_move) {
+            second_max_move = max_move;
+            max_move = move[c];
+            max_index = c;
+        } else if (move[c] > second_max_move) {
+            second_max_move = move[c];
+        }
+    }
+}
+
+std::vector<double>
+rowNorms(const Matrix &data)
+{
+    std::vector<double> norms(data.rows());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        auto row = data.row(r);
+        double acc = 0.0;
+        for (double v : row)
+            acc += v * v;
+        norms[r] = std::sqrt(acc);
+    }
+    return norms;
+}
+
+} // namespace mica::stats

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Distance kernels and Hamerly-style pruning bounds for the clustering
+ * hot paths.
+ *
+ * The contract that makes pruning safe to enable everywhere: bounds only
+ * ever *skip* exact `squaredDistance` evaluations whose outcome is
+ * provably irrelevant — they never replace an evaluation with an
+ * approximation. Every distance that does get computed uses the exact
+ * same arithmetic (and comparison order) as the naive scan, so a pruned
+ * clustering is bit-for-bit identical to an unpruned one.
+ *
+ * Floating-point soundness: the triangle-inequality bookkeeping behind
+ * the bounds (square roots, center-movement drift) is itself subject to
+ * rounding, so every stored bound carries a multiplicative slack of
+ * `kBoundSlack` per update (upper bounds are inflated, lower bounds
+ * deflated). The slack (1e-10 relative) dwarfs the worst-case relative
+ * error of a `squaredDistance` evaluation (~d * 2^-53 ≈ 1.5e-14 at
+ * d = 69) and of the drift additions, so a skip decision can never
+ * contradict what the exact scan would have concluded; a near-tie simply
+ * fails the skip test and falls through to the exact computation.
+ *
+ * See docs/PERFORMANCE.md ("Distance pruning") for the full argument.
+ */
+
+#ifndef MICAPHASE_STATS_DISTANCE_HH
+#define MICAPHASE_STATS_DISTANCE_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica::stats {
+
+/**
+ * Relative slack applied on every bound update. Must exceed the relative
+ * rounding error of one squaredDistance/sqrt/add chain by a comfortable
+ * margin (see file comment); the cost is only that a point whose true
+ * margin is below the slack falls back to the exact scan.
+ */
+inline constexpr double kBoundSlack = 1e-10;
+
+/** Round an upper bound up: the result is >= the exact value. */
+[[nodiscard]] inline double
+inflateBound(double v)
+{
+    return v * (1.0 + kBoundSlack);
+}
+
+/** Round a (non-negative) lower bound down: the result is <= exact. */
+[[nodiscard]] inline double
+deflateBound(double v)
+{
+    return v * (1.0 - kBoundSlack);
+}
+
+/** Outcome of classifying one point against a set of centers. */
+struct NearestCenter
+{
+    std::size_t index = 0; ///< argmin center (lowest index wins ties)
+    double dist2 = std::numeric_limits<double>::max(); ///< exact d² to it
+    /** Exact d² to the runner-up center (max double when k == 1). */
+    double second_dist2 = std::numeric_limits<double>::max();
+};
+
+/**
+ * Point-vs-many-centers kernel: exact argmin over all rows of `centers`,
+ * scanning centers in index order with a strict `<` comparison — the
+ * byte-for-byte behaviour of the historical naive Lloyd inner loop
+ * (lowest index wins ties). Additionally tracks the runner-up distance
+ * for bound maintenance; the extra bookkeeping never changes which
+ * distances are computed or how they are compared.
+ *
+ * When `cached_index != npos`, the distance to that one center is taken
+ * from `cached_dist2` instead of being recomputed. Because
+ * squaredDistance is deterministic, the cached value is bitwise equal to
+ * what the scan would have produced, so results are unchanged while one
+ * evaluation is saved (the pruned path always arrives here having
+ * already tightened its upper bound against the assigned center).
+ */
+[[nodiscard]] NearestCenter
+nearestCenter(std::span<const double> point, const Matrix &centers,
+              std::size_t cached_index = static_cast<std::size_t>(-1),
+              double cached_dist2 = 0.0);
+
+/** Exact distance-work counters for one clustering run. */
+struct DistanceCounters
+{
+    std::uint64_t computed = 0; ///< squaredDistance evaluations performed
+    std::uint64_t pruned = 0;   ///< evaluations skipped by bounds
+
+    void
+    operator+=(const DistanceCounters &other)
+    {
+        computed += other.computed;
+        pruned += other.pruned;
+    }
+};
+
+/**
+ * Per-point Hamerly bounds: `upper[i]` >= the Euclidean distance from
+ * point i to its assigned center, `lower[i]` <= the distance to every
+ * *other* center. While `upper[i] < lower[i]`, the assigned center is a
+ * strict unique minimizer, so the whole k-center scan for point i can be
+ * skipped without changing anything the exact algorithm would observe.
+ *
+ * All state is per-point; the owner may update disjoint point ranges
+ * from different threads (the Lloyd assignment step does so per row
+ * block), giving thread-count-invariant bounds by construction.
+ */
+class HamerlyBounds
+{
+  public:
+    /** Reset to n points with vacuous bounds (forces a full first scan). */
+    void reset(std::size_t n);
+
+    [[nodiscard]] bool empty() const { return upper_.empty(); }
+
+    /** True when point i provably keeps its current assignment. */
+    [[nodiscard]] bool
+    canSkip(std::size_t i) const
+    {
+        return upper_[i] < lower_[i];
+    }
+
+    /**
+     * Tighten the upper bound to the exactly computed squared distance
+     * between point i and its assigned center.
+     */
+    void
+    tighten(std::size_t i, double dist2)
+    {
+        upper_[i] = inflateBound(std::sqrt(dist2));
+    }
+
+    /** Install bounds after a full exact scan of point i. */
+    void
+    assign(std::size_t i, const NearestCenter &nearest)
+    {
+        upper_[i] = inflateBound(std::sqrt(nearest.dist2));
+        lower_[i] = deflateBound(std::sqrt(nearest.second_dist2));
+    }
+
+    /**
+     * Invalidate point i (e.g. the empty-cluster repair reassigned it
+     * behind the bounds' back): the next pass must rescan it.
+     */
+    void
+    invalidate(std::size_t i)
+    {
+        upper_[i] = std::numeric_limits<double>::max();
+        lower_[i] = 0.0;
+    }
+
+    /**
+     * Account for one update step's center movement: the assigned center
+     * moved by `own_move`, and no other center moved by more than
+     * `max_other_move` (both Euclidean, pre-inflated by the caller).
+     */
+    void
+    drift(std::size_t i, double own_move, double max_other_move)
+    {
+        upper_[i] = inflateBound(upper_[i] + own_move);
+        const double lowered = lower_[i] - max_other_move;
+        lower_[i] = lowered > 0.0 ? deflateBound(lowered) : 0.0;
+    }
+
+  private:
+    std::vector<double> upper_;
+    std::vector<double> lower_;
+};
+
+/**
+ * Center-movement summary for one Lloyd update step, used to drift the
+ * bounds: per-center Euclidean movement (inflated), plus the largest and
+ * second-largest so `maxOtherMove` is exact for every assignment.
+ */
+struct CenterDrift
+{
+    std::vector<double> move; ///< inflated Euclidean movement per center
+    double max_move = 0.0;
+    double second_max_move = 0.0;
+    std::size_t max_index = 0;
+
+    /** Rebuild from per-center squared movements. */
+    void fromSquaredMovements(std::span<const double> move2);
+
+    /** Largest movement among centers other than `center`. */
+    [[nodiscard]] double
+    maxOtherMove(std::size_t center) const
+    {
+        return center == max_index ? second_max_move : max_move;
+    }
+};
+
+/**
+ * Euclidean norm of every row (exact per-row arithmetic, row-parallel
+ * safe). Used by the k-means++ seeding pruner.
+ */
+[[nodiscard]] std::vector<double> rowNorms(const Matrix &data);
+
+/**
+ * Reverse-triangle-inequality pruning test for the k-means++ min-distance
+ * update: true when `squaredDistance(point, seed) >= current_d2` is
+ * certain from the row norms alone, i.e. `min(current_d2, d²)` provably
+ * keeps its current value and the evaluation can be skipped. Conservative
+ * under rounding (uses kBoundSlack margins), so a skip never changes the
+ * seeding's bits.
+ */
+[[nodiscard]] inline bool
+normGapPrunes(double point_norm, double seed_norm, double current_d2)
+{
+    const double gap = point_norm > seed_norm ? point_norm - seed_norm
+                                              : seed_norm - point_norm;
+    const double safe_gap = deflateBound(gap);
+    return deflateBound(safe_gap * safe_gap) >= current_d2;
+}
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_DISTANCE_HH

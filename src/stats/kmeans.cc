@@ -43,43 +43,6 @@ randomDistinct(std::size_t n, std::size_t k, Rng &rng)
     return idx;
 }
 
-/** k-means++ seeding: next center drawn with probability ~ D(x)^2. */
-std::vector<std::size_t>
-plusPlusSeeds(const Matrix &data, std::size_t k, Rng &rng)
-{
-    const std::size_t n = data.rows();
-    std::vector<std::size_t> seeds;
-    seeds.reserve(k);
-    seeds.push_back(static_cast<std::size_t>(rng.nextBelow(n)));
-
-    std::vector<double> d2(n, std::numeric_limits<double>::max());
-    while (seeds.size() < k) {
-        const auto last = data.row(seeds.back());
-        double total = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            d2[i] = std::min(d2[i], squaredDistance(data.row(i), last));
-            total += d2[i];
-        }
-        if (total <= 0.0) {
-            // All remaining points coincide with chosen seeds; fall back to
-            // an arbitrary unused index.
-            seeds.push_back(seeds.size() % n);
-            continue;
-        }
-        double pick = rng.nextDouble() * total;
-        std::size_t chosen = n - 1;
-        for (std::size_t i = 0; i < n; ++i) {
-            pick -= d2[i];
-            if (pick <= 0.0) {
-                chosen = i;
-                break;
-            }
-        }
-        seeds.push_back(chosen);
-    }
-    return seeds;
-}
-
 /**
  * Rows per assignment block. Block boundaries depend only on n, never on
  * the thread count, and block partials are reduced in block order — the
@@ -94,6 +57,7 @@ struct AssignPartial
     Matrix sums;
     double inertia = 0.0;
     bool changed = false;
+    DistanceCounters counters;
 };
 
 /** One full Lloyd run from the given seed points. */
@@ -122,6 +86,18 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
         p.sums = Matrix(k, d);
     }
 
+    // Hamerly bounds state (pruned path only). Bounds are per point and
+    // each block only touches its own rows, so the state is updated
+    // identically for every thread count. Intermediate per-iteration
+    // inertia is not maintained on the pruned path — nothing reads it,
+    // and the final value is recomputed exactly below for both paths.
+    HamerlyBounds bounds;
+    CenterDrift drift;
+    std::vector<double> move2(k, 0.0);
+    bool have_drift = false;
+    if (opts.pruning)
+        bounds.reset(n);
+
     Matrix sums(k, d);
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
         res.iterations = iter + 1;
@@ -137,25 +113,52 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
             }
             part.inertia = 0.0;
             part.changed = false;
+            part.counters = DistanceCounters{};
             const std::size_t lo = b * kRowBlock;
             const std::size_t hi = std::min(n, lo + kRowBlock);
             for (std::size_t i = lo; i < hi; ++i) {
                 auto point = data.row(i);
-                double best = std::numeric_limits<double>::max();
-                std::size_t arg = 0;
-                for (std::size_t c = 0; c < k; ++c) {
-                    const double dist = squaredDistance(
-                        point, res.centers.row(c));
-                    if (dist < best) {
-                        best = dist;
-                        arg = c;
+                std::size_t arg;
+                if (!opts.pruning) {
+                    // Naive oracle: exact scan of every center.
+                    const NearestCenter nc = nearestCenter(point,
+                                                           res.centers);
+                    part.counters.computed += k;
+                    arg = nc.index;
+                    part.inertia += nc.dist2;
+                } else {
+                    const std::size_t prev = res.assignment[i];
+                    if (have_drift)
+                        bounds.drift(i, drift.move[prev],
+                                     drift.maxOtherMove(prev));
+                    if (bounds.canSkip(i)) {
+                        // Bound proves the assignment is unchanged; the
+                        // whole k-center scan is skipped.
+                        part.counters.pruned += k;
+                        arg = prev;
+                    } else {
+                        const double d2a = squaredDistance(
+                            point, res.centers.row(prev));
+                        ++part.counters.computed;
+                        bounds.tighten(i, d2a);
+                        if (bounds.canSkip(i)) {
+                            part.counters.pruned += k - 1;
+                            arg = prev;
+                        } else {
+                            // Exact scan, reusing the distance already
+                            // computed for the assigned center.
+                            const NearestCenter nc = nearestCenter(
+                                point, res.centers, prev, d2a);
+                            part.counters.computed += k - 1;
+                            bounds.assign(i, nc);
+                            arg = nc.index;
+                        }
                     }
                 }
                 if (res.assignment[i] != arg) {
                     res.assignment[i] = arg;
                     part.changed = true;
                 }
-                part.inertia += best;
                 ++part.sizes[arg];
                 auto acc = part.sums.row(arg);
                 for (std::size_t j = 0; j < d; ++j)
@@ -174,6 +177,7 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
         for (const AssignPartial &part : partials) {
             changed = changed || part.changed;
             res.inertia += part.inertia;
+            res.distance_counters += part.counters;
             for (std::size_t c = 0; c < k; ++c) {
                 res.sizes[c] += part.sizes[c];
                 auto acc = sums.row(c);
@@ -214,21 +218,33 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
             ++res.sizes[c];
             res.assignment[victim] = c;
             changed = true;
+            // The repair reassigned the victim behind the bounds' back;
+            // force an exact rescan of it next pass.
+            if (opts.pruning)
+                bounds.invalidate(victim);
         }
 
         // Update step.
         double movement = 0.0;
+        std::fill(move2.begin(), move2.end(), 0.0);
         for (std::size_t c = 0; c < k; ++c) {
             if (res.sizes[c] == 0)
                 continue;
             auto acc = sums.row(c);
             auto center = res.centers.row(c);
+            double center_move2 = 0.0;
             for (std::size_t j = 0; j < d; ++j) {
                 const double nc = acc[j] / static_cast<double>(res.sizes[c]);
                 const double delta = nc - center[j];
                 movement += delta * delta;
+                center_move2 += delta * delta;
                 center[j] = nc;
             }
+            move2[c] = center_move2;
+        }
+        if (opts.pruning) {
+            drift.fromSquaredMovements(move2);
+            have_drift = true;
         }
 
         if (!changed || movement < opts.tolerance * opts.tolerance)
@@ -236,7 +252,9 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
     }
 
     // Recompute final inertia against the final centers, with the same
-    // blocked reduction so the value is thread-count invariant.
+    // blocked reduction so the value is thread-count invariant. (Not
+    // counted as prunable distance work: both paths must evaluate every
+    // point exactly once here.)
     std::vector<double> block_inertia(num_blocks, 0.0);
     util::parallelFor(threads, num_blocks, [&](std::size_t b) {
         const std::size_t lo = b * kRowBlock;
@@ -254,6 +272,96 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
 }
 
 } // namespace
+
+std::vector<std::size_t>
+KMeans::plusPlusSeeds(const Matrix &data, std::size_t k, Rng &rng,
+                      unsigned threads, bool pruning,
+                      DistanceCounters *counters)
+{
+    const std::size_t n = data.rows();
+    std::vector<std::size_t> seeds;
+    seeds.reserve(k);
+    std::vector<char> chosen(n, 0);
+    const std::size_t first = static_cast<std::size_t>(rng.nextBelow(n));
+    seeds.push_back(first);
+    chosen[first] = 1;
+
+    // Row norms feed the reverse-triangle pruning test: when
+    // |‖x‖ - ‖seed‖|² already exceeds D²(x), the new seed cannot be
+    // closer and the exact distance evaluation is skipped.
+    std::vector<double> norms;
+    if (pruning)
+        norms = rowNorms(data);
+
+    const std::size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
+    const unsigned eff_threads = util::resolveThreads(threads, num_blocks);
+    std::vector<double> block_total(num_blocks, 0.0);
+    std::vector<DistanceCounters> block_counters(num_blocks);
+
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    while (seeds.size() < k) {
+        const std::size_t last_row = seeds.back();
+        const auto last = data.row(last_row);
+        const double last_norm = pruning ? norms[last_row] : 0.0;
+
+        // Blocked deterministic min-distance update: every row's D² is a
+        // pure function of (row, seed history), and the total is reduced
+        // in block order — identical for every thread count.
+        util::parallelFor(eff_threads, num_blocks, [&](std::size_t b) {
+            const std::size_t lo = b * kRowBlock;
+            const std::size_t hi = std::min(n, lo + kRowBlock);
+            double total = 0.0;
+            DistanceCounters local;
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (pruning &&
+                    normGapPrunes(norms[i], last_norm, d2[i])) {
+                    ++local.pruned;
+                } else {
+                    d2[i] = std::min(
+                        d2[i], squaredDistance(data.row(i), last));
+                    ++local.computed;
+                }
+                total += d2[i];
+            }
+            block_total[b] = total;
+            block_counters[b] = local;
+        });
+        double total = 0.0;
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+            total += block_total[b];
+            if (counters != nullptr)
+                *counters += block_counters[b];
+        }
+
+        if (total <= 0.0) {
+            // All remaining points coincide with chosen seeds; take the
+            // lowest-index row not yet selected so seeds stay distinct.
+            std::size_t fallback = n;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!chosen[i]) {
+                    fallback = i;
+                    break;
+                }
+            }
+            assert(fallback < n && "k was clamped to the row count");
+            seeds.push_back(fallback);
+            chosen[fallback] = 1;
+            continue;
+        }
+        double pick = rng.nextDouble() * total;
+        std::size_t picked = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            pick -= d2[i];
+            if (pick <= 0.0) {
+                picked = i;
+                break;
+            }
+        }
+        seeds.push_back(picked);
+        chosen[picked] = 1;
+    }
+    return seeds;
+}
 
 double
 KMeans::bicScore(const Matrix &data, const KMeansResult &clustering)
@@ -291,6 +399,15 @@ KMeans::run(const Matrix &data, const Options &opts)
     const std::size_t k = std::min(opts.k, data.rows());
     if (k == 0)
         throw std::invalid_argument("KMeans::run: k must be positive");
+    if (!opts.initial_seeds.empty()) {
+        if (opts.initial_seeds.size() != k)
+            throw std::invalid_argument(
+                "KMeans::run: initial_seeds size must equal k");
+        for (std::size_t row : opts.initial_seeds)
+            if (row >= data.rows())
+                throw std::invalid_argument(
+                    "KMeans::run: initial_seeds row out of range");
+    }
 
     const obs::Span run_span("kmeans.run", "stats");
 
@@ -309,10 +426,15 @@ KMeans::run(const Matrix &data, const Options &opts)
     util::parallelFor(threads, restarts, [&](std::size_t r) {
         const obs::Span restart_span("kmeans.restart", "stats");
         Rng sub = streams[r];
-        const auto seeds = opts.init == Init::PlusPlus
-            ? plusPlusSeeds(data, k, sub)
-            : randomDistinct(data.rows(), k, sub);
+        DistanceCounters seed_counters;
+        const auto seeds = !opts.initial_seeds.empty()
+            ? opts.initial_seeds
+            : opts.init == Init::PlusPlus
+                ? plusPlusSeeds(data, k, sub, opts.threads, opts.pruning,
+                                &seed_counters)
+                : randomDistinct(data.rows(), k, sub);
         candidates[r] = lloyd(data, k, opts, seeds);
+        candidates[r].distance_counters += seed_counters;
         candidates[r].bic = bicScore(data, candidates[r]);
         obs::count("kmeans.restarts");
         obs::count("kmeans.lloyd_iterations",
@@ -322,11 +444,20 @@ KMeans::run(const Matrix &data, const Options &opts)
     // Fixed reduction order: the lowest restart index wins BIC ties, for
     // every thread count.
     std::size_t best = 0;
-    for (std::size_t r = 1; r < restarts; ++r)
-        if (candidates[r].bic > candidates[best].bic)
+    DistanceCounters total;
+    for (std::size_t r = 0; r < restarts; ++r) {
+        total += candidates[r].distance_counters;
+        if (r > 0 && candidates[r].bic > candidates[best].bic)
             best = r;
+    }
+    obs::count("kmeans.distances_computed",
+               static_cast<double>(total.computed));
+    obs::count("kmeans.distances_pruned",
+               static_cast<double>(total.pruned));
     obs::gauge("kmeans.winning_restart", static_cast<double>(best));
-    return std::move(candidates[best]);
+    KMeansResult result = std::move(candidates[best]);
+    result.distance_counters = total;
+    return result;
 }
 
 } // namespace mica::stats

@@ -7,6 +7,15 @@
  * Bayesian Information Criterion score. BIC follows the spherical-Gaussian
  * formulation of Pelleg & Moore (X-means), trading goodness of fit against
  * the number of clusters.
+ *
+ * The Lloyd assignment step and the k-means++ seeding run on the distance
+ * kernel layer (stats/distance.hh): Hamerly-style upper/lower bounds skip
+ * the inner k-center scan for points whose assignment provably cannot have
+ * changed. Bounds only ever *skip* exact squaredDistance evaluations, never
+ * replace them, so assignments, centers, sizes, inertia and BIC are
+ * bit-for-bit identical with pruning on or off (`Options::pruning` keeps
+ * the naive path alive as the test oracle); pruning only changes how much
+ * distance work is done. See docs/PERFORMANCE.md ("Distance pruning").
  */
 
 #ifndef MICAPHASE_STATS_KMEANS_HH
@@ -16,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/distance.hh"
 #include "stats/matrix.hh"
 #include "stats/rng.hh"
 
@@ -30,6 +40,13 @@ struct KMeansResult
     double inertia = 0.0;              ///< total within-cluster squared dist
     double bic = 0.0;                  ///< BIC score (higher is better)
     int iterations = 0;                ///< Lloyd iterations of best restart
+    /**
+     * Distance-work accounting, summed over *all* restarts (seeding +
+     * assignment scans): evaluations performed vs evaluations skipped by
+     * the pruning bounds. Diagnostics only — never compared for result
+     * equality (the naive oracle path reports pruned == 0).
+     */
+    DistanceCounters distance_counters;
 
     /** Index of the member row closest to each cluster center. */
     [[nodiscard]] std::vector<std::size_t>
@@ -71,6 +88,21 @@ class KMeans
          * per-block partials whose boundaries depend only on n.
          */
         unsigned threads = 1;
+        /**
+         * Hamerly-bound pruning of the assignment scan and norm-gap
+         * pruning of the k-means++ min-distance update. Bit-identical to
+         * the naive path for every input (bounds only skip evaluations
+         * whose outcome is proven); `false` keeps the naive scan alive as
+         * the oracle for tests and benchmarks.
+         */
+        bool pruning = true;
+        /**
+         * Testing hook: when non-empty, these row indices seed the
+         * centers of *every* restart verbatim (no randomness, duplicates
+         * allowed — e.g. to force the empty-cluster repair path). Size
+         * must equal k after clamping to the row count.
+         */
+        std::vector<std::size_t> initial_seeds;
     };
 
     /**
@@ -88,6 +120,23 @@ class KMeans
      */
     [[nodiscard]] static double bicScore(const Matrix &data,
                                          const KMeansResult &clustering);
+
+    /**
+     * k-means++ seeding: each next center drawn with probability
+     * proportional to D(x)², where D is the distance to the nearest
+     * already-chosen seed. The min-distance update is row-blocked (and
+     * norm-gap pruned when `pruning` is set) with the D² total reduced in
+     * block order, so the chosen seeds are identical for every thread
+     * count and pruning setting. When every remaining point coincides
+     * with a chosen seed (zero total mass), the lowest-index row not yet
+     * selected is used, so seeds are always distinct while k <= rows.
+     * Exposed for tests and for callers that want seeding without Lloyd;
+     * `counters`, when non-null, accumulates the distance work.
+     */
+    [[nodiscard]] static std::vector<std::size_t>
+    plusPlusSeeds(const Matrix &data, std::size_t k, Rng &rng,
+                  unsigned threads = 1, bool pruning = true,
+                  DistanceCounters *counters = nullptr);
 };
 
 } // namespace mica::stats

@@ -5,7 +5,9 @@
  * PCA covariance accumulation) and the full pipeline must produce
  * bit-for-bit identical results for threads = 1, 2 and 4 with the same
  * seed. Also covers the k-means++ degenerate-data path that the restart
- * fan-out must survive.
+ * fan-out must survive, and the distance-pruning contract: Hamerly-bound
+ * pruned runs (standalone k-means and the full pipeline) must be bitwise
+ * identical to the naive-scan oracle for every thread count.
  */
 
 #include <gtest/gtest.h>
@@ -103,6 +105,50 @@ TEST(Determinism, KMeansPlusPlusDegenerateAllIdenticalRows)
     for (unsigned t : {2u, 4u}) {
         opts.threads = t;
         expectIdentical(serial, KMeans::run(m, opts));
+    }
+}
+
+TEST(Determinism, KMeansPrunedVsNaiveBitwiseIdentical)
+{
+    // The Hamerly-bound path must skip work only, never change bits:
+    // every (pruning, threads) combination produces the same clustering.
+    const Matrix m = gaussianMatrix(3000, 8, 42);
+    KMeans::Options opts;
+    opts.k = 32;
+    opts.restarts = 3;
+    opts.seed = 77;
+    opts.max_iterations = 40;
+    opts.pruning = false;
+    opts.threads = 1;
+    const KMeansResult naive = KMeans::run(m, opts);
+    EXPECT_EQ(naive.distance_counters.pruned, 0u);
+    for (unsigned t : {1u, 2u, 4u}) {
+        opts.pruning = true;
+        opts.threads = t;
+        const KMeansResult pruned = KMeans::run(m, opts);
+        expectIdentical(naive, pruned);
+        EXPECT_GT(pruned.distance_counters.pruned, 0u);
+    }
+}
+
+TEST(Determinism, KMeansPrunedVsNaivePlusPlusSeeding)
+{
+    // Same bitwise contract on the k-means++ path: the norm-gap pruner in
+    // the seeding min-distance update and the Hamerly bounds in Lloyd
+    // must both be bit-neutral.
+    const Matrix m = gaussianMatrix(2200, 6, 43);
+    KMeans::Options opts;
+    opts.k = 20;
+    opts.restarts = 2;
+    opts.seed = 19;
+    opts.init = KMeans::Init::PlusPlus;
+    opts.pruning = false;
+    opts.threads = 1;
+    const KMeansResult naive = KMeans::run(m, opts);
+    for (unsigned t : {1u, 2u, 4u}) {
+        opts.pruning = true;
+        opts.threads = t;
+        expectIdentical(naive, KMeans::run(m, opts));
     }
 }
 
@@ -227,6 +273,42 @@ TEST(Determinism, PipelineThreadCountInvariant)
             ga::FeatureSelector(parallel_phases).select(ga_opts);
         EXPECT_EQ(serial_ga.selected, parallel_ga.selected);
         EXPECT_EQ(serial_ga.fitness, parallel_ga.fitness);
+    }
+}
+
+/**
+ * Distance pruning on the full pipeline: a naive (pruning disabled,
+ * serial) run is the oracle, and pruned runs at threads = 1/2/4 must
+ * reproduce its clustering — assignment, sizes, centers, inertia, BIC —
+ * bit for bit, along with the derived suite comparison.
+ */
+TEST(Determinism, PipelinePrunedVsNaiveBitwiseIdentical)
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear();
+
+    cfg.kmeans_pruning = false;
+    cfg.threads = 1;
+    const core::ExperimentOutputs naive = core::runFullExperiment(cfg);
+    EXPECT_EQ(naive.analysis.clustering.distance_counters.pruned, 0u);
+
+    for (unsigned t : {1u, 2u, 4u}) {
+        cfg.kmeans_pruning = true;
+        cfg.threads = t;
+        const core::ExperimentOutputs pruned = core::runFullExperiment(cfg);
+        expectIdentical(naive.analysis.clustering,
+                        pruned.analysis.clustering);
+        EXPECT_EQ(naive.analysis.reduced.maxAbsDiff(pruned.analysis.reduced),
+                  0.0);
+        EXPECT_EQ(naive.comparison.coverage, pruned.comparison.coverage);
+        EXPECT_EQ(naive.comparison.uniqueness, pruned.comparison.uniqueness);
+        EXPECT_GT(pruned.analysis.clustering.distance_counters.pruned, 0u);
     }
 }
 

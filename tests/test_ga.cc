@@ -154,6 +154,72 @@ TEST(FeatureSelector, SweepIsBroadlyIncreasing)
         EXPECT_EQ(sweep[i].selected.size(), i + 1);
 }
 
+TEST(FeatureSelector, FitnessCacheHitsWithoutChangingSelection)
+{
+    mica::stats::Rng rng(10);
+    const Matrix m = syntheticPhases(40, 4, 12, rng);
+    FeatureSelector sel(m);
+    GaOptions opts;
+    opts.target_count = 4;
+    opts.seed = 5;
+    opts.max_generations = 16;
+
+    const auto first = sel.select(opts);
+    const auto after_first = sel.cacheStats();
+    // Converging populations rebreed already-seen genomes, so a single
+    // run must already hit the cache.
+    EXPECT_GT(after_first.hits, 0u);
+    EXPECT_GT(after_first.entries, 0u);
+    // Duplicate genomes bred into the same batch each count as a miss
+    // but share one cache entry, so entries can trail misses.
+    EXPECT_LE(after_first.entries, after_first.misses);
+
+    // A re-run replays the same Rng-driven breeding, so every evaluation
+    // is a cache hit — and the selection is unchanged.
+    const auto second = sel.select(opts);
+    const auto after_second = sel.cacheStats();
+    EXPECT_EQ(first.selected, second.selected);
+    EXPECT_EQ(first.fitness, second.fitness);
+    EXPECT_EQ(first.generations, second.generations);
+    EXPECT_EQ(after_second.misses, after_first.misses);
+    EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST(FeatureSelector, CachedFitnessMatchesDirectEvaluation)
+{
+    mica::stats::Rng rng(11);
+    const Matrix m = syntheticPhases(40, 4, 10, rng);
+    FeatureSelector sel(m);
+    GaOptions opts;
+    opts.target_count = 3;
+    opts.seed = 13;
+    opts.max_generations = 8;
+    const auto result = sel.select(opts);
+    // The winning genome's (possibly cached) fitness must be bitwise
+    // equal to a fresh uncached evaluation: fitness is a pure function.
+    EXPECT_EQ(result.fitness, sel.fitnessOf(result.selected));
+}
+
+TEST(FeatureSelector, CacheIsSelectorLocal)
+{
+    mica::stats::Rng rng(12);
+    const Matrix m = syntheticPhases(40, 4, 10, rng);
+    FeatureSelector a(m);
+    FeatureSelector b(m);
+    GaOptions opts;
+    opts.target_count = 4;
+    opts.seed = 21;
+    opts.max_generations = 6;
+    // A fresh selector with an identical matrix starts cold but lands on
+    // the identical result: the cache is an optimization, not state that
+    // leaks across instances.
+    const auto ra = a.select(opts);
+    const auto rb = b.select(opts);
+    EXPECT_EQ(ra.selected, rb.selected);
+    EXPECT_EQ(ra.fitness, rb.fitness);
+    EXPECT_EQ(b.cacheStats().misses, a.cacheStats().misses);
+}
+
 TEST(FeatureSelector, FitnessWithinPearsonBounds)
 {
     mica::stats::Rng rng(9);

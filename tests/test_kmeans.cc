@@ -198,6 +198,181 @@ TEST(KMeans, MoreRestartsNeverWorseBic)
     EXPECT_GE(KMeans::run(m, many).bic, KMeans::run(m, one).bic - 1e-9);
 }
 
+/**
+ * Regression for the k-means++ zero-mass fallback: with many coincident
+ * points, every seed after the first used to come from
+ * `seeds.size() % n`, which could re-select an already-chosen row and
+ * yield duplicate initial centers. The fallback must pick the
+ * lowest-index row not yet chosen, keeping seeds distinct.
+ */
+TEST(KMeans, PlusPlusDegenerateFallbackKeepsSeedsDistinct)
+{
+    Matrix m(6, 2);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        m(r, 0) = 3.25;
+        m(r, 1) = -1.5;
+    }
+    // Every first-seed choice must lead to distinct fallback seeds.
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        mica::stats::Rng rng(seed);
+        const auto seeds = KMeans::plusPlusSeeds(m, 4, rng);
+        ASSERT_EQ(seeds.size(), 4u);
+        const std::set<std::size_t> distinct(seeds.begin(), seeds.end());
+        EXPECT_EQ(distinct.size(), 4u) << "duplicate seed, seed=" << seed;
+    }
+}
+
+TEST(KMeans, PlusPlusMixedCoincidentFallbackStillDistinct)
+{
+    // Two distinct locations but k = 4: after both locations are seeded
+    // the D² mass is zero and two more seeds come from the fallback.
+    Matrix m = Matrix::fromRows(
+        {{0, 0}, {0, 0}, {0, 0}, {5, 5}, {5, 5}, {0, 0}});
+    mica::stats::Rng rng(3);
+    const auto seeds = KMeans::plusPlusSeeds(m, 4, rng);
+    ASSERT_EQ(seeds.size(), 4u);
+    const std::set<std::size_t> distinct(seeds.begin(), seeds.end());
+    EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(KMeans, PlusPlusSeedingPrunedMatchesNaive)
+{
+    mica::stats::Rng rng_data(17);
+    const Matrix m = blobs(5, 40, rng_data);
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        mica::stats::Rng a(seed);
+        mica::stats::Rng b(seed);
+        EXPECT_EQ(KMeans::plusPlusSeeds(m, 8, a, 1, false),
+                  KMeans::plusPlusSeeds(m, 8, b, 1, true));
+    }
+}
+
+/**
+ * Empty-cluster repair, exercised deterministically via the
+ * initial_seeds hook: duplicate seeds put two centers on the same point,
+ * so every row picks the lower-index center and the other cluster comes
+ * up empty. The repair must steal the row farthest from its center.
+ */
+TEST(KMeans, RepairStealsFarthestPointIntoEmptyCluster)
+{
+    // Five points near the origin plus one far outlier.
+    Matrix m = Matrix::fromRows({{0.0, 0.0},
+                                 {0.1, 0.0},
+                                 {0.0, 0.1},
+                                 {-0.1, 0.0},
+                                 {0.0, -0.1},
+                                 {100.0, 0.0}});
+    KMeans::Options opts;
+    opts.k = 2;
+    opts.initial_seeds = {0, 0}; // both centers at row 0 -> cluster 1 empty
+    const KMeansResult res = KMeans::run(m, opts);
+
+    // The outlier (row 5) is the farthest point; repair moves it into the
+    // empty cluster, where it stays as a singleton.
+    EXPECT_EQ(res.assignment[5], 1u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(res.assignment[i], 0u);
+    EXPECT_EQ(res.sizes, (std::vector<std::size_t>{5, 1}));
+
+    // The repair's sum transfer must leave each center at the exact mean
+    // of its members once converged.
+    EXPECT_DOUBLE_EQ(res.centers(1, 0), 100.0);
+    EXPECT_DOUBLE_EQ(res.centers(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(res.centers(0, 0), (0.0 + 0.1 + 0.0 - 0.1 + 0.0) / 5.0);
+    EXPECT_DOUBLE_EQ(res.centers(0, 1), (0.0 + 0.0 + 0.1 + 0.0 - 0.1) / 5.0);
+
+    // And the repaired run still converges rather than looping.
+    EXPECT_LT(res.iterations, opts.max_iterations);
+}
+
+TEST(KMeans, RepairFillsEveryEmptyClusterWhenPointsSuffice)
+{
+    mica::stats::Rng rng(23);
+    const Matrix m = blobs(4, 15, rng);
+    KMeans::Options opts;
+    opts.k = 3;
+    opts.initial_seeds = {7, 7, 7}; // three coincident centers
+    const KMeansResult res = KMeans::run(m, opts);
+    for (std::size_t s : res.sizes)
+        EXPECT_GT(s, 0u);
+    std::size_t total = 0;
+    for (std::size_t s : res.sizes)
+        total += s;
+    EXPECT_EQ(total, m.rows());
+    EXPECT_LT(res.iterations, opts.max_iterations);
+}
+
+TEST(KMeans, RepairSkipsSingletonVictims)
+{
+    // Rows {A, A, B} with seeds {0, 1, 2}: centers 0 and 1 coincide, so
+    // cluster 1 starts empty while cluster 2 holds the singleton B. The
+    // repair may only steal from cluster 0 (size 2) — B's singleton
+    // cluster is protected — ending at sizes {1, 1, 1}.
+    Matrix m = Matrix::fromRows({{1.0, 1.0}, {1.0, 1.0}, {9.0, 9.0}});
+    KMeans::Options opts;
+    opts.k = 3;
+    opts.initial_seeds = {0, 1, 2};
+    const KMeansResult res = KMeans::run(m, opts);
+    EXPECT_EQ(res.sizes, (std::vector<std::size_t>{1, 1, 1}));
+    EXPECT_EQ(res.assignment[2], 2u);
+    EXPECT_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, RepairIdenticalWithAndWithoutPruning)
+{
+    mica::stats::Rng rng(29);
+    const Matrix m = blobs(4, 25, rng);
+    KMeans::Options opts;
+    opts.k = 4;
+    opts.initial_seeds = {0, 0, 0, 0}; // forces repeated repairs
+    opts.pruning = false;
+    const KMeansResult naive = KMeans::run(m, opts);
+    opts.pruning = true;
+    for (unsigned t : {1u, 4u}) {
+        opts.threads = t;
+        const KMeansResult pruned = KMeans::run(m, opts);
+        EXPECT_EQ(naive.assignment, pruned.assignment);
+        EXPECT_EQ(naive.sizes, pruned.sizes);
+        EXPECT_EQ(naive.centers.maxAbsDiff(pruned.centers), 0.0);
+        EXPECT_EQ(naive.inertia, pruned.inertia);
+        EXPECT_EQ(naive.iterations, pruned.iterations);
+    }
+}
+
+TEST(KMeans, InitialSeedsValidated)
+{
+    Matrix m = Matrix::fromRows({{0, 0}, {1, 1}, {2, 2}});
+    KMeans::Options opts;
+    opts.k = 2;
+    opts.initial_seeds = {0, 1, 2}; // size != k
+    EXPECT_THROW((void)KMeans::run(m, opts), std::invalid_argument);
+    opts.initial_seeds = {0, 9}; // out of range
+    EXPECT_THROW((void)KMeans::run(m, opts), std::invalid_argument);
+}
+
+TEST(KMeans, DistanceCountersAccountForAllAssignmentWork)
+{
+    mica::stats::Rng rng(31);
+    const Matrix m = blobs(6, 50, rng);
+    KMeans::Options opts;
+    opts.k = 6;
+    opts.restarts = 2;
+    opts.seed = 5;
+    opts.pruning = false;
+    const KMeansResult naive = KMeans::run(m, opts);
+    opts.pruning = true;
+    const KMeansResult pruned = KMeans::run(m, opts);
+    // Identical control flow => identical total assignment work; pruning
+    // converts a (large) share of it from computed to skipped.
+    EXPECT_EQ(naive.distance_counters.computed + naive.distance_counters.pruned,
+              pruned.distance_counters.computed +
+                  pruned.distance_counters.pruned);
+    EXPECT_EQ(naive.distance_counters.pruned, 0u);
+    EXPECT_GT(pruned.distance_counters.pruned, 0u);
+    EXPECT_LT(pruned.distance_counters.computed,
+              naive.distance_counters.computed);
+}
+
 /** Larger-k runs remain structurally valid (weights, sizes, reps). */
 class KMeansSweepTest : public ::testing::TestWithParam<std::size_t>
 {
