@@ -87,14 +87,13 @@ class ProgressPrinter final : public mica::core::PipelineObserver
     }
 };
 
-/** Run (or reload from cache) the shared experiment, with progress. */
+/** Run (or reload from cache) a given configuration, with progress. */
 inline mica::core::ExperimentOutputs
-runExperiment()
+runExperiment(const mica::core::ExperimentConfig &cfg)
 {
     const auto t0 = std::chrono::steady_clock::now();
     ProgressPrinter printer;
-    auto outputs = mica::core::runFullExperiment(experimentConfig(),
-                                                 &printer);
+    auto outputs = mica::core::runFullExperiment(cfg, &printer);
     const double dt =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -106,6 +105,13 @@ runExperiment()
                  outputs.analysis.pca_explained * 100.0,
                  outputs.analysis.clustering.centers.rows());
     return outputs;
+}
+
+/** Run (or reload from cache) the shared experiment, with progress. */
+inline mica::core::ExperimentOutputs
+runExperiment()
+{
+    return runExperiment(experimentConfig());
 }
 
 } // namespace micabench

@@ -6,18 +6,27 @@
  * Paper shape to reproduce: SPEC CPU2006 covers the most (fp >= int),
  * CPU2006 > CPU2000, and the domain-specific suites (BioPerf, BMW,
  * MediaBench II) cover a much narrower part of the space.
+ *
+ * The run also freezes the experiment into a model::PhaseModel artifact
+ * and re-derives the same coverage numbers from the reloaded file alone
+ * (docs/MODEL.md) — exiting non-zero if the two disagree.
  */
 
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "model/phase_model.hh"
 #include "viz/charts.hh"
 #include "viz/figure_charts.hh"
 
 int
 main()
 {
-    const auto out = micabench::runExperiment();
+    auto cfg = micabench::experimentConfig();
+    const std::string model_path =
+        micabench::outputDir() + "/phase_model.bin";
+    cfg.model_path = model_path;
+    const auto out = micabench::runExperiment(cfg);
     const auto &cmp = out.comparison;
 
     std::vector<mica::viz::Bar> bars;
@@ -45,5 +54,19 @@ main()
                                  bars, {})
         .writeFile(svg);
     std::printf("wrote %s and %s\n", csv.c_str(), svg.c_str());
+
+    // Cross-check: the figure must be reproducible from the frozen model
+    // file alone, with no pipeline state in hand.
+    const auto model = mica::model::PhaseModel::load(model_path);
+    const auto frozen = model.trainingCoverage();
+    if (frozen.suites != cmp.suites || frozen.coverage != cmp.coverage) {
+        std::fprintf(stderr,
+                     "FAILED: coverage recomputed from %s deviates from "
+                     "the live run\n",
+                     model_path.c_str());
+        return 1;
+    }
+    std::printf("coverage reproduced from the frozen model %s: OK\n",
+                model_path.c_str());
     return 0;
 }

@@ -15,11 +15,15 @@
  * BENCH_tracing_overhead.json. A third table compares the naive k-means
  * scan against the Hamerly-pruned engine — wall time, fraction of distance
  * evaluations skipped, GA fitness cache hit rate, and a bitwise
- * cross-check of both paths — recorded in BENCH_kmeans_speedup.json.
+ * cross-check of both paths — recorded in BENCH_kmeans_speedup.json. A
+ * fourth table measures the frozen phase-model store (docs/MODEL.md):
+ * training the mini-pipeline cold versus loading the saved model and
+ * projecting one new benchmark into the frozen space, plus the model
+ * file size — recorded in BENCH_model_query.json.
  *
  * MICAPHASE_SUBSTRATE_TABLES selects which post-benchmark tables run: a
- * comma-separated subset of "parallel", "tracing", "kmeans" (unset runs
- * all three). CI's bench smoke step sets it to "kmeans".
+ * comma-separated subset of "parallel", "tracing", "kmeans", "model"
+ * (unset runs all four). CI's bench smoke step sets it to "kmeans".
  */
 
 #include <benchmark/benchmark.h>
@@ -28,6 +32,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -35,7 +40,9 @@
 
 #include "asm/assembler.hh"
 #include "bench/bench_util.hh"
+#include "core/characterize.hh"
 #include "ga/feature_select.hh"
+#include "model/phase_model.hh"
 #include "mica/profiler.hh"
 #include "obs/trace.hh"
 #include "stats/eigen.hh"
@@ -601,6 +608,93 @@ emitKMeansPruning()
     std::printf("wrote %s\n", path.c_str());
 }
 
+/**
+ * Frozen-model query cost: re-deriving the phase space from scratch (the
+ * full mini-pipeline, caches disabled) versus loading the saved
+ * model::PhaseModel and placing one previously unseen benchmark in it
+ * (characterize at the frozen interval length, project, assess). The
+ * placement must land every interval in a valid frozen cluster; the
+ * table records both wall times, the speedup, and the model file size.
+ */
+void
+emitModelQuery()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear(); // cold path: measure real work, not cache loads
+    cfg.threads = 0;
+    const std::string model_path =
+        micabench::outputDir() + "/BENCH_phase_model.bin";
+    cfg.model_path = model_path;
+
+    const double train_s =
+        wallSeconds([&]() { (void)core::runFullExperiment(cfg); });
+    const auto model_bytes = static_cast<std::uint64_t>(
+        std::filesystem::file_size(model_path));
+
+    model::PhaseModel model;
+    const double load_s =
+        wallSeconds([&]() { model = model::PhaseModel::load(model_path); });
+
+    // Place a benchmark the frozen space has to generalize to: gcc at a
+    // longer window than the training samples used.
+    const workloads::SuiteCatalog catalog;
+    const auto *bench = catalog.find("SPECint2006/gcc");
+    const std::uint32_t num_intervals = model.samples_per_benchmark;
+    bool placed = true;
+    model::WorkloadAssessment assessment;
+    const double project_s = wallSeconds([&]() {
+        const auto vectors = core::characterizeProgram(
+            bench->build(0), model.interval_instructions, num_intervals);
+        stats::Matrix data(0, 0);
+        for (const auto &v : vectors)
+            data.appendRow(v);
+        const model::Projection proj = model.projectBenchmark(data);
+        for (std::size_t c : proj.assignment)
+            placed = placed && c < model.numClusters();
+        assessment = model.assessWorkload(proj);
+    });
+
+    const double query_s = load_s + project_s;
+    const double speedup = query_s > 0.0 ? train_s / query_s : 0.0;
+    std::printf("\nfrozen model query vs cold pipeline (best of 3)\n");
+    std::printf("%-24s %12s\n", "path", "seconds");
+    std::printf("%-24s %12.4f\n", "cold_pipeline", train_s);
+    std::printf("%-24s %12.4f\n", "model_load", load_s);
+    std::printf("%-24s %12.4f\n", "characterize+project", project_s);
+    std::printf("speedup: %.1fx  model file: %llu bytes  "
+                "placement valid: %s (%zu rows, %zu clusters covered)\n",
+                speedup, static_cast<unsigned long long>(model_bytes),
+                placed ? "yes" : "NO", assessment.rows,
+                assessment.clusters_covered);
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_model_query.json";
+    std::ofstream out(path);
+    char buf[64];
+    out << "{\n  \"benchmark\": \"model_query\",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", train_s);
+    out << "  \"cold_pipeline_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", load_s);
+    out << "  \"model_load_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", project_s);
+    out << "  \"project_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", speedup);
+    out << "  \"speedup\": " << buf << ",\n"
+        << "  \"model_bytes\": " << model_bytes << ",\n"
+        << "  \"rows_projected\": " << assessment.rows << ",\n"
+        << "  \"clusters_covered\": " << assessment.clusters_covered
+        << ",\n"
+        << "  \"placement_valid\": " << (placed ? "true" : "false")
+        << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 /** True if `table` appears in MICAPHASE_SUBSTRATE_TABLES (unset = all). */
 bool
 tableEnabled(const char *table)
@@ -640,5 +734,7 @@ main(int argc, char **argv)
         emitTracingOverhead();
     if (tableEnabled("kmeans"))
         emitKMeansPruning();
+    if (tableEnabled("model"))
+        emitModelQuery();
     return 0;
 }

@@ -7,20 +7,92 @@
  * execution splits across two very different phase behaviours — an
  * erratic-branch search phase and a well-behaved sweep phase.
  *
- * Usage: phase_explorer [suite/name] (default SPECint2006/astar)
+ * Usage: phase_explorer [suite/name] [--save-model <path> | --model <path>]
+ *        (default SPECint2006/astar)
+ *
+ * `--save-model` freezes the benchmark's private rescaled-PCA space +
+ * clustering into a model::PhaseModel file; `--model` loads such a file
+ * and projects the fresh intervals into the frozen space instead of
+ * fitting PCA / running k-means again (see docs/MODEL.md).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "core/characterize.hh"
 #include "core/phase_analysis.hh"
 #include "core/sampling.hh"
+#include "model/phase_model.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
 #include "viz/kiviat.hh"
 #include "workloads/workload.hh"
+
+namespace {
+
+/** Freeze this benchmark's private space into a single-suite model. */
+mica::model::PhaseModel
+freezeModel(const mica::workloads::BenchmarkSpec &bench,
+            const mica::stats::Pca &pca, const mica::stats::Matrix &data,
+            const mica::stats::Matrix &reduced,
+            const mica::stats::KMeansResult &clustering)
+{
+    using namespace mica;
+
+    model::PhaseModel m;
+    m.interval_instructions = 50000;
+    m.samples_per_benchmark =
+        static_cast<std::uint32_t>(data.rows());
+    m.training_rows = data.rows();
+    m.benchmark_ids = {bench.id()};
+    m.benchmark_suites = {bench.suite};
+    m.suites = {bench.suite};
+    m.normalize_input = pca.normalizeInput();
+    m.norm_mean = pca.inputStats().mean;
+    m.norm_stddev = pca.inputStats().stddev;
+    m.pca_explained = pca.explainedVarianceFraction();
+    m.eigenvalues = pca.eigenvalues();
+    m.loadings = pca.loadings();
+    m.rescale_sd = pca.scoreStdDevs();
+    m.centers = clustering.centers;
+
+    const std::size_t k = clustering.centers.rows();
+    m.cluster_sizes.assign(k, 0);
+    for (std::size_t c = 0; c < k; ++c)
+        m.cluster_sizes[c] = clustering.sizes[c];
+    // Single benchmark: every populated cluster is benchmark-specific,
+    // and the one suite owns every training row.
+    m.cluster_kinds.assign(k, model::ClusterKind::BenchmarkSpecific);
+    m.suite_rows = m.cluster_sizes;
+
+    const auto reps = clustering.representatives(reduced);
+    std::vector<std::size_t> by_weight;
+    for (std::size_t c = 0; c < k; ++c)
+        if (clustering.sizes[c] > 0)
+            by_weight.push_back(c);
+    std::sort(by_weight.begin(), by_weight.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (clustering.sizes[a] != clustering.sizes[b])
+                      return clustering.sizes[a] > clustering.sizes[b];
+                  return a < b;
+              });
+    for (std::size_t c : by_weight) {
+        model::ProminentPhase ph;
+        ph.cluster = static_cast<std::uint32_t>(c);
+        ph.weight = static_cast<double>(clustering.sizes[c]) /
+                    static_cast<double>(data.rows());
+        ph.representative_row = reps[c];
+        m.prominent.push_back(ph);
+        m.prominent_raw.appendRow(data.row(reps[c]));
+    }
+    return m;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -28,7 +100,18 @@ main(int argc, char **argv)
     using namespace mica;
     namespace m = metrics::midx;
 
-    const std::string id = argc > 1 ? argv[1] : "SPECint2006/astar";
+    std::string id = "SPECint2006/astar";
+    std::string save_model_path, model_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--save-model" && i + 1 < argc)
+            save_model_path = argv[++i];
+        else if (arg == "--model" && i + 1 < argc)
+            model_path = argv[++i];
+        else
+            id = arg;
+    }
+
     const workloads::SuiteCatalog catalog;
     const auto *bench = catalog.find(id);
     if (!bench) {
@@ -42,17 +125,58 @@ main(int argc, char **argv)
     std::printf("characterizing %s...\n", id.c_str());
     const auto intervals =
         core::characterizeProgram(bench->build(0), 50000, 60);
-
-    // Cluster this benchmark's intervals in its own rescaled PCA space.
     stats::Matrix data(0, 0);
     for (const auto &v : intervals)
         data.appendRow(v);
-    const stats::Matrix reduced = stats::rescaledPcaSpace(data);
-    stats::KMeans::Options km;
-    km.k = 4;
-    km.restarts = 4;
-    km.seed = 1;
-    const auto clustering = stats::KMeans::run(reduced, km);
+
+    // Project into a phase space: either this benchmark's own freshly
+    // fitted rescaled PCA space + clustering, or a frozen model's.
+    stats::Matrix reduced(0, 0);
+    stats::Matrix centers(0, 0);
+    std::vector<std::size_t> sizes;
+    std::vector<std::size_t> reps;
+    if (!model_path.empty()) {
+        const model::PhaseModel frozen = model::PhaseModel::load(model_path);
+        std::printf("projecting into frozen space %s (%zu clusters, %zu "
+                    "PCs) — no PCA/k-means rerun\n",
+                    model_path.c_str(), frozen.numClusters(),
+                    frozen.components());
+        const model::Projection proj = frozen.projectBenchmark(data);
+        reduced = proj.reduced;
+        centers = frozen.centers;
+        // Representative = the member closest to its frozen center.
+        sizes.assign(frozen.numClusters(), 0);
+        reps.assign(frozen.numClusters(), 0);
+        std::vector<double> best(frozen.numClusters(),
+                                 std::numeric_limits<double>::max());
+        for (std::size_t i = 0; i < proj.assignment.size(); ++i) {
+            const std::size_t c = proj.assignment[i];
+            ++sizes[c];
+            if (proj.dist2[i] < best[c]) {
+                best[c] = proj.dist2[i];
+                reps[c] = i;
+            }
+        }
+    } else {
+        stats::Pca::Options pca_opts;
+        const stats::Pca pca = stats::Pca::fit(data, pca_opts);
+        reduced = pca.transformRescaled(data);
+        stats::KMeans::Options km;
+        km.k = 4;
+        km.restarts = 4;
+        km.seed = 1;
+        const auto clustering = stats::KMeans::run(reduced, km);
+        centers = clustering.centers;
+        sizes = clustering.sizes;
+        reps = clustering.representatives(reduced);
+        if (!save_model_path.empty()) {
+            const model::PhaseModel frozen =
+                freezeModel(*bench, pca, data, reduced, clustering);
+            frozen.save(save_model_path);
+            std::printf("froze %zu-cluster space -> %s\n",
+                        frozen.numClusters(), save_model_path.c_str());
+        }
+    }
 
     // Render each phase along a handful of informative axes.
     const std::vector<std::size_t> keys = {
@@ -80,13 +204,12 @@ main(int argc, char **argv)
     }
 
     std::filesystem::create_directories("out");
-    const auto reps = clustering.representatives(reduced);
     std::vector<viz::KiviatPanel> panels;
-    for (std::size_t c = 0; c < clustering.centers.rows(); ++c) {
-        if (clustering.sizes[c] == 0)
+    for (std::size_t c = 0; c < centers.rows(); ++c) {
+        if (sizes[c] == 0)
             continue;
         viz::KiviatPanel panel;
-        const double weight = static_cast<double>(clustering.sizes[c]) /
+        const double weight = static_cast<double>(sizes[c]) /
                               static_cast<double>(intervals.size());
         char title[64];
         std::snprintf(title, sizeof title, "phase %zu: %.0f%% of run", c,

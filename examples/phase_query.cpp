@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Phase query: the paper's §5 question — "where does this workload fall
+ * relative to an existing workload space?" — answered from a frozen
+ * model artifact instead of a pipeline run. Loads a model::PhaseModel,
+ * characterizes a named catalog benchmark at the model's interval length,
+ * and projects it through the frozen normalize→PCA→rescale chain onto the
+ * frozen cluster centers. No PCA or k-means runs.
+ *
+ * Usage:
+ *   phase_query --model <path> <suite/name> [--intervals N]
+ *   phase_query --model <path> --all         one summary line per catalog
+ *                                            benchmark
+ *   phase_query --model <path> --fig4        training coverage/uniqueness
+ *                                            (Figures 4/6) from the model
+ *                                            alone
+ *   phase_query --demo                       self-contained: train a tiny
+ *                                            model, save, reload, query
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/model_export.hh"
+#include "core/pipeline.hh"
+#include "model/phase_model.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace mica;
+
+/** Characterize + project one benchmark; returns its assessment. */
+model::WorkloadAssessment
+placeBenchmark(const model::PhaseModel &m,
+               const workloads::BenchmarkSpec &bench,
+               std::uint32_t num_intervals, bool verbose)
+{
+    const auto vectors = core::characterizeProgram(
+        bench.build(0), m.interval_instructions, num_intervals);
+    stats::Matrix data(0, 0);
+    for (const auto &v : vectors)
+        data.appendRow(v);
+    const model::Projection proj = m.projectBenchmark(data);
+    const model::WorkloadAssessment a = m.assessWorkload(proj);
+
+    if (verbose) {
+        // Histogram: this workload's weight per frozen cluster.
+        std::vector<std::size_t> rows_in_cluster(m.numClusters(), 0);
+        for (std::size_t c : proj.assignment)
+            ++rows_in_cluster[c];
+        std::printf("\ncluster placement (%zu intervals):\n",
+                    proj.assignment.size());
+        for (std::size_t c = 0; c < m.numClusters(); ++c) {
+            if (rows_in_cluster[c] == 0)
+                continue;
+            std::printf(
+                "  cluster %3zu: %3zu intervals (%5.1f%%)  "
+                "[training: %s, weight %.1f%%]\n",
+                c, rows_in_cluster[c],
+                100.0 * static_cast<double>(rows_in_cluster[c]) /
+                    static_cast<double>(proj.assignment.size()),
+                std::string(clusterKindName(m.cluster_kinds[c])).c_str(),
+                m.clusterWeight(c) * 100.0);
+        }
+        std::printf("\ncoverage: %zu/%zu clusters (%.1f%%), %zu clusters "
+                    "reach 90%% of the workload\n",
+                    a.clusters_covered, m.numClusters(),
+                    a.coverage_fraction * 100.0, a.clustersToCover(0.9));
+        for (std::size_t s = 0; s < m.suites.size(); ++s)
+            if (a.exclusive_fraction[s] > 0.0)
+                std::printf("  behaves exclusively like %-18s %5.1f%%\n",
+                            m.suites[s].c_str(),
+                            a.exclusive_fraction[s] * 100.0);
+        std::printf("  shared across training suites     %5.1f%%\n",
+                    a.shared_fraction * 100.0);
+        std::printf("  novel (no training rows nearby)   %5.1f%%\n",
+                    a.novel_fraction * 100.0);
+        std::printf("distance to assigned centers: mean %.3f, max %.3f\n",
+                    a.mean_distance, a.max_distance);
+    }
+    return a;
+}
+
+int
+runFig4(const model::PhaseModel &m)
+{
+    const model::TrainingCoverage cov = m.trainingCoverage();
+    std::printf("training coverage/uniqueness from the frozen model "
+                "(k = %zu):\n", m.numClusters());
+    for (std::size_t s = 0; s < cov.suites.size(); ++s) {
+        const int bar = static_cast<int>(
+            60.0 * static_cast<double>(cov.coverage[s]) /
+            static_cast<double>(m.numClusters()));
+        std::printf("%-18s %3zu clusters |%-60s| uniqueness %5.1f%%\n",
+                    cov.suites[s].c_str(), cov.coverage[s],
+                    std::string(static_cast<std::size_t>(bar), '#')
+                        .c_str(),
+                    cov.uniqueness[s] * 100.0);
+    }
+    return 0;
+}
+
+int
+runAll(const model::PhaseModel &m, std::uint32_t num_intervals)
+{
+    const workloads::SuiteCatalog catalog;
+    std::printf("%-26s %9s %9s %8s %8s %8s\n", "benchmark", "covered",
+                "to-90%", "shared", "novel", "mean-d");
+    for (const auto &bench : catalog.benchmarks()) {
+        const model::WorkloadAssessment a =
+            placeBenchmark(m, bench, num_intervals, false);
+        std::printf("%-26s %6zu/%-2zu %9zu %7.1f%% %7.1f%% %8.3f\n",
+                    bench.id().c_str(), a.clusters_covered,
+                    m.numClusters(), a.clustersToCover(0.9),
+                    a.shared_fraction * 100.0, a.novel_fraction * 100.0,
+                    a.mean_distance);
+    }
+    return 0;
+}
+
+/**
+ * Self-contained smoke path (used by ctest): train a tiny model on a few
+ * catalog benchmarks' worth of intervals, save, reload, and place a
+ * benchmark — exercising the whole save/load/project chain end to end.
+ */
+int
+runDemo()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.threads = 4;
+    cfg.cache_dir = "out/cache";
+    cfg.model_path = "out/phase_query_demo.bin";
+
+    std::printf("training a tiny model -> %s ...\n",
+                cfg.model_path.c_str());
+    (void)core::runFullExperiment(cfg);
+
+    const model::PhaseModel m = model::PhaseModel::load(cfg.model_path);
+    const workloads::SuiteCatalog catalog;
+    const auto *bench = catalog.find("SPECint2006/astar");
+    if (bench == nullptr) {
+        std::fprintf(stderr, "demo benchmark missing from catalog\n");
+        return 1;
+    }
+    std::printf("placing %s into the reloaded space:\n",
+                bench->id().c_str());
+    (void)placeBenchmark(m, *bench, 16, true);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: phase_query --model <path> <suite/name> [--intervals N]\n"
+        "       phase_query --model <path> --all [--intervals N]\n"
+        "       phase_query --model <path> --fig4\n"
+        "       phase_query --demo\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_path;
+    std::string target;
+    std::uint32_t num_intervals = 40;
+    bool all = false, fig4 = false, demo = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--model" && i + 1 < argc)
+            model_path = argv[++i];
+        else if (arg == "--intervals" && i + 1 < argc)
+            num_intervals =
+                static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--all")
+            all = true;
+        else if (arg == "--fig4")
+            fig4 = true;
+        else if (arg == "--demo")
+            demo = true;
+        else if (!arg.empty() && arg[0] != '-' && target.empty())
+            target = arg;
+        else
+            return usage();
+    }
+    if (demo)
+        return runDemo();
+    if (model_path.empty() || (target.empty() && !all && !fig4))
+        return usage();
+
+    const model::PhaseModel m = model::PhaseModel::load(model_path);
+    std::printf("model %s: %zu clusters, %zu PCs (%.1f%% variance), "
+                "trained on %zu benchmarks / %zu suites, analysis key "
+                "%016llx\n",
+                model_path.c_str(), m.numClusters(), m.components(),
+                m.pca_explained * 100.0, m.benchmark_ids.size(),
+                m.suites.size(),
+                static_cast<unsigned long long>(m.analysis_key));
+
+    if (fig4)
+        return runFig4(m);
+    if (all)
+        return runAll(m, num_intervals);
+
+    const workloads::SuiteCatalog catalog;
+    const auto *bench = catalog.find(target);
+    if (bench == nullptr) {
+        std::fprintf(stderr, "unknown benchmark '%s' (ids look like %s)\n",
+                     target.c_str(),
+                     catalog.benchmarks().front().id().c_str());
+        return 1;
+    }
+    std::printf("characterizing %s (%u x %llu-instruction intervals)...\n",
+                bench->id().c_str(), num_intervals,
+                static_cast<unsigned long long>(m.interval_instructions));
+    (void)placeBenchmark(m, *bench, num_intervals, true);
+    return 0;
+}

@@ -13,19 +13,82 @@
  * tracing layer and exports a Chrome trace-event JSON (open it in
  * chrome://tracing or https://ui.perfetto.dev) plus a metrics summary —
  * see docs/OBSERVABILITY.md.
+ *
+ * Model workflow (docs/MODEL.md):
+ *   quickstart --save-model out/phase_model.bin    freeze the mini space
+ *   quickstart --check-model out/phase_model.bin   reload + bitwise check
+ *   quickstart --model out/phase_model.bin         place the toy program
+ *                                                  into the frozen space
+ *                                                  (no PCA/k-means rerun)
  */
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "asm/assembler.hh"
+#include "core/model_export.hh"
 #include "core/pipeline.hh"
 #include "mica/metrics.hh"
 #include "mica/profiler.hh"
+#include "model/phase_model.hh"
 #include "obs/trace.hh"
 #include "vm/cpu.hh"
 
 namespace {
+
+/**
+ * A toy workload with two phases: a memory-streaming loop and an ALU-only
+ * loop, alternating forever.
+ */
+const char *kToySource = R"(
+    .data
+    buf:    .zero 32768
+    .text
+top:
+    ; phase 1: stream through the buffer
+    addi x5, x0, buf
+    addi x6, x0, 2048
+stream:
+    ld   x7, 0(x5)
+    add  x8, x8, x7
+    sd   x8, 8(x5)
+    addi x5, x5, 16
+    addi x6, x6, -1
+    bne  x6, x0, stream
+    ; phase 2: integer arithmetic only
+    addi x6, x0, 4096
+alu:
+    add  x8, x8, x7
+    xor  x7, x7, x8
+    slli x9, x8, 3
+    addi x6, x6, -1
+    bne  x6, x0, alu
+    jal  x0, top
+)";
+
+/**
+ * The mini operating point shared by --trace / --save-model /
+ * --check-model. The latter two must agree exactly: the check compares
+ * the loaded model's analysis key against this config before reprojecting.
+ */
+mica::core::ExperimentConfig
+miniConfig()
+{
+    mica::core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    // Explicit thread count (not 0): even on a single-core host this
+    // routes work through the shared pool. Results are identical for any
+    // value — see docs/PERFORMANCE.md.
+    cfg.threads = 4;
+    return cfg;
+}
 
 /** Traced mini-experiment: every pipeline stage plus the GA in one trace. */
 int
@@ -37,19 +100,8 @@ runTraced(const std::string &trace_path)
     // which runs after runFullExperiment returns, lands in the same trace.
     obs::TraceScope trace(trace_path);
 
-    core::ExperimentConfig cfg;
-    cfg.interval_instructions = 2000;
-    cfg.interval_scale = 0.02;
-    cfg.samples_per_benchmark = 20;
-    cfg.kmeans_k = 24;
-    cfg.kmeans_restarts = 2;
-    cfg.num_prominent = 12;
+    core::ExperimentConfig cfg = miniConfig();
     cfg.cache_dir.clear(); // always run live so the trace has real work
-    // Explicit thread count (not 0): even on a single-core host this
-    // routes work through the shared pool, so the trace demonstrates the
-    // pool.task spans and per-worker metrics. Results are identical for
-    // any value — see docs/PERFORMANCE.md.
-    cfg.threads = 4;
 
     std::printf("running the traced mini-pipeline...\n");
     const auto out = core::runFullExperiment(cfg);
@@ -66,6 +118,125 @@ runTraced(const std::string &trace_path)
     return 0;
 }
 
+/**
+ * Run the mini pipeline and freeze it into a PhaseModel: the pipeline
+ * emits the model itself via config.model_path, then the GA runs and the
+ * model is re-saved with the selected key characteristics embedded.
+ */
+int
+runSaveModel(const std::string &path)
+{
+    using namespace mica;
+
+    core::ExperimentConfig cfg = miniConfig();
+    cfg.model_path = path;
+
+    std::printf("running the mini-pipeline (model -> %s)...\n",
+                path.c_str());
+    const auto out = core::runFullExperiment(cfg);
+    const auto keys = core::selectKeyCharacteristics(out, 4);
+    const model::PhaseModel m = core::buildPhaseModel(out, keys);
+    m.save(path);
+
+    std::printf("saved model: %zu training rows, %zu PCs "
+                "(%.1f%% variance), %zu clusters, %zu key "
+                "characteristics, analysis key %016llx\n",
+                static_cast<std::size_t>(m.training_rows), m.components(),
+                m.pca_explained * 100.0, m.numClusters(),
+                m.key_characteristics.size(),
+                static_cast<unsigned long long>(m.analysis_key));
+    return 0;
+}
+
+/**
+ * The CI hard gate: reload the model, re-run the training pipeline, and
+ * require the reloaded model's projection of the training sample to be
+ * bit-identical to the in-memory analysis. Exit 1 on any deviation.
+ */
+int
+runCheckModel(const std::string &path)
+{
+    using namespace mica;
+
+    const model::PhaseModel m = model::PhaseModel::load(path);
+    const core::ExperimentConfig cfg = miniConfig();
+    if (m.analysis_key != cfg.analysisKey()) {
+        std::fprintf(stderr,
+                     "model check: FAILED — analysis key %016llx does not "
+                     "match this build's mini config (%016llx)\n",
+                     static_cast<unsigned long long>(m.analysis_key),
+                     static_cast<unsigned long long>(cfg.analysisKey()));
+        return 1;
+    }
+
+    const auto out = core::runFullExperiment(cfg);
+    const model::Projection proj = m.projectBenchmark(out.sampled.data);
+
+    const auto &want = out.analysis.reduced;
+    const bool reduced_ok =
+        proj.reduced.rows() == want.rows() &&
+        proj.reduced.cols() == want.cols() &&
+        std::memcmp(proj.reduced.data().data(), want.data().data(),
+                    want.data().size() * sizeof(double)) == 0;
+    const bool assign_ok =
+        proj.assignment == out.analysis.clustering.assignment;
+    if (!reduced_ok || !assign_ok) {
+        std::fprintf(stderr,
+                     "model check: FAILED — reloaded projection deviates "
+                     "(reduced %s, assignments %s)\n",
+                     reduced_ok ? "ok" : "MISMATCH",
+                     assign_ok ? "ok" : "MISMATCH");
+        return 1;
+    }
+    std::printf("model check: bitwise identical (%zu rows x %zu PCs, "
+                "%zu clusters)\n",
+                proj.reduced.rows(), proj.reduced.cols(), m.numClusters());
+    return 0;
+}
+
+/**
+ * Place the toy two-phase program into a frozen space: characterize it at
+ * the model's interval length and project — no PCA or k-means runs.
+ */
+int
+runWithModel(const std::string &path)
+{
+    using namespace mica;
+
+    const model::PhaseModel m = model::PhaseModel::load(path);
+    std::printf("loaded model: %zu clusters, %zu PCs, trained on %zu "
+                "benchmarks\n",
+                m.numClusters(), m.components(), m.benchmark_ids.size());
+
+    const isa::Program program =
+        assembler::assemble(kToySource, "quickstart");
+    vm::Cpu cpu(program);
+    profiler::MicaProfiler profiler(m.interval_instructions);
+    cpu.run(m.interval_instructions * 8, &profiler);
+
+    stats::Matrix data(0, 0);
+    for (const auto &v : profiler.intervals())
+        data.appendRow(v);
+    const model::Projection proj = m.projectBenchmark(data);
+    for (std::size_t i = 0; i < proj.assignment.size(); ++i) {
+        const std::size_t c = proj.assignment[i];
+        std::printf("interval %zu -> cluster %zu (%s, weight %.1f%%, "
+                    "distance %.3f)\n",
+                    i, c, std::string(clusterKindName(m.cluster_kinds[c]))
+                              .c_str(),
+                    m.clusterWeight(c) * 100.0, std::sqrt(proj.dist2[i]));
+    }
+
+    const model::WorkloadAssessment a = m.assessWorkload(proj);
+    std::printf("\ntoy program vs frozen space: %zu/%zu clusters covered, "
+                "%.0f%% shared behaviour, %.0f%% novel, mean distance "
+                "%.3f\n",
+                a.clusters_covered, m.numClusters(),
+                a.shared_fraction * 100.0, a.novel_fraction * 100.0,
+                a.mean_distance);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -75,37 +246,16 @@ main(int argc, char **argv)
 
     if (argc == 3 && std::string(argv[1]) == "--trace")
         return runTraced(argv[2]);
+    if (argc == 3 && std::string(argv[1]) == "--save-model")
+        return runSaveModel(argv[2]);
+    if (argc == 3 && std::string(argv[1]) == "--check-model")
+        return runCheckModel(argv[2]);
+    if (argc == 3 && std::string(argv[1]) == "--model")
+        return runWithModel(argv[2]);
 
-    // A toy workload with two phases: a memory-streaming loop and an
-    // ALU-only loop, alternating forever.
-    const char *source = R"(
-        .data
-        buf:    .zero 32768
-        .text
-    top:
-        ; phase 1: stream through the buffer
-        addi x5, x0, buf
-        addi x6, x0, 2048
-    stream:
-        ld   x7, 0(x5)
-        add  x8, x8, x7
-        sd   x8, 8(x5)
-        addi x5, x5, 16
-        addi x6, x6, -1
-        bne  x6, x0, stream
-        ; phase 2: integer arithmetic only
-        addi x6, x0, 4096
-    alu:
-        add  x8, x8, x7
-        xor  x7, x7, x8
-        slli x9, x8, 3
-        addi x6, x6, -1
-        bne  x6, x0, alu
-        jal  x0, top
-    )";
-
-    // 1. Assemble.
-    const isa::Program program = assembler::assemble(source, "quickstart");
+    // 1. Assemble the toy two-phase workload.
+    const isa::Program program =
+        assembler::assemble(kToySource, "quickstart");
     std::printf("assembled %zu instructions, %zu data bytes\n\n",
                 program.code.size(), program.data.size());
 

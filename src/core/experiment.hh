@@ -69,6 +69,13 @@ struct ExperimentConfig
      * bit-identical.
      */
     std::string trace_path;
+    /**
+     * When non-empty, runFullExperiment freezes the finished analysis
+     * into a model::PhaseModel and serializes it here (atomically; see
+     * docs/MODEL.md). Like trace_path, this is an output knob only: it is
+     * excluded from both cache keys and never affects the numerics.
+     */
+    std::string model_path;
 
     /** Stable hash of the fields that determine the characterization. */
     [[nodiscard]] std::uint64_t characterizationKey() const;

@@ -1,0 +1,105 @@
+#include "core/model_export.hh"
+
+namespace mica::core {
+
+namespace {
+
+model::ClusterKind
+toModelKind(ClusterKind kind)
+{
+    switch (kind) {
+      case ClusterKind::BenchmarkSpecific:
+        return model::ClusterKind::BenchmarkSpecific;
+      case ClusterKind::SuiteSpecific:
+        return model::ClusterKind::SuiteSpecific;
+      case ClusterKind::Mixed:
+        return model::ClusterKind::Mixed;
+    }
+    return model::ClusterKind::Mixed;
+}
+
+} // namespace
+
+model::PhaseModel
+buildPhaseModel(const ExperimentOutputs &outputs)
+{
+    const ExperimentConfig &config = outputs.config;
+    const PhaseAnalysis &analysis = outputs.analysis;
+    const std::size_t k = analysis.clustering.centers.rows();
+
+    model::PhaseModel m;
+    m.analysis_key = config.analysisKey();
+    m.interval_instructions = config.interval_instructions;
+    m.samples_per_benchmark = config.samples_per_benchmark;
+    m.interval_scale = config.interval_scale;
+    m.pca_min_stddev = config.pca_min_stddev;
+    m.seed = config.seed;
+    m.training_rows = outputs.sampled.data.rows();
+
+    m.benchmark_ids = outputs.characterization.benchmark_ids;
+    m.benchmark_suites = outputs.characterization.benchmark_suites;
+    m.suites = outputs.comparison.suites;
+
+    m.normalize_input = analysis.pca.normalizeInput();
+    m.norm_mean = analysis.pca.inputStats().mean;
+    m.norm_stddev = analysis.pca.inputStats().stddev;
+
+    m.pca_explained = analysis.pca_explained;
+    m.eigenvalues = analysis.pca.eigenvalues();
+    m.loadings = analysis.pca.loadings();
+    m.rescale_sd = analysis.pca.scoreStdDevs();
+
+    m.centers = analysis.clustering.centers;
+    m.cluster_sizes.reserve(k);
+    for (std::size_t size : analysis.clustering.sizes)
+        m.cluster_sizes.push_back(size);
+    // ClusterSummaries are weight-sorted; kinds live in cluster-id order.
+    m.cluster_kinds.assign(k, model::ClusterKind::Mixed);
+    for (const ClusterSummary &s : analysis.clusters)
+        m.cluster_kinds[s.cluster] = toModelKind(s.kind);
+
+    // Per-(cluster, suite) training rows, in the comparison's suite order
+    // — the counts behind Figures 4-6, frozen so trainingCoverage() and
+    // assessWorkload() work from the artifact alone.
+    const auto &chars = outputs.characterization;
+    std::vector<std::size_t> suite_of_benchmark(chars.benchmark_ids.size());
+    for (std::size_t b = 0; b < chars.benchmark_suites.size(); ++b)
+        suite_of_benchmark[b] =
+            outputs.comparison.indexOf(chars.benchmark_suites[b]);
+    m.suite_rows.assign(k * m.suites.size(), 0);
+    for (std::size_t row = 0;
+         row < outputs.sampled.benchmark_of_row.size(); ++row) {
+        const std::size_t c = analysis.clustering.assignment[row];
+        const std::size_t s =
+            suite_of_benchmark[outputs.sampled.benchmark_of_row[row]];
+        ++m.suite_rows[c * m.suites.size() + s];
+    }
+
+    m.prominent.reserve(analysis.num_prominent);
+    for (std::size_t i = 0; i < analysis.num_prominent; ++i) {
+        const ClusterSummary &s = analysis.clusters[i];
+        model::ProminentPhase ph;
+        ph.cluster = static_cast<std::uint32_t>(s.cluster);
+        ph.weight = s.weight;
+        ph.representative_row = s.representative_row;
+        m.prominent.push_back(ph);
+    }
+    m.prominent_raw = prominentPhaseMatrix(outputs.sampled, analysis);
+
+    m.validate();
+    return m;
+}
+
+model::PhaseModel
+buildPhaseModel(const ExperimentOutputs &outputs, const ga::GaResult &keys)
+{
+    model::PhaseModel m = buildPhaseModel(outputs);
+    m.key_characteristics.reserve(keys.selected.size());
+    for (std::size_t idx : keys.selected)
+        m.key_characteristics.push_back(static_cast<std::uint32_t>(idx));
+    m.ga_fitness = keys.fitness;
+    m.validate();
+    return m;
+}
+
+} // namespace mica::core

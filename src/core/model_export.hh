@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Bridge from a finished experiment to the frozen model artifact: collects
+ * everything model::PhaseModel needs (normalization stats, PCA basis,
+ * rescale factors, cluster model, per-suite composition, prominent-phase
+ * summaries, optional GA keys) out of ExperimentOutputs. The model library
+ * itself deliberately does not depend on core; this is the one place that
+ * knows both sides.
+ */
+
+#ifndef MICAPHASE_CORE_MODEL_EXPORT_HH
+#define MICAPHASE_CORE_MODEL_EXPORT_HH
+
+#include "core/pipeline.hh"
+#include "model/phase_model.hh"
+
+namespace mica::core {
+
+/**
+ * Freeze a finished experiment into a PhaseModel (GA section left empty).
+ * The model's projection of outputs.sampled.data is bit-identical to
+ * outputs.analysis.reduced and .clustering.assignment — the keystone
+ * guarantee tests/test_model.cc asserts at threads 1/2/4.
+ */
+[[nodiscard]] model::PhaseModel buildPhaseModel(
+    const ExperimentOutputs &outputs);
+
+/** Same, with GA-selected key characteristics embedded. */
+[[nodiscard]] model::PhaseModel buildPhaseModel(
+    const ExperimentOutputs &outputs, const ga::GaResult &keys);
+
+} // namespace mica::core
+
+#endif // MICAPHASE_CORE_MODEL_EXPORT_HH

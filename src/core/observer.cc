@@ -15,6 +15,7 @@ stageName(Stage stage)
       case Stage::KMeans: return "kmeans";
       case Stage::Compare: return "compare";
       case Stage::FeatureSelect: return "ga";
+      case Stage::ModelExport: return "model";
     }
     return "unknown";
 }
@@ -30,6 +31,7 @@ stageSpanName(Stage stage)
       case Stage::KMeans: return "pipeline.kmeans";
       case Stage::Compare: return "pipeline.compare";
       case Stage::FeatureSelect: return "pipeline.ga";
+      case Stage::ModelExport: return "pipeline.model";
     }
     return "pipeline.unknown";
 }

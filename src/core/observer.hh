@@ -44,9 +44,10 @@ enum class Stage : std::uint8_t
     KMeans,        ///< clustering with BIC restarts
     Compare,       ///< suite coverage / diversity / uniqueness
     FeatureSelect, ///< GA key-characteristic selection
+    ModelExport,   ///< freezing + serializing the PhaseModel artifact
 };
 
-inline constexpr std::size_t kNumStages = 7;
+inline constexpr std::size_t kNumStages = 8;
 
 /** Short stable name, e.g. "characterize". */
 [[nodiscard]] std::string_view stageName(Stage stage);

@@ -1,6 +1,7 @@
 #include "core/phase_analysis.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -45,10 +46,10 @@ reduceDimensions(const SampledDataset &sampled,
     pca_opts.min_stddev = config.pca_min_stddev;
     pca_opts.normalize_input = true;
     pca_opts.threads = config.threads;
-    const stats::Pca pca = stats::Pca::fit(sampled.data, pca_opts);
-    out.pca_components = pca.numComponents();
-    out.pca_explained = pca.explainedVarianceFraction();
-    out.reduced = pca.transformRescaled(sampled.data);
+    out.pca = stats::Pca::fit(sampled.data, pca_opts);
+    out.pca_components = out.pca.numComponents();
+    out.pca_explained = out.pca.explainedVarianceFraction();
+    out.reduced = out.pca.transformRescaled(sampled.data);
 }
 
 /** Fill out.clusters / num_prominent from out.reduced + out.clustering. */
@@ -188,22 +189,37 @@ saveClustering(const std::string &path,
     const std::filesystem::path fs_path(path);
     if (fs_path.has_parent_path())
         std::filesystem::create_directories(fs_path.parent_path());
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("saveClustering: cannot write " + path);
-    out.precision(17);
-    out << clustering.centers.rows() << "," << clustering.centers.cols()
-        << "," << clustering.assignment.size() << ","
-        << clustering.inertia << "," << clustering.bic << ","
-        << clustering.iterations << "\n";
-    for (std::size_t c = 0; c < clustering.centers.rows(); ++c) {
-        for (std::size_t d = 0; d < clustering.centers.cols(); ++d)
-            out << (d ? "," : "") << clustering.centers(c, d);
+
+    // Same hardening as saveCharacterization: write a temporary sibling
+    // and rename into place so a crashed writer can never leave a partial
+    // cache entry behind, and close with a row-count footer that
+    // loadClustering verifies — a torn copy loads as a miss.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path);
+        if (!out)
+            throw std::runtime_error("saveClustering: cannot write " +
+                                     tmp_path);
+        out.precision(17);
+        out << clustering.centers.rows() << "," << clustering.centers.cols()
+            << "," << clustering.assignment.size() << ","
+            << clustering.inertia << "," << clustering.bic << ","
+            << clustering.iterations << "\n";
+        for (std::size_t c = 0; c < clustering.centers.rows(); ++c) {
+            for (std::size_t d = 0; d < clustering.centers.cols(); ++d)
+                out << (d ? "," : "") << clustering.centers(c, d);
+            out << "\n";
+        }
+        for (std::size_t i = 0; i < clustering.assignment.size(); ++i)
+            out << (i ? "," : "") << clustering.assignment[i];
         out << "\n";
+        out << "#rows," << clustering.assignment.size() << "\n";
+        out.flush();
+        if (!out)
+            throw std::runtime_error("saveClustering: write failed: " +
+                                     tmp_path);
     }
-    for (std::size_t i = 0; i < clustering.assignment.size(); ++i)
-        out << (i ? "," : "") << clustering.assignment[i];
-    out << "\n";
+    std::filesystem::rename(tmp_path, path);
 }
 
 bool
@@ -256,6 +272,22 @@ loadClustering(const std::string &path, stats::KMeansResult &clustering)
         loaded.assignment.push_back(a);
         ++loaded.sizes[a];
     }
+
+    // Footer: "#rows,<N>" must follow the assignment row and match it, and
+    // nothing may follow the footer — otherwise the file is torn (e.g. a
+    // pre-footer-era cache or an interrupted non-atomic copy) and must be
+    // treated as a miss.
+    if (!std::getline(in, line) || line.rfind("#rows,", 0) != 0)
+        return false;
+    std::size_t footer_rows = 0;
+    const char *first = line.data() + 6;
+    const char *last = line.data() + line.size();
+    const auto [ptr, ec] = std::from_chars(first, last, footer_rows);
+    if (ec != std::errc{} || ptr != last || footer_rows != n)
+        return false;
+    while (std::getline(in, line))
+        if (!line.empty())
+            return false;
     clustering = std::move(loaded);
     return true;
 }

@@ -16,6 +16,7 @@
 #include "core/characterize.hh"
 #include "core/sampling.hh"
 #include "stats/kmeans.hh"
+#include "stats/pca.hh"
 
 namespace mica::core {
 
@@ -51,6 +52,12 @@ struct PhaseAnalysis
 {
     std::size_t pca_components = 0;
     double pca_explained = 0.0;  ///< variance fraction kept by PCA
+    /**
+     * The fitted PCA model itself (normalization stats, loadings, rescale
+     * factors) — what model::PhaseModel freezes so unseen workloads can be
+     * projected into the same space later.
+     */
+    stats::Pca pca;
     stats::Matrix reduced;       ///< sampled rows in rescaled PCA space
     stats::KMeansResult clustering;
     /** All clusters sorted by weight (descending). */
@@ -80,11 +87,16 @@ struct PhaseAnalysis
     const ExperimentConfig &config, stats::KMeansResult clustering,
     PipelineObserver *observer = nullptr);
 
-/** Persist a clustering to CSV (creates parent directories). */
+/**
+ * Persist a clustering to CSV (creates parent directories). Atomic: the
+ * data goes to a `.tmp` sibling that is renamed into place, and ends with
+ * a `#rows,<N>` footer, so a torn or truncated file can never be mistaken
+ * for a complete cache entry.
+ */
 void saveClustering(const std::string &path,
                     const stats::KMeansResult &clustering);
 
-/** Load a clustering; false when missing/malformed. */
+/** Load a clustering; false when missing/malformed/truncated. */
 [[nodiscard]] bool loadClustering(const std::string &path,
                                   stats::KMeansResult &clustering);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/model_export.hh"
 #include "obs/trace.hh"
 #include "stats/summary.hh"
 
@@ -82,6 +83,14 @@ runFullExperiment(const ExperimentConfig &config, PipelineObserver *observer)
         StageScope scope(obs_ptr, Stage::Compare);
         out.comparison =
             compareSuites(out.characterization, out.sampled, out.analysis);
+    }
+
+    // Optionally freeze the finished analysis into the model artifact.
+    // Purely an output step (like tracing): it reads the outputs, never
+    // feeds back into them, and model_path is excluded from cache keys.
+    if (!config.model_path.empty()) {
+        StageScope scope(obs_ptr, Stage::ModelExport);
+        buildPhaseModel(out).save(config.model_path);
     }
     return out;
 }

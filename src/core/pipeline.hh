@@ -42,6 +42,11 @@ void verifyCatalog(const workloads::SuiteCatalog &catalog);
 /**
  * Run verify -> characterize (cached) -> sample -> analyze -> compare.
  *
+ * When config.model_path is non-empty, the finished analysis is
+ * additionally frozen into a model::PhaseModel and saved there (the
+ * ModelExport stage; see docs/MODEL.md). Like tracing, this is an output
+ * step only and never affects the numerics or cache keys.
+ *
  * Every stage reports typed StageEvents to the observer (may be null);
  * when config.trace_path is non-empty the run is additionally wrapped in
  * an obs::TraceScope and a TracingObserver, exporting Chrome trace-event

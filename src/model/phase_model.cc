@@ -1,0 +1,831 @@
+#include "model/phase_model.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "obs/trace.hh"
+#include "stats/distance.hh"
+#include "stats/summary.hh"
+
+namespace mica::model {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'M', 'I', 'C', 'A',
+                                        'P', 'H', 'M', 'D'};
+
+/** Section ids. Append only; never renumber (they are on disk). */
+enum SectionId : std::uint32_t
+{
+    kSecMeta = 1,
+    kSecCatalog = 2,
+    kSecNorm = 3,
+    kSecPca = 4,
+    kSecClusters = 5,
+    kSecProminent = 6,
+    kSecGa = 7,
+};
+
+constexpr std::array<std::uint32_t, 7> kRequiredSections = {
+    kSecMeta, kSecCatalog, kSecNorm, kSecPca,
+    kSecClusters, kSecProminent, kSecGa};
+
+/** CRC32 (poly 0xEDB88320, the zlib polynomial) over a byte range. */
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/**
+ * Little-endian append-only serializer. Explicit byte shuffling (instead
+ * of memcpy of host integers) pins the on-disk layout on any endianness.
+ */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void
+    strVec(const std::vector<std::string> &v)
+    {
+        u64(v.size());
+        for (const auto &s : v)
+            str(s);
+    }
+
+    void
+    f64Vec(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (double x : v)
+            f64(x);
+    }
+
+    void
+    u64Vec(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t x : v)
+            u64(x);
+    }
+
+    void
+    matrix(const stats::Matrix &m)
+    {
+        u64(m.rows());
+        u64(m.cols());
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            for (double x : m.row(r))
+                f64(x);
+    }
+
+    [[nodiscard]] const std::vector<std::uint8_t> &bytes() const
+    {
+        return buf_;
+    }
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian reader over one section's bytes. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size,
+               std::string_view section)
+        : data_(data), size_(size), section_(section)
+    {
+    }
+
+    [[nodiscard]] std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    [[nodiscard]] std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    [[nodiscard]] std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    [[nodiscard]] double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    [[nodiscard]] std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    [[nodiscard]] std::vector<std::string>
+    strVec()
+    {
+        std::vector<std::string> v(checkedCount(5));
+        for (auto &s : v)
+            s = str();
+        return v;
+    }
+
+    [[nodiscard]] std::vector<double>
+    f64Vec()
+    {
+        std::vector<double> v(checkedCount(8));
+        for (auto &x : v)
+            x = f64();
+        return v;
+    }
+
+    [[nodiscard]] std::vector<std::uint64_t>
+    u64Vec()
+    {
+        std::vector<std::uint64_t> v(checkedCount(8));
+        for (auto &x : v)
+            x = u64();
+        return v;
+    }
+
+    [[nodiscard]] stats::Matrix
+    matrix()
+    {
+        const std::uint64_t rows = u64();
+        const std::uint64_t cols = u64();
+        if (cols != 0 && rows > remaining() / (8 * cols))
+            fail("matrix larger than its section");
+        stats::Matrix m(static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(cols));
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            for (double &x : m.row(r))
+                x = f64();
+        return m;
+    }
+
+    /** Every section must be consumed exactly — trailing bytes = junk. */
+    void
+    finish() const
+    {
+        if (pos_ != size_)
+            fail("trailing bytes");
+    }
+
+  private:
+    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+    /** Read an element count and pre-check it fits the section. */
+    [[nodiscard]] std::size_t
+    checkedCount(std::size_t min_elem_size)
+    {
+        const std::uint64_t n = u64();
+        if (n > remaining() / min_elem_size)
+            fail("count larger than its section");
+        return static_cast<std::size_t>(n);
+    }
+
+    void
+    need(std::size_t n) const
+    {
+        if (n > remaining())
+            fail("truncated");
+    }
+
+    [[noreturn]] void
+    fail(std::string_view what) const
+    {
+        throw ModelError("PhaseModel: corrupt " + std::string(section_) +
+                         " section (" + std::string(what) + ")");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::string_view section_;
+};
+
+struct SectionEntry
+{
+    std::uint32_t id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+};
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4;  ///< magic + version + count
+constexpr std::size_t kTableEntrySize = 4 + 4 + 8 + 8 + 4 + 4;
+
+} // namespace
+
+std::string_view
+clusterKindName(ClusterKind kind)
+{
+    switch (kind) {
+      case ClusterKind::BenchmarkSpecific: return "benchmark-specific";
+      case ClusterKind::SuiteSpecific: return "suite-specific";
+      case ClusterKind::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+std::size_t
+WorkloadAssessment::clustersToCover(double fraction) const
+{
+    for (std::size_t i = 0; i < cumulative.size(); ++i)
+        if (cumulative[i] >= fraction)
+            return i + 1;
+    return cumulative.size();
+}
+
+double
+PhaseModel::clusterWeight(std::size_t c) const
+{
+    if (training_rows == 0)
+        return 0.0;
+    return static_cast<double>(cluster_sizes[c]) /
+           static_cast<double>(training_rows);
+}
+
+void
+PhaseModel::validate() const
+{
+    auto require = [](bool ok, std::string_view what) {
+        if (!ok)
+            throw ModelError("PhaseModel: invalid model (" +
+                             std::string(what) + ")");
+    };
+    const std::size_t p = columns();
+    const std::size_t m = components();
+    const std::size_t k = numClusters();
+
+    require(p > 0, "no input columns");
+    require(norm_stddev.size() == p, "norm mean/sd size mismatch");
+    require(m > 0, "no retained components");
+    require(loadings.rows() == p && loadings.cols() == m,
+            "loadings shape mismatch");
+    require(eigenvalues.size() >= m, "fewer eigenvalues than components");
+    require(k > 0, "no clusters");
+    require(centers.cols() == m, "centers/components mismatch");
+    require(cluster_sizes.size() == k, "cluster_sizes size mismatch");
+    require(cluster_kinds.size() == k, "cluster_kinds size mismatch");
+    for (ClusterKind kind : cluster_kinds)
+        require(static_cast<std::uint8_t>(kind) <= 2, "bad cluster kind");
+    require(benchmark_suites.size() == benchmark_ids.size(),
+            "benchmark ids/suites mismatch");
+    require(suite_rows.size() == k * suites.size(),
+            "suite_rows shape mismatch");
+    require(prominent.size() <= k, "more prominent phases than clusters");
+    require(prominent_raw.rows() == prominent.size(),
+            "prominent_raw row mismatch");
+    require(prominent.empty() || prominent_raw.cols() == p,
+            "prominent_raw column mismatch");
+    for (const ProminentPhase &ph : prominent) {
+        require(ph.cluster < k, "prominent cluster out of range");
+        require(ph.representative_row < training_rows,
+                "prominent representative out of range");
+    }
+    for (std::uint32_t idx : key_characteristics)
+        require(idx < p, "key characteristic out of range");
+    std::uint64_t total = 0;
+    for (std::uint64_t s : cluster_sizes)
+        total += s;
+    require(total == training_rows, "cluster sizes do not sum to rows");
+}
+
+void
+PhaseModel::save(const std::string &path) const
+{
+    const obs::Span span("model.save", "model");
+    validate();
+
+    // Serialize every section payload first; the header/table layout
+    // falls out of the payload sizes.
+    std::vector<std::pair<std::uint32_t, ByteWriter>> sections;
+
+    {
+        ByteWriter &w = sections.emplace_back(kSecMeta, ByteWriter{}).second;
+        w.u64(analysis_key);
+        w.u64(interval_instructions);
+        w.u32(samples_per_benchmark);
+        w.f64(interval_scale);
+        w.f64(pca_min_stddev);
+        w.u64(seed);
+        w.u64(training_rows);
+    }
+    {
+        ByteWriter &w =
+            sections.emplace_back(kSecCatalog, ByteWriter{}).second;
+        w.strVec(benchmark_ids);
+        w.strVec(benchmark_suites);
+        w.strVec(suites);
+    }
+    {
+        ByteWriter &w = sections.emplace_back(kSecNorm, ByteWriter{}).second;
+        w.u8(normalize_input ? 1 : 0);
+        w.f64Vec(norm_mean);
+        w.f64Vec(norm_stddev);
+    }
+    {
+        ByteWriter &w = sections.emplace_back(kSecPca, ByteWriter{}).second;
+        w.f64(pca_explained);
+        w.f64Vec(eigenvalues);
+        w.matrix(loadings);
+        w.f64Vec(rescale_sd);
+    }
+    {
+        ByteWriter &w =
+            sections.emplace_back(kSecClusters, ByteWriter{}).second;
+        w.matrix(centers);
+        w.u64Vec(cluster_sizes);
+        w.u64(cluster_kinds.size());
+        for (ClusterKind kind : cluster_kinds)
+            w.u8(static_cast<std::uint8_t>(kind));
+        w.u64(suites.size());
+        w.u64Vec(suite_rows);
+    }
+    {
+        ByteWriter &w =
+            sections.emplace_back(kSecProminent, ByteWriter{}).second;
+        w.u64(prominent.size());
+        for (const ProminentPhase &ph : prominent) {
+            w.u32(ph.cluster);
+            w.f64(ph.weight);
+            w.u64(ph.representative_row);
+        }
+        w.matrix(prominent_raw);
+    }
+    {
+        ByteWriter &w = sections.emplace_back(kSecGa, ByteWriter{}).second;
+        w.u64(key_characteristics.size());
+        for (std::uint32_t idx : key_characteristics)
+            w.u32(idx);
+        w.f64(ga_fitness);
+    }
+
+    ByteWriter file;
+    for (char c : kMagic)
+        file.u8(static_cast<std::uint8_t>(c));
+    file.u32(kFormatVersion);
+    file.u32(static_cast<std::uint32_t>(sections.size()));
+    std::uint64_t offset =
+        kHeaderSize + sections.size() * kTableEntrySize;
+    for (const auto &[id, payload] : sections) {
+        file.u32(id);
+        file.u32(0); // reserved
+        file.u64(offset);
+        file.u64(payload.size());
+        file.u32(crc32(payload.bytes().data(), payload.size()));
+        file.u32(0); // reserved
+        offset += payload.size();
+    }
+    ByteWriter blob = std::move(file);
+    for (const auto &[id, payload] : sections)
+        for (std::uint8_t b : payload.bytes())
+            blob.u8(b);
+
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    // Atomic publish: a crashed writer or concurrent reader can only ever
+    // see the previous complete file or the new complete file.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw ModelError("PhaseModel::save: cannot write " + tmp_path);
+        out.write(reinterpret_cast<const char *>(blob.bytes().data()),
+                  static_cast<std::streamsize>(blob.size()));
+        out.flush();
+        if (!out)
+            throw ModelError("PhaseModel::save: write failed: " + tmp_path);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec)
+        throw ModelError("PhaseModel::save: rename failed: " +
+                         ec.message());
+    obs::count("model.save_bytes", static_cast<double>(blob.size()));
+}
+
+PhaseModel
+PhaseModel::load(const std::string &path)
+{
+    const obs::Span span("model.load", "model");
+
+    std::vector<std::uint8_t> bytes;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (!in)
+            throw ModelError("PhaseModel::load: cannot open " + path);
+        const std::streamsize size = in.tellg();
+        in.seekg(0);
+        bytes.resize(static_cast<std::size_t>(size));
+        if (size > 0)
+            in.read(reinterpret_cast<char *>(bytes.data()), size);
+        if (!in)
+            throw ModelError("PhaseModel::load: read failed: " + path);
+    }
+
+    if (bytes.size() < kHeaderSize)
+        throw ModelError("PhaseModel::load: " + path +
+                         ": truncated header");
+    if (std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0)
+        throw ModelError("PhaseModel::load: " + path +
+                         ": bad magic (not a phase-model file)");
+    ByteReader header(bytes.data() + kMagic.size(),
+                      bytes.size() - kMagic.size(), "header");
+    const std::uint32_t version = header.u32();
+    if (version == 0 || version > kFormatVersion)
+        throw ModelError(
+            "PhaseModel::load: " + path + ": format version " +
+            std::to_string(version) + " unsupported (this build reads <= " +
+            std::to_string(kFormatVersion) + ")");
+    const std::uint32_t section_count = header.u32();
+    const std::size_t table_bytes =
+        static_cast<std::size_t>(section_count) * kTableEntrySize;
+    if (bytes.size() < kHeaderSize + table_bytes)
+        throw ModelError("PhaseModel::load: " + path +
+                         ": truncated section table");
+
+    std::vector<SectionEntry> table(section_count);
+    {
+        ByteReader tr(bytes.data() + kHeaderSize, table_bytes,
+                      "section table");
+        for (SectionEntry &e : table) {
+            e.id = tr.u32();
+            (void)tr.u32();
+            e.offset = tr.u64();
+            e.size = tr.u64();
+            e.crc = tr.u32();
+            (void)tr.u32();
+        }
+    }
+
+    // Verify bounds + checksums of every section before parsing any.
+    auto find = [&](std::uint32_t id) -> const SectionEntry & {
+        const SectionEntry *found = nullptr;
+        for (const SectionEntry &e : table) {
+            if (e.id != id)
+                continue;
+            if (found != nullptr)
+                throw ModelError("PhaseModel::load: " + path +
+                                 ": duplicate section " +
+                                 std::to_string(id));
+            found = &e;
+        }
+        if (found == nullptr)
+            throw ModelError("PhaseModel::load: " + path +
+                             ": missing section " + std::to_string(id));
+        return *found;
+    };
+    for (std::uint32_t id : kRequiredSections) {
+        const SectionEntry &e = find(id);
+        if (e.offset > bytes.size() || e.size > bytes.size() - e.offset)
+            throw ModelError("PhaseModel::load: " + path + ": section " +
+                             std::to_string(id) + " out of bounds");
+        if (crc32(bytes.data() + e.offset,
+                  static_cast<std::size_t>(e.size)) != e.crc)
+            throw ModelError("PhaseModel::load: " + path + ": section " +
+                             std::to_string(id) + " checksum mismatch");
+    }
+
+    auto reader = [&](std::uint32_t id, std::string_view name) {
+        const SectionEntry &e = find(id);
+        return ByteReader(bytes.data() + e.offset,
+                          static_cast<std::size_t>(e.size), name);
+    };
+
+    PhaseModel model;
+    {
+        ByteReader r = reader(kSecMeta, "META");
+        model.analysis_key = r.u64();
+        model.interval_instructions = r.u64();
+        model.samples_per_benchmark = r.u32();
+        model.interval_scale = r.f64();
+        model.pca_min_stddev = r.f64();
+        model.seed = r.u64();
+        model.training_rows = r.u64();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecCatalog, "CATALOG");
+        model.benchmark_ids = r.strVec();
+        model.benchmark_suites = r.strVec();
+        model.suites = r.strVec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecNorm, "NORM");
+        model.normalize_input = r.u8() != 0;
+        model.norm_mean = r.f64Vec();
+        model.norm_stddev = r.f64Vec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecPca, "PCA");
+        model.pca_explained = r.f64();
+        model.eigenvalues = r.f64Vec();
+        model.loadings = r.matrix();
+        model.rescale_sd = r.f64Vec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecClusters, "CLUSTERS");
+        model.centers = r.matrix();
+        model.cluster_sizes = r.u64Vec();
+        const std::uint64_t kinds = r.u64();
+        model.cluster_kinds.reserve(static_cast<std::size_t>(kinds));
+        for (std::uint64_t i = 0; i < kinds; ++i)
+            model.cluster_kinds.push_back(
+                static_cast<ClusterKind>(r.u8()));
+        const std::uint64_t num_suites = r.u64();
+        if (num_suites != model.suites.size())
+            throw ModelError("PhaseModel::load: " + path +
+                             ": CLUSTERS/CATALOG suite count mismatch");
+        model.suite_rows = r.u64Vec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecProminent, "PROMINENT");
+        const std::uint64_t count = r.u64();
+        model.prominent.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            ProminentPhase ph;
+            ph.cluster = r.u32();
+            ph.weight = r.f64();
+            ph.representative_row = r.u64();
+            model.prominent.push_back(ph);
+        }
+        model.prominent_raw = r.matrix();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecGa, "GA");
+        const std::uint64_t count = r.u64();
+        model.key_characteristics.reserve(
+            static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i)
+            model.key_characteristics.push_back(r.u32());
+        model.ga_fitness = r.f64();
+        r.finish();
+    }
+
+    try {
+        model.validate();
+    } catch (const ModelError &e) {
+        throw ModelError("PhaseModel::load: " + path + ": " + e.what());
+    }
+    obs::count("model.load_bytes", static_cast<double>(bytes.size()));
+    return model;
+}
+
+Projection
+PhaseModel::projectBenchmark(const stats::Matrix &rows) const
+{
+    const obs::Span span("model.project", "model");
+    if (rows.cols() != columns())
+        throw ModelError(
+            "PhaseModel::projectBenchmark: input has " +
+            std::to_string(rows.cols()) + " columns, model expects " +
+            std::to_string(columns()));
+
+    // Replay the training-time chain with the training-time code:
+    // stats::normalizeColumns -> Matrix::multiply -> sd-guarded rescale is
+    // exactly Pca::transformRescaled, so the output is bit-identical to
+    // what analyzePhases produced for these rows.
+    Projection out;
+    if (normalize_input) {
+        stats::ColumnStats cs;
+        cs.mean = norm_mean;
+        cs.stddev = norm_stddev;
+        const stats::Matrix prepared = stats::normalizeColumns(rows, cs);
+        out.reduced = prepared.multiply(loadings);
+    } else {
+        out.reduced = rows.multiply(loadings);
+    }
+    for (std::size_t r = 0; r < out.reduced.rows(); ++r) {
+        auto row = out.reduced.row(r);
+        for (std::size_t c = 0; c < out.reduced.cols(); ++c) {
+            const double sd = rescale_sd[c];
+            row[c] = sd > 1e-12 ? row[c] / sd : 0.0;
+        }
+    }
+
+    // Nearest-center assignment with the exact Lloyd kernel (lowest index
+    // wins ties). Because a converged Lloyd exit leaves the stored centers
+    // a fixed point of the final assignment, this reproduces the training
+    // assignment bitwise when fed the training sample.
+    out.assignment.reserve(out.reduced.rows());
+    out.dist2.reserve(out.reduced.rows());
+    for (std::size_t r = 0; r < out.reduced.rows(); ++r) {
+        const stats::NearestCenter nearest =
+            stats::nearestCenter(out.reduced.row(r), centers);
+        out.assignment.push_back(nearest.index);
+        out.dist2.push_back(nearest.dist2);
+    }
+    obs::count("model.rows_projected",
+               static_cast<double>(out.reduced.rows()));
+    return out;
+}
+
+PhaseModel::IntervalPlacement
+PhaseModel::projectInterval(std::span<const double> values) const
+{
+    stats::Matrix one(0, 0);
+    one.appendRow(values);
+    // Share the batch path so a single interval and a row of a batch are
+    // placed identically by construction.
+    const Projection projection = projectBenchmark(one);
+    IntervalPlacement out;
+    const auto row = projection.reduced.row(0);
+    out.reduced.assign(row.begin(), row.end());
+    const stats::NearestCenter nearest =
+        stats::nearestCenter(row, centers);
+    out.cluster = nearest.index;
+    out.dist2 = nearest.dist2;
+    out.second_dist2 = nearest.second_dist2;
+    return out;
+}
+
+WorkloadAssessment
+PhaseModel::assessWorkload(const Projection &projection) const
+{
+    const std::size_t k = numClusters();
+    const std::size_t n = projection.assignment.size();
+    WorkloadAssessment out;
+    out.rows = n;
+    out.exclusive_fraction.assign(suites.size(), 0.0);
+    if (n == 0)
+        return out;
+
+    std::vector<std::size_t> rows_in_cluster(k, 0);
+    for (std::size_t c : projection.assignment)
+        ++rows_in_cluster[c];
+
+    // Figure 4 analogue: how much of the frozen space the workload touches.
+    for (std::size_t c = 0; c < k; ++c)
+        if (rows_in_cluster[c] > 0)
+            ++out.clusters_covered;
+    out.coverage_fraction = static_cast<double>(out.clusters_covered) /
+                            static_cast<double>(k);
+
+    // Figure 5 analogue: cumulative share of the workload's own rows.
+    std::vector<double> shares;
+    shares.reserve(k);
+    for (std::size_t c = 0; c < k; ++c)
+        shares.push_back(static_cast<double>(rows_in_cluster[c]) /
+                         static_cast<double>(n));
+    std::sort(shares.begin(), shares.end(), std::greater<>());
+    double acc = 0.0;
+    out.cumulative.reserve(k);
+    for (double share : shares) {
+        acc += share;
+        out.cumulative.push_back(std::min(acc, 1.0));
+    }
+
+    // Figure 6 analogue, against the *training* composition: a cluster
+    // populated by exactly one training suite attributes the workload's
+    // rows there to that suite; several suites = shared behaviour; no
+    // training rows at all = behaviour novel to this workload.
+    for (std::size_t c = 0; c < k; ++c) {
+        if (rows_in_cluster[c] == 0)
+            continue;
+        std::size_t populated = 0;
+        std::size_t owner = 0;
+        for (std::size_t s = 0; s < suites.size(); ++s) {
+            if (suiteRows(c, s) > 0) {
+                ++populated;
+                owner = s;
+            }
+        }
+        const double frac = static_cast<double>(rows_in_cluster[c]) /
+                            static_cast<double>(n);
+        if (populated == 0)
+            out.novel_fraction += frac;
+        else if (populated == 1)
+            out.exclusive_fraction[owner] += frac;
+        else
+            out.shared_fraction += frac;
+    }
+
+    double total = 0.0;
+    for (double d2 : projection.dist2) {
+        const double d = std::sqrt(d2);
+        total += d;
+        out.max_distance = std::max(out.max_distance, d);
+    }
+    out.mean_distance = total / static_cast<double>(n);
+    return out;
+}
+
+TrainingCoverage
+PhaseModel::trainingCoverage() const
+{
+    const std::size_t k = numClusters();
+    const std::size_t num_suites = suites.size();
+    TrainingCoverage out;
+    out.suites = suites;
+    out.coverage.assign(num_suites, 0);
+    out.uniqueness.assign(num_suites, 0.0);
+
+    std::vector<std::uint64_t> total_rows(num_suites, 0);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t s = 0; s < num_suites; ++s)
+            total_rows[s] += suiteRows(c, s);
+
+    for (std::size_t c = 0; c < k; ++c) {
+        std::size_t populated = 0;
+        std::size_t owner = 0;
+        for (std::size_t s = 0; s < num_suites; ++s) {
+            if (suiteRows(c, s) > 0) {
+                ++populated;
+                ++out.coverage[s];
+                owner = s;
+            }
+        }
+        if (populated == 1)
+            out.uniqueness[owner] +=
+                static_cast<double>(suiteRows(c, owner));
+    }
+    for (std::size_t s = 0; s < num_suites; ++s)
+        if (total_rows[s] > 0)
+            out.uniqueness[s] /= static_cast<double>(total_rows[s]);
+    return out;
+}
+
+} // namespace mica::model

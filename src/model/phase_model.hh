@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Frozen phase-model store: everything needed to reproduce the rescaled-PCA
+ * space and cluster assignments of a finished experiment, serialized to a
+ * single versioned, checksummed binary file — plus the incremental query
+ * API that places *unseen* workloads into the frozen space without
+ * re-running PCA or k-means (the paper's §5 "where does a new benchmark
+ * fall?" question, answered from an artifact instead of a full pipeline).
+ *
+ * Determinism contract: `projectBenchmark` replays the exact training-time
+ * arithmetic — stats::normalizeColumns with the frozen per-column mean/sd,
+ * stats::Matrix::multiply against the frozen loadings, the same sd-guarded
+ * rescale, and stats::nearestCenter (lowest index wins ties) against the
+ * frozen centers — so projecting the training sample through a
+ * saved-then-reloaded model is bit-identical to the in-memory
+ * analyzePhases reduced matrix and assignments, at any thread count.
+ *
+ * File format (see docs/MODEL.md): 8-byte magic, u32 format version, a
+ * section table with per-section CRC32, little-endian fixed-width fields
+ * throughout, doubles as IEEE-754 bit patterns. Writes go to a `.tmp`
+ * sibling and rename into place; any truncation, bit flip, wrong magic or
+ * future version raises ModelError — a load never yields partial data.
+ *
+ * This library sits below core on purpose: it depends only on stats + obs,
+ * so a query service can link the model + a characterizer without pulling
+ * in the experiment pipeline.
+ */
+
+#ifndef MICAPHASE_MODEL_PHASE_MODEL_HH
+#define MICAPHASE_MODEL_PHASE_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace mica::model {
+
+/** Raised on any save/load/validate failure. Loads never return junk. */
+class ModelError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Serialized format version this build writes (and the newest it reads). */
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/**
+ * Cluster composition class, mirroring core::ClusterKind but owned here so
+ * the model library does not depend on core. Values are the on-disk
+ * encoding — append only.
+ */
+enum class ClusterKind : std::uint8_t
+{
+    BenchmarkSpecific = 0, ///< all training members from one benchmark
+    SuiteSpecific = 1,     ///< one suite, multiple benchmarks
+    Mixed = 2,             ///< multiple suites
+};
+
+/** Printable name for a cluster kind. */
+[[nodiscard]] std::string_view clusterKindName(ClusterKind kind);
+
+/** One prominent phase (heaviest clusters first in PhaseModel::prominent). */
+struct ProminentPhase
+{
+    std::uint32_t cluster = 0;            ///< cluster id (row in centers)
+    double weight = 0.0;                  ///< fraction of training rows
+    std::uint64_t representative_row = 0; ///< row in the training sample
+};
+
+/** Result of projecting a batch of characterized intervals. */
+struct Projection
+{
+    stats::Matrix reduced; ///< rows in the frozen rescaled PCA space
+    std::vector<std::size_t> assignment; ///< nearest frozen cluster per row
+    std::vector<double> dist2;           ///< exact d² to the assigned center
+};
+
+/**
+ * Coverage/uniqueness of a projected workload against the frozen space, in
+ * core::SuiteComparison terms (Figures 4-6 of the paper, but for a single
+ * new workload placed into an existing model).
+ */
+struct WorkloadAssessment
+{
+    std::size_t rows = 0;             ///< projected intervals
+    std::size_t clusters_covered = 0; ///< Fig 4: clusters with >= 1 row
+    double coverage_fraction = 0.0;   ///< clusters_covered / k
+    /**
+     * Fig 5 analogue: cumulative fraction of the workload's rows covered
+     * by its own heaviest 1..k clusters (sorted by this workload's share).
+     */
+    std::vector<double> cumulative;
+    /**
+     * Per training suite (parallel to PhaseModel::suites): fraction of the
+     * workload's rows landing in clusters whose *training* members all
+     * belong to that one suite — "this workload mostly behaves like X".
+     */
+    std::vector<double> exclusive_fraction;
+    /** Fraction of rows in clusters shared by several training suites. */
+    double shared_fraction = 0.0;
+    /** Fraction of rows in clusters no training row ever populated. */
+    double novel_fraction = 0.0;
+    double mean_distance = 0.0; ///< mean Euclidean d to assigned centers
+    double max_distance = 0.0;  ///< worst-placed interval
+
+    /** Clusters needed to reach the given cumulative coverage. */
+    [[nodiscard]] std::size_t clustersToCover(double fraction) const;
+};
+
+/** Training-set Figure 4/6 numbers recomputed from the model alone. */
+struct TrainingCoverage
+{
+    std::vector<std::string> suites;   ///< same order as PhaseModel::suites
+    std::vector<std::size_t> coverage; ///< Fig 4 per suite
+    std::vector<double> uniqueness;    ///< Fig 6 per suite
+};
+
+/**
+ * The frozen model. Plain aggregate: builders (core::buildPhaseModel, the
+ * examples) fill the fields directly; validate() enforces shape coherence
+ * and runs on every save and load.
+ */
+struct PhaseModel
+{
+    // --- META: provenance + the knobs a querier needs to characterize
+    //     compatible input for projectBenchmark.
+    std::uint64_t analysis_key = 0; ///< ExperimentConfig::analysisKey()
+    std::uint64_t interval_instructions = 0;
+    std::uint32_t samples_per_benchmark = 0;
+    double interval_scale = 1.0;
+    double pca_min_stddev = 1.0;
+    std::uint64_t seed = 0;
+    std::uint64_t training_rows = 0;
+
+    // --- CATALOG: what the space was trained on.
+    std::vector<std::string> benchmark_ids;
+    std::vector<std::string> benchmark_suites; ///< parallel to ids
+    std::vector<std::string> suites; ///< comparison order (canonical first)
+
+    // --- NORM: per-column z-score statistics of the training sample.
+    bool normalize_input = true;
+    std::vector<double> norm_mean;
+    std::vector<double> norm_stddev;
+
+    // --- PCA: retained basis + rescale factors.
+    double pca_explained = 0.0;
+    std::vector<double> eigenvalues; ///< all of them, descending
+    stats::Matrix loadings;          ///< p x m retained eigenvectors
+    std::vector<double> rescale_sd;  ///< training score sd per component
+
+    // --- CLUSTERS: the frozen k-means model.
+    stats::Matrix centers; ///< k x m, in rescaled PCA space
+    std::vector<std::uint64_t> cluster_sizes;
+    std::vector<ClusterKind> cluster_kinds;
+    /** Training rows per (cluster, suite), row-major k x suites.size(). */
+    std::vector<std::uint64_t> suite_rows;
+
+    // --- PROMINENT: heaviest clusters + their raw representatives.
+    std::vector<ProminentPhase> prominent;
+    stats::Matrix prominent_raw; ///< num_prominent x p raw characteristics
+
+    // --- GA: key characteristics (empty = selection was not run).
+    std::vector<std::uint32_t> key_characteristics;
+    double ga_fitness = 0.0;
+
+    /** Input dimensionality p (69 for the full characterization). */
+    [[nodiscard]] std::size_t columns() const { return norm_mean.size(); }
+
+    /** Retained PCA components m. */
+    [[nodiscard]] std::size_t components() const
+    {
+        return rescale_sd.size();
+    }
+
+    /** Cluster count k. */
+    [[nodiscard]] std::size_t numClusters() const { return centers.rows(); }
+
+    /** Fraction of training rows in cluster c. */
+    [[nodiscard]] double clusterWeight(std::size_t c) const;
+
+    /** Training rows of suite s inside cluster c. */
+    [[nodiscard]] std::uint64_t
+    suiteRows(std::size_t c, std::size_t s) const
+    {
+        return suite_rows[c * suites.size() + s];
+    }
+
+    /** Check internal shape coherence; throws ModelError on violation. */
+    void validate() const;
+
+    /**
+     * Serialize to `path` atomically (`.tmp` sibling + rename; parent
+     * directories are created). Emits the `model.save` span and the
+     * `model.save_bytes` counter. Throws ModelError on I/O failure.
+     */
+    void save(const std::string &path) const;
+
+    /**
+     * Deserialize, verifying magic, version, section bounds and per-
+     * section CRC32 before touching any payload, then validate().
+     * Emits `model.load` / `model.load_bytes`. Throws ModelError with a
+     * specific message on any corruption; never returns partial data.
+     */
+    [[nodiscard]] static PhaseModel load(const std::string &path);
+
+    /**
+     * Map freshly characterized p-column rows through the frozen
+     * normalize -> PCA -> rescale chain and assign each to its nearest
+     * frozen center (stats::nearestCenter, lowest index wins ties).
+     * Bit-identical to the training-time analyzePhases arithmetic; emits
+     * `model.project` / `model.rows_projected`.
+     */
+    [[nodiscard]] Projection projectBenchmark(const stats::Matrix &rows)
+        const;
+
+    /** Placement of a single interval's characteristic vector. */
+    struct IntervalPlacement
+    {
+        std::vector<double> reduced; ///< coordinates in the frozen space
+        std::size_t cluster = 0;     ///< assigned frozen cluster
+        double dist2 = 0.0;          ///< exact d² to it
+        double second_dist2 = 0.0;   ///< d² to the runner-up center
+    };
+
+    /**
+     * Project one p-element characteristic vector. Same arithmetic as a
+     * one-row projectBenchmark (asserted by tests).
+     */
+    [[nodiscard]] IntervalPlacement
+    projectInterval(std::span<const double> values) const;
+
+    /** Coverage/uniqueness summary of a projected workload (see above). */
+    [[nodiscard]] WorkloadAssessment
+    assessWorkload(const Projection &projection) const;
+
+    /** Figure 4/6 training numbers, recomputed from suite_rows alone. */
+    [[nodiscard]] TrainingCoverage trainingCoverage() const;
+};
+
+} // namespace mica::model
+
+#endif // MICAPHASE_MODEL_PHASE_MODEL_HH

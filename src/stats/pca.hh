@@ -81,9 +81,33 @@ class Pca
     /** Loadings: columns are the retained eigenvectors (p x m). */
     [[nodiscard]] const Matrix &loadings() const { return loadings_; }
 
-  private:
+    /** Per-column mean/sd of the training data (transform's normalizer). */
+    [[nodiscard]] const ColumnStats &inputStats() const
+    {
+        return input_stats_;
+    }
+
+    /** Whether transform() z-scores its input first. */
+    [[nodiscard]] bool normalizeInput() const { return normalize_input_; }
+
+    /**
+     * Training score standard deviation per retained component — the
+     * divisors transformRescaled applies (components with sd <= 1e-12
+     * rescale to exactly 0).
+     */
+    [[nodiscard]] const std::vector<double> &scoreStdDevs() const
+    {
+        return score_sd_;
+    }
+
+    /**
+     * An empty placeholder model (no components); fit() is the only way
+     * to obtain a usable one. Public so structs holding a fitted Pca
+     * (e.g. core::PhaseAnalysis) stay default-constructible.
+     */
     Pca() = default;
 
+  private:
     ColumnStats input_stats_;
     bool normalize_input_ = true;
     std::vector<double> eigenvalues_;

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/phase_analysis.hh"
 #include "stats/rng.hh"
@@ -57,6 +60,75 @@ TEST(ClusteringCache, LoadRejectsTruncatedFile)
     {
         std::FILE *f = std::fopen(path.c_str(), "w");
         std::fputs("2,2,5,1.0,2.0,3\n0.0,0.0\n", f); // missing rows
+        std::fclose(f);
+    }
+    KMeansResult out;
+    EXPECT_FALSE(core::loadClustering(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(ClusteringCache, SaveIsAtomicAndFooterTerminated)
+{
+    const std::string path = "/tmp/micaphase_clustering_atomic.csv";
+    core::saveClustering(path, sampleClustering());
+
+    // No temporary sibling may survive a successful save.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    // The last non-empty line must be the verified row-count footer.
+    std::ifstream in(path);
+    std::string line, last;
+    while (std::getline(in, line))
+        if (!line.empty())
+            last = line;
+    EXPECT_EQ(last, "#rows,5");
+    std::remove(path.c_str());
+}
+
+TEST(ClusteringCache, LoadRejectsTornFileWithoutFooter)
+{
+    // A byte-torn copy of a valid file — complete header, centers and
+    // assignment row, but the footer never made it — must be a miss, not
+    // partial clusters (this is the pre-footer on-disk format too).
+    const std::string good = "/tmp/micaphase_clustering_full.csv";
+    const std::string torn = "/tmp/micaphase_clustering_torn.csv";
+    core::saveClustering(good, sampleClustering());
+    {
+        std::ifstream in(good);
+        std::ostringstream all;
+        all << in.rdbuf();
+        const std::string text = all.str();
+        const std::size_t footer = text.rfind("#rows,");
+        ASSERT_NE(footer, std::string::npos);
+        std::ofstream out(torn);
+        out << text.substr(0, footer);
+    }
+    KMeansResult out;
+    EXPECT_FALSE(core::loadClustering(torn, out));
+    std::remove(good.c_str());
+    std::remove(torn.c_str());
+}
+
+TEST(ClusteringCache, LoadRejectsFooterRowMismatch)
+{
+    const std::string path = "/tmp/micaphase_clustering_badfooter.csv";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("2,1,3,1.0,2.0,3\n0.0\n1.0\n0,1,1\n#rows,4\n", f);
+        std::fclose(f);
+    }
+    KMeansResult out;
+    EXPECT_FALSE(core::loadClustering(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(ClusteringCache, LoadRejectsTrailingJunkAfterFooter)
+{
+    const std::string path = "/tmp/micaphase_clustering_junk.csv";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("2,1,3,1.0,2.0,3\n0.0\n1.0\n0,1,1\n#rows,3\n0,0,0\n",
+                   f);
         std::fclose(f);
     }
     KMeansResult out;

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Tests for the frozen phase-model store (src/model): binary format
+ * round-trips and corruption rejection, the golden cross-platform layout
+ * fixture, the incremental query API, and the keystone guarantee —
+ * projecting the training catalog through a saved-then-reloaded model is
+ * bit-identical to the in-memory analyzePhases results at threads 1/2/4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/model_export.hh"
+#include "core/pipeline.hh"
+#include "model/phase_model.hh"
+
+namespace {
+
+using namespace mica;
+using model::ClusterKind;
+using model::ModelError;
+using model::PhaseModel;
+
+/**
+ * A small fully hand-specified model. This is also the content of the
+ * golden fixture tests/data/golden_phase_model_v1.bin — change either and
+ * the layout-guard tests below will tell you.
+ */
+PhaseModel
+tinyModel()
+{
+    PhaseModel m;
+    m.analysis_key = 0x0123456789abcdefULL;
+    m.interval_instructions = 2000;
+    m.samples_per_benchmark = 4;
+    m.interval_scale = 0.5;
+    m.pca_min_stddev = 1.0;
+    m.seed = 42;
+    m.training_rows = 6;
+    m.benchmark_ids = {"SuiteA/one", "SuiteB/two"};
+    m.benchmark_suites = {"SuiteA", "SuiteB"};
+    m.suites = {"SuiteA", "SuiteB"};
+    m.normalize_input = true;
+    m.norm_mean = {0.5, -1.25, 3.0};
+    m.norm_stddev = {1.5, 2.0, 0.0}; // third column is degenerate
+    m.pca_explained = 0.875;
+    m.eigenvalues = {2.5, 0.5, 0.125};
+    m.loadings = stats::Matrix::fromRows(
+        {{0.6, -0.8}, {0.8, 0.6}, {0.0, 0.0}});
+    m.rescale_sd = {1.25, 0.75};
+    m.centers = stats::Matrix::fromRows({{1.0, 0.0}, {-1.0, 0.5}});
+    m.cluster_sizes = {4, 2};
+    m.cluster_kinds = {ClusterKind::Mixed, ClusterKind::BenchmarkSpecific};
+    m.suite_rows = {2, 2, 2, 0}; // cluster 0 mixed, cluster 1 SuiteA only
+    m.prominent = {{0, 4.0 / 6.0, 1}};
+    m.prominent_raw = stats::Matrix::fromRows({{0.1, 0.2, 0.3}});
+    m.key_characteristics = {0, 2};
+    m.ga_fitness = 0.75;
+    return m;
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+expectModelsEqual(const PhaseModel &a, const PhaseModel &b)
+{
+    EXPECT_EQ(a.analysis_key, b.analysis_key);
+    EXPECT_EQ(a.interval_instructions, b.interval_instructions);
+    EXPECT_EQ(a.samples_per_benchmark, b.samples_per_benchmark);
+    EXPECT_EQ(a.interval_scale, b.interval_scale);
+    EXPECT_EQ(a.pca_min_stddev, b.pca_min_stddev);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.training_rows, b.training_rows);
+    EXPECT_EQ(a.benchmark_ids, b.benchmark_ids);
+    EXPECT_EQ(a.benchmark_suites, b.benchmark_suites);
+    EXPECT_EQ(a.suites, b.suites);
+    EXPECT_EQ(a.normalize_input, b.normalize_input);
+    EXPECT_EQ(a.norm_mean, b.norm_mean);
+    EXPECT_EQ(a.norm_stddev, b.norm_stddev);
+    EXPECT_EQ(a.pca_explained, b.pca_explained);
+    EXPECT_EQ(a.eigenvalues, b.eigenvalues);
+    EXPECT_EQ(a.loadings.maxAbsDiff(b.loadings), 0.0);
+    EXPECT_EQ(a.rescale_sd, b.rescale_sd);
+    EXPECT_EQ(a.centers.maxAbsDiff(b.centers), 0.0);
+    EXPECT_EQ(a.cluster_sizes, b.cluster_sizes);
+    EXPECT_EQ(a.cluster_kinds, b.cluster_kinds);
+    EXPECT_EQ(a.suite_rows, b.suite_rows);
+    ASSERT_EQ(a.prominent.size(), b.prominent.size());
+    for (std::size_t i = 0; i < a.prominent.size(); ++i) {
+        EXPECT_EQ(a.prominent[i].cluster, b.prominent[i].cluster);
+        EXPECT_EQ(a.prominent[i].weight, b.prominent[i].weight);
+        EXPECT_EQ(a.prominent[i].representative_row,
+                  b.prominent[i].representative_row);
+    }
+    EXPECT_EQ(a.prominent_raw.maxAbsDiff(b.prominent_raw), 0.0);
+    EXPECT_EQ(a.key_characteristics, b.key_characteristics);
+    EXPECT_EQ(a.ga_fitness, b.ga_fitness);
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(PhaseModelFormat, SaveLoadRoundTripIsExact)
+{
+    const std::string path = "/tmp/micaphase_model_roundtrip.bin";
+    const PhaseModel original = tinyModel();
+    original.save(path);
+    const PhaseModel loaded = PhaseModel::load(path);
+    expectModelsEqual(original, loaded);
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelFormat, ResaveIsByteIdentical)
+{
+    // save(load(save(m))) must reproduce the file byte for byte: the
+    // serialization has exactly one encoding per model.
+    const std::string a = "/tmp/micaphase_model_a.bin";
+    const std::string b = "/tmp/micaphase_model_b.bin";
+    tinyModel().save(a);
+    PhaseModel::load(a).save(b);
+    EXPECT_EQ(readFile(a), readFile(b));
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(PhaseModelFormat, SaveIsAtomic)
+{
+    const std::string path = "/tmp/micaphase_model_atomic.bin";
+    tinyModel().save(path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelFormat, LoadRejectsMissingFile)
+{
+    EXPECT_THROW((void)PhaseModel::load("/tmp/micaphase_no_such.bin"),
+                 ModelError);
+}
+
+TEST(PhaseModelFormat, LoadRejectsTruncationAtEveryBoundary)
+{
+    const std::string path = "/tmp/micaphase_model_trunc_src.bin";
+    const std::string cut = "/tmp/micaphase_model_trunc.bin";
+    tinyModel().save(path);
+    const auto bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 64u);
+
+    // Empty file, torn magic, torn header, torn section table, torn
+    // payload, and one-byte-short: all must raise, never partial-load.
+    for (const std::size_t size :
+         {std::size_t{0}, std::size_t{4}, std::size_t{12},
+          std::size_t{40}, bytes.size() / 2, bytes.size() - 1}) {
+        writeFile(cut, {bytes.begin(), bytes.begin() + size});
+        EXPECT_THROW((void)PhaseModel::load(cut), ModelError)
+            << "truncated to " << size << " bytes";
+    }
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(PhaseModelFormat, LoadRejectsBitFlipsAnywhereInPayload)
+{
+    const std::string path = "/tmp/micaphase_model_flip_src.bin";
+    const std::string bad = "/tmp/micaphase_model_flip.bin";
+    tinyModel().save(path);
+    const auto bytes = readFile(path);
+
+    // Flip one bit in a spread of payload positions; the per-section CRC
+    // must catch every one of them (a flip in the header/table is caught
+    // by magic/bounds/CRC-mismatch instead).
+    const std::size_t payload_start = 16 + 7 * 32; // header + table
+    ASSERT_LT(payload_start, bytes.size());
+    for (std::size_t pos = payload_start; pos < bytes.size();
+         pos += 97) {
+        auto flipped = bytes;
+        flipped[pos] ^= 0x10;
+        writeFile(bad, flipped);
+        EXPECT_THROW((void)PhaseModel::load(bad), ModelError)
+            << "bit flip at byte " << pos << " not detected";
+    }
+    std::remove(path.c_str());
+    std::remove(bad.c_str());
+}
+
+TEST(PhaseModelFormat, LoadRejectsWrongMagic)
+{
+    const std::string path = "/tmp/micaphase_model_magic.bin";
+    tinyModel().save(path);
+    auto bytes = readFile(path);
+    bytes[0] = 'X';
+    writeFile(path, bytes);
+    EXPECT_THROW((void)PhaseModel::load(path), ModelError);
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelFormat, LoadRejectsFutureVersion)
+{
+    const std::string path = "/tmp/micaphase_model_future.bin";
+    tinyModel().save(path);
+    auto bytes = readFile(path);
+    // Version is the little-endian u32 right after the 8-byte magic (not
+    // CRC-protected, so the rejection must come from the version gate).
+    bytes[8] = static_cast<std::uint8_t>(model::kFormatVersion + 1);
+    writeFile(path, bytes);
+    try {
+        (void)PhaseModel::load(path);
+        FAIL() << "future version accepted";
+    } catch (const ModelError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelFormat, ValidateRejectsShapeMismatches)
+{
+    PhaseModel m = tinyModel();
+    m.norm_stddev.pop_back();
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m = tinyModel();
+    m.cluster_kinds.pop_back();
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m = tinyModel();
+    m.suite_rows.push_back(1);
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m = tinyModel();
+    m.key_characteristics = {99};
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m = tinyModel();
+    m.cluster_sizes = {5, 2}; // no longer sums to training_rows
+    EXPECT_THROW(m.validate(), ModelError);
+}
+
+// The golden fixture guards the on-disk layout across platforms and
+// releases: a build whose serializer drifts (field order, widths,
+// endianness) will fail to reproduce or parse these exact bytes.
+
+std::string
+goldenPath()
+{
+    return std::string(MICAPHASE_TEST_DATA_DIR) +
+           "/golden_phase_model_v1.bin";
+}
+
+TEST(PhaseModelFormat, GoldenFixtureLoads)
+{
+    const PhaseModel loaded = PhaseModel::load(goldenPath());
+    expectModelsEqual(tinyModel(), loaded);
+}
+
+TEST(PhaseModelFormat, GoldenFixtureLayoutIsFrozen)
+{
+    const std::string path = "/tmp/micaphase_model_golden_re.bin";
+    tinyModel().save(path);
+    EXPECT_EQ(readFile(path), readFile(goldenPath()))
+        << "serializer no longer reproduces the v1 golden layout — this "
+           "is a format break; bump kFormatVersion and add a new fixture";
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- query
+
+TEST(PhaseModelQuery, ProjectIntervalMatchesBatchRow)
+{
+    const PhaseModel m = tinyModel();
+    stats::Matrix rows(0, 0);
+    rows.appendRow(std::vector<double>{2.0, -0.5, 1.0});
+    rows.appendRow(std::vector<double>{-1.0, 3.25, 0.0});
+    const model::Projection batch = m.projectBenchmark(rows);
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+        const auto one = m.projectInterval(rows.row(r));
+        EXPECT_EQ(one.cluster, batch.assignment[r]);
+        EXPECT_EQ(one.dist2, batch.dist2[r]);
+        ASSERT_EQ(one.reduced.size(), batch.reduced.cols());
+        for (std::size_t c = 0; c < one.reduced.size(); ++c)
+            EXPECT_EQ(one.reduced[c], batch.reduced(r, c));
+    }
+}
+
+TEST(PhaseModelQuery, DegenerateColumnAndComponentProjectToZero)
+{
+    // Column 2 has sd = 0 and both loadings rows for it are zero; a value
+    // there must not influence the projection (normalizeColumns maps the
+    // column to exactly 0, matching training).
+    const PhaseModel m = tinyModel();
+    const auto a =
+        m.projectInterval(std::vector<double>{2.0, -0.5, 123.0});
+    const auto b =
+        m.projectInterval(std::vector<double>{2.0, -0.5, -456.0});
+    EXPECT_EQ(a.reduced, b.reduced);
+    EXPECT_EQ(a.cluster, b.cluster);
+}
+
+TEST(PhaseModelQuery, ProjectRejectsWidthMismatch)
+{
+    const PhaseModel m = tinyModel();
+    stats::Matrix rows(1, 2);
+    EXPECT_THROW((void)m.projectBenchmark(rows), ModelError);
+}
+
+TEST(PhaseModelQuery, AssessWorkloadCountsCoverageAndExclusivity)
+{
+    const PhaseModel m = tinyModel();
+    model::Projection proj;
+    proj.reduced = stats::Matrix(4, 2);
+    proj.assignment = {0, 0, 1, 0};
+    proj.dist2 = {1.0, 4.0, 9.0, 0.0};
+    const model::WorkloadAssessment a = m.assessWorkload(proj);
+    EXPECT_EQ(a.rows, 4u);
+    EXPECT_EQ(a.clusters_covered, 2u);
+    EXPECT_DOUBLE_EQ(a.coverage_fraction, 1.0);
+    // Cluster 0 is trained by both suites (shared), cluster 1 only by
+    // SuiteA (exclusive).
+    EXPECT_DOUBLE_EQ(a.shared_fraction, 0.75);
+    EXPECT_DOUBLE_EQ(a.exclusive_fraction[0], 0.25);
+    EXPECT_DOUBLE_EQ(a.exclusive_fraction[1], 0.0);
+    EXPECT_DOUBLE_EQ(a.novel_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(a.mean_distance, (1.0 + 2.0 + 3.0 + 0.0) / 4.0);
+    EXPECT_DOUBLE_EQ(a.max_distance, 3.0);
+    ASSERT_EQ(a.cumulative.size(), 2u);
+    EXPECT_DOUBLE_EQ(a.cumulative[0], 0.75);
+    EXPECT_DOUBLE_EQ(a.cumulative[1], 1.0);
+    EXPECT_EQ(a.clustersToCover(0.9), 2u);
+}
+
+TEST(PhaseModelQuery, TrainingCoverageFromSuiteRows)
+{
+    const model::TrainingCoverage cov = tinyModel().trainingCoverage();
+    ASSERT_EQ(cov.suites.size(), 2u);
+    EXPECT_EQ(cov.coverage[0], 2u); // SuiteA in both clusters
+    EXPECT_EQ(cov.coverage[1], 1u); // SuiteB only in the mixed one
+    // SuiteA: 2 of its 4 rows sit in its exclusive cluster 1.
+    EXPECT_DOUBLE_EQ(cov.uniqueness[0], 0.5);
+    EXPECT_DOUBLE_EQ(cov.uniqueness[1], 0.0);
+}
+
+// -------------------------------------------------------------- keystone
+
+core::ExperimentConfig
+miniConfig(unsigned threads)
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.threads = threads;
+    cfg.cache_dir.clear(); // run live: the point is thread invariance
+    return cfg;
+}
+
+TEST(PhaseModelPipeline, ReloadedModelReprojectsTrainingBitwise)
+{
+    // The keystone guarantee: for every thread count, freezing the
+    // pipeline's analysis via config.model_path, reloading the file, and
+    // projecting the training sample reproduces the in-memory reduced
+    // matrix and cluster assignments bit for bit.
+    const std::string path = "/tmp/micaphase_model_keystone.bin";
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        core::ExperimentConfig cfg = miniConfig(threads);
+        cfg.model_path = path;
+        const auto out = core::runFullExperiment(cfg);
+        const PhaseModel m = PhaseModel::load(path);
+
+        EXPECT_EQ(m.analysis_key, cfg.analysisKey());
+        EXPECT_EQ(m.training_rows, out.sampled.data.rows());
+
+        const model::Projection proj =
+            m.projectBenchmark(out.sampled.data);
+        const auto &want = out.analysis.reduced;
+        ASSERT_EQ(proj.reduced.rows(), want.rows());
+        ASSERT_EQ(proj.reduced.cols(), want.cols());
+        EXPECT_EQ(std::memcmp(proj.reduced.data().data(),
+                              want.data().data(),
+                              want.data().size() * sizeof(double)),
+                  0)
+            << "reduced matrix deviates bitwise";
+        EXPECT_EQ(proj.assignment, out.analysis.clustering.assignment);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelPipeline, FrozenFiguresMatchLiveComparison)
+{
+    // Figure 4/6 numbers recomputed from the artifact alone must equal
+    // the live compareSuites output it was frozen from.
+    const std::string path = "/tmp/micaphase_model_figs.bin";
+    core::ExperimentConfig cfg = miniConfig(4);
+    cfg.model_path = path;
+    const auto out = core::runFullExperiment(cfg);
+    const PhaseModel m = PhaseModel::load(path);
+    const model::TrainingCoverage cov = m.trainingCoverage();
+    ASSERT_EQ(cov.suites, out.comparison.suites);
+    EXPECT_EQ(cov.coverage, out.comparison.coverage);
+    ASSERT_EQ(cov.uniqueness.size(), out.comparison.uniqueness.size());
+    for (std::size_t s = 0; s < cov.uniqueness.size(); ++s)
+        EXPECT_DOUBLE_EQ(cov.uniqueness[s], out.comparison.uniqueness[s]);
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelPipeline, ModelPathExcludedFromCacheKeys)
+{
+    core::ExperimentConfig a;
+    core::ExperimentConfig b = a;
+    b.model_path = "/tmp/somewhere_else.bin";
+    EXPECT_EQ(a.characterizationKey(), b.characterizationKey());
+    EXPECT_EQ(a.analysisKey(), b.analysisKey());
+}
+
+TEST(PhaseModelPipeline, BuilderEmbedsGaKeys)
+{
+    core::ExperimentConfig cfg = miniConfig(4);
+    const auto out = core::runFullExperiment(cfg);
+    const auto keys = core::selectKeyCharacteristics(out, 4);
+    const PhaseModel m = core::buildPhaseModel(out, keys);
+    ASSERT_EQ(m.key_characteristics.size(), keys.selected.size());
+    for (std::size_t i = 0; i < keys.selected.size(); ++i)
+        EXPECT_EQ(m.key_characteristics[i], keys.selected[i]);
+    EXPECT_EQ(m.ga_fitness, keys.fitness);
+}
+
+} // namespace
