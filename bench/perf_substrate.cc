@@ -645,6 +645,12 @@ emitModelQuery()
     // longer window than the training samples used.
     const workloads::SuiteCatalog catalog;
     const auto *bench = catalog.find("SPECint2006/gcc");
+    if (bench == nullptr) {
+        std::fprintf(stderr,
+                     "emitModelQuery: benchmark SPECint2006/gcc not in "
+                     "catalog\n");
+        return;
+    }
     const std::uint32_t num_intervals = model.samples_per_benchmark;
     bool placed = true;
     model::WorkloadAssessment assessment;

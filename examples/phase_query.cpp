@@ -18,9 +18,11 @@
  *                                            model, save, reload, query
  */
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/characterize.hh"
@@ -184,9 +186,13 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--model" && i + 1 < argc)
             model_path = argv[++i];
-        else if (arg == "--intervals" && i + 1 < argc)
-            num_intervals =
-                static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        else if (arg == "--intervals" && i + 1 < argc) {
+            const std::string_view s = argv[++i];
+            const auto [end, ec] = std::from_chars(
+                s.data(), s.data() + s.size(), num_intervals);
+            if (ec != std::errc{} || end != s.data() + s.size())
+                return usage();
+        }
         else if (arg == "--all")
             all = true;
         else if (arg == "--fig4")

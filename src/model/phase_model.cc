@@ -199,7 +199,7 @@ class ByteReader
     [[nodiscard]] std::vector<std::string>
     strVec()
     {
-        std::vector<std::string> v(checkedCount(5));
+        std::vector<std::string> v(checkedCount(4));
         for (auto &s : v)
             s = str();
         return v;
@@ -228,6 +228,11 @@ class ByteReader
     {
         const std::uint64_t rows = u64();
         const std::uint64_t cols = u64();
+        // Two-step overflow-safe guard: bounding cols by remaining()/8 first
+        // keeps 8*cols from wrapping, and the rows bound then guarantees
+        // rows*cols fits both the section and std::size_t.
+        if (cols > remaining() / 8)
+            fail("matrix larger than its section");
         if (cols != 0 && rows > remaining() / (8 * cols))
             fail("matrix larger than its section");
         stats::Matrix m(static_cast<std::size_t>(rows),

@@ -204,6 +204,107 @@ TEST(PhaseModelFormat, LoadRejectsBitFlipsAnywhereInPayload)
     std::remove(bad.c_str());
 }
 
+std::uint32_t
+testCrc32(const std::uint8_t *data, std::size_t size)
+{
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= data[i];
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &b, std::size_t pos)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[pos + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &b, std::size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[pos + i]) << (8 * i);
+    return v;
+}
+
+void
+putU32(std::vector<std::uint8_t> &b, std::size_t pos, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(std::vector<std::uint8_t> &b, std::size_t pos, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+TEST(PhaseModelFormat, LoadRejectsOverflowingMatrixDims)
+{
+    // A crafted file whose matrix header claims cols near 2^61 makes the
+    // naive `8 * cols` section guard wrap (2^61 divides by zero, 2^61+1
+    // wraps the bound to 8 and then rows*cols wraps the allocation). Both
+    // must be rejected by the overflow-safe guard, with a valid CRC so the
+    // checksum layer cannot mask the bug.
+    const std::string path = "/tmp/micaphase_model_overflow.bin";
+    tinyModel().save(path);
+    const auto orig = readFile(path);
+
+    // Find the PCA section (id 4) table entry: header is 16 bytes, each
+    // entry 32 (id, reserved, offset, size, crc, reserved).
+    const std::size_t header = 16, entry_size = 32;
+    const std::uint32_t nsec = getU32(orig, 12);
+    std::size_t entry = 0;
+    for (std::uint32_t i = 0; i < nsec; ++i)
+        if (getU32(orig, header + i * entry_size) == 4)
+            entry = header + i * entry_size;
+    ASSERT_NE(entry, 0u) << "PCA section not found";
+    const auto off = static_cast<std::size_t>(getU64(orig, entry + 8));
+    const auto sec_size = static_cast<std::size_t>(getU64(orig, entry + 16));
+
+    // PCA payload: pca_explained (8) + eigenvalue count (8) + 3
+    // eigenvalues (24) put the 3x2 loadings dims at +40 (rows), +48 (cols).
+    ASSERT_EQ(getU64(orig, off + 40), 3u);
+    ASSERT_EQ(getU64(orig, off + 48), 2u);
+
+    for (const std::uint64_t cols :
+         {std::uint64_t{1} << 61, (std::uint64_t{1} << 61) + 1}) {
+        auto bytes = orig;
+        putU64(bytes, off + 40, 1);
+        putU64(bytes, off + 48, cols);
+        putU32(bytes, entry + 24, testCrc32(bytes.data() + off, sec_size));
+        writeFile(path, bytes);
+        EXPECT_THROW((void)PhaseModel::load(path), ModelError)
+            << "cols = " << cols;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PhaseModelFormat, RoundTripsEmptyStrings)
+{
+    // An empty string serializes to 4 bytes (just the u32 length); the
+    // reader's per-element minimum must match or a legitimately saved
+    // model full of empty ids fails to load.
+    const std::string path = "/tmp/micaphase_model_empty_strs.bin";
+    PhaseModel m = tinyModel();
+    m.benchmark_ids = {"", ""};
+    m.benchmark_suites = {"", ""};
+    m.suites = {"", ""};
+    m.save(path);
+    const PhaseModel loaded = PhaseModel::load(path);
+    expectModelsEqual(m, loaded);
+    std::remove(path.c_str());
+}
+
 TEST(PhaseModelFormat, LoadRejectsWrongMagic)
 {
     const std::string path = "/tmp/micaphase_model_magic.bin";
