@@ -21,14 +21,25 @@
  * projecting one new benchmark into the frozen space, plus the model
  * file size — recorded in BENCH_model_query.json.
  *
+ * A fifth table exercises the static-analysis stack (docs/ANALYSIS.md):
+ * catalog-wide verify + StaticFeaturesV2 wall time, the diagnostics
+ * histogram over all verifier check classes, a bitwise determinism
+ * cross-check of the analyses across 1/2/4 worker threads, and the
+ * static-vs-dynamic feature validation — per-feature Spearman/Pearson
+ * correlation across all catalog workloads for the instruction-mix,
+ * stride-mix and ILP feature groups — recorded in
+ * BENCH_static_analysis.json.
+ *
  * MICAPHASE_SUBSTRATE_TABLES selects which post-benchmark tables run: a
- * comma-separated subset of "parallel", "tracing", "kmeans", "model"
- * (unset runs all four). CI's bench smoke step sets it to "kmeans".
+ * comma-separated subset of "parallel", "tracing", "kmeans", "model",
+ * "static" (unset runs all five). CI's bench smoke step sets it to
+ * "kmeans".
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,9 +49,13 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/static_features.hh"
+#include "analysis/verifier.hh"
 #include "asm/assembler.hh"
 #include "bench/bench_util.hh"
 #include "core/characterize.hh"
+#include "mica/metrics.hh"
+#include "stats/summary.hh"
 #include "ga/feature_select.hh"
 #include "model/phase_model.hh"
 #include "mica/profiler.hh"
@@ -701,6 +716,279 @@ emitModelQuery()
     std::printf("wrote %s\n", path.c_str());
 }
 
+/** One static-vs-dynamic feature correlation, across all workloads. */
+struct CorrPair
+{
+    std::string static_name;
+    std::string dynamic_name;
+    double spearman = 0.0;
+    double pearson = 0.0;
+};
+
+struct CorrGroup
+{
+    std::string name;
+    std::vector<CorrPair> pairs;
+    double mean_spearman = 0.0;
+};
+
+/** Correlate column pairs across workloads and summarize per group. */
+CorrGroup
+correlateGroup(std::string name,
+               const std::vector<std::array<std::string, 2>> &labels,
+               const std::vector<std::vector<double>> &static_cols,
+               const std::vector<std::vector<double>> &dynamic_cols)
+{
+    CorrGroup group;
+    group.name = std::move(name);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        CorrPair pair;
+        pair.static_name = labels[i][0];
+        pair.dynamic_name = labels[i][1];
+        pair.spearman = stats::spearman(static_cols[i], dynamic_cols[i]);
+        pair.pearson = stats::pearson(static_cols[i], dynamic_cols[i]);
+        sum += pair.spearman;
+        group.pairs.push_back(std::move(pair));
+    }
+    if (!group.pairs.empty())
+        group.mean_spearman = sum / static_cast<double>(group.pairs.size());
+    return group;
+}
+
+/**
+ * Static-analysis table: catalog-wide verify + StaticFeaturesV2 wall time
+ * (best of 3), the diagnostics histogram over every verifier check class,
+ * a bitwise determinism cross-check of the feature vectors across 1/2/4
+ * worker threads, and the static-vs-dynamic validation — Spearman and
+ * Pearson correlation across all catalog workloads for three feature
+ * groups (instruction mix, stride mix, ILP estimate). The dynamic side of
+ * each pair is the per-workload mean over profiled intervals.
+ */
+void
+emitStaticAnalysis()
+{
+    const workloads::SuiteCatalog catalog;
+    std::vector<isa::Program> programs;
+    for (const auto &bench : catalog.benchmarks())
+        for (std::uint32_t input = 0; input < bench.num_inputs; ++input)
+            programs.push_back(bench.build(input));
+
+    // Catalog-wide analysis wall time plus the diagnostics histogram.
+    analysis::Options vopts;
+    vopts.allow_nonterminating = true; // generated workloads loop by design
+    std::array<std::size_t, analysis::kNumChecks> histogram{};
+    std::size_t diagnostics_total = 0;
+    std::size_t transfers_total = 0;
+    const double analyze_s = wallSeconds([&]() {
+        std::array<std::size_t, analysis::kNumChecks> h{};
+        std::size_t diags = 0;
+        std::size_t transfers = 0;
+        for (const isa::Program &program : programs) {
+            const analysis::Report report = analysis::verify(program, vopts);
+            for (const analysis::Diagnostic &d : report.diagnostics) {
+                ++h[static_cast<std::size_t>(d.check)];
+                ++diags;
+            }
+            transfers +=
+                analysis::staticFeaturesV2(program).analysis_transfers;
+        }
+        histogram = h;
+        diagnostics_total = diags;
+        transfers_total = transfers;
+    });
+
+    // Reference features, then the determinism cross-check: recompute the
+    // whole catalog with work strided across 2 and 4 threads into
+    // preallocated slots and require bitwise-identical vectors.
+    std::vector<analysis::StaticFeaturesV2> feats;
+    feats.reserve(programs.size());
+    for (const isa::Program &program : programs)
+        feats.push_back(analysis::staticFeaturesV2(program));
+    std::vector<std::vector<double>> reference;
+    reference.reserve(feats.size());
+    for (const analysis::StaticFeaturesV2 &f : feats)
+        reference.push_back(f.toVector());
+
+    const auto computeAll = [&](unsigned threads) {
+        std::vector<std::vector<double>> slots(programs.size());
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back([&, t]() {
+                for (std::size_t i = t; i < programs.size(); i += threads)
+                    slots[i] =
+                        analysis::staticFeaturesV2(programs[i]).toVector();
+            });
+        for (std::thread &th : pool)
+            th.join();
+        return slots;
+    };
+    const bool deterministic =
+        computeAll(1) == reference && computeAll(2) == reference &&
+        computeAll(4) == reference;
+
+    // Dynamic side: per-workload mean characteristic vector over profiled
+    // intervals (same interval length as the tracing/model tables).
+    std::vector<std::array<double, metrics::kNumCharacteristics>> dynamic(
+        programs.size());
+    for (std::size_t w = 0; w < programs.size(); ++w) {
+        const auto vectors = core::characterizeProgram(programs[w], 2000, 20);
+        std::array<double, metrics::kNumCharacteristics> mean{};
+        for (const auto &v : vectors)
+            for (std::size_t i = 0; i < metrics::kNumCharacteristics; ++i)
+                mean[i] += v[i];
+        if (!vectors.empty())
+            for (double &x : mean)
+                x /= static_cast<double>(vectors.size());
+        dynamic[w] = mean;
+    }
+
+    const auto dynamicCol = [&](std::size_t metric) {
+        std::vector<double> col(programs.size());
+        for (std::size_t w = 0; w < programs.size(); ++w)
+            col[w] = dynamic[w][metric];
+        return col;
+    };
+    const auto dynName = [](std::size_t metric) {
+        return std::string(metrics::metricInfo(metric).name);
+    };
+
+    std::vector<CorrGroup> groups;
+
+    // Instruction mix: the 20 loop-weighted static bins against the 20
+    // dynamic mix fractions, bin for bin (same classification logic).
+    {
+        const auto v2_names = analysis::StaticFeaturesV2::featureNames();
+        const std::size_t wmix_at = analysis::StaticFeatures::featureNames()
+                                        .size();
+        std::vector<std::array<std::string, 2>> labels;
+        std::vector<std::vector<double>> scols, dcols;
+        for (std::size_t bin = 0; bin < analysis::kNumMixBins; ++bin) {
+            labels.push_back({v2_names[wmix_at + bin], dynName(bin)});
+            std::vector<double> col(programs.size());
+            for (std::size_t w = 0; w < programs.size(); ++w)
+                col[w] = feats[w].mix[bin];
+            scols.push_back(std::move(col));
+            dcols.push_back(dynamicCol(bin));
+        }
+        groups.push_back(
+            correlateGroup("instruction_mix", labels, scols, dcols));
+    }
+
+    // Stride mix: cumulative static stride-class fractions against the
+    // dynamic local-stride CDFs at the matching byte cutoffs. Invariant
+    // accesses have stride 0; unit strides are <= 8 bytes; "small" covers
+    // everything up to 64 bytes.
+    {
+        const auto cdf = [](const std::array<double,
+                                             analysis::kV2StrideClasses> &m,
+                            std::size_t upto) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i <= upto; ++i)
+                acc += m[i];
+            return acc;
+        };
+        std::vector<std::array<std::string, 2>> labels;
+        std::vector<std::vector<double>> scols, dcols;
+        const struct
+        {
+            const char *static_name;
+            bool store;
+            std::size_t upto;
+            std::size_t metric;
+        } rows[] = {
+            {"static_load_cdf_0b", false, 0, metrics::midx::LocalLoadStride0},
+            {"static_load_cdf_8b", false, 1, metrics::midx::LocalLoadStride8},
+            {"static_load_cdf_64b", false, 2,
+             metrics::midx::LocalLoadStride64},
+            {"static_store_cdf_0b", true, 0,
+             metrics::midx::LocalStoreStride0},
+            {"static_store_cdf_8b", true, 1,
+             metrics::midx::LocalStoreStride8},
+            {"static_store_cdf_64b", true, 2,
+             metrics::midx::LocalStoreStride64},
+        };
+        for (const auto &row : rows) {
+            labels.push_back({row.static_name, dynName(row.metric)});
+            std::vector<double> col(programs.size());
+            for (std::size_t w = 0; w < programs.size(); ++w)
+                col[w] = cdf(row.store ? feats[w].store_stride_mix
+                                       : feats[w].load_stride_mix,
+                             row.upto);
+            scols.push_back(std::move(col));
+            dcols.push_back(dynamicCol(row.metric));
+        }
+        groups.push_back(correlateGroup("stride_mix", labels, scols, dcols));
+    }
+
+    // ILP: the dependence-height estimate against each dynamic windowed
+    // ILP metric.
+    {
+        std::vector<std::array<std::string, 2>> labels;
+        std::vector<std::vector<double>> scols, dcols;
+        std::vector<double> est(programs.size());
+        for (std::size_t w = 0; w < programs.size(); ++w)
+            est[w] = feats[w].est_ilp;
+        for (std::size_t metric = metrics::midx::Ilp32;
+             metric <= metrics::midx::Ilp256; ++metric) {
+            labels.push_back({"est_ilp", dynName(metric)});
+            scols.push_back(est);
+            dcols.push_back(dynamicCol(metric));
+        }
+        groups.push_back(correlateGroup("ilp", labels, scols, dcols));
+    }
+
+    std::printf("\nstatic analysis over the catalog (%zu programs, "
+                "best of 3)\n",
+                programs.size());
+    std::printf("analyze: %.4f s  transfers: %zu  diagnostics: %zu  "
+                "deterministic(1/2/4 threads): %s\n",
+                analyze_s, transfers_total, diagnostics_total,
+                deterministic ? "yes" : "NO");
+    std::printf("%-18s %6s %14s\n", "group", "pairs", "mean_spearman");
+    for (const CorrGroup &g : groups)
+        std::printf("%-18s %6zu %14.3f\n", g.name.c_str(), g.pairs.size(),
+                    g.mean_spearman);
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_static_analysis.json";
+    std::ofstream out(path);
+    char buf[64];
+    out << "{\n  \"benchmark\": \"static_analysis\",\n"
+        << "  \"programs\": " << programs.size() << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", analyze_s);
+    out << "  \"analyze_seconds\": " << buf << ",\n"
+        << "  \"analysis_transfers\": " << transfers_total << ",\n"
+        << "  \"deterministic\": " << (deterministic ? "true" : "false")
+        << ",\n  \"diagnostics_total\": " << diagnostics_total
+        << ",\n  \"diagnostics\": {";
+    for (std::size_t c = 0; c < analysis::kNumChecks; ++c)
+        out << (c ? ", " : "") << "\""
+            << analysis::checkName(static_cast<analysis::Check>(c))
+            << "\": " << histogram[c];
+    out << "},\n  \"groups\": [\n";
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const CorrGroup &group = groups[g];
+        out << "    {\"name\": \"" << group.name << "\", ";
+        std::snprintf(buf, sizeof(buf), "%.4f", group.mean_spearman);
+        out << "\"mean_spearman\": " << buf << ", \"pairs\": [\n";
+        for (std::size_t i = 0; i < group.pairs.size(); ++i) {
+            const CorrPair &pair = group.pairs[i];
+            out << "      {\"static\": \"" << pair.static_name
+                << "\", \"dynamic\": \"" << pair.dynamic_name << "\", ";
+            std::snprintf(buf, sizeof(buf), "%.4f", pair.spearman);
+            out << "\"spearman\": " << buf << ", ";
+            std::snprintf(buf, sizeof(buf), "%.4f", pair.pearson);
+            out << "\"pearson\": " << buf << "}"
+                << (i + 1 < group.pairs.size() ? "," : "") << "\n";
+        }
+        out << "    ]}" << (g + 1 < groups.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 /** True if `table` appears in MICAPHASE_SUBSTRATE_TABLES (unset = all). */
 bool
 tableEnabled(const char *table)
@@ -742,5 +1030,7 @@ main(int argc, char **argv)
         emitKMeansPruning();
     if (tableEnabled("model"))
         emitModelQuery();
+    if (tableEnabled("static"))
+        emitStaticAnalysis();
     return 0;
 }

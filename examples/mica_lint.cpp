@@ -12,13 +12,17 @@
  *   mica_lint <suite/name | file.s> [options]
  *       lint one benchmark (all inputs) or an assembly file
  *   options:
+ *       --json                machine-readable report on stdout (one JSON
+ *                             document; suppresses the human output)
  *       --cfg                 dump basic blocks and edges
  *       --features            dump the static feature signature
  *       --werror              treat warnings as errors (exit status)
  *       --require-termination flag infinite loops (off for generated
  *                             workloads, which loop by design)
  *
- * Exit status: 0 when no Error-level diagnostic was found, 1 otherwise.
+ * Exit status: 0 when the lint ran and found nothing, 1 when only
+ * warnings were found, 2 when any Error-level diagnostic was found (or
+ * warnings under --werror). Usage and I/O failures exit 64.
  */
 
 #include <algorithm>
@@ -38,12 +42,31 @@ namespace {
 
 using namespace mica;
 
+constexpr int kExitUsage = 64;
+
 struct LintOptions
 {
+    bool json = false;
     bool dump_cfg = false;
     bool dump_features = false;
     bool werror = false;
     analysis::Options verify;
+};
+
+/** Totals across all linted programs, for the final exit code. */
+struct LintTotals
+{
+    std::size_t programs = 0;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+
+    [[nodiscard]] int
+    exitCode(bool werror) const
+    {
+        if (errors > 0 || (werror && warnings > 0))
+            return 2;
+        return warnings > 0 ? 1 : 0;
+    }
 };
 
 int
@@ -51,19 +74,80 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mica_lint <all | suite | suite/name | file.s>\n"
-                 "                 [--cfg] [--features] [--werror]\n"
+                 "                 [--json] [--cfg] [--features] [--werror]\n"
                  "                 [--require-termination]\n");
-    return 2;
+    return kExitUsage;
 }
 
-/** Lint one program; returns the number of error-level diagnostics. */
-std::size_t
-lintProgram(const isa::Program &program, const LintOptions &opts)
+/** JSON string escaping for the diagnostic messages. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendJsonReport(std::string &json, const isa::Program &program,
+                 const analysis::Report &report)
+{
+    std::ostringstream os;
+    os << "    {\n      \"file\": \"" << jsonEscape(program.name)
+       << "\",\n      \"errors\": " << report.errorCount()
+       << ",\n      \"warnings\": " << report.warningCount()
+       << ",\n      \"diagnostics\": [";
+    bool first = true;
+    for (const analysis::Diagnostic &d : report.diagnostics) {
+        os << (first ? "\n" : ",\n")
+           << "        {\"check\": \"" << analysis::checkName(d.check)
+           << "\", \"severity\": \"" << analysis::severityName(d.severity)
+           << "\", \"block\": " << d.block
+           << ", \"block_offset\": " << d.block_offset
+           << ", \"instr_index\": " << d.instr_index
+           << ", \"pc\": " << d.pc
+           << ", \"message\": \"" << jsonEscape(d.message) << "\"}";
+        first = false;
+    }
+    os << (first ? "]" : "\n      ]") << "\n    }";
+    json += os.str();
+}
+
+/** Lint one program, printing or accumulating per the options. */
+void
+lintProgram(const isa::Program &program, const LintOptions &opts,
+            LintTotals &totals, std::string &json)
 {
     const analysis::Report report = analysis::verify(program, opts.verify);
+    ++totals.programs;
+    totals.errors += report.errorCount();
+    totals.warnings += report.warningCount();
+
+    if (opts.json) {
+        if (totals.programs > 1)
+            json += ",\n";
+        appendJsonReport(json, program, report);
+        return;
+    }
+
     const analysis::StaticFeatures features =
         analysis::staticFeatures(program);
-
     std::printf("%-32s %5zu instrs %4zu blocks %3zu loops  "
                 "%zu error(s), %zu warning(s)\n",
                 program.name.c_str(), program.code.size(),
@@ -75,9 +159,22 @@ lintProgram(const isa::Program &program, const LintOptions &opts)
         std::printf("%s", features.toString().c_str());
     if (opts.dump_cfg)
         std::printf("%s", analysis::buildCfg(program).toString().c_str());
+}
 
-    return report.errorCount() +
-        (opts.werror ? report.warningCount() : 0);
+int
+finish(const LintOptions &opts, const LintTotals &totals, std::string &json)
+{
+    if (opts.json) {
+        std::printf("{\n  \"programs\": %zu,\n  \"errors\": %zu,\n"
+                    "  \"warnings\": %zu,\n  \"reports\": [\n%s\n  ]\n}\n",
+                    totals.programs, totals.errors, totals.warnings,
+                    json.c_str());
+    } else {
+        std::printf("\nlinted %zu program(s): %zu error(s), "
+                    "%zu warning(s)\n",
+                    totals.programs, totals.errors, totals.warnings);
+    }
+    return totals.exitCode(opts.werror);
 }
 
 } // namespace
@@ -95,7 +192,9 @@ main(int argc, char **argv)
     opts.verify.allow_nonterminating = true;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--cfg")
+        if (arg == "--json")
+            opts.json = true;
+        else if (arg == "--cfg")
             opts.dump_cfg = true;
         else if (arg == "--features")
             opts.dump_features = true;
@@ -107,12 +206,15 @@ main(int argc, char **argv)
             return usage();
     }
 
+    LintTotals totals;
+    std::string json;
+
     // Assembly file?
     if (target.size() > 2 && target.substr(target.size() - 2) == ".s") {
         std::ifstream in(target);
         if (!in) {
             std::fprintf(stderr, "cannot open %s\n", target.c_str());
-            return 1;
+            return kExitUsage;
         }
         std::stringstream buffer;
         buffer << in.rdbuf();
@@ -121,9 +223,10 @@ main(int argc, char **argv)
             program = assembler::assemble(buffer.str(), target);
         } catch (const assembler::AsmError &e) {
             std::fprintf(stderr, "%s: %s\n", target.c_str(), e.what());
-            return 1;
+            return 2;
         }
-        return lintProgram(program, opts) == 0 ? 0 : 1;
+        lintProgram(program, opts, totals, json);
+        return finish(opts, totals, json);
     }
 
     const workloads::SuiteCatalog catalog;
@@ -143,18 +246,11 @@ main(int argc, char **argv)
                      "'%s' is neither 'all', a suite, a catalog id nor an "
                      ".s file (try 'mica_dump list')\n",
                      target.c_str());
-        return 1;
+        return kExitUsage;
     }
 
-    std::size_t programs = 0, failures = 0;
-    for (const auto *bench : selected) {
-        for (std::uint32_t input = 0; input < bench->num_inputs; ++input) {
-            ++programs;
-            if (lintProgram(bench->build(input), opts) != 0)
-                ++failures;
-        }
-    }
-    std::printf("\nlinted %zu program(s): %zu failing\n", programs,
-                failures);
-    return failures == 0 ? 0 : 1;
+    for (const auto *bench : selected)
+        for (std::uint32_t input = 0; input < bench->num_inputs; ++input)
+            lintProgram(bench->build(input), opts, totals, json);
+    return finish(opts, totals, json);
 }

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <bit>
 
+#include "analysis/engine.hh"
 #include "isa/opcode.hh"
 
 namespace mica::analysis {
 
 using isa::Instruction;
+
+RegMask
+vmEntryDefs()
+{
+    return RegMask{1} | (RegMask{1} << isa::kRegSp);
+}
 
 RegMask
 readMask(const Instruction &instr)
@@ -191,73 +198,117 @@ findNaturalLoops(const Cfg &cfg, const DominatorTree &doms)
     return loops;
 }
 
-PossibleDefs
-computePossibleDefs(const Cfg &cfg)
-{
-    PossibleDefs defs;
-    defs.in.assign(cfg.blocks.size(), 0);
-    defs.out.assign(cfg.blocks.size(), 0);
-    if (cfg.blocks.empty())
-        return defs;
+namespace {
 
+/** Per-block union of registers written, shared by the mask problems. */
+std::vector<RegMask>
+blockWriteMasks(const Cfg &cfg)
+{
     std::vector<RegMask> gen(cfg.blocks.size(), 0);
     for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
         for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
              ++i)
             gen[b] |= writeMask(cfg.program->code[i]);
+    return gen;
+}
 
-    // At reset the VM defines x0 (hard-wired) and the stack pointer.
-    const RegMask entry_mask =
-        RegMask{1} | (RegMask{1} << isa::kRegSp);
+/**
+ * Forward definedness over register masks, parameterized on the join:
+ * union yields possible-defs (some path defines), intersection yields
+ * must-defs (every path defines). Both share the no-kill transfer
+ * out = in | gen (a write only ever adds definedness).
+ */
+template <bool kMust>
+struct DefinednessProblem
+{
+    using Value = RegMask;
+    static constexpr Direction kDirection = Direction::Forward;
 
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (std::size_t b : cfg.rpo) {
-            RegMask in = b == cfg.entryBlock() ? entry_mask : 0;
-            for (std::size_t p : cfg.blocks[b].preds)
-                in |= defs.out[p];
-            const RegMask out = in | gen[b];
-            if (in != defs.in[b] || out != defs.out[b]) {
-                defs.in[b] = in;
-                defs.out[b] = out;
-                changed = true;
-            }
+    explicit DefinednessProblem(const Cfg &cfg) : gen(blockWriteMasks(cfg))
+    {
+    }
+
+    [[nodiscard]] Value identity() const { return kMust ? ~RegMask{0} : 0; }
+    [[nodiscard]] Value boundary() const { return vmEntryDefs(); }
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        if constexpr (kMust)
+            into &= from;
+        else
+            into |= from;
+    }
+    [[nodiscard]] Value
+    transfer(const Cfg &, std::size_t block, const Value &in) const
+    {
+        return in | gen[block];
+    }
+    [[nodiscard]] std::size_t latticeHeight() const { return 64; }
+
+    std::vector<RegMask> gen;
+};
+
+/** Backward liveness with the per-instruction kill/gen walk. */
+struct LivenessProblem
+{
+    using Value = RegMask;
+    static constexpr Direction kDirection = Direction::Backward;
+
+    [[nodiscard]] Value identity() const { return 0; }
+    [[nodiscard]] Value boundary() const { return 0; }
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        into |= from;
+    }
+    [[nodiscard]] Value
+    transfer(const Cfg &cfg, std::size_t block, const Value &out) const
+    {
+        RegMask in = out;
+        for (std::size_t i = cfg.blocks[block].last + 1;
+             i-- > cfg.blocks[block].first;) {
+            const Instruction &instr = cfg.program->code[i];
+            in &= ~writeMask(instr);
+            in |= readMask(instr);
+        }
+        return in;
+    }
+    [[nodiscard]] std::size_t latticeHeight() const { return 64; }
+};
+
+} // namespace
+
+PossibleDefs
+computePossibleDefs(const Cfg &cfg)
+{
+    DefinednessProblem<false> problem(cfg);
+    auto fixpoint = solveDataflow(cfg, problem);
+    return {std::move(fixpoint.in), std::move(fixpoint.out)};
+}
+
+MustDefs
+computeMustDefs(const Cfg &cfg)
+{
+    DefinednessProblem<true> problem(cfg);
+    auto fixpoint = solveDataflow(cfg, problem);
+    // Unreachable blocks rest at the intersection identity (all-defined);
+    // clamp them to "nothing defined" so callers never mistake them for
+    // proven facts.
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.reachable[b]) {
+            fixpoint.in[b] = 0;
+            fixpoint.out[b] = 0;
         }
     }
-    return defs;
+    return {std::move(fixpoint.in), std::move(fixpoint.out)};
 }
 
 Liveness
 computeLiveness(const Cfg &cfg)
 {
-    Liveness live;
-    live.in.assign(cfg.blocks.size(), 0);
-    live.out.assign(cfg.blocks.size(), 0);
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
-            const std::size_t b = *it;
-            RegMask out = 0;
-            for (std::size_t s : cfg.blocks[b].succs)
-                out |= live.in[s];
-            RegMask in = out;
-            for (std::size_t i = cfg.blocks[b].last + 1;
-                 i-- > cfg.blocks[b].first;) {
-                const Instruction &instr = cfg.program->code[i];
-                in &= ~writeMask(instr);
-                in |= readMask(instr);
-            }
-            if (in != live.in[b] || out != live.out[b]) {
-                live.in[b] = in;
-                live.out[b] = out;
-                changed = true;
-            }
-        }
-    }
-    return live;
+    LivenessProblem problem;
+    auto fixpoint = solveDataflow(cfg, problem);
+    return {std::move(fixpoint.in), std::move(fixpoint.out)};
 }
 
 } // namespace mica::analysis

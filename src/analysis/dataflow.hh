@@ -1,8 +1,12 @@
 /**
  * @file
- * Dataflow analyses over the SRISC CFG: dominators, natural loops,
- * possibly-assigned registers (a no-kill reaching-definitions variant used
- * for use-before-def detection), and live registers.
+ * Register-mask dataflow analyses over the SRISC CFG: dominators, natural
+ * loops, possibly-assigned registers (union over paths, used for
+ * use-before-def detection), definitely-assigned registers (intersection
+ * over paths, used for maybe-use-before-def), and live registers. The
+ * fixpoints are computed by the generic engine in analysis/engine.hh; the
+ * richer analyses (reaching definitions with use-def chains, value ranges,
+ * static memory behaviour) live in their own headers on the same engine.
  *
  * Register sets are bitmasks over both register files: bit i (0..31) is
  * integer register xi, bit 32+i is floating-point register fi.
@@ -30,6 +34,10 @@ regBit(isa::RegOperand reg)
         reg.file == isa::RegOperand::File::Fp ? 32u + reg.index : reg.index;
     return RegMask{1} << shift;
 }
+
+/** Registers the VM defines at reset: x0 (hard-wired) and the stack
+ *  pointer. The boundary fact of every definedness analysis. */
+[[nodiscard]] RegMask vmEntryDefs();
 
 /** Mask of the registers an instruction reads. */
 [[nodiscard]] RegMask readMask(const isa::Instruction &instr);
@@ -97,6 +105,21 @@ struct PossibleDefs
 };
 
 [[nodiscard]] PossibleDefs computePossibleDefs(const Cfg &cfg);
+
+/**
+ * Definitely-assigned registers: for every reachable block, the
+ * intersection over all entry paths of registers written before block
+ * entry (plus the VM-defined x0 and stack pointer). A read of a register
+ * in PossibleDefs but absent here is defined on some paths only — the
+ * maybe-use-before-def signal.
+ */
+struct MustDefs
+{
+    std::vector<RegMask> in;  ///< at block entry
+    std::vector<RegMask> out; ///< at block exit
+};
+
+[[nodiscard]] MustDefs computeMustDefs(const Cfg &cfg);
 
 /** Classic backward liveness: registers whose value may still be read. */
 struct Liveness

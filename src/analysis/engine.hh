@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Generic monotone-framework dataflow engine over the SRISC CFG.
+ *
+ * A dataflow problem is a type providing
+ *
+ *   using Value = ...;                    // one lattice element per block
+ *   static constexpr Direction kDirection;
+ *   Value identity() const;               // the join identity (bottom for
+ *                                         // may-analyses, top for musts);
+ *                                         // also the resting value of
+ *                                         // unreachable blocks
+ *   Value boundary() const;               // facts holding at the program
+ *                                         // boundary (entry for forward,
+ *                                         // exit for backward); joined into
+ *                                         // the entry/exit block's input
+ *   void join(Value &into, const Value &from, std::size_t block);
+ *   Value transfer(const Cfg &, std::size_t block, const Value &in);
+ *   std::size_t latticeHeight() const;    // max strict ascents of one
+ *                                         // block's Value
+ *
+ * and optionally
+ *
+ *   void transferEdge(const Cfg &, const Edge &, Value &) const;
+ *
+ * which rewrites the value flowing along one specific edge before it is
+ * joined (used for call-return havoc and branch-condition refinement in the
+ * value-range analysis).
+ *
+ * The solver is a deterministic round-robin worklist: blocks are visited in
+ * reverse postorder (postorder for backward problems), only pending blocks
+ * are re-evaluated, and a block's transfer runs only when its joined input
+ * actually changed. With monotone transfers over a lattice of height H this
+ * gives the classic termination bound of at most H + 1 transfer
+ * applications per reachable block; the solver enforces it with a hard cap
+ * and reports `converged = false` if a (buggy, non-monotone) problem
+ * exceeds it, rather than looping forever. Results are a pure function of
+ * the CFG — no iteration-order or thread-count dependence.
+ */
+
+#ifndef MICAPHASE_ANALYSIS_ENGINE_HH
+#define MICAPHASE_ANALYSIS_ENGINE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace mica::analysis {
+
+/** Direction a dataflow problem propagates facts in. */
+enum class Direction : std::uint8_t
+{
+    Forward,  ///< along CFG edges, entry to exit
+    Backward, ///< against CFG edges, exit to entry
+};
+
+/** Fixpoint of one dataflow problem. */
+template <typename Problem>
+struct DataflowResult
+{
+    using Value = typename Problem::Value;
+
+    std::vector<Value> in;  ///< facts at block entry
+    std::vector<Value> out; ///< facts at block exit
+    /** Number of transfer-function applications until the fixpoint. */
+    std::size_t transfers = 0;
+    /** False only if the hard iteration cap fired (non-monotone problem). */
+    bool converged = true;
+};
+
+namespace detail {
+
+template <typename Problem>
+concept HasEdgeTransfer = requires(const Problem &p, const Cfg &cfg,
+                                   const Edge &e,
+                                   typename Problem::Value &v) {
+    p.transferEdge(cfg, e, v);
+};
+
+} // namespace detail
+
+/**
+ * Solve a dataflow problem to its least fixpoint. Unreachable blocks keep
+ * the identity value in both `in` and `out`. The problem object may carry
+ * mutable state (e.g. widening counters); it is taken by reference.
+ */
+template <typename Problem>
+DataflowResult<Problem>
+solveDataflow(const Cfg &cfg, Problem &problem)
+{
+    constexpr bool forward = Problem::kDirection == Direction::Forward;
+    using Value = typename Problem::Value;
+
+    DataflowResult<Problem> result;
+    const std::size_t n = cfg.blocks.size();
+    result.in.assign(n, problem.identity());
+    result.out.assign(n, problem.identity());
+    if (n == 0)
+        return result;
+
+    // Visit order: RPO for forward problems, postorder for backward.
+    std::vector<std::size_t> order = cfg.rpo;
+    if (!forward)
+        std::reverse(order.begin(), order.end());
+
+    // Incoming edges per block in flow direction, for edge transfers.
+    // (source out-value, edge) pairs; deterministic: cfg.edges order.
+    struct Incoming
+    {
+        std::size_t source;
+        const Edge *edge;
+    };
+    std::vector<std::vector<Incoming>> incoming(n);
+    for (const Edge &edge : cfg.edges) {
+        const std::size_t dst = forward ? edge.to : edge.from;
+        const std::size_t src = forward ? edge.from : edge.to;
+        incoming[dst].push_back({src, &edge});
+    }
+
+    // The block whose input receives the boundary value: the entry block
+    // forward; backward, every block without successors (returns, halt,
+    // unresolved indirect jumps all end the program path).
+    const auto takes_boundary = [&](std::size_t b) {
+        if (forward)
+            return b == cfg.entryBlock();
+        return cfg.blocks[b].succs.empty();
+    };
+
+    std::vector<char> pending(n, 0);
+    std::vector<char> seen(n, 0);
+    for (std::size_t b : order)
+        pending[b] = 1;
+
+    // Hard termination cap: H + 1 transfers per reachable block, doubled
+    // for slack (the bound is exact only for strictly monotone problems).
+    const std::size_t cap =
+        2 * order.size() * (problem.latticeHeight() + 1) + 16;
+
+    bool any_pending = true;
+    while (any_pending) {
+        any_pending = false;
+        for (std::size_t b : order) {
+            if (!pending[b])
+                continue;
+            pending[b] = 0;
+
+            Value input = problem.identity();
+            if (takes_boundary(b))
+                problem.join(input, problem.boundary(), b);
+            for (const Incoming &inc : incoming[b]) {
+                // The out-value of an unreachable source is the identity;
+                // joining it is a no-op, so no reachability filter needed.
+                const Value *source_value =
+                    forward ? &result.out[inc.source]
+                            : &result.in[inc.source];
+                if constexpr (detail::HasEdgeTransfer<Problem>) {
+                    Value along = *source_value;
+                    problem.transferEdge(cfg, *inc.edge, along);
+                    problem.join(input, along, b);
+                } else {
+                    problem.join(input, *source_value, b);
+                }
+            }
+
+            Value &stored_input = forward ? result.in[b] : result.out[b];
+            if (seen[b] && input == stored_input)
+                continue; // same input, same transfer: nothing to do
+            stored_input = input;
+
+            Value output = problem.transfer(cfg, b, stored_input);
+            ++result.transfers;
+            Value &stored_output = forward ? result.out[b] : result.in[b];
+            const bool changed = !seen[b] || !(output == stored_output);
+            seen[b] = 1;
+            if (!changed)
+                continue;
+            stored_output = std::move(output);
+            const std::vector<std::size_t> &next =
+                forward ? cfg.blocks[b].succs : cfg.blocks[b].preds;
+            for (std::size_t s : next) {
+                pending[s] = 1;
+                any_pending = true;
+            }
+            if (result.transfers >= cap) {
+                result.converged = false;
+                return result;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_ENGINE_HH

@@ -1,0 +1,353 @@
+#include "analysis/mem_access.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "isa/opcode.hh"
+
+namespace mica::analysis {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr std::size_t kNoLoop = MemAccess::kNoLoop;
+
+/** Per-loop induction-variable facts for the 32 integer registers. */
+struct LoopIvs
+{
+    /** step[r]: provable per-iteration increment of register r (basic or
+     *  one-level-derived induction variable). */
+    std::array<std::optional<std::int64_t>, 32> step;
+    /** defs[r]: number of instructions in the loop body writing r. */
+    std::array<std::size_t, 32> defs{};
+    /** def_instr[r]: the writing instruction when defs[r] == 1. */
+    std::array<std::size_t, 32> def_instr{};
+};
+
+/** True when the loop body never writes integer register r (x0 included:
+ *  writes to it are discarded and produce no definition). */
+bool
+invariantInLoop(const LoopIvs &ivs, std::uint8_t r)
+{
+    return r < 32 && ivs.defs[r] == 0;
+}
+
+/** The singleton value of register r just before instruction i, if any. */
+std::optional<std::int64_t>
+singletonAt(const Cfg &cfg, const ValueRanges &ranges, std::size_t i,
+            std::uint8_t r)
+{
+    const Interval v = ranges.atUse(cfg, i, r);
+    if (v.isConstant())
+        return v.lo;
+    return std::nullopt;
+}
+
+std::optional<std::int64_t>
+mulStep(std::int64_t step, std::int64_t factor)
+{
+    const __int128 wide = static_cast<__int128>(step) * factor;
+    if (wide < std::numeric_limits<std::int64_t>::min() ||
+        wide > std::numeric_limits<std::int64_t>::max())
+        return std::nullopt;
+    return static_cast<std::int64_t>(wide);
+}
+
+LoopIvs
+findInductionVariables(const Cfg &cfg, const ValueRanges &ranges,
+                       const NaturalLoop &loop)
+{
+    const isa::Program &program = *cfg.program;
+    LoopIvs ivs;
+    for (std::size_t b : loop.blocks) {
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i) {
+            const Instruction &in = program.code[i];
+            if (!in.hasDest() ||
+                in.dest().file != isa::RegOperand::File::Int)
+                continue;
+            const std::uint8_t rd = in.dest().index;
+            if (++ivs.defs[rd] == 1)
+                ivs.def_instr[rd] = i;
+        }
+    }
+
+    // Basic induction variables: the unique in-loop definition of r is
+    // r += c (addi, or add/sub against a loop-invariant singleton).
+    for (std::size_t r = 0; r < 32; ++r) {
+        if (ivs.defs[r] != 1)
+            continue;
+        const Instruction &in = program.code[ivs.def_instr[r]];
+        if (in.op == Opcode::Addi && in.rs1 == r) {
+            ivs.step[r] = in.imm;
+        } else if ((in.op == Opcode::Add || in.op == Opcode::Sub)) {
+            const bool r_first = in.rs1 == r;
+            const std::uint8_t other = r_first ? in.rs2 : in.rs1;
+            if ((r_first || (in.op == Opcode::Add && in.rs2 == r)) &&
+                other != r && invariantInLoop(ivs, other)) {
+                const auto c = singletonAt(cfg, ranges, ivs.def_instr[r],
+                                           other);
+                if (c && in.op == Opcode::Add)
+                    ivs.step[r] = *c;
+                else if (c) // Sub: negate, guarding -INT64_MIN
+                    ivs.step[r] = mulStep(*c, -1);
+            }
+        }
+    }
+
+    // One level of derived induction variables: d = f(basic IV) with the
+    // unique in-loop definition of d an affine function of the IV.
+    for (std::size_t d = 0; d < 32; ++d) {
+        if (ivs.defs[d] != 1 || ivs.step[d])
+            continue;
+        const std::size_t i = ivs.def_instr[d];
+        const Instruction &in = program.code[i];
+        const auto base_step =
+            [&](std::uint8_t r) -> std::optional<std::int64_t> {
+            return r < 32 && r != d ? ivs.step[r] : std::nullopt;
+        };
+        switch (in.op) {
+          case Opcode::Addi:
+            ivs.step[d] = base_step(in.rs1);
+            break;
+          case Opcode::Add:
+            if (base_step(in.rs1) && invariantInLoop(ivs, in.rs2))
+                ivs.step[d] = base_step(in.rs1);
+            else if (base_step(in.rs2) && invariantInLoop(ivs, in.rs1))
+                ivs.step[d] = base_step(in.rs2);
+            break;
+          case Opcode::Sub:
+            if (base_step(in.rs1) && invariantInLoop(ivs, in.rs2))
+                ivs.step[d] = base_step(in.rs1);
+            break;
+          case Opcode::Slli:
+            if (base_step(in.rs1) && in.imm >= 0 && in.imm <= 62) {
+                const auto scaled =
+                    mulStep(*base_step(in.rs1),
+                            std::int64_t{1} << in.imm);
+                if (scaled)
+                    ivs.step[d] = scaled;
+            }
+            break;
+          case Opcode::Mul: {
+            const bool iv_first = base_step(in.rs1).has_value();
+            const std::uint8_t iv = iv_first ? in.rs1 : in.rs2;
+            const std::uint8_t other = iv_first ? in.rs2 : in.rs1;
+            if (base_step(iv) && invariantInLoop(ivs, other)) {
+                const auto c = singletonAt(cfg, ranges, i, other);
+                if (c) {
+                    const auto scaled = mulStep(*base_step(iv), *c);
+                    if (scaled)
+                        ivs.step[d] = scaled;
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return ivs;
+}
+
+StrideClass
+classifyStride(std::int64_t stride, std::uint8_t mem_bytes)
+{
+    if (stride == 0)
+        return StrideClass::Invariant;
+    const std::uint64_t mag = stride < 0
+        ? -static_cast<std::uint64_t>(stride)
+        : static_cast<std::uint64_t>(stride);
+    if (mag == mem_bytes)
+        return StrideClass::Unit;
+    if (mag <= 64)
+        return StrideClass::Small;
+    return StrideClass::Large;
+}
+
+/** [imm_a, imm_a + bytes_a) overlaps [imm_b, imm_b + bytes_b). */
+bool
+offsetsOverlap(std::int64_t a, std::uint8_t bytes_a, std::int64_t b,
+               std::uint8_t bytes_b)
+{
+    return a < b + static_cast<std::int64_t>(bytes_b) &&
+        b < a + static_cast<std::int64_t>(bytes_a);
+}
+
+bool
+intervalsOverlap(const Interval &a, const Interval &b)
+{
+    return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+} // namespace
+
+const char *
+strideClassName(StrideClass cls)
+{
+    switch (cls) {
+      case StrideClass::Invariant: return "invariant";
+      case StrideClass::Unit: return "unit";
+      case StrideClass::Small: return "small";
+      case StrideClass::Large: return "large";
+      case StrideClass::Irregular: return "irregular";
+    }
+    return "?";
+}
+
+MemAccessAnalysis
+analyzeMemAccess(const Cfg &cfg, const std::vector<NaturalLoop> &loops,
+                 const ValueRanges &ranges)
+{
+    MemAccessAnalysis result;
+    if (cfg.blocks.empty())
+        return result;
+    const isa::Program &program = *cfg.program;
+
+    std::vector<LoopIvs> loop_ivs;
+    loop_ivs.reserve(loops.size());
+    for (const NaturalLoop &loop : loops)
+        loop_ivs.push_back(findInductionVariables(cfg, ranges, loop));
+
+    // Innermost containing loop per block: deepest wins, smallest body
+    // breaks ties (a loop nested in an equal-depth sibling cannot happen,
+    // but merged headers can produce equal depths).
+    std::vector<std::size_t> innermost(cfg.blocks.size(), kNoLoop);
+    for (std::size_t l = 0; l < loops.size(); ++l) {
+        for (std::size_t b : loops[l].blocks) {
+            const std::size_t cur = innermost[b];
+            if (cur == kNoLoop || loops[l].depth > loops[cur].depth ||
+                (loops[l].depth == loops[cur].depth &&
+                 loops[l].blocks.size() < loops[cur].blocks.size()))
+                innermost[b] = l;
+        }
+    }
+
+    for (std::size_t b : cfg.rpo) {
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i) {
+            const Instruction &in = program.code[i];
+            const isa::OpcodeInfo &info = in.info();
+            if (info.mem_bytes == 0)
+                continue;
+
+            MemAccess access;
+            access.instr = i;
+            access.is_store = isa::isStore(in.op);
+            access.mem_bytes = info.mem_bytes;
+            access.loop = innermost[b];
+            access.loop_depth =
+                access.loop == kNoLoop ? 0 : loops[access.loop].depth;
+
+            // Effective address interval: base register range + immediate.
+            const Interval base = ranges.atUse(cfg, i, in.rs1);
+            access.address = intervalAlu(Opcode::Addi, base,
+                                         Interval::constant(in.imm));
+
+            if (access.loop != kNoLoop) {
+                const LoopIvs &ivs = loop_ivs[access.loop];
+                if (in.rs1 < 32 && ivs.step[in.rs1]) {
+                    access.stride_known = true;
+                    access.stride = *ivs.step[in.rs1];
+                    access.stride_class =
+                        classifyStride(access.stride, access.mem_bytes);
+                } else if (invariantInLoop(ivs, in.rs1)) {
+                    access.stride_known = true;
+                    access.stride = 0;
+                    access.stride_class = StrideClass::Invariant;
+                }
+            } else if (base.isConstant()) {
+                access.stride_known = true;
+                access.stride = 0;
+                access.stride_class = StrideClass::Invariant;
+            }
+
+            const Interval &addr = access.address;
+            if (addr.isEmpty() || addr == Interval::full()) {
+                access.footprint = MemAccess::kUnknownFootprint;
+            } else {
+                const std::uint64_t width =
+                    static_cast<std::uint64_t>(addr.hi) -
+                    static_cast<std::uint64_t>(addr.lo);
+                access.footprint =
+                    width > MemAccess::kUnknownFootprint - access.mem_bytes
+                    ? MemAccess::kUnknownFootprint
+                    : width + access.mem_bytes;
+            }
+
+            ++result.stride_histogram[static_cast<std::size_t>(
+                access.stride_class)];
+            result.accesses.push_back(access);
+        }
+    }
+
+    // Dependence estimate per loop. Same-base-register pairs with a known
+    // stride get an exact iteration distance; other pairs fall back to
+    // address-interval overlap.
+    for (std::size_t l = 0; l < loops.size(); ++l) {
+        std::vector<const MemAccess *> members;
+        for (const MemAccess &access : result.accesses)
+            if (access.loop == l)
+                members.push_back(&access);
+
+        for (std::size_t x = 0; x < members.size(); ++x) {
+            for (std::size_t y = x + 1; y < members.size(); ++y) {
+                const MemAccess &a = *members[x];
+                const MemAccess &c = *members[y];
+                if (!a.is_store && !c.is_store)
+                    continue;
+                const MemAccess &store = a.is_store ? a : c;
+                const MemAccess &other = a.is_store ? c : a;
+
+                const Instruction &sa = program.code[store.instr];
+                const Instruction &so = program.code[other.instr];
+                const bool same_base = sa.rs1 == so.rs1;
+
+                if (same_base && store.stride_known && other.stride_known &&
+                    store.stride == other.stride) {
+                    const std::int64_t s = store.stride;
+                    const std::int64_t delta = sa.imm - so.imm;
+                    if (s == 0) {
+                        // Loop-invariant base: dependent iff the static
+                        // offsets overlap; the address repeats every
+                        // iteration, so a store-first pair is a
+                        // same-iteration dependence, otherwise it carries
+                        // to the next iteration.
+                        if (offsetsOverlap(sa.imm, store.mem_bytes, so.imm,
+                                           other.mem_bytes)) {
+                            result.dependences.push_back(
+                                {l, store.instr, other.instr, true,
+                                 store.instr < other.instr ? 0 : 1});
+                        }
+                    } else if (delta % s == 0) {
+                        const std::int64_t distance = delta / s;
+                        result.dependences.push_back(
+                            {l, store.instr, other.instr, true,
+                             distance < 0 ? -distance : distance});
+                    }
+                    // Offsets a non-multiple of the stride apart never
+                    // collide exactly; partial overlap within one access
+                    // width is below this estimate's resolution.
+                    continue;
+                }
+
+                if (!store.address.isEmpty() && !other.address.isEmpty() &&
+                    !(store.address == Interval::full()) &&
+                    !(other.address == Interval::full()) &&
+                    intervalsOverlap(store.address, other.address)) {
+                    result.dependences.push_back(
+                        {l, store.instr, other.instr, false, 0});
+                }
+            }
+        }
+    }
+
+    for (const LoopDependence &dep : result.dependences)
+        if (dep.distance_known && dep.distance != 0)
+            ++result.loop_carried;
+    return result;
+}
+
+} // namespace mica::analysis

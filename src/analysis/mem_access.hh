@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Static memory-access analysis: per-access stride classification, a
+ * loop-nest-aware footprint estimate, and loop-carried dependence
+ * detection over the natural loops of the CFG.
+ *
+ * The dynamic characterization measures the *observed* stride distribution
+ * of every workload (mica/metrics.hh indices 37..54); this analysis derives
+ * its static counterpart from the program text alone. An access through a
+ * basic or one-level-derived induction variable of its innermost loop gets
+ * the induction step as its static stride; a base register never written
+ * inside the loop is a loop-invariant (stride-0) access; everything else is
+ * irregular. Strides bucket into the same unit/small/large classes the
+ * paper uses for its stride CDFs, which is what makes the static and
+ * dynamic distributions comparable in BENCH_static_analysis.json.
+ *
+ * Dependences are an estimate, not a proof: same-induction-variable pairs
+ * with offsets a whole number of steps apart are reported with their exact
+ * iteration distance; other pairs fall back to interval overlap of the
+ * value-range addresses (may-dependence) or disjointness (independence).
+ */
+
+#ifndef MICAPHASE_ANALYSIS_MEM_ACCESS_HH
+#define MICAPHASE_ANALYSIS_MEM_ACCESS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/value_range.hh"
+
+namespace mica::analysis {
+
+/** Static stride classification of one memory access. */
+enum class StrideClass : std::uint8_t
+{
+    Invariant, ///< address loop-invariant (or constant outside loops)
+    Unit,      ///< |stride| == access size: dense sequential
+    Small,     ///< |stride| <= 64 bytes: within a typical cache line pair
+    Large,     ///< provable stride beyond 64 bytes
+    Irregular, ///< no provable per-iteration stride
+};
+
+constexpr std::size_t kNumStrideClasses = 5;
+
+/** Printable name of a stride class ("unit", "irregular", ...). */
+[[nodiscard]] const char *strideClassName(StrideClass cls);
+
+/** One static load or store site of a reachable block. */
+struct MemAccess
+{
+    std::size_t instr = 0;      ///< instruction index
+    bool is_store = false;
+    std::uint8_t mem_bytes = 0; ///< access width
+    /** Innermost natural loop containing the access, or kNoLoop. */
+    std::size_t loop = kNoLoop;
+    std::size_t loop_depth = 0; ///< 0 outside loops
+    StrideClass stride_class = StrideClass::Irregular;
+    bool stride_known = false;
+    std::int64_t stride = 0;    ///< bytes per iteration when stride_known
+    /** Value-range interval of the effective address at the access. */
+    Interval address;
+    /** Upper bound on the byte span the site can touch (address interval
+     *  width + access size), or kUnknownFootprint when unbounded. */
+    std::uint64_t footprint = 0;
+
+    static constexpr std::size_t kNoLoop = static_cast<std::size_t>(-1);
+    static constexpr std::uint64_t kUnknownFootprint =
+        static_cast<std::uint64_t>(-1);
+};
+
+/** One detected (or possible) dependence between accesses of a loop. */
+struct LoopDependence
+{
+    std::size_t loop = 0;      ///< index into the natural-loop vector
+    std::size_t store_instr = 0;
+    std::size_t other_instr = 0; ///< the dependent load or store
+    /** True when the iteration distance is provable. */
+    bool distance_known = false;
+    /** Iterations between the dependent accesses (0 = same iteration,
+     *  loop-carried otherwise); valid when distance_known. */
+    std::int64_t distance = 0;
+};
+
+/** Result of the static memory analysis of one program. */
+struct MemAccessAnalysis
+{
+    /** All loads/stores of reachable blocks in program order. */
+    std::vector<MemAccess> accesses;
+    std::vector<LoopDependence> dependences;
+    /** Access count per StrideClass (index by static_cast). */
+    std::array<std::size_t, kNumStrideClasses> stride_histogram{};
+    /** Number of dependences with distance_known && distance != 0. */
+    std::size_t loop_carried = 0;
+};
+
+/**
+ * Run the analysis. `loops` must come from findNaturalLoops over the same
+ * CFG and `ranges` from computeValueRanges; both are borrowed.
+ */
+[[nodiscard]] MemAccessAnalysis
+analyzeMemAccess(const Cfg &cfg, const std::vector<NaturalLoop> &loops,
+                 const ValueRanges &ranges);
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_MEM_ACCESS_HH

@@ -1,0 +1,186 @@
+#include "analysis/reaching_defs.hh"
+
+#include <array>
+
+#include "analysis/engine.hh"
+#include "isa/opcode.hh"
+
+namespace mica::analysis {
+
+namespace {
+
+using isa::Instruction;
+using isa::RegOperand;
+
+/** Dense bitvector with the word count fixed at construction. */
+using BitVec = std::vector<std::uint64_t>;
+
+bool
+testBit(const BitVec &v, std::size_t bit)
+{
+    return (v[bit / 64] >> (bit % 64)) & 1;
+}
+
+void
+setBit(BitVec &v, std::size_t bit)
+{
+    v[bit / 64] |= std::uint64_t{1} << (bit % 64);
+}
+
+/** Register slot 0..63 (x-file then f-file) of an operand. */
+std::size_t
+regSlot(const RegOperand &reg)
+{
+    return (reg.file == RegOperand::File::Fp ? 32u : 0u) + reg.index;
+}
+
+struct ReachingProblem
+{
+    using Value = BitVec;
+    static constexpr Direction kDirection = Direction::Forward;
+
+    const std::vector<BitVec> *gen = nullptr;
+    const std::vector<BitVec> *kill = nullptr;
+    BitVec boundary_defs;
+    std::size_t words = 0;
+    std::size_t num_defs = 0;
+
+    [[nodiscard]] Value identity() const { return BitVec(words, 0); }
+    [[nodiscard]] Value boundary() const { return boundary_defs; }
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        for (std::size_t w = 0; w < words; ++w)
+            into[w] |= from[w];
+    }
+    [[nodiscard]] Value
+    transfer(const Cfg &, std::size_t block, const Value &in) const
+    {
+        Value out = in;
+        for (std::size_t w = 0; w < words; ++w)
+            out[w] = (out[w] & ~(*kill)[block][w]) | (*gen)[block][w];
+        return out;
+    }
+    [[nodiscard]] std::size_t latticeHeight() const { return num_defs; }
+};
+
+} // namespace
+
+bool
+ReachingDefs::reachesBlock(std::size_t d, std::size_t b) const
+{
+    return testBit(in[b], d);
+}
+
+ReachingDefs
+computeReachingDefs(const Cfg &cfg)
+{
+    ReachingDefs result;
+    if (cfg.blocks.empty())
+        return result;
+    const isa::Program &program = *cfg.program;
+
+    // Definition sites: VM-reset pseudo-defs first (x0, sp), then every
+    // register write in program order. defs_of_slot groups them per
+    // register for kill computation.
+    std::array<std::vector<std::size_t>, 64> defs_of_slot;
+    const auto add_def = [&](std::size_t instr, RegOperand reg) {
+        defs_of_slot[regSlot(reg)].push_back(result.defs.size());
+        result.defs.push_back({instr, reg});
+    };
+    add_def(DefSite::kVmReset, {RegOperand::File::Int, isa::kRegZero});
+    add_def(DefSite::kVmReset, {RegOperand::File::Int, isa::kRegSp});
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const Instruction &in = program.code[i];
+        if (in.hasDest())
+            add_def(i, in.dest());
+    }
+
+    const std::size_t num_defs = result.defs.size();
+    const std::size_t words = (num_defs + 63) / 64;
+    const std::size_t num_blocks = cfg.blocks.size();
+
+    // Per-block gen (last in-block def per register survives) and kill
+    // (every def of a register the block writes, except the surviving one).
+    std::vector<BitVec> gen(num_blocks, BitVec(words, 0));
+    std::vector<BitVec> kill(num_blocks, BitVec(words, 0));
+    // def site index of instruction i, parallel to program order.
+    std::vector<std::size_t> def_at(program.code.size(), DefSite::kVmReset);
+    for (std::size_t d = 2; d < num_defs; ++d)
+        def_at[result.defs[d].instr] = d;
+    {
+        std::array<std::size_t, 64> current{};
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+            current.fill(DefSite::kVmReset);
+            for (std::size_t i = cfg.blocks[b].first;
+                 i <= cfg.blocks[b].last; ++i) {
+                const Instruction &in = program.code[i];
+                if (in.hasDest())
+                    current[regSlot(in.dest())] = def_at[i];
+            }
+            for (std::size_t slot = 0; slot < 64; ++slot) {
+                const std::size_t surviving = current[slot];
+                if (surviving == DefSite::kVmReset)
+                    continue;
+                setBit(gen[b], surviving);
+                for (std::size_t d : defs_of_slot[slot])
+                    if (d != surviving)
+                        setBit(kill[b], d);
+            }
+        }
+    }
+
+    ReachingProblem problem;
+    problem.gen = &gen;
+    problem.kill = &kill;
+    problem.words = words;
+    problem.num_defs = num_defs;
+    problem.boundary_defs.assign(words, 0);
+    setBit(problem.boundary_defs, 0); // x0 reset
+    setBit(problem.boundary_defs, 1); // sp reset
+
+    auto fixpoint = solveDataflow(cfg, problem);
+    result.transfers = fixpoint.transfers;
+    result.in = std::move(fixpoint.in);
+    for (std::size_t b = 0; b < num_blocks; ++b)
+        if (!cfg.reachable[b])
+            result.in[b].assign(words, 0);
+
+    // Use-def chains: walk each reachable block tracking, per register,
+    // the in-block defining site (or the block-entry bitvector fallback).
+    result.used.assign(num_defs, false);
+    std::array<std::size_t, 64> local_def{};
+    for (std::size_t b : cfg.rpo) {
+        local_def.fill(DefSite::kVmReset);
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i) {
+            const Instruction &in = program.code[i];
+            for (const RegOperand &reg : in.sources()) {
+                if (reg.file == RegOperand::File::Int &&
+                    reg.index == isa::kRegZero)
+                    continue; // hard-wired zero: no producer
+                if (reg.index >= isa::kNumIntRegs)
+                    continue; // malformed operand (verifier error)
+                UseSite use;
+                use.instr = i;
+                use.reg = reg;
+                const std::size_t slot = regSlot(reg);
+                if (local_def[slot] != DefSite::kVmReset) {
+                    use.defs.push_back(local_def[slot]);
+                } else {
+                    for (std::size_t d : defs_of_slot[slot])
+                        if (testBit(result.in[b], d))
+                            use.defs.push_back(d);
+                }
+                for (std::size_t d : use.defs)
+                    result.used[d] = true;
+                result.uses.push_back(std::move(use));
+            }
+            if (in.hasDest())
+                local_def[regSlot(in.dest())] = def_at[i];
+        }
+    }
+    return result;
+}
+
+} // namespace mica::analysis

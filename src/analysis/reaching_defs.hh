@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reaching definitions with use-def chains, hosted on the generic dataflow
+ * engine (analysis/engine.hh).
+ *
+ * A definition site is one instruction that writes a register. The forward
+ * gen/kill bitvector fixpoint computes, per basic block, which definition
+ * sites can reach the block entry on some path; a second in-block pass
+ * derives the use-def chain of every register use: the exact set of
+ * definitions whose value the use may observe. Two synthetic "VM reset"
+ * definitions model the registers the machine defines at boot (x0 and the
+ * stack pointer), so an empty chain means *no* definition — not even the
+ * reset — reaches the use: a proven use-before-def.
+ *
+ * The verifier consumes the chains for use-before-def (empty chain) and
+ * dead-store detection (a definition no use observes); the static memory
+ * analysis uses them to find single-definition induction steps.
+ */
+
+#ifndef MICAPHASE_ANALYSIS_REACHING_DEFS_HH
+#define MICAPHASE_ANALYSIS_REACHING_DEFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+
+namespace mica::analysis {
+
+/** One definition site. */
+struct DefSite
+{
+    /** Defining instruction index, or kVmReset for the boot pseudo-defs. */
+    std::size_t instr = 0;
+    isa::RegOperand reg; ///< the register written
+
+    static constexpr std::size_t kVmReset = static_cast<std::size_t>(-1);
+};
+
+/** One register use and the definitions that may reach it. */
+struct UseSite
+{
+    std::size_t instr = 0;   ///< reading instruction index
+    isa::RegOperand reg;     ///< the register read
+    /** Indices into ReachingDefs::defs of the reaching definitions,
+     *  ascending. Empty = proven use-before-def. */
+    std::vector<std::size_t> defs;
+};
+
+/** Reaching-definitions fixpoint plus derived chains. */
+struct ReachingDefs
+{
+    /** All definition sites: the VM-reset pseudo-defs first, then every
+     *  register-writing instruction in program order. */
+    std::vector<DefSite> defs;
+    /** All register uses of reachable blocks in program order (x0 reads
+     *  excluded — the hard-wired zero has no meaningful producer). */
+    std::vector<UseSite> uses;
+    /** defs-reaching-block-entry bitvector per block, one bit per defs[i];
+     *  unreachable blocks are all-zero. */
+    std::vector<std::vector<std::uint64_t>> in;
+    /** used[d]: some reachable use observes defs[d]. */
+    std::vector<bool> used;
+    /** Transfer applications the fixpoint needed (engine diagnostics). */
+    std::size_t transfers = 0;
+
+    /** True when bit d is set in the block-entry vector of block b. */
+    [[nodiscard]] bool reachesBlock(std::size_t d, std::size_t b) const;
+};
+
+[[nodiscard]] ReachingDefs computeReachingDefs(const Cfg &cfg);
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_REACHING_DEFS_HH

@@ -1,10 +1,14 @@
 #include "analysis/static_features.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <unordered_set>
 
 #include "analysis/cfg.hh"
 #include "analysis/dataflow.hh"
+#include "analysis/mem_access.hh"
+#include "analysis/value_range.hh"
 
 namespace mica::analysis {
 
@@ -16,6 +20,79 @@ constexpr std::string_view kGroupNames[kNumOpGroups] = {
     "fp_cmp",    "fp_cvt",   "load",     "store",     "cond_branch",
     "jump",      "other",
 };
+
+/** Dynamic mix-bin names, in midx::Mix* order. */
+constexpr std::string_view kMixBinNames[kNumMixBins] = {
+    "mem_read", "mem_write", "control",  "cond_branch", "call",
+    "return",   "int_arith", "int_mul",  "int_div",     "int_logic",
+    "int_shift","int_cmp",   "fp_arith", "fp_mul",      "fp_div",
+    "fp_sqrt",  "fp_cmp",    "fp_cvt",   "move",        "nop_other",
+};
+
+constexpr std::string_view kStrideNames[kV2StrideClasses] = {
+    "invariant", "unit", "small", "large", "irregular",
+};
+
+/** Loop-depth weight, capped so deep synthetic nests cannot overflow. */
+double
+depthWeight(std::size_t depth)
+{
+    return std::pow(kLoopWeight, static_cast<double>(std::min<std::size_t>(
+        depth, 6)));
+}
+
+/**
+ * Add an instruction to the weighted mix, mirroring the profiler's slot
+ * logic exactly (mica/profiler.cc MicaProfiler::onInstruction): memory
+ * first, then control with its subclass, then move, then the group.
+ */
+void
+addToMix(const isa::Instruction &in, double w,
+         std::array<double, kNumMixBins> &mix)
+{
+    using isa::OpGroup;
+    enum : std::size_t
+    {
+        MemRead, MemWrite, Control, CondBranch, Call, Return, IntArith,
+        IntMul, IntDiv, IntLogic, IntShift, IntCmp, FpArith, FpMul,
+        FpDiv, FpSqrt, FpCmp, FpCvt, Move, NopOther,
+    };
+    const bool load = isa::isLoad(in.op);
+    const bool store = isa::isStore(in.op);
+    if (load)
+        mix[MemRead] += w;
+    if (store)
+        mix[MemWrite] += w;
+    if (isa::isControl(in.op)) {
+        mix[Control] += w;
+        if (isa::isCondBranch(in.op))
+            mix[CondBranch] += w;
+        else if (in.isCall())
+            mix[Call] += w;
+        else if (in.isReturn())
+            mix[Return] += w;
+    } else if (!load && !store) {
+        if (in.isMove()) {
+            mix[Move] += w;
+            return;
+        }
+        switch (in.info().group) {
+          case OpGroup::IntArith: mix[IntArith] += w; break;
+          case OpGroup::IntMul: mix[IntMul] += w; break;
+          case OpGroup::IntDiv: mix[IntDiv] += w; break;
+          case OpGroup::IntLogic: mix[IntLogic] += w; break;
+          case OpGroup::IntShift: mix[IntShift] += w; break;
+          case OpGroup::IntCmp: mix[IntCmp] += w; break;
+          case OpGroup::FpArith: mix[FpArith] += w; break;
+          case OpGroup::FpMul: mix[FpMul] += w; break;
+          case OpGroup::FpDiv: mix[FpDiv] += w; break;
+          case OpGroup::FpSqrt: mix[FpSqrt] += w; break;
+          case OpGroup::FpCmp: mix[FpCmp] += w; break;
+          case OpGroup::FpCvt: mix[FpCvt] += w; break;
+          default: mix[NopOther] += w; break;
+        }
+    }
+}
 
 } // namespace
 
@@ -121,6 +198,145 @@ staticFeatures(const isa::Program &program)
             std::max(f.max_int_pressure, intRegCount(live.in[b]));
         f.max_fp_pressure =
             std::max(f.max_fp_pressure, fpRegCount(live.in[b]));
+    }
+    return f;
+}
+
+std::vector<std::string>
+StaticFeaturesV2::featureNames()
+{
+    std::vector<std::string> names = StaticFeatures::featureNames();
+    for (std::string_view bin : kMixBinNames)
+        names.push_back("wmix_" + std::string(bin));
+    for (std::string_view cls : kStrideNames)
+        names.push_back("wload_stride_" + std::string(cls));
+    for (std::string_view cls : kStrideNames)
+        names.push_back("wstore_stride_" + std::string(cls));
+    names.push_back("est_ilp");
+    names.push_back("est_data_footprint");
+    names.push_back("loop_carried_frac");
+    return names;
+}
+
+std::vector<double>
+StaticFeaturesV2::toVector() const
+{
+    std::vector<double> v = base.toVector();
+    v.insert(v.end(), mix.begin(), mix.end());
+    v.insert(v.end(), load_stride_mix.begin(), load_stride_mix.end());
+    v.insert(v.end(), store_stride_mix.begin(), store_stride_mix.end());
+    v.push_back(est_ilp);
+    v.push_back(est_data_footprint);
+    v.push_back(loop_carried_frac);
+    return v;
+}
+
+StaticFeaturesV2
+staticFeaturesV2(const isa::Program &program)
+{
+    StaticFeaturesV2 f;
+    f.base = staticFeatures(program);
+    if (program.code.empty())
+        return f;
+
+    const Cfg cfg = buildCfg(program);
+    const DominatorTree doms = computeDominators(cfg);
+    const std::vector<NaturalLoop> loops = findNaturalLoops(cfg, doms);
+    const ValueRanges ranges = computeValueRanges(cfg);
+    const MemAccessAnalysis mem = analyzeMemAccess(cfg, loops, ranges);
+    f.analysis_transfers = ranges.transfers;
+
+    // Innermost loop depth per block, for the execution-frequency weights.
+    std::vector<std::size_t> block_depth(cfg.blocks.size(), 0);
+    for (const NaturalLoop &loop : loops)
+        for (std::size_t b : loop.blocks)
+            block_depth[b] = std::max(block_depth[b], loop.depth);
+
+    // Weighted instruction mix and intra-block dependence height. The
+    // dependence walk tracks, per register slot, the chain depth of its
+    // in-block producer; an instruction's depth is one past its deepest
+    // input, and the block's critical path is the deepest instruction.
+    double total_weight = 0.0;
+    double weighted_instrs = 0.0;
+    double weighted_critical = 0.0;
+    std::array<double, 64> slot_depth{};
+    for (std::size_t b : cfg.rpo) {
+        const double w = depthWeight(block_depth[b]);
+        slot_depth.fill(0.0);
+        double critical = 0.0;
+        for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
+             ++i) {
+            const isa::Instruction &in = program.code[i];
+            addToMix(in, w, f.mix);
+            total_weight += w;
+
+            double depth = 0.0;
+            for (const isa::RegOperand &reg : in.sources()) {
+                if (reg.file == isa::RegOperand::File::Int &&
+                    reg.index == isa::kRegZero)
+                    continue;
+                if (reg.index >= 32)
+                    continue;
+                const std::size_t slot =
+                    (reg.file == isa::RegOperand::File::Fp ? 32u : 0u) +
+                    reg.index;
+                depth = std::max(depth, slot_depth[slot]);
+            }
+            depth += 1.0;
+            critical = std::max(critical, depth);
+            if (in.hasDest() && in.dest().index < 32) {
+                const std::size_t slot =
+                    (in.dest().file == isa::RegOperand::File::Fp ? 32u
+                                                                 : 0u) +
+                    in.dest().index;
+                slot_depth[slot] = depth;
+            }
+        }
+        weighted_instrs +=
+            w * static_cast<double>(cfg.blocks[b].size());
+        weighted_critical += w * critical;
+    }
+    if (total_weight > 0.0)
+        for (double &bin : f.mix)
+            bin /= total_weight;
+    if (weighted_critical > 0.0)
+        f.est_ilp = weighted_instrs / weighted_critical;
+
+    // Weighted stride mixes and the footprint/dependence summaries.
+    double load_weight = 0.0, store_weight = 0.0;
+    const double footprint_cap =
+        static_cast<double>(program.data.size()) +
+        static_cast<double>(1ull << 20); // data segment + default stack
+    double footprint = 0.0;
+    for (const MemAccess &access : mem.accesses) {
+        const double w = depthWeight(access.loop_depth);
+        auto &mix = access.is_store ? f.store_stride_mix
+                                    : f.load_stride_mix;
+        mix[static_cast<std::size_t>(access.stride_class)] += w;
+        (access.is_store ? store_weight : load_weight) += w;
+        footprint += access.footprint == MemAccess::kUnknownFootprint
+            ? footprint_cap
+            : std::min(static_cast<double>(access.footprint),
+                       footprint_cap);
+    }
+    if (load_weight > 0.0)
+        for (double &cls : f.load_stride_mix)
+            cls /= load_weight;
+    if (store_weight > 0.0)
+        for (double &cls : f.store_stride_mix)
+            cls /= store_weight;
+    f.est_data_footprint = std::min(footprint, footprint_cap);
+
+    if (!mem.accesses.empty()) {
+        std::unordered_set<std::size_t> carried;
+        for (const LoopDependence &dep : mem.dependences) {
+            if (dep.distance_known && dep.distance != 0) {
+                carried.insert(dep.store_instr);
+                carried.insert(dep.other_instr);
+            }
+        }
+        f.loop_carried_frac = static_cast<double>(carried.size()) /
+            static_cast<double>(mem.accesses.size());
     }
     return f;
 }

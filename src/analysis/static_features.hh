@@ -58,6 +58,67 @@ struct StaticFeatures
 /** Extract the static signature of a program. */
 [[nodiscard]] StaticFeatures staticFeatures(const isa::Program &program);
 
+/** Number of dynamic instruction-mix bins (mica/metrics.hh midx::Mix*). */
+constexpr std::size_t kNumMixBins = 20;
+
+/** Number of static stride classes (mem_access.hh StrideClass). */
+constexpr std::size_t kV2StrideClasses = 5;
+
+/**
+ * Static counterparts of the dynamic MICA features, for the
+ * static-vs-dynamic validation in BENCH_static_analysis.json.
+ *
+ * Three groups mirror the dynamic characterization directly:
+ *  - `mix`: the 20 instruction-mix bins classified with the *same* slot
+ *    logic as the profiler (mica/profiler.cc), so the two distributions
+ *    are bin-for-bin comparable;
+ *  - `load_stride_mix` / `store_stride_mix`: distribution of static
+ *    memory accesses over the stride classes of the static memory
+ *    analysis, the counterpart of the dynamic stride CDFs;
+ *  - `est_ilp`: instructions per dependence-chain step along the
+ *    intra-block register use-def critical path, the static analogue of
+ *    the windowed dynamic ILP metrics.
+ *
+ * All three are loop-nest weighted: an instruction at loop depth d counts
+ * kLoopWeight^d times, approximating its dynamic execution frequency from
+ * structure alone (a block inside two nested loops runs roughly
+ * iterations^2 times as often as straight-line code).
+ */
+struct StaticFeaturesV2
+{
+    StaticFeatures base;
+
+    /** Loop-weighted static instruction mix over the dynamic mix bins. */
+    std::array<double, kNumMixBins> mix{};
+    /** Loop-weighted static load/store distribution per stride class. */
+    std::array<double, kV2StrideClasses> load_stride_mix{};
+    std::array<double, kV2StrideClasses> store_stride_mix{};
+    /** Estimated ILP from the intra-block dependence height (>= 1 for
+     *  nonempty programs). */
+    double est_ilp = 0.0;
+    /** Upper-bound estimate of the touched data bytes (finite access
+     *  footprints summed, capped at the addressable segments). */
+    double est_data_footprint = 0.0;
+    /** Fraction of static accesses involved in a provable loop-carried
+     *  dependence. */
+    double loop_carried_frac = 0.0;
+    /** Transfer applications the underlying fixpoints needed (engine
+     *  cost diagnostics for the bench table). */
+    std::size_t analysis_transfers = 0;
+
+    /** Names for toVector(), in order. */
+    [[nodiscard]] static std::vector<std::string> featureNames();
+    /** Flattened vector matching featureNames() (base features first). */
+    [[nodiscard]] std::vector<double> toVector() const;
+};
+
+/** Per-depth execution-frequency weight base used by StaticFeaturesV2. */
+constexpr double kLoopWeight = 8.0;
+
+/** Extract the v2 static signature (runs the full analysis stack). */
+[[nodiscard]] StaticFeaturesV2
+staticFeaturesV2(const isa::Program &program);
+
 } // namespace mica::analysis
 
 #endif // MICAPHASE_ANALYSIS_STATIC_FEATURES_HH

@@ -1,0 +1,505 @@
+#include "analysis/value_range.hh"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "analysis/dataflow.hh"
+#include "analysis/engine.hh"
+#include "isa/semantics.hh"
+
+namespace mica::analysis {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/** [lo, hi] if the 128-bit bounds fit in int64, else the full interval
+ *  (wraparound could split the range, so full is the sound fallback). */
+Interval
+fitOrFull(__int128 lo, __int128 hi)
+{
+    if (lo < kMin || hi > kMax)
+        return Interval::full();
+    return {static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)};
+}
+
+Interval
+intervalAdd(const Interval &a, const Interval &b)
+{
+    return fitOrFull(static_cast<__int128>(a.lo) + b.lo,
+                     static_cast<__int128>(a.hi) + b.hi);
+}
+
+Interval
+intervalSub(const Interval &a, const Interval &b)
+{
+    return fitOrFull(static_cast<__int128>(a.lo) - b.hi,
+                     static_cast<__int128>(a.hi) - b.lo);
+}
+
+Interval
+intervalMul(const Interval &a, const Interval &b)
+{
+    const __int128 p[4] = {static_cast<__int128>(a.lo) * b.lo,
+                           static_cast<__int128>(a.lo) * b.hi,
+                           static_cast<__int128>(a.hi) * b.lo,
+                           static_cast<__int128>(a.hi) * b.hi};
+    return fitOrFull(std::min({p[0], p[1], p[2], p[3]}),
+                     std::max({p[0], p[1], p[2], p[3]}));
+}
+
+/** Quotient corners are extreme for a positive divisor (truncated division
+ *  is monotone in the dividend and anti-monotone in divisor magnitude). */
+Interval
+intervalDivPos(const Interval &a, const Interval &b)
+{
+    const std::int64_t q[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo,
+                               a.hi / b.hi};
+    return {std::min({q[0], q[1], q[2], q[3]}),
+            std::max({q[0], q[1], q[2], q[3]})};
+}
+
+Interval
+intervalShift(Opcode op, const Interval &a, std::int64_t amount)
+{
+    const auto s = static_cast<unsigned>(amount & 63);
+    switch (op) {
+      case Opcode::Sll:
+      case Opcode::Slli:
+        return fitOrFull(static_cast<__int128>(a.lo) << s,
+                         static_cast<__int128>(a.hi) << s);
+      case Opcode::Srl:
+      case Opcode::Srli:
+        // Logical shift reinterprets negatives as huge unsigned values.
+        if (a.lo < 0)
+            return Interval::full();
+        return {a.lo >> s, a.hi >> s};
+      case Opcode::Sra:
+      case Opcode::Srai:
+        return {a.lo >> s, a.hi >> s};
+      default:
+        return Interval::full();
+    }
+}
+
+Interval
+intervalCompare(Opcode op, const Interval &a, const Interval &b)
+{
+    const bool unsigned_cmp = op == Opcode::Sltu;
+    if (!unsigned_cmp || (a.lo >= 0 && b.lo >= 0)) {
+        if (a.hi < b.lo)
+            return Interval::constant(1);
+        if (a.lo >= b.hi)
+            return Interval::constant(0);
+    }
+    return {0, 1};
+}
+
+} // namespace
+
+Interval
+Interval::hull(const Interval &other) const
+{
+    if (isEmpty())
+        return other;
+    if (other.isEmpty())
+        return *this;
+    return {std::min(lo, other.lo), std::max(hi, other.hi)};
+}
+
+Interval
+intervalAlu(Opcode op, Interval a, Interval b)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return Interval::empty();
+    if (a.isConstant() && b.isConstant())
+        return Interval::constant(isa::evalIntAlu(op, a.lo, b.lo));
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        return intervalAdd(a, b);
+      case Opcode::Sub:
+        return intervalSub(a, b);
+      case Opcode::Mul:
+        return intervalMul(a, b);
+      case Opcode::Div:
+        return b.lo > 0 ? intervalDivPos(a, b) : Interval::full();
+      case Opcode::Rem:
+        // For a positive divisor, |a rem b| <= min(|a|, b - 1) and the
+        // result keeps the dividend's sign.
+        if (b.lo > 0)
+            return {std::max(-(b.hi - 1), std::min(a.lo, std::int64_t{0})),
+                    std::min(b.hi - 1, std::max(a.hi, std::int64_t{0}))};
+        return Interval::full();
+      case Opcode::And:
+      case Opcode::Andi:
+        if (a.lo >= 0 || b.lo >= 0) {
+            // A non-negative operand caps the result at its own maximum.
+            std::int64_t cap = kMax;
+            if (a.lo >= 0)
+                cap = std::min(cap, a.hi);
+            if (b.lo >= 0)
+                cap = std::min(cap, b.hi);
+            return {0, cap};
+        }
+        return Interval::full();
+      case Opcode::Or:
+      case Opcode::Ori:
+      case Opcode::Xor:
+      case Opcode::Xori:
+        if (a.lo >= 0 && b.lo >= 0) {
+            // Bitwise results stay below the next power of two.
+            const auto width = static_cast<unsigned>(std::bit_width(
+                static_cast<std::uint64_t>(std::max(a.hi, b.hi))));
+            const std::int64_t cap = width >= 63
+                ? kMax
+                : (std::int64_t{1} << width) - 1;
+            const std::int64_t lo =
+                (op == Opcode::Or || op == Opcode::Ori)
+                ? std::max(a.lo, b.lo) // or can only set bits
+                : 0;
+            return {lo, cap};
+        }
+        return Interval::full();
+      case Opcode::Sll:
+      case Opcode::Slli:
+      case Opcode::Srl:
+      case Opcode::Srli:
+      case Opcode::Sra:
+      case Opcode::Srai:
+        if (b.isConstant() && b.lo >= 0 && b.lo <= 63)
+            return intervalShift(op, a, b.lo);
+        return Interval::full();
+      case Opcode::Slt:
+      case Opcode::Slti:
+      case Opcode::Sltu:
+        return intervalCompare(op, a, b);
+      default:
+        return Interval::full();
+    }
+}
+
+namespace {
+
+/** State after one instruction executes on `state` (in-place). */
+void
+applyInstruction(const isa::Program &program, std::size_t index,
+                 RegIntervals &state)
+{
+    const Instruction &in = program.code[index];
+    if (!in.hasDest() || in.dest().file != isa::RegOperand::File::Int)
+        return;
+    const std::uint8_t rd = in.dest().index;
+
+    Interval value = Interval::full();
+    const isa::Format format = in.info().format;
+    if (isa::isIntAlu(in.op)) {
+        const Interval a = in.rs1 < 32 ? state.regs[in.rs1]
+                                       : Interval::full();
+        const Interval b = isa::usesImmOperand(in.op)
+            ? Interval::constant(in.imm)
+            : (in.rs2 < 32 ? state.regs[in.rs2] : Interval::full());
+        value = intervalAlu(in.op, a, b);
+    } else if (format == isa::Format::Load) {
+        // Sign-extending loads bound the result by the access width.
+        switch (in.op) {
+          case Opcode::Lb: value = {-128, 127}; break;
+          case Opcode::Lh: value = {-32768, 32767}; break;
+          case Opcode::Lw: value = {INT32_MIN, INT32_MAX}; break;
+          default: break; // Ld: full
+        }
+    } else if (format == isa::Format::FCmp) {
+        value = {0, 1};
+    } else if (format == isa::Format::Jal || format == isa::Format::Jalr) {
+        // The link register receives the exact return address.
+        value = Interval::constant(
+            static_cast<std::int64_t>(program.pcOf(index) +
+                                      isa::kInstrBytes));
+    }
+    // CvtFI and anything unrecognised: full.
+    state.regs[rd] = value;
+}
+
+/** Intersect the operand intervals of a conditional branch with the
+ *  outcome along one edge. Each clamp is individually sound, so any clamp
+ *  that would empty an interval is simply skipped (an infeasible edge then
+ *  propagates over-approximate values, which is still sound). x0 is never
+ *  refined. */
+void
+refineBranch(const Instruction &branch, bool taken, RegIntervals &state)
+{
+    const std::uint8_t r1 = branch.rs1;
+    const std::uint8_t r2 = branch.rs2;
+    if (r1 >= 32 || r2 >= 32)
+        return;
+    Interval a = state.regs[r1];
+    Interval b = state.regs[r2];
+    if (a.isEmpty() || b.isEmpty())
+        return;
+
+    // Canonicalize to the predicate that holds along this edge.
+    enum class Pred { Eq, Ne, Lt, Ge };
+    Pred pred{};
+    bool signed_ok = true;
+    switch (branch.op) {
+      case Opcode::Beq: pred = taken ? Pred::Eq : Pred::Ne; break;
+      case Opcode::Bne: pred = taken ? Pred::Ne : Pred::Eq; break;
+      case Opcode::Blt: pred = taken ? Pred::Lt : Pred::Ge; break;
+      case Opcode::Bge: pred = taken ? Pred::Ge : Pred::Lt; break;
+      case Opcode::Bltu:
+        pred = taken ? Pred::Lt : Pred::Ge;
+        signed_ok = a.lo >= 0 && b.lo >= 0;
+        break;
+      case Opcode::Bgeu:
+        pred = taken ? Pred::Ge : Pred::Lt;
+        signed_ok = a.lo >= 0 && b.lo >= 0;
+        break;
+      default:
+        return;
+    }
+    if (!signed_ok)
+        return; // unsigned order over possibly-negative values: no clamp
+
+    switch (pred) {
+      case Pred::Eq: {
+        const Interval meet{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+        if (!meet.isEmpty())
+            a = b = meet;
+        break;
+      }
+      case Pred::Ne:
+        if (b.isConstant() && !a.isConstant()) {
+            if (a.lo == b.lo)
+                ++a.lo;
+            else if (a.hi == b.lo)
+                --a.hi;
+        } else if (a.isConstant() && !b.isConstant()) {
+            if (b.lo == a.lo)
+                ++b.lo;
+            else if (b.hi == a.lo)
+                --b.hi;
+        }
+        break;
+      case Pred::Lt: // a < b
+        if (b.hi != kMin && a.hi > b.hi - 1 && a.lo <= b.hi - 1)
+            a.hi = b.hi - 1;
+        if (a.lo != kMax && b.lo < a.lo + 1 && b.hi >= a.lo + 1)
+            b.lo = a.lo + 1;
+        break;
+      case Pred::Ge: // a >= b
+        if (a.lo < b.lo && a.hi >= b.lo)
+            a.lo = b.lo;
+        if (b.hi > a.hi && b.lo <= a.hi)
+            b.hi = a.hi;
+        break;
+    }
+    if (r1 != isa::kRegZero && !a.isEmpty())
+        state.regs[r1] = a;
+    if (r2 != isa::kRegZero && !b.isEmpty())
+        state.regs[r2] = b;
+}
+
+/** Input changes per block before widening kicks in. */
+constexpr std::size_t kWideningDelay = 3;
+
+struct ValueRangeProblem
+{
+    using Value = RegIntervals;
+    static constexpr Direction kDirection = Direction::Forward;
+
+    const Cfg *cfg = nullptr;
+
+    // Widening state: per-block accumulated (possibly widened) input and
+    // the number of times the input changed.
+    std::vector<Value> wide_in;
+    std::vector<std::size_t> input_changes;
+    // Memoized per-call-block havoc mask (registers the callee may write).
+    mutable std::unordered_map<std::size_t, RegMask> havoc_cache;
+
+    explicit ValueRangeProblem(const Cfg &graph) : cfg(&graph)
+    {
+        Value empty_state;
+        empty_state.regs.fill(Interval::empty());
+        wide_in.assign(graph.blocks.size(), empty_state);
+        input_changes.assign(graph.blocks.size(), 0);
+    }
+
+    [[nodiscard]] Value
+    identity() const
+    {
+        Value v;
+        v.regs.fill(Interval::empty());
+        return v;
+    }
+
+    [[nodiscard]] Value
+    boundary() const
+    {
+        // The VM zero-fills the register file; sp additionally holds the
+        // stack top, which [0, stack_top] over-approximates... but the
+        // exact singleton is known, so use it.
+        Value v;
+        v.regs.fill(Interval::constant(0));
+        v.regs[isa::kRegSp] = Interval::constant(
+            static_cast<std::int64_t>(cfg->program->stack_top));
+        return v;
+    }
+
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        for (std::size_t r = 0; r < 32; ++r)
+            into.regs[r] = into.regs[r].hull(from.regs[r]);
+    }
+
+    void
+    transferEdge(const Cfg &graph, const Edge &edge, Value &v) const
+    {
+        const BasicBlock &src = graph.blocks[edge.from];
+        if (edge.kind == EdgeKind::ReturnSite) {
+            havocCalleeWrites(graph, edge.from, v);
+        } else if (edge.kind == EdgeKind::Taken ||
+                   edge.kind == EdgeKind::Fallthrough) {
+            const Instruction &last = graph.program->code[src.last];
+            if (isa::isCondBranch(last.op))
+                refineBranch(last, edge.kind == EdgeKind::Taken, v);
+        }
+    }
+
+    [[nodiscard]] Value
+    transfer(const Cfg &graph, std::size_t block, const Value &in)
+    {
+        // Widen against the accumulated input once the block's input has
+        // changed often enough (loop-carried growth): any still-growing
+        // bound jumps to the lattice extreme, bounding the ascent.
+        Value effective = in;
+        if (!(wide_in[block] == in)) {
+            if (++input_changes[block] > kWideningDelay) {
+                for (std::size_t r = 0; r < 32; ++r) {
+                    Interval &acc = wide_in[block].regs[r];
+                    const Interval &now = effective.regs[r];
+                    if (acc.isEmpty() || now.isEmpty())
+                        continue;
+                    // The widened value must contain the accumulated one
+                    // (acc ∇ now ⊒ acc) or the ascent can restart from a
+                    // transiently-narrowed input and never settle.
+                    Interval widened = now.hull(acc);
+                    if (now.lo < acc.lo)
+                        widened.lo = kMin;
+                    if (now.hi > acc.hi)
+                        widened.hi = kMax;
+                    effective.regs[r] = widened;
+                }
+            }
+            wide_in[block] = effective;
+        }
+
+        Value out = effective;
+        for (std::size_t i = graph.blocks[block].first;
+             i <= graph.blocks[block].last; ++i)
+            applyInstruction(*graph.program, i, out);
+        out.regs[isa::kRegZero] = Interval::constant(0);
+        return out;
+    }
+
+    /** Per-register ascent bound after widening: each bound moves at most
+     *  kWideningDelay + 2 times (delay growths, one widening jump, slack). */
+    [[nodiscard]] std::size_t
+    latticeHeight() const
+    {
+        return 2 * 32 * (kWideningDelay + 2);
+    }
+
+  private:
+    void
+    havocCalleeWrites(const Cfg &graph, std::size_t call_block,
+                      Value &v) const
+    {
+        RegMask mask;
+        const auto cached = havoc_cache.find(call_block);
+        if (cached != havoc_cache.end()) {
+            mask = cached->second;
+        } else {
+            mask = calleeMayWrite(graph, call_block);
+            havoc_cache.emplace(call_block, mask);
+        }
+        for (std::size_t r = 1; r < 32; ++r)
+            if (mask & (RegMask{1} << r))
+                v.regs[r] = Interval::full();
+    }
+
+    /** Union of registers any block reachable from the callee entry may
+     *  write; all-ones when the callee is unknown or escapes through an
+     *  unresolved indirect jump. */
+    [[nodiscard]] static RegMask
+    calleeMayWrite(const Cfg &graph, std::size_t call_block)
+    {
+        std::size_t callee = static_cast<std::size_t>(-1);
+        for (const Edge &edge : graph.edges)
+            if (edge.from == call_block && edge.kind == EdgeKind::Call)
+                callee = edge.to;
+        if (callee == static_cast<std::size_t>(-1))
+            return ~RegMask{0}; // unknown target: havoc everything
+
+        std::vector<char> visited(graph.blocks.size(), 0);
+        std::vector<std::size_t> work{callee};
+        RegMask mask = 0;
+        while (!work.empty()) {
+            const std::size_t b = work.back();
+            work.pop_back();
+            if (visited[b])
+                continue;
+            visited[b] = 1;
+            const BasicBlock &bb = graph.blocks[b];
+            for (std::size_t i = bb.first; i <= bb.last; ++i)
+                mask |= writeMask(graph.program->code[i]);
+            if (bb.ends_in_indirect && !bb.ends_in_return &&
+                graph.address_taken.empty())
+                return ~RegMask{0}; // escapes analysis: havoc everything
+            for (std::size_t s : bb.succs)
+                work.push_back(s);
+        }
+        return mask;
+    }
+};
+
+} // namespace
+
+Interval
+ValueRanges::atUse(const Cfg &cfg, std::size_t instr, std::uint8_t reg) const
+{
+    if (reg >= 32)
+        return Interval::full();
+    const std::size_t b = cfg.block_of_instr[instr];
+    if (!cfg.reachable[b])
+        return Interval::full();
+    RegIntervals state = in[b];
+    for (std::size_t i = cfg.blocks[b].first; i < instr; ++i)
+        applyInstruction(*cfg.program, i, state);
+    const Interval value = state.regs[reg];
+    // An empty interval can only arise from joining nothing (no feasible
+    // path); report full so callers never "prove" facts from it.
+    return value.isEmpty() ? Interval::full() : value;
+}
+
+ValueRanges
+computeValueRanges(const Cfg &cfg)
+{
+    ValueRanges result;
+    if (cfg.blocks.empty())
+        return result;
+    ValueRangeProblem problem(cfg);
+    auto fixpoint = solveDataflow(cfg, problem);
+    result.in = std::move(fixpoint.in);
+    result.out = std::move(fixpoint.out);
+    result.transfers = fixpoint.transfers;
+    result.converged = fixpoint.converged;
+    return result;
+}
+
+} // namespace mica::analysis

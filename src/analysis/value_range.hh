@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Interval value-range propagation over the integer register file, hosted
+ * on the generic dataflow engine (analysis/engine.hh).
+ *
+ * Every reachable block gets, at entry and exit, one interval [lo, hi] per
+ * integer register that *contains* every value the register can hold there
+ * on any execution — the transfer functions fold constants with the exact
+ * VM arithmetic (isa/semantics.hh) and over-approximate everything else, so
+ * the result is sound: a fact proven from these intervals (e.g. "this
+ * address lies wholly outside every segment") holds on the real machine.
+ *
+ * Two edge transfers sharpen and protect the fixpoint:
+ *  - ReturnSite edges havoc the registers the callee may write (a memoized
+ *    flood over the callee body); without this the call-bypass edge would
+ *    smuggle pre-call values past the callee, which is unsound.
+ *  - Taken/Fallthrough edges of conditional branches intersect the operand
+ *    intervals with the branch condition, the classic refinement that makes
+ *    loop bounds visible to the memory analysis.
+ *
+ * The interval lattice has enormous height, so the transfer applies a
+ * widening operator after a small number of input changes per block; the
+ * engine's termination bound then holds with the widened height.
+ */
+
+#ifndef MICAPHASE_ANALYSIS_VALUE_RANGE_HH
+#define MICAPHASE_ANALYSIS_VALUE_RANGE_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace mica::analysis {
+
+/** A closed signed-64-bit interval; empty when lo > hi. */
+struct Interval
+{
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+
+    bool operator==(const Interval &) const = default;
+
+    [[nodiscard]] static constexpr Interval
+    full()
+    {
+        return {std::numeric_limits<std::int64_t>::min(),
+                std::numeric_limits<std::int64_t>::max()};
+    }
+    [[nodiscard]] static constexpr Interval empty() { return {}; }
+    [[nodiscard]] static constexpr Interval
+    constant(std::int64_t v)
+    {
+        return {v, v};
+    }
+
+    [[nodiscard]] bool isEmpty() const { return lo > hi; }
+    [[nodiscard]] bool isConstant() const { return lo == hi; }
+    [[nodiscard]] bool
+    contains(std::int64_t v) const
+    {
+        return lo <= v && v <= hi;
+    }
+    /** Smallest interval containing both (empty is the identity). */
+    [[nodiscard]] Interval hull(const Interval &other) const;
+};
+
+/** Interval evaluation of one integer ALU opcode (isa::isIntAlu), exact on
+ *  singletons, over-approximate otherwise. Empty operands yield empty. */
+[[nodiscard]] Interval intervalAlu(isa::Opcode op, Interval a, Interval b);
+
+/** Per-block abstract state: one interval per integer register. */
+struct RegIntervals
+{
+    std::array<Interval, 32> regs;
+
+    bool operator==(const RegIntervals &) const = default;
+};
+
+/** Value-range fixpoint of one program. */
+struct ValueRanges
+{
+    std::vector<RegIntervals> in;  ///< at block entry
+    std::vector<RegIntervals> out; ///< at block exit
+    std::size_t transfers = 0;     ///< engine diagnostics
+    bool converged = true;
+
+    /**
+     * Interval of integer register `reg` just before instruction `instr`
+     * executes, derived by replaying the block prefix from the entry state.
+     * Full for instructions of unreachable blocks.
+     */
+    [[nodiscard]] Interval atUse(const Cfg &cfg, std::size_t instr,
+                                 std::uint8_t reg) const;
+};
+
+[[nodiscard]] ValueRanges computeValueRanges(const Cfg &cfg);
+
+} // namespace mica::analysis
+
+#endif // MICAPHASE_ANALYSIS_VALUE_RANGE_HH

@@ -6,6 +6,9 @@
 
 #include "analysis/cfg.hh"
 #include "analysis/dataflow.hh"
+#include "analysis/reaching_defs.hh"
+#include "analysis/value_range.hh"
+#include "isa/semantics.hh"
 
 namespace mica::analysis {
 
@@ -30,6 +33,14 @@ checkName(Check check)
       case Check::ReturnWithoutLink: return "return-without-link";
       case Check::FallsOffEnd: return "falls-off-end";
       case Check::InfiniteLoop: return "infinite-loop";
+      case Check::MaybeUseBeforeDef: return "maybe-use-before-def";
+      case Check::DeadStore: return "dead-store";
+      case Check::DiscardedValue: return "discarded-value";
+      case Check::ConstantBranch: return "constant-branch";
+      case Check::RangeProvenOutOfSegment:
+        return "range-proven-out-of-segment";
+      case Check::RangeProvenMisaligned: return "range-proven-misaligned";
+      case Check::EmptyInfiniteLoop: return "empty-infinite-loop";
     }
     return "unknown";
 }
@@ -45,7 +56,8 @@ Diagnostic::toString() const
 {
     std::ostringstream os;
     os << severityName(severity) << ": " << checkName(check) << " @0x"
-       << std::hex << pc << std::dec << ": " << message;
+       << std::hex << pc << std::dec << " [bb" << block << "+"
+       << block_offset << "]: " << message;
     return os.str();
 }
 
@@ -106,6 +118,11 @@ class Verifier
     void checkOperands(std::size_t index);
     void checkControlTargets(std::size_t index);
     void checkMemAccess(std::size_t index, std::uint64_t addr);
+    void checkRangeMemAccess(std::size_t index, const ValueRanges &ranges);
+    void checkConstantBranch(std::size_t block, const ValueRanges &ranges);
+    void checkDeadStores(const Cfg &cfg, const ReachingDefs &rdefs);
+    void checkEmptyLoops(const Cfg &cfg,
+                         const std::vector<NaturalLoop> &loops);
 
     /**
      * Statically known integer register values: a register qualifies when
@@ -120,6 +137,7 @@ class Verifier
 
     const isa::Program &program_;
     const Options &options_;
+    const Cfg *cfg_ = nullptr; ///< set for the lifetime of run()
     Report out_;
     std::vector<std::optional<std::int64_t>> const_value_;
     std::vector<int> def_count_;
@@ -134,6 +152,10 @@ Verifier::report(Check check, Severity severity, std::size_t index,
     d.severity = severity;
     d.instr_index = index;
     d.pc = program_.pcOf(index);
+    if (cfg_ && index < cfg_->block_of_instr.size()) {
+        d.block = cfg_->block_of_instr[index];
+        d.block_offset = index - cfg_->blocks[d.block].first;
+    }
     d.message = "`" + program_.code[index].disassemble() + "`: " + detail;
     out_.diagnostics.push_back(std::move(d));
 }
@@ -147,6 +169,10 @@ Verifier::reportBlock(Check check, Severity severity, std::size_t index,
     d.severity = severity;
     d.instr_index = index;
     d.pc = program_.pcOf(index);
+    if (cfg_ && index < cfg_->block_of_instr.size()) {
+        d.block = cfg_->block_of_instr[index];
+        d.block_offset = index - cfg_->blocks[d.block].first;
+    }
     d.message = detail;
     out_.diagnostics.push_back(std::move(d));
 }
@@ -257,6 +283,199 @@ Verifier::checkMemAccess(std::size_t index, std::uint64_t addr)
                    "-byte aligned");
 }
 
+/**
+ * Value-range powered memory checks for accesses the single-definition
+ * constant resolver could not handle. An address interval wholly outside
+ * every segment proves a fault on all executions reaching the access
+ * (the interval over-approximates the real address set); a singleton
+ * interval additionally proves misalignment exactly.
+ */
+void
+Verifier::checkRangeMemAccess(std::size_t index, const ValueRanges &ranges)
+{
+    const Instruction &in = program_.code[index];
+    if (baseValue(in.rs1))
+        return; // already covered by checkMemAccess
+    const Interval base = ranges.atUse(*cfg_, index, in.rs1);
+    const Interval addr =
+        intervalAlu(Opcode::Addi, base, Interval::constant(in.imm));
+    if (addr.isEmpty() || addr == Interval::full())
+        return;
+    const unsigned size = in.info().mem_bytes;
+
+    if (addr.isConstant()) {
+        const auto a = static_cast<std::uint64_t>(addr.lo);
+        const std::uint64_t stack_lo =
+            program_.stack_top > options_.stack_reserve
+            ? program_.stack_top - options_.stack_reserve
+            : 0;
+        const bool in_data = a >= program_.data_base &&
+            a + size <= program_.data_base + program_.data.size();
+        const bool in_stack =
+            a >= stack_lo && a + size <= program_.stack_top;
+        if ((in_data || in_stack) && size > 1 && a % size != 0) {
+            std::ostringstream os;
+            os << "address 0x" << std::hex << a << std::dec
+               << " (proven by value-range analysis) is not "
+               << size << "-byte aligned";
+            report(Check::RangeProvenMisaligned, Severity::Warning, index,
+                   os.str());
+        }
+        if (in_data || in_stack)
+            return;
+    }
+
+    // Whole-interval-outside proof. Valid memory lives in [0, 2^63), so a
+    // wholly negative interval (huge unsigned addresses) is already out;
+    // otherwise the non-negative part must miss code, data and stack.
+    const auto overlaps = [size](std::int64_t lo, std::int64_t hi,
+                                 std::uint64_t seg_lo,
+                                 std::uint64_t seg_hi) {
+        const auto ulo = static_cast<std::uint64_t>(std::max<std::int64_t>(
+            lo, 0));
+        const auto uhi = static_cast<std::uint64_t>(hi) + size;
+        return ulo < seg_hi && seg_lo < uhi;
+    };
+    const std::uint64_t code_end =
+        program_.code_base + program_.code.size() * isa::kInstrBytes;
+    const std::uint64_t data_end =
+        program_.data_base + program_.data.size();
+    const std::uint64_t stack_lo =
+        program_.stack_top > options_.stack_reserve
+        ? program_.stack_top - options_.stack_reserve
+        : 0;
+    const bool outside = addr.hi < 0 ||
+        (!overlaps(addr.lo, addr.hi, program_.code_base, code_end) &&
+         !overlaps(addr.lo, addr.hi, program_.data_base, data_end) &&
+         !overlaps(addr.lo, addr.hi, stack_lo, program_.stack_top));
+    if (outside) {
+        std::ostringstream os;
+        os << (isa::isStore(in.op) ? "store" : "load")
+           << " address range [0x" << std::hex << addr.lo << ", 0x"
+           << addr.hi << std::dec
+           << "] lies wholly outside every segment on all executions";
+        report(Check::RangeProvenOutOfSegment, Severity::Error, index,
+               os.str());
+    }
+}
+
+void
+Verifier::checkConstantBranch(std::size_t block, const ValueRanges &ranges)
+{
+    const BasicBlock &bb = cfg_->blocks[block];
+    const Instruction &in = program_.code[bb.last];
+    if (!isa::isCondBranch(in.op))
+        return;
+    const Interval a = ranges.atUse(*cfg_, bb.last, in.rs1);
+    const Interval b = ranges.atUse(*cfg_, bb.last, in.rs2);
+
+    std::optional<bool> outcome;
+    if (a.isConstant() && b.isConstant()) {
+        outcome = isa::evalBranch(in.op, a.lo, b.lo);
+    } else {
+        const bool unsigned_cmp =
+            in.op == Opcode::Bltu || in.op == Opcode::Bgeu;
+        if (!unsigned_cmp || (a.lo >= 0 && b.lo >= 0)) {
+            switch (in.op) {
+              case Opcode::Beq:
+                if (a.hi < b.lo || b.hi < a.lo)
+                    outcome = false; // disjoint: never equal
+                break;
+              case Opcode::Bne:
+                if (a.hi < b.lo || b.hi < a.lo)
+                    outcome = true;
+                break;
+              case Opcode::Blt:
+              case Opcode::Bltu:
+                if (a.hi < b.lo)
+                    outcome = true;
+                else if (a.lo >= b.hi)
+                    outcome = false;
+                break;
+              case Opcode::Bge:
+              case Opcode::Bgeu:
+                if (a.lo >= b.hi)
+                    outcome = true;
+                else if (a.hi < b.lo)
+                    outcome = false;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    if (outcome)
+        report(Check::ConstantBranch, Severity::Warning, bb.last,
+               std::string("branch condition is statically ") +
+                   (*outcome ? "always" : "never") +
+                   " taken; the other edge is dead");
+}
+
+/**
+ * A definition overwritten later in its own block with no use observing it
+ * is dead on every execution. Cross-block unused definitions are *not*
+ * reported: a value left for a path the analysis cannot follow (indirect
+ * dispatch) or for the final machine state is not a bug.
+ */
+void
+Verifier::checkDeadStores(const Cfg &cfg, const ReachingDefs &rdefs)
+{
+    for (std::size_t d = 0; d < rdefs.defs.size(); ++d) {
+        const DefSite &site = rdefs.defs[d];
+        if (site.instr == DefSite::kVmReset || rdefs.used[d])
+            continue;
+        const std::size_t block = cfg.block_of_instr[site.instr];
+        if (!cfg.reachable[block])
+            continue;
+        // Overwritten later in the same block?
+        bool overwritten = false;
+        for (std::size_t i = site.instr + 1; i <= cfg.blocks[block].last;
+             ++i) {
+            const Instruction &in = program_.code[i];
+            if (in.hasDest() && in.dest() == site.reg) {
+                overwritten = true;
+                break;
+            }
+        }
+        if (overwritten)
+            report(Check::DeadStore, Severity::Warning, site.instr,
+                   std::string("value written to ") +
+                       std::string(site.reg.file ==
+                                           isa::RegOperand::File::Fp
+                                       ? isa::fpRegName(site.reg.index)
+                                       : isa::intRegName(site.reg.index)) +
+                       " is overwritten in the same block before any use");
+    }
+}
+
+void
+Verifier::checkEmptyLoops(const Cfg &cfg,
+                          const std::vector<NaturalLoop> &loops)
+{
+    for (const NaturalLoop &loop : loops) {
+        if (loop.has_exit)
+            continue;
+        bool observable = false;
+        for (std::size_t b : loop.blocks) {
+            for (std::size_t i = cfg.blocks[b].first;
+                 i <= cfg.blocks[b].last && !observable; ++i) {
+                const Instruction &in = program_.code[i];
+                observable = in.info().mem_bytes != 0 || in.isCall() ||
+                    isa::isFpOp(in.op);
+            }
+            if (observable)
+                break;
+        }
+        if (!observable)
+            reportBlock(Check::EmptyInfiniteLoop, Severity::Warning,
+                        cfg.blocks[loop.header].first,
+                        "exitless loop of " +
+                            std::to_string(loop.blocks.size()) +
+                            " blocks performs no memory access, call or "
+                            "fp work (spins forever doing nothing)");
+    }
+}
+
 void
 Verifier::resolveConstants(const Cfg &cfg)
 {
@@ -308,6 +527,7 @@ Verifier::run()
     }
 
     const Cfg cfg = buildCfg(program_);
+    cfg_ = &cfg;
     resolveConstants(cfg);
 
     // Per-instruction encoding and target checks (all blocks: even dead
@@ -315,6 +535,18 @@ Verifier::run()
     for (std::size_t i = 0; i < program_.code.size(); ++i) {
         checkOperands(i);
         checkControlTargets(i);
+
+        // A value-producing instruction whose integer destination field is
+        // x0 computes a result the machine immediately discards. jal/jalr
+        // x0 are the jump/return idioms and not reported.
+        const Instruction &in = program_.code[i];
+        const isa::Format format = in.info().format;
+        const bool int_dest = format == isa::Format::RRR ||
+            format == isa::Format::RRI || format == isa::Format::Load ||
+            format == isa::Format::FCmp || format == isa::Format::CvtFI;
+        if (int_dest && in.rd == isa::kRegZero)
+            report(Check::DiscardedValue, Severity::Warning, i,
+                   "result is written to x0 and discarded");
     }
 
     // Unreachable blocks and falls-off-end.
@@ -333,12 +565,17 @@ Verifier::run()
                    "code segment");
     }
 
-    // Dataflow checks on reachable blocks.
+    // Dataflow checks on reachable blocks. Possible-defs (union over
+    // paths) drives use-before-def; must-defs (intersection) additionally
+    // flags reads defined on some paths but not all.
     const PossibleDefs defs = computePossibleDefs(cfg);
+    const MustDefs must = computeMustDefs(cfg);
+    const ValueRanges ranges = computeValueRanges(cfg);
     for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
         if (!cfg.reachable[b])
             continue;
         RegMask defined = defs.in[b];
+        RegMask always_defined = must.in[b];
         for (std::size_t i = cfg.blocks[b].first; i <= cfg.blocks[b].last;
              ++i) {
             const Instruction &in = program_.code[i];
@@ -352,31 +589,50 @@ Verifier::run()
                 if (reg.index >= isa::kNumIntRegs)
                     continue; // already a BadRegisterIndex error
                 const RegMask bit = regBit(reg) & ~RegMask{1};
-                if (bit != 0 && (defined & bit) == 0) {
-                    const bool fp = reg.file == isa::RegOperand::File::Fp;
+                if (bit == 0)
+                    continue;
+                const bool fp = reg.file == isa::RegOperand::File::Fp;
+                const std::string name(fp ? isa::fpRegName(reg.index)
+                                          : isa::intRegName(reg.index));
+                if ((defined & bit) == 0) {
                     report(Check::UseBeforeDef, Severity::Warning, i,
-                           std::string("read of ") +
-                               std::string(fp ? isa::fpRegName(reg.index)
-                                              : isa::intRegName(reg.index)) +
+                           "read of " + name +
                                " which no definition reaches (the VM "
                                "zero-initializes it)");
                     defined |= bit; // report each register once per block
+                    always_defined |= bit;
+                } else if ((always_defined & bit) == 0) {
+                    report(Check::MaybeUseBeforeDef, Severity::Warning, i,
+                           "read of " + name +
+                               " which is defined on some paths to this "
+                               "point but not all");
+                    always_defined |= bit; // once per register per block
                 }
             }
-            // Statically resolvable memory accesses.
+            // Statically resolvable memory accesses, then the value-range
+            // interval proof for everything the resolver cannot reach.
             if (isa::isLoad(in.op) || isa::isStore(in.op)) {
                 if (const auto base = baseValue(in.rs1))
                     checkMemAccess(
                         i, *base + static_cast<std::uint64_t>(in.imm));
+                else
+                    checkRangeMemAccess(i, ranges);
             }
             defined |= writeMask(in);
+            always_defined |= writeMask(in);
         }
+        checkConstantBranch(b, ranges);
     }
 
-    // Guaranteed non-termination: a natural loop with no exit edge.
+    checkDeadStores(cfg, computeReachingDefs(cfg));
+
+    // Loop-shape checks. A natural loop with no exit edge is an error
+    // unless the caller expects nonterminating programs; an exitless loop
+    // doing no observable work is suspect either way.
+    const DominatorTree doms = computeDominators(cfg);
+    const std::vector<NaturalLoop> loops = findNaturalLoops(cfg, doms);
     if (!options_.allow_nonterminating) {
-        const DominatorTree doms = computeDominators(cfg);
-        for (const NaturalLoop &loop : findNaturalLoops(cfg, doms)) {
+        for (const NaturalLoop &loop : loops) {
             if (loop.has_exit)
                 continue;
             reportBlock(Check::InfiniteLoop, Severity::Error,
@@ -387,7 +643,9 @@ Verifier::run()
                             "terminate)");
         }
     }
+    checkEmptyLoops(cfg, loops);
 
+    cfg_ = nullptr;
     return std::move(out_);
 }
 

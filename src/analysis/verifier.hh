@@ -47,7 +47,18 @@ enum class Check : std::uint8_t
     ReturnWithoutLink,     ///< ret reachable with the link register unset
     FallsOffEnd,           ///< control can run past the last instruction
     InfiniteLoop,          ///< natural loop with no exit edge
+    MaybeUseBeforeDef,     ///< read defined on some paths but not all
+    DeadStore,             ///< register write overwritten unread in-block
+    DiscardedValue,        ///< value-producing instruction targets x0
+    ConstantBranch,        ///< branch condition provably always/never taken
+    RangeProvenOutOfSegment, ///< address interval wholly outside segments
+    RangeProvenMisaligned, ///< address interval proves misalignment
+    EmptyInfiniteLoop,     ///< exitless loop with no observable effect
 };
+
+/** Number of diagnostic classes (for histogram arrays). */
+constexpr std::size_t kNumChecks =
+    static_cast<std::size_t>(Check::EmptyInfiniteLoop) + 1;
 
 /** Printable names ("use-before-def", "error"). */
 [[nodiscard]] std::string_view checkName(Check check);
@@ -60,9 +71,18 @@ struct Diagnostic
     Severity severity = Severity::Error;
     std::size_t instr_index = 0; ///< offending instruction (when applicable)
     std::uint64_t pc = 0;        ///< its pc (block-start pc for block checks)
+    /**
+     * Basic-block id of the offending instruction. Block ids are stable:
+     * blocks are numbered in program order by the CFG builder, so the same
+     * program always yields the same ids (machine-readable consumers like
+     * `mica_lint --json` key on them).
+     */
+    std::size_t block = 0;
+    /** Instruction offset within the block (0 = block leader). */
+    std::size_t block_offset = 0;
     std::string message;         ///< human-readable detail with disassembly
 
-    /** "error: branch-target-out-of-range @0x10008: ..." */
+    /** "error: branch-target-out-of-range @0x10008 [bb2+1]: ..." */
     [[nodiscard]] std::string toString() const;
 };
 

@@ -34,7 +34,7 @@ ExperimentConfig::characterizationKey() const
     mix(static_cast<std::uint64_t>(interval_scale * 1024.0));
     // Version tag: bump whenever the workload catalog or the metric
     // definitions change, to invalidate stale caches.
-    mix(0xC0FFEE06);
+    mix(0xC0FFEE07); // 07: expanded verifier gate (20 diagnostic classes)
     return h;
 }
 

@@ -1,0 +1,101 @@
+#include "isa/semantics.hh"
+
+#include <cassert>
+#include <limits>
+
+namespace mica::isa {
+
+bool
+isIntAlu(Opcode op)
+{
+    const Format format = opcodeInfo(op).format;
+    return format == Format::RRR || format == Format::RRI;
+}
+
+bool
+usesImmOperand(Opcode op)
+{
+    return opcodeInfo(op).format == Format::RRI;
+}
+
+std::int64_t
+evalIntAlu(Opcode op, std::int64_t a, std::int64_t b)
+{
+    assert(isIntAlu(op) && "evalIntAlu: not an integer ALU opcode");
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        return static_cast<std::int64_t>(ua + ub);
+      case Opcode::Sub:
+        return static_cast<std::int64_t>(ua - ub);
+      case Opcode::Mul:
+        return static_cast<std::int64_t>(ua * ub);
+      case Opcode::Div:
+        // RISC-V semantics: x/0 == -1; overflow wraps to dividend.
+        if (b == 0)
+            return -1;
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+            return a;
+        return a / b;
+      case Opcode::Rem:
+        if (b == 0)
+            return a;
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+            return 0;
+        return a % b;
+      case Opcode::And:
+      case Opcode::Andi:
+        return a & b;
+      case Opcode::Or:
+      case Opcode::Ori:
+        return a | b;
+      case Opcode::Xor:
+      case Opcode::Xori:
+        return a ^ b;
+      case Opcode::Sll:
+      case Opcode::Slli:
+        return static_cast<std::int64_t>(ua << (ub & 63));
+      case Opcode::Srl:
+      case Opcode::Srli:
+        return static_cast<std::int64_t>(ua >> (ub & 63));
+      case Opcode::Sra:
+      case Opcode::Srai:
+        return a >> (ub & 63);
+      case Opcode::Slt:
+      case Opcode::Slti:
+        return a < b ? 1 : 0;
+      case Opcode::Sltu:
+        return ua < ub ? 1 : 0;
+      default:
+        assert(false && "evalIntAlu: unhandled ALU opcode");
+        return 0;
+    }
+}
+
+bool
+evalBranch(Opcode op, std::int64_t a, std::int64_t b)
+{
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return a < b;
+      case Opcode::Bge: return a >= b;
+      case Opcode::Bltu: return ua < ub;
+      case Opcode::Bgeu: return ua >= ub;
+      default:
+        assert(false && "evalBranch: not a conditional branch");
+        return false;
+    }
+}
+
+std::int64_t
+secondAluOperand(const Instruction &instr, std::int64_t rs2_value)
+{
+    return usesImmOperand(instr.op) ? instr.imm : rs2_value;
+}
+
+} // namespace mica::isa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Executable semantics accessors for the integer subset of SRISC.
+ *
+ * The VM (vm/cpu.cc) is the authoritative interpreter; these helpers expose
+ * the exact same arithmetic to static analyses that need to fold constants
+ * or evaluate branch conditions without instantiating a Cpu: the value-range
+ * propagation and the verifier's resolvable-address checks. Keeping the two
+ * in lockstep is a correctness requirement — a static "proof" computed with
+ * semantics that diverge from the VM would be no proof at all — so
+ * tests/test_value_range.cc cross-checks evalIntAlu against vm::Cpu for
+ * every foldable opcode.
+ */
+
+#ifndef MICAPHASE_ISA_SEMANTICS_HH
+#define MICAPHASE_ISA_SEMANTICS_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace mica::isa {
+
+/**
+ * True when the opcode is an integer ALU operation whose result is a pure
+ * function of its integer operands (formats RRR and RRI). These are the
+ * opcodes evalIntAlu can fold.
+ */
+[[nodiscard]] bool isIntAlu(Opcode op);
+
+/** True when the opcode takes its second operand from the immediate field
+ *  (format RRI) rather than from rs2. */
+[[nodiscard]] bool usesImmOperand(Opcode op);
+
+/**
+ * Evaluate an integer ALU opcode exactly as the VM does: RISC-V division
+ * conventions (x/0 == -1, INT64_MIN / -1 wraps to the dividend; x%0 == x),
+ * shift amounts masked to 6 bits, two's-complement wraparound throughout.
+ * `b` is the rs2 value for RRR opcodes and the immediate for RRI opcodes.
+ * Precondition: isIntAlu(op).
+ */
+[[nodiscard]] std::int64_t evalIntAlu(Opcode op, std::int64_t a,
+                                      std::int64_t b);
+
+/**
+ * Evaluate a conditional-branch comparison (Beq..Bgeu) on concrete operand
+ * values; returns the taken outcome. Precondition: isCondBranch(op).
+ */
+[[nodiscard]] bool evalBranch(Opcode op, std::int64_t a, std::int64_t b);
+
+/**
+ * The second ALU operand of an instruction under the RRR/RRI split:
+ * the immediate for RRI opcodes, otherwise the provided rs2 value.
+ */
+[[nodiscard]] std::int64_t secondAluOperand(const Instruction &instr,
+                                            std::int64_t rs2_value);
+
+} // namespace mica::isa
+
+#endif // MICAPHASE_ISA_SEMANTICS_HH

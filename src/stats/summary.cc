@@ -1,5 +1,6 @@
 #include "stats/summary.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -108,6 +109,47 @@ pearson(std::span<const double> a, std::span<const double> b)
     if (va <= 0.0 || vb <= 0.0)
         return 0.0;
     return cov / std::sqrt(va * vb);
+}
+
+namespace {
+
+/** Rank transform with average ranks for ties (1-based, but any affine
+ *  shift cancels in the Pearson step). */
+std::vector<double>
+rankTransform(std::span<const double> v)
+{
+    std::vector<std::size_t> order(v.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+
+    std::vector<double> ranks(v.size(), 0.0);
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]])
+            ++j;
+        const double avg = (static_cast<double>(i) +
+                            static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+} // namespace
+
+double
+spearman(std::span<const double> a, std::span<const double> b)
+{
+    assert(a.size() == b.size());
+    if (a.size() < 2)
+        return 0.0;
+    const std::vector<double> ra = rankTransform(a);
+    const std::vector<double> rb = rankTransform(b);
+    return pearson(ra, rb);
 }
 
 std::vector<double>

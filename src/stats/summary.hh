@@ -56,6 +56,16 @@ struct ColumnStats
                              std::span<const double> b);
 
 /**
+ * Spearman rank correlation of two equally sized vectors: the Pearson
+ * correlation of the rank transforms, with tied values receiving their
+ * average rank. Robust to monotone but non-linear relationships, which is
+ * why the static-vs-dynamic feature validation reports it alongside
+ * Pearson. Returns 0 when either vector is constant.
+ */
+[[nodiscard]] double spearman(std::span<const double> a,
+                              std::span<const double> b);
+
+/**
  * Condensed upper-triangle pairwise Euclidean distance vector of the rows of
  * a matrix: entries (0,1), (0,2), ..., (n-2,n-1).
  */

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Generic dataflow engine on adversarial CFGs: unreachable blocks,
+ * irreducible control flow, self-loops and empty programs, plus the
+ * convergence bound, the non-monotone hard cap, and equivalence of the
+ * engine-hosted register analyses with a hand-rolled fixpoint.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/engine.hh"
+#include "analysis/reaching_defs.hh"
+#include "analysis/value_range.hh"
+#include "workloads/program_builder.hh"
+
+namespace {
+
+using namespace mica;
+using analysis::buildCfg;
+using analysis::Cfg;
+using analysis::Direction;
+using analysis::RegMask;
+using analysis::solveDataflow;
+using isa::Opcode;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+/** Forward reachability as a lattice-height-1 dataflow problem. */
+struct ReachProblem
+{
+    using Value = char;
+    static constexpr Direction kDirection = Direction::Forward;
+
+    [[nodiscard]] Value identity() const { return 0; }
+    [[nodiscard]] Value boundary() const { return 1; }
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        into |= from;
+    }
+    [[nodiscard]] Value
+    transfer(const Cfg &, std::size_t, const Value &in) const
+    {
+        return in;
+    }
+    [[nodiscard]] std::size_t latticeHeight() const { return 1; }
+};
+
+/** Possible-defs re-stated in the test, to cross-check the re-hosting. */
+struct UnionDefsProblem
+{
+    using Value = RegMask;
+    static constexpr Direction kDirection = Direction::Forward;
+
+    [[nodiscard]] Value identity() const { return 0; }
+    [[nodiscard]] Value boundary() const { return analysis::vmEntryDefs(); }
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        into |= from;
+    }
+    [[nodiscard]] Value
+    transfer(const Cfg &cfg, std::size_t block, const Value &in) const
+    {
+        Value v = in;
+        for (std::size_t i = cfg.blocks[block].first;
+             i <= cfg.blocks[block].last; ++i)
+            v |= analysis::writeMask(cfg.program->code[i]);
+        return v;
+    }
+    [[nodiscard]] std::size_t latticeHeight() const { return 64; }
+};
+
+/** Deliberately non-monotone: the output moves on every application. */
+struct RunawayProblem
+{
+    using Value = std::size_t;
+    static constexpr Direction kDirection = Direction::Forward;
+    std::size_t ticks = 0;
+
+    [[nodiscard]] Value identity() const { return 0; }
+    [[nodiscard]] Value boundary() const { return 1; }
+    void
+    join(Value &into, const Value &from, std::size_t) const
+    {
+        into = std::max(into, from);
+    }
+    [[nodiscard]] Value
+    transfer(const Cfg &, std::size_t, const Value &)
+    {
+        return ++ticks;
+    }
+    [[nodiscard]] std::size_t latticeHeight() const { return 1; }
+};
+
+/** li / loop-decrement / halt: a self-loop block with an exit. */
+isa::Program
+countdownProgram()
+{
+    ProgramBuilder pb("countdown");
+    pb.li(5, 10);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, -1);
+    pb.branch(Opcode::Bne, 5, isa::kRegZero, top);
+    pb.halt();
+    return pb.build();
+}
+
+/** A jump skips one block, leaving it with no inbound edge. */
+isa::Program
+unreachableProgram()
+{
+    ProgramBuilder pb("dead");
+    Label end = pb.newLabel();
+    pb.jump(end);
+    pb.li(5, 1);
+    pb.li(6, 2);
+    pb.bind(end);
+    pb.halt();
+    return pb.build();
+}
+
+/**
+ * Irreducible control flow: a two-block cycle A <-> B entered at *both*
+ * blocks (the entry branch targets B, the fallthrough enters A), so
+ * neither block dominates the other and no natural loop covers the cycle.
+ */
+isa::Program
+irreducibleProgram()
+{
+    ProgramBuilder pb("irreducible");
+    Label a = pb.newLabel();
+    Label b = pb.newLabel();
+    pb.branch(Opcode::Bne, 5, isa::kRegZero, b);
+    pb.bind(a);
+    pb.alui(Opcode::Addi, 6, 6, 1);
+    pb.bind(b);
+    pb.alui(Opcode::Addi, 7, 7, 1);
+    pb.jump(a);
+    return pb.build();
+}
+
+TEST(Engine, ReachabilityMatchesCfgFlag)
+{
+    for (const isa::Program &program :
+         {countdownProgram(), unreachableProgram(), irreducibleProgram()}) {
+        const Cfg cfg = buildCfg(program);
+        ReachProblem problem;
+        const auto result = solveDataflow(cfg, problem);
+        ASSERT_EQ(result.in.size(), cfg.blocks.size());
+        for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+            EXPECT_EQ(result.in[b] != 0, cfg.reachable[b])
+                << program.name << " block " << b;
+        EXPECT_TRUE(result.converged);
+    }
+}
+
+TEST(Engine, EmptyProgramYieldsEmptyFixpoint)
+{
+    const isa::Program empty{};
+    const Cfg cfg = buildCfg(empty);
+    ReachProblem problem;
+    const auto result = solveDataflow(cfg, problem);
+    EXPECT_TRUE(result.in.empty());
+    EXPECT_TRUE(result.out.empty());
+    EXPECT_EQ(result.transfers, 0u);
+    EXPECT_TRUE(result.converged);
+
+    // The hosted analyses must equally tolerate the empty CFG.
+    EXPECT_TRUE(analysis::computePossibleDefs(cfg).in.empty());
+    EXPECT_TRUE(analysis::computeLiveness(cfg).in.empty());
+    EXPECT_TRUE(analysis::computeValueRanges(cfg).in.empty());
+    EXPECT_TRUE(analysis::computeReachingDefs(cfg).uses.empty());
+}
+
+TEST(Engine, ConvergenceBoundHolds)
+{
+    // The classic monotone-framework bound: at most height + 1 transfer
+    // applications per block.
+    for (const isa::Program &program :
+         {countdownProgram(), unreachableProgram(), irreducibleProgram()}) {
+        const Cfg cfg = buildCfg(program);
+        UnionDefsProblem problem;
+        const auto result = solveDataflow(cfg, problem);
+        EXPECT_TRUE(result.converged);
+        EXPECT_LE(result.transfers,
+                  cfg.blocks.size() * (problem.latticeHeight() + 1))
+            << program.name;
+    }
+}
+
+TEST(Engine, RehostedPossibleDefsMatchesSpelledOutProblem)
+{
+    for (const isa::Program &program :
+         {countdownProgram(), unreachableProgram(), irreducibleProgram()}) {
+        const Cfg cfg = buildCfg(program);
+        UnionDefsProblem problem;
+        const auto expected = solveDataflow(cfg, problem);
+        const analysis::PossibleDefs defs =
+            analysis::computePossibleDefs(cfg);
+        ASSERT_EQ(defs.in.size(), expected.in.size());
+        for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+            EXPECT_EQ(defs.in[b], expected.in[b]) << program.name << " " << b;
+            EXPECT_EQ(defs.out[b], expected.out[b])
+                << program.name << " " << b;
+        }
+    }
+}
+
+TEST(Engine, NonMonotoneProblemHitsTheCapInsteadOfLooping)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    RunawayProblem problem;
+    const auto result = solveDataflow(cfg, problem);
+    EXPECT_FALSE(result.converged);
+}
+
+TEST(Engine, UnreachableBlockKeepsIdentityValue)
+{
+    const isa::Program program = unreachableProgram();
+    const Cfg cfg = buildCfg(program);
+    std::size_t dead = cfg.blocks.size();
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        if (!cfg.reachable[b])
+            dead = b;
+    ASSERT_LT(dead, cfg.blocks.size());
+
+    const analysis::PossibleDefs defs = analysis::computePossibleDefs(cfg);
+    EXPECT_EQ(defs.in[dead], RegMask{0});
+    EXPECT_EQ(defs.out[dead], RegMask{0});
+    // The must-analysis clamps unreachable blocks to the empty set too
+    // (its natural resting value would be "everything defined").
+    const analysis::MustDefs must = analysis::computeMustDefs(cfg);
+    EXPECT_EQ(must.in[dead], RegMask{0});
+}
+
+TEST(Engine, IrreducibleCycleConvergesToTheUnionOnBothBlocks)
+{
+    const isa::Program program = irreducibleProgram();
+    const Cfg cfg = buildCfg(program);
+    const analysis::PossibleDefs defs = analysis::computePossibleDefs(cfg);
+    // Both cycle blocks see both definitions once the fixpoint settles,
+    // regardless of which entry reached them first.
+    const RegMask x6 = RegMask{1} << 6;
+    const RegMask x7 = RegMask{1} << 7;
+    const std::size_t a = cfg.block_of_instr[1];
+    const std::size_t b = cfg.block_of_instr[2];
+    EXPECT_NE(a, b);
+    EXPECT_EQ(defs.out[a] & (x6 | x7), x6 | x7);
+    EXPECT_EQ(defs.out[b] & (x6 | x7), x6 | x7);
+}
+
+TEST(Engine, BackwardLivenessOnSelfLoop)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    const analysis::Liveness live = analysis::computeLiveness(cfg);
+    const RegMask x5 = RegMask{1} << 5;
+    const std::size_t loop = cfg.block_of_instr[1];
+    EXPECT_NE(live.in[loop] & x5, 0u);          // read by addi and bne
+    const std::size_t halt = cfg.block_of_instr[3];
+    EXPECT_EQ(live.in[halt] & x5, 0u);          // never read again
+}
+
+TEST(Engine, ReachingDefsChainsThroughTheLoop)
+{
+    const isa::Program program = countdownProgram();
+    const Cfg cfg = buildCfg(program);
+    const analysis::ReachingDefs rdefs = analysis::computeReachingDefs(cfg);
+
+    // The decrement (instr 1) reads x5; both the li (instr 0) and its own
+    // previous iteration may supply the value.
+    const analysis::UseSite *use = nullptr;
+    for (const analysis::UseSite &u : rdefs.uses)
+        if (u.instr == 1 && u.reg.index == 5)
+            use = &u;
+    ASSERT_NE(use, nullptr);
+    std::vector<std::size_t> producers;
+    for (std::size_t d : use->defs)
+        producers.push_back(rdefs.defs[d].instr);
+    EXPECT_NE(std::find(producers.begin(), producers.end(), 0u),
+              producers.end());
+    EXPECT_NE(std::find(producers.begin(), producers.end(), 1u),
+              producers.end());
+
+    // Both definitions are observed by some use.
+    for (std::size_t d = 0; d < rdefs.defs.size(); ++d) {
+        if (rdefs.defs[d].instr == 0 || rdefs.defs[d].instr == 1)
+            EXPECT_TRUE(rdefs.used[d]);
+    }
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Static memory-access analysis: induction-variable stride detection,
+ * stride classification, footprints and loop-carried dependences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/mem_access.hh"
+#include "analysis/value_range.hh"
+#include "workloads/program_builder.hh"
+
+namespace {
+
+using namespace mica;
+using analysis::buildCfg;
+using analysis::Cfg;
+using analysis::MemAccess;
+using analysis::MemAccessAnalysis;
+using analysis::StrideClass;
+using isa::Opcode;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+MemAccessAnalysis
+analyze(const isa::Program &program)
+{
+    const Cfg cfg = buildCfg(program);
+    const analysis::DominatorTree doms = analysis::computeDominators(cfg);
+    const auto loops = analysis::findNaturalLoops(cfg, doms);
+    const analysis::ValueRanges ranges = analysis::computeValueRanges(cfg);
+    return analysis::analyzeMemAccess(cfg, loops, ranges);
+}
+
+const MemAccess *
+accessAt(const MemAccessAnalysis &mem, std::size_t instr)
+{
+    for (const MemAccess &a : mem.accesses)
+        if (a.instr == instr)
+            return &a;
+    return nullptr;
+}
+
+TEST(MemAccess, UnitStrideLoopWithInvariantBase)
+{
+    ProgramBuilder pb("unit");
+    const std::uint64_t buf = pb.allocData(1024);
+    pb.li(5, static_cast<std::int64_t>(buf));       // 0: induction pointer
+    pb.li(6, static_cast<std::int64_t>(buf + 512)); // 1: loop bound
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.load(Opcode::Ld, 7, 5, 0);   // 2: unit-stride load
+    pb.load(Opcode::Ld, 8, 6, 0);   // 3: loop-invariant load
+    pb.alui(Opcode::Addi, 5, 5, 8); // 4: step
+    pb.branch(Opcode::Bne, 5, 6, top);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    ASSERT_EQ(mem.accesses.size(), 2u);
+    const MemAccess *strided = accessAt(mem, 2);
+    ASSERT_NE(strided, nullptr);
+    EXPECT_EQ(strided->stride_class, StrideClass::Unit);
+    EXPECT_TRUE(strided->stride_known);
+    EXPECT_EQ(strided->stride, 8);
+    EXPECT_EQ(strided->loop_depth, 1u);
+    EXPECT_FALSE(strided->is_store);
+
+    const MemAccess *invariant = accessAt(mem, 3);
+    ASSERT_NE(invariant, nullptr);
+    EXPECT_EQ(invariant->stride_class, StrideClass::Invariant);
+
+    EXPECT_EQ(mem.stride_histogram[static_cast<std::size_t>(
+                  StrideClass::Unit)],
+              1u);
+    EXPECT_EQ(mem.stride_histogram[static_cast<std::size_t>(
+                  StrideClass::Invariant)],
+              1u);
+}
+
+TEST(MemAccess, SmallAndLargeStrideClasses)
+{
+    ProgramBuilder pb("strides");
+    const std::uint64_t buf = pb.allocData(8192);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.li(6, static_cast<std::int64_t>(buf));
+    pb.li(9, 0);
+    pb.li(10, 16);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.load(Opcode::Ld, 7, 5, 0);     // stride 16: Small
+    pb.load(Opcode::Ld, 8, 6, 0);     // stride 128: Large
+    pb.alui(Opcode::Addi, 5, 5, 16);
+    pb.alui(Opcode::Addi, 6, 6, 128);
+    pb.alui(Opcode::Addi, 9, 9, 1);
+    pb.branch(Opcode::Bne, 9, 10, top);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    const MemAccess *small = accessAt(mem, 4);
+    ASSERT_NE(small, nullptr);
+    EXPECT_EQ(small->stride_class, StrideClass::Small);
+    EXPECT_EQ(small->stride, 16);
+    const MemAccess *large = accessAt(mem, 5);
+    ASSERT_NE(large, nullptr);
+    EXPECT_EQ(large->stride_class, StrideClass::Large);
+    EXPECT_EQ(large->stride, 128);
+}
+
+TEST(MemAccess, DerivedInductionVariableGetsScaledStride)
+{
+    // x7 = x9 << 3 is a one-level derived induction variable: the basic
+    // counter steps by 1, so the address advances 8 bytes per iteration.
+    ProgramBuilder pb("derived");
+    const std::uint64_t buf = pb.allocData(1024);
+    pb.li(9, 0);
+    pb.li(10, 100);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Slli, 7, 9, 3);
+    pb.load(Opcode::Ld, 8, 7, static_cast<std::int64_t>(buf));
+    pb.alui(Opcode::Addi, 9, 9, 1);
+    pb.branch(Opcode::Bne, 9, 10, top);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    const MemAccess *access = accessAt(mem, 3);
+    ASSERT_NE(access, nullptr);
+    EXPECT_TRUE(access->stride_known);
+    EXPECT_EQ(access->stride, 8);
+    EXPECT_EQ(access->stride_class, StrideClass::Unit);
+}
+
+TEST(MemAccess, SameIterationDependenceHasDistanceZero)
+{
+    ProgramBuilder pb("dist0");
+    const std::uint64_t buf = pb.allocData(1024);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.li(6, static_cast<std::int64_t>(buf + 512));
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.load(Opcode::Ld, 7, 5, 0);   // 2
+    pb.store(Opcode::Sd, 7, 5, 0);  // 3: same address, same iteration
+    pb.alui(Opcode::Addi, 5, 5, 8);
+    pb.branch(Opcode::Bne, 5, 6, top);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    ASSERT_FALSE(mem.dependences.empty());
+    bool found = false;
+    for (const analysis::LoopDependence &dep : mem.dependences)
+        if (dep.store_instr == 3 && dep.other_instr == 2 &&
+            dep.distance_known && dep.distance == 0)
+            found = true;
+    EXPECT_TRUE(found);
+    EXPECT_EQ(mem.loop_carried, 0u); // distance 0 is not loop-carried
+}
+
+TEST(MemAccess, LoopCarriedDependenceWithExactDistance)
+{
+    // The store writes 256 bytes ahead of the load through the same
+    // 8-byte-step pointer: the load observes it 32 iterations later.
+    ProgramBuilder pb("carried");
+    const std::uint64_t buf = pb.allocData(4096);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.li(6, static_cast<std::int64_t>(buf + 1024));
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.load(Opcode::Ld, 7, 5, 0);    // 2
+    pb.store(Opcode::Sd, 7, 5, 256); // 3
+    pb.alui(Opcode::Addi, 5, 5, 8);
+    pb.branch(Opcode::Bne, 5, 6, top);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    bool found = false;
+    for (const analysis::LoopDependence &dep : mem.dependences)
+        if (dep.distance_known && dep.distance == 32)
+            found = true;
+    EXPECT_TRUE(found);
+    EXPECT_GE(mem.loop_carried, 1u);
+}
+
+TEST(MemAccess, StraightLineAccessesAreOutsideLoops)
+{
+    ProgramBuilder pb("straight");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.load(Opcode::Ld, 6, 5, 0);
+    pb.store(Opcode::Sd, 6, 5, 8);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    ASSERT_EQ(mem.accesses.size(), 2u);
+    for (const MemAccess &a : mem.accesses) {
+        EXPECT_EQ(a.loop, MemAccess::kNoLoop);
+        EXPECT_EQ(a.loop_depth, 0u);
+        EXPECT_EQ(a.stride_class, StrideClass::Invariant);
+        // Constant base + constant offset: an exact 8-byte footprint.
+        EXPECT_EQ(a.footprint, 8u);
+        EXPECT_TRUE(a.address.isConstant());
+    }
+    EXPECT_TRUE(mem.dependences.empty());
+}
+
+TEST(MemAccess, HistogramCoversEveryAccess)
+{
+    ProgramBuilder pb("histo");
+    const std::uint64_t buf = pb.allocData(1024);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.li(6, static_cast<std::int64_t>(buf + 256));
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.load(Opcode::Ld, 7, 5, 0);
+    pb.store(Opcode::Sd, 7, 5, 8);
+    pb.alui(Opcode::Addi, 5, 5, 8);
+    pb.branch(Opcode::Bne, 5, 6, top);
+    pb.halt();
+    const MemAccessAnalysis mem = analyze(pb.build());
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < analysis::kNumStrideClasses; ++c)
+        total += mem.stride_histogram[c];
+    EXPECT_EQ(total, mem.accesses.size());
+}
+
+TEST(MemAccess, EmptyProgramHasNoAccesses)
+{
+    const isa::Program empty{};
+    const Cfg cfg = buildCfg(empty);
+    const analysis::DominatorTree doms = analysis::computeDominators(cfg);
+    const auto loops = analysis::findNaturalLoops(cfg, doms);
+    const analysis::ValueRanges ranges = analysis::computeValueRanges(cfg);
+    const MemAccessAnalysis mem =
+        analysis::analyzeMemAccess(cfg, loops, ranges);
+    EXPECT_TRUE(mem.accesses.empty());
+    EXPECT_TRUE(mem.dependences.empty());
+}
+
+} // namespace

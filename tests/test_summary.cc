@@ -113,6 +113,39 @@ TEST(Summary, PearsonNearZeroForIndependentData)
     EXPECT_NEAR(mica::stats::pearson(a, b), 0.0, 0.05);
 }
 
+TEST(Summary, SpearmanIsRankBasedNotLinear)
+{
+    // A monotone but non-linear relation: perfect rank agreement even
+    // though the linear correlation is strictly below 1.
+    const double a[] = {1, 2, 3, 4, 5};
+    const double b[] = {1, 8, 27, 64, 125};
+    EXPECT_NEAR(mica::stats::spearman(a, b), 1.0, 1e-12);
+    EXPECT_LT(mica::stats::pearson(a, b), 1.0);
+}
+
+TEST(Summary, SpearmanPerfectNegative)
+{
+    const double a[] = {1, 2, 3, 4};
+    const double b[] = {1000, 100, 10, 1};
+    EXPECT_NEAR(mica::stats::spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Summary, SpearmanAveragesTiedRanks)
+{
+    // The tied pair in `a` gets the average rank 2.5; the closed form for
+    // this case is sqrt(0.9).
+    const double a[] = {1, 2, 2, 3};
+    const double b[] = {10, 20, 30, 40};
+    EXPECT_NEAR(mica::stats::spearman(a, b), std::sqrt(0.9), 1e-12);
+}
+
+TEST(Summary, SpearmanConstantInputIsZero)
+{
+    const double a[] = {4, 4, 4};
+    const double b[] = {1, 2, 3};
+    EXPECT_EQ(mica::stats::spearman(a, b), 0.0);
+}
+
 TEST(Summary, PairwiseDistancesCondensedLayout)
 {
     Matrix m = Matrix::fromRows({{0, 0}, {3, 4}, {0, 8}});

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Interval value-range analysis: the exact-VM-semantics cross-check of
+ * isa::evalIntAlu and intervalAlu, constant folding, widening, branch
+ * refinement and call-return havoc.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/value_range.hh"
+#include "isa/semantics.hh"
+#include "vm/cpu.hh"
+#include "workloads/program_builder.hh"
+
+namespace {
+
+using namespace mica;
+using analysis::buildCfg;
+using analysis::Cfg;
+using analysis::Interval;
+using analysis::ValueRanges;
+using isa::Opcode;
+using workloads::Label;
+using workloads::ProgramBuilder;
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/** Run `op x7, x5, x6` on the real VM and read back the result. */
+std::int64_t
+vmAlu(Opcode op, std::int64_t a, std::int64_t b)
+{
+    ProgramBuilder pb("alu");
+    pb.alu(op, 7, 5, 6);
+    pb.halt();
+    vm::Cpu cpu(pb.build());
+    cpu.setIntReg(5, a);
+    cpu.setIntReg(6, b);
+    (void)cpu.run(1);
+    return cpu.intReg(7);
+}
+
+const std::vector<std::int64_t> &
+trickyValues()
+{
+    static const std::vector<std::int64_t> values = {
+        0, 1, -1, 2, -2, 7, 63, 64, 65, -64, 100, -100, kMin, kMax,
+        kMin + 1, kMax - 1};
+    return values;
+}
+
+const std::vector<Opcode> &
+rrrOps()
+{
+    static const std::vector<Opcode> ops = {
+        Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div, Opcode::Rem,
+        Opcode::And, Opcode::Or,  Opcode::Xor, Opcode::Sll, Opcode::Srl,
+        Opcode::Sra, Opcode::Slt, Opcode::Sltu};
+    return ops;
+}
+
+TEST(Semantics, EvalIntAluMatchesTheVm)
+{
+    // The analyses fold constants with evalIntAlu; a single divergence
+    // from the interpreter would make "proven" facts wrong. Exercise the
+    // documented edge cases: division by zero, INT64_MIN / -1, shift
+    // amounts at and beyond 64, and full wraparound.
+    for (Opcode op : rrrOps())
+        for (std::int64_t a : trickyValues())
+            for (std::int64_t b : trickyValues())
+                EXPECT_EQ(isa::evalIntAlu(op, a, b), vmAlu(op, a, b))
+                    << isa::mnemonic(op) << " " << a << ", " << b;
+}
+
+TEST(ValueRange, SingletonIntervalsFoldExactly)
+{
+    for (Opcode op : rrrOps())
+        for (std::int64_t a : trickyValues())
+            for (std::int64_t b : trickyValues()) {
+                const Interval r = analysis::intervalAlu(
+                    op, Interval::constant(a), Interval::constant(b));
+                EXPECT_TRUE(r.isConstant());
+                EXPECT_EQ(r.lo, isa::evalIntAlu(op, a, b))
+                    << isa::mnemonic(op) << " " << a << ", " << b;
+            }
+}
+
+TEST(ValueRange, WideIntervalsContainEveryConcreteResult)
+{
+    // Soundness: whatever the concrete operands inside [lo, hi], the
+    // abstract result must contain the concrete result.
+    const Interval box{-3, 3};
+    for (Opcode op : rrrOps()) {
+        const Interval r = analysis::intervalAlu(op, box, box);
+        for (std::int64_t a = box.lo; a <= box.hi; ++a)
+            for (std::int64_t b = box.lo; b <= box.hi; ++b)
+                EXPECT_TRUE(r.contains(isa::evalIntAlu(op, a, b)))
+                    << isa::mnemonic(op) << " " << a << ", " << b;
+    }
+    // Empty operands propagate emptiness, never fabricate values.
+    EXPECT_TRUE(analysis::intervalAlu(Opcode::Add, Interval::empty(), box)
+                    .isEmpty());
+}
+
+TEST(ValueRange, ConstantsPropagateThroughStraightLineCode)
+{
+    ProgramBuilder pb("const");
+    pb.li(5, 10);
+    pb.alui(Opcode::Addi, 6, 5, 5);
+    pb.alu(Opcode::Mul, 7, 6, 6);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const ValueRanges ranges = analysis::computeValueRanges(cfg);
+    ASSERT_TRUE(ranges.converged);
+    EXPECT_EQ(ranges.atUse(cfg, 3, 7), Interval::constant(225));
+    // The stack pointer holds its reset value; x0 is pinned at zero.
+    EXPECT_EQ(ranges.atUse(cfg, 0, isa::kRegSp),
+              Interval::constant(
+                  static_cast<std::int64_t>(program.stack_top)));
+    EXPECT_EQ(ranges.atUse(cfg, 0, isa::kRegZero), Interval::constant(0));
+}
+
+TEST(ValueRange, BranchRefinementClampsBothEdges)
+{
+    ProgramBuilder pb("refine");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(6, static_cast<std::int64_t>(buf));
+    pb.load(Opcode::Ld, 5, 6, 0); // x5: unknown
+    pb.li(7, 10);
+    Label big = pb.newLabel();
+    pb.branch(Opcode::Bge, 5, 7, big);
+    pb.alui(Opcode::Addi, 8, 5, 0); // fallthrough: x5 < 10
+    pb.halt();
+    pb.bind(big);
+    pb.alui(Opcode::Addi, 9, 5, 0); // taken: x5 >= 10
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const ValueRanges ranges = analysis::computeValueRanges(cfg);
+    ASSERT_TRUE(ranges.converged);
+
+    const Interval below = ranges.atUse(cfg, 4, 5);
+    EXPECT_LE(below.hi, 9);
+    const Interval above = ranges.atUse(cfg, 6, 5);
+    EXPECT_GE(above.lo, 10);
+}
+
+TEST(ValueRange, WideningTerminatesAndExitRefinesTheCounter)
+{
+    // A counting loop would ascend the interval lattice forever without
+    // widening; the engine must still converge, and the loop-exit edge
+    // must pin the counter at the bound.
+    ProgramBuilder pb("widen");
+    pb.li(5, 0);
+    pb.li(6, 10);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, 1);
+    pb.branch(Opcode::Blt, 5, 6, top);
+    pb.alui(Opcode::Addi, 7, 5, 0); // x5 == 10 here
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const ValueRanges ranges = analysis::computeValueRanges(cfg);
+    ASSERT_TRUE(ranges.converged);
+
+    const Interval after = ranges.atUse(cfg, 4, 5);
+    EXPECT_FALSE(after.isEmpty());
+    EXPECT_GE(after.lo, 10); // fallthrough edge: !(x5 < 10)
+    EXPECT_TRUE(after.contains(10));
+    // Inside the loop the branch keeps the counter below the bound.
+    const Interval in_loop = ranges.atUse(cfg, 2, 5);
+    EXPECT_LE(in_loop.lo, 0);
+    EXPECT_LE(in_loop.hi, 9);
+}
+
+TEST(ValueRange, ReturnSiteHavocsOnlyCalleeWrites)
+{
+    ProgramBuilder pb("havoc");
+    Label main = pb.newLabel();
+    Label sub = pb.newLabel();
+    pb.jump(main);
+    pb.bind(sub);
+    pb.li(5, 1); // the callee clobbers x5 ...
+    pb.ret();
+    pb.bind(main);
+    pb.li(5, 7);
+    pb.li(6, 3); // ... but never touches x6
+    pb.call(sub);
+    pb.alu(Opcode::Add, 8, 5, 6);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const ValueRanges ranges = analysis::computeValueRanges(cfg);
+    ASSERT_TRUE(ranges.converged);
+
+    const std::size_t use = 6; // the add after the call
+    ASSERT_EQ(program.code[use].op, Opcode::Add);
+    // Smuggling the pre-call [7, 7] past the callee would be unsound; the
+    // havoc must at least admit the callee's value.
+    const Interval x5 = ranges.atUse(cfg, use, 5);
+    EXPECT_NE(x5, Interval::constant(7));
+    EXPECT_TRUE(x5.contains(1));
+    EXPECT_TRUE(x5.contains(7));
+    // Registers the callee provably leaves alone keep their value.
+    EXPECT_EQ(ranges.atUse(cfg, use, 6), Interval::constant(3));
+}
+
+TEST(ValueRange, LoadsBoundBySignExtensionWidth)
+{
+    ProgramBuilder pb("loads");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(6, static_cast<std::int64_t>(buf));
+    pb.load(Opcode::Lb, 5, 6, 0);
+    pb.alui(Opcode::Addi, 7, 5, 0);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const ValueRanges ranges = analysis::computeValueRanges(cfg);
+    const Interval byte = ranges.atUse(cfg, 2, 5);
+    EXPECT_EQ(byte.lo, -128);
+    EXPECT_EQ(byte.hi, 127);
+}
+
+TEST(ValueRange, AtUseIsFullInUnreachableBlocks)
+{
+    ProgramBuilder pb("dead");
+    Label end = pb.newLabel();
+    pb.jump(end);
+    pb.alui(Opcode::Addi, 5, 5, 1); // unreachable
+    pb.bind(end);
+    pb.halt();
+    const isa::Program program = pb.build();
+    const Cfg cfg = buildCfg(program);
+    const ValueRanges ranges = analysis::computeValueRanges(cfg);
+    EXPECT_EQ(ranges.atUse(cfg, 1, 5), Interval::full());
+}
+
+} // namespace

@@ -269,6 +269,182 @@ TEST(Verifier, ReportCountsAndSeverities)
     EXPECT_FALSE(report.ok());
 }
 
+TEST(Verifier, MaybeUseBeforeDefOnPartiallyDefinedRegister)
+{
+    // x7 is defined on the fallthrough path only; the merged read is a
+    // maybe-use-before-def, not a hard use-before-def. The condition is
+    // loaded from memory so the branch is not statically decidable.
+    ProgramBuilder pb("maybe");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(6, static_cast<std::int64_t>(buf));
+    pb.load(Opcode::Ld, 5, 6, 0);
+    Label skip = pb.newLabel();
+    pb.branch(Opcode::Beq, 5, isa::kRegZero, skip);
+    pb.li(7, 1);
+    pb.bind(skip);
+    pb.alu(Opcode::Add, 8, 7, 7);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::MaybeUseBeforeDef)) << report.toString();
+    EXPECT_FALSE(report.has(Check::UseBeforeDef));
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(Verifier, DeadStoreOverwrittenInSameBlock)
+{
+    ProgramBuilder pb("dead-store");
+    pb.li(5, 1); // overwritten below before any use
+    pb.li(5, 2);
+    pb.alu(Opcode::Add, 6, 5, 5);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::DeadStore)) << report.toString();
+    EXPECT_TRUE(report.ok());
+    bool found = false;
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        if (d.check == Check::DeadStore) {
+            EXPECT_EQ(d.instr_index, 0u);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+
+    // A value read between the two writes is not dead.
+    ProgramBuilder ok("live-store");
+    ok.li(5, 1);
+    ok.alu(Opcode::Add, 6, 5, 5);
+    ok.li(5, 2);
+    ok.alu(Opcode::Add, 7, 5, 5);
+    ok.halt();
+    EXPECT_FALSE(verify(ok.build()).has(Check::DeadStore));
+}
+
+TEST(Verifier, DiscardedValueWrittenToX0)
+{
+    ProgramBuilder pb("discard");
+    pb.li(5, 1);
+    pb.alu(Opcode::Add, 0, 5, 5); // result lands in x0
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::DiscardedValue)) << report.toString();
+    EXPECT_TRUE(report.ok());
+    // jal/jalr with rd = x0 are the jump idioms, not discarded values.
+    ProgramBuilder ok("jumps");
+    Label end = ok.newLabel();
+    ok.jump(end);
+    ok.bind(end);
+    ok.halt();
+    EXPECT_FALSE(verify(ok.build()).has(Check::DiscardedValue));
+}
+
+TEST(Verifier, ConstantBranchIsReported)
+{
+    ProgramBuilder pb("constbr");
+    pb.li(5, 1);
+    Label t = pb.newLabel();
+    pb.branch(Opcode::Beq, 5, isa::kRegZero, t); // 1 == 0: never taken
+    pb.li(6, 1);
+    pb.bind(t);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::ConstantBranch)) << report.toString();
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(Verifier, DataDependentBranchIsNotConstant)
+{
+    const Report report = verify(cleanProgram());
+    EXPECT_FALSE(report.has(Check::ConstantBranch)) << report.toString();
+}
+
+TEST(Verifier, RangeProvesAccessOutOfEverySegment)
+{
+    // Two definitions defeat the single-def constant resolver, but the
+    // value-range analysis still proves the address exactly: 0x500000 is
+    // below the data segment and far from code and stack.
+    ProgramBuilder pb("range-oob");
+    (void)pb.allocData(64);
+    pb.li(5, 0x400000);
+    pb.alui(Opcode::Addi, 5, 5, 0x100000);
+    pb.load(Opcode::Ld, 6, 5, 0);
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::RangeProvenOutOfSegment))
+        << report.toString();
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(Verifier, RangeProvesMisalignment)
+{
+    ProgramBuilder pb("range-misaligned");
+    const std::uint64_t buf = pb.allocData(64);
+    pb.li(5, static_cast<std::int64_t>(buf));
+    pb.alui(Opcode::Addi, 5, 5, 1); // second def: resolver gives up
+    pb.load(Opcode::Ld, 6, 5, 2);   // buf + 3: inside data, misaligned
+    pb.halt();
+    const Report report = verify(pb.build());
+    EXPECT_TRUE(report.has(Check::RangeProvenMisaligned))
+        << report.toString();
+    EXPECT_FALSE(report.has(Check::MisalignedAccess));
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(Verifier, EmptyInfiniteLoopSpinsDoingNothing)
+{
+    ProgramBuilder pb("spin");
+    pb.li(5, 0);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, 1);
+    pb.jump(top);
+    Options allow;
+    allow.allow_nonterminating = true;
+    const Report report = verify(pb.build(), allow);
+    EXPECT_TRUE(report.has(Check::EmptyInfiniteLoop)) << report.toString();
+    EXPECT_TRUE(report.ok()); // a warning even when nontermination is fine
+    // The same loop is also a hard error under the default options.
+    EXPECT_TRUE(verify(pb.build()).has(Check::InfiniteLoop));
+
+    // A loop doing memory work is not "empty" even without an exit.
+    ProgramBuilder busy("busy");
+    const std::uint64_t buf = busy.allocData(64);
+    busy.li(5, static_cast<std::int64_t>(buf));
+    Label t2 = busy.newLabel();
+    busy.bind(t2);
+    busy.load(Opcode::Ld, 6, 5, 0);
+    busy.jump(t2);
+    EXPECT_FALSE(verify(busy.build(), allow).has(Check::EmptyInfiniteLoop));
+}
+
+TEST(Verifier, DiagnosticsCarryStableBlockIds)
+{
+    // Blocks are numbered in program order, so the ids are stable across
+    // runs and usable as machine-readable anchors (mica_lint --json).
+    ProgramBuilder pb("blocks");
+    pb.li(5, 1);
+    Label top = pb.newLabel();
+    pb.bind(top);
+    pb.alui(Opcode::Addi, 5, 5, -1);
+    pb.branch(Opcode::Bne, 5, isa::kRegZero, top);
+    pb.ret(); // error at instr 3 = block 2, offset 0
+    const Report report = verify(pb.build());
+    bool found = false;
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        if (d.check == Check::ReturnWithoutLink) {
+            EXPECT_EQ(d.instr_index, 3u);
+            EXPECT_EQ(d.block, 2u);
+            EXPECT_EQ(d.block_offset, 0u);
+            found = true;
+        }
+    EXPECT_TRUE(found) << report.toString();
+}
+
+TEST(Verifier, EveryCheckHasAName)
+{
+    for (std::size_t c = 0; c < analysis::kNumChecks; ++c)
+        EXPECT_NE(analysis::checkName(static_cast<Check>(c)), "unknown");
+    EXPECT_EQ(analysis::kNumChecks, 20u);
+}
+
 /** Acceptance criterion: every registered suite program verifies clean. */
 TEST(Verifier, AllCatalogProgramsVerifyWithZeroErrors)
 {
