@@ -30,10 +30,17 @@
  * stride-mix and ILP feature groups — recorded in
  * BENCH_static_analysis.json.
  *
+ * A sixth table measures the serving path (docs/SERVING.md): mmap
+ * zero-copy model open versus the copying loader, and a batch-size ×
+ * load-path throughput sweep of the fused placeBatch kernel, with a
+ * bitwise cross-check of every placement against the unfused
+ * projectBenchmark oracle and the row-at-a-time projectInterval path —
+ * recorded in BENCH_model_serve.json.
+ *
  * MICAPHASE_SUBSTRATE_TABLES selects which post-benchmark tables run: a
  * comma-separated subset of "parallel", "tracing", "kmeans", "model",
- * "static" (unset runs all five). CI's bench smoke step sets it to
- * "kmeans".
+ * "static", "serve" (unset runs all six). CI's bench smoke step sets it
+ * to "kmeans".
  */
 
 #include <benchmark/benchmark.h>
@@ -43,6 +50,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -57,6 +65,7 @@
 #include "mica/metrics.hh"
 #include "stats/summary.hh"
 #include "ga/feature_select.hh"
+#include "model/model_view.hh"
 #include "model/phase_model.hh"
 #include "mica/profiler.hh"
 #include "obs/trace.hh"
@@ -716,6 +725,193 @@ emitModelQuery()
     std::printf("wrote %s\n", path.c_str());
 }
 
+/** Bitwise equality of two projections (reduced, assignment, dist2). */
+bool
+projectionsIdentical(const model::Projection &a, const model::Projection &b)
+{
+    return a.assignment == b.assignment &&
+           a.reduced.rows() == b.reduced.rows() &&
+           a.reduced.cols() == b.reduced.cols() &&
+           std::memcmp(a.reduced.data().data(), b.reduced.data().data(),
+                       a.reduced.data().size() * sizeof(double)) == 0 &&
+           a.dist2.size() == b.dist2.size() &&
+           std::memcmp(a.dist2.data(), b.dist2.data(),
+                       a.dist2.size() * sizeof(double)) == 0;
+}
+
+/**
+ * Serving-path table (docs/SERVING.md): train a mini model once, then
+ * measure (a) copy-load vs mmap-view open time on both the packed and the
+ * aligned file layout, and (b) placeBatch throughput across batch sizes
+ * and load paths on a synthesized interval stream. Every timed
+ * configuration is also cross-checked bitwise against the unfused
+ * projectBenchmark oracle (and a sampled projectInterval pass); the table
+ * reports a single bitwise_identical flag CI hard-gates on.
+ */
+void
+emitModelServe()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear();
+    cfg.threads = 0;
+    const std::string packed_path =
+        micabench::outputDir() + "/BENCH_serve_model.bin";
+    cfg.model_path = packed_path;
+    (void)core::runFullExperiment(cfg);
+
+    const model::PhaseModel model = model::PhaseModel::load(packed_path);
+    const std::string aligned_path =
+        micabench::outputDir() + "/BENCH_serve_model_aligned.bin";
+    model::SaveOptions save_opts;
+    save_opts.align_sections = true;
+    model.save(aligned_path, save_opts);
+
+    // Load-path comparison on the aligned layout (the serving deployment
+    // shape); the packed file is also opened to record its fallback.
+    const double copy_load_s = wallSeconds(
+        [&]() { (void)model::PhaseModel::load(aligned_path); });
+    const double view_open_s = wallSeconds(
+        [&]() { (void)model::PhaseModelView::open(aligned_path); });
+    const model::PhaseModelView aligned_view =
+        model::PhaseModelView::open(aligned_path);
+    const model::PhaseModelView packed_view =
+        model::PhaseModelView::open(packed_path);
+
+    // Synthesize a serving stream around the training distribution:
+    // prominent-phase representatives perturbed by a fraction of the
+    // per-column stddev (deterministic seed).
+    const std::size_t n = 8192;
+    const std::size_t p = model.columns();
+    stats::Rng rng(2026);
+    stats::Matrix rows(n, p);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t c = 0; c < p; ++c) {
+            const double base =
+                model.prominent_raw.rows() > 0
+                    ? model.prominent_raw.at(i % model.prominent_raw.rows(),
+                                             c)
+                    : model.norm_mean[c];
+            rows.at(i, c) =
+                base + 0.25 * model.norm_stddev[c] * rng.nextGaussian();
+        }
+
+    // Oracle: the unfused per-matrix-op path the training pipeline used.
+    const model::Projection oracle = model.projectBenchmark(rows);
+
+    bool bitwise = true;
+    // Fused kernel across thread counts and block sizes, both load paths.
+    for (unsigned threads : {1u, 2u, 4u})
+        for (std::size_t block : {64u, 512u, 4096u}) {
+            stats::ProjectOptions popts;
+            popts.threads = threads;
+            popts.block_rows = block;
+            bitwise = bitwise &&
+                      projectionsIdentical(oracle,
+                                           model.placeBatch(rows, popts));
+            bitwise = bitwise &&
+                      projectionsIdentical(
+                          oracle, aligned_view.placeBatch(rows, popts));
+            bitwise = bitwise &&
+                      projectionsIdentical(
+                          oracle, packed_view.placeBatch(rows, popts));
+        }
+    // Row-at-a-time spot check: every 97th row through projectInterval.
+    for (std::size_t i = 0; i < n; i += 97) {
+        const auto placement = model.projectInterval(rows.row(i));
+        bitwise = bitwise && placement.cluster == oracle.assignment[i] &&
+                  std::memcmp(&placement.dist2, &oracle.dist2[i],
+                              sizeof(double)) == 0;
+    }
+
+    // Throughput sweep: rows/s of one placeBatch pass per batch size, fed
+    // in pre-sliced chunks like the serving loop does.
+    struct SweepRow
+    {
+        const char *path;
+        std::size_t batch;
+        double seconds;
+        double rows_per_sec;
+    };
+    std::vector<SweepRow> sweep;
+    const std::vector<std::size_t> batches = {64, 512, 4096};
+    std::vector<stats::Matrix> chunks;
+    for (std::size_t batch : batches) {
+        chunks.clear();
+        for (std::size_t begin = 0; begin < n; begin += batch) {
+            const std::size_t end = std::min(begin + batch, n);
+            stats::Matrix chunk(end - begin, p);
+            for (std::size_t r = begin; r < end; ++r)
+                for (std::size_t c = 0; c < p; ++c)
+                    chunk.at(r - begin, c) = rows.at(r, c);
+            chunks.push_back(std::move(chunk));
+        }
+        stats::ProjectOptions popts;
+        popts.threads = 0;
+        popts.block_rows = 64;
+        for (int which = 0; which < 2; ++which) {
+            const double s = wallSeconds([&]() {
+                for (const stats::Matrix &chunk : chunks) {
+                    const model::Projection proj =
+                        which == 0 ? model.placeBatch(chunk, popts)
+                                   : aligned_view.placeBatch(chunk, popts);
+                    benchmark::DoNotOptimize(proj.assignment.data());
+                }
+            });
+            sweep.push_back({which == 0 ? "copy" : "mmap", batch, s,
+                             s > 0.0 ? static_cast<double>(n) / s : 0.0});
+        }
+    }
+
+    std::printf("\nmodel serving: load paths + batched placement "
+                "(best of 3, %zu rows)\n", n);
+    std::printf("copy load %.4fs, mmap open %.4fs (zero-copy aligned: %s, "
+                "packed: %s), bitwise identical: %s\n",
+                copy_load_s, view_open_s,
+                aligned_view.zeroCopy() ? "yes" : "no",
+                packed_view.zeroCopy() ? "yes" : "no",
+                bitwise ? "yes" : "NO");
+    std::printf("%-6s %8s %10s %14s\n", "path", "batch", "seconds",
+                "rows/sec");
+    for (const SweepRow &row : sweep)
+        std::printf("%-6s %8zu %10.4f %14.0f\n", row.path, row.batch,
+                    row.seconds, row.rows_per_sec);
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_model_serve.json";
+    std::ofstream out(path);
+    char buf[64];
+    out << "{\n  \"benchmark\": \"model_serve\",\n"
+        << "  \"rows\": " << n << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", copy_load_s);
+    out << "  \"copy_load_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", view_open_s);
+    out << "  \"mmap_open_seconds\": " << buf << ",\n"
+        << "  \"zero_copy_aligned\": "
+        << (aligned_view.zeroCopy() ? "true" : "false") << ",\n"
+        << "  \"zero_copy_packed\": "
+        << (packed_view.zeroCopy() ? "true" : "false") << ",\n"
+        << "  \"bitwise_identical\": " << (bitwise ? "true" : "false")
+        << ",\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const SweepRow &row = sweep[i];
+        out << "    {\"path\": \"" << row.path
+            << "\", \"batch\": " << row.batch << ", ";
+        std::snprintf(buf, sizeof(buf), "%.6f", row.seconds);
+        out << "\"seconds\": " << buf << ", ";
+        std::snprintf(buf, sizeof(buf), "%.0f", row.rows_per_sec);
+        out << "\"rows_per_sec\": " << buf << "}"
+            << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 /** One static-vs-dynamic feature correlation, across all workloads. */
 struct CorrPair
 {
@@ -1032,5 +1228,7 @@ main(int argc, char **argv)
         emitModelQuery();
     if (tableEnabled("static"))
         emitStaticAnalysis();
+    if (tableEnabled("serve"))
+        emitModelServe();
     return 0;
 }

@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Phase-query serving frontend: answer placement and coverage queries
+ * over a shared frozen model from a stream of interval characteristic
+ * vectors, batching rows through the fused placeBatch kernel so thousands
+ * of queries amortize one normalize→PCA→rescale pass (the zero-copy mmap
+ * loader keeps N serving processes sharing one page-cache copy of the
+ * matrices).
+ *
+ * Line protocol (stdin → stdout, one JSON object per answered line):
+ *   p comma-separated doubles            CSV row: one interval vector
+ *   {"values":[...]; optional "id":"x"}  same, NDJSON flavour
+ *   #assess                              coverage summary over all rows
+ *                                        served so far (Figures 4-6
+ *                                        analogue for the live stream)
+ *   empty line                           ignored
+ * Every non-empty line gets exactly one reply, in input order:
+ *   {"seq":N,"cluster":C,"dist2":D}         placed row
+ *   {"seq":N,"error":"..."}                 malformed input (serving
+ *                                           continues)
+ *   {"seq":N,"assessment":{...}}            #assess reply
+ *
+ * Usage:
+ *   phase_serve --model <path> [--copy] [--batch N] [--threads N]
+ *               [--trace out.json]          serve stdin until EOF
+ *   phase_serve --model <path> --gen N [--seed S]
+ *               deterministically synthesize N CSV rows near the model's
+ *               training distribution (for piping into a server)
+ *   phase_serve --demo                      self-contained: train a tiny
+ *                                           model, re-save aligned, serve
+ *                                           a generated stream through the
+ *                                           mmap view, and cross-check the
+ *                                           two load paths bitwise
+ */
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "model/model_view.hh"
+#include "model/phase_model.hh"
+#include "obs/trace.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+
+/** One serving handle: a copy-loaded model or an mmap'd zero-copy view. */
+class Server
+{
+  public:
+    static Server
+    copyLoad(const std::string &path)
+    {
+        Server s;
+        s.owned_ = model::PhaseModel::load(path);
+        return s;
+    }
+
+    static Server
+    viewOpen(const std::string &path)
+    {
+        Server s;
+        s.view_ = model::PhaseModelView::open(path);
+        return s;
+    }
+
+    [[nodiscard]] std::size_t
+    columns() const
+    {
+        return owned_ ? owned_->columns() : view_->columns();
+    }
+
+    [[nodiscard]] std::size_t
+    numClusters() const
+    {
+        return owned_ ? owned_->numClusters() : view_->numClusters();
+    }
+
+    [[nodiscard]] bool zeroCopy() const { return view_ && view_->zeroCopy(); }
+
+    [[nodiscard]] model::Projection
+    place(const stats::Matrix &rows,
+          const stats::ProjectOptions &opts) const
+    {
+        return owned_ ? owned_->placeBatch(rows, opts)
+                      : view_->placeBatch(rows, opts);
+    }
+
+    [[nodiscard]] model::WorkloadAssessment
+    assess(const model::Projection &projection) const
+    {
+        return owned_ ? owned_->assessWorkload(projection)
+                      : view_->assessWorkload(projection);
+    }
+
+  private:
+    std::optional<model::PhaseModel> owned_;
+    std::optional<model::PhaseModelView> view_;
+};
+
+struct ServeOptions
+{
+    std::size_t batch = 512;
+    unsigned threads = 0;
+};
+
+struct ServeTotals
+{
+    std::uint64_t requests = 0; ///< answered lines (rows + errors + assess)
+    std::uint64_t rows = 0;     ///< successfully placed rows
+    std::uint64_t errors = 0;   ///< malformed lines
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+parseDouble(std::string_view s, double &out)
+{
+    const char *begin = s.data();
+    const char *end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc{} && ptr == end;
+}
+
+/** Parse a CSV line of exactly `want` doubles. Returns an error or "". */
+std::string
+parseCsvRow(std::string_view line, std::size_t want,
+            std::vector<double> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+        std::size_t comma = line.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = line.size();
+        std::string_view field = line.substr(pos, comma - pos);
+        while (!field.empty() && (field.front() == ' ' ||
+                                  field.front() == '\t'))
+            field.remove_prefix(1);
+        while (!field.empty() &&
+               (field.back() == ' ' || field.back() == '\t'))
+            field.remove_suffix(1);
+        double v = 0.0;
+        if (!parseDouble(field, v))
+            return "bad number in CSV field " +
+                   std::to_string(out.size());
+        out.push_back(v);
+        if (comma == line.size())
+            break;
+        pos = comma + 1;
+    }
+    if (out.size() != want)
+        return "expected " + std::to_string(want) + " values, got " +
+               std::to_string(out.size());
+    return "";
+}
+
+/**
+ * Parse the NDJSON flavour: {"values":[v,...]} with an optional flat
+ * "id":"..." string (no escapes). Deliberately minimal — the protocol is
+ * machine-generated lines, not arbitrary JSON.
+ */
+std::string
+parseJsonRow(std::string_view line, std::size_t want,
+             std::vector<double> &out, std::string &id)
+{
+    out.clear();
+    id.clear();
+    const std::size_t values_key = line.find("\"values\"");
+    if (values_key == std::string_view::npos)
+        return "missing \"values\" key";
+    const std::size_t open = line.find('[', values_key);
+    const std::size_t close = line.find(']', values_key);
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open)
+        return "missing values array";
+    std::size_t pos = open + 1;
+    while (pos < close) {
+        while (pos < close && (line[pos] == ' ' || line[pos] == ','))
+            ++pos;
+        if (pos >= close)
+            break;
+        std::size_t end = pos;
+        while (end < close && line[end] != ',' && line[end] != ' ')
+            ++end;
+        double v = 0.0;
+        if (!parseDouble(line.substr(pos, end - pos), v))
+            return "bad number in values array";
+        out.push_back(v);
+        pos = end;
+    }
+    if (out.size() != want)
+        return "expected " + std::to_string(want) + " values, got " +
+               std::to_string(out.size());
+    const std::size_t id_key = line.find("\"id\"");
+    if (id_key != std::string_view::npos) {
+        const std::size_t colon = line.find(':', id_key + 4);
+        const std::size_t q1 = line.find('"', colon + 1);
+        if (colon == std::string_view::npos ||
+            q1 == std::string_view::npos)
+            return "malformed id";
+        const std::size_t q2 = line.find('"', q1 + 1);
+        if (q2 == std::string_view::npos)
+            return "malformed id";
+        id = std::string(line.substr(q1 + 1, q2 - q1 - 1));
+    }
+    return "";
+}
+
+void
+printAssessment(FILE *out, std::uint64_t seq,
+                const model::WorkloadAssessment &a)
+{
+    std::fprintf(out,
+                 "{\"seq\":%" PRIu64 ",\"assessment\":{\"rows\":%zu,"
+                 "\"clusters_covered\":%zu,\"coverage_fraction\":%.17g,"
+                 "\"shared_fraction\":%.17g,\"novel_fraction\":%.17g,"
+                 "\"mean_distance\":%.17g,\"max_distance\":%.17g}}\n",
+                 seq, a.rows, a.clusters_covered, a.coverage_fraction,
+                 a.shared_fraction, a.novel_fraction, a.mean_distance,
+                 a.max_distance);
+}
+
+/**
+ * The serving loop: accumulate up to opts.batch rows, place each wave
+ * with one placeBatch call (the kernel fans rows out over the shared
+ * thread pool), and answer every line in input order.
+ */
+ServeTotals
+serveLoop(const Server &server, std::istream &in, FILE *out,
+          const ServeOptions &opts)
+{
+    struct Entry
+    {
+        enum class Kind { Row, Error, Assess } kind = Kind::Row;
+        std::uint64_t seq = 0;
+        std::size_t row = 0;     ///< index into the wave (Kind::Row)
+        std::string id;          ///< optional row label (Kind::Row)
+        std::string error;       ///< message (Kind::Error)
+    };
+
+    ServeTotals totals;
+    const std::size_t p = server.columns();
+    std::uint64_t seq = 0;
+
+    // Accumulated placements feed #assess over everything served so far.
+    model::Projection served;
+
+    stats::Matrix wave(0, 0);
+    std::vector<Entry> entries;
+
+    stats::ProjectOptions popts;
+    popts.threads = opts.threads;
+    popts.block_rows = 64; // fine-grained enough for small serving waves
+
+    auto flush = [&] {
+        model::Projection proj;
+        if (wave.rows() > 0) {
+            const obs::GaugeTimer timer("serve.batch_seconds");
+            obs::gauge("serve.batch_rows",
+                       static_cast<double>(wave.rows()));
+            proj = server.place(wave, popts);
+            obs::count("serve.rows_projected",
+                       static_cast<double>(wave.rows()));
+            served.assignment.insert(served.assignment.end(),
+                                     proj.assignment.begin(),
+                                     proj.assignment.end());
+            served.dist2.insert(served.dist2.end(), proj.dist2.begin(),
+                                proj.dist2.end());
+        }
+        // One in-order walk: replies keep exactly the input line order no
+        // matter how rows, errors and directives interleave in the wave.
+        for (const Entry &e : entries) {
+            switch (e.kind) {
+              case Entry::Kind::Row:
+                std::fprintf(out, "{\"seq\":%" PRIu64 ",", e.seq);
+                if (!e.id.empty())
+                    std::fprintf(out, "\"id\":\"%s\",",
+                                 jsonEscape(e.id).c_str());
+                std::fprintf(out, "\"cluster\":%zu,\"dist2\":%.17g}\n",
+                             proj.assignment[e.row], proj.dist2[e.row]);
+                ++totals.rows;
+                break;
+              case Entry::Kind::Error:
+                std::fprintf(out, "{\"seq\":%" PRIu64 ",\"error\":\"%s\"}\n",
+                             e.seq, jsonEscape(e.error).c_str());
+                ++totals.errors;
+                break;
+              case Entry::Kind::Assess:
+                printAssessment(out, e.seq, server.assess(served));
+                break;
+            }
+        }
+        wave = stats::Matrix(0, 0);
+        entries.clear();
+        std::fflush(out);
+    };
+
+    std::string line;
+    std::vector<double> values;
+    std::string id;
+    while (std::getline(in, line)) {
+        std::string_view sv = line;
+        if (!sv.empty() && sv.back() == '\r')
+            sv.remove_suffix(1);
+        if (sv.empty())
+            continue;
+        ++seq;
+        ++totals.requests;
+        obs::count("serve.requests");
+
+        if (sv.rfind("#assess", 0) == 0) {
+            Entry e;
+            e.kind = Entry::Kind::Assess;
+            e.seq = seq;
+            entries.push_back(std::move(e));
+            flush();
+            continue;
+        }
+
+        std::string error;
+        id.clear();
+        if (sv.front() == '{')
+            error = parseJsonRow(sv, p, values, id);
+        else
+            error = parseCsvRow(sv, p, values);
+
+        Entry e;
+        e.seq = seq;
+        if (!error.empty()) {
+            e.kind = Entry::Kind::Error;
+            e.error = std::move(error);
+        } else {
+            e.kind = Entry::Kind::Row;
+            e.row = wave.rows();
+            e.id = id;
+            wave.appendRow(values);
+        }
+        entries.push_back(std::move(e));
+        if (wave.rows() >= opts.batch)
+            flush();
+    }
+    flush();
+    return totals;
+}
+
+/**
+ * Deterministically synthesize `n` CSV rows near the model's training
+ * distribution: each row perturbs a prominent-phase raw representative
+ * (cycled; the norm means when the model has none) by a fraction of the
+ * per-column training stddev.
+ */
+std::string
+generateRows(const model::PhaseModel &m, stats::MatrixView prominent_raw,
+             std::size_t n, std::uint64_t seed)
+{
+    const std::size_t p = m.columns();
+    stats::Rng rng(seed);
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < p; ++c) {
+            double base;
+            if (prominent_raw.rows() > 0)
+                base = prominent_raw.at(i % prominent_raw.rows(), c);
+            else
+                base = m.norm_mean[c];
+            const double v =
+                base + 0.25 * m.norm_stddev[c] * rng.nextGaussian();
+            std::snprintf(buf, sizeof buf, "%.17g", v);
+            if (c > 0)
+                out.push_back(',');
+            out += buf;
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+int
+runGen(const std::string &model_path, std::size_t n, std::uint64_t seed)
+{
+    const model::PhaseModel m = model::PhaseModel::load(model_path);
+    const std::string rows =
+        generateRows(m, m.prominent_raw.view(), n, seed);
+    std::fwrite(rows.data(), 1, rows.size(), stdout);
+    return 0;
+}
+
+/**
+ * Self-contained smoke path (used by ctest): train a tiny model, re-save
+ * it with aligned sections, serve a generated stream through the mmap
+ * view, and require the copy and mmap load paths to place every row
+ * bit-identically.
+ */
+int
+runDemo()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.threads = 4;
+    cfg.cache_dir = "out/cache";
+    cfg.model_path = "out/phase_serve_demo.bin";
+
+    std::fprintf(stderr, "training a tiny model -> %s ...\n",
+                 cfg.model_path.c_str());
+    (void)core::runFullExperiment(cfg);
+
+    const model::PhaseModel m = model::PhaseModel::load(cfg.model_path);
+    const std::string aligned_path = "out/phase_serve_demo_aligned.bin";
+    model::SaveOptions save_opts;
+    save_opts.align_sections = true;
+    m.save(aligned_path, save_opts);
+
+    const Server server = Server::viewOpen(aligned_path);
+    std::fprintf(stderr, "serving via mmap view (zero-copy: %s)\n",
+                 server.zeroCopy() ? "yes" : "no");
+
+    std::string input = generateRows(m, m.prominent_raw.view(), 256, 42);
+    input += "#assess\n";
+    std::istringstream in(input);
+    ServeOptions opts;
+    opts.batch = 64;
+    opts.threads = 2;
+    const ServeTotals totals = serveLoop(server, in, stdout, opts);
+    if (totals.rows != 256 || totals.errors != 0) {
+        std::fprintf(stderr, "demo: expected 256 clean rows, served %" PRIu64
+                     " (%" PRIu64 " errors)\n", totals.rows, totals.errors);
+        return 1;
+    }
+
+    // Cross-check the two load paths bitwise on the same rows.
+    std::istringstream again(input);
+    stats::Matrix rows(0, 0);
+    std::string line;
+    std::vector<double> values;
+    while (std::getline(again, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!parseCsvRow(line, m.columns(), values).empty())
+            return 1;
+        rows.appendRow(values);
+    }
+    const model::Projection via_copy = m.placeBatch(rows);
+    const Server view_server = Server::viewOpen(aligned_path);
+    stats::ProjectOptions popts;
+    popts.threads = 3;
+    popts.block_rows = 17;
+    const model::Projection via_view = view_server.place(rows, popts);
+    const bool identical =
+        via_copy.assignment == via_view.assignment &&
+        std::memcmp(via_copy.reduced.data().data(),
+                    via_view.reduced.data().data(),
+                    via_copy.reduced.data().size() * sizeof(double)) == 0 &&
+        std::memcmp(via_copy.dist2.data(), via_view.dist2.data(),
+                    via_copy.dist2.size() * sizeof(double)) == 0;
+    if (!identical) {
+        std::fprintf(stderr,
+                     "demo: copy and mmap placements disagree bitwise\n");
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "demo: 256 rows served; copy and mmap load paths "
+                 "bit-identical\n");
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: phase_serve --model <path> [--copy] [--batch N]\n"
+        "                   [--threads N] [--trace out.json]\n"
+        "       phase_serve --model <path> --gen N [--seed S]\n"
+        "       phase_serve --demo\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_path;
+    std::string trace_path;
+    ServeOptions opts;
+    bool use_copy = false;
+    bool demo = false;
+    std::size_t gen = 0;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto numArg = [&](auto &out) {
+            if (i + 1 >= argc)
+                return false;
+            const std::string_view s = argv[++i];
+            const auto [end, ec] =
+                std::from_chars(s.data(), s.data() + s.size(), out);
+            return ec == std::errc{} && end == s.data() + s.size();
+        };
+        if (arg == "--model" && i + 1 < argc)
+            model_path = argv[++i];
+        else if (arg == "--trace" && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (arg == "--batch") {
+            if (!numArg(opts.batch) || opts.batch == 0)
+                return usage();
+        } else if (arg == "--threads") {
+            if (!numArg(opts.threads))
+                return usage();
+        } else if (arg == "--gen") {
+            if (!numArg(gen))
+                return usage();
+        } else if (arg == "--seed") {
+            if (!numArg(seed))
+                return usage();
+        } else if (arg == "--copy")
+            use_copy = true;
+        else if (arg == "--mmap")
+            use_copy = false;
+        else if (arg == "--demo")
+            demo = true;
+        else
+            return usage();
+    }
+
+    if (demo)
+        return runDemo();
+    if (model_path.empty())
+        return usage();
+    if (gen > 0)
+        return runGen(model_path, gen, seed);
+
+    const obs::TraceScope trace(trace_path);
+    const Server server = use_copy ? Server::copyLoad(model_path)
+                                   : Server::viewOpen(model_path);
+    std::fprintf(stderr,
+                 "phase_serve: model %s (%zu columns, %zu clusters, "
+                 "load path %s%s), batch %zu\n",
+                 model_path.c_str(), server.columns(),
+                 server.numClusters(), use_copy ? "copy" : "mmap",
+                 server.zeroCopy() ? ", zero-copy" : "", opts.batch);
+
+    const ServeTotals totals = serveLoop(server, std::cin, stdout, opts);
+    std::fprintf(stderr,
+                 "phase_serve: answered %" PRIu64 " requests (%" PRIu64
+                 " rows placed, %" PRIu64 " malformed)\n",
+                 totals.requests, totals.rows, totals.errors);
+    return 0;
+}

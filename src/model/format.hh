@@ -1,0 +1,581 @@
+/**
+ * @file
+ * On-disk format internals of the frozen phase-model store, shared by the
+ * copying loader (PhaseModel::load / loadFromBytes) and the zero-copy view
+ * (PhaseModelView). Internal header: include only from src/model sources
+ * and white-box tests; docs/MODEL.md documents the byte layout.
+ *
+ * The split keeps a single source of truth for every structural rule —
+ * magic, version gate, section table shape, per-section CRC, bounds,
+ * duplicate/missing/overlap rejection, and the field order of each
+ * section — so the two loaders cannot drift apart: both call
+ * `readAndCheckTable` and then `parseModel` and differ only in the one
+ * callback that decides what to do with a matrix payload (materialize an
+ * owned copy vs alias the bytes in place).
+ */
+
+#ifndef MICAPHASE_MODEL_FORMAT_HH
+#define MICAPHASE_MODEL_FORMAT_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/phase_model.hh"
+#include "stats/matrix.hh"
+
+namespace mica::model::format {
+
+inline constexpr std::array<char, 8> kMagic = {'M', 'I', 'C', 'A',
+                                               'P', 'H', 'M', 'D'};
+
+/** Section ids. Append only; never renumber (they are on disk). */
+enum SectionId : std::uint32_t
+{
+    kSecMeta = 1,
+    kSecCatalog = 2,
+    kSecNorm = 3,
+    kSecPca = 4,
+    kSecClusters = 5,
+    kSecProminent = 6,
+    kSecGa = 7,
+};
+
+inline constexpr std::array<std::uint32_t, 7> kRequiredSections = {
+    kSecMeta, kSecCatalog, kSecNorm, kSecPca,
+    kSecClusters, kSecProminent, kSecGa};
+
+inline constexpr std::size_t kHeaderSize = 8 + 4 + 4; ///< magic+version+count
+inline constexpr std::size_t kTableEntrySize = 4 + 4 + 8 + 8 + 4 + 4;
+
+/** CRC32 (poly 0xEDB88320, the zlib polynomial) over a byte range. */
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** Decode one little-endian IEEE-754 double from 8 raw bytes. */
+inline double
+decodeF64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return std::bit_cast<double>(v);
+}
+
+/**
+ * Little-endian append-only serializer. Explicit byte shuffling (instead
+ * of memcpy of host integers) pins the on-disk layout on any endianness.
+ */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void
+    strVec(const std::vector<std::string> &v)
+    {
+        u64(v.size());
+        for (const auto &s : v)
+            str(s);
+    }
+
+    void
+    f64Vec(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (double x : v)
+            f64(x);
+    }
+
+    void
+    u64Vec(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t x : v)
+            u64(x);
+    }
+
+    void
+    matrix(const stats::Matrix &m)
+    {
+        u64(m.rows());
+        u64(m.cols());
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            for (double x : m.row(r))
+                f64(x);
+    }
+
+    [[nodiscard]] const std::vector<std::uint8_t> &bytes() const
+    {
+        return buf_;
+    }
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Dimensions + raw payload of one serialized matrix, still inside its
+ * section's bytes. The payload holds rows*cols little-endian f64 values;
+ * the bounds were verified by ByteReader::matrixRegion, so a consumer may
+ * either materialize an owned copy or alias the bytes in place (when the
+ * pointer is suitably aligned and the host is little-endian).
+ */
+struct MatrixRegion
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    const std::uint8_t *payload = nullptr;
+};
+
+/** Owned decode of a matrix region (works on any endianness/alignment). */
+inline stats::Matrix
+materializeMatrix(const MatrixRegion &region)
+{
+    stats::Matrix m(region.rows, region.cols);
+    const std::uint8_t *p = region.payload;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (double &x : m.row(r)) {
+            x = decodeF64(p);
+            p += 8;
+        }
+    return m;
+}
+
+/** Bounds-checked little-endian reader over one section's bytes. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size,
+               std::string_view section)
+        : data_(data), size_(size), section_(section)
+    {
+    }
+
+    [[nodiscard]] std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    [[nodiscard]] std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    [[nodiscard]] std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    [[nodiscard]] double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    [[nodiscard]] std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    [[nodiscard]] std::vector<std::string>
+    strVec()
+    {
+        std::vector<std::string> v(checkedCount(4));
+        for (auto &s : v)
+            s = str();
+        return v;
+    }
+
+    [[nodiscard]] std::vector<double>
+    f64Vec()
+    {
+        std::vector<double> v(checkedCount(8));
+        for (auto &x : v)
+            x = f64();
+        return v;
+    }
+
+    [[nodiscard]] std::vector<std::uint64_t>
+    u64Vec()
+    {
+        std::vector<std::uint64_t> v(checkedCount(8));
+        for (auto &x : v)
+            x = u64();
+        return v;
+    }
+
+    /**
+     * Read a matrix header and pre-validated payload span, without
+     * decoding the values. The zero-copy loader aliases the payload;
+     * matrix() materializes it.
+     */
+    [[nodiscard]] MatrixRegion
+    matrixRegion()
+    {
+        const std::uint64_t rows = u64();
+        const std::uint64_t cols = u64();
+        // Two-step overflow-safe guard: bounding cols by remaining()/8 first
+        // keeps 8*cols from wrapping, and the rows bound then guarantees
+        // rows*cols fits both the section and std::size_t.
+        if (cols > remaining() / 8)
+            fail("matrix larger than its section");
+        if (cols != 0 && rows > remaining() / (8 * cols))
+            fail("matrix larger than its section");
+        MatrixRegion region;
+        region.rows = static_cast<std::size_t>(rows);
+        region.cols = static_cast<std::size_t>(cols);
+        region.payload = data_ + pos_;
+        pos_ += region.rows * region.cols * 8;
+        return region;
+    }
+
+    [[nodiscard]] stats::Matrix
+    matrix()
+    {
+        return materializeMatrix(matrixRegion());
+    }
+
+    /** Every section must be consumed exactly — trailing bytes = junk. */
+    void
+    finish() const
+    {
+        if (pos_ != size_)
+            fail("trailing bytes");
+    }
+
+    /**
+     * Read an element count and pre-check it fits the section, given a
+     * lower bound on the serialized element size. Every count MUST go
+     * through this before sizing any container: a corrupted count with a
+     * re-fixed CRC must raise ModelError, not attempt a giant allocation
+     * (found by the structured fuzzer).
+     */
+    [[nodiscard]] std::size_t
+    checkedCount(std::size_t min_elem_size)
+    {
+        const std::uint64_t n = u64();
+        if (n > remaining() / min_elem_size)
+            fail("count larger than its section");
+        return static_cast<std::size_t>(n);
+    }
+
+  private:
+    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+    void
+    need(std::size_t n) const
+    {
+        if (n > remaining())
+            fail("truncated");
+    }
+
+    [[noreturn]] void
+    fail(std::string_view what) const
+    {
+        throw ModelError("PhaseModel: corrupt " + std::string(section_) +
+                         " section (" + std::string(what) + ")");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::string_view section_;
+};
+
+/** One decoded section-table entry. */
+struct SectionEntry
+{
+    std::uint32_t id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+};
+
+/**
+ * Locate a required section, rejecting duplicates and absences. `source`
+ * is the error prefix (loader name + file path).
+ */
+inline const SectionEntry &
+findSection(const std::vector<SectionEntry> &table, std::uint32_t id,
+            const std::string &source)
+{
+    const SectionEntry *found = nullptr;
+    for (const SectionEntry &e : table) {
+        if (e.id != id)
+            continue;
+        if (found != nullptr)
+            throw ModelError(source + ": duplicate section " +
+                             std::to_string(id));
+        found = &e;
+    }
+    if (found == nullptr)
+        throw ModelError(source + ": missing section " + std::to_string(id));
+    return *found;
+}
+
+/**
+ * Validate everything structural about a model file before any payload is
+ * parsed: magic, version gate, section-table bounds, and — for every
+ * required section — presence, uniqueness, in-file bounds, CRC32, and
+ * mutual non-overlap (sections may not alias each other, the header, or
+ * the section table; unknown section ids are ignored for forward
+ * compatibility). Returns the decoded table. Throws ModelError prefixed
+ * with `source` on any violation.
+ */
+inline std::vector<SectionEntry>
+readAndCheckTable(const std::uint8_t *data, std::size_t size,
+                  const std::string &source)
+{
+    if (size < kHeaderSize)
+        throw ModelError(source + ": truncated header");
+    if (std::memcmp(data, kMagic.data(), kMagic.size()) != 0)
+        throw ModelError(source + ": bad magic (not a phase-model file)");
+    ByteReader header(data + kMagic.size(), size - kMagic.size(), "header");
+    const std::uint32_t version = header.u32();
+    if (version == 0 || version > kFormatVersion)
+        throw ModelError(
+            source + ": format version " + std::to_string(version) +
+            " unsupported (this build reads <= " +
+            std::to_string(kFormatVersion) + ")");
+    const std::uint32_t section_count = header.u32();
+    const std::size_t table_bytes =
+        static_cast<std::size_t>(section_count) * kTableEntrySize;
+    if (size < kHeaderSize || size - kHeaderSize < table_bytes)
+        throw ModelError(source + ": truncated section table");
+
+    std::vector<SectionEntry> table(section_count);
+    {
+        ByteReader tr(data + kHeaderSize, table_bytes, "section table");
+        for (SectionEntry &e : table) {
+            e.id = tr.u32();
+            (void)tr.u32();
+            e.offset = tr.u64();
+            e.size = tr.u64();
+            e.crc = tr.u32();
+            (void)tr.u32();
+        }
+    }
+
+    // Verify bounds + checksums of every required section before parsing
+    // any, collecting the occupied ranges along the way.
+    struct Range
+    {
+        std::uint64_t begin;
+        std::uint64_t end;
+        std::uint32_t id;
+    };
+    std::vector<Range> ranges;
+    const std::uint64_t table_end = kHeaderSize + table_bytes;
+    for (std::uint32_t id : kRequiredSections) {
+        const SectionEntry &e = findSection(table, id, source);
+        if (e.offset > size || e.size > size - e.offset)
+            throw ModelError(source + ": section " + std::to_string(id) +
+                             " out of bounds");
+        if (crc32(data + e.offset, static_cast<std::size_t>(e.size)) !=
+            e.crc)
+            throw ModelError(source + ": section " + std::to_string(id) +
+                             " checksum mismatch");
+        if (e.size == 0)
+            continue;
+        if (e.offset < table_end)
+            throw ModelError(source + ": section " + std::to_string(id) +
+                             " overlaps the header or section table");
+        ranges.push_back({e.offset, e.offset + e.size, e.id});
+    }
+
+    // Overlap rejection: two sections sharing bytes would let one payload
+    // silently rewrite another's meaning (both CRCs can still verify), so
+    // a well-formed file keeps every required section disjoint.
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Range &a, const Range &b) {
+                  return a.begin < b.begin;
+              });
+    for (std::size_t i = 1; i < ranges.size(); ++i)
+        if (ranges[i].begin < ranges[i - 1].end)
+            throw ModelError(source + ": section " +
+                             std::to_string(ranges[i].id) +
+                             " overlaps section " +
+                             std::to_string(ranges[i - 1].id));
+    return table;
+}
+
+/** Which PhaseModel matrix a parse callback is being handed. */
+enum class MatrixField
+{
+    Loadings,
+    Centers,
+    ProminentRaw,
+};
+
+/**
+ * Parse every section payload into `model`, in the canonical section
+ * order, leaving the three matrix fields to `onMatrix(field, reader)` —
+ * the callback must consume exactly one serialized matrix from the reader
+ * (via matrix() or matrixRegion()) and store it wherever the caller keeps
+ * matrices. All bounds/CRC checks must already have passed
+ * (readAndCheckTable). `base` is the start of the whole file image.
+ */
+template <typename MatrixFn>
+inline void
+parseModel(PhaseModel &model, const std::uint8_t *base,
+           const std::vector<SectionEntry> &table, const std::string &source,
+           MatrixFn &&onMatrix)
+{
+    auto reader = [&](std::uint32_t id, std::string_view name) {
+        const SectionEntry &e = findSection(table, id, source);
+        return ByteReader(base + e.offset, static_cast<std::size_t>(e.size),
+                          name);
+    };
+
+    {
+        ByteReader r = reader(kSecMeta, "META");
+        model.analysis_key = r.u64();
+        model.interval_instructions = r.u64();
+        model.samples_per_benchmark = r.u32();
+        model.interval_scale = r.f64();
+        model.pca_min_stddev = r.f64();
+        model.seed = r.u64();
+        model.training_rows = r.u64();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecCatalog, "CATALOG");
+        model.benchmark_ids = r.strVec();
+        model.benchmark_suites = r.strVec();
+        model.suites = r.strVec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecNorm, "NORM");
+        model.normalize_input = r.u8() != 0;
+        model.norm_mean = r.f64Vec();
+        model.norm_stddev = r.f64Vec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecPca, "PCA");
+        model.pca_explained = r.f64();
+        model.eigenvalues = r.f64Vec();
+        onMatrix(MatrixField::Loadings, r);
+        model.rescale_sd = r.f64Vec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecClusters, "CLUSTERS");
+        onMatrix(MatrixField::Centers, r);
+        model.cluster_sizes = r.u64Vec();
+        const std::size_t kinds = r.checkedCount(1);
+        model.cluster_kinds.reserve(kinds);
+        for (std::size_t i = 0; i < kinds; ++i)
+            model.cluster_kinds.push_back(static_cast<ClusterKind>(r.u8()));
+        const std::uint64_t num_suites = r.u64();
+        if (num_suites != model.suites.size())
+            throw ModelError(source +
+                             ": CLUSTERS/CATALOG suite count mismatch");
+        model.suite_rows = r.u64Vec();
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecProminent, "PROMINENT");
+        // Each ProminentPhase serializes to 4 + 8 + 8 bytes.
+        const std::size_t count = r.checkedCount(20);
+        model.prominent.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            ProminentPhase ph;
+            ph.cluster = r.u32();
+            ph.weight = r.f64();
+            ph.representative_row = r.u64();
+            model.prominent.push_back(ph);
+        }
+        onMatrix(MatrixField::ProminentRaw, r);
+        r.finish();
+    }
+    {
+        ByteReader r = reader(kSecGa, "GA");
+        const std::size_t count = r.checkedCount(4);
+        model.key_characteristics.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            model.key_characteristics.push_back(r.u32());
+        model.ga_fitness = r.f64();
+        r.finish();
+    }
+}
+
+} // namespace mica::model::format
+
+#endif // MICAPHASE_MODEL_FORMAT_HH

@@ -1,0 +1,209 @@
+#include "model/model_view.hh"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <utility>
+
+#include "model/format.hh"
+#include "obs/trace.hh"
+
+#if __has_include(<sys/mman.h>)
+#define MICAPHASE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mica::model {
+
+/** RAII ownership of one read-only mapping. */
+struct PhaseModelView::Mapping
+{
+#ifdef MICAPHASE_HAVE_MMAP
+    void *addr = nullptr;
+    std::size_t size = 0;
+
+    Mapping() = default;
+    Mapping(const Mapping &) = delete;
+    Mapping &operator=(const Mapping &) = delete;
+
+    ~Mapping()
+    {
+        if (addr != nullptr)
+            ::munmap(addr, size);
+    }
+#endif
+};
+
+PhaseModelView
+PhaseModelView::open(const std::string &path)
+{
+    const obs::Span span("model.view_open", "model");
+    PhaseModelView view;
+    std::size_t file_bytes = 0;
+#ifdef MICAPHASE_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw ModelError("PhaseModelView::open: cannot open " + path);
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw ModelError("PhaseModelView::open: cannot stat " + path);
+    }
+    file_bytes = static_cast<std::size_t>(st.st_size);
+    const std::uint8_t *data = nullptr;
+    if (file_bytes > 0) {
+        void *addr =
+            ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (addr == MAP_FAILED)
+            throw ModelError("PhaseModelView::open: mmap failed: " + path);
+        auto mapping = std::make_shared<Mapping>();
+        mapping->addr = addr;
+        mapping->size = file_bytes;
+        view.mapping_ = std::move(mapping);
+        data = static_cast<const std::uint8_t *>(addr);
+    } else {
+        ::close(fd);
+    }
+    view.build(data, file_bytes, "PhaseModelView::open: " + path);
+#else
+    // No mmap on this platform: read the image and serve from memory.
+    // Same validation, same aliasing rules, just not shared with the page
+    // cache.
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (!in)
+            throw ModelError("PhaseModelView::open: cannot open " + path);
+        const std::streamsize size = in.tellg();
+        in.seekg(0);
+        view.owned_bytes_.resize(static_cast<std::size_t>(size));
+        if (size > 0)
+            in.read(reinterpret_cast<char *>(view.owned_bytes_.data()),
+                    size);
+        if (!in)
+            throw ModelError("PhaseModelView::open: read failed: " + path);
+    }
+    file_bytes = view.owned_bytes_.size();
+    view.build(view.owned_bytes_.data(), file_bytes,
+               "PhaseModelView::open: " + path);
+#endif
+    obs::count("model.view_bytes", static_cast<double>(file_bytes));
+    if (view.zero_copy_)
+        obs::count("model.view_zero_copy");
+    return view;
+}
+
+PhaseModelView
+PhaseModelView::parse(std::vector<std::uint8_t> bytes,
+                      const std::string &source)
+{
+    PhaseModelView view;
+    view.owned_bytes_ = std::move(bytes);
+    view.build(view.owned_bytes_.data(), view.owned_bytes_.size(),
+               "PhaseModelView: " + source);
+    return view;
+}
+
+void
+PhaseModelView::build(const std::uint8_t *data, std::size_t size,
+                      const std::string &source)
+{
+    const std::vector<format::SectionEntry> table =
+        format::readAndCheckTable(data, size, source);
+
+    bool all_aliased = true;
+    auto adopt = [this, &all_aliased](format::MatrixField field,
+                                      format::ByteReader &r) {
+        stats::MatrixView *view_slot = nullptr;
+        stats::Matrix *copy_slot = nullptr;
+        switch (field) {
+          case format::MatrixField::Loadings:
+            view_slot = &loadings_;
+            copy_slot = &loadings_copy_;
+            break;
+          case format::MatrixField::Centers:
+            view_slot = &centers_;
+            copy_slot = &centers_copy_;
+            break;
+          case format::MatrixField::ProminentRaw:
+            view_slot = &prominent_raw_;
+            copy_slot = &prominent_copy_;
+            break;
+        }
+        const format::MatrixRegion region = r.matrixRegion();
+        if (region.rows == 0 || region.cols == 0) {
+            // Nothing to read: an empty view is trivially "aliased".
+            *view_slot = stats::MatrixView(nullptr, region.rows,
+                                           region.cols);
+            return;
+        }
+        // The payload is rows*cols little-endian IEEE-754 doubles. On a
+        // little-endian host with an 8-byte-aligned pointer the in-file
+        // representation *is* the in-memory representation, so the view
+        // can point straight into the file. Anything else (big-endian
+        // host, packed/unaligned section) decodes an owned copy — same
+        // bits, one copy slower.
+        const bool can_alias =
+            std::endian::native == std::endian::little &&
+            reinterpret_cast<std::uintptr_t>(region.payload) %
+                    alignof(double) ==
+                0;
+        if (can_alias) {
+            *view_slot = stats::MatrixView(
+                reinterpret_cast<const double *>(region.payload),
+                region.rows, region.cols);
+        } else {
+            *copy_slot = format::materializeMatrix(region);
+            *view_slot = copy_slot->view();
+            all_aliased = false;
+        }
+    };
+    format::parseModel(meta_, data, table, source, adopt);
+    zero_copy_ = all_aliased;
+
+    try {
+        validateModelShapes(meta_, loadings_, centers_, prominent_raw_);
+    } catch (const ModelError &e) {
+        throw ModelError(source + ": " + e.what());
+    }
+}
+
+stats::ProjectionSpec
+PhaseModelView::projectionSpec() const
+{
+    stats::ProjectionSpec spec;
+    spec.normalize_input = meta_.normalize_input;
+    spec.mean = meta_.norm_mean;
+    spec.stddev = meta_.norm_stddev;
+    spec.loadings = loadings_;
+    spec.rescale_sd = meta_.rescale_sd;
+    spec.centers = centers_;
+    return spec;
+}
+
+Projection
+PhaseModelView::placeBatch(const stats::Matrix &rows,
+                           const stats::ProjectOptions &opts) const
+{
+    const obs::Span span("model.place_batch", "model");
+    const obs::GaugeTimer timer("model.batch_seconds");
+    if (rows.cols() != columns())
+        throw ModelError(
+            "PhaseModelView::placeBatch: input has " +
+            std::to_string(rows.cols()) + " columns, model expects " +
+            std::to_string(columns()));
+
+    stats::ProjectedRows projected =
+        stats::projectRows(projectionSpec(), rows.view(), opts);
+    Projection out;
+    out.reduced = std::move(projected.reduced);
+    out.assignment = std::move(projected.assignment);
+    out.dist2 = std::move(projected.dist2);
+    obs::count("model.rows_projected", static_cast<double>(rows.rows()));
+    return out;
+}
+
+} // namespace mica::model

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Zero-copy, mmap-backed read-only view of a frozen phase-model file.
+ *
+ * `PhaseModelView::open` maps the file (POSIX mmap, PROT_READ/MAP_PRIVATE;
+ * a read-into-memory fallback keeps the class portable), runs the exact
+ * same structural validation as the copying loader — magic, version gate,
+ * section bounds, per-section CRC32, duplicate/missing/overlap rejection,
+ * full shape validation — and then aliases the three large f64 matrices
+ * (PCA loadings, cluster centers, prominent raw representatives) directly
+ * in the mapped bytes instead of materializing owned copies. All scalar
+ * and variable-width fields (strings, vectors, counts) are still decoded
+ * into an owned PhaseModel aggregate; only the matrices stay in place.
+ *
+ * Aliasing rules: a matrix payload is aliased only when the host is
+ * little-endian and the payload pointer is 8-byte aligned; otherwise that
+ * one matrix silently falls back to an owned copy (zeroCopy() reports
+ * whether all three aliased). Files written with
+ * SaveOptions{.align_sections = true} place every section on an 8-byte
+ * boundary, which makes the loadings and centers payloads alias cleanly;
+ * packed files (the historical default) usually land misaligned and load
+ * through the fallback — same results, one copy slower.
+ *
+ * Determinism contract: placeBatch goes through the same fused
+ * stats::projectRows kernel as PhaseModel::placeBatch, and the aliased
+ * bytes are the very bytes save() wrote, so every placement is
+ * bit-identical to the copying loader's at any thread count, block size
+ * and load path (locked down by tests).
+ */
+
+#ifndef MICAPHASE_MODEL_MODEL_VIEW_HH
+#define MICAPHASE_MODEL_MODEL_VIEW_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/phase_model.hh"
+#include "stats/matrix.hh"
+#include "stats/projection.hh"
+
+namespace mica::model {
+
+/** Read-only serving handle over one model file (see file comment). */
+class PhaseModelView
+{
+  public:
+    /**
+     * Map `path` and validate it. Emits `model.view_open` /
+     * `model.view_bytes` (+ `model.view_zero_copy` when all matrices
+     * alias). Throws ModelError on any I/O or format violation — the same
+     * failures the copying loader reports.
+     */
+    [[nodiscard]] static PhaseModelView open(const std::string &path);
+
+    /**
+     * Validate an in-memory file image (the view takes ownership of the
+     * bytes; aliased matrices point into them). `source` labels errors.
+     * This is the entry point the structured fuzzer drives.
+     */
+    [[nodiscard]] static PhaseModelView
+    parse(std::vector<std::uint8_t> bytes, const std::string &source);
+
+    PhaseModelView(PhaseModelView &&) = default;
+    PhaseModelView &operator=(PhaseModelView &&) = default;
+    PhaseModelView(const PhaseModelView &) = delete;
+    PhaseModelView &operator=(const PhaseModelView &) = delete;
+    ~PhaseModelView() = default;
+
+    /**
+     * Every non-matrix field of the model (provenance, catalog, norm
+     * stats, eigenvalues, cluster sizes/kinds, suite_rows, prominent
+     * list, GA outcome). Its three matrix members are intentionally left
+     * empty — use loadings()/centers()/prominentRaw().
+     */
+    [[nodiscard]] const PhaseModel &meta() const { return meta_; }
+
+    [[nodiscard]] stats::MatrixView loadings() const { return loadings_; }
+    [[nodiscard]] stats::MatrixView centers() const { return centers_; }
+    [[nodiscard]] stats::MatrixView prominentRaw() const
+    {
+        return prominent_raw_;
+    }
+
+    /** True when all three matrices alias the file bytes (no copies). */
+    [[nodiscard]] bool zeroCopy() const { return zero_copy_; }
+
+    [[nodiscard]] std::size_t columns() const { return meta_.columns(); }
+    [[nodiscard]] std::size_t components() const
+    {
+        return meta_.components();
+    }
+    [[nodiscard]] std::size_t numClusters() const { return centers_.rows(); }
+
+    /** Frozen projection coefficients as non-owning views. */
+    [[nodiscard]] stats::ProjectionSpec projectionSpec() const;
+
+    /**
+     * Batched placement — same fused kernel, same bit-identity contract
+     * as PhaseModel::placeBatch (emits the same obs signals).
+     */
+    [[nodiscard]] Projection
+    placeBatch(const stats::Matrix &rows,
+               const stats::ProjectOptions &opts = {}) const;
+
+    /** Same arithmetic as PhaseModel::assessWorkload. */
+    [[nodiscard]] WorkloadAssessment
+    assessWorkload(const Projection &projection) const
+    {
+        return assessProjection(meta_, numClusters(), projection);
+    }
+
+    /** Same arithmetic as PhaseModel::trainingCoverage. */
+    [[nodiscard]] TrainingCoverage
+    trainingCoverage() const
+    {
+        return computeTrainingCoverage(meta_, numClusters());
+    }
+
+  private:
+    PhaseModelView() = default;
+
+    /** Shared tail of open()/parse(): table check, parse, alias, validate. */
+    void build(const std::uint8_t *data, std::size_t size,
+               const std::string &source);
+
+    struct Mapping; ///< RAII mmap handle (model_view.cc)
+
+    std::shared_ptr<const Mapping> mapping_; ///< set by open() on mmap path
+    std::vector<std::uint8_t> owned_bytes_;  ///< set by parse()/fallback
+    PhaseModel meta_;                        ///< matrices left empty
+    stats::Matrix loadings_copy_;            ///< fallback storage
+    stats::Matrix centers_copy_;
+    stats::Matrix prominent_copy_;
+    stats::MatrixView loadings_;
+    stats::MatrixView centers_;
+    stats::MatrixView prominent_raw_;
+    bool zero_copy_ = false;
+};
+
+} // namespace mica::model
+
+#endif // MICAPHASE_MODEL_MODEL_VIEW_HH

@@ -1,301 +1,19 @@
 #include "model/phase_model.hh"
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cmath>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <utility>
 
+#include "model/format.hh"
 #include "obs/trace.hh"
 #include "stats/distance.hh"
+#include "stats/projection.hh"
 #include "stats/summary.hh"
 
 namespace mica::model {
-
-namespace {
-
-constexpr std::array<char, 8> kMagic = {'M', 'I', 'C', 'A',
-                                        'P', 'H', 'M', 'D'};
-
-/** Section ids. Append only; never renumber (they are on disk). */
-enum SectionId : std::uint32_t
-{
-    kSecMeta = 1,
-    kSecCatalog = 2,
-    kSecNorm = 3,
-    kSecPca = 4,
-    kSecClusters = 5,
-    kSecProminent = 6,
-    kSecGa = 7,
-};
-
-constexpr std::array<std::uint32_t, 7> kRequiredSections = {
-    kSecMeta, kSecCatalog, kSecNorm, kSecPca,
-    kSecClusters, kSecProminent, kSecGa};
-
-/** CRC32 (poly 0xEDB88320, the zlib polynomial) over a byte range. */
-std::uint32_t
-crc32(const std::uint8_t *data, std::size_t size)
-{
-    static const auto table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i)
-        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
-}
-
-/**
- * Little-endian append-only serializer. Explicit byte shuffling (instead
- * of memcpy of host integers) pins the on-disk layout on any endianness.
- */
-class ByteWriter
-{
-  public:
-    void
-    u8(std::uint8_t v)
-    {
-        buf_.push_back(v);
-    }
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    f64(double v)
-    {
-        u64(std::bit_cast<std::uint64_t>(v));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<std::uint32_t>(s.size()));
-        buf_.insert(buf_.end(), s.begin(), s.end());
-    }
-
-    void
-    strVec(const std::vector<std::string> &v)
-    {
-        u64(v.size());
-        for (const auto &s : v)
-            str(s);
-    }
-
-    void
-    f64Vec(const std::vector<double> &v)
-    {
-        u64(v.size());
-        for (double x : v)
-            f64(x);
-    }
-
-    void
-    u64Vec(const std::vector<std::uint64_t> &v)
-    {
-        u64(v.size());
-        for (std::uint64_t x : v)
-            u64(x);
-    }
-
-    void
-    matrix(const stats::Matrix &m)
-    {
-        u64(m.rows());
-        u64(m.cols());
-        for (std::size_t r = 0; r < m.rows(); ++r)
-            for (double x : m.row(r))
-                f64(x);
-    }
-
-    [[nodiscard]] const std::vector<std::uint8_t> &bytes() const
-    {
-        return buf_;
-    }
-
-    [[nodiscard]] std::size_t size() const { return buf_.size(); }
-
-  private:
-    std::vector<std::uint8_t> buf_;
-};
-
-/** Bounds-checked little-endian reader over one section's bytes. */
-class ByteReader
-{
-  public:
-    ByteReader(const std::uint8_t *data, std::size_t size,
-               std::string_view section)
-        : data_(data), size_(size), section_(section)
-    {
-    }
-
-    [[nodiscard]] std::uint8_t
-    u8()
-    {
-        need(1);
-        return data_[pos_++];
-    }
-
-    [[nodiscard]] std::uint32_t
-    u32()
-    {
-        need(4);
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
-        pos_ += 4;
-        return v;
-    }
-
-    [[nodiscard]] std::uint64_t
-    u64()
-    {
-        need(8);
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-        pos_ += 8;
-        return v;
-    }
-
-    [[nodiscard]] double
-    f64()
-    {
-        return std::bit_cast<double>(u64());
-    }
-
-    [[nodiscard]] std::string
-    str()
-    {
-        const std::uint32_t len = u32();
-        need(len);
-        std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
-        pos_ += len;
-        return s;
-    }
-
-    [[nodiscard]] std::vector<std::string>
-    strVec()
-    {
-        std::vector<std::string> v(checkedCount(4));
-        for (auto &s : v)
-            s = str();
-        return v;
-    }
-
-    [[nodiscard]] std::vector<double>
-    f64Vec()
-    {
-        std::vector<double> v(checkedCount(8));
-        for (auto &x : v)
-            x = f64();
-        return v;
-    }
-
-    [[nodiscard]] std::vector<std::uint64_t>
-    u64Vec()
-    {
-        std::vector<std::uint64_t> v(checkedCount(8));
-        for (auto &x : v)
-            x = u64();
-        return v;
-    }
-
-    [[nodiscard]] stats::Matrix
-    matrix()
-    {
-        const std::uint64_t rows = u64();
-        const std::uint64_t cols = u64();
-        // Two-step overflow-safe guard: bounding cols by remaining()/8 first
-        // keeps 8*cols from wrapping, and the rows bound then guarantees
-        // rows*cols fits both the section and std::size_t.
-        if (cols > remaining() / 8)
-            fail("matrix larger than its section");
-        if (cols != 0 && rows > remaining() / (8 * cols))
-            fail("matrix larger than its section");
-        stats::Matrix m(static_cast<std::size_t>(rows),
-                        static_cast<std::size_t>(cols));
-        for (std::size_t r = 0; r < m.rows(); ++r)
-            for (double &x : m.row(r))
-                x = f64();
-        return m;
-    }
-
-    /** Every section must be consumed exactly — trailing bytes = junk. */
-    void
-    finish() const
-    {
-        if (pos_ != size_)
-            fail("trailing bytes");
-    }
-
-  private:
-    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
-
-    /** Read an element count and pre-check it fits the section. */
-    [[nodiscard]] std::size_t
-    checkedCount(std::size_t min_elem_size)
-    {
-        const std::uint64_t n = u64();
-        if (n > remaining() / min_elem_size)
-            fail("count larger than its section");
-        return static_cast<std::size_t>(n);
-    }
-
-    void
-    need(std::size_t n) const
-    {
-        if (n > remaining())
-            fail("truncated");
-    }
-
-    [[noreturn]] void
-    fail(std::string_view what) const
-    {
-        throw ModelError("PhaseModel: corrupt " + std::string(section_) +
-                         " section (" + std::string(what) + ")");
-    }
-
-    const std::uint8_t *data_;
-    std::size_t size_;
-    std::size_t pos_ = 0;
-    std::string_view section_;
-};
-
-struct SectionEntry
-{
-    std::uint32_t id = 0;
-    std::uint64_t offset = 0;
-    std::uint64_t size = 0;
-    std::uint32_t crc = 0;
-};
-
-constexpr std::size_t kHeaderSize = 8 + 4 + 4;  ///< magic + version + count
-constexpr std::size_t kTableEntrySize = 4 + 4 + 8 + 8 + 4 + 4;
-
-} // namespace
 
 std::string_view
 clusterKindName(ClusterKind kind)
@@ -327,54 +45,73 @@ PhaseModel::clusterWeight(std::size_t c) const
 }
 
 void
-PhaseModel::validate() const
+validateModelShapes(const PhaseModel &model, stats::MatrixView loadings,
+                    stats::MatrixView centers,
+                    stats::MatrixView prominent_raw)
 {
     auto require = [](bool ok, std::string_view what) {
         if (!ok)
             throw ModelError("PhaseModel: invalid model (" +
                              std::string(what) + ")");
     };
-    const std::size_t p = columns();
-    const std::size_t m = components();
-    const std::size_t k = numClusters();
+    const std::size_t p = model.columns();
+    const std::size_t m = model.components();
+    const std::size_t k = centers.rows();
 
     require(p > 0, "no input columns");
-    require(norm_stddev.size() == p, "norm mean/sd size mismatch");
+    require(model.norm_stddev.size() == p, "norm mean/sd size mismatch");
     require(m > 0, "no retained components");
     require(loadings.rows() == p && loadings.cols() == m,
             "loadings shape mismatch");
-    require(eigenvalues.size() >= m, "fewer eigenvalues than components");
+    require(model.eigenvalues.size() >= m,
+            "fewer eigenvalues than components");
     require(k > 0, "no clusters");
     require(centers.cols() == m, "centers/components mismatch");
-    require(cluster_sizes.size() == k, "cluster_sizes size mismatch");
-    require(cluster_kinds.size() == k, "cluster_kinds size mismatch");
-    for (ClusterKind kind : cluster_kinds)
+    require(model.cluster_sizes.size() == k, "cluster_sizes size mismatch");
+    require(model.cluster_kinds.size() == k, "cluster_kinds size mismatch");
+    for (ClusterKind kind : model.cluster_kinds)
         require(static_cast<std::uint8_t>(kind) <= 2, "bad cluster kind");
-    require(benchmark_suites.size() == benchmark_ids.size(),
+    require(model.benchmark_suites.size() == model.benchmark_ids.size(),
             "benchmark ids/suites mismatch");
-    require(suite_rows.size() == k * suites.size(),
+    require(model.suite_rows.size() == k * model.suites.size(),
             "suite_rows shape mismatch");
-    require(prominent.size() <= k, "more prominent phases than clusters");
-    require(prominent_raw.rows() == prominent.size(),
+    require(model.prominent.size() <= k,
+            "more prominent phases than clusters");
+    require(prominent_raw.rows() == model.prominent.size(),
             "prominent_raw row mismatch");
-    require(prominent.empty() || prominent_raw.cols() == p,
+    require(model.prominent.empty() || prominent_raw.cols() == p,
             "prominent_raw column mismatch");
-    for (const ProminentPhase &ph : prominent) {
+    for (const ProminentPhase &ph : model.prominent) {
         require(ph.cluster < k, "prominent cluster out of range");
-        require(ph.representative_row < training_rows,
+        require(ph.representative_row < model.training_rows,
                 "prominent representative out of range");
     }
-    for (std::uint32_t idx : key_characteristics)
+    for (std::uint32_t idx : model.key_characteristics)
         require(idx < p, "key characteristic out of range");
     std::uint64_t total = 0;
-    for (std::uint64_t s : cluster_sizes)
+    for (std::uint64_t s : model.cluster_sizes)
         total += s;
-    require(total == training_rows, "cluster sizes do not sum to rows");
+    require(total == model.training_rows,
+            "cluster sizes do not sum to rows");
+}
+
+void
+PhaseModel::validate() const
+{
+    validateModelShapes(*this, loadings.view(), centers.view(),
+                        prominent_raw.view());
 }
 
 void
 PhaseModel::save(const std::string &path) const
 {
+    save(path, SaveOptions{});
+}
+
+void
+PhaseModel::save(const std::string &path, const SaveOptions &opts) const
+{
+    using format::ByteWriter;
     const obs::Span span("model.save", "model");
     validate();
 
@@ -383,7 +120,8 @@ PhaseModel::save(const std::string &path) const
     std::vector<std::pair<std::uint32_t, ByteWriter>> sections;
 
     {
-        ByteWriter &w = sections.emplace_back(kSecMeta, ByteWriter{}).second;
+        ByteWriter &w =
+            sections.emplace_back(format::kSecMeta, ByteWriter{}).second;
         w.u64(analysis_key);
         w.u64(interval_instructions);
         w.u32(samples_per_benchmark);
@@ -394,19 +132,21 @@ PhaseModel::save(const std::string &path) const
     }
     {
         ByteWriter &w =
-            sections.emplace_back(kSecCatalog, ByteWriter{}).second;
+            sections.emplace_back(format::kSecCatalog, ByteWriter{}).second;
         w.strVec(benchmark_ids);
         w.strVec(benchmark_suites);
         w.strVec(suites);
     }
     {
-        ByteWriter &w = sections.emplace_back(kSecNorm, ByteWriter{}).second;
+        ByteWriter &w =
+            sections.emplace_back(format::kSecNorm, ByteWriter{}).second;
         w.u8(normalize_input ? 1 : 0);
         w.f64Vec(norm_mean);
         w.f64Vec(norm_stddev);
     }
     {
-        ByteWriter &w = sections.emplace_back(kSecPca, ByteWriter{}).second;
+        ByteWriter &w =
+            sections.emplace_back(format::kSecPca, ByteWriter{}).second;
         w.f64(pca_explained);
         w.f64Vec(eigenvalues);
         w.matrix(loadings);
@@ -414,7 +154,7 @@ PhaseModel::save(const std::string &path) const
     }
     {
         ByteWriter &w =
-            sections.emplace_back(kSecClusters, ByteWriter{}).second;
+            sections.emplace_back(format::kSecClusters, ByteWriter{}).second;
         w.matrix(centers);
         w.u64Vec(cluster_sizes);
         w.u64(cluster_kinds.size());
@@ -425,7 +165,8 @@ PhaseModel::save(const std::string &path) const
     }
     {
         ByteWriter &w =
-            sections.emplace_back(kSecProminent, ByteWriter{}).second;
+            sections.emplace_back(format::kSecProminent, ByteWriter{})
+                .second;
         w.u64(prominent.size());
         for (const ProminentPhase &ph : prominent) {
             w.u32(ph.cluster);
@@ -435,33 +176,49 @@ PhaseModel::save(const std::string &path) const
         w.matrix(prominent_raw);
     }
     {
-        ByteWriter &w = sections.emplace_back(kSecGa, ByteWriter{}).second;
+        ByteWriter &w =
+            sections.emplace_back(format::kSecGa, ByteWriter{}).second;
         w.u64(key_characteristics.size());
         for (std::uint32_t idx : key_characteristics)
             w.u32(idx);
         w.f64(ga_fitness);
     }
 
+    // Assign offsets. The packed layout (default) byte-matches every file
+    // this library ever wrote; the aligned layout pads each section start
+    // to 8 bytes so the zero-copy loader can alias f64 payloads in place.
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(sections.size());
+    std::uint64_t offset =
+        format::kHeaderSize + sections.size() * format::kTableEntrySize;
+    for (const auto &[id, payload] : sections) {
+        if (opts.align_sections)
+            offset = (offset + 7) & ~std::uint64_t{7};
+        offsets.push_back(offset);
+        offset += payload.size();
+    }
+
     ByteWriter file;
-    for (char c : kMagic)
+    for (char c : format::kMagic)
         file.u8(static_cast<std::uint8_t>(c));
     file.u32(kFormatVersion);
     file.u32(static_cast<std::uint32_t>(sections.size()));
-    std::uint64_t offset =
-        kHeaderSize + sections.size() * kTableEntrySize;
-    for (const auto &[id, payload] : sections) {
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        const auto &[id, payload] = sections[i];
         file.u32(id);
         file.u32(0); // reserved
-        file.u64(offset);
+        file.u64(offsets[i]);
         file.u64(payload.size());
-        file.u32(crc32(payload.bytes().data(), payload.size()));
+        file.u32(format::crc32(payload.bytes().data(), payload.size()));
         file.u32(0); // reserved
-        offset += payload.size();
     }
     ByteWriter blob = std::move(file);
-    for (const auto &[id, payload] : sections)
-        for (std::uint8_t b : payload.bytes())
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        while (blob.size() < offsets[i])
+            blob.u8(0); // alignment gap
+        for (std::uint8_t b : sections[i].second.bytes())
             blob.u8(b);
+    }
 
     const std::filesystem::path p(path);
     if (p.has_parent_path())
@@ -488,6 +245,39 @@ PhaseModel::save(const std::string &path) const
 }
 
 PhaseModel
+PhaseModel::loadFromBytes(std::span<const std::uint8_t> bytes,
+                          const std::string &source)
+{
+    const std::string where = "PhaseModel::load: " + source;
+    const std::vector<format::SectionEntry> table =
+        format::readAndCheckTable(bytes.data(), bytes.size(), where);
+
+    PhaseModel model;
+    format::parseModel(model, bytes.data(), table, where,
+                       [&model](format::MatrixField field,
+                                format::ByteReader &r) {
+                           switch (field) {
+                             case format::MatrixField::Loadings:
+                               model.loadings = r.matrix();
+                               break;
+                             case format::MatrixField::Centers:
+                               model.centers = r.matrix();
+                               break;
+                             case format::MatrixField::ProminentRaw:
+                               model.prominent_raw = r.matrix();
+                               break;
+                           }
+                       });
+
+    try {
+        model.validate();
+    } catch (const ModelError &e) {
+        throw ModelError(where + ": " + e.what());
+    }
+    return model;
+}
+
+PhaseModel
 PhaseModel::load(const std::string &path)
 {
     const obs::Span span("model.load", "model");
@@ -506,155 +296,7 @@ PhaseModel::load(const std::string &path)
             throw ModelError("PhaseModel::load: read failed: " + path);
     }
 
-    if (bytes.size() < kHeaderSize)
-        throw ModelError("PhaseModel::load: " + path +
-                         ": truncated header");
-    if (std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0)
-        throw ModelError("PhaseModel::load: " + path +
-                         ": bad magic (not a phase-model file)");
-    ByteReader header(bytes.data() + kMagic.size(),
-                      bytes.size() - kMagic.size(), "header");
-    const std::uint32_t version = header.u32();
-    if (version == 0 || version > kFormatVersion)
-        throw ModelError(
-            "PhaseModel::load: " + path + ": format version " +
-            std::to_string(version) + " unsupported (this build reads <= " +
-            std::to_string(kFormatVersion) + ")");
-    const std::uint32_t section_count = header.u32();
-    const std::size_t table_bytes =
-        static_cast<std::size_t>(section_count) * kTableEntrySize;
-    if (bytes.size() < kHeaderSize + table_bytes)
-        throw ModelError("PhaseModel::load: " + path +
-                         ": truncated section table");
-
-    std::vector<SectionEntry> table(section_count);
-    {
-        ByteReader tr(bytes.data() + kHeaderSize, table_bytes,
-                      "section table");
-        for (SectionEntry &e : table) {
-            e.id = tr.u32();
-            (void)tr.u32();
-            e.offset = tr.u64();
-            e.size = tr.u64();
-            e.crc = tr.u32();
-            (void)tr.u32();
-        }
-    }
-
-    // Verify bounds + checksums of every section before parsing any.
-    auto find = [&](std::uint32_t id) -> const SectionEntry & {
-        const SectionEntry *found = nullptr;
-        for (const SectionEntry &e : table) {
-            if (e.id != id)
-                continue;
-            if (found != nullptr)
-                throw ModelError("PhaseModel::load: " + path +
-                                 ": duplicate section " +
-                                 std::to_string(id));
-            found = &e;
-        }
-        if (found == nullptr)
-            throw ModelError("PhaseModel::load: " + path +
-                             ": missing section " + std::to_string(id));
-        return *found;
-    };
-    for (std::uint32_t id : kRequiredSections) {
-        const SectionEntry &e = find(id);
-        if (e.offset > bytes.size() || e.size > bytes.size() - e.offset)
-            throw ModelError("PhaseModel::load: " + path + ": section " +
-                             std::to_string(id) + " out of bounds");
-        if (crc32(bytes.data() + e.offset,
-                  static_cast<std::size_t>(e.size)) != e.crc)
-            throw ModelError("PhaseModel::load: " + path + ": section " +
-                             std::to_string(id) + " checksum mismatch");
-    }
-
-    auto reader = [&](std::uint32_t id, std::string_view name) {
-        const SectionEntry &e = find(id);
-        return ByteReader(bytes.data() + e.offset,
-                          static_cast<std::size_t>(e.size), name);
-    };
-
-    PhaseModel model;
-    {
-        ByteReader r = reader(kSecMeta, "META");
-        model.analysis_key = r.u64();
-        model.interval_instructions = r.u64();
-        model.samples_per_benchmark = r.u32();
-        model.interval_scale = r.f64();
-        model.pca_min_stddev = r.f64();
-        model.seed = r.u64();
-        model.training_rows = r.u64();
-        r.finish();
-    }
-    {
-        ByteReader r = reader(kSecCatalog, "CATALOG");
-        model.benchmark_ids = r.strVec();
-        model.benchmark_suites = r.strVec();
-        model.suites = r.strVec();
-        r.finish();
-    }
-    {
-        ByteReader r = reader(kSecNorm, "NORM");
-        model.normalize_input = r.u8() != 0;
-        model.norm_mean = r.f64Vec();
-        model.norm_stddev = r.f64Vec();
-        r.finish();
-    }
-    {
-        ByteReader r = reader(kSecPca, "PCA");
-        model.pca_explained = r.f64();
-        model.eigenvalues = r.f64Vec();
-        model.loadings = r.matrix();
-        model.rescale_sd = r.f64Vec();
-        r.finish();
-    }
-    {
-        ByteReader r = reader(kSecClusters, "CLUSTERS");
-        model.centers = r.matrix();
-        model.cluster_sizes = r.u64Vec();
-        const std::uint64_t kinds = r.u64();
-        model.cluster_kinds.reserve(static_cast<std::size_t>(kinds));
-        for (std::uint64_t i = 0; i < kinds; ++i)
-            model.cluster_kinds.push_back(
-                static_cast<ClusterKind>(r.u8()));
-        const std::uint64_t num_suites = r.u64();
-        if (num_suites != model.suites.size())
-            throw ModelError("PhaseModel::load: " + path +
-                             ": CLUSTERS/CATALOG suite count mismatch");
-        model.suite_rows = r.u64Vec();
-        r.finish();
-    }
-    {
-        ByteReader r = reader(kSecProminent, "PROMINENT");
-        const std::uint64_t count = r.u64();
-        model.prominent.reserve(static_cast<std::size_t>(count));
-        for (std::uint64_t i = 0; i < count; ++i) {
-            ProminentPhase ph;
-            ph.cluster = r.u32();
-            ph.weight = r.f64();
-            ph.representative_row = r.u64();
-            model.prominent.push_back(ph);
-        }
-        model.prominent_raw = r.matrix();
-        r.finish();
-    }
-    {
-        ByteReader r = reader(kSecGa, "GA");
-        const std::uint64_t count = r.u64();
-        model.key_characteristics.reserve(
-            static_cast<std::size_t>(count));
-        for (std::uint64_t i = 0; i < count; ++i)
-            model.key_characteristics.push_back(r.u32());
-        model.ga_fitness = r.f64();
-        r.finish();
-    }
-
-    try {
-        model.validate();
-    } catch (const ModelError &e) {
-        throw ModelError("PhaseModel::load: " + path + ": " + e.what());
-    }
+    PhaseModel model = loadFromBytes(bytes, path);
     obs::count("model.load_bytes", static_cast<double>(bytes.size()));
     return model;
 }
@@ -672,7 +314,9 @@ PhaseModel::projectBenchmark(const stats::Matrix &rows) const
     // Replay the training-time chain with the training-time code:
     // stats::normalizeColumns -> Matrix::multiply -> sd-guarded rescale is
     // exactly Pca::transformRescaled, so the output is bit-identical to
-    // what analyzePhases produced for these rows.
+    // what analyzePhases produced for these rows. This path stays on the
+    // original unfused matrix ops on purpose: it is the independent oracle
+    // the fused placeBatch kernel is cross-checked against.
     Projection out;
     if (normalize_input) {
         stats::ColumnStats cs;
@@ -687,7 +331,7 @@ PhaseModel::projectBenchmark(const stats::Matrix &rows) const
         auto row = out.reduced.row(r);
         for (std::size_t c = 0; c < out.reduced.cols(); ++c) {
             const double sd = rescale_sd[c];
-            row[c] = sd > 1e-12 ? row[c] / sd : 0.0;
+            row[c] = sd > stats::kStddevEpsilon ? row[c] / sd : 0.0;
         }
     }
 
@@ -705,6 +349,41 @@ PhaseModel::projectBenchmark(const stats::Matrix &rows) const
     }
     obs::count("model.rows_projected",
                static_cast<double>(out.reduced.rows()));
+    return out;
+}
+
+stats::ProjectionSpec
+PhaseModel::projectionSpec() const
+{
+    stats::ProjectionSpec spec;
+    spec.normalize_input = normalize_input;
+    spec.mean = norm_mean;
+    spec.stddev = norm_stddev;
+    spec.loadings = loadings.view();
+    spec.rescale_sd = rescale_sd;
+    spec.centers = centers.view();
+    return spec;
+}
+
+Projection
+PhaseModel::placeBatch(const stats::Matrix &rows,
+                       const stats::ProjectOptions &opts) const
+{
+    const obs::Span span("model.place_batch", "model");
+    const obs::GaugeTimer timer("model.batch_seconds");
+    if (rows.cols() != columns())
+        throw ModelError(
+            "PhaseModel::placeBatch: input has " +
+            std::to_string(rows.cols()) + " columns, model expects " +
+            std::to_string(columns()));
+
+    stats::ProjectedRows projected =
+        stats::projectRows(projectionSpec(), rows.view(), opts);
+    Projection out;
+    out.reduced = std::move(projected.reduced);
+    out.assignment = std::move(projected.assignment);
+    out.dist2 = std::move(projected.dist2);
+    obs::count("model.rows_projected", static_cast<double>(rows.rows()));
     return out;
 }
 
@@ -728,13 +407,17 @@ PhaseModel::projectInterval(std::span<const double> values) const
 }
 
 WorkloadAssessment
-PhaseModel::assessWorkload(const Projection &projection) const
+assessProjection(const PhaseModel &meta, std::size_t k,
+                 const Projection &projection)
 {
-    const std::size_t k = numClusters();
+    const std::size_t num_suites = meta.suites.size();
     const std::size_t n = projection.assignment.size();
+    auto suiteRows = [&meta, num_suites](std::size_t c, std::size_t s) {
+        return meta.suite_rows[c * num_suites + s];
+    };
     WorkloadAssessment out;
     out.rows = n;
-    out.exclusive_fraction.assign(suites.size(), 0.0);
+    out.exclusive_fraction.assign(num_suites, 0.0);
     if (n == 0)
         return out;
 
@@ -772,7 +455,7 @@ PhaseModel::assessWorkload(const Projection &projection) const
             continue;
         std::size_t populated = 0;
         std::size_t owner = 0;
-        for (std::size_t s = 0; s < suites.size(); ++s) {
+        for (std::size_t s = 0; s < num_suites; ++s) {
             if (suiteRows(c, s) > 0) {
                 ++populated;
                 owner = s;
@@ -798,13 +481,21 @@ PhaseModel::assessWorkload(const Projection &projection) const
     return out;
 }
 
-TrainingCoverage
-PhaseModel::trainingCoverage() const
+WorkloadAssessment
+PhaseModel::assessWorkload(const Projection &projection) const
 {
-    const std::size_t k = numClusters();
-    const std::size_t num_suites = suites.size();
+    return assessProjection(*this, numClusters(), projection);
+}
+
+TrainingCoverage
+computeTrainingCoverage(const PhaseModel &meta, std::size_t k)
+{
+    const std::size_t num_suites = meta.suites.size();
+    auto suiteRows = [&meta, num_suites](std::size_t c, std::size_t s) {
+        return meta.suite_rows[c * num_suites + s];
+    };
     TrainingCoverage out;
-    out.suites = suites;
+    out.suites = meta.suites;
     out.coverage.assign(num_suites, 0);
     out.uniqueness.assign(num_suites, 0.0);
 
@@ -831,6 +522,12 @@ PhaseModel::trainingCoverage() const
         if (total_rows[s] > 0)
             out.uniqueness[s] /= static_cast<double>(total_rows[s]);
     return out;
+}
+
+TrainingCoverage
+PhaseModel::trainingCoverage() const
+{
+    return computeTrainingCoverage(*this, numClusters());
 }
 
 } // namespace mica::model

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "stats/matrix.hh"
+#include "stats/projection.hh"
 
 namespace mica::model {
 
@@ -122,6 +123,20 @@ struct TrainingCoverage
     std::vector<double> uniqueness;    ///< Fig 6 per suite
 };
 
+/** Knobs for PhaseModel::save. */
+struct SaveOptions
+{
+    /**
+     * Pad each section's offset to an 8-byte boundary (gap bytes are
+     * zero). Still format v1 — readers locate payloads via the section
+     * table and never assume packing — but it lets the zero-copy loader
+     * alias the large f64 matrices directly in the mapped file instead of
+     * copying them. Off by default: the historical packed layout is
+     * byte-locked by the golden-fixture test.
+     */
+    bool align_sections = false;
+};
+
 /**
  * The frozen model. Plain aggregate: builders (core::buildPhaseModel, the
  * examples) fill the fields directly; validate() enforces shape coherence
@@ -202,13 +217,26 @@ struct PhaseModel
      */
     void save(const std::string &path) const;
 
+    /** As above, with explicit options (e.g. 8-byte section alignment). */
+    void save(const std::string &path, const SaveOptions &opts) const;
+
     /**
-     * Deserialize, verifying magic, version, section bounds and per-
-     * section CRC32 before touching any payload, then validate().
-     * Emits `model.load` / `model.load_bytes`. Throws ModelError with a
-     * specific message on any corruption; never returns partial data.
+     * Deserialize, verifying magic, version, section bounds, per-section
+     * CRC32 and section non-overlap before touching any payload, then
+     * validate(). Emits `model.load` / `model.load_bytes`. Throws
+     * ModelError with a specific message on any corruption; never returns
+     * partial data.
      */
     [[nodiscard]] static PhaseModel load(const std::string &path);
+
+    /**
+     * Deserialize from an in-memory file image with the same checks as
+     * load(); `source` labels error messages (load() passes the path).
+     * This is the entry point the structured fuzzer drives.
+     */
+    [[nodiscard]] static PhaseModel
+    loadFromBytes(std::span<const std::uint8_t> bytes,
+                  const std::string &source);
 
     /**
      * Map freshly characterized p-column rows through the frozen
@@ -219,6 +247,21 @@ struct PhaseModel
      */
     [[nodiscard]] Projection projectBenchmark(const stats::Matrix &rows)
         const;
+
+    /**
+     * Batched placement through the fused stats::projectRows kernel:
+     * bit-identical to projectBenchmark (and therefore to the live
+     * pipeline) at any thread count and block size, but one pass over the
+     * rows tiled across the shared thread pool — the serving hot path.
+     * Emits `model.place_batch` / `model.rows_projected` and the
+     * `model.batch_seconds` gauge.
+     */
+    [[nodiscard]] Projection
+    placeBatch(const stats::Matrix &rows,
+               const stats::ProjectOptions &opts = {}) const;
+
+    /** Frozen projection coefficients as non-owning views. */
+    [[nodiscard]] stats::ProjectionSpec projectionSpec() const;
 
     /** Placement of a single interval's characteristic vector. */
     struct IntervalPlacement
@@ -243,6 +286,30 @@ struct PhaseModel
     /** Figure 4/6 training numbers, recomputed from suite_rows alone. */
     [[nodiscard]] TrainingCoverage trainingCoverage() const;
 };
+
+/**
+ * Shape-coherence check over a model whose matrices may live outside the
+ * aggregate (the zero-copy view aliases them in the mapped file).
+ * PhaseModel::validate() forwards here with its owned matrices. Throws
+ * ModelError on violation.
+ */
+void validateModelShapes(const PhaseModel &model, stats::MatrixView loadings,
+                         stats::MatrixView centers,
+                         stats::MatrixView prominent_raw);
+
+/**
+ * Coverage/uniqueness of a projection against frozen training composition
+ * carried by `meta` (suites + suite_rows); `k` is the cluster count, which
+ * the zero-copy view derives from its centers view. Same arithmetic as
+ * PhaseModel::assessWorkload, which forwards here.
+ */
+[[nodiscard]] WorkloadAssessment
+assessProjection(const PhaseModel &meta, std::size_t k,
+                 const Projection &projection);
+
+/** Figure 4/6 training numbers from `meta`'s suite_rows with k clusters. */
+[[nodiscard]] TrainingCoverage
+computeTrainingCoverage(const PhaseModel &meta, std::size_t k);
 
 } // namespace mica::model
 

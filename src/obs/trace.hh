@@ -199,6 +199,41 @@ gauge(const char *name, double value)
 }
 
 /**
+ * RAII latency gauge: on destruction, sets the named gauge to the elapsed
+ * wall-clock seconds since construction. Binds to the session active at
+ * construction; a fully disabled timer costs one atomic load and skips
+ * the clock reads. The batched projection and serving paths use this to
+ * expose per-batch latency (`last` = most recent batch, `max` = worst).
+ */
+class GaugeTimer
+{
+  public:
+    explicit GaugeTimer(const char *name)
+        : session_(TraceSession::active()), name_(name)
+    {
+        if (session_ != nullptr)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~GaugeTimer()
+    {
+        if (session_ != nullptr) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start_;
+            session_->setGauge(name_, elapsed.count());
+        }
+    }
+
+    GaugeTimer(const GaugeTimer &) = delete;
+    GaugeTimer &operator=(const GaugeTimer &) = delete;
+
+  private:
+    TraceSession *session_;
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
  * RAII activate-and-export helper: an empty trace path disables tracing
  * entirely; otherwise a fresh session is created and activated, and on
  * destruction the Chrome trace is written to the path, the metrics

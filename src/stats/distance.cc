@@ -8,6 +8,13 @@ NearestCenter
 nearestCenter(std::span<const double> point, const Matrix &centers,
               std::size_t cached_index, double cached_dist2)
 {
+    return nearestCenter(point, centers.view(), cached_index, cached_dist2);
+}
+
+NearestCenter
+nearestCenter(std::span<const double> point, MatrixView centers,
+              std::size_t cached_index, double cached_dist2)
+{
     NearestCenter out;
     out.dist2 = std::numeric_limits<double>::max();
     out.second_dist2 = std::numeric_limits<double>::max();

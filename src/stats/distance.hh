@@ -84,6 +84,12 @@ struct NearestCenter
  * already tightened its upper bound against the assigned center).
  */
 [[nodiscard]] NearestCenter
+nearestCenter(std::span<const double> point, MatrixView centers,
+              std::size_t cached_index = static_cast<std::size_t>(-1),
+              double cached_dist2 = 0.0);
+
+/** Owned-matrix convenience overload (identical arithmetic). */
+[[nodiscard]] NearestCenter
 nearestCenter(std::span<const double> point, const Matrix &centers,
               std::size_t cached_index = static_cast<std::size_t>(-1),
               double cached_dist2 = 0.0);

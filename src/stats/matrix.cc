@@ -1,5 +1,6 @@
 #include "stats/matrix.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <sstream>
@@ -18,6 +19,16 @@ Matrix::fromRows(const std::vector<std::vector<double>> &rows)
     Matrix m;
     for (const auto &r : rows)
         m.appendRow(r);
+    return m;
+}
+
+Matrix
+Matrix::fromView(MatrixView v)
+{
+    Matrix m(v.rows(), v.cols());
+    if (!v.empty())
+        std::copy(v.data(), v.data() + v.rows() * v.cols(),
+                  m.data_.begin());
     return m;
 }
 

@@ -12,12 +12,61 @@
 #ifndef MICAPHASE_STATS_MATRIX_HH
 #define MICAPHASE_STATS_MATRIX_HH
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace mica::stats {
+
+/**
+ * Non-owning const view of a dense row-major double matrix. The pointed-to
+ * storage must be 8-byte aligned and outlive the view; the zero-copy model
+ * loader aliases views straight into an mmap'd file, so kernels that accept
+ * a MatrixView serve both owned matrices and frozen artifacts without a
+ * copy.
+ */
+class MatrixView
+{
+  public:
+    constexpr MatrixView() = default;
+
+    constexpr MatrixView(const double *data, std::size_t rows,
+                         std::size_t cols)
+        : data_(data), rows_(rows), cols_(cols)
+    {
+    }
+
+    [[nodiscard]] constexpr std::size_t rows() const { return rows_; }
+    [[nodiscard]] constexpr std::size_t cols() const { return cols_; }
+    [[nodiscard]] constexpr bool empty() const
+    {
+        return rows_ == 0 || cols_ == 0;
+    }
+
+    [[nodiscard]] double
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Const view of row r. */
+    [[nodiscard]] std::span<const double>
+    row(std::size_t r) const
+    {
+        assert(r < rows_);
+        return {data_ + r * cols_, cols_};
+    }
+
+    /** Raw row-major storage. */
+    [[nodiscard]] const double *data() const { return data_; }
+
+  private:
+    const double *data_ = nullptr;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+};
 
 /** Dense row-major matrix of doubles. */
 class Matrix
@@ -85,6 +134,15 @@ class Matrix
 
     /** Raw storage (row-major), e.g. for serialization. */
     [[nodiscard]] const std::vector<double> &data() const { return data_; }
+
+    /** Non-owning view of this matrix (valid while the matrix lives). */
+    [[nodiscard]] MatrixView view() const
+    {
+        return {data_.data(), rows_, cols_};
+    }
+
+    /** Owned copy of a view's contents. */
+    static Matrix fromView(MatrixView v);
 
     /** Human-readable dump (for debugging and error messages). */
     [[nodiscard]] std::string toString(int precision = 4) const;

@@ -1,0 +1,93 @@
+#include "stats/projection.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/distance.hh"
+#include "util/thread_pool.hh"
+
+namespace mica::stats {
+
+namespace {
+
+/**
+ * Project one row: fused normalize -> loadings product -> rescale, writing
+ * the m rescaled PCA coordinates into dst (pre-zeroed by the caller).
+ * Operation order is exactly the unfused path's (see projection.hh).
+ */
+void
+projectOneRow(const ProjectionSpec &spec, std::span<const double> src,
+              std::span<double> dst)
+{
+    const std::size_t p = spec.loadings.rows();
+    const std::size_t m = spec.loadings.cols();
+    for (std::size_t k = 0; k < p; ++k) {
+        double a = src[k];
+        if (spec.normalize_input) {
+            const double sd = spec.stddev[k];
+            a = sd > kStddevEpsilon ? (src[k] - spec.mean[k]) / sd : 0.0;
+        }
+        if (a == 0.0)
+            continue;
+        const std::span<const double> lrow = spec.loadings.row(k);
+        for (std::size_t j = 0; j < m; ++j)
+            dst[j] += a * lrow[j];
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+        const double sd = spec.rescale_sd[j];
+        dst[j] = sd > kStddevEpsilon ? dst[j] / sd : 0.0;
+    }
+}
+
+} // namespace
+
+ProjectedRows
+projectRows(const ProjectionSpec &spec, MatrixView rows,
+            const ProjectOptions &opts)
+{
+    const std::size_t p = spec.loadings.rows();
+    const std::size_t m = spec.loadings.cols();
+    if (rows.rows() > 0 && rows.cols() != p)
+        throw std::invalid_argument(
+            "projectRows: row width does not match loadings rows");
+    if (spec.normalize_input &&
+        (spec.mean.size() != p || spec.stddev.size() != p))
+        throw std::invalid_argument(
+            "projectRows: normalization stats width mismatch");
+    if (spec.rescale_sd.size() != m)
+        throw std::invalid_argument(
+            "projectRows: rescale stddev width mismatch");
+    if (spec.centers.cols() != m && spec.centers.rows() > 0)
+        throw std::invalid_argument(
+            "projectRows: centers width does not match loadings cols");
+    if (opts.block_rows == 0)
+        throw std::invalid_argument("projectRows: block_rows must be > 0");
+
+    const std::size_t n = rows.rows();
+    ProjectedRows out;
+    out.reduced = Matrix(n, m);
+    out.assignment.assign(n, 0);
+    out.dist2.assign(n, 0.0);
+    if (n == 0)
+        return out;
+
+    // Fixed-size blocks: boundaries depend only on n and block_rows, never
+    // on the thread count (the standard determinism recipe). Each row is
+    // fully independent, so the partition is purely a scheduling concern.
+    const std::size_t blocks = (n + opts.block_rows - 1) / opts.block_rows;
+    const unsigned threads = util::resolveThreads(opts.threads, blocks);
+    util::parallelFor(threads, blocks, [&](std::size_t b) {
+        const std::size_t begin = b * opts.block_rows;
+        const std::size_t end = std::min(begin + opts.block_rows, n);
+        for (std::size_t r = begin; r < end; ++r) {
+            const std::span<double> dst = out.reduced.row(r);
+            projectOneRow(spec, rows.row(r), dst);
+            const NearestCenter nearest = nearestCenter(dst, spec.centers);
+            out.assignment[r] = nearest.index;
+            out.dist2[r] = nearest.dist2;
+        }
+    });
+    return out;
+}
+
+} // namespace mica::stats

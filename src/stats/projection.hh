@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Batched frozen-space projection kernel: normalize -> PCA -> rescale ->
+ * nearest-center for many rows at once.
+ *
+ * The frozen phase model replays the exact arithmetic of the training
+ * pipeline on new interval vectors. Historically each row went through
+ * four separate matrix passes (normalizeColumns, Matrix::multiply, a
+ * rescale loop, nearestCenter). `projectRows` fuses those passes into one
+ * per-row kernel and tiles rows into fixed-size blocks dispatched over the
+ * shared thread pool.
+ *
+ * Bit-identity contract: every row is processed independently with the
+ * exact operation order of the unfused path —
+ *
+ *   1. normalized value  a = sd > kStddevEpsilon ? (x - mean) / sd : 0.0
+ *      (skipped entirely when normalize_input is false),
+ *   2. the `a == 0.0` zero-skip of Matrix::multiply, accumulating in
+ *      ascending-k order into a zero-initialized destination row,
+ *   3. component rescale v = sd > kStddevEpsilon ? v / sd : 0.0,
+ *   4. nearestCenter's index-order strict-`<` scan.
+ *
+ * Because no step mixes data across rows, the result is bitwise invariant
+ * to both the thread count and the block size; tests lock this down.
+ */
+
+#ifndef MICAPHASE_STATS_PROJECTION_HH
+#define MICAPHASE_STATS_PROJECTION_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "stats/summary.hh"
+
+namespace mica::stats {
+
+/**
+ * Frozen coefficients of one projection chain. All views are non-owning;
+ * the owner (a loaded PhaseModel or an mmap'd PhaseModelView) must outlive
+ * any projectRows call using the spec.
+ */
+struct ProjectionSpec
+{
+    /** Apply the z-score normalization step (raw interval vectors: yes;
+     *  already-normalized inputs: no). */
+    bool normalize_input = true;
+    std::span<const double> mean;   ///< per-input-column mean
+    std::span<const double> stddev; ///< per-input-column stddev
+    MatrixView loadings;            ///< p x m PCA loadings
+    std::span<const double> rescale_sd; ///< per-component stddev (size m)
+    MatrixView centers;             ///< k x m cluster centers
+};
+
+/** Tuning knobs for projectRows; defaults match the serving frontend. */
+struct ProjectOptions
+{
+    unsigned threads = 0;         ///< 0 = hardware concurrency
+    std::size_t block_rows = 1024; ///< rows per work item (must be > 0)
+};
+
+/** Dense result of projecting a batch of rows. */
+struct ProjectedRows
+{
+    Matrix reduced;                      ///< n x m rescaled PCA coordinates
+    std::vector<std::size_t> assignment; ///< nearest center per row
+    std::vector<double> dist2;           ///< squared distance to it
+};
+
+/**
+ * Project every row of `rows` (n x p, frozen input width p) through the
+ * spec's normalize -> PCA -> rescale chain and classify it against the
+ * spec's centers. See the file comment for the bit-identity contract.
+ *
+ * Throws std::invalid_argument on shape mismatches (row width vs mean /
+ * loadings, loadings cols vs rescale_sd / centers) or a zero block size.
+ */
+[[nodiscard]] ProjectedRows projectRows(const ProjectionSpec &spec,
+                                        MatrixView rows,
+                                        const ProjectOptions &opts = {});
+
+} // namespace mica::stats
+
+#endif // MICAPHASE_STATS_PROJECTION_HH

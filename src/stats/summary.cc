@@ -6,12 +6,6 @@
 
 namespace mica::stats {
 
-namespace {
-
-constexpr double kStddevEpsilon = 1e-12;
-
-} // namespace
-
 ColumnStats
 columnStats(const Matrix &m)
 {

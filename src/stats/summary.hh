@@ -18,6 +18,15 @@
 
 namespace mica::stats {
 
+/**
+ * A column (or principal component) whose standard deviation is at or
+ * below this is treated as degenerate: normalization and rescaling map it
+ * to exactly 0.0 instead of dividing by (near-)zero. Every consumer of the
+ * frozen normalize -> PCA -> rescale chain must use this same constant or
+ * replayed projections stop being bit-identical.
+ */
+inline constexpr double kStddevEpsilon = 1e-12;
+
 /** Per-column mean / standard deviation pair. */
 struct ColumnStats
 {

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@
 
 #include "core/model_export.hh"
 #include "core/pipeline.hh"
+#include "model/model_view.hh"
 #include "model/phase_model.hh"
 
 namespace {
@@ -289,6 +291,80 @@ TEST(PhaseModelFormat, LoadRejectsOverflowingMatrixDims)
     std::remove(path.c_str());
 }
 
+TEST(PhaseModelFormat, LoadRejectsOverlappingSections)
+{
+    // Regression: the loader used to verify each section's bounds and CRC
+    // in isolation and never checked sections against each other, so a
+    // table whose entries shared bytes was accepted. Craft such tables
+    // with VALID checksums — the CRC layer must not be what rejects them.
+    tinyModel().save("/tmp/micaphase_model_overlap.bin");
+    const auto orig = readFile("/tmp/micaphase_model_overlap.bin");
+    std::remove("/tmp/micaphase_model_overlap.bin");
+    const std::size_t header = 16, entry_size = 32;
+    const std::uint32_t nsec = getU32(orig, 12);
+    ASSERT_EQ(nsec, 7u);
+
+    auto entryFor = [&](std::uint32_t id) {
+        for (std::uint32_t i = 0; i < nsec; ++i)
+            if (getU32(orig, header + i * entry_size) == id)
+                return header + i * entry_size;
+        ADD_FAILURE() << "section " << id << " not found";
+        return std::size_t{0};
+    };
+    auto expectOverlapRejected = [](const std::vector<std::uint8_t> &bytes,
+                                    const char *what) {
+        for (const bool use_view : {false, true}) {
+            try {
+                if (use_view)
+                    (void)model::PhaseModelView::parse(bytes, "overlap");
+                else
+                    (void)PhaseModel::loadFromBytes(bytes, "overlap");
+                FAIL() << what << " accepted (view=" << use_view << ")";
+            } catch (const ModelError &e) {
+                EXPECT_NE(std::string(e.what()).find("overlap"),
+                          std::string::npos)
+                    << what << ": " << e.what();
+            }
+        }
+    };
+
+    // Two entries aliasing the same byte range (offset/size/crc copied
+    // wholesale, ids kept distinct — every per-section check passes).
+    {
+        auto bytes = orig;
+        const std::size_t src = entryFor(2), dst = entryFor(3);
+        putU64(bytes, dst + 8, getU64(orig, src + 8));
+        putU64(bytes, dst + 16, getU64(orig, src + 16));
+        putU32(bytes, dst + 24, getU32(orig, src + 24));
+        expectOverlapRejected(bytes, "fully aliased sections");
+    }
+
+    // Partial overlap: slide one section's offset a few bytes into its
+    // predecessor, CRC re-fixed over the shifted window.
+    {
+        auto bytes = orig;
+        const std::size_t e = entryFor(4);
+        const auto off = getU64(orig, e + 8);
+        const auto size = static_cast<std::size_t>(getU64(orig, e + 16));
+        ASSERT_GE(off, 4u);
+        putU64(bytes, e + 8, off - 4);
+        putU32(bytes, e + 24,
+               testCrc32(bytes.data() + off - 4, size));
+        expectOverlapRejected(bytes, "partially overlapping sections");
+    }
+
+    // A payload claiming bytes inside the header/section table itself.
+    {
+        auto bytes = orig;
+        const std::size_t e = entryFor(7);
+        putU64(bytes, e + 8, 16);
+        putU32(bytes, e + 24,
+               testCrc32(bytes.data() + 16,
+                         static_cast<std::size_t>(getU64(orig, e + 16))));
+        expectOverlapRejected(bytes, "section inside the table");
+    }
+}
+
 TEST(PhaseModelFormat, RoundTripsEmptyStrings)
 {
     // An empty string serializes to 4 bytes (just the u32 length); the
@@ -506,6 +582,44 @@ TEST(PhaseModelPipeline, ReloadedModelReprojectsTrainingBitwise)
                   0)
             << "reduced matrix deviates bitwise";
         EXPECT_EQ(proj.assignment, out.analysis.clustering.assignment);
+
+        // The serving paths inherit the same guarantee: the fused batched
+        // kernel (any thread count) and the zero-copy mmap view must all
+        // reproduce the live pipeline's bits for every training row.
+        auto expectSame = [&](const model::Projection &got,
+                              const char *which) {
+            EXPECT_EQ(got.assignment, proj.assignment) << which;
+            ASSERT_EQ(got.reduced.data().size(),
+                      proj.reduced.data().size())
+                << which;
+            EXPECT_EQ(std::memcmp(got.reduced.data().data(),
+                                  proj.reduced.data().data(),
+                                  proj.reduced.data().size() *
+                                      sizeof(double)),
+                      0)
+                << which << " reduced deviates bitwise";
+            ASSERT_EQ(got.dist2.size(), proj.dist2.size()) << which;
+            EXPECT_EQ(std::memcmp(got.dist2.data(), proj.dist2.data(),
+                                  proj.dist2.size() * sizeof(double)),
+                      0)
+                << which << " dist2 deviates bitwise";
+        };
+        stats::ProjectOptions popts;
+        popts.threads = threads;
+        expectSame(m.placeBatch(out.sampled.data, popts), "placeBatch");
+
+        const auto view = model::PhaseModelView::open(path);
+        expectSame(view.placeBatch(out.sampled.data, popts),
+                   "packed view placeBatch");
+
+        const std::string aligned = path + ".aligned";
+        m.save(aligned, model::SaveOptions{.align_sections = true});
+        const auto aligned_view = model::PhaseModelView::open(aligned);
+        std::remove(aligned.c_str());
+        if (std::endian::native == std::endian::little)
+            EXPECT_TRUE(aligned_view.zeroCopy());
+        expectSame(aligned_view.placeBatch(out.sampled.data, popts),
+                   "aligned view placeBatch");
     }
     std::remove(path.c_str());
 }

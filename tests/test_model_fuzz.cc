@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Structured fuzzing of the phase-model loaders (src/model).
+ *
+ * Starting from the golden v1 fixture (and its 8-byte-aligned resave),
+ * applies thousands of seeded, format-aware mutations — bit flips,
+ * truncations, extensions, section-table field corruption, payload edits
+ * with the section CRC re-fixed so deeper validation layers are reached,
+ * table-entry swaps/duplicates, and deliberately overlapping sections —
+ * and feeds every mutant to BOTH loaders: the copying
+ * PhaseModel::loadFromBytes and the zero-copy PhaseModelView::parse.
+ *
+ * The contract under test: every load ends in either a clean success or a
+ * ModelError. No crash, no hang, no over-read (the suite runs under the
+ * ASan/UBSan CI jobs), no other exception type, and the two loaders always
+ * agree on accept/reject. The seeded stats::Rng makes every run
+ * reproducible: a failure report's iteration number replays exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "model/model_view.hh"
+#include "model/phase_model.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+using model::ModelError;
+using model::PhaseModel;
+using model::PhaseModelView;
+
+// Layout constants of the v1 container (docs/MODEL.md): 16-byte header
+// (magic, version, section count) followed by 32-byte table entries
+// (id, reserved, offset, size, crc32, reserved).
+constexpr std::size_t kHeader = 16;
+constexpr std::size_t kEntry = 32;
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= data[i];
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &b, std::size_t pos)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[pos + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &b, std::size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[pos + i]) << (8 * i);
+    return v;
+}
+
+void
+putU32(std::vector<std::uint8_t> &b, std::size_t pos, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(std::vector<std::uint8_t> &b, std::size_t pos, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Recompute and store entry i's CRC from the bytes its table row spans. */
+void
+refixCrc(std::vector<std::uint8_t> &b, std::size_t entry)
+{
+    const auto off = static_cast<std::size_t>(getU64(b, entry + 8));
+    const auto size = static_cast<std::size_t>(getU64(b, entry + 16));
+    if (off <= b.size() && size <= b.size() - off)
+        putU32(b, entry + 24, crc32(b.data() + off, size));
+}
+
+/** Number of table entries actually present in the image. */
+std::size_t
+entryCount(const std::vector<std::uint8_t> &b)
+{
+    if (b.size() < kHeader)
+        return 0;
+    const std::uint32_t n = getU32(b, 12);
+    const std::size_t fit = (b.size() - kHeader) / kEntry;
+    return n < fit ? n : fit;
+}
+
+/**
+ * One seeded structured mutation of `bytes`. The strategy mix is weighted
+ * toward edits that get past the cheap outer checks (CRC re-fix, table
+ * surgery) so the deeper layers — bounds arithmetic, overlap rejection,
+ * payload decoding, shape validation — see real traffic.
+ */
+void
+mutate(std::vector<std::uint8_t> &bytes, stats::Rng &rng)
+{
+    const std::size_t n = bytes.size();
+    const std::size_t entries = entryCount(bytes);
+    switch (rng.nextBelow(9)) {
+      case 0: { // random bit flips anywhere
+        const std::size_t flips = 1 + rng.nextBelow(8);
+        for (std::size_t i = 0; i < flips && n > 0; ++i) {
+            const auto pos = static_cast<std::size_t>(rng.nextBelow(n));
+            bytes[pos] ^= static_cast<std::uint8_t>(
+                1u << rng.nextBelow(8));
+        }
+        break;
+      }
+      case 1: // truncate to a random prefix (including empty)
+        bytes.resize(static_cast<std::size_t>(rng.nextBelow(n + 1)));
+        break;
+      case 2: { // append random junk
+        const std::size_t extra = 1 + rng.nextBelow(64);
+        for (std::size_t i = 0; i < extra; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(rng.nextBelow(256)));
+        break;
+      }
+      case 3: { // corrupt one table-entry field (id/offset/size/crc)
+        if (entries == 0)
+            break;
+        const std::size_t e =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        switch (rng.nextBelow(4)) {
+          case 0: // id: unknown, duplicate-prone, or zero
+            putU32(bytes, e, static_cast<std::uint32_t>(rng.nextBelow(16)));
+            break;
+          case 1: { // offset: small shifts and huge values
+            const std::uint64_t off = getU64(bytes, e + 8);
+            putU64(bytes, e + 8,
+                   rng.nextBool(0.5) ? off + rng.nextBelow(32) - 16
+                                     : rng.nextU64());
+            break;
+          }
+          case 2: { // size: ditto
+            const std::uint64_t size = getU64(bytes, e + 16);
+            putU64(bytes, e + 16,
+                   rng.nextBool(0.5) ? size + rng.nextBelow(32) - 16
+                                     : rng.nextU64());
+            break;
+          }
+          default: // crc
+            putU32(bytes, e + 24,
+                   static_cast<std::uint32_t>(rng.nextU64()));
+            break;
+        }
+        break;
+      }
+      case 4: { // payload edit with the CRC re-fixed: reaches the decoders
+        if (entries == 0)
+            break;
+        const std::size_t e =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        const auto off = static_cast<std::size_t>(getU64(bytes, e + 8));
+        const auto size = static_cast<std::size_t>(getU64(bytes, e + 16));
+        if (off >= bytes.size() || size == 0 ||
+            size > bytes.size() - off)
+            break;
+        const std::size_t edits = 1 + rng.nextBelow(4);
+        for (std::size_t i = 0; i < edits; ++i) {
+            const std::size_t pos =
+                off + static_cast<std::size_t>(rng.nextBelow(size));
+            if (rng.nextBool(0.5)) {
+                bytes[pos] ^= static_cast<std::uint8_t>(
+                    1u << rng.nextBelow(8));
+            } else {
+                bytes[pos] =
+                    static_cast<std::uint8_t>(rng.nextBelow(256));
+            }
+        }
+        refixCrc(bytes, e);
+        break;
+      }
+      case 5: { // swap two whole table entries (a legal permutation)
+        if (entries < 2)
+            break;
+        const std::size_t a =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        const std::size_t b =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        for (std::size_t i = 0; i < kEntry; ++i)
+            std::swap(bytes[a + i], bytes[b + i]);
+        break;
+      }
+      case 6: { // duplicate one entry over another (dup + missing ids)
+        if (entries < 2)
+            break;
+        const std::size_t a =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        const std::size_t b =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        for (std::size_t i = 0; i < kEntry; ++i)
+            bytes[b + i] = bytes[a + i];
+        break;
+      }
+      case 7: { // make one section overlap another, CRC kept valid
+        if (entries < 2)
+            break;
+        const std::size_t a =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        const std::size_t b =
+            kHeader + static_cast<std::size_t>(rng.nextBelow(entries)) *
+                          kEntry;
+        // Point b at a's bytes (same offset/size/crc, b's id kept): the
+        // CRC layer passes, so only the overlap guard can reject this.
+        putU64(bytes, b + 8, getU64(bytes, a + 8));
+        putU64(bytes, b + 16, getU64(bytes, a + 16));
+        putU32(bytes, b + 24, getU32(bytes, a + 24));
+        break;
+      }
+      default: { // header surgery: version / section count
+        if (n < kHeader)
+            break;
+        if (rng.nextBool(0.5))
+            putU32(bytes, 8, static_cast<std::uint32_t>(rng.nextBelow(4)));
+        else
+            putU32(bytes, 12,
+                   static_cast<std::uint32_t>(rng.nextBelow(64)));
+        break;
+      }
+    }
+}
+
+struct FuzzTally
+{
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+};
+
+/**
+ * Feed one mutant to both loaders. Anything other than success or
+ * ModelError — and any accept/reject disagreement between the copying and
+ * zero-copy paths — is a test failure.
+ */
+void
+exerciseLoaders(const std::vector<std::uint8_t> &mutant, std::size_t iter,
+                FuzzTally &tally)
+{
+    bool copy_ok = false;
+    PhaseModel loaded;
+    try {
+        loaded = PhaseModel::loadFromBytes(mutant, "fuzz");
+        copy_ok = true;
+    } catch (const ModelError &) {
+        // expected rejection
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "iteration " << iter
+                      << ": loadFromBytes threw non-ModelError: "
+                      << e.what();
+        return;
+    }
+
+    bool view_ok = false;
+    try {
+        const PhaseModelView view =
+            PhaseModelView::parse(mutant, "fuzz");
+        view_ok = true;
+        if (copy_ok) {
+            // Both accepted: they must have decoded the same model.
+            EXPECT_EQ(loaded.training_rows, view.meta().training_rows);
+            EXPECT_EQ(loaded.columns(), view.columns());
+            EXPECT_EQ(loaded.numClusters(), view.numClusters());
+            EXPECT_EQ(
+                loaded.loadings.maxAbsDiff(
+                    stats::Matrix::fromView(view.loadings())),
+                0.0);
+        }
+    } catch (const ModelError &) {
+        // expected rejection
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "iteration " << iter
+                      << ": PhaseModelView::parse threw non-ModelError: "
+                      << e.what();
+        return;
+    }
+
+    EXPECT_EQ(copy_ok, view_ok)
+        << "iteration " << iter
+        << ": copying and zero-copy loaders disagree on accept/reject";
+    (copy_ok ? tally.accepted : tally.rejected) += 1;
+}
+
+void
+fuzzCorpus(const std::vector<std::uint8_t> &pristine, std::uint64_t seed,
+           std::size_t iterations, FuzzTally &tally)
+{
+    stats::Rng rng(seed);
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        std::vector<std::uint8_t> mutant = pristine;
+        // Usually one structured mutation; sometimes stack a second so
+        // interactions between strategies get coverage too.
+        mutate(mutant, rng);
+        if (rng.nextBool(0.25))
+            mutate(mutant, rng);
+        exerciseLoaders(mutant, iter, tally);
+    }
+}
+
+std::string
+goldenPath()
+{
+    return std::string(MICAPHASE_TEST_DATA_DIR) +
+           "/golden_phase_model_v1.bin";
+}
+
+TEST(PhaseModelFuzz, StructuredMutationsNeverEscapeModelError)
+{
+    // Corpus: the byte-locked packed golden fixture plus its aligned
+    // resave (different offsets, padding gaps, aliasing-eligible layout).
+    const std::vector<std::uint8_t> packed = readFile(goldenPath());
+    ASSERT_GT(packed.size(), kHeader + 7 * kEntry);
+
+    const std::string aligned_path = "/tmp/micaphase_fuzz_aligned.bin";
+    PhaseModel::loadFromBytes(packed, "golden")
+        .save(aligned_path, model::SaveOptions{.align_sections = true});
+    const std::vector<std::uint8_t> aligned = readFile(aligned_path);
+    std::remove(aligned_path.c_str());
+    ASSERT_GT(aligned.size(), packed.size() - 1);
+
+    FuzzTally tally;
+    fuzzCorpus(packed, 0x5eed0001, 1500, tally);
+    fuzzCorpus(aligned, 0x5eed0002, 1000, tally);
+
+    // Non-vacuity: a fuzzer whose mutants all die at the first CRC check
+    // (or all survive) is not exercising anything. The entry-swap and
+    // benign-payload-edit strategies guarantee real accepts; everything
+    // else guarantees real rejects.
+    EXPECT_GT(tally.accepted, 0u) << "no mutant ever loaded cleanly";
+    EXPECT_GT(tally.rejected, 50u) << "almost nothing was rejected";
+    EXPECT_EQ(tally.accepted + tally.rejected, 2500u);
+}
+
+TEST(PhaseModelFuzz, DegenerateImagesAreRejectedNotCrashed)
+{
+    // Boundary images that skip the mutation machinery entirely.
+    std::vector<std::vector<std::uint8_t>> images;
+    images.push_back({});                                   // empty
+    images.push_back({'M'});                                // 1 byte
+    images.push_back(std::vector<std::uint8_t>(kHeader, 0)); // zero header
+    // Valid magic + version, section count claiming more than fits.
+    {
+        std::vector<std::uint8_t> b(kHeader, 0);
+        const char magic[8] = {'M', 'I', 'C', 'A', 'P', 'H', 'M', 'D'};
+        for (int i = 0; i < 8; ++i)
+            b[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(magic[i]);
+        putU32(b, 8, 1);
+        putU32(b, 12, 0xFFFFFFFFu);
+        images.push_back(b);
+    }
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        EXPECT_THROW(
+            (void)PhaseModel::loadFromBytes(images[i], "degenerate"),
+            ModelError)
+            << "image " << i;
+        EXPECT_THROW((void)PhaseModelView::parse(images[i], "degenerate"),
+                     ModelError)
+            << "image " << i;
+    }
+}
+
+} // namespace

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Serving-path hardening: bitwise parity of the batched projection kernel
+ * against the row-at-a-time oracle across thread counts, block sizes and
+ * load paths (copying loader, packed mmap view, aligned mmap view), plus a
+ * multi-threaded soak in which many threads hammer placeBatch and
+ * assessWorkload on ONE shared model and ONE shared view concurrently and
+ * every result is cross-checked bitwise against a serially precomputed
+ * oracle. The suite names contain "Serve" on purpose: the thread-sanitizer
+ * CI job selects them by that name.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/model_view.hh"
+#include "model/phase_model.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using namespace mica;
+using model::ClusterKind;
+using model::PhaseModel;
+using model::PhaseModelView;
+using model::Projection;
+using model::WorkloadAssessment;
+
+/**
+ * A deterministic mid-sized synthetic model: p = 12 inputs, m = 4 retained
+ * components, k = 16 clusters, 3 training suites. Shapes are chosen to
+ * exercise the degenerate guards (one zero stddev column, one zero rescale
+ * sd, exact zeros sprinkled into the loadings) while passing validate().
+ */
+PhaseModel
+soakModel()
+{
+    constexpr std::size_t p = 12, m = 4, k = 16;
+    stats::Rng rng(0x50a7);
+    PhaseModel model;
+    model.analysis_key = 0xfeedULL;
+    model.interval_instructions = 1000;
+    model.samples_per_benchmark = 8;
+    model.interval_scale = 0.1;
+    model.pca_min_stddev = 1.0;
+    model.seed = 7;
+    model.benchmark_ids = {"A/a1", "A/a2", "B/b1", "B/b2", "C/c1", "C/c2"};
+    model.benchmark_suites = {"A", "A", "B", "B", "C", "C"};
+    model.suites = {"A", "B", "C"};
+    model.normalize_input = true;
+    for (std::size_t c = 0; c < p; ++c) {
+        model.norm_mean.push_back(rng.uniform(-2.0, 2.0));
+        model.norm_stddev.push_back(rng.uniform(0.5, 3.0));
+    }
+    model.norm_stddev[5] = 0.0; // degenerate column
+    model.pca_explained = 0.9;
+    for (std::size_t i = 0; i < p; ++i)
+        model.eigenvalues.push_back(
+            static_cast<double>(p - i) + rng.nextDouble());
+    model.loadings = stats::Matrix(p, m);
+    for (std::size_t r = 0; r < p; ++r)
+        for (std::size_t c = 0; c < m; ++c)
+            model.loadings(r, c) =
+                rng.nextBool(0.2) ? 0.0 : rng.nextGaussian();
+    for (std::size_t c = 0; c < m; ++c)
+        model.rescale_sd.push_back(rng.uniform(0.5, 2.0));
+    model.rescale_sd[3] = 0.0; // degenerate component
+    model.centers = stats::Matrix(k, m);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < m; ++c)
+            model.centers(r, c) = rng.nextGaussian() * 2.0;
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+        model.cluster_sizes.push_back(3 + rng.nextBelow(9));
+        total += model.cluster_sizes.back();
+        model.cluster_kinds.push_back(static_cast<ClusterKind>(c % 3));
+        for (std::size_t s = 0; s < 3; ++s)
+            model.suite_rows.push_back(rng.nextBelow(5));
+    }
+    model.training_rows = total;
+    model.prominent_raw = stats::Matrix(6, p);
+    for (std::size_t i = 0; i < 6; ++i) {
+        model.prominent.push_back(
+            {static_cast<std::uint32_t>(i * 2), 1.0 / 6.0,
+             rng.nextBelow(total)});
+        for (std::size_t c = 0; c < p; ++c)
+            model.prominent_raw(i, c) = rng.nextGaussian();
+    }
+    model.key_characteristics = {0, 3, 7};
+    model.ga_fitness = 0.5;
+    model.validate();
+    return model;
+}
+
+/** n synthetic p-column interval rows around the model's training stats. */
+stats::Matrix
+soakRows(const PhaseModel &model, std::size_t n, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    const std::size_t p = model.columns();
+    stats::Matrix rows(n, p);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < p; ++c)
+            rows(r, c) = model.norm_mean[c] +
+                         (model.norm_stddev[c] + 0.25) * rng.nextGaussian();
+    return rows;
+}
+
+/** Bitwise equality of two projections (reduced, assignment, dist2). */
+bool
+identical(const Projection &a, const Projection &b)
+{
+    if (a.assignment != b.assignment)
+        return false;
+    if (a.reduced.rows() != b.reduced.rows() ||
+        a.reduced.cols() != b.reduced.cols() ||
+        a.dist2.size() != b.dist2.size())
+        return false;
+    if (!a.reduced.data().empty() &&
+        std::memcmp(a.reduced.data().data(), b.reduced.data().data(),
+                    a.reduced.data().size() * sizeof(double)) != 0)
+        return false;
+    return a.dist2.empty() ||
+           std::memcmp(a.dist2.data(), b.dist2.data(),
+                       a.dist2.size() * sizeof(double)) == 0;
+}
+
+/** The slice [begin, begin+len) of `rows` as an owned matrix. */
+stats::Matrix
+slice(const stats::Matrix &rows, std::size_t begin, std::size_t len)
+{
+    stats::Matrix out(0, 0);
+    for (std::size_t r = 0; r < len; ++r)
+        out.appendRow(rows.row(begin + r));
+    return out;
+}
+
+/** The slice [begin, begin+len) of a full-set oracle projection. */
+Projection
+sliceProjection(const Projection &full, std::size_t begin, std::size_t len)
+{
+    Projection out;
+    out.reduced = stats::Matrix(0, 0);
+    for (std::size_t r = 0; r < len; ++r)
+        out.reduced.appendRow(full.reduced.row(begin + r));
+    out.assignment.assign(full.assignment.begin() +
+                              static_cast<std::ptrdiff_t>(begin),
+                          full.assignment.begin() +
+                              static_cast<std::ptrdiff_t>(begin + len));
+    out.dist2.assign(full.dist2.begin() +
+                         static_cast<std::ptrdiff_t>(begin),
+                     full.dist2.begin() +
+                         static_cast<std::ptrdiff_t>(begin + len));
+    return out;
+}
+
+bool
+sameAssessment(const WorkloadAssessment &a, const WorkloadAssessment &b)
+{
+    return a.rows == b.rows && a.clusters_covered == b.clusters_covered &&
+           a.coverage_fraction == b.coverage_fraction &&
+           a.cumulative == b.cumulative &&
+           a.exclusive_fraction == b.exclusive_fraction &&
+           a.shared_fraction == b.shared_fraction &&
+           a.novel_fraction == b.novel_fraction &&
+           a.mean_distance == b.mean_distance &&
+           a.max_distance == b.max_distance;
+}
+
+TEST(ServeParity, BatchedMatchesRowOracleAcrossThreadsAndBlocks)
+{
+    const PhaseModel model = soakModel();
+    const stats::Matrix rows = soakRows(model, 3000, 0xabc1);
+    const Projection oracle = model.projectBenchmark(rows);
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const std::size_t block : {std::size_t{7}, std::size_t{64},
+                                        std::size_t{1024}}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " block_rows=" + std::to_string(block));
+            stats::ProjectOptions opts;
+            opts.threads = threads;
+            opts.block_rows = block;
+            EXPECT_TRUE(identical(model.placeBatch(rows, opts), oracle));
+        }
+    }
+
+    // Spot-check the third path: single-interval placement.
+    for (std::size_t r = 0; r < rows.rows(); r += 233) {
+        const auto one = model.projectInterval(rows.row(r));
+        EXPECT_EQ(one.cluster, oracle.assignment[r]);
+        EXPECT_EQ(one.dist2, oracle.dist2[r]);
+    }
+}
+
+TEST(ServeParity, ViewMatchesCopyLoaderOnBothLayouts)
+{
+    const PhaseModel built = soakModel();
+    const stats::Matrix rows = soakRows(built, 1000, 0xabc2);
+
+    const std::string packed = "/tmp/micaphase_serve_packed.bin";
+    const std::string aligned = "/tmp/micaphase_serve_aligned.bin";
+    built.save(packed);
+    built.save(aligned, model::SaveOptions{.align_sections = true});
+
+    const PhaseModel loaded = PhaseModel::load(packed);
+    const Projection oracle = loaded.projectBenchmark(rows);
+
+    for (const std::string &path : {packed, aligned}) {
+        SCOPED_TRACE(path);
+        const PhaseModelView view = PhaseModelView::open(path);
+        EXPECT_EQ(view.columns(), loaded.columns());
+        EXPECT_EQ(view.numClusters(), loaded.numClusters());
+        stats::ProjectOptions opts;
+        opts.threads = 3;
+        opts.block_rows = 17;
+        EXPECT_TRUE(identical(view.placeBatch(rows, opts), oracle));
+    }
+
+    // An aligned save must actually enable zero-copy on little-endian
+    // hosts (every matrix payload lands 8-byte aligned in the file).
+    if (std::endian::native == std::endian::little) {
+        EXPECT_TRUE(PhaseModelView::open(aligned).zeroCopy());
+    }
+
+    std::remove(packed.c_str());
+    std::remove(aligned.c_str());
+}
+
+TEST(ServeSoak, ConcurrentBatchesMatchSerialOracleBitwise)
+{
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kIters = 40;
+    constexpr std::size_t kRows = 2000;
+
+    const PhaseModel model = soakModel();
+    const stats::Matrix rows = soakRows(model, kRows, 0xabc3);
+    const Projection oracle = model.projectBenchmark(rows);
+
+    const std::string path = "/tmp/micaphase_serve_soak.bin";
+    model.save(path, model::SaveOptions{.align_sections = true});
+    const PhaseModelView view = PhaseModelView::open(path);
+    std::remove(path.c_str());
+
+    // Deterministic per-(thread, iteration) slice of the shared rows.
+    constexpr std::size_t kLens[] = {64, 256, 1024};
+    auto sliceBegin = [](std::size_t t, std::size_t i, std::size_t len) {
+        return (t * 37 + i * 101) % (kRows - len);
+    };
+
+    // Precompute every expected slice projection + assessment serially;
+    // the threads below must reproduce them bit for bit.
+    std::vector<std::vector<Projection>> want_proj(kThreads);
+    std::vector<std::vector<WorkloadAssessment>> want_assess(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        for (std::size_t i = 0; i < kIters; ++i) {
+            const std::size_t len = kLens[(t + i) % 3];
+            Projection p = sliceProjection(
+                oracle, sliceBegin(t, i, len), len);
+            want_assess[t].push_back(model.assessWorkload(p));
+            want_proj[t].push_back(std::move(p));
+        }
+    }
+
+    // Soak: every thread hammers BOTH the shared copying model and the
+    // shared mmap view (placeBatch + assessWorkload are const and must be
+    // safe to call concurrently on one instance).
+    std::vector<std::size_t> mismatches(kThreads, 0);
+    {
+        std::vector<std::thread> pool;
+        for (std::size_t t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&, t] {
+                for (std::size_t i = 0; i < kIters; ++i) {
+                    const std::size_t len = kLens[(t + i) % 3];
+                    const stats::Matrix part =
+                        slice(rows, sliceBegin(t, i, len), len);
+                    stats::ProjectOptions opts;
+                    opts.threads = 1 + static_cast<unsigned>((t + i) % 2);
+                    opts.block_rows = 50;
+                    const Projection got =
+                        (t + i) % 2 == 0 ? model.placeBatch(part, opts)
+                                         : view.placeBatch(part, opts);
+                    const WorkloadAssessment assess =
+                        (t + i) % 2 == 0 ? model.assessWorkload(got)
+                                         : view.assessWorkload(got);
+                    if (!identical(got, want_proj[t][i]) ||
+                        !sameAssessment(assess, want_assess[t][i]))
+                        mismatches[t] += 1;
+                }
+            });
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    for (std::size_t t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+}
+
+} // namespace
