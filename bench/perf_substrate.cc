@@ -37,10 +37,18 @@
  * projectBenchmark oracle and the row-at-a-time projectInterval path —
  * recorded in BENCH_model_serve.json.
  *
+ * A seventh table measures the live-update path (docs/MODEL.md "Deltas &
+ * drift"): ModelUpdater ingest throughput, the dedup-drop fraction at a
+ * median-distance threshold, the refinement drift bound versus its
+ * threshold, and LiveModel hot-swap latency — plus a
+ * frozen_path_identical flag (placements after an appended delta stay
+ * bitwise identical to the pre-delta oracle through both loaders) that CI
+ * hard-gates on — recorded in BENCH_model_update.json.
+ *
  * MICAPHASE_SUBSTRATE_TABLES selects which post-benchmark tables run: a
  * comma-separated subset of "parallel", "tracing", "kmeans", "model",
- * "static", "serve" (unset runs all six). CI's bench smoke step sets it
- * to "kmeans".
+ * "static", "serve", "update" (unset runs all seven). CI's bench smoke
+ * step sets it to "kmeans".
  */
 
 #include <benchmark/benchmark.h>
@@ -48,6 +56,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,8 +74,11 @@
 #include "mica/metrics.hh"
 #include "stats/summary.hh"
 #include "ga/feature_select.hh"
+#include "model/live_model.hh"
 #include "model/model_view.hh"
 #include "model/phase_model.hh"
+#include "model/reader.hh"
+#include "model/update.hh"
 #include "mica/profiler.hh"
 #include "obs/trace.hh"
 #include "stats/eigen.hh"
@@ -912,6 +924,181 @@ emitModelServe()
     std::printf("wrote %s\n", path.c_str());
 }
 
+/**
+ * Live-update table (docs/MODEL.md "Deltas & drift"): train the mini
+ * model once, then measure (a) ModelUpdater ingest throughput on a
+ * synthesized interval stream, (b) the dedup-drop fraction when the
+ * redundancy radius is set to the stream's median center distance, (c)
+ * the opt-in refinement pass — reported max_center_drift versus its
+ * threshold, with the certified-bound property (actual movement <=
+ * reported bound per center) checked exactly — and (d) LiveModel
+ * hot-swap latency for a full load-and-publish cycle. The table also
+ * re-checks the frozen-path contract after a delta append: placements
+ * through both loaders at several thread counts must stay bitwise
+ * identical to the pre-delta oracle (frozen_path_identical — CI
+ * hard-gates on it).
+ */
+void
+emitModelUpdate()
+{
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 20;
+    cfg.kmeans_k = 24;
+    cfg.kmeans_restarts = 2;
+    cfg.num_prominent = 12;
+    cfg.cache_dir.clear();
+    cfg.threads = 0;
+    const std::string trained_path =
+        micabench::outputDir() + "/BENCH_update_model.bin";
+    cfg.model_path = trained_path;
+    (void)core::runFullExperiment(cfg);
+
+    // Deploy shape: aligned layout, opened through the unified API.
+    const model::PhaseModel trained =
+        model::PhaseModel::load(trained_path);
+    model::SaveOptions aligned;
+    aligned.align_sections = true;
+    const std::string live_path =
+        micabench::outputDir() + "/BENCH_update_model_aligned.bin";
+    trained.save(live_path, aligned);
+    const auto reader = model::open(live_path, {model::OpenMode::Copy});
+
+    // Same synthesized stream recipe as the serving table.
+    const std::size_t n = 8192;
+    const std::size_t p = trained.columns();
+    stats::Rng rng(2026);
+    stats::Matrix rows(n, p);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t c = 0; c < p; ++c) {
+            const double base =
+                trained.prominent_raw.rows() > 0
+                    ? trained.prominent_raw.at(
+                          i % trained.prominent_raw.rows(), c)
+                    : trained.norm_mean[c];
+            rows.at(i, c) = base + 0.25 * trained.norm_stddev[c] *
+                                       rng.nextGaussian();
+        }
+
+    // Frozen placements before any delta traffic: the oracle every
+    // post-append configuration must reproduce bit-for-bit.
+    const model::Projection oracle = reader->placeBatch(rows);
+
+    // Redundancy radius = median center distance of the stream, so the
+    // drop fraction lands mid-range instead of degenerating to 0 or 1.
+    std::vector<double> dists(oracle.dist2.size());
+    for (std::size_t i = 0; i < dists.size(); ++i)
+        dists[i] = std::sqrt(oracle.dist2[i]);
+    std::sort(dists.begin(), dists.end());
+    const double dedup_threshold = dists[dists.size() / 2];
+
+    model::UpdateOptions observe_opts;
+    observe_opts.dedup_threshold = dedup_threshold;
+    const double ingest_s = wallSeconds([&]() {
+        model::ModelUpdater u(*reader, observe_opts);
+        benchmark::DoNotOptimize(u.ingest(rows).accepted);
+    });
+    const double ingest_rows_per_sec =
+        ingest_s > 0.0 ? static_cast<double>(n) / ingest_s : 0.0;
+
+    // Accounting run (outside the timer) feeding the appended delta.
+    model::ModelUpdater updater(*reader, observe_opts);
+    const model::IngestBatch batch = updater.ingest(rows);
+    const double drop_fraction =
+        static_cast<double>(batch.deduped) / static_cast<double>(n);
+    model::appendDelta(live_path, updater.delta(), aligned);
+
+    // Frozen-path contract after the append: both loaders, several
+    // thread counts, all bitwise against the pre-delta oracle.
+    const auto copy_reader =
+        model::open(live_path, {model::OpenMode::Copy});
+    const auto mmap_reader =
+        model::open(live_path, {model::OpenMode::Mmap});
+    bool frozen_identical =
+        copy_reader->meta().deltas.size() == 1 &&
+        mmap_reader->meta().deltas.size() == 1;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        stats::ProjectOptions popts;
+        popts.threads = threads;
+        popts.block_rows = 64;
+        frozen_identical =
+            frozen_identical &&
+            projectionsIdentical(oracle,
+                                 copy_reader->placeBatch(rows, popts)) &&
+            projectionsIdentical(oracle,
+                                 mmap_reader->placeBatch(rows, popts));
+    }
+
+    // Refinement pass: bounded mini-batch step over the same stream.
+    model::UpdateOptions refine_opts = observe_opts;
+    refine_opts.refine = true;
+    model::ModelUpdater refiner(*reader, refine_opts);
+    (void)refiner.ingest(rows);
+    const model::ModelDelta refined = refiner.delta(2);
+    bool drift_bounded = refined.refined;
+    for (std::size_t c = 0; c < trained.numClusters(); ++c) {
+        const double moved = stats::euclideanDistance(
+            refined.refined_centers.row(c), trained.centers.row(c));
+        drift_bounded =
+            drift_bounded && moved <= refined.center_drift[c] + 1e-12;
+    }
+
+    // Hot-swap latency: one full open-validate-publish cycle.
+    model::LiveModel live;
+    const double swap_s = wallSeconds([&]() {
+        (void)live.load(live_path, {model::OpenMode::Mmap});
+    });
+
+    std::printf("\nlive model update: ingest, dedup, drift, hot-swap "
+                "(best of 3, %zu rows)\n", n);
+    std::printf("ingest %.4fs (%.0f rows/sec), dedup radius %.4f drops "
+                "%.1f%% (%llu of %zu)\n",
+                ingest_s, ingest_rows_per_sec, dedup_threshold,
+                drop_fraction * 100.0,
+                static_cast<unsigned long long>(batch.deduped), n);
+    std::printf("refined drift max %.4f vs threshold %.2f (bounded: %s, "
+                "retrain: %s)\n",
+                refined.max_center_drift, refined.drift_threshold,
+                drift_bounded ? "yes" : "NO",
+                refined.retrain_recommended ? "recommended" : "no");
+    std::printf("hot-swap %.4fs/load (generation %llu), frozen path "
+                "identical: %s\n",
+                swap_s,
+                static_cast<unsigned long long>(live.generation()),
+                frozen_identical ? "yes" : "NO");
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_model_update.json";
+    std::ofstream out(path);
+    char buf[64];
+    out << "{\n  \"benchmark\": \"model_update\",\n"
+        << "  \"rows\": " << n << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", ingest_s);
+    out << "  \"ingest_seconds\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.0f", ingest_rows_per_sec);
+    out << "  \"ingest_rows_per_sec\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", dedup_threshold);
+    out << "  \"dedup_threshold\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.4f", drop_fraction);
+    out << "  \"dedup_dropped_fraction\": " << buf << ",\n"
+        << "  \"accepted_rows\": " << batch.accepted << ",\n"
+        << "  \"deduped_rows\": " << batch.deduped << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", refined.max_center_drift);
+    out << "  \"refined_max_center_drift\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.2f", refined.drift_threshold);
+    out << "  \"drift_threshold\": " << buf << ",\n"
+        << "  \"drift_bounded\": " << (drift_bounded ? "true" : "false")
+        << ",\n"
+        << "  \"retrain_recommended\": "
+        << (refined.retrain_recommended ? "true" : "false") << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", swap_s);
+    out << "  \"hot_swap_seconds\": " << buf << ",\n"
+        << "  \"frozen_path_identical\": "
+        << (frozen_identical ? "true" : "false") << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 /** One static-vs-dynamic feature correlation, across all workloads. */
 struct CorrPair
 {
@@ -1230,5 +1417,7 @@ main(int argc, char **argv)
         emitStaticAnalysis();
     if (tableEnabled("serve"))
         emitModelServe();
+    if (tableEnabled("update"))
+        emitModelUpdate();
     return 0;
 }

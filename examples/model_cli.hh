@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared model-flag handling for the example CLIs (phase_query,
+ * phase_serve, quickstart, phase_explorer): every tool accepts the same
+ * `--model <path> [--copy|--mmap]` triple, resolves it through the
+ * unified `model::open` factory, and reports missing/corrupt model files
+ * with identical error text — the flag parsing and the failure wording
+ * live here exactly once.
+ */
+
+#ifndef MICAPHASE_EXAMPLES_MODEL_CLI_HH
+#define MICAPHASE_EXAMPLES_MODEL_CLI_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "model/reader.hh"
+
+namespace mica::examples {
+
+/** The `--model/--copy/--mmap` state shared by every CLI. */
+struct ModelFlags
+{
+    std::string path;
+    model::OpenOptions open; ///< mode defaults to OpenMode::Auto (mmap)
+};
+
+/** Usage fragment describing the shared flags (for usage() banners). */
+inline constexpr const char *kModelFlagsUsage =
+    "--model <path> [--copy|--mmap]";
+
+/**
+ * Try to consume argv[i] (and its value, advancing `i`) as one of the
+ * shared model flags. Returns true when consumed; leaves `i` untouched
+ * and returns false otherwise so the caller can match its own flags.
+ */
+inline bool
+consumeModelFlag(ModelFlags &flags, int argc, char **argv, int &i)
+{
+    const std::string_view arg = argv[i];
+    if (arg == "--model" && i + 1 < argc) {
+        flags.path = argv[++i];
+        return true;
+    }
+    if (arg == "--copy") {
+        flags.open.mode = model::OpenMode::Copy;
+        return true;
+    }
+    if (arg == "--mmap") {
+        flags.open.mode = model::OpenMode::Mmap;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Open the model behind the unified reader interface, or exit: status 2
+ * with "<prog>: --model <path> is required" when the flag is missing,
+ * status 1 with "<prog>: <ModelError message>" when the file is absent
+ * or corrupt. Every CLI funnels through here, so the error text for a
+ * given failure is identical no matter which tool hit it.
+ */
+inline std::unique_ptr<model::ModelReader>
+openModelOrExit(const char *prog, const ModelFlags &flags)
+{
+    if (flags.path.empty()) {
+        std::fprintf(stderr, "%s: --model <path> is required\n", prog);
+        std::exit(2);
+    }
+    try {
+        return model::open(flags.path, flags.open);
+    } catch (const model::ModelError &e) {
+        std::fprintf(stderr, "%s: %s\n", prog, e.what());
+        std::exit(1);
+    }
+}
+
+} // namespace mica::examples
+
+#endif // MICAPHASE_EXAMPLES_MODEL_CLI_HH

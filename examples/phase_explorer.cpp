@@ -7,13 +7,14 @@
  * execution splits across two very different phase behaviours — an
  * erratic-branch search phase and a well-behaved sweep phase.
  *
- * Usage: phase_explorer [suite/name] [--save-model <path> | --model <path>]
- *        (default SPECint2006/astar)
+ * Usage: phase_explorer [suite/name] [--save-model <path> |
+ *        --model <path> [--copy|--mmap]]   (default SPECint2006/astar)
  *
  * `--save-model` freezes the benchmark's private rescaled-PCA space +
- * clustering into a model::PhaseModel file; `--model` loads such a file
- * and projects the fresh intervals into the frozen space instead of
- * fitting PCA / running k-means again (see docs/MODEL.md).
+ * clustering into a model::PhaseModel file; `--model` opens such a file
+ * behind the unified model::ModelReader interface and projects the fresh
+ * intervals into the frozen space instead of fitting PCA / running
+ * k-means again (see docs/MODEL.md).
  */
 
 #include <algorithm>
@@ -26,7 +27,8 @@
 #include "core/characterize.hh"
 #include "core/phase_analysis.hh"
 #include "core/sampling.hh"
-#include "model/phase_model.hh"
+#include "model/reader.hh"
+#include "model_cli.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
 #include "viz/kiviat.hh"
@@ -101,13 +103,14 @@ main(int argc, char **argv)
     namespace m = metrics::midx;
 
     std::string id = "SPECint2006/astar";
-    std::string save_model_path, model_path;
+    std::string save_model_path;
+    examples::ModelFlags flags;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (examples::consumeModelFlag(flags, argc, argv, i))
+            continue;
         if (arg == "--save-model" && i + 1 < argc)
             save_model_path = argv[++i];
-        else if (arg == "--model" && i + 1 < argc)
-            model_path = argv[++i];
         else
             id = arg;
     }
@@ -135,19 +138,20 @@ main(int argc, char **argv)
     stats::Matrix centers(0, 0);
     std::vector<std::size_t> sizes;
     std::vector<std::size_t> reps;
-    if (!model_path.empty()) {
-        const model::PhaseModel frozen = model::PhaseModel::load(model_path);
+    if (!flags.path.empty()) {
+        const auto frozen =
+            examples::openModelOrExit("phase_explorer", flags);
         std::printf("projecting into frozen space %s (%zu clusters, %zu "
                     "PCs) — no PCA/k-means rerun\n",
-                    model_path.c_str(), frozen.numClusters(),
-                    frozen.components());
-        const model::Projection proj = frozen.projectBenchmark(data);
+                    flags.path.c_str(), frozen->numClusters(),
+                    frozen->components());
+        const model::Projection proj = frozen->placeBatch(data);
         reduced = proj.reduced;
-        centers = frozen.centers;
+        centers = stats::Matrix::fromView(frozen->centers());
         // Representative = the member closest to its frozen center.
-        sizes.assign(frozen.numClusters(), 0);
-        reps.assign(frozen.numClusters(), 0);
-        std::vector<double> best(frozen.numClusters(),
+        sizes.assign(frozen->numClusters(), 0);
+        reps.assign(frozen->numClusters(), 0);
+        std::vector<double> best(frozen->numClusters(),
                                  std::numeric_limits<double>::max());
         for (std::size_t i = 0; i < proj.assignment.size(); ++i) {
             const std::size_t c = proj.assignment[i];

@@ -2,20 +2,22 @@
  * @file
  * Phase query: the paper's §5 question — "where does this workload fall
  * relative to an existing workload space?" — answered from a frozen
- * model artifact instead of a pipeline run. Loads a model::PhaseModel,
- * characterizes a named catalog benchmark at the model's interval length,
- * and projects it through the frozen normalize→PCA→rescale chain onto the
- * frozen cluster centers. No PCA or k-means runs.
+ * model artifact instead of a pipeline run. Opens the model behind the
+ * unified model::ModelReader interface (--copy / --mmap pick the loader;
+ * placement is bit-identical on either), characterizes a named catalog
+ * benchmark at the model's interval length, and projects it through the
+ * frozen normalize→PCA→rescale chain onto the frozen cluster centers. No
+ * PCA or k-means runs.
  *
  * Usage:
- *   phase_query --model <path> <suite/name> [--intervals N]
- *   phase_query --model <path> --all         one summary line per catalog
- *                                            benchmark
- *   phase_query --model <path> --fig4        training coverage/uniqueness
- *                                            (Figures 4/6) from the model
- *                                            alone
- *   phase_query --demo                       self-contained: train a tiny
- *                                            model, save, reload, query
+ *   phase_query --model <path> [--copy|--mmap] <suite/name> [--intervals N]
+ *   phase_query --model <path> --all          one summary line per catalog
+ *                                             benchmark
+ *   phase_query --model <path> --fig4         training coverage/uniqueness
+ *                                             (Figures 4/6) from the model
+ *                                             alone
+ *   phase_query --demo                        self-contained: train a tiny
+ *                                             model, save, reload, query
  */
 
 #include <charconv>
@@ -28,7 +30,8 @@
 #include "core/characterize.hh"
 #include "core/model_export.hh"
 #include "core/pipeline.hh"
-#include "model/phase_model.hh"
+#include "model/reader.hh"
+#include "model_cli.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -37,16 +40,17 @@ using namespace mica;
 
 /** Characterize + project one benchmark; returns its assessment. */
 model::WorkloadAssessment
-placeBenchmark(const model::PhaseModel &m,
+placeBenchmark(const model::ModelReader &m,
                const workloads::BenchmarkSpec &bench,
                std::uint32_t num_intervals, bool verbose)
 {
+    const model::PhaseModel &meta = m.meta();
     const auto vectors = core::characterizeProgram(
-        bench.build(0), m.interval_instructions, num_intervals);
+        bench.build(0), meta.interval_instructions, num_intervals);
     stats::Matrix data(0, 0);
     for (const auto &v : vectors)
         data.appendRow(v);
-    const model::Projection proj = m.projectBenchmark(data);
+    const model::Projection proj = m.placeBatch(data);
     const model::WorkloadAssessment a = m.assessWorkload(proj);
 
     if (verbose) {
@@ -65,17 +69,18 @@ placeBenchmark(const model::PhaseModel &m,
                 c, rows_in_cluster[c],
                 100.0 * static_cast<double>(rows_in_cluster[c]) /
                     static_cast<double>(proj.assignment.size()),
-                std::string(clusterKindName(m.cluster_kinds[c])).c_str(),
-                m.clusterWeight(c) * 100.0);
+                std::string(clusterKindName(meta.cluster_kinds[c]))
+                    .c_str(),
+                meta.clusterWeight(c) * 100.0);
         }
         std::printf("\ncoverage: %zu/%zu clusters (%.1f%%), %zu clusters "
                     "reach 90%% of the workload\n",
                     a.clusters_covered, m.numClusters(),
                     a.coverage_fraction * 100.0, a.clustersToCover(0.9));
-        for (std::size_t s = 0; s < m.suites.size(); ++s)
+        for (std::size_t s = 0; s < meta.suites.size(); ++s)
             if (a.exclusive_fraction[s] > 0.0)
                 std::printf("  behaves exclusively like %-18s %5.1f%%\n",
-                            m.suites[s].c_str(),
+                            meta.suites[s].c_str(),
                             a.exclusive_fraction[s] * 100.0);
         std::printf("  shared across training suites     %5.1f%%\n",
                     a.shared_fraction * 100.0);
@@ -88,7 +93,7 @@ placeBenchmark(const model::PhaseModel &m,
 }
 
 int
-runFig4(const model::PhaseModel &m)
+runFig4(const model::ModelReader &m)
 {
     const model::TrainingCoverage cov = m.trainingCoverage();
     std::printf("training coverage/uniqueness from the frozen model "
@@ -107,7 +112,7 @@ runFig4(const model::PhaseModel &m)
 }
 
 int
-runAll(const model::PhaseModel &m, std::uint32_t num_intervals)
+runAll(const model::ModelReader &m, std::uint32_t num_intervals)
 {
     const workloads::SuiteCatalog catalog;
     std::printf("%-26s %9s %9s %8s %8s %8s\n", "benchmark", "covered",
@@ -126,8 +131,9 @@ runAll(const model::PhaseModel &m, std::uint32_t num_intervals)
 
 /**
  * Self-contained smoke path (used by ctest): train a tiny model on a few
- * catalog benchmarks' worth of intervals, save, reload, and place a
- * benchmark — exercising the whole save/load/project chain end to end.
+ * catalog benchmarks' worth of intervals, save, reload through both
+ * loaders, and place a benchmark — exercising the whole
+ * save/open/project chain end to end.
  */
 int
 runDemo()
@@ -147,16 +153,17 @@ runDemo()
                 cfg.model_path.c_str());
     (void)core::runFullExperiment(cfg);
 
-    const model::PhaseModel m = model::PhaseModel::load(cfg.model_path);
+    const auto reader = model::open(cfg.model_path);
     const workloads::SuiteCatalog catalog;
     const auto *bench = catalog.find("SPECint2006/astar");
     if (bench == nullptr) {
         std::fprintf(stderr, "demo benchmark missing from catalog\n");
         return 1;
     }
-    std::printf("placing %s into the reloaded space:\n",
-                bench->id().c_str());
-    (void)placeBenchmark(m, *bench, 16, true);
+    std::printf("placing %s into the reloaded space (%s loader):\n",
+                bench->id().c_str(),
+                reader->zeroCopy() ? "zero-copy" : "copying");
+    (void)placeBenchmark(*reader, *bench, 16, true);
     return 0;
 }
 
@@ -165,10 +172,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: phase_query --model <path> <suite/name> [--intervals N]\n"
-        "       phase_query --model <path> --all [--intervals N]\n"
-        "       phase_query --model <path> --fig4\n"
-        "       phase_query --demo\n");
+        "usage: phase_query %s <suite/name> [--intervals N]\n"
+        "       phase_query %s --all [--intervals N]\n"
+        "       phase_query %s --fig4\n"
+        "       phase_query --demo\n",
+        examples::kModelFlagsUsage, examples::kModelFlagsUsage,
+        examples::kModelFlagsUsage);
     return 2;
 }
 
@@ -177,16 +186,16 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string model_path;
+    examples::ModelFlags flags;
     std::string target;
     std::uint32_t num_intervals = 40;
     bool all = false, fig4 = false, demo = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--model" && i + 1 < argc)
-            model_path = argv[++i];
-        else if (arg == "--intervals" && i + 1 < argc) {
+        if (examples::consumeModelFlag(flags, argc, argv, i))
+            continue;
+        if (arg == "--intervals" && i + 1 < argc) {
             const std::string_view s = argv[++i];
             const auto [end, ec] = std::from_chars(
                 s.data(), s.data() + s.size(), num_intervals);
@@ -206,22 +215,24 @@ main(int argc, char **argv)
     }
     if (demo)
         return runDemo();
-    if (model_path.empty() || (target.empty() && !all && !fig4))
+    if (flags.path.empty() || (target.empty() && !all && !fig4))
         return usage();
 
-    const model::PhaseModel m = model::PhaseModel::load(model_path);
+    const auto reader = examples::openModelOrExit("phase_query", flags);
+    const model::PhaseModel &meta = reader->meta();
     std::printf("model %s: %zu clusters, %zu PCs (%.1f%% variance), "
                 "trained on %zu benchmarks / %zu suites, analysis key "
-                "%016llx\n",
-                model_path.c_str(), m.numClusters(), m.components(),
-                m.pca_explained * 100.0, m.benchmark_ids.size(),
-                m.suites.size(),
-                static_cast<unsigned long long>(m.analysis_key));
+                "%016llx, %zu deltas\n",
+                flags.path.c_str(), reader->numClusters(),
+                reader->components(), meta.pca_explained * 100.0,
+                meta.benchmark_ids.size(), meta.suites.size(),
+                static_cast<unsigned long long>(meta.analysis_key),
+                meta.deltas.size());
 
     if (fig4)
-        return runFig4(m);
+        return runFig4(*reader);
     if (all)
-        return runAll(m, num_intervals);
+        return runAll(*reader, num_intervals);
 
     const workloads::SuiteCatalog catalog;
     const auto *bench = catalog.find(target);
@@ -233,7 +244,8 @@ main(int argc, char **argv)
     }
     std::printf("characterizing %s (%u x %llu-instruction intervals)...\n",
                 bench->id().c_str(), num_intervals,
-                static_cast<unsigned long long>(m.interval_instructions));
-    (void)placeBenchmark(m, *bench, num_intervals, true);
+                static_cast<unsigned long long>(
+                    meta.interval_instructions));
+    (void)placeBenchmark(*reader, *bench, num_intervals, true);
     return 0;
 }

@@ -7,46 +7,61 @@
  * loader keeps N serving processes sharing one page-cache copy of the
  * matrices).
  *
+ * The served model lives in a model::LiveModel slot and can be hot-swapped
+ * without dropping or mixing in-flight work: each wave of rows is placed
+ * against the generation-tagged snapshot that was current when the wave
+ * began, a swap only takes effect at the next wave boundary, and every
+ * reply carries the generation that produced it (docs/SERVING.md).
+ *
  * Line protocol (stdin → stdout, one JSON object per answered line):
  *   p comma-separated doubles            CSV row: one interval vector
  *   {"values":[...]; optional "id":"x"}  same, NDJSON flavour
  *   #assess                              coverage summary over all rows
- *                                        served so far (Figures 4-6
- *                                        analogue for the live stream)
+ *                                        served so far on the current
+ *                                        generation (Figures 4-6 analogue
+ *                                        for the live stream)
+ *   #reload                              finish the in-flight wave on the
+ *                                        old generation, then reopen the
+ *                                        model file and swap
  *   empty line                           ignored
+ * SIGHUP requests the same reload out-of-band (checked between lines; a
+ * failed reload keeps the old generation serving either way).
  * Every non-empty line gets exactly one reply, in input order:
- *   {"seq":N,"cluster":C,"dist2":D}         placed row
- *   {"seq":N,"error":"..."}                 malformed input (serving
- *                                           continues)
- *   {"seq":N,"assessment":{...}}            #assess reply
+ *   {"seq":N,"gen":G,"cluster":C,"dist2":D}   placed row
+ *   {"seq":N,"gen":G,"error":"..."}           malformed input (serving
+ *                                             continues)
+ *   {"seq":N,"gen":G,"assessment":{...}}      #assess reply
+ *   {"seq":N,"gen":G,"reloaded":true}         #reload reply (G = new)
  *
  * Usage:
- *   phase_serve --model <path> [--copy] [--batch N] [--threads N]
+ *   phase_serve --model <path> [--copy|--mmap] [--batch N] [--threads N]
  *               [--trace out.json]          serve stdin until EOF
  *   phase_serve --model <path> --gen N [--seed S]
  *               deterministically synthesize N CSV rows near the model's
  *               training distribution (for piping into a server)
  *   phase_serve --demo                      self-contained: train a tiny
  *                                           model, re-save aligned, serve
- *                                           a generated stream through the
- *                                           mmap view, and cross-check the
- *                                           two load paths bitwise
+ *                                           a generated stream with a
+ *                                           mid-stream hot reload, and
+ *                                           cross-check the two load
+ *                                           paths bitwise
  */
 
 #include <charconv>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/pipeline.hh"
-#include "model/model_view.hh"
-#include "model/phase_model.hh"
+#include "model/live_model.hh"
+#include "model/reader.hh"
+#include "model_cli.hh"
 #include "obs/trace.hh"
 #include "stats/rng.hh"
 
@@ -54,59 +69,14 @@ namespace {
 
 using namespace mica;
 
-/** One serving handle: a copy-loaded model or an mmap'd zero-copy view. */
-class Server
+/** Set by SIGHUP; the serving loop checks it between lines. */
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void
+onReloadSignal(int)
 {
-  public:
-    static Server
-    copyLoad(const std::string &path)
-    {
-        Server s;
-        s.owned_ = model::PhaseModel::load(path);
-        return s;
-    }
-
-    static Server
-    viewOpen(const std::string &path)
-    {
-        Server s;
-        s.view_ = model::PhaseModelView::open(path);
-        return s;
-    }
-
-    [[nodiscard]] std::size_t
-    columns() const
-    {
-        return owned_ ? owned_->columns() : view_->columns();
-    }
-
-    [[nodiscard]] std::size_t
-    numClusters() const
-    {
-        return owned_ ? owned_->numClusters() : view_->numClusters();
-    }
-
-    [[nodiscard]] bool zeroCopy() const { return view_ && view_->zeroCopy(); }
-
-    [[nodiscard]] model::Projection
-    place(const stats::Matrix &rows,
-          const stats::ProjectOptions &opts) const
-    {
-        return owned_ ? owned_->placeBatch(rows, opts)
-                      : view_->placeBatch(rows, opts);
-    }
-
-    [[nodiscard]] model::WorkloadAssessment
-    assess(const model::Projection &projection) const
-    {
-        return owned_ ? owned_->assessWorkload(projection)
-                      : view_->assessWorkload(projection);
-    }
-
-  private:
-    std::optional<model::PhaseModel> owned_;
-    std::optional<model::PhaseModelView> view_;
-};
+    g_reload_requested = 1;
+}
 
 struct ServeOptions
 {
@@ -116,9 +86,10 @@ struct ServeOptions
 
 struct ServeTotals
 {
-    std::uint64_t requests = 0; ///< answered lines (rows + errors + assess)
+    std::uint64_t requests = 0; ///< answered lines (rows/errors/directives)
     std::uint64_t rows = 0;     ///< successfully placed rows
     std::uint64_t errors = 0;   ///< malformed lines
+    std::uint64_t reloads = 0;  ///< successful hot-swaps
 };
 
 /** Escape a string for embedding in a JSON string literal. */
@@ -232,15 +203,16 @@ parseJsonRow(std::string_view line, std::size_t want,
 }
 
 void
-printAssessment(FILE *out, std::uint64_t seq,
+printAssessment(FILE *out, std::uint64_t seq, std::uint64_t gen,
                 const model::WorkloadAssessment &a)
 {
     std::fprintf(out,
-                 "{\"seq\":%" PRIu64 ",\"assessment\":{\"rows\":%zu,"
+                 "{\"seq\":%" PRIu64 ",\"gen\":%" PRIu64
+                 ",\"assessment\":{\"rows\":%zu,"
                  "\"clusters_covered\":%zu,\"coverage_fraction\":%.17g,"
                  "\"shared_fraction\":%.17g,\"novel_fraction\":%.17g,"
                  "\"mean_distance\":%.17g,\"max_distance\":%.17g}}\n",
-                 seq, a.rows, a.clusters_covered, a.coverage_fraction,
+                 seq, gen, a.rows, a.clusters_covered, a.coverage_fraction,
                  a.shared_fraction, a.novel_fraction, a.mean_distance,
                  a.max_distance);
 }
@@ -248,11 +220,14 @@ printAssessment(FILE *out, std::uint64_t seq,
 /**
  * The serving loop: accumulate up to opts.batch rows, place each wave
  * with one placeBatch call (the kernel fans rows out over the shared
- * thread pool), and answer every line in input order.
+ * thread pool), and answer every line in input order. Each wave runs
+ * entirely against the generation snapshot pinned when the previous wave
+ * flushed; `#reload` / SIGHUP swap the live slot only at wave boundaries,
+ * so no reply ever mixes generations.
  */
 ServeTotals
-serveLoop(const Server &server, std::istream &in, FILE *out,
-          const ServeOptions &opts)
+serveLoop(model::LiveModel &live, const examples::ModelFlags &flags,
+          std::istream &in, FILE *out, const ServeOptions &opts)
 {
     struct Entry
     {
@@ -264,11 +239,18 @@ serveLoop(const Server &server, std::istream &in, FILE *out,
     };
 
     ServeTotals totals;
-    const std::size_t p = server.columns();
     std::uint64_t seq = 0;
 
-    // Accumulated placements feed #assess over everything served so far.
+    // The pinned snapshot: everything in the current wave — parsing
+    // width, placement, replies — consults this one generation.
+    model::LiveModel::Snapshot snap = live.current();
+    std::size_t p = snap.reader->columns();
+
+    // Accumulated placements feed #assess over everything served so far
+    // on the current generation (distances against different centers are
+    // not comparable, so a swap resets the accumulator).
     model::Projection served;
+    std::uint64_t served_gen = snap.generation;
 
     stats::Matrix wave(0, 0);
     std::vector<Entry> entries;
@@ -283,7 +265,7 @@ serveLoop(const Server &server, std::istream &in, FILE *out,
             const obs::GaugeTimer timer("serve.batch_seconds");
             obs::gauge("serve.batch_rows",
                        static_cast<double>(wave.rows()));
-            proj = server.place(wave, popts);
+            proj = snap.reader->placeBatch(wave, popts);
             obs::count("serve.rows_projected",
                        static_cast<double>(wave.rows()));
             served.assignment.insert(served.assignment.end(),
@@ -297,7 +279,8 @@ serveLoop(const Server &server, std::istream &in, FILE *out,
         for (const Entry &e : entries) {
             switch (e.kind) {
               case Entry::Kind::Row:
-                std::fprintf(out, "{\"seq\":%" PRIu64 ",", e.seq);
+                std::fprintf(out, "{\"seq\":%" PRIu64 ",\"gen\":%" PRIu64
+                             ",", e.seq, snap.generation);
                 if (!e.id.empty())
                     std::fprintf(out, "\"id\":\"%s\",",
                                  jsonEscape(e.id).c_str());
@@ -306,24 +289,62 @@ serveLoop(const Server &server, std::istream &in, FILE *out,
                 ++totals.rows;
                 break;
               case Entry::Kind::Error:
-                std::fprintf(out, "{\"seq\":%" PRIu64 ",\"error\":\"%s\"}\n",
-                             e.seq, jsonEscape(e.error).c_str());
+                std::fprintf(out, "{\"seq\":%" PRIu64 ",\"gen\":%" PRIu64
+                             ",\"error\":\"%s\"}\n",
+                             e.seq, snap.generation,
+                             jsonEscape(e.error).c_str());
                 ++totals.errors;
                 break;
               case Entry::Kind::Assess:
-                printAssessment(out, e.seq, server.assess(served));
+                printAssessment(out, e.seq, snap.generation,
+                                snap.reader->assessWorkload(served));
                 break;
             }
         }
         wave = stats::Matrix(0, 0);
         entries.clear();
         std::fflush(out);
+        // Wave boundary: pick up the latest published generation. The
+        // wave just answered completed entirely on the old snapshot.
+        snap = live.current();
+        p = snap.reader->columns();
+        if (snap.generation != served_gen) {
+            served = model::Projection{};
+            served_gen = snap.generation;
+        }
+    };
+
+    // Drain the in-flight wave on the old generation, then reopen the
+    // model file and swap. Returns "" on success; on failure the old
+    // generation stays current and serving continues.
+    auto reload = [&]() -> std::string {
+        flush();
+        try {
+            live.load(flags.path, flags.open);
+        } catch (const model::ModelError &e) {
+            return e.what();
+        }
+        ++totals.reloads;
+        flush(); // empty wave: just repins the new generation
+        return "";
     };
 
     std::string line;
     std::vector<double> values;
     std::string id;
     while (std::getline(in, line)) {
+        if (g_reload_requested) {
+            g_reload_requested = 0;
+            const std::string err = reload();
+            if (err.empty())
+                std::fprintf(stderr,
+                             "phase_serve: SIGHUP reload -> generation %"
+                             PRIu64 "\n", snap.generation);
+            else
+                std::fprintf(stderr,
+                             "phase_serve: SIGHUP reload failed: %s\n",
+                             err.c_str());
+        }
         std::string_view sv = line;
         if (!sv.empty() && sv.back() == '\r')
             sv.remove_suffix(1);
@@ -332,6 +353,20 @@ serveLoop(const Server &server, std::istream &in, FILE *out,
         ++seq;
         ++totals.requests;
         obs::count("serve.requests");
+
+        if (sv.rfind("#reload", 0) == 0) {
+            const std::string err = reload();
+            if (err.empty())
+                std::fprintf(out, "{\"seq\":%" PRIu64 ",\"gen\":%" PRIu64
+                             ",\"reloaded\":true}\n", seq,
+                             snap.generation);
+            else
+                std::fprintf(out, "{\"seq\":%" PRIu64 ",\"gen\":%" PRIu64
+                             ",\"error\":\"reload failed: %s\"}\n", seq,
+                             snap.generation, jsonEscape(err).c_str());
+            std::fflush(out);
+            continue;
+        }
 
         if (sv.rfind("#assess", 0) == 0) {
             Entry e;
@@ -402,20 +437,21 @@ generateRows(const model::PhaseModel &m, stats::MatrixView prominent_raw,
 }
 
 int
-runGen(const std::string &model_path, std::size_t n, std::uint64_t seed)
+runGen(const examples::ModelFlags &flags, std::size_t n,
+       std::uint64_t seed)
 {
-    const model::PhaseModel m = model::PhaseModel::load(model_path);
+    const auto reader = examples::openModelOrExit("phase_serve", flags);
     const std::string rows =
-        generateRows(m, m.prominent_raw.view(), n, seed);
+        generateRows(reader->meta(), reader->prominentRaw(), n, seed);
     std::fwrite(rows.data(), 1, rows.size(), stdout);
     return 0;
 }
 
 /**
  * Self-contained smoke path (used by ctest): train a tiny model, re-save
- * it with aligned sections, serve a generated stream through the mmap
- * view, and require the copy and mmap load paths to place every row
- * bit-identically.
+ * it with aligned sections, serve a generated stream with a mid-stream
+ * `#reload` hot-swap, and require the copy and mmap load paths to place
+ * every row bit-identically.
  */
 int
 runDemo()
@@ -441,20 +477,37 @@ runDemo()
     save_opts.align_sections = true;
     m.save(aligned_path, save_opts);
 
-    const Server server = Server::viewOpen(aligned_path);
-    std::fprintf(stderr, "serving via mmap view (zero-copy: %s)\n",
-                 server.zeroCopy() ? "yes" : "no");
+    examples::ModelFlags flags;
+    flags.path = aligned_path;
+    flags.open.mode = model::OpenMode::Mmap;
 
-    std::string input = generateRows(m, m.prominent_raw.view(), 256, 42);
+    model::LiveModel live;
+    live.load(flags.path, flags.open); // generation 1
+    const model::LiveModel::Snapshot first = live.current();
+    std::fprintf(stderr,
+                 "serving generation %" PRIu64 " via mmap view "
+                 "(zero-copy: %s)\n", first.generation,
+                 first.reader->zeroCopy() ? "yes" : "no");
+
+    // 128 rows on generation 1, a hot reload, 128 more on generation 2.
+    std::string input = generateRows(m, m.prominent_raw.view(), 128, 42);
+    input += "#assess\n";
+    input += "#reload\n";
+    input += generateRows(m, m.prominent_raw.view(), 128, 43);
     input += "#assess\n";
     std::istringstream in(input);
     ServeOptions opts;
     opts.batch = 64;
     opts.threads = 2;
-    const ServeTotals totals = serveLoop(server, in, stdout, opts);
-    if (totals.rows != 256 || totals.errors != 0) {
-        std::fprintf(stderr, "demo: expected 256 clean rows, served %" PRIu64
-                     " (%" PRIu64 " errors)\n", totals.rows, totals.errors);
+    const ServeTotals totals = serveLoop(live, flags, in, stdout, opts);
+    if (totals.rows != 256 || totals.errors != 0 || totals.reloads != 1 ||
+        live.generation() != 2) {
+        std::fprintf(stderr,
+                     "demo: expected 256 clean rows + 1 reload, served %"
+                     PRIu64 " (%" PRIu64 " errors, %" PRIu64
+                     " reloads, generation %" PRIu64 ")\n",
+                     totals.rows, totals.errors, totals.reloads,
+                     live.generation());
         return 1;
     }
 
@@ -470,12 +523,15 @@ runDemo()
             return 1;
         rows.appendRow(values);
     }
-    const model::Projection via_copy = m.placeBatch(rows);
-    const Server view_server = Server::viewOpen(aligned_path);
+    const auto copy_reader =
+        model::open(aligned_path, {model::OpenMode::Copy});
+    const model::Projection via_copy = copy_reader->placeBatch(rows);
+    const auto view_reader =
+        model::open(aligned_path, {model::OpenMode::Mmap});
     stats::ProjectOptions popts;
     popts.threads = 3;
     popts.block_rows = 17;
-    const model::Projection via_view = view_server.place(rows, popts);
+    const model::Projection via_view = view_reader->placeBatch(rows, popts);
     const bool identical =
         via_copy.assignment == via_view.assignment &&
         std::memcmp(via_copy.reduced.data().data(),
@@ -489,8 +545,8 @@ runDemo()
         return 1;
     }
     std::fprintf(stderr,
-                 "demo: 256 rows served; copy and mmap load paths "
-                 "bit-identical\n");
+                 "demo: 256 rows served across 2 generations; copy and "
+                 "mmap load paths bit-identical\n");
     return 0;
 }
 
@@ -499,10 +555,11 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: phase_serve --model <path> [--copy] [--batch N]\n"
+        "usage: phase_serve --model <path> [--copy|--mmap] [--batch N]\n"
         "                   [--threads N] [--trace out.json]\n"
         "       phase_serve --model <path> --gen N [--seed S]\n"
-        "       phase_serve --demo\n");
+        "       phase_serve --demo\n"
+        "directives: #assess (coverage), #reload (hot-swap; also SIGHUP)\n");
     return 2;
 }
 
@@ -511,10 +568,9 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string model_path;
+    examples::ModelFlags flags;
     std::string trace_path;
     ServeOptions opts;
-    bool use_copy = false;
     bool demo = false;
     std::size_t gen = 0;
     std::uint64_t seed = 1;
@@ -529,9 +585,9 @@ main(int argc, char **argv)
                 std::from_chars(s.data(), s.data() + s.size(), out);
             return ec == std::errc{} && end == s.data() + s.size();
         };
-        if (arg == "--model" && i + 1 < argc)
-            model_path = argv[++i];
-        else if (arg == "--trace" && i + 1 < argc)
+        if (examples::consumeModelFlag(flags, argc, argv, i))
+            continue;
+        if (arg == "--trace" && i + 1 < argc)
             trace_path = argv[++i];
         else if (arg == "--batch") {
             if (!numArg(opts.batch) || opts.batch == 0)
@@ -545,11 +601,7 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             if (!numArg(seed))
                 return usage();
-        } else if (arg == "--copy")
-            use_copy = true;
-        else if (arg == "--mmap")
-            use_copy = false;
-        else if (arg == "--demo")
+        } else if (arg == "--demo")
             demo = true;
         else
             return usage();
@@ -557,25 +609,37 @@ main(int argc, char **argv)
 
     if (demo)
         return runDemo();
-    if (model_path.empty())
+    if (flags.path.empty())
         return usage();
     if (gen > 0)
-        return runGen(model_path, gen, seed);
+        return runGen(flags, gen, seed);
 
     const obs::TraceScope trace(trace_path);
-    const Server server = use_copy ? Server::copyLoad(model_path)
-                                   : Server::viewOpen(model_path);
+    std::signal(SIGHUP, onReloadSignal);
+
+    model::LiveModel live;
+    // Route the first open through the shared helper so a missing/corrupt
+    // model fails with the same text as every other CLI.
+    live.publish(std::shared_ptr<const model::ModelReader>(
+        examples::openModelOrExit("phase_serve", flags)));
+    const model::LiveModel::Snapshot snap = live.current();
     std::fprintf(stderr,
                  "phase_serve: model %s (%zu columns, %zu clusters, "
-                 "load path %s%s), batch %zu\n",
-                 model_path.c_str(), server.columns(),
-                 server.numClusters(), use_copy ? "copy" : "mmap",
-                 server.zeroCopy() ? ", zero-copy" : "", opts.batch);
+                 "load path %s%s), batch %zu, generation %" PRIu64 "\n",
+                 flags.path.c_str(), snap.reader->columns(),
+                 snap.reader->numClusters(),
+                 flags.open.mode == model::OpenMode::Copy ? "copy"
+                                                          : "mmap",
+                 snap.reader->zeroCopy() ? ", zero-copy" : "", opts.batch,
+                 snap.generation);
 
-    const ServeTotals totals = serveLoop(server, std::cin, stdout, opts);
+    const ServeTotals totals =
+        serveLoop(live, flags, std::cin, stdout, opts);
     std::fprintf(stderr,
                  "phase_serve: answered %" PRIu64 " requests (%" PRIu64
-                 " rows placed, %" PRIu64 " malformed)\n",
-                 totals.requests, totals.rows, totals.errors);
+                 " rows placed, %" PRIu64 " malformed, %" PRIu64
+                 " reloads)\n",
+                 totals.requests, totals.rows, totals.errors,
+                 totals.reloads);
     return 0;
 }

@@ -20,6 +20,9 @@
  *   quickstart --model out/phase_model.bin         place the toy program
  *                                                  into the frozen space
  *                                                  (no PCA/k-means rerun)
+ *
+ * Both model-consuming forms accept the shared --copy/--mmap loader
+ * flags (model_cli.hh); results are bit-identical on either loader.
  */
 
 #include <cmath>
@@ -32,7 +35,8 @@
 #include "core/pipeline.hh"
 #include "mica/metrics.hh"
 #include "mica/profiler.hh"
-#include "model/phase_model.hh"
+#include "model/reader.hh"
+#include "model_cli.hh"
 #include "obs/trace.hh"
 #include "vm/cpu.hh"
 
@@ -154,11 +158,12 @@ runSaveModel(const std::string &path)
  * bit-identical to the in-memory analysis. Exit 1 on any deviation.
  */
 int
-runCheckModel(const std::string &path)
+runCheckModel(const mica::examples::ModelFlags &flags)
 {
     using namespace mica;
 
-    const model::PhaseModel m = model::PhaseModel::load(path);
+    const auto reader = examples::openModelOrExit("quickstart", flags);
+    const model::PhaseModel &m = reader->meta();
     const core::ExperimentConfig cfg = miniConfig();
     if (m.analysis_key != cfg.analysisKey()) {
         std::fprintf(stderr,
@@ -170,7 +175,7 @@ runCheckModel(const std::string &path)
     }
 
     const auto out = core::runFullExperiment(cfg);
-    const model::Projection proj = m.projectBenchmark(out.sampled.data);
+    const model::Projection proj = reader->placeBatch(out.sampled.data);
 
     const auto &want = out.analysis.reduced;
     const bool reduced_ok =
@@ -189,8 +194,10 @@ runCheckModel(const std::string &path)
         return 1;
     }
     std::printf("model check: bitwise identical (%zu rows x %zu PCs, "
-                "%zu clusters)\n",
-                proj.reduced.rows(), proj.reduced.cols(), m.numClusters());
+                "%zu clusters, %s loader)\n",
+                proj.reduced.rows(), proj.reduced.cols(),
+                reader->numClusters(),
+                reader->zeroCopy() ? "zero-copy" : "copying");
     return 0;
 }
 
@@ -199,14 +206,16 @@ runCheckModel(const std::string &path)
  * the model's interval length and project — no PCA or k-means runs.
  */
 int
-runWithModel(const std::string &path)
+runWithModel(const mica::examples::ModelFlags &flags)
 {
     using namespace mica;
 
-    const model::PhaseModel m = model::PhaseModel::load(path);
+    const auto reader = examples::openModelOrExit("quickstart", flags);
+    const model::PhaseModel &m = reader->meta();
     std::printf("loaded model: %zu clusters, %zu PCs, trained on %zu "
                 "benchmarks\n",
-                m.numClusters(), m.components(), m.benchmark_ids.size());
+                reader->numClusters(), reader->components(),
+                m.benchmark_ids.size());
 
     const isa::Program program =
         assembler::assemble(kToySource, "quickstart");
@@ -217,7 +226,7 @@ runWithModel(const std::string &path)
     stats::Matrix data(0, 0);
     for (const auto &v : profiler.intervals())
         data.appendRow(v);
-    const model::Projection proj = m.projectBenchmark(data);
+    const model::Projection proj = reader->placeBatch(data);
     for (std::size_t i = 0; i < proj.assignment.size(); ++i) {
         const std::size_t c = proj.assignment[i];
         std::printf("interval %zu -> cluster %zu (%s, weight %.1f%%, "
@@ -227,11 +236,11 @@ runWithModel(const std::string &path)
                     m.clusterWeight(c) * 100.0, std::sqrt(proj.dist2[i]));
     }
 
-    const model::WorkloadAssessment a = m.assessWorkload(proj);
+    const model::WorkloadAssessment a = reader->assessWorkload(proj);
     std::printf("\ntoy program vs frozen space: %zu/%zu clusters covered, "
                 "%.0f%% shared behaviour, %.0f%% novel, mean distance "
                 "%.3f\n",
-                a.clusters_covered, m.numClusters(),
+                a.clusters_covered, reader->numClusters(),
                 a.shared_fraction * 100.0, a.novel_fraction * 100.0,
                 a.mean_distance);
     return 0;
@@ -248,10 +257,22 @@ main(int argc, char **argv)
         return runTraced(argv[2]);
     if (argc == 3 && std::string(argv[1]) == "--save-model")
         return runSaveModel(argv[2]);
-    if (argc == 3 && std::string(argv[1]) == "--check-model")
-        return runCheckModel(argv[2]);
-    if (argc == 3 && std::string(argv[1]) == "--model")
-        return runWithModel(argv[2]);
+    if (argc >= 3 && (std::string(argv[1]) == "--check-model" ||
+                      std::string(argv[1]) == "--model")) {
+        examples::ModelFlags flags;
+        flags.path = argv[2];
+        for (int i = 3; i < argc; ++i) {
+            if (!examples::consumeModelFlag(flags, argc, argv, i)) {
+                std::fprintf(stderr,
+                             "usage: quickstart %s <path> [--copy|--mmap]\n",
+                             argv[1]);
+                return 2;
+            }
+        }
+        return std::string(argv[1]) == "--check-model"
+                   ? runCheckModel(flags)
+                   : runWithModel(flags);
+    }
 
     // 1. Assemble the toy two-phase workload.
     const isa::Program program =

@@ -45,6 +45,13 @@ enum SectionId : std::uint32_t
     kSecClusters = 5,
     kSecProminent = 6,
     kSecGa = 7,
+    /**
+     * One incremental-update record (ModelDelta). Unlike ids 1-7 it is
+     * optional and may repeat (one section per delta, file order =
+     * history order); a file carrying any kSecDelta section is stamped
+     * format version 2 so pre-delta readers fail loudly.
+     */
+    kSecDelta = 8,
 };
 
 inline constexpr std::array<std::uint32_t, 7> kRequiredSections = {
@@ -53,6 +60,18 @@ inline constexpr std::array<std::uint32_t, 7> kRequiredSections = {
 
 inline constexpr std::size_t kHeaderSize = 8 + 4 + 4; ///< magic+version+count
 inline constexpr std::size_t kTableEntrySize = 4 + 4 + 8 + 8 + 4 + 4;
+
+/**
+ * The one 8-byte padding rule of the format: SaveOptions{align_sections}
+ * and every appended delta section round payload offsets up with this
+ * helper, so the aligned layout cannot drift between the initial save and
+ * later delta appends.
+ */
+[[nodiscard]] inline constexpr std::uint64_t
+alignUp(std::uint64_t offset)
+{
+    return (offset + 7) & ~std::uint64_t{7};
+}
 
 /** CRC32 (poly 0xEDB88320, the zlib polynomial) over a byte range. */
 inline std::uint32_t
@@ -389,13 +408,69 @@ findSection(const std::vector<SectionEntry> &table, std::uint32_t id,
 }
 
 /**
+ * Serialize one ModelDelta as a kSecDelta payload. Shared with readDelta
+ * below — the two functions are the single source of truth for the delta
+ * field order, so the writer and both loaders cannot drift apart.
+ */
+inline void
+writeDelta(ByteWriter &w, const ModelDelta &d)
+{
+    w.u32(d.sequence);
+    w.u64(d.base_analysis_key);
+    w.u64(d.ingested_rows);
+    w.u64(d.accepted_rows);
+    w.u64(d.deduped_rows);
+    w.f64(d.dedup_threshold);
+    w.u64Vec(d.assign_counts);
+    w.f64Vec(d.mean_distance);
+    w.f64Vec(d.max_distance);
+    w.f64(d.total_variation);
+    w.f64(d.global_mean_distance);
+    w.f64(d.global_max_distance);
+    w.u8(d.refined ? 1 : 0);
+    w.matrix(d.refined_centers);
+    w.f64Vec(d.center_drift);
+    w.f64(d.max_center_drift);
+    w.f64(d.drift_threshold);
+    w.u8(d.retrain_recommended ? 1 : 0);
+}
+
+/** Parse one kSecDelta payload (the exact inverse of writeDelta). */
+[[nodiscard]] inline ModelDelta
+readDelta(ByteReader &r)
+{
+    ModelDelta d;
+    d.sequence = r.u32();
+    d.base_analysis_key = r.u64();
+    d.ingested_rows = r.u64();
+    d.accepted_rows = r.u64();
+    d.deduped_rows = r.u64();
+    d.dedup_threshold = r.f64();
+    d.assign_counts = r.u64Vec();
+    d.mean_distance = r.f64Vec();
+    d.max_distance = r.f64Vec();
+    d.total_variation = r.f64();
+    d.global_mean_distance = r.f64();
+    d.global_max_distance = r.f64();
+    d.refined = r.u8() != 0;
+    d.refined_centers = r.matrix();
+    d.center_drift = r.f64Vec();
+    d.max_center_drift = r.f64();
+    d.drift_threshold = r.f64();
+    d.retrain_recommended = r.u8() != 0;
+    return d;
+}
+
+/**
  * Validate everything structural about a model file before any payload is
  * parsed: magic, version gate, section-table bounds, and — for every
  * required section — presence, uniqueness, in-file bounds, CRC32, and
  * mutual non-overlap (sections may not alias each other, the header, or
  * the section table; unknown section ids are ignored for forward
- * compatibility). Returns the decoded table. Throws ModelError prefixed
- * with `source` on any violation.
+ * compatibility). Delta sections (kSecDelta), though optional and
+ * repeatable, get the same bounds/CRC/overlap treatment, since they will
+ * be parsed. Returns the decoded table. Throws ModelError prefixed with
+ * `source` on any violation.
  */
 inline std::vector<SectionEntry>
 readAndCheckTable(const std::uint8_t *data, std::size_t size,
@@ -441,22 +516,29 @@ readAndCheckTable(const std::uint8_t *data, std::size_t size,
     };
     std::vector<Range> ranges;
     const std::uint64_t table_end = kHeaderSize + table_bytes;
-    for (std::uint32_t id : kRequiredSections) {
-        const SectionEntry &e = findSection(table, id, source);
+    auto checkSection = [&](const SectionEntry &e) {
         if (e.offset > size || e.size > size - e.offset)
-            throw ModelError(source + ": section " + std::to_string(id) +
+            throw ModelError(source + ": section " + std::to_string(e.id) +
                              " out of bounds");
         if (crc32(data + e.offset, static_cast<std::size_t>(e.size)) !=
             e.crc)
-            throw ModelError(source + ": section " + std::to_string(id) +
+            throw ModelError(source + ": section " + std::to_string(e.id) +
                              " checksum mismatch");
         if (e.size == 0)
-            continue;
+            return;
         if (e.offset < table_end)
-            throw ModelError(source + ": section " + std::to_string(id) +
+            throw ModelError(source + ": section " + std::to_string(e.id) +
                              " overlaps the header or section table");
         ranges.push_back({e.offset, e.offset + e.size, e.id});
-    }
+    };
+    for (std::uint32_t id : kRequiredSections)
+        checkSection(findSection(table, id, source));
+    // Delta sections are optional and may repeat, but every one present
+    // will be parsed, so each gets the identical bounds/CRC/overlap
+    // treatment (unknown ids other than kSecDelta stay ignored).
+    for (const SectionEntry &e : table)
+        if (e.id == kSecDelta)
+            checkSection(e);
 
     // Overlap rejection: two sections sharing bytes would let one payload
     // silently rewrite another's meaning (both CRCs can still verify), so
@@ -572,6 +654,18 @@ parseModel(PhaseModel &model, const std::uint8_t *base,
         for (std::size_t i = 0; i < count; ++i)
             model.key_characteristics.push_back(r.u32());
         model.ga_fitness = r.f64();
+        r.finish();
+    }
+    // Delta sections, in table order (= history order for files this
+    // library wrote). Both loaders run this identical decode, so a
+    // malformed delta is rejected the same way on every path; sequence
+    // monotonicity and shape coherence are enforced by validate().
+    for (const SectionEntry &e : table) {
+        if (e.id != kSecDelta)
+            continue;
+        ByteReader r(base + e.offset, static_cast<std::size_t>(e.size),
+                     "DELTA");
+        model.deltas.push_back(readDelta(r));
         r.finish();
     }
 }

@@ -1,0 +1,46 @@
+#include "model/live_model.hh"
+
+#include <utility>
+
+#include "obs/trace.hh"
+
+namespace mica::model {
+
+std::uint64_t
+LiveModel::load(const std::string &path, const OpenOptions &opts)
+{
+    // The slow part (open + validate) runs unlocked: serving threads keep
+    // taking snapshots of the old generation until the new one is ready.
+    std::shared_ptr<const ModelReader> reader = open(path, opts);
+    return publish(std::move(reader));
+}
+
+std::uint64_t
+LiveModel::publish(std::shared_ptr<const ModelReader> reader)
+{
+    std::uint64_t generation = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        generation = ++snapshot_.generation;
+        snapshot_.reader = std::move(reader);
+    }
+    obs::count("model.hot_swap");
+    obs::gauge("model.generation", static_cast<double>(generation));
+    return generation;
+}
+
+LiveModel::Snapshot
+LiveModel::current() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_;
+}
+
+std::uint64_t
+LiveModel::generation() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_.generation;
+}
+
+} // namespace mica::model

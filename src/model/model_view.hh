@@ -51,6 +51,11 @@ class PhaseModelView
      * `model.view_bytes` (+ `model.view_zero_copy` when all matrices
      * alias). Throws ModelError on any I/O or format violation — the same
      * failures the copying loader reports.
+     *
+     * Note: new code should reach models through the unified access API —
+     * `model::open(path, {OpenMode::Mmap})` in model/reader.hh — which
+     * wraps this view behind model::ModelReader. open() stays as the
+     * implementation substrate and as a shim for existing callers.
      */
     [[nodiscard]] static PhaseModelView open(const std::string &path);
 

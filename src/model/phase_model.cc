@@ -93,6 +93,39 @@ validateModelShapes(const PhaseModel &model, stats::MatrixView loadings,
         total += s;
     require(total == model.training_rows,
             "cluster sizes do not sum to rows");
+
+    std::uint32_t last_sequence = 0;
+    for (const ModelDelta &d : model.deltas) {
+        require(d.sequence > last_sequence,
+                "delta sequence not strictly increasing");
+        last_sequence = d.sequence;
+        require(d.base_analysis_key == model.analysis_key,
+                "delta ingested against a different base model");
+        require(d.ingested_rows == d.accepted_rows + d.deduped_rows,
+                "delta row accounting does not add up");
+        require(d.assign_counts.size() == k,
+                "delta assign_counts size mismatch");
+        require(d.mean_distance.size() == k && d.max_distance.size() == k,
+                "delta distance gauge size mismatch");
+        std::uint64_t assigned = 0;
+        for (std::uint64_t n : d.assign_counts)
+            assigned += n;
+        require(assigned == d.ingested_rows,
+                "delta assign_counts do not sum to ingested rows");
+        if (d.refined) {
+            require(d.refined_centers.rows() == k &&
+                        d.refined_centers.cols() == m,
+                    "refined centers shape mismatch");
+            require(d.center_drift.size() == k,
+                    "center drift size mismatch");
+        } else {
+            require(d.refined_centers.rows() == 0 &&
+                        d.refined_centers.cols() == 0,
+                    "refined centers present without refinement");
+            require(d.center_drift.empty(),
+                    "center drift present without refinement");
+        }
+    }
 }
 
 void
@@ -183,17 +216,23 @@ PhaseModel::save(const std::string &path, const SaveOptions &opts) const
             w.u32(idx);
         w.f64(ga_fitness);
     }
+    for (const ModelDelta &d : deltas) {
+        ByteWriter &w =
+            sections.emplace_back(format::kSecDelta, ByteWriter{}).second;
+        format::writeDelta(w, d);
+    }
 
     // Assign offsets. The packed layout (default) byte-matches every file
     // this library ever wrote; the aligned layout pads each section start
-    // to 8 bytes so the zero-copy loader can alias f64 payloads in place.
+    // to 8 bytes (format::alignUp — the same rule appendDelta relies on)
+    // so the zero-copy loader can alias f64 payloads in place.
     std::vector<std::uint64_t> offsets;
     offsets.reserve(sections.size());
     std::uint64_t offset =
         format::kHeaderSize + sections.size() * format::kTableEntrySize;
     for (const auto &[id, payload] : sections) {
         if (opts.align_sections)
-            offset = (offset + 7) & ~std::uint64_t{7};
+            offset = format::alignUp(offset);
         offsets.push_back(offset);
         offset += payload.size();
     }
@@ -201,7 +240,11 @@ PhaseModel::save(const std::string &path, const SaveOptions &opts) const
     ByteWriter file;
     for (char c : format::kMagic)
         file.u8(static_cast<std::uint8_t>(c));
-    file.u32(kFormatVersion);
+    // Delta-free models keep the historical version-1 stamp (byte-locked
+    // by the golden fixture); any delta section promotes the file to
+    // version 2 so pre-delta readers reject it loudly instead of silently
+    // dropping the update history.
+    file.u32(deltas.empty() ? kBaseFormatVersion : kFormatVersion);
     file.u32(static_cast<std::uint32_t>(sections.size()));
     for (std::size_t i = 0; i < sections.size(); ++i) {
         const auto &[id, payload] = sections[i];

@@ -49,8 +49,18 @@ class ModelError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Serialized format version this build writes (and the newest it reads). */
-inline constexpr std::uint32_t kFormatVersion = 1;
+/**
+ * Newest serialized format version this build reads. Writers stamp the
+ * oldest version that can represent the model: a delta-free model is still
+ * written as version 1 (the historical layout, byte-locked by the golden
+ * fixture), while a model carrying ModelDelta sections is stamped version
+ * 2 so pre-delta readers fail loudly instead of silently dropping the
+ * update history.
+ */
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+/** Version stamped on files that carry no delta sections. */
+inline constexpr std::uint32_t kBaseFormatVersion = 1;
 
 /**
  * Cluster composition class, mirroring core::ClusterKind but owned here so
@@ -123,6 +133,50 @@ struct TrainingCoverage
     std::vector<double> uniqueness;    ///< Fig 6 per suite
 };
 
+/**
+ * One incremental-update record: the outcome of ingesting a batch of new
+ * intervals through the frozen space (see src/model/update.hh). Serialized
+ * as its own section kind (format::kSecDelta, one section per delta);
+ * a model carrying deltas is written as format version 2, which pre-delta
+ * readers reject loudly per the versioning policy.
+ *
+ * Assignment counts and the distance gauges cover every *offered* row —
+ * redundancy filtering only decides which rows feed the optional center
+ * refinement, never which rows are observed.
+ */
+struct ModelDelta
+{
+    std::uint32_t sequence = 0; ///< strictly increasing within one file
+    /** analysisKey() of the base model this delta was ingested against. */
+    std::uint64_t base_analysis_key = 0;
+
+    // --- ingest accounting (ingested == accepted + deduped).
+    std::uint64_t ingested_rows = 0; ///< rows offered to ingest
+    std::uint64_t accepted_rows = 0; ///< rows surviving redundancy filtering
+    std::uint64_t deduped_rows = 0;  ///< rows dropped as redundant
+    /** Euclidean dedup radius around the assigned center (<= 0: off). */
+    double dedup_threshold = 0.0;
+
+    // --- drift gauges over all offered rows, frozen placement.
+    std::vector<std::uint64_t> assign_counts; ///< per frozen cluster
+    std::vector<double> mean_distance; ///< per-cluster mean Euclidean d
+    std::vector<double> max_distance;  ///< per-cluster max Euclidean d
+    /** Total-variation distance between observed and training mixes. */
+    double total_variation = 0.0;
+    double global_mean_distance = 0.0;
+    double global_max_distance = 0.0;
+
+    // --- optional mini-batch refinement outcome (empty when refined is
+    //     false; the frozen centers are never touched either way).
+    bool refined = false;
+    stats::Matrix refined_centers;    ///< k x m when refined, else 0 x 0
+    std::vector<double> center_drift; ///< inflated Euclidean movement per
+                                      ///< center (Hamerly bound discipline)
+    double max_center_drift = 0.0;
+    double drift_threshold = 0.0; ///< movement that triggers the signal
+    bool retrain_recommended = false; ///< max_center_drift > drift_threshold
+};
+
 /** Knobs for PhaseModel::save. */
 struct SaveOptions
 {
@@ -185,6 +239,10 @@ struct PhaseModel
     std::vector<std::uint32_t> key_characteristics;
     double ga_fitness = 0.0;
 
+    // --- DELTA: incremental-update history, oldest first (empty for a
+    //     plain frozen model; see ModelDelta and src/model/update.hh).
+    std::vector<ModelDelta> deltas;
+
     /** Input dimensionality p (69 for the full characterization). */
     [[nodiscard]] std::size_t columns() const { return norm_mean.size(); }
 
@@ -226,6 +284,11 @@ struct PhaseModel
      * validate(). Emits `model.load` / `model.load_bytes`. Throws
      * ModelError with a specific message on any corruption; never returns
      * partial data.
+     *
+     * Note: new code should reach models through the unified access API —
+     * `model::open(path, {OpenMode::Copy})` in model/reader.hh — which
+     * wraps this loader behind model::ModelReader. load() stays as the
+     * implementation substrate and as a shim for existing callers.
      */
     [[nodiscard]] static PhaseModel load(const std::string &path);
 

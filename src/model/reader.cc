@@ -1,0 +1,146 @@
+#include "model/reader.hh"
+
+#include <utility>
+
+#include "obs/trace.hh"
+#include "stats/distance.hh"
+
+namespace mica::model {
+
+stats::ProjectionSpec
+ModelReader::projectionSpec() const
+{
+    const PhaseModel &m = meta();
+    stats::ProjectionSpec spec;
+    spec.normalize_input = m.normalize_input;
+    spec.mean = m.norm_mean;
+    spec.stddev = m.norm_stddev;
+    spec.loadings = loadings();
+    spec.rescale_sd = m.rescale_sd;
+    spec.centers = centers();
+    return spec;
+}
+
+Projection
+ModelReader::placeBatch(const stats::Matrix &rows,
+                        const stats::ProjectOptions &opts) const
+{
+    const obs::Span span("model.place_batch", "model");
+    const obs::GaugeTimer timer("model.batch_seconds");
+    if (rows.cols() != columns())
+        throw ModelError(
+            "ModelReader::placeBatch: input has " +
+            std::to_string(rows.cols()) + " columns, model expects " +
+            std::to_string(columns()));
+
+    stats::ProjectedRows projected =
+        stats::projectRows(projectionSpec(), rows.view(), opts);
+    Projection out;
+    out.reduced = std::move(projected.reduced);
+    out.assignment = std::move(projected.assignment);
+    out.dist2 = std::move(projected.dist2);
+    obs::count("model.rows_projected", static_cast<double>(rows.rows()));
+    return out;
+}
+
+IntervalPlacement
+ModelReader::projectInterval(std::span<const double> values) const
+{
+    stats::Matrix one(0, 0);
+    one.appendRow(values);
+    // One row through the batch kernel places it exactly like any row of
+    // a batch; the extra nearestCenter scan only adds the runner-up
+    // distance (the same exact kernel, so dist2 agrees bitwise).
+    const Projection projection = placeBatch(one);
+    IntervalPlacement out;
+    const auto row = projection.reduced.row(0);
+    out.reduced.assign(row.begin(), row.end());
+    const stats::NearestCenter nearest =
+        stats::nearestCenter(row, centers());
+    out.cluster = nearest.index;
+    out.dist2 = nearest.dist2;
+    out.second_dist2 = nearest.second_dist2;
+    return out;
+}
+
+namespace {
+
+/** Reader over an owned PhaseModel aggregate (the copying loader). */
+class CopyReader final : public ModelReader
+{
+  public:
+    explicit CopyReader(PhaseModel m) : model_(std::move(m)) {}
+
+    [[nodiscard]] const PhaseModel &meta() const override { return model_; }
+    [[nodiscard]] stats::MatrixView loadings() const override
+    {
+        return model_.loadings.view();
+    }
+    [[nodiscard]] stats::MatrixView centers() const override
+    {
+        return model_.centers.view();
+    }
+    [[nodiscard]] stats::MatrixView prominentRaw() const override
+    {
+        return model_.prominent_raw.view();
+    }
+    [[nodiscard]] bool zeroCopy() const override { return false; }
+
+  private:
+    PhaseModel model_;
+};
+
+/** Reader over the mmap-backed zero-copy view. */
+class ViewReader final : public ModelReader
+{
+  public:
+    explicit ViewReader(PhaseModelView view) : view_(std::move(view)) {}
+
+    [[nodiscard]] const PhaseModel &meta() const override
+    {
+        return view_.meta();
+    }
+    [[nodiscard]] stats::MatrixView loadings() const override
+    {
+        return view_.loadings();
+    }
+    [[nodiscard]] stats::MatrixView centers() const override
+    {
+        return view_.centers();
+    }
+    [[nodiscard]] stats::MatrixView prominentRaw() const override
+    {
+        return view_.prominentRaw();
+    }
+    [[nodiscard]] bool zeroCopy() const override
+    {
+        return view_.zeroCopy();
+    }
+
+  private:
+    PhaseModelView view_;
+};
+
+} // namespace
+
+std::unique_ptr<ModelReader>
+open(const std::string &path, const OpenOptions &opts)
+{
+    if (opts.mode == OpenMode::Copy)
+        return std::make_unique<CopyReader>(PhaseModel::load(path));
+    return std::make_unique<ViewReader>(PhaseModelView::open(path));
+}
+
+std::unique_ptr<ModelReader>
+makeReader(PhaseModel m)
+{
+    return std::make_unique<CopyReader>(std::move(m));
+}
+
+std::unique_ptr<ModelReader>
+makeReader(PhaseModelView view)
+{
+    return std::make_unique<ViewReader>(std::move(view));
+}
+
+} // namespace mica::model

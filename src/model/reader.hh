@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The unified model-access API: every consumer of a frozen phase model —
+ * CLIs, the serving frontend, the incremental updater, benches — talks to
+ * a `model::ModelReader` and never to the concrete loader types.
+ *
+ * Historically there were two ways to read a model, with two distinct
+ * spellings: `PhaseModel::load` (the copying loader) and
+ * `PhaseModelView::open` (the zero-copy mmap view). Both remain as the
+ * implementation substrate (and as thin documented shims for one release),
+ * but callers now go through `model::open(path, OpenOptions{...})`, which
+ * returns a reader backed by whichever loader the options pick. The two
+ * backends satisfy the exact same determinism contract — placement through
+ * either is bit-identical on every row at any thread count, block size and
+ * load path (see docs/MODEL.md) — so swapping one for the other can never
+ * change a result, only the load-time cost profile.
+ *
+ * The interface is deliberately small: the four virtual accessors expose
+ * exactly what distinguishes the backends (who owns the matrices), and
+ * everything else — placement, assessment, coverage — is non-virtual glue
+ * implemented once on top of them.
+ */
+
+#ifndef MICAPHASE_MODEL_READER_HH
+#define MICAPHASE_MODEL_READER_HH
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "model/model_view.hh"
+#include "model/phase_model.hh"
+#include "stats/matrix.hh"
+#include "stats/projection.hh"
+
+namespace mica::model {
+
+/** Placement of a single interval (shared with PhaseModel's query API). */
+using IntervalPlacement = PhaseModel::IntervalPlacement;
+
+/**
+ * Read-only handle over one loaded phase model (see file comment).
+ * Thread-safe for concurrent const use: placement only reads the frozen
+ * coefficients.
+ */
+class ModelReader
+{
+  public:
+    virtual ~ModelReader() = default;
+
+    ModelReader() = default;
+    ModelReader(const ModelReader &) = delete;
+    ModelReader &operator=(const ModelReader &) = delete;
+
+    /**
+     * Every non-matrix field of the model (provenance, catalog, norm
+     * stats, eigenvalues, cluster sizes/kinds, suite_rows, prominent
+     * list, GA outcome, deltas). The three matrix members may be empty
+     * depending on the backend — always go through loadings() /
+     * centers() / prominentRaw() instead.
+     */
+    [[nodiscard]] virtual const PhaseModel &meta() const = 0;
+
+    [[nodiscard]] virtual stats::MatrixView loadings() const = 0;
+    [[nodiscard]] virtual stats::MatrixView centers() const = 0;
+    [[nodiscard]] virtual stats::MatrixView prominentRaw() const = 0;
+
+    /** True when the backend aliases all matrices in the file bytes. */
+    [[nodiscard]] virtual bool zeroCopy() const = 0;
+
+    /** Input dimensionality p. */
+    [[nodiscard]] std::size_t columns() const { return meta().columns(); }
+
+    /** Retained PCA components m. */
+    [[nodiscard]] std::size_t components() const
+    {
+        return meta().components();
+    }
+
+    /** Cluster count k. */
+    [[nodiscard]] std::size_t numClusters() const
+    {
+        return centers().rows();
+    }
+
+    /** Frozen projection coefficients as non-owning views. */
+    [[nodiscard]] stats::ProjectionSpec projectionSpec() const;
+
+    /**
+     * Batched placement through the fused stats::projectRows kernel —
+     * bit-identical to PhaseModel::projectBenchmark (and to the live
+     * pipeline) at any thread count and block size, on either backend.
+     * Emits `model.place_batch` / `model.rows_projected` and the
+     * `model.batch_seconds` gauge.
+     */
+    [[nodiscard]] Projection
+    placeBatch(const stats::Matrix &rows,
+               const stats::ProjectOptions &opts = {}) const;
+
+    /**
+     * Project one p-element characteristic vector. Same arithmetic as a
+     * one-row placeBatch plus the runner-up distance — bit-identical to
+     * PhaseModel::projectInterval (asserted by tests).
+     */
+    [[nodiscard]] IntervalPlacement
+    projectInterval(std::span<const double> values) const;
+
+    /** Same arithmetic as PhaseModel::assessWorkload. */
+    [[nodiscard]] WorkloadAssessment
+    assessWorkload(const Projection &projection) const
+    {
+        return assessProjection(meta(), numClusters(), projection);
+    }
+
+    /** Same arithmetic as PhaseModel::trainingCoverage. */
+    [[nodiscard]] TrainingCoverage
+    trainingCoverage() const
+    {
+        return computeTrainingCoverage(meta(), numClusters());
+    }
+};
+
+/** Which loader backs a reader returned by model::open. */
+enum class OpenMode
+{
+    Copy, ///< PhaseModel::load: owned copies, no file-lifetime coupling
+    Mmap, ///< PhaseModelView::open: mmap + alias (read fallback inside)
+    Auto, ///< currently Mmap — the view degrades gracefully everywhere
+};
+
+/** Knobs for model::open. */
+struct OpenOptions
+{
+    OpenMode mode = OpenMode::Auto;
+};
+
+/**
+ * Open a model file behind the unified interface. Throws ModelError on
+ * any I/O or format violation — identical failures (and messages, modulo
+ * the loader-name prefix) on every mode.
+ */
+[[nodiscard]] std::unique_ptr<ModelReader>
+open(const std::string &path, const OpenOptions &opts = {});
+
+/** Wrap an already-built in-memory model (takes ownership). */
+[[nodiscard]] std::unique_ptr<ModelReader> makeReader(PhaseModel m);
+
+/** Wrap an already-opened zero-copy view (takes ownership). */
+[[nodiscard]] std::unique_ptr<ModelReader> makeReader(PhaseModelView view);
+
+} // namespace mica::model
+
+#endif // MICAPHASE_MODEL_READER_HH

@@ -1,0 +1,178 @@
+#include "model/update.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/trace.hh"
+#include "stats/distance.hh"
+
+namespace mica::model {
+
+ModelUpdater::ModelUpdater(const ModelReader &reader, UpdateOptions opts)
+    : reader_(reader), opts_(opts)
+{
+    const std::size_t k = reader_.numClusters();
+    assign_counts_.assign(k, 0);
+    dist_sum_.assign(k, 0.0);
+    dist_max_.assign(k, 0.0);
+    accepted_counts_.assign(k, 0);
+    accepted_sum_ = stats::Matrix(k, reader_.components());
+}
+
+IngestBatch
+ModelUpdater::ingest(const stats::Matrix &rows)
+{
+    const obs::Span span("model.ingest", "model");
+    IngestBatch batch;
+    batch.rows = rows.rows();
+    // Frozen placement of every offered row: the same fused kernel the
+    // serving path uses, so ingest observes exactly what serving would
+    // have answered (bit-identical at any thread count).
+    batch.projection = reader_.placeBatch(rows, opts_.project);
+    batch.accepted_mask.assign(batch.rows, 1);
+
+    // Serial row-order accumulation keeps every gauge and the refinement
+    // sums deterministic regardless of how the placement was threaded.
+    for (std::size_t r = 0; r < batch.rows; ++r) {
+        const std::size_t c = batch.projection.assignment[r];
+        const double d = std::sqrt(batch.projection.dist2[r]);
+        ++assign_counts_[c];
+        dist_sum_[c] += d;
+        dist_max_[c] = std::max(dist_max_[c], d);
+        global_dist_sum_ += d;
+        global_dist_max_ = std::max(global_dist_max_, d);
+
+        const bool redundant =
+            opts_.dedup_threshold > 0.0 && d <= opts_.dedup_threshold;
+        if (redundant) {
+            batch.accepted_mask[r] = 0;
+            ++batch.deduped;
+            continue;
+        }
+        ++batch.accepted;
+        ++accepted_counts_[c];
+        auto sum = accepted_sum_.row(c);
+        const auto reduced = batch.projection.reduced.row(r);
+        for (std::size_t j = 0; j < sum.size(); ++j)
+            sum[j] += reduced[j];
+    }
+    ingested_ += batch.rows;
+    accepted_ += batch.accepted;
+    deduped_ += batch.deduped;
+    obs::count("model.rows_ingested", static_cast<double>(batch.rows));
+    obs::count("model.rows_deduped", static_cast<double>(batch.deduped));
+    return batch;
+}
+
+ModelDelta
+ModelUpdater::delta(std::uint32_t sequence) const
+{
+    const PhaseModel &meta = reader_.meta();
+    const std::size_t k = assign_counts_.size();
+
+    ModelDelta d;
+    d.sequence = sequence;
+    d.base_analysis_key = meta.analysis_key;
+    d.ingested_rows = ingested_;
+    d.accepted_rows = accepted_;
+    d.deduped_rows = deduped_;
+    d.dedup_threshold = opts_.dedup_threshold;
+    d.assign_counts = assign_counts_;
+
+    d.mean_distance.assign(k, 0.0);
+    d.max_distance = dist_max_;
+    for (std::size_t c = 0; c < k; ++c)
+        if (assign_counts_[c] > 0)
+            d.mean_distance[c] =
+                dist_sum_[c] / static_cast<double>(assign_counts_[c]);
+    if (ingested_ > 0) {
+        d.global_mean_distance =
+            global_dist_sum_ / static_cast<double>(ingested_);
+        d.global_max_distance = global_dist_max_;
+        // Total-variation distance between the ingested cluster mix and
+        // the training mix: 0 = identical populations, 1 = disjoint. The
+        // cheapest global "are new workloads landing where training rows
+        // did?" gauge.
+        double tv = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+            const double observed =
+                static_cast<double>(assign_counts_[c]) /
+                static_cast<double>(ingested_);
+            const double trained =
+                meta.training_rows > 0
+                    ? static_cast<double>(meta.cluster_sizes[c]) /
+                          static_cast<double>(meta.training_rows)
+                    : 0.0;
+            tv += std::abs(observed - trained);
+        }
+        d.total_variation = 0.5 * tv;
+    }
+
+    if (!opts_.refine)
+        return d;
+
+    // Mini-batch refinement: each refined center is the exact weighted
+    // mean of its frozen position (weight = training population) and the
+    // accepted new rows assigned to it. A cluster that saw no accepted
+    // rows keeps its frozen center bit-for-bit.
+    const stats::MatrixView frozen = reader_.centers();
+    const std::size_t m = reader_.components();
+    d.refined = true;
+    d.refined_centers = stats::Matrix(k, m);
+    std::vector<double> move2(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+        const auto from = frozen.row(c);
+        auto to = d.refined_centers.row(c);
+        const double w = static_cast<double>(meta.cluster_sizes[c]);
+        const double n = static_cast<double>(accepted_counts_[c]);
+        if (accepted_counts_[c] == 0 || w + n <= 0.0) {
+            for (std::size_t j = 0; j < m; ++j)
+                to[j] = from[j];
+            continue;
+        }
+        const auto sum = accepted_sum_.row(c);
+        for (std::size_t j = 0; j < m; ++j)
+            to[j] = (w * from[j] + sum[j]) / (w + n);
+        move2[c] = stats::squaredDistance(to, from);
+    }
+
+    // Movement bounds through the Hamerly drift machinery: inflated per
+    // the kBoundSlack discipline, so each reported drift is a certified
+    // upper bound on the exact Euclidean movement.
+    stats::CenterDrift drift;
+    drift.fromSquaredMovements(move2);
+    d.center_drift = drift.move;
+    d.max_center_drift = drift.max_move;
+    d.drift_threshold = opts_.drift_threshold;
+    d.retrain_recommended = d.max_center_drift > opts_.drift_threshold;
+    return d;
+}
+
+void
+appendDelta(const std::string &path, const ModelDelta &delta,
+            const SaveOptions &opts)
+{
+    const obs::Span span("model.append_delta", "model");
+    PhaseModel m = PhaseModel::load(path);
+    if (delta.base_analysis_key != m.analysis_key)
+        throw ModelError(
+            "appendDelta: " + path + ": delta base key " +
+            std::to_string(delta.base_analysis_key) +
+            " does not match the model's analysis key " +
+            std::to_string(m.analysis_key));
+    const std::uint32_t last =
+        m.deltas.empty() ? 0 : m.deltas.back().sequence;
+    ModelDelta attached = delta;
+    if (attached.sequence == 0)
+        attached.sequence = last + 1;
+    else if (attached.sequence <= last)
+        throw ModelError("appendDelta: " + path + ": sequence " +
+                         std::to_string(attached.sequence) +
+                         " not greater than the last delta's " +
+                         std::to_string(last));
+    m.deltas.push_back(std::move(attached));
+    m.save(path, opts);
+    obs::count("model.deltas_appended");
+}
+
+} // namespace mica::model

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Incremental model updates: ingest new intervals through a frozen phase
+ * model, filter redundant ones, gauge drift, optionally refine centers
+ * with a bounded mini-batch step, and ship the outcome as a `ModelDelta`
+ * appended to the model file (ROADMAP item 5).
+ *
+ * The design splits cleanly into an exact and an approximate half:
+ *
+ * - **Ingest (always exact).** Every offered row is placed with the
+ *   frozen `placeBatch` kernel — bit-identical to the serving path at any
+ *   thread count — and tallied into per-cluster assignment counts and
+ *   distance gauges. Redundancy filtering drops rows whose Euclidean
+ *   distance to their assigned center is within `dedup_threshold` (they
+ *   tell the updater nothing the cluster representative didn't already):
+ *   the Shaccour & Mansour loop-redundancy idea transplanted to workload
+ *   space. Dropped rows still count in every gauge; filtering only
+ *   decides what feeds refinement. The frozen model is never modified, so
+ *   with refinement off the whole path is observation-only and the model
+ *   file (minus the appended delta sections) stays bit-identical.
+ *
+ * - **Refinement (opt-in, bounded).** `UpdateOptions::refine` computes
+ *   refined centers as the exact weighted mean of each frozen center
+ *   (weighted by its training population) and the accepted new rows
+ *   assigned to it — one closed-form mini-batch Lloyd step that cannot be
+ *   yanked far by a handful of outliers. Per-center movement is reported
+ *   through the same inflated-bound discipline as the Hamerly pruner
+ *   (`stats::CenterDrift`): `center_drift[c]` is a certified upper bound
+ *   on how far refined center c sits from its frozen position, and when
+ *   the largest bound exceeds `drift_threshold` the delta raises
+ *   `retrain_recommended` — the signal that new workloads have moved into
+ *   regions the frozen clustering cannot represent and a full re-train is
+ *   due. Refined centers ride along in the delta; the frozen sections are
+ *   untouched (same oracle discipline as `Options::pruning`).
+ *
+ * Determinism: accumulation is serial in row order and placement is
+ * thread-invariant, so every delta field is bit-identical at any
+ * `ProjectOptions::threads` / `block_rows`.
+ */
+
+#ifndef MICAPHASE_MODEL_UPDATE_HH
+#define MICAPHASE_MODEL_UPDATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/phase_model.hh"
+#include "model/reader.hh"
+#include "stats/matrix.hh"
+#include "stats/projection.hh"
+
+namespace mica::model {
+
+/** Knobs for ModelUpdater. */
+struct UpdateOptions
+{
+    /**
+     * Euclidean dedup radius in the frozen reduced space: an offered row
+     * closer than this to its assigned center is dropped as redundant
+     * before refinement. <= 0 disables filtering (every row accepted).
+     */
+    double dedup_threshold = 0.0;
+
+    /** Compute refined centers + drift bounds (off: observation only). */
+    bool refine = false;
+
+    /**
+     * Inflated center movement (Euclidean, reduced space) above which a
+     * refined delta raises retrain_recommended. The default is deliberate:
+     * the frozen space is rescaled to unit per-component variance, so a
+     * quarter of a standard deviation of center movement is real drift.
+     */
+    double drift_threshold = 0.25;
+
+    /** Thread/block knobs for the placement kernel (bit-invariant). */
+    stats::ProjectOptions project;
+};
+
+/** Outcome of one ModelUpdater::ingest call. */
+struct IngestBatch
+{
+    std::size_t rows = 0;     ///< rows offered in this call
+    std::size_t accepted = 0; ///< rows surviving the redundancy filter
+    std::size_t deduped = 0;  ///< rows dropped as redundant
+    /** Frozen placement of every offered row (exact, all rows). */
+    Projection projection;
+    /** accepted_mask[i] != 0 iff row i fed the refinement accumulator. */
+    std::vector<std::uint8_t> accepted_mask;
+};
+
+/**
+ * Accumulates ingested batches against one frozen model and finalizes
+ * them into a ModelDelta (see file comment). Not thread-safe itself —
+ * one updater per ingest stream; the placement it runs *is* internally
+ * parallel and thread-count-invariant.
+ */
+class ModelUpdater
+{
+  public:
+    /** `reader` must outlive the updater. */
+    ModelUpdater(const ModelReader &reader, UpdateOptions opts);
+
+    /**
+     * Place `rows` (p columns) through the frozen space and fold them
+     * into the pending delta. Throws ModelError on a width mismatch.
+     */
+    IngestBatch ingest(const stats::Matrix &rows);
+
+    /** Rows offered so far across all ingest calls. */
+    [[nodiscard]] std::uint64_t ingestedRows() const { return ingested_; }
+
+    /** Rows accepted (fed to refinement) so far. */
+    [[nodiscard]] std::uint64_t acceptedRows() const { return accepted_; }
+
+    /** Rows dropped as redundant so far. */
+    [[nodiscard]] std::uint64_t dedupedRows() const { return deduped_; }
+
+    /**
+     * Finalize the accumulated state into a delta. `sequence` is the
+     * file-order sequence number (0 lets appendDelta assign the next
+     * one). The updater keeps accumulating — calling delta() again after
+     * more ingests yields a superset delta.
+     */
+    [[nodiscard]] ModelDelta delta(std::uint32_t sequence = 0) const;
+
+  private:
+    const ModelReader &reader_;
+    UpdateOptions opts_;
+
+    std::uint64_t ingested_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t deduped_ = 0;
+    std::vector<std::uint64_t> assign_counts_;
+    std::vector<double> dist_sum_;      ///< per-cluster Σ distance
+    std::vector<double> dist_max_;      ///< per-cluster max distance
+    double global_dist_sum_ = 0.0;
+    double global_dist_max_ = 0.0;
+    stats::Matrix accepted_sum_;        ///< k x m Σ of accepted rows
+    std::vector<std::uint64_t> accepted_counts_; ///< per-cluster accepted
+};
+
+/**
+ * Append `delta` to the model file at `path`: load, attach, atomic
+ * resave (the same `.tmp` + rename publish as save(), so a serving fleet
+ * watching the path can only ever observe complete files). A sequence of
+ * 0 is replaced with the next free number. The file is promoted to
+ * format version 2. With `opts.align_sections` the rewritten file keeps
+ * every section 8-byte aligned (format::alignUp — shared with save), so
+ * an aligned base model stays zero-copy eligible after any number of
+ * appended deltas.
+ *
+ * Throws ModelError when the delta's base_analysis_key does not match
+ * the file's model, or when its sequence is not strictly greater than
+ * the last delta already present.
+ */
+void appendDelta(const std::string &path, const ModelDelta &delta,
+                 const SaveOptions &opts = {});
+
+} // namespace mica::model
+
+#endif // MICAPHASE_MODEL_UPDATE_HH

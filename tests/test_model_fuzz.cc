@@ -2,13 +2,16 @@
  * @file
  * Structured fuzzing of the phase-model loaders (src/model).
  *
- * Starting from the golden v1 fixture (and its 8-byte-aligned resave),
- * applies thousands of seeded, format-aware mutations — bit flips,
- * truncations, extensions, section-table field corruption, payload edits
- * with the section CRC re-fixed so deeper validation layers are reached,
- * table-entry swaps/duplicates, and deliberately overlapping sections —
- * and feeds every mutant to BOTH loaders: the copying
- * PhaseModel::loadFromBytes and the zero-copy PhaseModelView::parse.
+ * Starting from the golden v1 fixture (plus its 8-byte-aligned resave and
+ * a v2 delta-bearing resave), applies thousands of seeded, format-aware
+ * mutations — bit flips, truncations, extensions, section-table field
+ * corruption, payload edits with the section CRC re-fixed so deeper
+ * validation layers are reached, table-entry swaps/duplicates, and
+ * deliberately overlapping sections — and feeds every mutant to BOTH
+ * loaders: the copying PhaseModel::loadFromBytes and the zero-copy
+ * PhaseModelView::parse. Targeted delta mutations (truncation, count
+ * edits behind a re-fixed CRC, delta-before-base table ordering) ride on
+ * top of the random sweep.
  *
  * The contract under test: every load ends in either a clean success or a
  * ModelError. No crash, no hang, no over-read (the suite runs under the
@@ -293,7 +296,8 @@ exerciseLoaders(const std::vector<std::uint8_t> &mutant, std::size_t iter,
             PhaseModelView::parse(mutant, "fuzz");
         view_ok = true;
         if (copy_ok) {
-            // Both accepted: they must have decoded the same model.
+            // Both accepted: they must have decoded the same model,
+            // including the delta history (shared decode by design).
             EXPECT_EQ(loaded.training_rows, view.meta().training_rows);
             EXPECT_EQ(loaded.columns(), view.columns());
             EXPECT_EQ(loaded.numClusters(), view.numClusters());
@@ -301,6 +305,18 @@ exerciseLoaders(const std::vector<std::uint8_t> &mutant, std::size_t iter,
                 loaded.loadings.maxAbsDiff(
                     stats::Matrix::fromView(view.loadings())),
                 0.0);
+            ASSERT_EQ(loaded.deltas.size(), view.meta().deltas.size());
+            for (std::size_t i = 0; i < loaded.deltas.size(); ++i) {
+                EXPECT_EQ(loaded.deltas[i].sequence,
+                          view.meta().deltas[i].sequence);
+                EXPECT_EQ(loaded.deltas[i].ingested_rows,
+                          view.meta().deltas[i].ingested_rows);
+                EXPECT_EQ(loaded.deltas[i].assign_counts,
+                          view.meta().deltas[i].assign_counts);
+                EXPECT_EQ(loaded.deltas[i].refined_centers.maxAbsDiff(
+                              view.meta().deltas[i].refined_centers),
+                          0.0);
+            }
         }
     } catch (const ModelError &) {
         // expected rejection
@@ -340,10 +356,76 @@ goldenPath()
            "/golden_phase_model_v1.bin";
 }
 
+/** Attach two coherent deltas (observation-only + refined) to `m`. */
+void
+attachDeltas(PhaseModel &m)
+{
+    const std::size_t k = m.numClusters();
+    model::ModelDelta d;
+    d.sequence = 1;
+    d.base_analysis_key = m.analysis_key;
+    d.ingested_rows = 6;
+    d.accepted_rows = 6;
+    d.deduped_rows = 0;
+    d.assign_counts.assign(k, 0);
+    d.assign_counts[0] = 6;
+    d.mean_distance.assign(k, 0.25);
+    d.max_distance.assign(k, 0.5);
+    d.total_variation = 0.2;
+    d.global_mean_distance = 0.25;
+    d.global_max_distance = 0.5;
+    m.deltas.push_back(d);
+
+    d.sequence = 2;
+    d.ingested_rows = 10;
+    d.accepted_rows = 8;
+    d.deduped_rows = 2;
+    d.dedup_threshold = 0.1;
+    d.assign_counts.assign(k, 0);
+    d.assign_counts[k - 1] = 10;
+    d.refined = true;
+    d.refined_centers = m.centers;
+    d.center_drift.assign(k, 0.0);
+    m.deltas.push_back(d);
+}
+
+/** The v2 corpus: the golden model with two deltas attached, resaved. */
+std::vector<std::uint8_t>
+deltaCorpus(const std::vector<std::uint8_t> &packed, bool aligned)
+{
+    PhaseModel m = PhaseModel::loadFromBytes(packed, "golden");
+    attachDeltas(m);
+    const std::string path = "/tmp/micaphase_fuzz_delta.bin";
+    m.save(path, model::SaveOptions{.align_sections = aligned});
+    std::vector<std::uint8_t> bytes = readFile(path);
+    std::remove(path.c_str());
+    return bytes;
+}
+
+/** Table offset of the `nth` entry with section id `id`. */
+std::size_t
+findEntry(const std::vector<std::uint8_t> &b, std::uint32_t id,
+          std::size_t nth = 0)
+{
+    const std::size_t entries = entryCount(b);
+    for (std::size_t e = 0; e < entries; ++e) {
+        const std::size_t pos = kHeader + e * kEntry;
+        if (getU32(b, pos) == id) {
+            if (nth == 0)
+                return pos;
+            --nth;
+        }
+    }
+    ADD_FAILURE() << "no table entry with id " << id;
+    return kHeader;
+}
+
 TEST(PhaseModelFuzz, StructuredMutationsNeverEscapeModelError)
 {
-    // Corpus: the byte-locked packed golden fixture plus its aligned
-    // resave (different offsets, padding gaps, aliasing-eligible layout).
+    // Corpus: the byte-locked packed golden fixture, its aligned resave
+    // (different offsets, padding gaps, aliasing-eligible layout), and a
+    // v2 delta-bearing resave (repeatable optional sections, the version
+    // gate, and the delta decode all in the mutation blast radius).
     const std::vector<std::uint8_t> packed = readFile(goldenPath());
     ASSERT_GT(packed.size(), kHeader + 7 * kEntry);
 
@@ -354,9 +436,13 @@ TEST(PhaseModelFuzz, StructuredMutationsNeverEscapeModelError)
     std::remove(aligned_path.c_str());
     ASSERT_GT(aligned.size(), packed.size() - 1);
 
+    const std::vector<std::uint8_t> with_deltas = deltaCorpus(packed, true);
+    ASSERT_GT(with_deltas.size(), aligned.size());
+
     FuzzTally tally;
     fuzzCorpus(packed, 0x5eed0001, 1500, tally);
     fuzzCorpus(aligned, 0x5eed0002, 1000, tally);
+    fuzzCorpus(with_deltas, 0x5eed0003, 1000, tally);
 
     // Non-vacuity: a fuzzer whose mutants all die at the first CRC check
     // (or all survive) is not exercising anything. The entry-swap and
@@ -364,7 +450,97 @@ TEST(PhaseModelFuzz, StructuredMutationsNeverEscapeModelError)
     // else guarantees real rejects.
     EXPECT_GT(tally.accepted, 0u) << "no mutant ever loaded cleanly";
     EXPECT_GT(tally.rejected, 50u) << "almost nothing was rejected";
-    EXPECT_EQ(tally.accepted + tally.rejected, 2500u);
+    EXPECT_EQ(tally.accepted + tally.rejected, 3500u);
+}
+
+TEST(PhaseModelFuzz, TargetedDeltaMutationsAreHandledConsistently)
+{
+    const std::vector<std::uint8_t> pristine =
+        deltaCorpus(readFile(goldenPath()), true);
+    // Sanity: the pristine corpus loads with both deltas on both paths.
+    ASSERT_EQ(PhaseModel::loadFromBytes(pristine, "delta").deltas.size(),
+              2u);
+    ASSERT_EQ(PhaseModelView::parse(pristine, "delta").meta().deltas.size(),
+              2u);
+
+    auto rejectBoth = [](std::vector<std::uint8_t> img, const char *what) {
+        EXPECT_THROW((void)PhaseModel::loadFromBytes(img, "delta"),
+                     ModelError)
+            << what;
+        EXPECT_THROW((void)PhaseModelView::parse(img, "delta"), ModelError)
+            << what;
+    };
+
+    // Delta payload field offsets (format.hh writeDelta): u32 sequence,
+    // u64 base_key/ingested/accepted/deduped, f64 dedup_threshold, then
+    // the assign_counts u64Vec (count at +44, first value at +52).
+    {
+        // Truncated delta: section size shrunk by one, CRC re-fixed, so
+        // only the payload decode can notice the missing byte.
+        std::vector<std::uint8_t> img = pristine;
+        const std::size_t e = findEntry(img, 8);
+        putU64(img, e + 16, getU64(img, e + 16) - 1);
+        refixCrc(img, e);
+        rejectBoth(img, "section size shrunk by one");
+    }
+    {
+        // Physical truncation through the second delta's bytes.
+        std::vector<std::uint8_t> img = pristine;
+        const std::size_t e = findEntry(img, 8, 1);
+        const auto off = static_cast<std::size_t>(getU64(img, e + 8));
+        const auto size = static_cast<std::size_t>(getU64(img, e + 16));
+        img.resize(off + size / 2);
+        rejectBoth(img, "file truncated mid-delta");
+    }
+    {
+        // Count blown up behind a re-fixed CRC: checkedCount must raise
+        // ModelError, not attempt a giant allocation.
+        std::vector<std::uint8_t> img = pristine;
+        const std::size_t e = findEntry(img, 8);
+        const auto off = static_cast<std::size_t>(getU64(img, e + 8));
+        putU64(img, off + 44, 0x0000FFFFFFFFFFFFull);
+        refixCrc(img, e);
+        rejectBoth(img, "assign_counts count blown up");
+    }
+    {
+        // A single count value nudged: the decode succeeds, but the sum
+        // no longer matches ingested_rows — shape validation rejects on
+        // both paths.
+        std::vector<std::uint8_t> img = pristine;
+        const std::size_t e = findEntry(img, 8);
+        const auto off = static_cast<std::size_t>(getU64(img, e + 8));
+        putU64(img, off + 52, getU64(img, off + 52) + 1);
+        refixCrc(img, e);
+        rejectBoth(img, "assign_counts sum mismatch");
+    }
+    {
+        // Sequence zeroed: history must start above 0 and increase.
+        std::vector<std::uint8_t> img = pristine;
+        const std::size_t e = findEntry(img, 8);
+        const auto off = static_cast<std::size_t>(getU64(img, e + 8));
+        putU32(img, off, 0);
+        refixCrc(img, e);
+        rejectBoth(img, "sequence zeroed");
+    }
+    {
+        // Delta-before-base table ordering: swapping the first delta
+        // entry with the table's first entry is a legal permutation —
+        // both loaders must still accept and decode the same history.
+        std::vector<std::uint8_t> img = pristine;
+        const std::size_t a = kHeader;
+        const std::size_t b = findEntry(img, 8);
+        ASSERT_NE(a, b);
+        for (std::size_t i = 0; i < kEntry; ++i)
+            std::swap(img[a + i], img[b + i]);
+        const PhaseModel loaded = PhaseModel::loadFromBytes(img, "perm");
+        const PhaseModelView view = PhaseModelView::parse(img, "perm");
+        ASSERT_EQ(loaded.deltas.size(), 2u);
+        ASSERT_EQ(view.meta().deltas.size(), 2u);
+        EXPECT_EQ(loaded.deltas[0].sequence, 1u);
+        EXPECT_EQ(loaded.deltas[1].sequence, 2u);
+        EXPECT_EQ(view.meta().deltas[0].sequence, 1u);
+        EXPECT_EQ(view.meta().deltas[1].sequence, 2u);
+    }
 }
 
 TEST(PhaseModelFuzz, DegenerateImagesAreRejectedNotCrashed)

@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Tests for the live versioned phase model (src/model): ModelDelta
+ * serialization and the v1/v2 version-stamping policy, ingest accounting
+ * with redundancy filtering and drift gauges, bounded mini-batch
+ * refinement (Hamerly-style inflated movement bounds + the re-train
+ * signal), delta appends that preserve 8-byte alignment/zero-copy
+ * eligibility, the keystone "refinement-off ingest + reload is bitwise
+ * frozen" guarantee at threads 1/2/4, and the generation-tagged hot-swap
+ * slot under concurrent readers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/live_model.hh"
+#include "model/model_view.hh"
+#include "model/phase_model.hh"
+#include "model/reader.hh"
+#include "model/update.hh"
+#include "stats/matrix.hh"
+
+namespace {
+
+using namespace mica;
+using model::ClusterKind;
+using model::ModelDelta;
+using model::ModelError;
+using model::PhaseModel;
+using model::PhaseModelView;
+
+/**
+ * A small fully hand-specified model, derived from test_model.cc's
+ * tinyModel but with TWO prominent phases: each serialized ProminentPhase
+ * is 20 bytes, so an even count keeps the PROMINENT section's raw matrix
+ * payload 8-byte aligned — a requirement for the zero-copy assertions in
+ * the delta-append regression below.
+ */
+PhaseModel
+tinyModel()
+{
+    PhaseModel m;
+    m.analysis_key = 0x0123456789abcdefULL;
+    m.interval_instructions = 2000;
+    m.samples_per_benchmark = 4;
+    m.interval_scale = 0.5;
+    m.pca_min_stddev = 1.0;
+    m.seed = 42;
+    m.training_rows = 6;
+    m.benchmark_ids = {"SuiteA/one", "SuiteB/two"};
+    m.benchmark_suites = {"SuiteA", "SuiteB"};
+    m.suites = {"SuiteA", "SuiteB"};
+    m.normalize_input = true;
+    m.norm_mean = {0.5, -1.25, 3.0};
+    m.norm_stddev = {1.5, 2.0, 0.0}; // third column is degenerate
+    m.pca_explained = 0.875;
+    m.eigenvalues = {2.5, 0.5, 0.125};
+    m.loadings = stats::Matrix::fromRows(
+        {{0.6, -0.8}, {0.8, 0.6}, {0.0, 0.0}});
+    m.rescale_sd = {1.25, 0.75};
+    m.centers = stats::Matrix::fromRows({{1.0, 0.0}, {-1.0, 0.5}});
+    m.cluster_sizes = {4, 2};
+    m.cluster_kinds = {ClusterKind::Mixed, ClusterKind::BenchmarkSpecific};
+    m.suite_rows = {2, 2, 2, 0};
+    m.prominent = {{0, 4.0 / 6.0, 1}, {1, 2.0 / 6.0, 3}};
+    m.prominent_raw =
+        stats::Matrix::fromRows({{0.1, 0.2, 0.3}, {-0.4, 0.5, 2.5}});
+    m.key_characteristics = {0, 2};
+    m.ga_fitness = 0.75;
+    return m;
+}
+
+/** A coherent hand-made delta against tinyModel (k = 2, m = 2). */
+ModelDelta
+tinyDelta(const PhaseModel &m, std::uint32_t sequence, bool refined)
+{
+    ModelDelta d;
+    d.sequence = sequence;
+    d.base_analysis_key = m.analysis_key;
+    d.ingested_rows = 5;
+    d.accepted_rows = 4;
+    d.deduped_rows = 1;
+    d.dedup_threshold = 0.25;
+    d.assign_counts = {3, 2};
+    d.mean_distance = {0.5, 0.75};
+    d.max_distance = {1.0, 1.5};
+    d.total_variation = 0.1;
+    d.global_mean_distance = 0.6;
+    d.global_max_distance = 1.5;
+    if (refined) {
+        d.refined = true;
+        d.refined_centers =
+            stats::Matrix::fromRows({{1.01, -0.02}, {-1.0, 0.5}});
+        d.center_drift = {0.03, 0.0};
+        d.max_center_drift = 0.03;
+        d.drift_threshold = 0.25;
+        d.retrain_recommended = false;
+    }
+    return d;
+}
+
+/** Deterministic synthetic ingest rows in the model's raw space (p = 3). */
+stats::Matrix
+syntheticRows(std::size_t n, double spread)
+{
+    stats::Matrix rows(0, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        const std::vector<double> row = {
+            0.5 + spread * std::sin(0.7 * t),
+            -1.25 + spread * std::cos(1.3 * t), 3.0 + 0.1 * t};
+        rows.appendRow(row);
+    }
+    return rows;
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &b, std::size_t pos)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[pos + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &b, std::size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[pos + i]) << (8 * i);
+    return v;
+}
+
+void
+expectDeltasEqual(const ModelDelta &a, const ModelDelta &b)
+{
+    EXPECT_EQ(a.sequence, b.sequence);
+    EXPECT_EQ(a.base_analysis_key, b.base_analysis_key);
+    EXPECT_EQ(a.ingested_rows, b.ingested_rows);
+    EXPECT_EQ(a.accepted_rows, b.accepted_rows);
+    EXPECT_EQ(a.deduped_rows, b.deduped_rows);
+    EXPECT_EQ(a.dedup_threshold, b.dedup_threshold);
+    EXPECT_EQ(a.assign_counts, b.assign_counts);
+    EXPECT_EQ(a.mean_distance, b.mean_distance);
+    EXPECT_EQ(a.max_distance, b.max_distance);
+    EXPECT_EQ(a.total_variation, b.total_variation);
+    EXPECT_EQ(a.global_mean_distance, b.global_mean_distance);
+    EXPECT_EQ(a.global_max_distance, b.global_max_distance);
+    EXPECT_EQ(a.refined, b.refined);
+    EXPECT_EQ(a.refined_centers.maxAbsDiff(b.refined_centers), 0.0);
+    EXPECT_EQ(a.center_drift, b.center_drift);
+    EXPECT_EQ(a.max_center_drift, b.max_center_drift);
+    EXPECT_EQ(a.drift_threshold, b.drift_threshold);
+    EXPECT_EQ(a.retrain_recommended, b.retrain_recommended);
+}
+
+void
+expectProjectionsBitwise(const model::Projection &a,
+                         const model::Projection &b)
+{
+    ASSERT_EQ(a.assignment, b.assignment);
+    ASSERT_EQ(a.reduced.rows(), b.reduced.rows());
+    ASSERT_EQ(a.reduced.cols(), b.reduced.cols());
+    EXPECT_EQ(std::memcmp(a.reduced.data().data(), b.reduced.data().data(),
+                          a.reduced.data().size() * sizeof(double)),
+              0);
+    ASSERT_EQ(a.dist2.size(), b.dist2.size());
+    EXPECT_EQ(std::memcmp(a.dist2.data(), b.dist2.data(),
+                          a.dist2.size() * sizeof(double)),
+              0);
+}
+
+// ------------------------------------------------------- delta format
+
+TEST(ModelUpdateFormat, DeltaRoundTripIsExact)
+{
+    const std::string path = "/tmp/micaphase_update_roundtrip.bin";
+    PhaseModel m = tinyModel();
+    m.deltas.push_back(tinyDelta(m, 1, false));
+    m.deltas.push_back(tinyDelta(m, 2, true));
+    m.save(path);
+
+    const PhaseModel loaded = PhaseModel::load(path);
+    ASSERT_EQ(loaded.deltas.size(), 2u);
+    expectDeltasEqual(m.deltas[0], loaded.deltas[0]);
+    expectDeltasEqual(m.deltas[1], loaded.deltas[1]);
+
+    // Both loaders decode the identical history (shared format code).
+    const PhaseModelView view = PhaseModelView::open(path);
+    ASSERT_EQ(view.meta().deltas.size(), 2u);
+    expectDeltasEqual(m.deltas[0], view.meta().deltas[0]);
+    expectDeltasEqual(m.deltas[1], view.meta().deltas[1]);
+    std::remove(path.c_str());
+}
+
+TEST(ModelUpdateFormat, ResaveWithDeltasIsByteIdentical)
+{
+    const std::string a = "/tmp/micaphase_update_resave_a.bin";
+    const std::string b = "/tmp/micaphase_update_resave_b.bin";
+    PhaseModel m = tinyModel();
+    m.deltas.push_back(tinyDelta(m, 1, true));
+    m.save(a);
+    PhaseModel::load(a).save(b);
+    EXPECT_EQ(readFile(a), readFile(b));
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(ModelUpdateFormat, DeltaPromotesFileToVersion2)
+{
+    const std::string path = "/tmp/micaphase_update_version.bin";
+
+    // Delta-free models keep stamping the base version: the golden v1
+    // fixture (and every pre-delta artifact) stays valid and byte-locked.
+    tinyModel().save(path);
+    std::vector<std::uint8_t> bytes = readFile(path);
+    ASSERT_GE(bytes.size(), 16u);
+    EXPECT_EQ(getU32(bytes, 8), model::kBaseFormatVersion);
+
+    // A delta-bearing file is stamped v2, so a pre-delta reader (which
+    // would silently ignore the unknown section id) fails loudly on the
+    // version gate instead of serving stale history.
+    PhaseModel m = tinyModel();
+    m.deltas.push_back(tinyDelta(m, 1, false));
+    m.save(path);
+    bytes = readFile(path);
+    EXPECT_EQ(getU32(bytes, 8), model::kFormatVersion);
+
+    // And a version from the future is rejected by both loaders.
+    bytes[8] = static_cast<std::uint8_t>(model::kFormatVersion + 1);
+    EXPECT_THROW((void)PhaseModel::loadFromBytes(bytes, "future"),
+                 ModelError);
+    EXPECT_THROW((void)PhaseModelView::parse(bytes, "future"), ModelError);
+    std::remove(path.c_str());
+}
+
+TEST(ModelUpdateFormat, ValidateRejectsIncoherentDeltas)
+{
+    PhaseModel m = tinyModel();
+
+    m.deltas = {tinyDelta(m, 0, false)}; // sequence must start above 0
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 2, false), tinyDelta(m, 2, false)};
+    EXPECT_THROW(m.validate(), ModelError); // not strictly increasing
+
+    m.deltas = {tinyDelta(m, 1, false)};
+    m.deltas[0].base_analysis_key ^= 1; // foreign base model
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 1, false)};
+    m.deltas[0].deduped_rows += 1; // ingested != accepted + deduped
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 1, false)};
+    m.deltas[0].assign_counts = {5}; // wrong k
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 1, false)};
+    m.deltas[0].assign_counts = {4, 2}; // sum != ingested_rows
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 1, true)};
+    m.deltas[0].center_drift.pop_back(); // refined but drift not k-sized
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 1, false)};
+    m.deltas[0].refined_centers =
+        stats::Matrix::fromRows({{1.0, 0.0}}); // unrefined but centers set
+    EXPECT_THROW(m.validate(), ModelError);
+
+    m.deltas = {tinyDelta(m, 1, false), tinyDelta(m, 2, true)};
+    EXPECT_NO_THROW(m.validate()); // the coherent shapes pass
+}
+
+// ------------------------------------------------------------- ingest
+
+TEST(ModelUpdateIngest, ObservationOnlyIsThreadInvariantAndFrozenBitwise)
+{
+    const std::string path = "/tmp/micaphase_update_frozen.bin";
+    const PhaseModel m = tinyModel();
+    m.save(path);
+    const stats::Matrix rows = syntheticRows(48, 2.0);
+    const model::Projection oracle = m.placeBatch(rows);
+
+    ModelDelta first;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        const auto reader = model::open(path, {model::OpenMode::Copy});
+        model::UpdateOptions opts;
+        opts.project.threads = threads;
+        opts.project.block_rows = 7;
+        model::ModelUpdater updater(*reader, opts);
+        const model::IngestBatch batch = updater.ingest(rows);
+
+        // No threshold: every row is accepted, none dropped.
+        EXPECT_EQ(batch.rows, 48u);
+        EXPECT_EQ(batch.accepted, 48u);
+        EXPECT_EQ(batch.deduped, 0u);
+        expectProjectionsBitwise(batch.projection, oracle);
+
+        const ModelDelta d = updater.delta(1);
+        EXPECT_EQ(d.ingested_rows, 48u);
+        EXPECT_FALSE(d.refined);
+        EXPECT_TRUE(d.refined_centers.rows() == 0);
+        std::uint64_t total = 0;
+        for (std::uint64_t c : d.assign_counts)
+            total += c;
+        EXPECT_EQ(total, 48u);
+        if (threads == 1)
+            first = d;
+        else
+            expectDeltasEqual(first, d); // bit-identical at any threading
+    }
+
+    // Keystone: append the observation-only delta and reload — placement
+    // through the updated file stays bitwise frozen on both loaders at
+    // every thread count.
+    const auto reader = model::open(path, {model::OpenMode::Copy});
+    model::ModelUpdater updater(*reader, {});
+    (void)updater.ingest(rows);
+    model::appendDelta(path, updater.delta());
+
+    for (const model::OpenMode mode :
+         {model::OpenMode::Copy, model::OpenMode::Mmap}) {
+        const auto reloaded = model::open(path, {mode});
+        ASSERT_EQ(reloaded->meta().deltas.size(), 1u);
+        EXPECT_EQ(reloaded->meta().deltas[0].sequence, 1u);
+        for (unsigned threads : {1u, 2u, 4u}) {
+            stats::ProjectOptions popts;
+            popts.threads = threads;
+            expectProjectionsBitwise(reloaded->placeBatch(rows, popts),
+                                     oracle);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ModelUpdateIngest, DedupAccountingMatchesThresholdRule)
+{
+    const auto reader = model::makeReader(tinyModel());
+    const stats::Matrix rows = syntheticRows(40, 3.0);
+
+    // Pass 1 (no threshold) observes the distance distribution.
+    model::ModelUpdater observe(*reader, {});
+    const model::IngestBatch all = observe.ingest(rows);
+    std::vector<double> dist;
+    for (double d2 : all.projection.dist2)
+        dist.push_back(std::sqrt(d2));
+    std::vector<double> sorted = dist;
+    std::sort(sorted.begin(), sorted.end());
+    const double threshold = sorted[sorted.size() / 2];
+
+    // Pass 2 applies it; the drop set must be exactly the rule's.
+    model::UpdateOptions opts;
+    opts.dedup_threshold = threshold;
+    model::ModelUpdater updater(*reader, opts);
+    const model::IngestBatch batch = updater.ingest(rows);
+    std::size_t want_dropped = 0;
+    for (std::size_t r = 0; r < dist.size(); ++r) {
+        const bool redundant = dist[r] <= threshold;
+        want_dropped += redundant ? 1 : 0;
+        EXPECT_EQ(batch.accepted_mask[r], redundant ? 0 : 1) << "row " << r;
+    }
+    EXPECT_GT(want_dropped, 0u);
+    EXPECT_LT(want_dropped, rows.rows());
+    EXPECT_EQ(batch.deduped, want_dropped);
+    EXPECT_EQ(batch.accepted, rows.rows() - want_dropped);
+
+    // Dropped rows still count in every gauge: the delta's population
+    // tallies cover all ingested rows, not just the accepted ones.
+    const ModelDelta d = updater.delta(1);
+    EXPECT_EQ(d.ingested_rows, rows.rows());
+    EXPECT_EQ(d.accepted_rows, rows.rows() - want_dropped);
+    EXPECT_EQ(d.deduped_rows, want_dropped);
+    std::uint64_t total = 0;
+    for (std::uint64_t c : d.assign_counts)
+        total += c;
+    EXPECT_EQ(total, rows.rows());
+    EXPECT_GE(d.total_variation, 0.0);
+    EXPECT_LE(d.total_variation, 1.0);
+    EXPECT_EQ(d.global_max_distance, sorted.back());
+    for (std::size_t c = 0; c < d.mean_distance.size(); ++c)
+        EXPECT_LE(d.mean_distance[c], d.max_distance[c]) << "cluster " << c;
+}
+
+// --------------------------------------------------------- refinement
+
+TEST(ModelUpdateRefine, DriftIsBoundedAndIdleCentersStayFrozen)
+{
+    const PhaseModel m = tinyModel();
+    const auto reader = model::makeReader(tinyModel());
+    model::UpdateOptions opts;
+    opts.refine = true;
+    opts.drift_threshold = 100.0; // far above any movement here
+    model::ModelUpdater updater(*reader, opts);
+    (void)updater.ingest(syntheticRows(32, 1.5));
+
+    const ModelDelta d = updater.delta(1);
+    ASSERT_TRUE(d.refined);
+    ASSERT_EQ(d.refined_centers.rows(), m.numClusters());
+    ASSERT_EQ(d.center_drift.size(), m.numClusters());
+    double max_seen = 0.0;
+    for (std::size_t c = 0; c < m.numClusters(); ++c) {
+        const double exact = stats::euclideanDistance(
+            d.refined_centers.row(c), m.centers.row(c));
+        // The reported drift is a certified (inflated) upper bound on the
+        // exact Euclidean movement — the Hamerly bound discipline.
+        EXPECT_LE(exact, d.center_drift[c]) << "cluster " << c;
+        if (d.assign_counts[c] == 0) {
+            // No traffic: the frozen center must survive bit-for-bit.
+            EXPECT_EQ(std::memcmp(d.refined_centers.row(c).data(),
+                                  m.centers.row(c).data(),
+                                  m.components() * sizeof(double)),
+                      0);
+            EXPECT_EQ(d.center_drift[c], 0.0);
+        }
+        max_seen = std::max(max_seen, d.center_drift[c]);
+    }
+    EXPECT_EQ(d.max_center_drift, max_seen);
+    EXPECT_FALSE(d.retrain_recommended);
+}
+
+TEST(ModelUpdateRefine, RetrainSignalFiresOnOutOfSpaceIntervals)
+{
+    const auto reader = model::makeReader(tinyModel());
+    model::UpdateOptions opts;
+    opts.refine = true;
+    opts.drift_threshold = 0.25;
+    model::ModelUpdater updater(*reader, opts);
+    // Rows far outside the training distribution: placement still works
+    // (nearest frozen center), but the weighted-mean refinement drags
+    // centers past the drift threshold.
+    stats::Matrix rows(0, 0);
+    for (std::size_t i = 0; i < 24; ++i) {
+        const double t = static_cast<double>(i);
+        const std::vector<double> row = {40.0 + t, -60.0 - 2.0 * t, 3.0};
+        rows.appendRow(row);
+    }
+    (void)updater.ingest(rows);
+
+    const ModelDelta d = updater.delta(1);
+    ASSERT_TRUE(d.refined);
+    EXPECT_GT(d.max_center_drift, opts.drift_threshold);
+    EXPECT_TRUE(d.retrain_recommended);
+    EXPECT_EQ(d.drift_threshold, opts.drift_threshold);
+}
+
+// ------------------------------------------------------ delta appends
+
+TEST(ModelUpdateAppend, AppendedDeltasKeepAlignmentAndZeroCopy)
+{
+    const std::string path = "/tmp/micaphase_update_aligned.bin";
+    model::SaveOptions aligned;
+    aligned.align_sections = true;
+    tinyModel().save(path, aligned);
+    ASSERT_TRUE(PhaseModelView::open(path).zeroCopy());
+
+    // Two appends through the public API, both keeping aligned layout.
+    const auto reader = model::open(path, {model::OpenMode::Copy});
+    model::ModelUpdater updater(*reader, {});
+    (void)updater.ingest(syntheticRows(16, 1.0));
+    model::appendDelta(path, updater.delta(), aligned);
+    (void)updater.ingest(syntheticRows(16, 2.0));
+    model::appendDelta(path, updater.delta(), aligned);
+
+    // Regression: every section of the rewritten file — including both
+    // delta sections — still starts on an 8-byte boundary, so the file
+    // stays zero-copy eligible after any number of appends.
+    const std::vector<std::uint8_t> bytes = readFile(path);
+    const std::uint32_t sections = getU32(bytes, 12);
+    ASSERT_GE(sections, 9u); // 7 required + 2 deltas
+    std::size_t delta_sections = 0;
+    for (std::uint32_t e = 0; e < sections; ++e) {
+        const std::size_t entry = 16 + static_cast<std::size_t>(e) * 32;
+        EXPECT_EQ(getU64(bytes, entry + 8) % 8, 0u)
+            << "section " << getU32(bytes, entry) << " misaligned";
+        delta_sections += getU32(bytes, entry) == 8 ? 1 : 0;
+    }
+    EXPECT_EQ(delta_sections, 2u);
+
+    const PhaseModelView view = PhaseModelView::open(path);
+    EXPECT_TRUE(view.zeroCopy());
+    ASSERT_EQ(view.meta().deltas.size(), 2u);
+    EXPECT_EQ(view.meta().deltas[0].sequence, 1u);
+    EXPECT_EQ(view.meta().deltas[1].sequence, 2u);
+    EXPECT_EQ(view.meta().deltas[1].ingested_rows, 32u); // cumulative
+    std::remove(path.c_str());
+}
+
+TEST(ModelUpdateAppend, RejectsForeignBaseAndStaleSequence)
+{
+    const std::string path = "/tmp/micaphase_update_reject.bin";
+    const PhaseModel m = tinyModel();
+    m.save(path);
+
+    ModelDelta foreign = tinyDelta(m, 1, false);
+    foreign.base_analysis_key ^= 0xdeadbeefULL;
+    EXPECT_THROW(model::appendDelta(path, foreign), ModelError);
+
+    model::appendDelta(path, tinyDelta(m, 5, false));
+    EXPECT_THROW(model::appendDelta(path, tinyDelta(m, 5, false)),
+                 ModelError); // equal sequence
+    EXPECT_THROW(model::appendDelta(path, tinyDelta(m, 3, false)),
+                 ModelError); // going backwards
+    model::appendDelta(path, tinyDelta(m, 0, true)); // 0 = assign next
+    const PhaseModel loaded = PhaseModel::load(path);
+    ASSERT_EQ(loaded.deltas.size(), 2u);
+    EXPECT_EQ(loaded.deltas[1].sequence, 6u);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- hot swap
+
+TEST(ModelHotSwap, SnapshotIsEmptyBeforeFirstPublish)
+{
+    model::LiveModel live;
+    EXPECT_EQ(live.generation(), 0u);
+    const model::LiveModel::Snapshot snap = live.current();
+    EXPECT_FALSE(snap);
+    EXPECT_EQ(snap.generation, 0u);
+}
+
+TEST(ModelHotSwap, FailedReloadKeepsOldGenerationServing)
+{
+    const std::string good = "/tmp/micaphase_swap_good.bin";
+    const std::string bad = "/tmp/micaphase_swap_bad.bin";
+    tinyModel().save(good);
+    {
+        std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+        out << "not a model";
+    }
+
+    model::LiveModel live;
+    EXPECT_EQ(live.load(good), 1u);
+    EXPECT_THROW((void)live.load(bad), ModelError);
+    EXPECT_EQ(live.generation(), 1u);
+    const model::LiveModel::Snapshot snap = live.current();
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap.reader->numClusters(), 2u);
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
+/**
+ * The soak: one writer hammers publish() while 8 reader threads take
+ * snapshots and place the same batch. Every reply must be bitwise equal
+ * to the oracle of the generation its snapshot reports — a snapshot
+ * never serves a torn or cross-generation model, and in-flight batches
+ * finish on the generation they started on even while the slot swaps.
+ * (Runs under TSan in CI via the Update|Swap suite filter.)
+ */
+TEST(ModelHotSwap, ConcurrentReadersNeverObserveMixedGenerations)
+{
+    PhaseModel model_a = tinyModel();
+    PhaseModel model_b = tinyModel();
+    // Distinct centers: the two generations place rows differently, so a
+    // cross-generation read cannot accidentally pass the bitwise check.
+    model_b.centers = stats::Matrix::fromRows({{2.5, -1.0}, {0.0, 4.0}});
+
+    const stats::Matrix rows = syntheticRows(64, 2.0);
+    const model::Projection oracle_a = model_a.placeBatch(rows);
+    const model::Projection oracle_b = model_b.placeBatch(rows);
+    ASSERT_NE(oracle_a.assignment, oracle_b.assignment)
+        << "generations must disagree for the soak to mean anything";
+
+    model::LiveModel live;
+    live.publish(model::makeReader(PhaseModel(model_a))); // generation 1
+
+    constexpr std::uint64_t kGenerations = 40;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> empty_snapshots{0};
+
+    std::vector<std::thread> readers;
+    readers.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+        readers.emplace_back([&] {
+            stats::ProjectOptions popts;
+            popts.threads = 1;
+            popts.block_rows = 16;
+            while (!stop.load(std::memory_order_acquire)) {
+                const model::LiveModel::Snapshot snap = live.current();
+                if (!snap) {
+                    empty_snapshots.fetch_add(1);
+                    continue;
+                }
+                const model::Projection got =
+                    snap.reader->placeBatch(rows, popts);
+                // Generation parity picks the oracle: odd = A, even = B.
+                const model::Projection &want =
+                    snap.generation % 2 == 1 ? oracle_a : oracle_b;
+                const bool ok =
+                    got.assignment == want.assignment &&
+                    std::memcmp(got.dist2.data(), want.dist2.data(),
+                                want.dist2.size() * sizeof(double)) == 0 &&
+                    std::memcmp(got.reduced.data().data(),
+                                want.reduced.data().data(),
+                                want.reduced.data().size() *
+                                    sizeof(double)) == 0;
+                if (!ok)
+                    mismatches.fetch_add(1);
+                batches.fetch_add(1);
+            }
+        });
+    }
+
+    for (std::uint64_t g = 2; g <= kGenerations; ++g) {
+        const PhaseModel &next = g % 2 == 1 ? model_a : model_b;
+        EXPECT_EQ(live.publish(model::makeReader(PhaseModel(next))), g);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread &t : readers)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_EQ(empty_snapshots.load(), 0u); // published before spawning
+    EXPECT_GT(batches.load(), 0u);
+    EXPECT_EQ(live.generation(), kGenerations);
+}
+
+} // namespace
