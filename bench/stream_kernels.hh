@@ -1,0 +1,161 @@
+/**
+ * @file
+ * STREAM-style bandwidth kernels for the perf substrate's roofline-style
+ * working-set sweep (docs/PERFORMANCE.md "SIMD kernels").
+ *
+ * The four classic operations — Copy, Scale, Add, Triad — are measured
+ * over three cache-line-aligned double arrays whose combined footprint is
+ * swept from L1-resident to DRAM-resident. Each operation's effective
+ * bytes per element follows the STREAM convention (load + store counts,
+ * no write-allocate accounting):
+ *
+ *   Copy   c[i] = a[i]            2 x 8  = 16 bytes/element
+ *   Scale  b[i] = s * c[i]        2 x 8  = 16 bytes/element
+ *   Add    c[i] = a[i] + b[i]     3 x 8  = 24 bytes/element
+ *   Triad  a[i] = b[i] + s * c[i] 3 x 8  = 24 bytes/element
+ *
+ * The loops are deliberately plain: the compiler is free to vectorize
+ * them (Release builds do), because the quantity of interest is the
+ * memory system's sustainable bandwidth at each working-set size — the
+ * ceiling the dispatched stats kernels (stats/simd.hh) run under — not
+ * the instruction selection itself.
+ */
+
+#ifndef MICAPHASE_BENCH_STREAM_KERNELS_HH
+#define MICAPHASE_BENCH_STREAM_KERNELS_HH
+
+#include <chrono>
+#include <cstddef>
+
+#include "util/aligned.hh"
+
+namespace micabench::stream {
+
+enum class Op { Copy, Scale, Add, Triad };
+
+inline const char *
+opName(Op op)
+{
+    switch (op) {
+    case Op::Copy:
+        return "copy";
+    case Op::Scale:
+        return "scale";
+    case Op::Add:
+        return "add";
+    case Op::Triad:
+        return "triad";
+    }
+    return "copy";
+}
+
+/** STREAM-convention bytes moved per element for one op execution. */
+inline double
+bytesPerElement(Op op)
+{
+    switch (op) {
+    case Op::Copy:
+    case Op::Scale:
+        return 16.0;
+    case Op::Add:
+    case Op::Triad:
+        return 24.0;
+    }
+    return 16.0;
+}
+
+/** One pass of `op` over n-element arrays a/b/c with scalar s. */
+inline void
+runOp(Op op, double *a, double *b, double *c, std::size_t n, double s)
+{
+    switch (op) {
+    case Op::Copy:
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = a[i];
+        break;
+    case Op::Scale:
+        for (std::size_t i = 0; i < n; ++i)
+            b[i] = s * c[i];
+        break;
+    case Op::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = a[i] + b[i];
+        break;
+    case Op::Triad:
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] = b[i] + s * c[i];
+        break;
+    }
+}
+
+/** Bandwidth of all four ops at one working-set size. */
+struct BandwidthPoint
+{
+    std::size_t working_set_bytes = 0; ///< combined footprint of a+b+c
+    double copy_gbps = 0.0;
+    double scale_gbps = 0.0;
+    double add_gbps = 0.0;
+    double triad_gbps = 0.0;
+
+    double &
+    slot(Op op)
+    {
+        switch (op) {
+        case Op::Copy:
+            return copy_gbps;
+        case Op::Scale:
+            return scale_gbps;
+        case Op::Add:
+            return add_gbps;
+        case Op::Triad:
+            return triad_gbps;
+        }
+        return copy_gbps;
+    }
+};
+
+/**
+ * Measure sustainable bandwidth at one combined working-set size
+ * (split evenly across the three arrays). Each op runs `reps` passes
+ * per timed sample, best of `samples` samples; a checksum of the
+ * written array defeats dead-store elimination.
+ */
+inline BandwidthPoint
+measureBandwidth(std::size_t working_set_bytes, int samples = 3)
+{
+    BandwidthPoint point;
+    point.working_set_bytes = working_set_bytes;
+    const std::size_t n = working_set_bytes / (3 * sizeof(double));
+    if (n == 0)
+        return point;
+
+    mica::util::AlignedVector<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+    // Enough passes per sample that the timer resolution is negligible
+    // even for L1-resident sizes (~64 MiB traffic per sample).
+    const std::size_t reps =
+        std::max<std::size_t>(1, (64ul << 20) / working_set_bytes);
+
+    volatile double sink = 0.0;
+    for (const Op op : {Op::Copy, Op::Scale, Op::Add, Op::Triad}) {
+        double best_s = 1e300;
+        for (int sample = 0; sample < samples; ++sample) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t rep = 0; rep < reps; ++rep)
+                runOp(op, a.data(), b.data(), c.data(), n, 3.0);
+            const double dt = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count() /
+                static_cast<double>(reps);
+            best_s = std::min(best_s, dt);
+        }
+        sink = sink + a[n / 2] + b[n / 2] + c[n / 2];
+        point.slot(op) = bytesPerElement(op) * static_cast<double>(n) /
+            best_s / 1e9;
+    }
+    (void)sink;
+    return point;
+}
+
+} // namespace micabench::stream
+
+#endif // MICAPHASE_BENCH_STREAM_KERNELS_HH

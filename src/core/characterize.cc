@@ -59,7 +59,13 @@ ExperimentConfig::analysisKey() const
     // 0002: k-means++ D² totals are now reduced in block order (affects
     // PlusPlus seeding only — Hamerly pruning itself is bit-neutral and
     // kmeans_pruning is deliberately NOT mixed in).
-    mix(0xB10C0002);
+    // 0003: squaredDistance/sumSquares now reduce in the fixed 8-lane
+    // virtual-lane order shared by the scalar oracle and every SIMD
+    // backend (stats/simd.hh), altering distance rounding. The SIMD
+    // *level* is deliberately NOT mixed in: all levels are bitwise
+    // identical, so caches stay valid across hosts and MICA_SIMD
+    // settings.
+    mix(0xB10C0003);
     return h;
 }
 

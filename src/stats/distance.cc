@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "stats/simd.hh"
+
 namespace mica::stats {
 
 NearestCenter
@@ -15,22 +17,15 @@ NearestCenter
 nearestCenter(std::span<const double> point, MatrixView centers,
               std::size_t cached_index, double cached_dist2)
 {
+    // The whole k-center scan dispatches as one kernel so the per-center
+    // distance call stays direct inside the selected backend.
+    const simd::ScanHit hit =
+        simd::nearestCenterScan(point.data(), centers.data(), centers.rows(),
+                                centers.cols(), cached_index, cached_dist2);
     NearestCenter out;
-    out.dist2 = std::numeric_limits<double>::max();
-    out.second_dist2 = std::numeric_limits<double>::max();
-    const std::size_t k = centers.rows();
-    for (std::size_t c = 0; c < k; ++c) {
-        const double dist = c == cached_index
-            ? cached_dist2
-            : squaredDistance(point, centers.row(c));
-        if (dist < out.dist2) {
-            out.second_dist2 = out.dist2;
-            out.dist2 = dist;
-            out.index = c;
-        } else if (dist < out.second_dist2) {
-            out.second_dist2 = dist;
-        }
-    }
+    out.index = hit.index;
+    out.dist2 = hit.dist2;
+    out.second_dist2 = hit.second_dist2;
     return out;
 }
 
@@ -61,16 +56,15 @@ CenterDrift::fromSquaredMovements(std::span<const double> move2)
 }
 
 std::vector<double>
-rowNorms(const Matrix &data)
+rowNorms(const Matrix &data, DistanceCounters *counters)
 {
     std::vector<double> norms(data.rows());
     for (std::size_t r = 0; r < data.rows(); ++r) {
-        auto row = data.row(r);
-        double acc = 0.0;
-        for (double v : row)
-            acc += v * v;
-        norms[r] = std::sqrt(acc);
+        const auto row = data.row(r);
+        norms[r] = std::sqrt(simd::sumSquares(row.data(), row.size()));
     }
+    if (counters != nullptr)
+        counters->norms += data.rows();
     return norms;
 }
 

@@ -99,12 +99,14 @@ struct DistanceCounters
 {
     std::uint64_t computed = 0; ///< squaredDistance evaluations performed
     std::uint64_t pruned = 0;   ///< evaluations skipped by bounds
+    std::uint64_t norms = 0;    ///< row-norm (sum-of-squares) evaluations
 
     void
     operator+=(const DistanceCounters &other)
     {
         computed += other.computed;
         pruned += other.pruned;
+        norms += other.norms;
     }
 };
 
@@ -206,9 +208,13 @@ struct CenterDrift
 
 /**
  * Euclidean norm of every row (exact per-row arithmetic, row-parallel
- * safe). Used by the k-means++ seeding pruner.
+ * safe). Used by the k-means++ seeding pruner. Each row costs one
+ * sum-of-squares kernel evaluation — the same flop shape as a
+ * squaredDistance — so when `counters` is given the rows are accounted
+ * in `DistanceCounters::norms` alongside the other distance work.
  */
-[[nodiscard]] std::vector<double> rowNorms(const Matrix &data);
+[[nodiscard]] std::vector<double>
+rowNorms(const Matrix &data, DistanceCounters *counters = nullptr);
 
 /**
  * Reverse-triangle-inequality pruning test for the k-means++ min-distance

@@ -288,10 +288,11 @@ KMeans::plusPlusSeeds(const Matrix &data, std::size_t k, Rng &rng,
 
     // Row norms feed the reverse-triangle pruning test: when
     // |‖x‖ - ‖seed‖|² already exceeds D²(x), the new seed cannot be
-    // closer and the exact distance evaluation is skipped.
+    // closer and the exact distance evaluation is skipped. The norm
+    // evaluations are distance-shaped work and counted as such.
     std::vector<double> norms;
     if (pruning)
-        norms = rowNorms(data);
+        norms = rowNorms(data, counters);
 
     const std::size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
     const unsigned eff_threads = util::resolveThreads(threads, num_blocks);
@@ -454,6 +455,8 @@ KMeans::run(const Matrix &data, const Options &opts)
                static_cast<double>(total.computed));
     obs::count("kmeans.distances_pruned",
                static_cast<double>(total.pruned));
+    obs::count("kmeans.row_norms_computed",
+               static_cast<double>(total.norms));
     obs::gauge("kmeans.winning_restart", static_cast<double>(best));
     KMeansResult result = std::move(candidates[best]);
     result.distance_counters = total;

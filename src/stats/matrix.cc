@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "stats/simd.hh"
+
 namespace mica::stats {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -90,8 +92,7 @@ Matrix::multiply(const Matrix &other) const
                 continue;
             const double *brow = other.data_.data() + k * other.cols_;
             double *orow = out.data_.data() + i * other.cols_;
-            for (std::size_t j = 0; j < other.cols_; ++j)
-                orow[j] += a * brow[j];
+            simd::axpy(a, brow, orow, other.cols_);
         }
     }
     return out;
@@ -172,12 +173,7 @@ double
 squaredDistance(std::span<const double> a, std::span<const double> b)
 {
     assert(a.size() == b.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        acc += d * d;
-    }
-    return acc;
+    return simd::squaredDistance(a.data(), b.data(), a.size());
 }
 
 double

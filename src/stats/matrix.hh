@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.hh"
+
 namespace mica::stats {
 
 /**
@@ -132,8 +134,14 @@ class Matrix
     /** Max absolute element-wise difference versus another matrix. */
     [[nodiscard]] double maxAbsDiff(const Matrix &other) const;
 
-    /** Raw storage (row-major), e.g. for serialization. */
-    [[nodiscard]] const std::vector<double> &data() const { return data_; }
+    /** Raw storage (row-major), e.g. for serialization. The base pointer
+     *  is cache-line (64-byte) aligned so the SIMD kernels see aligned
+     *  rows whenever cols is a multiple of 8 doubles — and merely
+     *  unaligned (never invalid) loads otherwise. */
+    [[nodiscard]] const util::AlignedVector<double> &data() const
+    {
+        return data_;
+    }
 
     /** Non-owning view of this matrix (valid while the matrix lives). */
     [[nodiscard]] MatrixView view() const
@@ -150,7 +158,7 @@ class Matrix
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<double> data_;
+    util::AlignedVector<double> data_;
 };
 
 /** Euclidean distance between two equally sized vectors. */

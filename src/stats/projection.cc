@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "stats/distance.hh"
+#include "stats/simd.hh"
+#include "util/aligned.hh"
 #include "util/thread_pool.hh"
 
 namespace mica::stats {
@@ -13,30 +16,23 @@ namespace {
 /**
  * Project one row: fused normalize -> loadings product -> rescale, writing
  * the m rescaled PCA coordinates into dst (pre-zeroed by the caller).
- * Operation order is exactly the unfused path's (see projection.hh).
+ * Operation order is exactly the unfused path's (see projection.hh); the
+ * three stages run through the dispatched SIMD kernels, which are bitwise
+ * identical to the scalar oracle at every level. `scratch` (size p) holds
+ * the normalized input so the zero-skip accumulation can vectorize over
+ * whole loading rows instead of re-deriving each coefficient. The whole
+ * body is one dispatched kernel (simd::projectRow) so a row costs a
+ * single indirect call, not one per axpy.
  */
 void
 projectOneRow(const ProjectionSpec &spec, std::span<const double> src,
-              std::span<double> dst)
+              std::span<double> dst, std::span<double> scratch)
 {
-    const std::size_t p = spec.loadings.rows();
-    const std::size_t m = spec.loadings.cols();
-    for (std::size_t k = 0; k < p; ++k) {
-        double a = src[k];
-        if (spec.normalize_input) {
-            const double sd = spec.stddev[k];
-            a = sd > kStddevEpsilon ? (src[k] - spec.mean[k]) / sd : 0.0;
-        }
-        if (a == 0.0)
-            continue;
-        const std::span<const double> lrow = spec.loadings.row(k);
-        for (std::size_t j = 0; j < m; ++j)
-            dst[j] += a * lrow[j];
-    }
-    for (std::size_t j = 0; j < m; ++j) {
-        const double sd = spec.rescale_sd[j];
-        dst[j] = sd > kStddevEpsilon ? dst[j] / sd : 0.0;
-    }
+    simd::projectRow(src.data(), spec.mean.data(), spec.stddev.data(),
+                     spec.normalize_input, scratch.data(),
+                     spec.loadings.data(), spec.loadings.rows(),
+                     spec.loadings.cols(), dst.data(),
+                     spec.rescale_sd.data(), kStddevEpsilon);
 }
 
 } // namespace
@@ -76,12 +72,17 @@ projectRows(const ProjectionSpec &spec, MatrixView rows,
     // fully independent, so the partition is purely a scheduling concern.
     const std::size_t blocks = (n + opts.block_rows - 1) / opts.block_rows;
     const unsigned threads = util::resolveThreads(opts.threads, blocks);
+    obs::gauge("stats.simd_level",
+               static_cast<double>(simd::activeLevel()));
     util::parallelFor(threads, blocks, [&](std::size_t b) {
+        // Per-block normalized-row scratch: written and read only inside
+        // one row's projection, so it carries no state across rows.
+        util::AlignedVector<double> scratch(spec.normalize_input ? p : 0);
         const std::size_t begin = b * opts.block_rows;
         const std::size_t end = std::min(begin + opts.block_rows, n);
         for (std::size_t r = begin; r < end; ++r) {
             const std::span<double> dst = out.reduced.row(r);
-            projectOneRow(spec, rows.row(r), dst);
+            projectOneRow(spec, rows.row(r), dst, scratch);
             const NearestCenter nearest = nearestCenter(dst, spec.centers);
             out.assignment[r] = nearest.index;
             out.dist2[r] = nearest.dist2;

@@ -1,0 +1,742 @@
+/**
+ * @file
+ * Kernel backends and runtime dispatch for stats/simd.hh.
+ *
+ * This translation unit is compiled with -ffp-contract=off (see
+ * src/stats/CMakeLists.txt) so neither the scalar fallback nor any
+ * vector backend can pick up fused multiply-adds the other paths lack —
+ * the bitwise-identity argument in simd.hh depends on every path doing
+ * plain IEEE-754 mul/add in the documented order.
+ *
+ * Backend inventory:
+ *   - Scalar: always compiled; implements the virtual-lane reduction
+ *     order directly and serves as the oracle for the parity tests.
+ *   - AVX2: compiled on x86-64 via per-function target("avx2")
+ *     attributes (no global -mavx2 needed), selected at runtime when
+ *     __builtin_cpu_supports("avx2") holds.
+ *   - NEON: compiled on AArch64 (Advanced SIMD is baseline there).
+ *
+ * -DMICA_SIMD=OFF defines MICA_SIMD_DISABLED, which compiles out both
+ * vector backends so the whole binary runs the scalar oracle.
+ */
+
+#include "stats/simd.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__x86_64__) && !defined(MICA_SIMD_DISABLED)
+#define MICA_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && !defined(MICA_SIMD_DISABLED)
+#define MICA_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace mica::stats::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the determinism oracle. The reductions spell out the
+// virtual-lane schedule the vector backends must reproduce.
+// ---------------------------------------------------------------------------
+
+double
+squaredDistanceScalar(const double *a, const double *b, std::size_t n)
+{
+    double acc[kVirtualLanes] = {};
+    std::size_t i = 0;
+    for (; i + kVirtualLanes <= n; i += kVirtualLanes) {
+        for (std::size_t l = 0; l < kVirtualLanes; ++l) {
+            const double d = a[i + l] - b[i + l];
+            acc[l] += d * d;
+        }
+    }
+    // The final partial group folds into the lanes too (element i lands
+    // in lane i mod 8): the vector backends can then retire it with one
+    // masked/padded vector step instead of a serial scalar chain, and
+    // adding +0.0 for the absent lanes is a bitwise no-op because every
+    // term d*d is non-negative (see the simd.hh file comment).
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        acc[i % kVirtualLanes] += d * d;
+    }
+    const double b0 = acc[0] + acc[4];
+    const double b1 = acc[1] + acc[5];
+    const double b2 = acc[2] + acc[6];
+    const double b3 = acc[3] + acc[7];
+    return (b0 + b2) + (b1 + b3);
+}
+
+double
+sumSquaresScalar(const double *a, std::size_t n)
+{
+    double acc[kVirtualLanes] = {};
+    std::size_t i = 0;
+    for (; i + kVirtualLanes <= n; i += kVirtualLanes) {
+        for (std::size_t l = 0; l < kVirtualLanes; ++l) {
+            const double v = a[i + l];
+            acc[l] += v * v;
+        }
+    }
+    for (; i < n; ++i)
+        acc[i % kVirtualLanes] += a[i] * a[i];
+    const double b0 = acc[0] + acc[4];
+    const double b1 = acc[1] + acc[5];
+    const double b2 = acc[2] + acc[6];
+    const double b3 = acc[3] + acc[7];
+    return (b0 + b2) + (b1 + b3);
+}
+
+void
+axpyScalar(double a, const double *x, double *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+normalizeScalar(const double *src, const double *mean, const double *sd,
+                double *dst, std::size_t n, double eps)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = sd[i] > eps ? (src[i] - mean[i]) / sd[i] : 0.0;
+}
+
+void
+rescaleScalar(double *v, const double *sd, std::size_t n, double eps)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = sd[i] > eps ? v[i] / sd[i] : 0.0;
+}
+
+/**
+ * Shared fused-projection skeleton (simd.hh projectRow): the zero-skip
+ * coefficient loop and the stage order are identical across backends;
+ * only the stage kernels differ. Non-type template parameters keep the
+ * per-coefficient axpy call direct — a dispatched call per stage would
+ * cost p+2 indirect calls per row where one suffices.
+ */
+template <void (*Norm)(const double *, const double *, const double *,
+                       double *, std::size_t, double),
+          void (*Axpy)(double, const double *, double *, std::size_t),
+          void (*Rescale)(double *, const double *, std::size_t, double)>
+void
+projectRowImpl(const double *src, const double *mean, const double *sd,
+               bool normalize_input, double *scratch, const double *loadings,
+               std::size_t p, std::size_t m, double *dst,
+               const double *rescale_sd, double eps)
+{
+    const double *a = src;
+    if (normalize_input) {
+        Norm(src, mean, sd, scratch, p, eps);
+        a = scratch;
+    }
+    for (std::size_t k = 0; k < p; ++k) {
+        if (a[k] == 0.0)
+            continue; // sparse coefficients: skip exact zeros bit-for-bit
+        Axpy(a[k], loadings + k * m, dst, m);
+    }
+    Rescale(dst, rescale_sd, m, eps);
+}
+
+/**
+ * Shared scan skeleton: the center loop, tie-breaking, runner-up
+ * tracking, and cached-distance substitution are identical across
+ * backends; only the per-center distance kernel differs. The non-type
+ * template parameter keeps the distance call direct (no per-center
+ * indirect call through the dispatch table).
+ */
+template <double (*Dist)(const double *, const double *, std::size_t)>
+ScanHit
+scanImpl(const double *point, const double *centers, std::size_t k,
+         std::size_t m, std::size_t cached_index, double cached_dist2)
+{
+    ScanHit out;
+    for (std::size_t c = 0; c < k; ++c) {
+        const double dist = c == cached_index
+            ? cached_dist2
+            : Dist(point, centers + c * m, m);
+        if (dist < out.dist2) {
+            out.second_dist2 = out.dist2;
+            out.dist2 = dist;
+            out.index = c;
+        } else if (dist < out.second_dist2) {
+            out.second_dist2 = dist;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: 8 virtual lanes live in two 4-wide registers; the
+// combine tree (b_i = acc_i + acc_{i+4}, then (b0+b2)+(b1+b3)) is the
+// scalar schedule verbatim. All loads are unaligned so mmap-aliased
+// matrices (8-byte aligned) work; owned matrices are 64-byte aligned
+// anyway and take the fast aligned-address path in hardware.
+// ---------------------------------------------------------------------------
+
+#ifdef MICA_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) inline double
+horizontalSumAvx2(__m256d acc0, __m256d acc1)
+{
+    const __m256d s = _mm256_add_pd(acc0, acc1);       // {b0, b1, b2, b3}
+    const __m128d lo = _mm256_castpd256_pd128(s);      // {b0, b1}
+    const __m128d hi = _mm256_extractf128_pd(s, 1);    // {b2, b3}
+    const __m128d t = _mm_add_pd(lo, hi);              // {b0+b2, b1+b3}
+    const __m128d swapped = _mm_unpackhi_pd(t, t);     // {b1+b3, b1+b3}
+    return _mm_cvtsd_f64(_mm_add_sd(t, swapped));      // (b0+b2)+(b1+b3)
+}
+
+/**
+ * Lane-enable masks for the final partial group: kTailMaskSrc + 4 - j
+ * reads a 4-lane mask whose first j lanes are set. VMASKMOVPD loads 0.0
+ * in disabled lanes and never touches their memory, so the tail costs
+ * one vector step with no out-of-bounds access; the 0.0 lanes then
+ * contribute +0.0 to their accumulators, which is a bitwise no-op for
+ * the non-negative terms these reductions sum (simd.hh file comment).
+ */
+alignas(64) constexpr long long kTailMaskSrc[8] = {-1, -1, -1, -1,
+                                                   0,  0,  0,  0};
+
+__attribute__((target("avx2"))) inline __m256i
+tailMaskAvx2(std::size_t active)
+{
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(kTailMaskSrc + 4 - active));
+}
+
+__attribute__((target("avx2"))) double
+squaredDistanceAvx2(const double *a, const double *b, std::size_t n)
+{
+    __m256d acc0 = _mm256_setzero_pd(); // lanes 0..3
+    __m256d acc1 = _mm256_setzero_pd(); // lanes 4..7
+    std::size_t i = 0;
+    for (; i + kVirtualLanes <= n; i += kVirtualLanes) {
+        const __m256d d0 =
+            _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+        const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4));
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+    }
+    if (i < n) {
+        const std::size_t r = n - i; // 1..7
+        const __m256i m0 = tailMaskAvx2(r < 4 ? r : 4);
+        const __m256i m1 = tailMaskAvx2(r < 4 ? 0 : r - 4);
+        const __m256d d0 = _mm256_sub_pd(_mm256_maskload_pd(a + i, m0),
+                                         _mm256_maskload_pd(b + i, m0));
+        const __m256d d1 = _mm256_sub_pd(_mm256_maskload_pd(a + i + 4, m1),
+                                         _mm256_maskload_pd(b + i + 4, m1));
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+    }
+    return horizontalSumAvx2(acc0, acc1);
+}
+
+__attribute__((target("avx2"))) double
+sumSquaresAvx2(const double *a, std::size_t n)
+{
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kVirtualLanes <= n; i += kVirtualLanes) {
+        const __m256d v0 = _mm256_loadu_pd(a + i);
+        const __m256d v1 = _mm256_loadu_pd(a + i + 4);
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
+    }
+    if (i < n) {
+        const std::size_t r = n - i;
+        const __m256i m0 = tailMaskAvx2(r < 4 ? r : 4);
+        const __m256i m1 = tailMaskAvx2(r < 4 ? 0 : r - 4);
+        const __m256d v0 = _mm256_maskload_pd(a + i, m0);
+        const __m256d v1 = _mm256_maskload_pd(a + i + 4, m1);
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
+    }
+    return horizontalSumAvx2(acc0, acc1);
+}
+
+__attribute__((target("avx2"))) void
+axpyAvx2(double a, const double *x, double *y, std::size_t n)
+{
+    const __m256d va = _mm256_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+        _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+__attribute__((target("avx2"))) void
+normalizeAvx2(const double *src, const double *mean, const double *sd,
+              double *dst, std::size_t n, double eps)
+{
+    const __m256d veps = _mm256_set1_pd(eps);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d vsd = _mm256_loadu_pd(sd + i);
+        // sd > eps per lane; dead lanes (possible Inf/NaN from the
+        // division) are masked to +0.0, matching the scalar branch.
+        const __m256d keep = _mm256_cmp_pd(vsd, veps, _CMP_GT_OQ);
+        const __m256d num = _mm256_sub_pd(_mm256_loadu_pd(src + i),
+                                          _mm256_loadu_pd(mean + i));
+        const __m256d q = _mm256_div_pd(num, vsd);
+        _mm256_storeu_pd(dst + i, _mm256_and_pd(q, keep));
+    }
+    for (; i < n; ++i)
+        dst[i] = sd[i] > eps ? (src[i] - mean[i]) / sd[i] : 0.0;
+}
+
+__attribute__((target("avx2"))) void
+rescaleAvx2(double *v, const double *sd, std::size_t n, double eps)
+{
+    const __m256d veps = _mm256_set1_pd(eps);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d vsd = _mm256_loadu_pd(sd + i);
+        const __m256d keep = _mm256_cmp_pd(vsd, veps, _CMP_GT_OQ);
+        const __m256d q = _mm256_div_pd(_mm256_loadu_pd(v + i), vsd);
+        _mm256_storeu_pd(v + i, _mm256_and_pd(q, keep));
+    }
+    for (; i < n; ++i)
+        v[i] = sd[i] > eps ? v[i] / sd[i] : 0.0;
+}
+
+/**
+ * target("avx2") wrappers around the shared skeletons: a caller whose
+ * target set includes the callees' lets the compiler inline the whole
+ * chain (skeleton -> stage kernels), so the scan's per-center distance
+ * and the fused projection's per-coefficient axpy compile into the loop
+ * instead of paying a call each. flatten makes the inlining reliable —
+ * the stage kernels' addresses are also taken by the dispatch table,
+ * which otherwise tips the inliner's heuristics toward keeping calls.
+ */
+__attribute__((target("avx2"), flatten)) ScanHit
+scanAvx2(const double *point, const double *centers, std::size_t k,
+         std::size_t m, std::size_t cached_index, double cached_dist2)
+{
+    return scanImpl<squaredDistanceAvx2>(point, centers, k, m, cached_index,
+                                         cached_dist2);
+}
+
+__attribute__((target("avx2"), flatten)) void
+projectRowAvx2(const double *src, const double *mean, const double *sd,
+               bool normalize_input, double *scratch, const double *loadings,
+               std::size_t p, std::size_t m, double *dst,
+               const double *rescale_sd, double eps)
+{
+    projectRowImpl<normalizeAvx2, axpyAvx2, rescaleAvx2>(
+        src, mean, sd, normalize_input, scratch, loadings, p, m, dst,
+        rescale_sd, eps);
+}
+
+#endif // MICA_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// NEON backend: 8 virtual lanes live in four 2-wide registers
+// acc01/acc23/acc45/acc67; combining acc01+acc45 and acc23+acc67 yields
+// {b0,b1} and {b2,b3}, and their sum is {b0+b2, b1+b3} — again the
+// scalar schedule verbatim. Explicit vmul+vadd (never vfma) keeps the
+// arithmetic contraction-free.
+// ---------------------------------------------------------------------------
+
+#ifdef MICA_SIMD_HAVE_NEON
+
+inline double
+horizontalSumNeon(float64x2_t acc01, float64x2_t acc23, float64x2_t acc45,
+                  float64x2_t acc67)
+{
+    const float64x2_t s0 = vaddq_f64(acc01, acc45); // {b0, b1}
+    const float64x2_t s1 = vaddq_f64(acc23, acc67); // {b2, b3}
+    const float64x2_t t = vaddq_f64(s0, s1);        // {b0+b2, b1+b3}
+    return vgetq_lane_f64(t, 0) + vgetq_lane_f64(t, 1);
+}
+
+double
+squaredDistanceNeon(const double *a, const double *b, std::size_t n)
+{
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    float64x2_t acc45 = vdupq_n_f64(0.0);
+    float64x2_t acc67 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i + kVirtualLanes <= n; i += kVirtualLanes) {
+        const float64x2_t d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+        const float64x2_t d1 =
+            vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+        const float64x2_t d2 =
+            vsubq_f64(vld1q_f64(a + i + 4), vld1q_f64(b + i + 4));
+        const float64x2_t d3 =
+            vsubq_f64(vld1q_f64(a + i + 6), vld1q_f64(b + i + 6));
+        acc01 = vaddq_f64(acc01, vmulq_f64(d0, d0));
+        acc23 = vaddq_f64(acc23, vmulq_f64(d1, d1));
+        acc45 = vaddq_f64(acc45, vmulq_f64(d2, d2));
+        acc67 = vaddq_f64(acc67, vmulq_f64(d3, d3));
+    }
+    if (i < n) {
+        // Zero-padded copy of the final partial group: the pad lanes
+        // produce d = 0.0 and contribute +0.0 to their accumulators,
+        // a bitwise no-op for these non-negative terms (simd.hh).
+        double pa[kVirtualLanes] = {};
+        double pb[kVirtualLanes] = {};
+        for (std::size_t t = 0; i + t < n; ++t) {
+            pa[t] = a[i + t];
+            pb[t] = b[i + t];
+        }
+        const float64x2_t d0 = vsubq_f64(vld1q_f64(pa), vld1q_f64(pb));
+        const float64x2_t d1 =
+            vsubq_f64(vld1q_f64(pa + 2), vld1q_f64(pb + 2));
+        const float64x2_t d2 =
+            vsubq_f64(vld1q_f64(pa + 4), vld1q_f64(pb + 4));
+        const float64x2_t d3 =
+            vsubq_f64(vld1q_f64(pa + 6), vld1q_f64(pb + 6));
+        acc01 = vaddq_f64(acc01, vmulq_f64(d0, d0));
+        acc23 = vaddq_f64(acc23, vmulq_f64(d1, d1));
+        acc45 = vaddq_f64(acc45, vmulq_f64(d2, d2));
+        acc67 = vaddq_f64(acc67, vmulq_f64(d3, d3));
+    }
+    return horizontalSumNeon(acc01, acc23, acc45, acc67);
+}
+
+double
+sumSquaresNeon(const double *a, std::size_t n)
+{
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    float64x2_t acc45 = vdupq_n_f64(0.0);
+    float64x2_t acc67 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i + kVirtualLanes <= n; i += kVirtualLanes) {
+        const float64x2_t v0 = vld1q_f64(a + i);
+        const float64x2_t v1 = vld1q_f64(a + i + 2);
+        const float64x2_t v2 = vld1q_f64(a + i + 4);
+        const float64x2_t v3 = vld1q_f64(a + i + 6);
+        acc01 = vaddq_f64(acc01, vmulq_f64(v0, v0));
+        acc23 = vaddq_f64(acc23, vmulq_f64(v1, v1));
+        acc45 = vaddq_f64(acc45, vmulq_f64(v2, v2));
+        acc67 = vaddq_f64(acc67, vmulq_f64(v3, v3));
+    }
+    if (i < n) {
+        double pa[kVirtualLanes] = {};
+        for (std::size_t t = 0; i + t < n; ++t)
+            pa[t] = a[i + t];
+        const float64x2_t v0 = vld1q_f64(pa);
+        const float64x2_t v1 = vld1q_f64(pa + 2);
+        const float64x2_t v2 = vld1q_f64(pa + 4);
+        const float64x2_t v3 = vld1q_f64(pa + 6);
+        acc01 = vaddq_f64(acc01, vmulq_f64(v0, v0));
+        acc23 = vaddq_f64(acc23, vmulq_f64(v1, v1));
+        acc45 = vaddq_f64(acc45, vmulq_f64(v2, v2));
+        acc67 = vaddq_f64(acc67, vmulq_f64(v3, v3));
+    }
+    return horizontalSumNeon(acc01, acc23, acc45, acc67);
+}
+
+void
+axpyNeon(double a, const double *x, double *y, std::size_t n)
+{
+    const float64x2_t va = vdupq_n_f64(a);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
+        vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+normalizeNeon(const double *src, const double *mean, const double *sd,
+              double *dst, std::size_t n, double eps)
+{
+    const float64x2_t veps = vdupq_n_f64(eps);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t vsd = vld1q_f64(sd + i);
+        const uint64x2_t keep = vcgtq_f64(vsd, veps);
+        const float64x2_t num =
+            vsubq_f64(vld1q_f64(src + i), vld1q_f64(mean + i));
+        const float64x2_t q = vdivq_f64(num, vsd);
+        const float64x2_t masked = vreinterpretq_f64_u64(
+            vandq_u64(vreinterpretq_u64_f64(q), keep));
+        vst1q_f64(dst + i, masked);
+    }
+    for (; i < n; ++i)
+        dst[i] = sd[i] > eps ? (src[i] - mean[i]) / sd[i] : 0.0;
+}
+
+void
+rescaleNeon(double *v, const double *sd, std::size_t n, double eps)
+{
+    const float64x2_t veps = vdupq_n_f64(eps);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t vsd = vld1q_f64(sd + i);
+        const uint64x2_t keep = vcgtq_f64(vsd, veps);
+        const float64x2_t q = vdivq_f64(vld1q_f64(v + i), vsd);
+        const float64x2_t masked = vreinterpretq_f64_u64(
+            vandq_u64(vreinterpretq_u64_f64(q), keep));
+        vst1q_f64(v + i, masked);
+    }
+    for (; i < n; ++i)
+        v[i] = sd[i] > eps ? v[i] / sd[i] : 0.0;
+}
+
+#endif // MICA_SIMD_HAVE_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch tables and resolution.
+// ---------------------------------------------------------------------------
+
+struct KernelTable
+{
+    Level level;
+    double (*squared_distance)(const double *, const double *, std::size_t);
+    double (*sum_squares)(const double *, std::size_t);
+    void (*axpy)(double, const double *, double *, std::size_t);
+    void (*normalize)(const double *, const double *, const double *,
+                      double *, std::size_t, double);
+    void (*rescale)(double *, const double *, std::size_t, double);
+    void (*project_row)(const double *, const double *, const double *, bool,
+                        double *, const double *, std::size_t, std::size_t,
+                        double *, const double *, double);
+    ScanHit (*scan)(const double *, const double *, std::size_t, std::size_t,
+                    std::size_t, double);
+};
+
+constexpr KernelTable kScalarTable = {
+    Level::Scalar,        squaredDistanceScalar,
+    sumSquaresScalar,     axpyScalar,
+    normalizeScalar,      rescaleScalar,
+    projectRowImpl<normalizeScalar, axpyScalar, rescaleScalar>,
+    scanImpl<squaredDistanceScalar>,
+};
+
+#ifdef MICA_SIMD_HAVE_AVX2
+constexpr KernelTable kAvx2Table = {
+    Level::Avx2,        squaredDistanceAvx2,
+    sumSquaresAvx2,     axpyAvx2,
+    normalizeAvx2,      rescaleAvx2,
+    projectRowAvx2,     scanAvx2,
+};
+#endif
+
+#ifdef MICA_SIMD_HAVE_NEON
+constexpr KernelTable kNeonTable = {
+    Level::Neon,        squaredDistanceNeon,
+    sumSquaresNeon,     axpyNeon,
+    normalizeNeon,      rescaleNeon,
+    projectRowImpl<normalizeNeon, axpyNeon, rescaleNeon>,
+    scanImpl<squaredDistanceNeon>,
+};
+#endif
+
+const KernelTable *
+tableFor(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return &kScalarTable;
+    case Level::Avx2:
+#ifdef MICA_SIMD_HAVE_AVX2
+        return &kAvx2Table;
+#else
+        return nullptr;
+#endif
+    case Level::Neon:
+#ifdef MICA_SIMD_HAVE_NEON
+        return &kNeonTable;
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+/** Resolve MICA_SIMD + CPU support once (magic-static in table()). */
+const KernelTable *
+resolveInitial()
+{
+    Level level = bestSupportedLevel();
+    const char *env = std::getenv("MICA_SIMD");
+    if (env != nullptr && *env != '\0') {
+        const std::optional<Level> requested = parseLevelName(env);
+        if (!requested.has_value()) {
+            std::fprintf(stderr,
+                         "mica: MICA_SIMD=%s not recognized; using %s\n", env,
+                         levelName(level).data());
+        } else if (!levelSupported(*requested)) {
+            std::fprintf(stderr,
+                         "mica: MICA_SIMD=%s not supported here; using %s\n",
+                         env, levelName(level).data());
+        } else {
+            level = *requested;
+        }
+    }
+    return tableFor(level);
+}
+
+std::atomic<const KernelTable *> g_table{nullptr};
+
+const KernelTable &
+table()
+{
+    const KernelTable *t = g_table.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        // Thread-safe one-time resolution; the CAS race is benign
+        // because every loser computed the same pointer.
+        static const KernelTable *const initial = resolveInitial();
+        const KernelTable *expected = nullptr;
+        g_table.compare_exchange_strong(expected, initial,
+                                        std::memory_order_acq_rel);
+        t = g_table.load(std::memory_order_acquire);
+    }
+    return *t;
+}
+
+} // namespace
+
+std::string_view
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Avx2:
+        return "avx2";
+    case Level::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+std::optional<Level>
+parseLevelName(std::string_view name)
+{
+    if (name == "off" || name == "scalar")
+        return Level::Scalar;
+    if (name == "avx2")
+        return Level::Avx2;
+    if (name == "neon")
+        return Level::Neon;
+    if (name == "auto")
+        return bestSupportedLevel();
+    return std::nullopt;
+}
+
+bool
+compiledWithSimd()
+{
+#ifdef MICA_SIMD_DISABLED
+    return false;
+#else
+    return true;
+#endif
+}
+
+bool
+levelSupported(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return true;
+    case Level::Avx2:
+#ifdef MICA_SIMD_HAVE_AVX2
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Level::Neon:
+#ifdef MICA_SIMD_HAVE_NEON
+        return true; // Advanced SIMD is AArch64 baseline
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Level
+bestSupportedLevel()
+{
+    if (levelSupported(Level::Avx2))
+        return Level::Avx2;
+    if (levelSupported(Level::Neon))
+        return Level::Neon;
+    return Level::Scalar;
+}
+
+Level
+activeLevel()
+{
+    return table().level;
+}
+
+bool
+setLevel(Level level)
+{
+    if (!levelSupported(level))
+        return false;
+    g_table.store(tableFor(level), std::memory_order_release);
+    return true;
+}
+
+double
+squaredDistance(const double *a, const double *b, std::size_t n)
+{
+    return table().squared_distance(a, b, n);
+}
+
+double
+sumSquares(const double *a, std::size_t n)
+{
+    return table().sum_squares(a, n);
+}
+
+void
+axpy(double a, const double *x, double *y, std::size_t n)
+{
+    table().axpy(a, x, y, n);
+}
+
+void
+normalize(const double *src, const double *mean, const double *sd,
+          double *dst, std::size_t n, double eps)
+{
+    table().normalize(src, mean, sd, dst, n, eps);
+}
+
+void
+rescale(double *v, const double *sd, std::size_t n, double eps)
+{
+    table().rescale(v, sd, n, eps);
+}
+
+void
+projectRow(const double *src, const double *mean, const double *sd,
+           bool normalize_input, double *scratch, const double *loadings,
+           std::size_t p, std::size_t m, double *dst,
+           const double *rescale_sd, double eps)
+{
+    table().project_row(src, mean, sd, normalize_input, scratch, loadings, p,
+                        m, dst, rescale_sd, eps);
+}
+
+ScanHit
+nearestCenterScan(const double *point, const double *centers, std::size_t k,
+                  std::size_t m, std::size_t cached_index,
+                  double cached_dist2)
+{
+    return table().scan(point, centers, k, m, cached_index, cached_dist2);
+}
+
+} // namespace mica::stats::simd

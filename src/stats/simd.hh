@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Vectorized inner kernels for the statistics substrate, with one-time
+ * runtime dispatch and a scalar fallback that is the determinism oracle.
+ *
+ * Every hot loop in the system — Lloyd assignment, Hamerly bound
+ * maintenance, k-means++ seeding, the fused serving projection, model
+ * update ingest — bottoms out in four primitive kernels:
+ *
+ *   - squaredDistance(a, b, n)             Σ (a[i]-b[i])²
+ *   - sumSquares(a, n)                     Σ a[i]²            (row norms)
+ *   - axpy(a, x, y, n)                     y[i] += a·x[i]
+ *   - normalize / rescale                  guarded elementwise z-scoring
+ *   - nearestCenterScan(point, centers)    argmin + runner-up distances
+ *
+ * ## Determinism contract
+ *
+ * The repo's global guarantee — results are bitwise invariant to thread
+ * count, block size, load path, *and now SIMD level* — is preserved by
+ * construction, not by tolerance:
+ *
+ * 1. **Elementwise kernels are trivially identical.** axpy, normalize and
+ *    rescale perform one independent mul/add (or sub/div + compare) per
+ *    element; lane width cannot change any rounding, so the vector paths
+ *    are bitwise equal to the scalar path for free.
+ *
+ * 2. **Reductions use a fixed virtual-lane order.** squaredDistance and
+ *    sumSquares accumulate into `kVirtualLanes` (= 8) independent
+ *    partial sums — lane L takes elements L, L+8, L+16, … all the way to
+ *    n, so the final partial group lands in lanes 0..(n mod 8)−1 and the
+ *    remaining lanes simply receive one fewer term — then combine them
+ *    in one fixed tree: bᵢ = accᵢ + accᵢ₊₄ (i = 0..3), then
+ *    (b₀+b₂) + (b₁+b₃). The scalar fallback implements exactly this
+ *    schedule, AVX2 holds the 8 lanes in two 4-wide registers (retiring
+ *    the partial group with a masked load) whose combine steps are the
+ *    same tree, and NEON holds them in four 2-wide registers (retiring
+ *    it via a zero-padded copy) likewise. A disabled/padded lane adds
+ *    +0.0 to its accumulator, which cannot change any bit: every term
+ *    d·d or a·a is non-negative (d = ±0 squares to +0.0), so no partial
+ *    sum is ever −0.0 and x + (+0.0) ≡ x. Since every per-element
+ *    operation and every combine is an IEEE-754 basic operation executed
+ *    in the same order, all paths agree bitwise.
+ *
+ * 3. **No fused multiply-add.** simd.cc is compiled with
+ *    -ffp-contract=off so the compiler cannot contract a·b+c chains into
+ *    FMA in one path but not another; the intrinsics use explicit
+ *    mul/add for the same reason.
+ *
+ * The scalar path (`Level::Scalar`) is the oracle: the parity suite
+ * (tests/test_simd.cc) checks the vector paths bitwise against it across
+ * odd shapes, and CI pins a whole build to it via -DMICA_SIMD=OFF so the
+ * fallback cannot rot.
+ *
+ * ## Dispatch rules
+ *
+ * The level is resolved once, on first kernel use:
+ *
+ *   1. If the build was configured with -DMICA_SIMD=OFF, only Scalar
+ *      exists (the vector backends are compiled out).
+ *   2. Else if the MICA_SIMD environment variable names a level —
+ *      "off"/"scalar", "avx2", "neon", or "auto" — that level is used
+ *      when supported (an unsupported or unknown request falls back to
+ *      the best supported level, with a one-time stderr note).
+ *   3. Else the best level the CPU supports wins: AVX2 on x86-64 when
+ *      __builtin_cpu_supports("avx2") says so, NEON on AArch64 (baseline
+ *      there), Scalar otherwise.
+ *
+ * `setLevel` overrides the resolution at runtime (tests and the bench
+ * harness use it to measure scalar-vs-vector on the same host). It is
+ * not thread-safe against in-flight kernels; call it only from quiescent
+ * single-threaded phases, the way the parity tests do.
+ */
+
+#ifndef MICAPHASE_STATS_SIMD_HH
+#define MICAPHASE_STATS_SIMD_HH
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace mica::stats::simd {
+
+/** Number of independent accumulator lanes in the fixed reduction order
+ *  (see the file comment); identical for every backend. */
+inline constexpr std::size_t kVirtualLanes = 8;
+
+/** Instruction-set levels the dispatcher can select. */
+enum class Level
+{
+    Scalar = 0, ///< portable fallback — the determinism oracle
+    Avx2 = 1,   ///< x86-64 AVX2 (4 doubles per register)
+    Neon = 2,   ///< AArch64 Advanced SIMD (2 doubles per register)
+};
+
+/** Stable lowercase name ("scalar", "avx2", "neon"). */
+[[nodiscard]] std::string_view levelName(Level level);
+
+/** Parse a MICA_SIMD-style name; "off" is an alias for scalar. */
+[[nodiscard]] std::optional<Level> parseLevelName(std::string_view name);
+
+/** False when the build was configured with -DMICA_SIMD=OFF. */
+[[nodiscard]] bool compiledWithSimd();
+
+/** True when this binary has the backend AND the CPU supports it. */
+[[nodiscard]] bool levelSupported(Level level);
+
+/** Best supported level on this host (what "auto" resolves to). */
+[[nodiscard]] Level bestSupportedLevel();
+
+/** The level kernels currently dispatch to (resolving it on first use). */
+[[nodiscard]] Level activeLevel();
+
+/**
+ * Force the dispatch level. Returns false (and changes nothing) when the
+ * level is not supported. Only call from single-threaded code.
+ */
+bool setLevel(Level level);
+
+/** Result of a nearest-center scan (mirrors stats::NearestCenter). */
+struct ScanHit
+{
+    std::size_t index = 0;
+    double dist2 = std::numeric_limits<double>::max();
+    double second_dist2 = std::numeric_limits<double>::max();
+};
+
+/** Σ (a[i]-b[i])² in the fixed virtual-lane reduction order. */
+[[nodiscard]] double squaredDistance(const double *a, const double *b,
+                                     std::size_t n);
+
+/** Σ a[i]² in the fixed virtual-lane reduction order. */
+[[nodiscard]] double sumSquares(const double *a, std::size_t n);
+
+/** y[i] += a·x[i], elementwise (no reduction). */
+void axpy(double a, const double *x, double *y, std::size_t n);
+
+/**
+ * dst[i] = sd[i] > eps ? (src[i] - mean[i]) / sd[i] : 0.0, elementwise.
+ * `dst` may not alias `mean`/`sd`; `dst == src` is allowed.
+ */
+void normalize(const double *src, const double *mean, const double *sd,
+               double *dst, std::size_t n, double eps);
+
+/** v[i] = sd[i] > eps ? v[i] / sd[i] : 0.0, elementwise, in place. */
+void rescale(double *v, const double *sd, std::size_t n, double eps);
+
+/**
+ * The fused projectOneRow body as one dispatched kernel (a single
+ * dispatch per row instead of one per stage call):
+ *
+ *   1. when `normalize_input`, z-score `src` into `scratch` (size p,
+ *      caller-provided) with the normalize() guard and use that as the
+ *      coefficient vector, else use `src` directly;
+ *   2. accumulate coefficient-weighted loading rows into `dst` (size m,
+ *      pre-zeroed) in ascending-k order, skipping exact-zero
+ *      coefficients (Matrix::multiply's zero-skip, bit for bit);
+ *   3. rescale `dst` in place with the rescale() guard.
+ *
+ * `loadings` is p x m row-major. Every stage is elementwise, so all
+ * backends agree bitwise (see the file comment).
+ */
+void projectRow(const double *src, const double *mean, const double *sd,
+                bool normalize_input, double *scratch,
+                const double *loadings, std::size_t p, std::size_t m,
+                double *dst, const double *rescale_sd, double eps);
+
+/**
+ * Index-order strict-`<` scan of `point` against k row-major centers of
+ * width m: exact argmin (lowest index wins ties) plus the runner-up
+ * distance. When `cached_index < k`, the distance to that center is
+ * substituted from `cached_dist2` instead of recomputed — the caller
+ * guarantees it equals what the scan would produce (squaredDistance is
+ * deterministic, so a previously computed value always does).
+ */
+[[nodiscard]] ScanHit
+nearestCenterScan(const double *point, const double *centers, std::size_t k,
+                  std::size_t m,
+                  std::size_t cached_index = static_cast<std::size_t>(-1),
+                  double cached_dist2 = 0.0);
+
+} // namespace mica::stats::simd
+
+#endif // MICAPHASE_STATS_SIMD_HH

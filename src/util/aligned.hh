@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cache-line-aligned allocation helpers for the SIMD kernel layer.
+ *
+ * The vectorized stats kernels (`src/stats/simd.hh`) issue unaligned
+ * loads so they work on any 8-byte-aligned storage — including matrices
+ * aliased straight out of an mmap'd model file — but aligned bases avoid
+ * cache-line splits on the hot owned-matrix paths and are required for
+ * honest STREAM-style bandwidth measurements. `Matrix` places its row
+ * storage through `AlignedAllocator`, and the bench harness allocates
+ * its sweep buffers with `alignedAlloc` directly.
+ */
+
+#ifndef MICAPHASE_UTIL_ALIGNED_HH
+#define MICAPHASE_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace mica::util {
+
+/** Alignment used for all SIMD-facing buffers: one x86/ARM cache line. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * Allocate `bytes` with the given power-of-two alignment (the size is
+ * rounded up to a multiple of the alignment, as std::aligned_alloc
+ * requires). Throws std::bad_alloc on failure; free with std::free.
+ */
+[[nodiscard]] inline void *
+alignedAlloc(std::size_t bytes, std::size_t alignment = kCacheLineBytes)
+{
+    if (bytes == 0)
+        bytes = alignment;
+    const std::size_t rounded =
+        (bytes + alignment - 1) / alignment * alignment;
+    if (rounded < bytes) // size overflowed while rounding up
+        throw std::bad_alloc();
+    void *p = std::aligned_alloc(alignment, rounded);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+/**
+ * Minimal C++ allocator over alignedAlloc, so standard containers can
+ * carry cache-line-aligned storage. Stateless: all instances compare
+ * equal and memory may be freed by any instance.
+ */
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator
+{
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Alignment >= alignof(T),
+                  "alignment must satisfy the element type");
+
+  public:
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept
+    {
+    }
+
+    [[nodiscard]] T *
+    allocate(std::size_t n)
+    {
+        if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+            throw std::bad_alloc();
+        return static_cast<T *>(alignedAlloc(n * sizeof(T), Alignment));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        std::free(p);
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &) noexcept
+    {
+        return true;
+    }
+};
+
+/** std::vector whose base pointer is cache-line aligned. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace mica::util
+
+#endif // MICAPHASE_UTIL_ALIGNED_HH

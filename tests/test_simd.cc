@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Scalar-vs-SIMD parity suite for the dispatched stats kernels
+ * (stats/simd.hh). The scalar path is the oracle; every vector level the
+ * host supports must reproduce it bit for bit — on deliberately awkward
+ * shapes (empty, n = 1, every remainder class around the 8-lane main
+ * loop), degenerate data (all-zero rows, stddevs at and around
+ * kStddevEpsilon), the cached-distance/tie-breaking scan contract, the
+ * fused projectRows kernel across thread counts and block sizes, and the
+ * keystone mini-pipeline. Also locks down dispatch resolution, the
+ * aligned-allocation helpers, and the counted rowNorms accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "stats/distance.hh"
+#include "stats/matrix.hh"
+#include "stats/projection.hh"
+#include "stats/rng.hh"
+#include "stats/simd.hh"
+#include "stats/summary.hh"
+#include "util/aligned.hh"
+
+namespace {
+
+using namespace mica;
+using stats::Matrix;
+namespace simd = stats::simd;
+
+/** Bit pattern of a double, so ±0.0 and NaN payloads compare strictly. */
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** Vector levels this binary + host can actually run. */
+std::vector<simd::Level>
+supportedVectorLevels()
+{
+    std::vector<simd::Level> out;
+    for (const simd::Level l : {simd::Level::Avx2, simd::Level::Neon})
+        if (simd::levelSupported(l))
+            out.push_back(l);
+    return out;
+}
+
+/** RAII dispatch-level override (restores the previous level). */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(simd::Level level) : saved_(simd::activeLevel())
+    {
+        EXPECT_TRUE(simd::setLevel(level));
+    }
+    ~LevelGuard() { simd::setLevel(saved_); }
+
+  private:
+    simd::Level saved_;
+};
+
+std::vector<double>
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    std::vector<double> v(n);
+    for (double &x : v)
+        x = rng.nextGaussian() * 3.0;
+    return v;
+}
+
+/** Lengths covering every remainder class of the 8-wide main loop plus
+ *  the serving-realistic p=69. */
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,
+                                9,  15, 16, 17, 31, 64, 69, 131};
+
+// ------------------------------------------------------------- dispatch
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndNamed)
+{
+    EXPECT_TRUE(simd::levelSupported(simd::Level::Scalar));
+    EXPECT_EQ(simd::levelName(simd::Level::Scalar), "scalar");
+    EXPECT_EQ(simd::levelName(simd::Level::Avx2), "avx2");
+    EXPECT_EQ(simd::levelName(simd::Level::Neon), "neon");
+}
+
+TEST(SimdDispatch, ParseLevelNames)
+{
+    EXPECT_EQ(simd::parseLevelName("off"), simd::Level::Scalar);
+    EXPECT_EQ(simd::parseLevelName("scalar"), simd::Level::Scalar);
+    EXPECT_EQ(simd::parseLevelName("avx2"), simd::Level::Avx2);
+    EXPECT_EQ(simd::parseLevelName("neon"), simd::Level::Neon);
+    EXPECT_EQ(simd::parseLevelName("auto"), simd::bestSupportedLevel());
+    EXPECT_FALSE(simd::parseLevelName("sse9").has_value());
+    EXPECT_FALSE(simd::parseLevelName("").has_value());
+}
+
+TEST(SimdDispatch, BestSupportedLevelIsSupported)
+{
+    EXPECT_TRUE(simd::levelSupported(simd::bestSupportedLevel()));
+    if (!simd::compiledWithSimd()) {
+        EXPECT_EQ(simd::bestSupportedLevel(), simd::Level::Scalar);
+    }
+}
+
+TEST(SimdDispatch, SetLevelRoundTripsAndRejectsUnsupported)
+{
+    const simd::Level before = simd::activeLevel();
+    ASSERT_TRUE(simd::setLevel(simd::Level::Scalar));
+    EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+    for (const simd::Level l : {simd::Level::Avx2, simd::Level::Neon}) {
+        if (simd::levelSupported(l)) {
+            EXPECT_TRUE(simd::setLevel(l));
+            EXPECT_EQ(simd::activeLevel(), l);
+        } else {
+            EXPECT_FALSE(simd::setLevel(l));
+            // A rejected request must not change the dispatch.
+            EXPECT_NE(simd::activeLevel(), l);
+        }
+    }
+    ASSERT_TRUE(simd::setLevel(before));
+}
+
+// ------------------------------------------------------- aligned buffers
+
+TEST(SimdAligned, AlignedAllocReturnsCacheLineAlignedMemory)
+{
+    for (const std::size_t bytes : {1ul, 7ul, 64ul, 100ul, 4096ul}) {
+        void *p = util::alignedAlloc(bytes);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                      util::kCacheLineBytes,
+                  0u);
+        std::free(p);
+    }
+}
+
+TEST(SimdAligned, MatrixStorageIsCacheLineAligned)
+{
+    for (const std::size_t cols : {1ul, 5ul, 69ul}) {
+        const Matrix m(17, cols);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data().data()) %
+                      util::kCacheLineBytes,
+                  0u)
+            << "cols=" << cols;
+    }
+    // Growth via appendRow must land on aligned storage too.
+    Matrix grown;
+    for (int r = 0; r < 9; ++r) {
+        const std::vector<double> row(13, static_cast<double>(r));
+        grown.appendRow(row);
+    }
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(grown.data().data()) %
+                  util::kCacheLineBytes,
+              0u);
+}
+
+// -------------------------------------------------------- kernel parity
+
+TEST(SimdKernels, SquaredDistanceMatchesScalarBitwise)
+{
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+    for (const std::size_t n : kLengths) {
+        const std::vector<double> a = randomVector(n, 101 + n);
+        const std::vector<double> b = randomVector(n, 202 + n);
+        LevelGuard scalar(simd::Level::Scalar);
+        const double want = simd::squaredDistance(a.data(), b.data(), n);
+        for (const simd::Level l : levels) {
+            LevelGuard guard(l);
+            const double got = simd::squaredDistance(a.data(), b.data(), n);
+            EXPECT_EQ(bits(got), bits(want))
+                << simd::levelName(l) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, SumSquaresMatchesScalarBitwise)
+{
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+    for (const std::size_t n : kLengths) {
+        const std::vector<double> a = randomVector(n, 303 + n);
+        LevelGuard scalar(simd::Level::Scalar);
+        const double want = simd::sumSquares(a.data(), n);
+        for (const simd::Level l : levels) {
+            LevelGuard guard(l);
+            const double got = simd::sumSquares(a.data(), n);
+            EXPECT_EQ(bits(got), bits(want))
+                << simd::levelName(l) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, AxpyMatchesScalarBitwise)
+{
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+    for (const std::size_t n : kLengths) {
+        const std::vector<double> x = randomVector(n, 404 + n);
+        const std::vector<double> y0 = randomVector(n, 505 + n);
+        for (const double a : {0.0, -1.75, 2.5e-3, 1.0e7}) {
+            std::vector<double> want = y0;
+            {
+                LevelGuard scalar(simd::Level::Scalar);
+                simd::axpy(a, x.data(), want.data(), n);
+            }
+            for (const simd::Level l : levels) {
+                std::vector<double> got = y0;
+                LevelGuard guard(l);
+                simd::axpy(a, x.data(), got.data(), n);
+                EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                                      n * sizeof(double)),
+                          0)
+                    << simd::levelName(l) << " n=" << n << " a=" << a;
+            }
+        }
+    }
+}
+
+/** Stddev vectors exercising the sd > kStddevEpsilon guard exactly at,
+ *  below, and just above the threshold (plus plain columns). */
+std::vector<double>
+awkwardStddev(std::size_t n)
+{
+    std::vector<double> sd(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (i % 5) {
+        case 0:
+            sd[i] = 0.0; // dead column
+            break;
+        case 1:
+            sd[i] = stats::kStddevEpsilon; // exactly at: still dead
+            break;
+        case 2:
+            sd[i] = stats::kStddevEpsilon * 1.0000001; // barely alive
+            break;
+        case 3:
+            sd[i] = 1.0;
+            break;
+        default:
+            sd[i] = 0.3 + static_cast<double>(i);
+            break;
+        }
+    }
+    return sd;
+}
+
+TEST(SimdKernels, NormalizeMatchesScalarBitwise)
+{
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+    for (const std::size_t n : kLengths) {
+        const std::vector<double> src = randomVector(n, 606 + n);
+        const std::vector<double> mean = randomVector(n, 707 + n);
+        const std::vector<double> sd = awkwardStddev(n);
+        std::vector<double> want(n, -1.0);
+        {
+            LevelGuard scalar(simd::Level::Scalar);
+            simd::normalize(src.data(), mean.data(), sd.data(), want.data(),
+                            n, stats::kStddevEpsilon);
+        }
+        for (const simd::Level l : levels) {
+            std::vector<double> got(n, -1.0);
+            LevelGuard guard(l);
+            simd::normalize(src.data(), mean.data(), sd.data(), got.data(),
+                            n, stats::kStddevEpsilon);
+            EXPECT_EQ(
+                std::memcmp(got.data(), want.data(), n * sizeof(double)), 0)
+                << simd::levelName(l) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, RescaleMatchesScalarBitwise)
+{
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+    for (const std::size_t n : kLengths) {
+        const std::vector<double> v0 = randomVector(n, 808 + n);
+        const std::vector<double> sd = awkwardStddev(n);
+        std::vector<double> want = v0;
+        {
+            LevelGuard scalar(simd::Level::Scalar);
+            simd::rescale(want.data(), sd.data(), n, stats::kStddevEpsilon);
+        }
+        for (const simd::Level l : levels) {
+            std::vector<double> got = v0;
+            LevelGuard guard(l);
+            simd::rescale(got.data(), sd.data(), n, stats::kStddevEpsilon);
+            EXPECT_EQ(
+                std::memcmp(got.data(), want.data(), n * sizeof(double)), 0)
+                << simd::levelName(l) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, NearestCenterScanMatchesScalarWithTiesAndCache)
+{
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+    for (const std::size_t m : {1ul, 3ul, 8ul, 69ul}) {
+        Matrix centers;
+        const std::vector<double> base = randomVector(m, 909 + m);
+        for (int c = 0; c < 7; ++c) {
+            std::vector<double> row = randomVector(m, 17 * c + m);
+            centers.appendRow(row);
+        }
+        // Force an exact tie: two identical centers (lowest index must
+        // win at every level).
+        centers.appendRow(centers.row(2));
+        const std::vector<double> point = randomVector(m, 999 + m);
+        const std::size_t k = centers.rows();
+
+        for (const std::size_t cached :
+             {static_cast<std::size_t>(-1), 0ul, 3ul}) {
+            double cached_d2 = 0.0;
+            {
+                LevelGuard scalar(simd::Level::Scalar);
+                if (cached < k)
+                    cached_d2 = simd::squaredDistance(
+                        point.data(), centers.row(cached).data(), m);
+            }
+            simd::ScanHit want;
+            {
+                LevelGuard scalar(simd::Level::Scalar);
+                want = simd::nearestCenterScan(point.data(),
+                                               centers.data().data(), k, m,
+                                               cached, cached_d2);
+            }
+            for (const simd::Level l : levels) {
+                LevelGuard guard(l);
+                const simd::ScanHit got = simd::nearestCenterScan(
+                    point.data(), centers.data().data(), k, m, cached,
+                    cached_d2);
+                EXPECT_EQ(got.index, want.index)
+                    << simd::levelName(l) << " m=" << m;
+                EXPECT_EQ(bits(got.dist2), bits(want.dist2))
+                    << simd::levelName(l) << " m=" << m;
+                EXPECT_EQ(bits(got.second_dist2), bits(want.second_dist2))
+                    << simd::levelName(l) << " m=" << m;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, AllZeroRowsAndPointsStayExactZero)
+{
+    // Degenerate data must produce exact zeros at every level (the
+    // pipeline's dead-column handling depends on it).
+    const std::size_t n = 69;
+    const std::vector<double> zeros(n, 0.0);
+    std::vector<simd::Level> all = {simd::Level::Scalar};
+    for (const simd::Level l : supportedVectorLevels())
+        all.push_back(l);
+    for (const simd::Level l : all) {
+        LevelGuard guard(l);
+        EXPECT_EQ(bits(simd::squaredDistance(zeros.data(), zeros.data(), n)),
+                  bits(0.0))
+            << simd::levelName(l);
+        EXPECT_EQ(bits(simd::sumSquares(zeros.data(), n)), bits(0.0))
+            << simd::levelName(l);
+    }
+}
+
+TEST(SimdKernels, RowNormsCountedInDistanceCounters)
+{
+    Matrix m(5, 7);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = static_cast<double>(r) - static_cast<double>(c);
+    stats::DistanceCounters counters;
+    const std::vector<double> norms = stats::rowNorms(m, &counters);
+    EXPECT_EQ(norms.size(), 5u);
+    EXPECT_EQ(counters.norms, 5u);
+    EXPECT_EQ(counters.computed, 0u);
+
+    // Accumulation folds norms like the other counters.
+    stats::DistanceCounters total;
+    total += counters;
+    total += counters;
+    EXPECT_EQ(total.norms, 10u);
+
+    // And the no-counter overload still works.
+    const std::vector<double> again = stats::rowNorms(m);
+    EXPECT_EQ(std::memcmp(again.data(), norms.data(),
+                          norms.size() * sizeof(double)),
+              0);
+}
+
+// --------------------------------------------------- projection parity
+
+TEST(SimdProjection, ProjectRowsBitwiseAcrossLevelsThreadsAndBlocks)
+{
+    const std::size_t p = 69, m = 9, k = 11, n = 257;
+    const std::vector<double> mean = randomVector(p, 1);
+    const std::vector<double> sd = awkwardStddev(p);
+    const std::vector<double> rescale_sd = awkwardStddev(m);
+    Matrix loadings(p, m);
+    stats::Rng lrng(2);
+    for (std::size_t r = 0; r < p; ++r)
+        for (std::size_t c = 0; c < m; ++c)
+            loadings(r, c) = lrng.nextGaussian();
+    Matrix centers(k, m);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < m; ++c)
+            centers(r, c) = lrng.nextGaussian();
+    Matrix rows(n, p);
+    stats::Rng rrng(3);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < p; ++c)
+            // Sprinkle exact zeros so the a == 0.0 zero-skip fires.
+            rows(r, c) = (r + c) % 11 == 0 ? 0.0 : rrng.nextGaussian();
+    // One all-zero row.
+    for (std::size_t c = 0; c < p; ++c)
+        rows(100, c) = 0.0;
+
+    for (const bool normalize : {true, false}) {
+        stats::ProjectionSpec spec;
+        spec.normalize_input = normalize;
+        spec.mean = mean;
+        spec.stddev = sd;
+        spec.loadings = loadings.view();
+        spec.rescale_sd = rescale_sd;
+        spec.centers = centers.view();
+
+        stats::ProjectedRows want;
+        {
+            LevelGuard scalar(simd::Level::Scalar);
+            stats::ProjectOptions opts;
+            opts.threads = 1;
+            want = stats::projectRows(spec, rows.view(), opts);
+        }
+
+        std::vector<simd::Level> all = {simd::Level::Scalar};
+        for (const simd::Level l : supportedVectorLevels())
+            all.push_back(l);
+        for (const simd::Level l : all) {
+            LevelGuard guard(l);
+            for (const unsigned threads : {1u, 2u, 4u}) {
+                for (const std::size_t block : {1ul, 7ul, 1024ul}) {
+                    stats::ProjectOptions opts;
+                    opts.threads = threads;
+                    opts.block_rows = block;
+                    const stats::ProjectedRows got =
+                        stats::projectRows(spec, rows.view(), opts);
+                    SCOPED_TRACE(std::string(simd::levelName(l)) +
+                                 " threads=" + std::to_string(threads) +
+                                 " block=" + std::to_string(block) +
+                                 " normalize=" + std::to_string(normalize));
+                    EXPECT_EQ(got.assignment, want.assignment);
+                    EXPECT_EQ(std::memcmp(got.reduced.data().data(),
+                                          want.reduced.data().data(),
+                                          want.reduced.data().size() *
+                                              sizeof(double)),
+                              0);
+                    EXPECT_EQ(std::memcmp(got.dist2.data(),
+                                          want.dist2.data(),
+                                          want.dist2.size() *
+                                              sizeof(double)),
+                              0);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- keystone pipeline
+
+TEST(SimdPipeline, MiniExperimentBitwiseAcrossLevels)
+{
+    // The whole pipeline — characterization, sampling, PCA, k-means,
+    // suite comparison — must not notice which kernel backend ran.
+    const auto levels = supportedVectorLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector backend on this host";
+
+    core::ExperimentConfig cfg;
+    cfg.interval_instructions = 2000;
+    cfg.interval_scale = 0.02;
+    cfg.samples_per_benchmark = 10;
+    cfg.kmeans_k = 12;
+    cfg.kmeans_restarts = 1;
+    cfg.num_prominent = 8;
+    cfg.threads = 2;
+    cfg.cache_dir.clear();
+
+    core::ExperimentOutputs want;
+    {
+        LevelGuard scalar(simd::Level::Scalar);
+        want = core::runFullExperiment(cfg);
+    }
+    for (const simd::Level l : levels) {
+        LevelGuard guard(l);
+        const core::ExperimentOutputs got = core::runFullExperiment(cfg);
+        SCOPED_TRACE(simd::levelName(l));
+        EXPECT_EQ(got.sampled.data.maxAbsDiff(want.sampled.data), 0.0);
+        EXPECT_EQ(got.analysis.reduced.maxAbsDiff(want.analysis.reduced),
+                  0.0);
+        EXPECT_EQ(got.analysis.clustering.assignment,
+                  want.analysis.clustering.assignment);
+        EXPECT_EQ(got.analysis.clustering.inertia,
+                  want.analysis.clustering.inertia);
+        EXPECT_EQ(got.analysis.clustering.centers.maxAbsDiff(
+                      want.analysis.clustering.centers),
+                  0.0);
+        EXPECT_EQ(got.comparison.coverage, want.comparison.coverage);
+        EXPECT_EQ(got.comparison.uniqueness, want.comparison.uniqueness);
+    }
+}
+
+} // namespace
