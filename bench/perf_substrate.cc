@@ -53,11 +53,21 @@
  * a STREAM-style Copy/Scale/Add/Triad bandwidth sweep from L1-resident
  * to DRAM-resident working sets — recorded in BENCH_simd_kernels.json.
  *
+ * A ninth table measures the graph-based approximate nearest-center
+ * index (docs/ANN.md): for k in {300, 1024, 4096, 16384} centers it
+ * times the exact per-row scan against CenterIndex beam search over the
+ * same query stream, records recall@1 (with bitwise dist2 equality on
+ * every hit), the fraction of distance evaluations actually computed,
+ * and an exact_path_identical flag (projectRows with a null finder stays
+ * memcmp-equal to the per-row nearestCenter oracle) — recorded in
+ * BENCH_ann_placement.json. CI hard-gates the recall floor and the
+ * exact-path flag.
+ *
  * MICAPHASE_SUBSTRATE_TABLES selects which post-benchmark tables run: a
  * comma-separated subset of "parallel", "tracing", "kmeans", "model",
- * "static", "serve", "update", "simd" (unset runs all eight). CI's bench
- * smoke step runs "kmeans", "static", "serve", "update" and "simd" in
- * turn.
+ * "static", "serve", "update", "simd", "ann" (unset runs all nine). CI's
+ * bench smoke step runs "parallel", "kmeans", "static", "serve",
+ * "update", "simd" and "ann" in turn.
  */
 
 #include <benchmark/benchmark.h>
@@ -77,6 +87,7 @@
 
 #include "analysis/static_features.hh"
 #include "analysis/verifier.hh"
+#include "ann/center_index.hh"
 #include "asm/assembler.hh"
 #include "bench/bench_util.hh"
 #include "bench/stream_kernels.hh"
@@ -1706,6 +1717,208 @@ emitSimdKernels()
     std::printf("wrote %s\n", path.c_str());
 }
 
+struct AnnRow
+{
+    std::size_t k = 0;
+    std::size_t queries = 0;
+    bool graph_mode = false;
+    double build_seconds = 0.0;
+    double exact_seconds = 0.0;
+    double ann_seconds = 0.0;
+    double recall = 0.0;        ///< recall@1 vs the exact scan
+    double evals_fraction = 0.0; ///< distance evals computed / (n*k)
+    bool hits_bitwise = true;   ///< every hit's dist2 memcmp-equal
+    bool exact_path_identical = true; ///< null-finder projectRows == oracle
+};
+
+/**
+ * ANN placement table (docs/ANN.md): exact per-row nearest-center scan
+ * versus CenterIndex beam search over the same serving-realistic query
+ * stream (queries perturbed off the centers, m=16), swept across catalog
+ * sizes k. Default BuildOptions throughout, so k=300 exercises the exact
+ * fallback (k <= min_graph_size) and the larger ks the graph path. Every
+ * hit must carry the exact scan's dist2 bits; every miss must report a
+ * distance no smaller than the true one. The exact_path_identical column
+ * re-runs projectRows with a null finder and memcmps it against the
+ * per-row nearestCenter oracle — the regression guard that adding the
+ * finder hook left the default path untouched. CI hard-gates
+ * recall_floor_met and exact_path_identical; the speedup floor (>= 3x at
+ * k >= 4096) is recorded for the same jq gate but depends on the host.
+ */
+void
+emitAnnPlacement()
+{
+    constexpr std::size_t kDims = 16;
+    constexpr std::size_t kQueries = 2048;
+    constexpr double kRecallFloor = 0.999;
+    constexpr double kSpeedupFloor = 3.0;
+    const std::size_t catalog_sizes[] = {300, 1024, 4096, 16384};
+
+    // Identity projection spec: projectRows' normalize/PCA/rescale stages
+    // become bit-exact pass-throughs, so the table isolates the
+    // classification step the finder hook replaces.
+    stats::Matrix identity(kDims, kDims);
+    for (std::size_t i = 0; i < kDims; ++i)
+        identity(i, i) = 1.0;
+    const std::vector<double> unit_sd(kDims, 1.0);
+
+    std::vector<AnnRow> rows;
+    for (const std::size_t k : catalog_sizes) {
+        AnnRow row;
+        row.k = k;
+        row.queries = kQueries;
+
+        // Centers are spread Gaussians; queries sit near them (center +
+        // small noise), the shape placement streams actually have.
+        stats::Rng rng(0xA55E55ED ^ k);
+        stats::Matrix centers(k, kDims);
+        for (std::size_t r = 0; r < k; ++r)
+            for (std::size_t c = 0; c < kDims; ++c)
+                centers(r, c) = 4.0 * rng.nextGaussian();
+        stats::Matrix queries(kQueries, kDims);
+        for (std::size_t r = 0; r < kQueries; ++r)
+            for (std::size_t c = 0; c < kDims; ++c)
+                queries(r, c) =
+                    centers(r % k, c) + 0.05 * rng.nextGaussian();
+
+        const ann::BuildOptions bopts; // defaults: the shipped config
+        ann::CenterIndex index = ann::CenterIndex::build(centers.view(),
+                                                         bopts);
+        row.graph_mode = index.graphMode();
+        row.build_seconds = wallSeconds(
+            [&]() {
+                index = ann::CenterIndex::build(centers.view(), bopts);
+            },
+            1);
+
+        std::vector<stats::NearestCenter> exact(kQueries);
+        row.exact_seconds = wallSeconds([&]() {
+            for (std::size_t r = 0; r < kQueries; ++r)
+                exact[r] = stats::nearestCenter(queries.row(r), centers);
+        });
+
+        std::vector<stats::NearestCenter> approx(kQueries);
+        stats::DistanceCounters counters;
+        row.ann_seconds = wallSeconds([&]() {
+            counters = {};
+            for (std::size_t r = 0; r < kQueries; ++r)
+                approx[r] = index.find(queries.row(r), &counters);
+        });
+        row.evals_fraction = static_cast<double>(counters.computed) /
+            (static_cast<double>(kQueries) * static_cast<double>(k));
+
+        std::size_t hits = 0;
+        for (std::size_t r = 0; r < kQueries; ++r) {
+            if (approx[r].index == exact[r].index) {
+                ++hits;
+                row.hits_bitwise = row.hits_bitwise &&
+                    std::memcmp(&approx[r].dist2, &exact[r].dist2,
+                                sizeof(double)) == 0;
+            } else if (approx[r].dist2 < exact[r].dist2) {
+                // A "better than exact" miss is a broken search, not an
+                // approximation: surface it through the bitwise flag.
+                row.hits_bitwise = false;
+            }
+        }
+        row.recall = static_cast<double>(hits) /
+            static_cast<double>(kQueries);
+
+        // Regression guard: the null-finder projectRows path must still
+        // be bitwise the per-row oracle computed above.
+        stats::ProjectionSpec spec;
+        spec.normalize_input = false;
+        spec.loadings = identity.view();
+        spec.rescale_sd = unit_sd;
+        spec.centers = centers.view();
+        const stats::ProjectedRows null_path =
+            stats::projectRows(spec, queries.view());
+        for (std::size_t r = 0; r < kQueries; ++r)
+            row.exact_path_identical = row.exact_path_identical &&
+                null_path.assignment[r] == exact[r].index &&
+                std::memcmp(&null_path.dist2[r], &exact[r].dist2,
+                            sizeof(double)) == 0;
+
+        rows.push_back(row);
+    }
+
+    bool recall_ok = true, speedup_ok = true, exact_ok = true;
+    bool hits_ok = true;
+    for (const AnnRow &row : rows) {
+        if (row.graph_mode)
+            recall_ok = recall_ok && row.recall >= kRecallFloor;
+        if (row.k >= 4096)
+            speedup_ok = speedup_ok &&
+                row.exact_seconds / row.ann_seconds >= kSpeedupFloor;
+        exact_ok = exact_ok && row.exact_path_identical;
+        hits_ok = hits_ok && row.hits_bitwise;
+    }
+
+    std::printf("\nANN nearest-center placement: exact scan vs "
+                "CenterIndex beam search (m=%zu, %zu queries)\n",
+                kDims, kQueries);
+    std::printf("%8s %8s %10s %10s %10s %9s %9s %8s %9s\n", "k", "mode",
+                "build_s", "exact_s", "ann_s", "speedup", "recall@1",
+                "evals", "bitwise");
+    for (const AnnRow &row : rows)
+        std::printf("%8zu %8s %10.4f %10.4f %10.4f %8.2fx %9.4f %7.1f%% "
+                    "%9s\n",
+                    row.k, row.graph_mode ? "graph" : "exact",
+                    row.build_seconds, row.exact_seconds, row.ann_seconds,
+                    row.exact_seconds / row.ann_seconds, row.recall,
+                    100.0 * row.evals_fraction,
+                    row.hits_bitwise && row.exact_path_identical ? "yes"
+                                                                 : "NO");
+
+    const std::string path =
+        micabench::outputDir() + "/BENCH_ann_placement.json";
+    std::ofstream out(path);
+    out << "{\n  \"benchmark\": \"ann_placement\",\n"
+        << "  \"dims\": " << kDims << ",\n"
+        << "  \"queries\": " << kQueries << ",\n"
+        << "  \"recall_floor\": " << kRecallFloor << ",\n"
+        << "  \"speedup_floor\": " << kSpeedupFloor << ",\n"
+        << "  \"recall_floor_met\": " << (recall_ok ? "true" : "false")
+        << ",\n"
+        << "  \"speedup_floor_met\": " << (speedup_ok ? "true" : "false")
+        << ",\n"
+        << "  \"hits_bitwise_identical\": " << (hits_ok ? "true" : "false")
+        << ",\n"
+        << "  \"exact_path_identical\": " << (exact_ok ? "true" : "false")
+        << ",\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const AnnRow &row = rows[r];
+        char build_s[32], exact_s[32], ann_s[32], speedup[32], recall[32];
+        char evals[32], exact_rps[32], ann_rps[32];
+        std::snprintf(build_s, sizeof(build_s), "%.6f", row.build_seconds);
+        std::snprintf(exact_s, sizeof(exact_s), "%.6f", row.exact_seconds);
+        std::snprintf(ann_s, sizeof(ann_s), "%.6f", row.ann_seconds);
+        std::snprintf(speedup, sizeof(speedup), "%.3f",
+                      row.exact_seconds / row.ann_seconds);
+        std::snprintf(recall, sizeof(recall), "%.6f", row.recall);
+        std::snprintf(evals, sizeof(evals), "%.6f", row.evals_fraction);
+        std::snprintf(exact_rps, sizeof(exact_rps), "%.0f",
+                      static_cast<double>(row.queries) / row.exact_seconds);
+        std::snprintf(ann_rps, sizeof(ann_rps), "%.0f",
+                      static_cast<double>(row.queries) / row.ann_seconds);
+        out << "    {\"k\": " << row.k << ", \"queries\": " << row.queries
+            << ", \"graph_mode\": " << (row.graph_mode ? "true" : "false")
+            << ", \"build_seconds\": " << build_s
+            << ", \"exact_seconds\": " << exact_s
+            << ", \"ann_seconds\": " << ann_s << ", \"speedup\": " << speedup
+            << ", \"exact_rows_per_sec\": " << exact_rps
+            << ", \"ann_rows_per_sec\": " << ann_rps
+            << ", \"recall_at_1\": " << recall
+            << ", \"evals_fraction\": " << evals
+            << ", \"hits_bitwise\": "
+            << (row.hits_bitwise ? "true" : "false")
+            << ", \"exact_path_identical\": "
+            << (row.exact_path_identical ? "true" : "false") << "}"
+            << (r + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 /** True if `table` appears in MICAPHASE_SUBSTRATE_TABLES (unset = all). */
 bool
 tableEnabled(const char *table)
@@ -1755,5 +1968,7 @@ main(int argc, char **argv)
         emitModelUpdate();
     if (tableEnabled("simd"))
         emitSimdKernels();
+    if (tableEnabled("ann"))
+        emitAnnPlacement();
     return 0;
 }

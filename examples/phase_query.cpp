@@ -23,10 +23,12 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ann/center_index.hh"
 #include "core/characterize.hh"
 #include "core/model_export.hh"
 #include "core/pipeline.hh"
@@ -38,11 +40,17 @@ namespace {
 
 using namespace mica;
 
-/** Characterize + project one benchmark; returns its assessment. */
+/**
+ * Characterize + project one benchmark; returns its assessment. When
+ * `index` is non-null, placement goes through the approximate graph
+ * search instead of the exact scan (--ann; provenance printed when
+ * verbose).
+ */
 model::WorkloadAssessment
 placeBenchmark(const model::ModelReader &m,
                const workloads::BenchmarkSpec &bench,
-               std::uint32_t num_intervals, bool verbose)
+               std::uint32_t num_intervals, bool verbose,
+               const ann::CenterIndex *index = nullptr)
 {
     const model::PhaseModel &meta = m.meta();
     const auto vectors = core::characterizeProgram(
@@ -50,10 +58,18 @@ placeBenchmark(const model::ModelReader &m,
     stats::Matrix data(0, 0);
     for (const auto &v : vectors)
         data.appendRow(v);
-    const model::Projection proj = m.placeBatch(data);
+    stats::ProjectOptions popts;
+    popts.finder = index;
+    const model::Projection proj = m.placeBatch(data, popts);
     const model::WorkloadAssessment a = m.assessWorkload(proj);
 
     if (verbose) {
+        if (index != nullptr)
+            std::printf("placement path: %s (beam %zu)\n",
+                        index->graphMode()
+                            ? "approximate graph search"
+                            : "exact scan (k below graph cutoff)",
+                        index->defaultBeam());
         // Histogram: this workload's weight per frozen cluster.
         std::vector<std::size_t> rows_in_cluster(m.numClusters(), 0);
         for (std::size_t c : proj.assignment)
@@ -112,14 +128,15 @@ runFig4(const model::ModelReader &m)
 }
 
 int
-runAll(const model::ModelReader &m, std::uint32_t num_intervals)
+runAll(const model::ModelReader &m, std::uint32_t num_intervals,
+       const ann::CenterIndex *index)
 {
     const workloads::SuiteCatalog catalog;
     std::printf("%-26s %9s %9s %8s %8s %8s\n", "benchmark", "covered",
                 "to-90%", "shared", "novel", "mean-d");
     for (const auto &bench : catalog.benchmarks()) {
         const model::WorkloadAssessment a =
-            placeBenchmark(m, bench, num_intervals, false);
+            placeBenchmark(m, bench, num_intervals, false, index);
         std::printf("%-26s %6zu/%-2zu %9zu %7.1f%% %7.1f%% %8.3f\n",
                     bench.id().c_str(), a.clusters_covered,
                     m.numClusters(), a.clustersToCover(0.9),
@@ -173,9 +190,12 @@ usage()
     std::fprintf(
         stderr,
         "usage: phase_query %s <suite/name> [--intervals N]\n"
-        "       phase_query %s --all [--intervals N]\n"
+        "                   [--ann] [--beam N]\n"
+        "       phase_query %s --all [--intervals N] [--ann] [--beam N]\n"
         "       phase_query %s --fig4\n"
-        "       phase_query --demo\n",
+        "       phase_query --demo\n"
+        "--ann places intervals through the approximate graph index\n"
+        "(docs/ANN.md) instead of the exact center scan.\n",
         examples::kModelFlagsUsage, examples::kModelFlagsUsage,
         examples::kModelFlagsUsage);
     return 2;
@@ -189,7 +209,8 @@ main(int argc, char **argv)
     examples::ModelFlags flags;
     std::string target;
     std::uint32_t num_intervals = 40;
-    bool all = false, fig4 = false, demo = false;
+    bool all = false, fig4 = false, demo = false, use_ann = false;
+    std::size_t beam = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -200,6 +221,16 @@ main(int argc, char **argv)
             const auto [end, ec] = std::from_chars(
                 s.data(), s.data() + s.size(), num_intervals);
             if (ec != std::errc{} || end != s.data() + s.size())
+                return usage();
+        }
+        else if (arg == "--ann")
+            use_ann = true;
+        else if (arg == "--beam" && i + 1 < argc) {
+            const std::string_view s = argv[++i];
+            const auto [end, ec] =
+                std::from_chars(s.data(), s.data() + s.size(), beam);
+            if (ec != std::errc{} || end != s.data() + s.size() ||
+                beam == 0)
                 return usage();
         }
         else if (arg == "--all")
@@ -229,10 +260,24 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(meta.analysis_key),
                 meta.deltas.size());
 
+    // --ann: one index over the frozen centers serves every placement
+    // below (the model never changes here, so it is built exactly once).
+    std::unique_ptr<ann::CenterIndex> index;
+    if (use_ann) {
+        ann::BuildOptions bopts;
+        if (beam > 0)
+            bopts.beam = beam;
+        index = std::make_unique<ann::CenterIndex>(
+            ann::CenterIndex::build(reader->centers(), bopts));
+        std::printf("ann index: %s over %zu centers (beam %zu)\n",
+                    index->graphMode() ? "graph" : "exact fallback",
+                    index->size(), index->defaultBeam());
+    }
+
     if (fig4)
         return runFig4(*reader);
     if (all)
-        return runAll(*reader, num_intervals);
+        return runAll(*reader, num_intervals, index.get());
 
     const workloads::SuiteCatalog catalog;
     const auto *bench = catalog.find(target);
@@ -246,6 +291,7 @@ main(int argc, char **argv)
                 bench->id().c_str(), num_intervals,
                 static_cast<unsigned long long>(
                     meta.interval_instructions));
-    (void)placeBenchmark(*reader, *bench, num_intervals, true);
+    (void)placeBenchmark(*reader, *bench, num_intervals, true,
+                         index.get());
     return 0;
 }

@@ -58,6 +58,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ann/center_index.hh"
 #include "core/pipeline.hh"
 #include "model/live_model.hh"
 #include "model/reader.hh"
@@ -82,6 +83,14 @@ struct ServeOptions
 {
     std::size_t batch = 512;
     unsigned threads = 0;
+    /**
+     * Approximate placement through the snapshot's ann::CenterIndex
+     * (built at load/hot-swap over the frozen centers). Off by default:
+     * serving stays exact and byte-identical to previous releases.
+     * When on, every row reply carries an "approx" provenance field.
+     */
+    bool ann = false;
+    std::size_t beam = 0; ///< --beam override; 0 = index default
 };
 
 struct ServeTotals
@@ -259,12 +268,28 @@ serveLoop(model::LiveModel &live, const examples::ModelFlags &flags,
     popts.threads = opts.threads;
     popts.block_rows = 64; // fine-grained enough for small serving waves
 
+    // Per-wave provenance: true when this wave's rows went through the
+    // graph search (a fallback-mode index is the exact scan, so rows
+    // placed through it are exact and reported as such).
+    bool wave_approx = false;
+
     auto flush = [&] {
         model::Projection proj;
         if (wave.rows() > 0) {
             const obs::GaugeTimer timer("serve.batch_seconds");
             obs::gauge("serve.batch_rows",
                        static_cast<double>(wave.rows()));
+            // ANN opt-in: place through the snapshot's index — but only
+            // when its generation tag matches the snapshot's, so a stale
+            // index is never consulted (LiveModel swaps them atomically;
+            // this guards the invariant rather than trusting it).
+            popts.finder = nullptr;
+            wave_approx = false;
+            if (snap.index != nullptr &&
+                snap.index->generation() == snap.generation) {
+                popts.finder = snap.index.get();
+                wave_approx = snap.index->graphMode();
+            }
             proj = snap.reader->placeBatch(wave, popts);
             obs::count("serve.rows_projected",
                        static_cast<double>(wave.rows()));
@@ -284,8 +309,11 @@ serveLoop(model::LiveModel &live, const examples::ModelFlags &flags,
                 if (!e.id.empty())
                     std::fprintf(out, "\"id\":\"%s\",",
                                  jsonEscape(e.id).c_str());
-                std::fprintf(out, "\"cluster\":%zu,\"dist2\":%.17g}\n",
-                             proj.assignment[e.row], proj.dist2[e.row]);
+                std::fprintf(out, "\"cluster\":%zu,\"dist2\":%.17g%s}\n",
+                             proj.assignment[e.row], proj.dist2[e.row],
+                             opts.ann ? (wave_approx ? ",\"approx\":true"
+                                                     : ",\"approx\":false")
+                                      : "");
                 ++totals.rows;
                 break;
               case Entry::Kind::Error:
@@ -544,9 +572,42 @@ runDemo()
                      "demo: copy and mmap placements disagree bitwise\n");
         return 1;
     }
+
+    // ANN cross-check: force the graph path (demo k is far below the
+    // production min_graph_size cutoff) and require every row to find
+    // its true nearest center bit-identically — at this scale the beam
+    // covers the whole graph, so the search must be exact.
+    ann::BuildOptions bopts;
+    bopts.min_graph_size = 1;
+    const ann::CenterIndex index =
+        ann::CenterIndex::build(view_reader->centers(), bopts);
+    stats::ProjectOptions ann_popts;
+    ann_popts.finder = &index;
+    const model::Projection via_ann =
+        view_reader->placeBatch(rows, ann_popts);
+    std::size_t agree = 0;
+    bool dist_bitwise = true;
+    for (std::size_t i = 0; i < via_ann.assignment.size(); ++i) {
+        if (via_ann.assignment[i] == via_copy.assignment[i]) {
+            ++agree;
+            dist_bitwise = dist_bitwise &&
+                std::memcmp(&via_ann.dist2[i], &via_copy.dist2[i],
+                            sizeof(double)) == 0;
+        }
+    }
+    if (agree != via_ann.assignment.size() || !dist_bitwise) {
+        std::fprintf(stderr,
+                     "demo: ann placement recall %zu/%zu (dist bitwise: "
+                     "%s)\n", agree, via_ann.assignment.size(),
+                     dist_bitwise ? "yes" : "no");
+        return 1;
+    }
+
     std::fprintf(stderr,
                  "demo: 256 rows served across 2 generations; copy and "
-                 "mmap load paths bit-identical\n");
+                 "mmap load paths bit-identical; ann graph placement "
+                 "recall %zu/%zu with bit-identical distances\n",
+                 agree, via_ann.assignment.size());
     return 0;
 }
 
@@ -556,10 +617,13 @@ usage()
     std::fprintf(
         stderr,
         "usage: phase_serve --model <path> [--copy|--mmap] [--batch N]\n"
-        "                   [--threads N] [--trace out.json]\n"
+        "                   [--threads N] [--ann] [--beam N]\n"
+        "                   [--trace out.json]\n"
         "       phase_serve --model <path> --gen N [--seed S]\n"
         "       phase_serve --demo\n"
-        "directives: #assess (coverage), #reload (hot-swap; also SIGHUP)\n");
+        "directives: #assess (coverage), #reload (hot-swap; also SIGHUP)\n"
+        "--ann places rows through the graph nearest-center index built\n"
+        "at load/reload (docs/ANN.md); replies gain an \"approx\" field.\n");
     return 2;
 }
 
@@ -601,6 +665,11 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             if (!numArg(seed))
                 return usage();
+        } else if (arg == "--ann")
+            opts.ann = true;
+        else if (arg == "--beam") {
+            if (!numArg(opts.beam) || opts.beam == 0)
+                return usage();
         } else if (arg == "--demo")
             demo = true;
         else
@@ -618,6 +687,13 @@ main(int argc, char **argv)
     std::signal(SIGHUP, onReloadSignal);
 
     model::LiveModel live;
+    if (opts.ann) {
+        ann::BuildOptions bopts;
+        if (opts.beam > 0)
+            bopts.beam = opts.beam;
+        live.enableAnn(bopts); // before the first publish: every
+                               // generation gets its own index
+    }
     // Route the first open through the shared helper so a missing/corrupt
     // model fails with the same text as every other CLI.
     live.publish(std::shared_ptr<const model::ModelReader>(
@@ -632,6 +708,14 @@ main(int argc, char **argv)
                                                           : "mmap",
                  snap.reader->zeroCopy() ? ", zero-copy" : "", opts.batch,
                  snap.generation);
+    if (snap.index != nullptr)
+        std::fprintf(stderr,
+                     "phase_serve: ann index generation %" PRIu64
+                     " (%s, beam %zu)\n",
+                     snap.index->generation(),
+                     snap.index->graphMode() ? "graph"
+                                             : "exact fallback: small k",
+                     snap.index->defaultBeam());
 
     const ServeTotals totals =
         serveLoop(live, flags, std::cin, stdout, opts);

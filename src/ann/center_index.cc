@@ -1,0 +1,504 @@
+#include "ann/center_index.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "obs/trace.hh"
+#include "stats/rng.hh"
+#include "stats/simd.hh"
+#include "util/thread_pool.hh"
+
+namespace mica::ann {
+
+namespace {
+
+/**
+ * Nodes per build block. Boundaries depend only on k, never on the
+ * thread count, and the convergence reduction runs in block order — the
+ * standard determinism recipe.
+ */
+constexpr std::size_t kNodeBlock = 256;
+
+/** A (distance², node) pair; all orderings are lexicographic on it. */
+struct Cand
+{
+    double d2;
+    std::uint32_t idx;
+};
+
+/**
+ * The one total order used everywhere (neighbor lists, search pools):
+ * distance first, lowest index breaking exact ties. This is what makes
+ * the exact scan's lowest-index tie contract carry over to the
+ * approximate path.
+ */
+[[nodiscard]] inline bool
+candLess(const Cand &a, const Cand &b)
+{
+    return a.d2 < b.d2 || (a.d2 == b.d2 && a.idx < b.idx);
+}
+
+/**
+ * Per-thread search scratch. The visited marks are epoch-stamped so a
+ * query costs O(evaluations), not O(k), to reset; the stamp array is
+ * rebuilt whenever the thread switches to a different index (keyed by a
+ * process-unique id, never a reusable pointer). Purely thread-private,
+ * so concurrent queries on one shared index never race.
+ */
+struct SearchScratch
+{
+    std::uint64_t owner = 0;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint32_t> stamp;
+    std::vector<Cand> pool; ///< (d2, idx)-sorted best-so-far, size <= beam
+    std::vector<std::uint8_t> expanded; ///< parallel to pool, 1 = expanded
+    std::vector<std::uint32_t> batch;   ///< gathered unvisited neighbors
+    std::vector<double> dists;          ///< batch kernel output, same order
+};
+
+thread_local SearchScratch tl_scratch;
+
+} // namespace
+
+CenterIndex
+CenterIndex::build(stats::MatrixView centers, const BuildOptions &opts)
+{
+    static std::atomic<std::uint64_t> next_scratch_id{1};
+
+    CenterIndex idx;
+    idx.centers_ = centers;
+    idx.beam_ = std::max<std::size_t>(std::size_t{1}, opts.beam);
+    idx.entry_points_ = std::max<std::size_t>(std::size_t{1},
+                                              opts.entry_points);
+    idx.scratch_id_ =
+        next_scratch_id.fetch_add(1, std::memory_order_relaxed);
+
+    const std::size_t k = centers.rows();
+    idx.graph_mode_ = k > opts.min_graph_size && k >= 2 && opts.degree > 0;
+    if (!idx.graph_mode_)
+        return idx; // find() delegates to the exact scan
+
+    const obs::Span build_span("ann.build", "ann");
+    const std::size_t R = std::min(opts.degree, k - 1);
+    idx.degree_ = R;
+    const std::size_t blocks = (k + kNodeBlock - 1) / kNodeBlock;
+    const unsigned threads = util::resolveThreads(opts.threads, blocks);
+
+    // Working graph as (d2, idx) pairs, double buffered: each round
+    // reads `graph` and writes `next`, so a node's new list is a pure
+    // function of the previous round — synchronous and order-free.
+    std::vector<Cand> graph(k * R);
+    std::vector<Cand> next(k * R);
+
+    // Initial lists: R distinct random peers per node, from a per-node
+    // Rng stream that depends only on (seed, node) — block- and
+    // thread-agnostic by construction.
+    util::parallelFor(threads, blocks, [&](std::size_t b) {
+        std::vector<Cand> cand;
+        cand.reserve(R);
+        const std::size_t lo = b * kNodeBlock;
+        const std::size_t hi = std::min(k, lo + kNodeBlock);
+        for (std::size_t i = lo; i < hi; ++i) {
+            stats::Rng rng(opts.seed ^
+                           (0x9E3779B97F4A7C15ULL *
+                            (static_cast<std::uint64_t>(i) + 1)));
+            cand.clear();
+            while (cand.size() < R) {
+                const auto j =
+                    static_cast<std::uint32_t>(rng.nextBelow(k));
+                if (j == i)
+                    continue;
+                bool dup = false;
+                for (const Cand &c : cand)
+                    if (c.idx == j) {
+                        dup = true;
+                        break;
+                    }
+                if (dup)
+                    continue;
+                cand.push_back({stats::squaredDistance(centers.row(i),
+                                                       centers.row(j)),
+                                j});
+            }
+            std::sort(cand.begin(), cand.end(), candLess);
+            std::copy(cand.begin(), cand.end(), graph.begin() + i * R);
+        }
+    });
+
+    // NNDescent refinement: each round, node i re-selects its R best
+    // among {current list} ∪ {forward/reverse neighbors} ∪ {their
+    // forward neighbors}. Rounds stop when no list changed.
+    std::vector<std::uint32_t> rev(k * R, 0);
+    std::vector<std::uint32_t> rev_count(k, 0);
+    std::vector<std::size_t> block_changes(blocks, 0);
+    for (int round = 0; round < opts.max_rounds; ++round) {
+        idx.rounds_ = round + 1;
+
+        // Reverse edges of the current graph, capped at R per node,
+        // filled in ascending source order (serial: O(kR) appends).
+        std::fill(rev_count.begin(), rev_count.end(), 0);
+        for (std::size_t i = 0; i < k; ++i)
+            for (std::size_t t = 0; t < R; ++t) {
+                const std::uint32_t j = graph[i * R + t].idx;
+                if (rev_count[j] < R)
+                    rev[j * R + rev_count[j]++] =
+                        static_cast<std::uint32_t>(i);
+            }
+
+        util::parallelFor(threads, blocks, [&](std::size_t b) {
+            // Dedup marks: stamp[j] == i means "j already a candidate
+            // of node i". Node ids are strictly increasing within the
+            // block, so no per-node clear is needed.
+            std::vector<std::uint32_t> stamp(
+                k, std::numeric_limits<std::uint32_t>::max());
+            std::vector<Cand> cand;
+            const std::size_t lo = b * kNodeBlock;
+            const std::size_t hi = std::min(k, lo + kNodeBlock);
+            std::size_t changes = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const auto me = static_cast<std::uint32_t>(i);
+                const auto self = centers.row(i);
+                cand.clear();
+                stamp[i] = me;
+                // Current list survives with its cached distances.
+                for (std::size_t t = 0; t < R; ++t) {
+                    const Cand &c = graph[i * R + t];
+                    stamp[c.idx] = me;
+                    cand.push_back(c);
+                }
+                const auto consider = [&](std::uint32_t j) {
+                    if (stamp[j] == me)
+                        return;
+                    stamp[j] = me;
+                    cand.push_back(
+                        {stats::squaredDistance(self, centers.row(j)),
+                         j});
+                };
+                const auto expand = [&](std::uint32_t u) {
+                    consider(u);
+                    for (std::size_t t = 0; t < R; ++t)
+                        consider(graph[u * R + t].idx);
+                };
+                for (std::size_t t = 0; t < R; ++t)
+                    expand(graph[i * R + t].idx);
+                for (std::size_t t = 0; t < rev_count[i]; ++t)
+                    expand(rev[i * R + t]);
+                std::sort(cand.begin(), cand.end(), candLess);
+                for (std::size_t t = 0; t < R; ++t) {
+                    next[i * R + t] = cand[t];
+                    if (cand[t].idx != graph[i * R + t].idx)
+                        ++changes;
+                }
+            }
+            block_changes[b] = changes;
+        });
+
+        std::swap(graph, next);
+        std::size_t total_changes = 0;
+        for (std::size_t b = 0; b < blocks; ++b)
+            total_changes += block_changes[b];
+        if (total_changes == 0)
+            break;
+    }
+
+    // Diversify each node's out-list before freezing (the HNSW/DiskANN
+    // occlusion heuristic): an edge to c is redundant when some closer
+    // kept neighbor j is also close to c — the search reaches c through
+    // j anyway — so c survives only if c.d2 < alpha² · d2(c, j) for
+    // every kept j. This thins the tight same-cluster cliques NNDescent
+    // produces and spends the out-degree on diverse directions, which
+    // is what cuts evaluations per expansion at equal recall.
+    // Deterministic: ascending candidate order, exact distances, and
+    // each node is a pure function of the converged graph.
+    std::vector<std::vector<Cand>> kept(k);
+    if (opts.prune_alpha > 0.0) {
+        const double a2 = opts.prune_alpha * opts.prune_alpha;
+        util::parallelFor(threads, blocks, [&](std::size_t b) {
+            const std::size_t lo = b * kNodeBlock;
+            const std::size_t hi = std::min(k, lo + kNodeBlock);
+            for (std::size_t i = lo; i < hi; ++i) {
+                std::vector<Cand> &keep = kept[i];
+                keep.reserve(R);
+                for (std::size_t t = 0; t < R; ++t) {
+                    const Cand &c = graph[i * R + t];
+                    bool diverse = true;
+                    for (const Cand &j : keep)
+                        if (c.d2 >= a2 * stats::squaredDistance(
+                                              centers.row(c.idx),
+                                              centers.row(j.idx))) {
+                            diverse = false;
+                            break;
+                        }
+                    if (diverse)
+                        keep.push_back(c);
+                }
+            }
+        });
+    } else {
+        for (std::size_t i = 0; i < k; ++i)
+            kept[i].assign(graph.begin() +
+                               static_cast<std::ptrdiff_t>(i * R),
+                           graph.begin() +
+                               static_cast<std::ptrdiff_t>((i + 1) * R));
+    }
+
+    // Freeze the adjacency, symmetrized: search follows edges in both
+    // directions (j reachable from i whenever i is from j), which keeps
+    // nodes with low in-degree in the directed k-NN graph reachable and
+    // recall independent of its hub skew. Serial, node order; distances
+    // are symmetric so reverse edges reuse the stored d2 bitwise.
+    std::vector<std::vector<Cand>> merged(k);
+    for (std::size_t i = 0; i < k; ++i)
+        merged[i].reserve(2 * R);
+    for (std::size_t i = 0; i < k; ++i)
+        for (const Cand &c : kept[i]) {
+            merged[i].push_back(c);
+            merged[c.idx].push_back(
+                {c.d2, static_cast<std::uint32_t>(i)});
+        }
+    const std::size_t cap = std::min(2 * R, k - 1);
+    idx.adj_offset_.resize(k + 1);
+    idx.adjacency_.clear();
+    idx.adjacency_.reserve(k * cap);
+    double edge_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        std::vector<Cand> &m = merged[i];
+        std::sort(m.begin(), m.end(), candLess);
+        // Forward and reverse copies of one edge carry identical (d2,
+        // idx) bits, so duplicates are adjacent after the sort.
+        m.erase(std::unique(m.begin(), m.end(),
+                            [](const Cand &a, const Cand &b) {
+                                return a.idx == b.idx;
+                            }),
+                m.end());
+        if (m.size() > cap)
+            m.resize(cap);
+        idx.adj_offset_[i] =
+            static_cast<std::uint32_t>(idx.adjacency_.size());
+        for (const Cand &c : m) {
+            idx.adjacency_.push_back(c.idx);
+            edge_sum += std::sqrt(c.d2);
+        }
+    }
+    idx.adj_offset_[k] =
+        static_cast<std::uint32_t>(idx.adjacency_.size());
+    idx.mean_edge_ =
+        edge_sum / static_cast<double>(idx.adjacency_.size());
+
+    // Packed coarse seed sample: every stride-th center copied into an
+    // owned contiguous matrix, so each search can locate its entry
+    // region with one streaming exact scan instead of scattered probes.
+    std::size_t root = 1;
+    while ((root + 1) * (root + 1) <= k)
+        ++root;
+    const std::size_t coarse =
+        std::min(k, std::max(idx.entry_points_, root));
+    const std::size_t m = centers.cols();
+    const std::size_t coarse_stride = k / coarse;
+    idx.coarse_ = stats::Matrix(coarse, m);
+    idx.coarse_ids_.resize(coarse);
+    for (std::size_t e = 0; e < coarse; ++e) {
+        const auto id = static_cast<std::uint32_t>(e * coarse_stride);
+        idx.coarse_ids_[e] = id;
+        const auto src = centers.row(id);
+        std::copy(src.begin(), src.end(), idx.coarse_.row(e).begin());
+    }
+
+    obs::count("ann.graph_builds");
+    obs::count("ann.build_rounds", static_cast<double>(idx.rounds_));
+    obs::gauge("ann.mean_edge_length", idx.mean_edge_);
+    return idx;
+}
+
+stats::NearestCenter
+CenterIndex::find(std::span<const double> point,
+                  stats::DistanceCounters *counters) const
+{
+    return search(point, beam_, counters);
+}
+
+stats::NearestCenter
+CenterIndex::search(std::span<const double> point, std::size_t beam,
+                    stats::DistanceCounters *counters) const
+{
+    const std::size_t k = centers_.rows();
+    if (!graph_mode_) {
+        // Exact fallback: bit-identical to the scan by construction.
+        const stats::NearestCenter nc =
+            stats::nearestCenter(point, centers_);
+        if (counters != nullptr)
+            counters->computed += k;
+        return nc;
+    }
+    beam = std::clamp(beam, std::size_t{1}, k);
+
+    SearchScratch &s = tl_scratch;
+    if (s.owner != scratch_id_ || s.stamp.size() != k) {
+        s.owner = scratch_id_;
+        s.stamp.assign(k, 0);
+        s.epoch = 0;
+    }
+    if (++s.epoch == 0) { // epoch wrapped: hard-reset the marks once
+        std::fill(s.stamp.begin(), s.stamp.end(), 0);
+        s.epoch = 1;
+    }
+    const std::uint32_t epoch = s.epoch;
+    s.pool.clear();
+    s.expanded.clear();
+    s.batch.clear();
+
+    // There is no separate frontier structure: a candidate evicted from
+    // the pool can never be expanded (the expansion bound below only
+    // tightens), so the sorted pool with per-entry expanded marks IS
+    // the frontier — the next node to expand is always the first
+    // unexpanded pool entry. `scan_from` remembers where that prefix
+    // scan left off; an insert below it rewinds it.
+    std::uint64_t evals = 0;
+    std::size_t scan_from = 0;
+    const auto accept = [&](const Cand &c) {
+        if (s.pool.size() < beam || candLess(c, s.pool.back())) {
+            const auto it = std::lower_bound(s.pool.begin(), s.pool.end(),
+                                             c, candLess);
+            const auto pos =
+                static_cast<std::size_t>(it - s.pool.begin());
+            s.pool.insert(it, c);
+            s.expanded.insert(s.expanded.begin() +
+                                  static_cast<std::ptrdiff_t>(pos),
+                              0);
+            if (s.pool.size() > beam) {
+                s.pool.pop_back();
+                s.expanded.pop_back();
+            }
+            scan_from = std::min(scan_from, pos);
+        }
+    };
+
+    // One dispatched batch computes distances for a gathered id list
+    // and the serial accept loop folds them into pool+heap in gather
+    // order — identical arithmetic and ordering to per-pair calls, but
+    // one indirect call per batch and look-ahead prefetch inside.
+    const auto acceptBatch = [&] {
+        evals += s.batch.size();
+        s.dists.resize(s.batch.size());
+        stats::simd::batchSquaredDistance(point.data(), centers_.data(),
+                                          centers_.cols(), s.batch.data(),
+                                          s.batch.size(), s.dists.data());
+        for (std::size_t i = 0; i < s.batch.size(); ++i)
+            accept({s.dists[i], s.batch[i]});
+    };
+
+    // Two-level seed: one streaming pass over the packed coarse sample
+    // picks the kSeeds best entry regions (deterministic: fixed sample,
+    // (distance, catalog-index) order, so no query depends on any
+    // other). The chosen centers are then re-evaluated against their
+    // live rows through the normal batch path, which keeps every pooled
+    // distance exact even after in-place center drift.
+    constexpr std::size_t kSeeds = 4;
+    const std::size_t coarse_rows = coarse_.rows();
+    s.batch.resize(coarse_rows);
+    for (std::size_t e = 0; e < coarse_rows; ++e)
+        s.batch[e] = static_cast<std::uint32_t>(e);
+    s.dists.resize(coarse_rows);
+    stats::simd::batchSquaredDistance(point.data(), coarse_.data().data(),
+                                      coarse_.cols(), s.batch.data(),
+                                      coarse_rows, s.dists.data());
+    evals += coarse_rows;
+    Cand top[kSeeds];
+    std::size_t nt = 0;
+    for (std::size_t e = 0; e < coarse_rows; ++e) {
+        const Cand c{s.dists[e], coarse_ids_[e]};
+        if (nt == kSeeds && !candLess(c, top[nt - 1]))
+            continue;
+        std::size_t at = nt < kSeeds ? nt++ : nt - 1;
+        while (at > 0 && candLess(c, top[at - 1])) {
+            top[at] = top[at - 1];
+            --at;
+        }
+        top[at] = c;
+    }
+    s.batch.clear();
+    for (std::size_t t = 0; t < nt; ++t) {
+        s.stamp[top[t].idx] = epoch;
+        s.batch.push_back(top[t].idx);
+    }
+    acceptBatch();
+
+    // Best-first expansion: expand the closest unexpanded pool entry
+    // until none is left — at that point the nearest frontier node
+    // provably cannot enter the full pool. Each expansion compacts the
+    // unvisited neighbors branchlessly (the visited test is data-
+    // dependent and mispredicts badly as a branch), prefetches their
+    // rows, then computes all distances in one dispatched batch: at
+    // large k the centers table outgrows cache and these scattered rows
+    // miss, so overlapping the miss latency — not the arithmetic — is
+    // most of the query cost.
+    for (;;) {
+        while (scan_from < s.pool.size() &&
+               s.expanded[scan_from] != 0)
+            ++scan_from;
+        if (scan_from == s.pool.size())
+            break;
+        s.expanded[scan_from] = 1;
+        const Cand c = s.pool[scan_from];
+        const std::span<const std::uint32_t> nbs = neighbors(c.idx);
+        s.batch.resize(nbs.size());
+        std::size_t fresh = 0;
+        for (const std::uint32_t nb : nbs) {
+            s.batch[fresh] = nb;
+            fresh += s.stamp[nb] != epoch;
+            s.stamp[nb] = epoch;
+        }
+        s.batch.resize(fresh);
+        for (const std::uint32_t nb : s.batch) {
+            const double *row = centers_.row(nb).data();
+            for (std::size_t o = 0; o < centers_.cols(); o += 8)
+                __builtin_prefetch(row + o);
+        }
+        acceptBatch();
+    }
+
+    stats::NearestCenter out;
+    out.index = s.pool.front().idx;
+    out.dist2 = s.pool.front().d2;
+    out.second_dist2 = s.pool.size() > 1
+        ? s.pool[1].d2
+        : std::numeric_limits<double>::max();
+    if (counters != nullptr) {
+        counters->computed += evals;
+        counters->pruned += k > evals ? k - evals : 0;
+    }
+    return out;
+}
+
+namespace {
+
+/** BuildOptions bound into the stats-layer factory interface. */
+class CenterIndexFactory final : public stats::NearestCenterFinderFactory
+{
+  public:
+    explicit CenterIndexFactory(const BuildOptions &opts) : opts_(opts) {}
+
+    [[nodiscard]] std::unique_ptr<stats::NearestCenterFinder>
+    build(stats::MatrixView centers, unsigned threads) const override
+    {
+        BuildOptions opts = opts_;
+        opts.threads = threads;
+        return std::make_unique<CenterIndex>(
+            CenterIndex::build(centers, opts));
+    }
+
+  private:
+    BuildOptions opts_;
+};
+
+} // namespace
+
+std::shared_ptr<const stats::NearestCenterFinderFactory>
+indexFactory(const BuildOptions &opts)
+{
+    return std::make_shared<const CenterIndexFactory>(opts);
+}
+
+} // namespace mica::ann

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Graph-based approximate nearest-center index: sublinear placement and
+ * large-k Lloyd assignment (ROADMAP item 2).
+ *
+ * Every serving and clustering hot path bottoms out in
+ * `stats::nearestCenter`, an exact scan linear in k. `CenterIndex`
+ * replaces that scan — behind explicit opt-ins that default off — with a
+ * beam search over a small k-NN neighborhood graph built NNDescent-style
+ * over the centers: seed from the best center in a packed strided sample
+ * (one streaming scan over a cache-dense copy — a two-level hierarchy in
+ * miniature), repeatedly expand the closest unexpanded candidate's
+ * neighbors, stop when the closest candidate cannot improve a full
+ * result pool. Cost per query is O(sqrt(k) + beam · degree) distance
+ * evaluations instead of O(k).
+ *
+ * ## Determinism contract
+ *
+ * Construction and search are deterministic and thread-count-invariant,
+ * like everything else in this codebase:
+ *
+ *  - The initial candidate lists are drawn from per-node `stats::Rng`
+ *    streams seeded by (build seed, node index) only.
+ *  - Refinement rounds are synchronous: every node's new neighbor list
+ *    is a pure function of the *previous* round's graph (double
+ *    buffered), nodes are processed in fixed blocks, and the
+ *    convergence reduction runs in block order. The thread count only
+ *    changes wall-clock time.
+ *  - Neighbor lists and search pools are ordered by (distance, index)
+ *    lexicographically, so ties resolve identically everywhere and the
+ *    lowest index wins — the same tie contract as the exact scan.
+ *  - Search state (visited marks) lives in per-thread scratch keyed by
+ *    a unique index id; queries on different threads never share
+ *    mutable state, so one index may serve row-parallel callers.
+ *
+ * Every distance the search reports is the exact `stats::squaredDistance`
+ * to the reported center (the same dispatched kernel the exact scan
+ * uses), so whenever the search finds the true nearest center its
+ * (index, dist2) result is bitwise equal to `stats::nearestCenter`'s.
+ * When it does not, the error is bounded and measured: the bench sweep
+ * (`BENCH_ann_placement.json`) records recall@1 against the exact scan
+ * and CI hard-gates the floor. See docs/ANN.md.
+ *
+ * Below `BuildOptions::min_graph_size` centers the index holds no graph
+ * at all and `find` simply delegates to the exact scan — at small k the
+ * scan is already faster than graph traversal, and this keeps tiny-k
+ * callers exact by construction.
+ */
+
+#ifndef MICAPHASE_ANN_CENTER_INDEX_HH
+#define MICAPHASE_ANN_CENTER_INDEX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stats/distance.hh"
+#include "stats/matrix.hh"
+
+namespace mica::ann {
+
+/** Construction and default-query knobs for CenterIndex. */
+struct BuildOptions
+{
+    /** Neighbors kept per node (graph out-degree). */
+    std::size_t degree = 16;
+    /** Cap on NNDescent refinement rounds (stops early at convergence). */
+    int max_rounds = 12;
+    /**
+     * Occlusion-pruning slack (HNSW/DiskANN heuristic): an edge to c is
+     * dropped when some closer kept neighbor j has
+     * d2(c, j) <= d2(i, c) / alpha². 1.0 is the strict relative-
+     * neighborhood rule, larger keeps more edges; <= 0 disables
+     * pruning and freezes the raw k-NN lists.
+     */
+    double prune_alpha = 0.0;
+    /**
+     * At or below this many centers the index skips graph construction
+     * and `find` is the exact scan (bit-identical to nearestCenter).
+     * The default keeps the paper-scale k=300 regime exact; tests lower
+     * it to force the graph path on small inputs.
+     */
+    std::size_t min_graph_size = 1024;
+    /** Default beam width for find(); search() can override per call. */
+    std::size_t beam = 10;
+    /**
+     * Floor on the packed coarse seed sample (the actual size is
+     * max(entry_points, floor(sqrt(k))), capped at k): every search
+     * starts from the best center in a contiguous strided sample of
+     * the catalog, found with the streaming exact-scan kernel.
+     */
+    std::size_t entry_points = 16;
+    /** Seed for the initial random candidate lists. */
+    std::uint64_t seed = 0x5eedC0DEULL;
+    /** Build threads (0 = hardware concurrency; result is invariant). */
+    unsigned threads = 0;
+};
+
+/**
+ * The k-NN-graph index (see file comment). Holds a non-owning view of
+ * the center matrix: the owner must keep it alive, and may mutate the
+ * center *values* in place (Lloyd does) — distances stay exact against
+ * the current values; only the graph topology goes stale, which the
+ * owner detects via lengthScale() and handles by rebuilding.
+ */
+class CenterIndex final : public stats::NearestCenterFinder
+{
+  public:
+    /**
+     * Build an index over `centers` (k x m). Deterministic: the result
+     * depends only on the center bytes and `opts` (never on threads).
+     */
+    [[nodiscard]] static CenterIndex build(stats::MatrixView centers,
+                                           const BuildOptions &opts = {});
+
+    /** stats::NearestCenterFinder: search with the default beam. */
+    [[nodiscard]] stats::NearestCenter
+    find(std::span<const double> point,
+         stats::DistanceCounters *counters = nullptr) const override;
+
+    /**
+     * Mean graph edge length at build time (Euclidean), the scale
+     * against which center drift is compared for rebuild decisions;
+     * 0 in exact-fallback mode.
+     */
+    [[nodiscard]] double lengthScale() const override
+    {
+        return mean_edge_;
+    }
+
+    /**
+     * Beam search with an explicit beam width (clamped to [1, k]).
+     * Wider beams trade throughput for recall; beam >= k degenerates
+     * to an exhaustive (exact) traversal of the connected component.
+     */
+    [[nodiscard]] stats::NearestCenter
+    search(std::span<const double> point, std::size_t beam,
+           stats::DistanceCounters *counters = nullptr) const;
+
+    /** False when k <= min_graph_size: find() is the exact scan. */
+    [[nodiscard]] bool graphMode() const { return graph_mode_; }
+
+    /** Number of centers indexed. */
+    [[nodiscard]] std::size_t size() const { return centers_.rows(); }
+
+    /** Out-degree actually used (min(opts.degree, k-1)); 0 in fallback. */
+    [[nodiscard]] std::size_t degree() const { return degree_; }
+
+    /** Default beam width used by find(). */
+    [[nodiscard]] std::size_t defaultBeam() const { return beam_; }
+
+    /** Refinement rounds the build actually ran (0 in fallback mode). */
+    [[nodiscard]] int buildRounds() const { return rounds_; }
+
+    /**
+     * Symmetrized neighbor list of one node, (distance, index)-sorted:
+     * the union of the node's k-NN list and every node that lists it,
+     * capped at 2*degree(). Symmetrization is what keeps low-in-degree
+     * nodes reachable from any entry point, so recall does not depend
+     * on the directed graph's in-degree skew.
+     */
+    [[nodiscard]] std::span<const std::uint32_t>
+    neighbors(std::size_t node) const
+    {
+        return {adjacency_.data() + adj_offset_[node],
+                adj_offset_[node + 1] - adj_offset_[node]};
+    }
+
+    /** The center matrix this index was built over (non-owning). */
+    [[nodiscard]] stats::MatrixView centers() const { return centers_; }
+
+    /**
+     * Owner-managed version tag (e.g. the LiveModel generation that the
+     * indexed centers belong to); 0 until set. Lets serving code assert
+     * it never pairs a snapshot with a stale index.
+     */
+    [[nodiscard]] std::uint64_t generation() const { return generation_; }
+    void setGeneration(std::uint64_t g) { generation_ = g; }
+
+  private:
+    CenterIndex() = default;
+
+    stats::MatrixView centers_;
+    std::vector<std::uint32_t> adjacency_;  ///< CSR neighbor ids
+    std::vector<std::uint32_t> adj_offset_; ///< k+1 CSR offsets
+    /**
+     * Packed strided sample of the centers (an owned copy, cache-dense)
+     * plus the catalog index of each sampled row. The search seeds its
+     * beam from the sample's nearest row via one streaming scan — a
+     * two-level hierarchy in miniature. Under in-place center drift the
+     * copy goes stale like the graph topology does: seed quality
+     * degrades, reported distances stay exact (they are recomputed
+     * against the live rows), and the owner's drift-triggered rebuild
+     * refreshes it.
+     */
+    stats::Matrix coarse_;
+    std::vector<std::uint32_t> coarse_ids_;
+    std::size_t degree_ = 0;
+    std::size_t beam_ = 0;
+    std::size_t entry_points_ = 0;
+    bool graph_mode_ = false;
+    int rounds_ = 0;
+    double mean_edge_ = 0.0;
+    std::uint64_t generation_ = 0;
+    std::uint64_t scratch_id_ = 0; ///< unique per index, keys search scratch
+};
+
+/**
+ * Adapt BuildOptions into the factory interface `KMeans::Options::ann`
+ * consumes: each call to build() constructs a fresh CenterIndex over the
+ * given centers (opts.threads is overridden by the caller's choice).
+ */
+[[nodiscard]] std::shared_ptr<const stats::NearestCenterFinderFactory>
+indexFactory(const BuildOptions &opts = {});
+
+} // namespace mica::ann
+
+#endif // MICAPHASE_ANN_CENTER_INDEX_HH

@@ -18,15 +18,42 @@ LiveModel::load(const std::string &path, const OpenOptions &opts)
 std::uint64_t
 LiveModel::publish(std::shared_ptr<const ModelReader> reader)
 {
+    // Index construction is the expensive part of an ANN-enabled swap;
+    // like the file open it runs unlocked, against the new reader's own
+    // frozen centers (no torn state to observe: the reader is not
+    // published yet).
+    bool build_index = false;
+    ann::BuildOptions build_opts;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        build_index = ann_enabled_ && reader != nullptr;
+        build_opts = ann_options_;
+    }
+    std::shared_ptr<ann::CenterIndex> index;
+    if (build_index)
+        index = std::make_shared<ann::CenterIndex>(
+            ann::CenterIndex::build(reader->centers(), build_opts));
+
     std::uint64_t generation = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         generation = ++snapshot_.generation;
+        if (index != nullptr)
+            index->setGeneration(generation);
         snapshot_.reader = std::move(reader);
+        snapshot_.index = std::move(index);
     }
     obs::count("model.hot_swap");
     obs::gauge("model.generation", static_cast<double>(generation));
     return generation;
+}
+
+void
+LiveModel::enableAnn(const ann::BuildOptions &opts)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ann_enabled_ = true;
+    ann_options_ = opts;
 }
 
 LiveModel::Snapshot

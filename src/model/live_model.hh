@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 
+#include "ann/center_index.hh"
 #include "model/reader.hh"
 
 namespace mica::model {
@@ -35,11 +36,19 @@ namespace mica::model {
 class LiveModel
 {
   public:
-    /** One coherent (generation, reader) pair taken at a point in time. */
+    /**
+     * One coherent (generation, reader, index) triple taken at a point
+     * in time. `index` is non-null only after enableAnn(): it is built
+     * over exactly this reader's frozen centers before the publish and
+     * carries the same generation tag, so a consumer can assert it
+     * never pairs a model with a stale index
+     * (`snapshot.index->generation() == snapshot.generation`).
+     */
     struct Snapshot
     {
         std::uint64_t generation = 0; ///< 0 = nothing published yet
         std::shared_ptr<const ModelReader> reader;
+        std::shared_ptr<const ann::CenterIndex> index;
 
         explicit operator bool() const { return reader != nullptr; }
     };
@@ -56,6 +65,17 @@ class LiveModel
     /** Publish an already-built reader; returns its generation. */
     std::uint64_t publish(std::shared_ptr<const ModelReader> reader);
 
+    /**
+     * Opt in to approximate placement: every *subsequent* publish (or
+     * load) builds an `ann::CenterIndex` with these options over the
+     * new reader's centers — outside the lock, like the open itself —
+     * and swaps it into the snapshot atomically with the generation.
+     * Does not retrofit an index onto an already-published snapshot;
+     * callers enable ANN before the first load. Off by default: without
+     * this call `Snapshot::index` stays null and serving is exact.
+     */
+    void enableAnn(const ann::BuildOptions &opts);
+
     /** The current (generation, reader) pair; {0, nullptr} before any
      *  publish. */
     [[nodiscard]] Snapshot current() const;
@@ -66,6 +86,8 @@ class LiveModel
   private:
     mutable std::mutex mutex_;
     Snapshot snapshot_;
+    bool ann_enabled_ = false;
+    ann::BuildOptions ann_options_;
 };
 
 } // namespace mica::model

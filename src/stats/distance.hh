@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -108,6 +109,76 @@ struct DistanceCounters
         pruned += other.pruned;
         norms += other.norms;
     }
+};
+
+/**
+ * Abstract nearest-center strategy: something that can answer "which
+ * center is closest to this point?" without the caller knowing how.
+ *
+ * The exact scan (`nearestCenter`) is the reference implementation; the
+ * ANN layer (`ann::CenterIndex`, src/ann) provides a sublinear
+ * graph-search one. The interface lives here — below the ANN library —
+ * so that consumers inside `mica_stats` (projectRows, the Lloyd
+ * assignment step) can accept a finder without a dependency cycle.
+ *
+ * Contract for implementations:
+ *  - `find` must be thread-safe for concurrent const use (row-parallel
+ *    callers share one finder across blocks).
+ *  - Every distance that is reported must be the exact
+ *    `squaredDistance` to the reported center, so when an approximate
+ *    finder does locate the true nearest center its result is bitwise
+ *    equal to the exact scan's (index, dist2) pair.
+ *  - Ties among equal distances must resolve to the lowest index the
+ *    implementation examined, matching the exact scan's strict-`<`
+ *    contract.
+ */
+class NearestCenterFinder
+{
+  public:
+    virtual ~NearestCenterFinder() = default;
+
+    /**
+     * Nearest (or approximately nearest) center for `point`. When
+     * `counters` is non-null the implementation accounts its distance
+     * work there (`computed` for evaluations performed, `pruned` for
+     * the evaluations a full exact scan would have needed but this call
+     * skipped).
+     */
+    [[nodiscard]] virtual NearestCenter
+    find(std::span<const double> point,
+         DistanceCounters *counters = nullptr) const = 0;
+
+    /**
+     * Characteristic length scale of the structure the finder built
+     * (e.g. the mean graph edge length), used by callers that mutate
+     * the centers in place (Lloyd) to decide when accumulated center
+     * drift has made the structure stale enough to rebuild. 0 means
+     * "no structure" — rebuilds are free, callers may rebuild eagerly.
+     */
+    [[nodiscard]] virtual double lengthScale() const { return 0.0; }
+};
+
+/**
+ * Factory for finders over a (caller-owned) center matrix. `KMeans`
+ * takes one of these (`Options::ann`) rather than a finder instance
+ * because Lloyd moves the centers and must be able to rebuild the
+ * structure mid-run. Implementations must be thread-safe for concurrent
+ * const use (the restart fan-out builds in parallel) and must produce
+ * finders whose behaviour is a pure function of the center bytes and
+ * the factory's own configuration — never of the thread count.
+ *
+ * The returned finder holds a *view* of `centers`: the matrix must
+ * outlive it, and mutating the matrix in place is allowed (distances
+ * stay exact against the current values; only the acceleration
+ * structure's topology goes stale — see lengthScale()).
+ */
+class NearestCenterFinderFactory
+{
+  public:
+    virtual ~NearestCenterFinderFactory() = default;
+
+    [[nodiscard]] virtual std::unique_ptr<NearestCenterFinder>
+    build(MatrixView centers, unsigned threads) const = 0;
 };
 
 /**

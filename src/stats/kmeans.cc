@@ -86,6 +86,19 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
         p.sums = Matrix(k, d);
     }
 
+    // Approximate assignment (Options::ann): the finder views
+    // res.centers in place, so its distances always track the current
+    // center values exactly; only its acceleration structure goes stale
+    // as centers move. We accumulate the CenterDrift maximum movement
+    // since the last build and rebuild once it exceeds the configured
+    // fraction of the finder's own length scale. The Hamerly bounds are
+    // bypassed while a finder is active — they certify the *exact*
+    // argmin, which an approximate finder does not promise.
+    const bool use_ann = opts.ann != nullptr;
+    const bool pruning = opts.pruning && !use_ann;
+    std::unique_ptr<NearestCenterFinder> finder;
+    double drift_since_build = 0.0;
+
     // Hamerly bounds state (pruned path only). Bounds are per point and
     // each block only touches its own rows, so the state is updated
     // identically for every thread count. Intermediate per-iteration
@@ -95,12 +108,20 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
     CenterDrift drift;
     std::vector<double> move2(k, 0.0);
     bool have_drift = false;
-    if (opts.pruning)
+    if (pruning)
         bounds.reset(n);
 
     Matrix sums(k, d);
     for (int iter = 0; iter < opts.max_iterations; ++iter) {
         res.iterations = iter + 1;
+
+        if (use_ann &&
+            (finder == nullptr ||
+             drift_since_build > opts.ann_rebuild * finder->lengthScale())) {
+            finder = opts.ann->build(res.centers.view(), opts.threads);
+            drift_since_build = 0.0;
+            obs::count("kmeans.ann_rebuilds");
+        }
 
         // Assignment step, row-partitioned: each block classifies its rows
         // against the current centers and accumulates private partials.
@@ -119,7 +140,15 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
             for (std::size_t i = lo; i < hi; ++i) {
                 auto point = data.row(i);
                 std::size_t arg;
-                if (!opts.pruning) {
+                if (use_ann) {
+                    // Approximate path: the finder is shared across
+                    // blocks (thread-safe const) and accounts its own
+                    // distance work.
+                    const NearestCenter nc =
+                        finder->find(point, &part.counters);
+                    arg = nc.index;
+                    part.inertia += nc.dist2;
+                } else if (!opts.pruning) {
                     // Naive oracle: exact scan of every center.
                     const NearestCenter nc = nearestCenter(point,
                                                            res.centers);
@@ -220,7 +249,7 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
             changed = true;
             // The repair reassigned the victim behind the bounds' back;
             // force an exact rescan of it next pass.
-            if (opts.pruning)
+            if (pruning)
                 bounds.invalidate(victim);
         }
 
@@ -242,9 +271,11 @@ lloyd(const Matrix &data, std::size_t k, const KMeans::Options &opts,
             }
             move2[c] = center_move2;
         }
-        if (opts.pruning) {
+        if (pruning || use_ann) {
             drift.fromSquaredMovements(move2);
             have_drift = true;
+            if (use_ann)
+                drift_since_build += drift.max_move;
         }
 
         if (!changed || movement < opts.tolerance * opts.tolerance)

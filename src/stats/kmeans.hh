@@ -103,6 +103,26 @@ class KMeans
          * must equal k after clamping to the row count.
          */
         std::vector<std::size_t> initial_seeds;
+        /**
+         * Opt-in approximate assignment for large k: when non-null,
+         * every Lloyd assignment pass classifies points through a
+         * finder built by this factory over the current centers (pass
+         * `ann::indexFactory()` for the graph index) instead of the
+         * exact scan. The finder tracks in-place center movement
+         * exactly (it evaluates true distances against the live
+         * matrix), but its acceleration structure goes stale as
+         * centers drift, so it is rebuilt whenever the accumulated
+         * `CenterDrift` maximum movement since the last build exceeds
+         * `ann_rebuild` times the finder's lengthScale(). Results stay
+         * deterministic and thread-count-invariant, but are *not*
+         * bitwise-equal to the exact path (assignments may be
+         * approximate); nullptr — the default — keeps the historical
+         * exact behaviour untouched. Implies the Hamerly bounds are
+         * bypassed (`pruning` is ignored while a finder is active).
+         */
+        std::shared_ptr<const NearestCenterFinderFactory> ann;
+        /** Rebuild threshold for `ann`, as a fraction of lengthScale(). */
+        double ann_rebuild = 0.25;
     };
 
     /**

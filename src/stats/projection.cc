@@ -83,7 +83,12 @@ projectRows(const ProjectionSpec &spec, MatrixView rows,
         for (std::size_t r = begin; r < end; ++r) {
             const std::span<double> dst = out.reduced.row(r);
             projectOneRow(spec, rows.row(r), dst, scratch);
-            const NearestCenter nearest = nearestCenter(dst, spec.centers);
+            // Classification: the exact scan by default, or the caller's
+            // finder (per-row independent either way, so the blocking
+            // invariants are unaffected).
+            const NearestCenter nearest = opts.finder != nullptr
+                ? opts.finder->find(dst)
+                : nearestCenter(dst, spec.centers);
             out.assignment[r] = nearest.index;
             out.dist2[r] = nearest.dist2;
         }

@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "stats/distance.hh"
 #include "stats/matrix.hh"
 #include "stats/summary.hh"
 
@@ -58,6 +59,16 @@ struct ProjectOptions
 {
     unsigned threads = 0;         ///< 0 = hardware concurrency
     std::size_t block_rows = 1024; ///< rows per work item (must be > 0)
+    /**
+     * Optional nearest-center strategy for the classification step
+     * (e.g. an `ann::CenterIndex` built over `spec.centers`). Non-owning;
+     * must outlive the call and be thread-safe for concurrent const use.
+     * nullptr (the default) keeps the exact index-order scan — the
+     * bit-identity contract in the file comment applies only to this
+     * default; an approximate finder trades it for the finder's own
+     * bounded-error contract (see docs/ANN.md).
+     */
+    const NearestCenterFinder *finder = nullptr;
 };
 
 /** Dense result of projecting a batch of rows. */

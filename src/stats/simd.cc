@@ -172,6 +172,56 @@ scanImpl(const double *point, const double *centers, std::size_t k,
     return out;
 }
 
+/**
+ * Shared gather-batch skeleton (simd.hh batchSquaredDistance): the
+ * per-pair distance call is direct via the template parameter — one
+ * dispatch per batch instead of one per pair — and the row `kAhead`
+ * ids ahead is prefetched each iteration so the cache-scattered rows
+ * the ANN graph search produces overlap their miss latency with the
+ * current pair's arithmetic instead of serializing on it.
+ */
+template <double (*Dist)(const double *, const double *, std::size_t),
+          std::size_t M = 0>
+void
+batchLoop(const double *point, const double *rows, std::size_t m,
+          const std::uint32_t *ids, std::size_t count, double *out)
+{
+    if constexpr (M != 0)
+        m = M; // compile-time width: Dist's loop unrolls, tail folds away
+    constexpr std::size_t kAhead = 8;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i + kAhead < count) {
+            // Whole row, not just its first cache line: one line holds
+            // only 8 doubles, so wider rows need a prefetch per line.
+            const double *next =
+                rows + static_cast<std::size_t>(ids[i + kAhead]) * m;
+            for (std::size_t o = 0; o < m; o += 8)
+                __builtin_prefetch(next + o);
+        }
+        out[i] =
+            Dist(point, rows + static_cast<std::size_t>(ids[i]) * m, m);
+    }
+}
+
+template <double (*Dist)(const double *, const double *, std::size_t)>
+void
+batchImpl(const double *point, const double *rows, std::size_t m,
+          const std::uint32_t *ids, std::size_t count, double *out)
+{
+    // Steer the common serving widths through fixed-size instantiations:
+    // with m a compile-time constant the per-pair kernel's loop unrolls
+    // and its tail test disappears, and because it is the SAME function
+    // with the same schedule the results stay bitwise identical.
+    switch (m) {
+    case 8:
+        return batchLoop<Dist, 8>(point, rows, m, ids, count, out);
+    case 16:
+        return batchLoop<Dist, 16>(point, rows, m, ids, count, out);
+    default:
+        return batchLoop<Dist>(point, rows, m, ids, count, out);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 backend: 8 virtual lanes live in two 4-wide registers; the
 // combine tree (b_i = acc_i + acc_{i+4}, then (b0+b2)+(b1+b3)) is the
@@ -337,6 +387,13 @@ projectRowAvx2(const double *src, const double *mean, const double *sd,
     projectRowImpl<normalizeAvx2, axpyAvx2, rescaleAvx2>(
         src, mean, sd, normalize_input, scratch, loadings, p, m, dst,
         rescale_sd, eps);
+}
+
+__attribute__((target("avx2"), flatten)) void
+batchAvx2(const double *point, const double *rows, std::size_t m,
+          const std::uint32_t *ids, std::size_t count, double *out)
+{
+    batchImpl<squaredDistanceAvx2>(point, rows, m, ids, count, out);
 }
 
 #endif // MICA_SIMD_HAVE_AVX2
@@ -511,6 +568,8 @@ struct KernelTable
                         double *, const double *, double);
     ScanHit (*scan)(const double *, const double *, std::size_t, std::size_t,
                     std::size_t, double);
+    void (*batch)(const double *, const double *, std::size_t,
+                  const std::uint32_t *, std::size_t, double *);
 };
 
 constexpr KernelTable kScalarTable = {
@@ -519,6 +578,7 @@ constexpr KernelTable kScalarTable = {
     normalizeScalar,      rescaleScalar,
     projectRowImpl<normalizeScalar, axpyScalar, rescaleScalar>,
     scanImpl<squaredDistanceScalar>,
+    batchImpl<squaredDistanceScalar>,
 };
 
 #ifdef MICA_SIMD_HAVE_AVX2
@@ -527,6 +587,7 @@ constexpr KernelTable kAvx2Table = {
     sumSquaresAvx2,     axpyAvx2,
     normalizeAvx2,      rescaleAvx2,
     projectRowAvx2,     scanAvx2,
+    batchAvx2,
 };
 #endif
 
@@ -537,6 +598,7 @@ constexpr KernelTable kNeonTable = {
     normalizeNeon,      rescaleNeon,
     projectRowImpl<normalizeNeon, axpyNeon, rescaleNeon>,
     scanImpl<squaredDistanceNeon>,
+    batchImpl<squaredDistanceNeon>,
 };
 #endif
 
@@ -737,6 +799,13 @@ nearestCenterScan(const double *point, const double *centers, std::size_t k,
                   double cached_dist2)
 {
     return table().scan(point, centers, k, m, cached_index, cached_dist2);
+}
+
+void
+batchSquaredDistance(const double *point, const double *rows, std::size_t m,
+                     const std::uint32_t *ids, std::size_t count, double *out)
+{
+    table().batch(point, rows, m, ids, count, out);
 }
 
 } // namespace mica::stats::simd

@@ -75,6 +75,7 @@
 #define MICAPHASE_STATS_SIMD_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <string_view>
@@ -178,6 +179,19 @@ nearestCenterScan(const double *point, const double *centers, std::size_t k,
                   std::size_t m,
                   std::size_t cached_index = static_cast<std::size_t>(-1),
                   double cached_dist2 = 0.0);
+
+/**
+ * out[i] = squaredDistance(point, rows + ids[i]*m, m) for i in [0, count):
+ * a gather-style batch over scattered rows of a row-major table. Each
+ * pair goes through the exact same per-pair kernel as squaredDistance —
+ * bitwise identical results — but the dispatch is resolved once for the
+ * whole batch and upcoming rows are prefetched, which is what the ANN
+ * graph search needs: its candidates are cache-scattered, so per-call
+ * overhead and miss latency, not arithmetic, dominate a naive loop.
+ */
+void batchSquaredDistance(const double *point, const double *rows,
+                          std::size_t m, const std::uint32_t *ids,
+                          std::size_t count, double *out);
 
 } // namespace mica::stats::simd
 

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the graph-based approximate nearest-center index
+ * (ann::CenterIndex): build determinism across thread counts, the exact
+ * small-k fallback, the recall and bit-identity contracts of the beam
+ * search, the lowest-index tie-break the exact scan mandates, and the
+ * opt-in wiring through projectRows and KMeans::Options::ann.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "ann/center_index.hh"
+#include "stats/distance.hh"
+#include "stats/kmeans.hh"
+#include "stats/projection.hh"
+#include "stats/rng.hh"
+
+namespace {
+
+using mica::ann::BuildOptions;
+using mica::ann::CenterIndex;
+using mica::stats::DistanceCounters;
+using mica::stats::Matrix;
+using mica::stats::NearestCenter;
+using mica::stats::Rng;
+
+/** k gaussian centers in m dimensions, mildly separated. */
+Matrix
+gaussianCenters(std::size_t k, std::size_t m, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix c(k, m);
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            c(i, j) = 4.0 * rng.nextGaussian();
+    return c;
+}
+
+/** Queries near the centers (the serving-realistic regime). */
+Matrix
+perturbedQueries(const Matrix &centers, std::size_t n, double noise,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix q(n, centers.cols());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto base = centers.row(i % centers.rows());
+        for (std::size_t j = 0; j < centers.cols(); ++j)
+            q(i, j) = base[j] + noise * rng.nextGaussian();
+    }
+    return q;
+}
+
+TEST(Ann, BuildIsDeterministicAcrossThreadCounts)
+{
+    const Matrix centers = gaussianCenters(1500, 8, 11);
+    BuildOptions opts;
+    opts.min_graph_size = 64;
+    opts.threads = 1;
+    const CenterIndex one = CenterIndex::build(centers.view(), opts);
+    ASSERT_TRUE(one.graphMode());
+    for (unsigned t : {2u, 4u}) {
+        opts.threads = t;
+        const CenterIndex many = CenterIndex::build(centers.view(), opts);
+        ASSERT_EQ(many.degree(), one.degree());
+        ASSERT_EQ(many.buildRounds(), one.buildRounds());
+        EXPECT_EQ(many.lengthScale(), one.lengthScale());
+        for (std::size_t i = 0; i < centers.rows(); ++i) {
+            const auto a = one.neighbors(i);
+            const auto b = many.neighbors(i);
+            ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+                << "adjacency differs at node " << i << " with " << t
+                << " threads";
+        }
+    }
+}
+
+TEST(Ann, SmallKFallsBackToExactScan)
+{
+    const Matrix centers = gaussianCenters(100, 6, 3);
+    const CenterIndex idx = CenterIndex::build(centers.view()); // default
+    EXPECT_FALSE(idx.graphMode());
+    EXPECT_EQ(idx.lengthScale(), 0.0);
+
+    const Matrix queries = perturbedQueries(centers, 200, 1.0, 5);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+        const NearestCenter exact =
+            mica::stats::nearestCenter(queries.row(i), centers);
+        DistanceCounters counters;
+        const NearestCenter approx = idx.find(queries.row(i), &counters);
+        EXPECT_EQ(approx.index, exact.index);
+        EXPECT_EQ(std::memcmp(&approx.dist2, &exact.dist2,
+                              sizeof(double)), 0);
+        EXPECT_EQ(counters.computed, centers.rows());
+        EXPECT_EQ(counters.pruned, 0u);
+    }
+}
+
+TEST(Ann, GraphSearchRecallAndBitIdentityOnHits)
+{
+    const Matrix centers = gaussianCenters(2048, 12, 17);
+    BuildOptions opts;
+    opts.min_graph_size = 64;
+    const CenterIndex idx = CenterIndex::build(centers.view(), opts);
+    ASSERT_TRUE(idx.graphMode());
+    EXPECT_GT(idx.lengthScale(), 0.0);
+
+    const Matrix queries = perturbedQueries(centers, 512, 0.05, 19);
+    std::size_t hits = 0;
+    DistanceCounters counters;
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+        const NearestCenter exact =
+            mica::stats::nearestCenter(queries.row(i), centers);
+        const NearestCenter approx = idx.find(queries.row(i), &counters);
+        if (approx.index == exact.index) {
+            ++hits;
+            // Contract: a hit is bitwise-equal to the exact scan.
+            EXPECT_EQ(std::memcmp(&approx.dist2, &exact.dist2,
+                                  sizeof(double)), 0);
+        } else {
+            // A miss still returns an exact distance to a real center,
+            // so it can never beat the true nearest.
+            EXPECT_GE(approx.dist2, exact.dist2);
+        }
+    }
+    // Serving-realistic queries: the recall floor CI gates on the bench
+    // is 0.999; this fixed-seed fixture must clear it.
+    EXPECT_GE(static_cast<double>(hits),
+              0.999 * static_cast<double>(queries.rows()));
+    // Sublinearity: far fewer evaluations than 512 exact scans.
+    EXPECT_LT(counters.computed, queries.rows() * centers.rows() / 4);
+    EXPECT_EQ(counters.computed + counters.pruned,
+              queries.rows() * centers.rows());
+}
+
+TEST(Ann, SearchIsDeterministicAndBeamClamps)
+{
+    const Matrix centers = gaussianCenters(1200, 10, 23);
+    BuildOptions opts;
+    opts.min_graph_size = 64;
+    const CenterIndex idx = CenterIndex::build(centers.view(), opts);
+    const Matrix queries = perturbedQueries(centers, 64, 0.2, 29);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+        const NearestCenter a = idx.find(queries.row(i));
+        const NearestCenter b = idx.find(queries.row(i));
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(std::memcmp(&a.dist2, &b.dist2, sizeof(double)), 0);
+        // A beam wider than k degenerates to an exhaustive traversal of
+        // the reachable component — still a valid (exact-or-better)
+        // answer, and the clamp must not crash.
+        const NearestCenter wide =
+            idx.search(queries.row(i), centers.rows() * 2);
+        EXPECT_LE(wide.dist2, a.dist2);
+    }
+}
+
+TEST(Ann, DuplicateCentersTieBreakToLowestIndex)
+{
+    // Pairs of exactly identical centers: whichever duplicate the search
+    // reaches, the (distance, index) ordering must surface the lower
+    // index — the same contract as the exact scan's strict-< loop.
+    const std::size_t pairs = 600;
+    Matrix centers(2 * pairs, 4);
+    Rng rng(31);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            const double v = 3.0 * rng.nextGaussian();
+            centers(2 * p, j) = v;
+            centers(2 * p + 1, j) = v;
+        }
+    }
+    BuildOptions opts;
+    opts.min_graph_size = 64;
+    const CenterIndex idx = CenterIndex::build(centers.view(), opts);
+    ASSERT_TRUE(idx.graphMode());
+
+    const Matrix queries = perturbedQueries(centers, 256, 0.01, 37);
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+        const NearestCenter exact =
+            mica::stats::nearestCenter(queries.row(i), centers);
+        // The exact scan must pick the even (lower) member of the pair.
+        EXPECT_EQ(exact.index % 2, 0u);
+        const NearestCenter approx = idx.find(queries.row(i));
+        // Whatever center the search settled on, it must have reported
+        // the lowest index among the duplicates at that distance.
+        EXPECT_EQ(approx.index % 2, 0u)
+            << "ann returned the higher-index duplicate at query " << i;
+    }
+}
+
+TEST(Ann, FinderThroughProjectRowsMatchesDirectSearch)
+{
+    const std::size_t m = 6;
+    const Matrix centers = gaussianCenters(1400, m, 41);
+    BuildOptions opts;
+    opts.min_graph_size = 64;
+    const CenterIndex idx = CenterIndex::build(centers.view(), opts);
+
+    // Identity projection spec: rows are already in center space.
+    Matrix loadings(m, m);
+    std::vector<double> rescale(m, 1.0);
+    for (std::size_t j = 0; j < m; ++j)
+        loadings(j, j) = 1.0;
+    mica::stats::ProjectionSpec spec;
+    spec.normalize_input = false;
+    spec.loadings = loadings.view();
+    spec.rescale_sd = rescale;
+    spec.centers = centers.view();
+
+    const Matrix queries = perturbedQueries(centers, 300, 0.1, 43);
+
+    mica::stats::ProjectOptions popts;
+    popts.finder = &idx;
+    const auto via_finder =
+        mica::stats::projectRows(spec, queries.view(), popts);
+
+    // The finder hook must be exactly find() per row; and finder=nullptr
+    // must stay the exact scan.
+    const auto exact_path =
+        mica::stats::projectRows(spec, queries.view(), {});
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+        const NearestCenter direct = idx.find(queries.row(i));
+        EXPECT_EQ(via_finder.assignment[i], direct.index);
+        EXPECT_EQ(std::memcmp(&via_finder.dist2[i], &direct.dist2,
+                              sizeof(double)), 0);
+        const NearestCenter scan =
+            mica::stats::nearestCenter(queries.row(i), centers);
+        EXPECT_EQ(exact_path.assignment[i], scan.index);
+        EXPECT_EQ(std::memcmp(&exact_path.dist2[i], &scan.dist2,
+                              sizeof(double)), 0);
+    }
+    // Thread-count invariance holds through the finder too (per-thread
+    // search scratch, per-row independence).
+    mica::stats::ProjectOptions popts4 = popts;
+    popts4.threads = 4;
+    popts4.block_rows = 37;
+    const auto via_finder4 =
+        mica::stats::projectRows(spec, queries.view(), popts4);
+    EXPECT_EQ(via_finder4.assignment, via_finder.assignment);
+    EXPECT_EQ(std::memcmp(via_finder4.dist2.data(),
+                          via_finder.dist2.data(),
+                          via_finder.dist2.size() * sizeof(double)), 0);
+}
+
+TEST(Ann, KMeansAnnOptionIsDeterministicAndOffByDefault)
+{
+    // 24 well-separated blobs; enough rows that Lloyd does real work.
+    Rng rng(47);
+    const std::size_t true_k = 24, per = 40, dim = 6;
+    Matrix data(true_k * per, dim);
+    for (std::size_t c = 0; c < true_k; ++c)
+        for (std::size_t i = 0; i < per; ++i)
+            for (std::size_t j = 0; j < dim; ++j)
+                data(c * per + i, j) =
+                    10.0 * static_cast<double>((c * (j + 1)) % 7) +
+                    0.05 * rng.nextGaussian();
+
+    mica::stats::KMeans::Options base;
+    base.k = true_k;
+    base.seed = 5;
+    base.max_iterations = 50;
+
+    // Default: Options::ann is null and the exact path is untouched.
+    ASSERT_EQ(base.ann, nullptr);
+    const auto exact = mica::stats::KMeans::run(data, base);
+
+    mica::ann::BuildOptions bopts;
+    bopts.min_graph_size = 1; // force the graph path at this tiny k
+    auto with_ann = base;
+    with_ann.ann = mica::ann::indexFactory(bopts);
+
+    const auto approx1 = mica::stats::KMeans::run(data, with_ann);
+    // Thread-count invariance of the approximate path.
+    with_ann.threads = 4;
+    const auto approx4 = mica::stats::KMeans::run(data, with_ann);
+    EXPECT_EQ(approx1.assignment, approx4.assignment);
+    EXPECT_EQ(std::memcmp(approx1.centers.data().data(),
+                          approx4.centers.data().data(),
+                          approx1.centers.data().size() * sizeof(double)),
+              0);
+    EXPECT_EQ(approx1.inertia, approx4.inertia);
+
+    // Quality: on well-separated blobs the approximate assignment must
+    // land the same clustering (inertia within a whisker of exact).
+    EXPECT_LE(approx1.inertia, exact.inertia * 1.05 + 1e-9);
+}
+
+TEST(Ann, GenerationTagRoundTrips)
+{
+    const Matrix centers = gaussianCenters(64, 4, 53);
+    CenterIndex idx = CenterIndex::build(centers.view());
+    EXPECT_EQ(idx.generation(), 0u);
+    idx.setGeneration(17);
+    EXPECT_EQ(idx.generation(), 17u);
+    EXPECT_EQ(idx.centers().data(), centers.view().data());
+}
+
+} // namespace

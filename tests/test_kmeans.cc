@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "stats/kmeans.hh"
 #include "stats/rng.hh"
@@ -396,5 +398,74 @@ TEST_P(KMeansSweepTest, StructurallyValid)
 
 INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweepTest,
                          ::testing::Values(1, 2, 5, 10, 40, 100, 240));
+
+/**
+ * The tie-break contract the ANN path must reproduce (docs/ANN.md):
+ * among centers at exactly equal distance, the lowest index wins —
+ * locked here with exact duplicates at large k, on both the fresh scan
+ * and the cached-substitution entry point.
+ */
+TEST(KMeans, NearestCenterTieBreaksToLowestIndexWithDuplicates)
+{
+    mica::stats::Rng rng(101);
+    const std::size_t pairs = 1024, dim = 5;
+    Matrix centers(2 * pairs, dim);
+    for (std::size_t p = 0; p < pairs; ++p)
+        for (std::size_t j = 0; j < dim; ++j) {
+            const double v = 5.0 * rng.nextGaussian();
+            // Identical bytes => exactly equal distances, at any point.
+            centers(2 * p, j) = v;
+            centers(2 * p + 1, j) = v;
+        }
+
+    std::vector<double> point(dim);
+    for (int q = 0; q < 128; ++q) {
+        for (std::size_t j = 0; j < dim; ++j)
+            point[j] = 5.0 * rng.nextGaussian();
+        const auto res = mica::stats::nearestCenter(point, centers);
+        EXPECT_EQ(res.index % 2, 0u)
+            << "tie resolved away from the lowest index";
+        // The runner-up is the identical twin: exactly equal distance.
+        EXPECT_EQ(res.second_dist2, res.dist2);
+        // Cached-substitution entry (the pruned Lloyd path) must agree.
+        const auto cached = mica::stats::nearestCenter(
+            point, centers, res.index, res.dist2);
+        EXPECT_EQ(cached.index, res.index);
+        EXPECT_EQ(cached.dist2, res.dist2);
+    }
+}
+
+TEST(KMeans, NearestCenterNearDuplicatePrefersStrictlyCloser)
+{
+    // Near-duplicates a hair apart: the strictly closer center must win
+    // regardless of index order — ties are only for *exactly* equal
+    // distances. The nudge is 1e-9, small against the coordinates but
+    // far above the dist2 ulp at this magnitude, so the difference
+    // survives the squared-sum (a one-ulp coordinate nudge would round
+    // away in the summation and become an exact tie).
+    constexpr double kNudge = 1.0 - 1e-9;
+    const std::size_t dim = 3;
+    Matrix centers(2, dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+        centers(0, j) = 1.0;
+        centers(1, j) = 1.0;
+    }
+    // Center 1 (higher index) is nudged toward the query.
+    centers(1, 0) = kNudge;
+    std::vector<double> at_zero(dim, 0.0);
+    const auto res = mica::stats::nearestCenter(at_zero, centers);
+    EXPECT_EQ(res.index, 1u);
+    EXPECT_LT(res.dist2, res.second_dist2);
+
+    // Mirror: nudge the lower index instead; it wins on distance too.
+    Matrix mirrored(2, dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+        mirrored(0, j) = 1.0;
+        mirrored(1, j) = 1.0;
+    }
+    mirrored(0, 0) = kNudge;
+    const auto res2 = mica::stats::nearestCenter(at_zero, mirrored);
+    EXPECT_EQ(res2.index, 0u);
+}
 
 } // namespace

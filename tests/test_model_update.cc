@@ -641,4 +641,101 @@ TEST(ModelHotSwap, ConcurrentReadersNeverObserveMixedGenerations)
     EXPECT_EQ(live.generation(), kGenerations);
 }
 
+/**
+ * The ANN flavour of the soak: with enableAnn(), every publish must swap
+ * the index atomically with the reader — a snapshot may never pair a
+ * model with a stale index. Checked structurally (the index's generation
+ * tag and its center view must both belong to this snapshot's reader)
+ * and behaviourally (placement through the snapshot's own index is
+ * bitwise equal to the per-generation oracle; at this k every node is an
+ * entry point, so the search is exhaustive-exact and any deviation means
+ * a stale index was consulted). Runs under TSan via the Swap filter.
+ */
+TEST(ModelHotSwap, AnnIndexSwapsAtomicallyWithGeneration)
+{
+    PhaseModel model_a = tinyModel();
+    PhaseModel model_b = tinyModel();
+    model_b.centers = stats::Matrix::fromRows({{2.5, -1.0}, {0.0, 4.0}});
+
+    const stats::Matrix rows = syntheticRows(64, 2.0);
+
+    mica::ann::BuildOptions bopts;
+    bopts.min_graph_size = 1; // force the graph path at k = 2
+
+    // Per-generation oracles, each through its own index.
+    const auto oracle_for = [&](const PhaseModel &m) {
+        const auto reader = model::makeReader(PhaseModel(m));
+        const mica::ann::CenterIndex idx =
+            mica::ann::CenterIndex::build(reader->centers(), bopts);
+        stats::ProjectOptions popts;
+        popts.finder = &idx;
+        return reader->placeBatch(rows, popts);
+    };
+    const model::Projection oracle_a = oracle_for(model_a);
+    const model::Projection oracle_b = oracle_for(model_b);
+    ASSERT_NE(oracle_a.assignment, oracle_b.assignment)
+        << "generations must disagree for the soak to mean anything";
+
+    model::LiveModel live;
+    live.enableAnn(bopts);
+    live.publish(model::makeReader(PhaseModel(model_a))); // generation 1
+
+    constexpr std::uint64_t kGenerations = 40;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> stale_indexes{0};
+
+    std::vector<std::thread> readers;
+    readers.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+        readers.emplace_back([&] {
+            stats::ProjectOptions popts;
+            popts.threads = 1;
+            popts.block_rows = 16;
+            while (!stop.load(std::memory_order_acquire)) {
+                const model::LiveModel::Snapshot snap = live.current();
+                if (!snap)
+                    continue;
+                // The invariant under test: the index travels with the
+                // snapshot — same generation tag, built over exactly
+                // this reader's center bytes.
+                if (snap.index == nullptr ||
+                    snap.index->generation() != snap.generation ||
+                    snap.index->centers().data() !=
+                        snap.reader->centers().data()) {
+                    stale_indexes.fetch_add(1);
+                    continue;
+                }
+                popts.finder = snap.index.get();
+                const model::Projection got =
+                    snap.reader->placeBatch(rows, popts);
+                const model::Projection &want =
+                    snap.generation % 2 == 1 ? oracle_a : oracle_b;
+                const bool ok =
+                    got.assignment == want.assignment &&
+                    std::memcmp(got.dist2.data(), want.dist2.data(),
+                                want.dist2.size() * sizeof(double)) == 0;
+                if (!ok)
+                    mismatches.fetch_add(1);
+                batches.fetch_add(1);
+            }
+        });
+    }
+
+    for (std::uint64_t g = 2; g <= kGenerations; ++g) {
+        const PhaseModel &next = g % 2 == 1 ? model_a : model_b;
+        EXPECT_EQ(live.publish(model::makeReader(PhaseModel(next))), g);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread &t : readers)
+        t.join();
+
+    EXPECT_EQ(stale_indexes.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_GT(batches.load(), 0u);
+    EXPECT_EQ(live.generation(), kGenerations);
+}
+
 } // namespace

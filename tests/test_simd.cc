@@ -182,6 +182,37 @@ TEST(SimdKernels, SquaredDistanceMatchesScalarBitwise)
     }
 }
 
+TEST(SimdKernels, BatchSquaredDistanceMatchesSingleCallBitwise)
+{
+    // The gather batch must agree with per-pair squaredDistance at every
+    // level, across the specialized widths (8, 16) and the generic path,
+    // with out-of-order and repeated row ids like a real neighbor list.
+    for (const std::size_t m : {std::size_t{3}, std::size_t{8},
+                                std::size_t{16}, std::size_t{21}}) {
+        constexpr std::size_t kRows = 37;
+        const std::vector<double> rows = randomVector(kRows * m, 404 + m);
+        const std::vector<double> point = randomVector(m, 505 + m);
+        std::vector<std::uint32_t> ids;
+        for (std::size_t i = 0; i < kRows * 2; ++i)
+            ids.push_back(static_cast<std::uint32_t>((i * 29 + 11) % kRows));
+        std::vector<double> out(ids.size());
+
+        std::vector<simd::Level> levels = supportedVectorLevels();
+        levels.push_back(simd::Level::Scalar);
+        for (const simd::Level l : levels) {
+            LevelGuard guard(l);
+            simd::batchSquaredDistance(point.data(), rows.data(), m,
+                                       ids.data(), ids.size(), out.data());
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                const double want = simd::squaredDistance(
+                    point.data(), rows.data() + ids[i] * m, m);
+                ASSERT_EQ(bits(out[i]), bits(want))
+                    << simd::levelName(l) << " m=" << m << " i=" << i;
+            }
+        }
+    }
+}
+
 TEST(SimdKernels, SumSquaresMatchesScalarBitwise)
 {
     const auto levels = supportedVectorLevels();
